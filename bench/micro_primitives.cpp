@@ -1,0 +1,137 @@
+// Microbenchmarks for the protocol's primitive operations: MD5 hashing,
+// Bloom index derivation, filter insert/probe/erase, LRU cache ops, and
+// ICP message codecs. These quantify the paper's claim that "the
+// computational overhead of MD5 is negligible compared with the user and
+// system CPU overhead incurred by caching documents".
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/counting_bloom_filter.hpp"
+#include "cache/lru_cache.hpp"
+#include "icp/icp_message.hpp"
+#include "util/md5.hpp"
+
+namespace {
+
+using namespace sc;
+
+std::vector<std::string> make_urls(std::size_t n) {
+    std::vector<std::string> urls;
+    urls.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        urls.push_back("http://server" + std::to_string(i % 97) + ".example.com/path/doc" +
+                       std::to_string(i));
+    return urls;
+}
+
+void BM_Md5ShortUrl(benchmark::State& state) {
+    const auto urls = make_urls(1024);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(md5(urls[i++ & 1023]));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Md5ShortUrl);
+
+void BM_Md5Throughput(benchmark::State& state) {
+    const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(md5(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Md5Throughput)->Arg(64)->Arg(1024)->Arg(64 * 1024);
+
+void BM_BloomIndexes(benchmark::State& state) {
+    const HashSpec spec{static_cast<std::uint16_t>(state.range(0)), 32, 1u << 20};
+    const auto urls = make_urls(1024);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bloom_indexes(urls[i++ & 1023], spec));
+    }
+}
+BENCHMARK(BM_BloomIndexes)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BloomInsert(benchmark::State& state) {
+    BloomFilter f(HashSpec{4, 32, 1u << 22});
+    const auto urls = make_urls(4096);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        f.insert(urls[i++ & 4095]);
+    }
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomProbe(benchmark::State& state) {
+    BloomFilter f(HashSpec{4, 32, 1u << 22});
+    const auto urls = make_urls(4096);
+    for (std::size_t i = 0; i < 2048; ++i) f.insert(urls[i]);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.may_contain(urls[i++ & 4095]));
+    }
+}
+BENCHMARK(BM_BloomProbe);
+
+void BM_BloomProbePrehashed(benchmark::State& state) {
+    // The simulator's fast path: hash once, probe many sibling filters.
+    BloomFilter f(HashSpec{4, 32, 1u << 22});
+    const auto idx = bloom_indexes("http://hot.example.com/doc", f.spec());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.may_contain(std::span<const std::uint32_t>(idx)));
+    }
+}
+BENCHMARK(BM_BloomProbePrehashed);
+
+void BM_CountingBloomInsertErase(benchmark::State& state) {
+    CountingBloomFilter f(HashSpec{4, 32, 1u << 22});
+    const auto urls = make_urls(4096);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& url = urls[i++ & 4095];
+        f.insert(url);
+        f.erase(url);
+    }
+}
+BENCHMARK(BM_CountingBloomInsertErase);
+
+void BM_LruInsertLookup(benchmark::State& state) {
+    LruCache cache(LruCacheConfig{64ull * 1024 * 1024});
+    const auto urls = make_urls(8192);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& url = urls[i++ & 8191];
+        if (cache.lookup(url, 0) != LruCache::Lookup::hit) cache.insert(url, 8192, 0);
+    }
+}
+BENCHMARK(BM_LruInsertLookup);
+
+void BM_IcpQueryEncodeDecode(benchmark::State& state) {
+    IcpQuery q{7, 1, 2, "http://server.example.com/some/longish/path/doc12345"};
+    for (auto _ : state) {
+        const auto wire = encode_query(q);
+        benchmark::DoNotOptimize(decode_query(wire));
+    }
+}
+BENCHMARK(BM_IcpQueryEncodeDecode);
+
+void BM_DirUpdateEncodeDecode(benchmark::State& state) {
+    IcpDirUpdate u;
+    u.spec = HashSpec{4, 32, 1u << 24};
+    for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(state.range(0)); ++i)
+        u.records.push_back(encode_bit_flip({i * 13 % (1u << 24), i % 2 == 0}));
+    for (auto _ : state) {
+        const auto wire = encode_dirupdate(u);
+        benchmark::DoNotOptimize(decode_dirupdate(wire));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DirUpdateEncodeDecode)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Shared plumbing for the reproduction binaries (one per paper table or
+// figure). Each binary accepts an optional scale argument:
+//
+//     repro_fig1 [scale]
+//
+// where `scale` multiplies the synthetic trace volume (default 0.1 keeps
+// every binary in the seconds range; 1.0 approaches the paper's full trace
+// sizes). Results move only mildly with scale because the profiles shrink
+// document populations alongside request counts.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/infinite_cache.hpp"
+#include "trace/generator.hpp"
+
+namespace sc::bench {
+
+inline double parse_scale(int argc, char** argv, double fallback = 0.1) {
+    if (argc > 1) {
+        const double s = std::atof(argv[1]);
+        if (s > 0.0) return s;
+        std::fprintf(stderr, "usage: %s [scale>0]\n", argv[0]);
+        std::exit(2);
+    }
+    return fallback;
+}
+
+struct LoadedTrace {
+    TraceProfile profile;
+    std::vector<Request> requests;
+    std::uint64_t infinite_cache_bytes = 0;
+    double max_hit_ratio = 0.0;
+    double max_byte_hit_ratio = 0.0;
+    std::size_t clients = 0;
+};
+
+/// Generate one trace and its Table I statistics.
+inline LoadedTrace load_trace(TraceKind kind, double scale) {
+    LoadedTrace out;
+    out.profile = standard_profile(kind, scale);
+    out.requests = TraceGenerator(out.profile).generate_all();
+    InfiniteCacheStats stats;
+    for (const Request& r : out.requests) {
+        stats.add_request(r.url, r.size, r.version);
+        stats.add_client(r.client_id);
+    }
+    out.infinite_cache_bytes = stats.infinite_cache_bytes();
+    out.max_hit_ratio = stats.max_hit_ratio();
+    out.max_byte_hit_ratio = stats.max_byte_hit_ratio();
+    out.clients = stats.client_count();
+    return out;
+}
+
+/// Per-proxy cache size for a fraction of the trace's infinite cache.
+inline std::uint64_t cache_bytes_per_proxy(const LoadedTrace& trace, double fraction) {
+    const double total = static_cast<double>(trace.infinite_cache_bytes) * fraction;
+    const double per = total / trace.profile.proxy_groups;
+    return per < 1024.0 ? 1024 : static_cast<std::uint64_t>(per);
+}
+
+inline void print_rule(int width = 110) {
+    for (int i = 0; i < width; ++i) std::putchar('-');
+    std::putchar('\n');
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+    print_rule();
+    std::printf("%s\n(reproduces %s of Fan, Cao, Almeida, Broder: \"Summary Cache\", "
+                "SIGCOMM'98 / ToN 8(3))\n",
+                title, paper_ref);
+    print_rule();
+}
+
+}  // namespace sc::bench

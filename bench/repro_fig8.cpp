@@ -1,0 +1,31 @@
+// Figure 8 — estimated bytes of inter-proxy messages per user request,
+// using the Section V-D byte model (70-byte queries; 20 B + 16 B/change
+// directory updates; 32 B + 4 B/flip Bloom updates, or the full array when
+// smaller). Expected shape: Bloom summaries improve on ICP by 55-64%;
+// summary cache trades a continuous stream of small messages for
+// occasional bursts of large ones.
+#include <cstdio>
+
+#include "repro_summary_sweep.hpp"
+
+int main(int argc, char** argv) {
+    using namespace sc::bench;
+    const double scale = parse_scale(argc, argv);
+    print_header("Figure 8: bytes of network messages per request under different summary forms",
+                 "Figure 8");
+    const auto rows = run_summary_sweep(scale);
+    std::printf("%-10s", "Trace");
+    for (const auto& e : rows.front().entries) std::printf(" %12s", e.label.c_str());
+    std::printf(" %16s\n", "bloom16 vs ICP");
+    for (const auto& row : rows) {
+        std::printf("%-10s", row.trace.c_str());
+        double bloom16 = 0, icp = 0;
+        for (const auto& e : row.entries) {
+            std::printf(" %12.1f", e.result.message_bytes_per_request());
+            if (e.label == "bloom-16") bloom16 = e.result.message_bytes_per_request();
+            if (e.label == "ICP") icp = e.result.message_bytes_per_request();
+        }
+        std::printf(" %14.0f%%\n", icp > 0 ? 100.0 * (1.0 - bloom16 / icp) : 0.0);
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+// Design ablation (Section V-D): hash-function family for Bloom summaries.
+// The paper recommends MD5 and notes faster alternatives (simple hash +
+// random linear transformations; Rabin fingerprints) whose drawback is
+// efficient invertibility. This binary measures, per family:
+//   * throughput (hash derivations per second on typical URLs),
+//   * measured false-positive rate at load factor 8 with k=4,
+// confirming the paper's claim that the choice barely moves filter quality
+// while MD5's cost is acceptable.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/bloom_math.hpp"
+#include "bloom/hash_family.hpp"
+
+namespace {
+
+using namespace sc;
+
+std::vector<std::string> make_urls(std::size_t n) {
+    std::vector<std::string> urls;
+    urls.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        urls.push_back("http://server" + std::to_string(i % 997) +
+                       ".example.com/dir/page" + std::to_string(i) + ".html");
+    return urls;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Hash-family ablation for Bloom summaries (Section V-D)\n");
+    std::printf("%-8s %18s %18s %16s %12s\n", "family", "ns/derivation", "derivations/s",
+                "measured FP", "invertible?");
+
+    constexpr int n = 8192;
+    const HashSpec spec{4, 32, 8 * n};
+    const auto urls = make_urls(65'536);
+    const double theory = bloom_fp_exact(8.0 * n, n, 4);
+
+    for (const HashFamily family : {HashFamily::md5, HashFamily::linear, HashFamily::rabin}) {
+        const auto hasher = make_hasher(family);
+
+        // Throughput: hash every URL once (one derivation = all k indexes).
+        std::vector<std::uint32_t> sink;
+        const auto start = std::chrono::steady_clock::now();
+        for (const auto& url : urls) {
+            sink.clear();
+            hasher->indexes(url, spec, sink);
+        }
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        const double per = secs / static_cast<double>(urls.size());
+
+        // Quality: measured FP at load factor 8, k=4.
+        BloomFilter filter(spec);
+        for (int i = 0; i < n; ++i) {
+            sink.clear();
+            hasher->indexes("member/" + std::to_string(i), spec, sink);
+            for (std::uint32_t idx : sink) filter.set_bit(idx, true);
+        }
+        int fp = 0;
+        constexpr int probes = 100'000;
+        for (int i = 0; i < probes; ++i) {
+            sink.clear();
+            hasher->indexes("probe/" + std::to_string(i), spec, sink);
+            if (filter.may_contain(std::span<const std::uint32_t>(sink))) ++fp;
+        }
+
+        std::printf("%-8s %18.0f %18.0f %15.4f%% %12s\n", hash_family_name(family), per * 1e9,
+                    1.0 / per, 100.0 * fp / probes,
+                    family == HashFamily::md5 ? "no" : "yes");
+    }
+    std::printf("\nanalytic FP at this load: %.4f%%. All families should sit near it; only\n"
+                "MD5 resists adversarial URL construction (the wire protocol's default).\n",
+                100.0 * theory);
+    return 0;
+}

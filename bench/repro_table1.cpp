@@ -1,0 +1,30 @@
+// Table I — statistics about the traces: duration proxy, request count,
+// number of clients, infinite cache size, and the maximum (infinite-cache)
+// hit and byte-hit ratios. Our traces are calibrated synthetic stand-ins;
+// EXPERIMENTS.md places these numbers next to the paper's.
+#include <cstdio>
+
+#include "repro_common.hpp"
+#include "util/bytes.hpp"
+
+int main(int argc, char** argv) {
+    using namespace sc;
+    using namespace sc::bench;
+    const double scale = parse_scale(argc, argv);
+
+    print_header("Table I: statistics about the (synthetic) traces",
+                 "Table I");
+    std::printf("scale = %.3g (1.0 ~ paper-sized traces)\n\n", scale);
+    std::printf("%-10s %12s %9s %8s %16s %12s %14s\n", "Trace", "Requests", "Clients",
+                "Proxies", "InfiniteCache", "MaxHitRatio", "MaxByteHitRatio");
+
+    for (TraceKind kind : kAllTraceKinds) {
+        const LoadedTrace t = load_trace(kind, scale);
+        std::printf("%-10s %12s %9zu %8u %16s %11.2f%% %13.2f%%\n", t.profile.name.c_str(),
+                    format_count(t.requests.size()).c_str(), t.clients,
+                    t.profile.proxy_groups, format_bytes(t.infinite_cache_bytes).c_str(),
+                    100.0 * t.max_hit_ratio, 100.0 * t.max_byte_hit_ratio);
+    }
+    std::printf("\nInfinite cache = total bytes of unique documents (no replacement).\n");
+    return 0;
+}

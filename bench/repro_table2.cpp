@@ -1,0 +1,55 @@
+// Table II — overhead of ICP in the four-proxy Wisconsin Proxy Benchmark:
+// no-ICP vs ICP vs SC-ICP at inherent hit ratios 25% and 45%, with no
+// inter-proxy hits by construction (the worst case for ICP).
+//
+// Paper bands to compare against (relative to no-ICP):
+//   ICP:    UDP msgs x73-90, network pkts +8-13%, user CPU +20-24%,
+//           system CPU +7-10%, latency +8-12%.
+//   SC-ICP: UDP a factor ~50 below ICP; traffic/CPU/latency near no-ICP.
+#include <cstdio>
+
+#include "sim/wisconsin.hpp"
+
+namespace {
+
+using namespace sc;
+
+void print_row(const BenchRow& row, const BenchRow* base) {
+    std::printf("%-8s %9.1f%% %11.3f %10.1f %10.1f %12.0f %11.0f %11.0f", row.label.c_str(),
+                100.0 * row.hit_ratio, row.avg_latency_s, row.user_cpu_s, row.sys_cpu_s,
+                row.udp_msgs, row.tcp_pkts, row.total_pkts);
+    if (base != nullptr && base != &row) {
+        std::printf("   [UDP x%.0f, userCPU %+.0f%%, sysCPU %+.0f%%, latency %+.1f%%]",
+                    row.udp_msgs / base->udp_msgs,
+                    100.0 * (row.user_cpu_s / base->user_cpu_s - 1.0),
+                    100.0 * (row.sys_cpu_s / base->sys_cpu_s - 1.0),
+                    100.0 * (row.avg_latency_s / base->avg_latency_s - 1.0));
+    }
+    std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Table II: overhead of ICP in the four-proxy case "
+                "(Wisconsin Proxy Benchmark replica)\n");
+    std::printf("120 clients x 200 requests, Pareto(1.1) sizes, 1 s server delay, "
+                "no inter-proxy hits. All figures per proxy.\n\n");
+
+    for (const double hit : {0.25, 0.45}) {
+        std::printf("inherent hit ratio %.0f%%\n", 100.0 * hit);
+        std::printf("%-8s %10s %11s %10s %10s %12s %11s %11s\n", "Proto", "HitRatio",
+                    "Latency(s)", "UserCPU(s)", "SysCPU(s)", "UDPmsgs", "TCPpkts", "TotalPkts");
+        WisconsinConfig cfg;
+        cfg.inherent_hit_ratio = hit;
+        cfg.protocol = BenchProtocol::no_icp;
+        const BenchRow base = run_wisconsin(cfg);
+        print_row(base, nullptr);
+        cfg.protocol = BenchProtocol::icp;
+        print_row(run_wisconsin(cfg), &base);
+        cfg.protocol = BenchProtocol::sc_icp;
+        print_row(run_wisconsin(cfg), &base);
+        std::printf("\n");
+    }
+    return 0;
+}

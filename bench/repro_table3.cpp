@@ -1,0 +1,36 @@
+// Table III — storage requirement of the summary representations, as a
+// percentage of the proxy cache size (one peer's summary replica relative
+// to one proxy's cache, as the paper tabulates it). Expected shape:
+// exact-directory ~0.2% of cache size (16 B per 8 KB document),
+// server-name ~0.02%, Bloom filters between ~0.012% (load 8) and ~0.05%
+// (load 32) — cheap enough to replicate for many peers.
+#include <cstdio>
+
+#include "repro_summary_sweep.hpp"
+
+int main(int argc, char** argv) {
+    using namespace sc::bench;
+    const double scale = parse_scale(argc, argv);
+    print_header("Table III: summary storage as % of proxy cache size", "Table III");
+    const auto rows = run_summary_sweep(scale);
+    std::printf("%-10s", "Trace");
+    for (const auto& e : rows.front().entries)
+        if (e.label != "ICP") std::printf(" %12s", e.label.c_str());
+    std::printf("\n");
+    for (const auto& row : rows) {
+        std::printf("%-10s", row.trace.c_str());
+        for (const auto& e : row.entries) {
+            if (e.label == "ICP") continue;
+            // summary_replica_bytes sums the N-1 peer replicas one proxy
+            // holds; divide back out for the per-summary figure.
+            const double per_peer = static_cast<double>(e.result.summary_replica_bytes) /
+                                    std::max(1u, e.num_proxies - 1);
+            const double pct =
+                100.0 * per_peer / static_cast<double>(e.cache_bytes_per_proxy);
+            std::printf(" %11.4f%%", pct);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nMultiply by (proxies - 1) for the total summary DRAM per proxy.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+// Table IV — UPisa trace replay, experiment 3: each trace client keeps its
+// proxy (requests folded onto 80 client processes, 20 per proxy), order
+// preserved within the trace. no-ICP vs ICP vs SC-ICP.
+//
+// Expected shape: ICP and SC-ICP reach nearly the same total hit ratio;
+// SC-ICP cuts UDP messages by a factor of tens and most of the protocol
+// CPU, and its client latency dips slightly below no-ICP thanks to remote
+// hits replacing origin fetches.
+#include <cstdio>
+
+#include "repro_common.hpp"
+#include "sim/wisconsin.hpp"
+
+namespace {
+
+using namespace sc;
+
+void print_rows(const std::vector<Request>& trace, ReplayAssignment assignment) {
+    std::printf("%-8s %10s %10s %11s %10s %10s %12s %11s %11s\n", "Proto", "HitRatio",
+                "RemoteHit", "Latency(s)", "UserCPU(s)", "SysCPU(s)", "UDPmsgs", "TCPpkts",
+                "TotalPkts");
+    BenchRow base;
+    for (const BenchProtocol proto :
+         {BenchProtocol::no_icp, BenchProtocol::icp, BenchProtocol::sc_icp}) {
+        ReplayConfig cfg;
+        cfg.protocol = proto;
+        cfg.assignment = assignment;
+        const BenchRow row = run_replay(cfg, trace);
+        std::printf("%-8s %9.1f%% %9.1f%% %11.3f %10.1f %10.1f %12.0f %11.0f %11.0f",
+                    row.label.c_str(), 100.0 * row.hit_ratio, 100.0 * row.remote_hit_ratio,
+                    row.avg_latency_s, row.user_cpu_s, row.sys_cpu_s, row.udp_msgs,
+                    row.tcp_pkts, row.total_pkts);
+        if (proto == BenchProtocol::no_icp) {
+            base = row;
+        } else {
+            std::printf("   [UDP x%.0f vs no-ICP, latency %+.1f%%]",
+                        row.udp_msgs / base.udp_msgs,
+                        100.0 * (row.avg_latency_s / base.avg_latency_s - 1.0));
+        }
+        std::printf("\n");
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace sc::bench;
+    const double scale = parse_scale(argc, argv, 0.25);
+    print_header("Table IV: UPisa trace replay, experiment 3 (client-bound assignment)",
+                 "Table IV");
+    const LoadedTrace trace = load_trace(TraceKind::upisa, scale);
+    std::printf("%zu requests, 4 proxies, 80 client processes\n\n", trace.requests.size());
+    print_rows(trace.requests, ReplayAssignment::by_client);
+    return 0;
+}

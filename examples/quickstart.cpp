@@ -1,0 +1,60 @@
+// Quickstart: the summary-cache building blocks in ~60 lines.
+//
+//  1. A counting Bloom filter mirrors a proxy's cache directory
+//     (insertions AND deletions — the structure this paper introduced).
+//  2. A SummaryCacheNode turns directory churn into SC-ICP update
+//     datagrams once the update threshold is crossed.
+//  3. A second node ingests those datagrams and probes its replica to
+//     decide which siblings are worth querying — the step that replaces
+//     ICP's multicast-on-every-miss.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "bloom/counting_bloom_filter.hpp"
+#include "core/summary_cache_node.hpp"
+
+int main() {
+    using namespace sc;
+
+    // --- 1. counting Bloom filter ---------------------------------------
+    CountingBloomFilter filter(HashSpec{/*k=*/4, /*bits per fn=*/32, /*m=*/16 * 1024});
+    filter.insert("http://www.example.com/index.html");
+    filter.insert("http://www.example.com/logo.png");
+    filter.erase("http://www.example.com/logo.png");  // cache replacement
+
+    std::printf("index.html cached?  %s\n",
+                filter.may_contain("http://www.example.com/index.html") ? "maybe (yes)" : "no");
+    std::printf("logo.png cached?    %s\n",
+                filter.may_contain("http://www.example.com/logo.png") ? "maybe" : "no (deleted)");
+
+    // --- 2. a proxy node publishing its directory ------------------------
+    SummaryCacheNodeConfig cfg_a;
+    cfg_a.node_id = 1;
+    cfg_a.expected_docs = 1024;       // cache bytes / 8 KB
+    cfg_a.update_threshold = 0.01;    // broadcast when 1% of docs are new
+    SummaryCacheNode proxy_a(cfg_a);
+
+    proxy_a.set_directory_size(100);
+    for (int i = 0; i < 5; ++i)
+        proxy_a.on_cache_insert("http://news.site/article" + std::to_string(i));
+
+    const auto updates = proxy_a.poll_updates();  // encoded ICP_OP_DIRUPDATE datagrams
+    std::printf("\nproxy A crossed its update threshold: %zu datagram(s) to broadcast\n",
+                updates.size());
+
+    // --- 3. a sibling ingesting the update and probing -------------------
+    SummaryCacheNodeConfig cfg_b = cfg_a;
+    cfg_b.node_id = 2;
+    SummaryCacheNode proxy_b(cfg_b);
+    for (const auto& datagram : updates)
+        proxy_b.apply_sibling_update(decode_dirupdate(datagram));
+
+    const auto promising = proxy_b.promising_siblings("http://news.site/article3");
+    std::printf("who might have article3? %zu sibling(s)%s\n", promising.size(),
+                promising.empty() ? "" : " -> query only those, not everyone");
+    const auto nobody = proxy_b.promising_siblings("http://never.seen/doc");
+    std::printf("who might have an unseen doc? %zu sibling(s) -> no query at all\n",
+                nobody.size());
+    return 0;
+}

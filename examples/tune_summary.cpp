@@ -1,0 +1,72 @@
+// Capacity planner — turns the paper's Section V-E recommendations into a
+// tool: given your cache size, peer count, DRAM budget for summaries, and
+// a false-positive target, it prints the Bloom configuration to deploy
+// (load factor, hash count) and what it will cost on the wire.
+//
+//     ./examples/tune_summary <cache-GB> <peers> [fp-target]
+//     e.g. ./examples/tune_summary 8 16 0.02
+#include <cstdio>
+#include <cstdlib>
+
+#include "bloom/bloom_math.hpp"
+#include "summary/message_costs.hpp"
+#include "util/bytes.hpp"
+
+int main(int argc, char** argv) {
+    using namespace sc;
+    const double cache_gb = argc > 1 ? std::atof(argv[1]) : 8.0;
+    const int peers = argc > 2 ? std::atoi(argv[2]) : 16;
+    const double fp_target = argc > 3 ? std::atof(argv[3]) : 0.02;
+    if (cache_gb <= 0 || peers < 1 || fp_target <= 0 || fp_target >= 1) {
+        std::fprintf(stderr, "usage: %s <cache-GB> <peers> [fp-target in (0,1)]\n", argv[0]);
+        return 2;
+    }
+
+    const double docs = cache_gb * kGiB / kAverageDocumentBytes;
+    std::printf("cache %.1f GB  =>  ~%s cached documents (8 KB average)\n", cache_gb,
+                format_count(static_cast<std::uint64_t>(docs)).c_str());
+    std::printf("federation: %d peers, false-positive target %.2f%%\n\n", peers,
+                100 * fp_target);
+
+    std::printf("%-12s %8s %14s %18s %20s\n", "load factor", "best k", "P(fp)/summary",
+                "replica bytes", "all-peer DRAM");
+    std::uint32_t chosen_lf = 0;
+    unsigned chosen_k = 0;
+    for (const std::uint32_t lf : {4u, 8u, 12u, 16u, 24u, 32u}) {
+        const unsigned k = bloom_optimal_k(lf, 1.0);
+        const double fp = bloom_fp_approx(lf, 1.0, k);
+        const auto replica = static_cast<std::uint64_t>(docs * lf / 8.0);
+        std::printf("%-12u %8u %13.4f%% %18s %20s %s\n", lf, k, 100 * fp,
+                    format_bytes(replica).c_str(),
+                    format_bytes(replica * static_cast<std::uint64_t>(peers)).c_str(),
+                    (chosen_lf == 0 && fp <= fp_target) ? "<== first to meet target" : "");
+        if (chosen_lf == 0 && fp <= fp_target) {
+            chosen_lf = lf;
+            chosen_k = k;
+        }
+    }
+
+    if (chosen_lf == 0) {
+        std::printf("\nNo load factor up to 32 meets %.3f%%; need %.1f bits/doc.\n",
+                    100 * fp_target, bloom_bits_per_entry_for_fp(fp_target, 8));
+        return 1;
+    }
+
+    std::printf("\nRecommendation: load factor %u with %u hash functions "
+                "(paper's defaults: 8-16 bits/doc, k>=4).\n",
+                chosen_lf, chosen_k);
+
+    // Wire cost at the recommended 1% update threshold.
+    const double new_docs_per_update = 0.01 * docs;
+    const double flips = 4.0 * new_docs_per_update * 2.0;  // adds + evictions
+    const double update_bytes = static_cast<double>(kBloomUpdateHeaderBytes) +
+                                static_cast<double>(kBloomUpdatePerFlipBytes) * flips;
+    std::printf("At a 1%% update threshold each broadcast is ~%s per peer "
+                "(%s to all %d peers),\nsent once every ~%s new documents.\n",
+                format_bytes(static_cast<std::uint64_t>(update_bytes)).c_str(),
+                format_bytes(static_cast<std::uint64_t>(update_bytes * peers)).c_str(), peers,
+                format_count(static_cast<std::uint64_t>(new_docs_per_update)).c_str());
+    std::printf("Counter safety: Pr[any 4-bit counter overflows] <= %.2e.\n",
+                counter_overflow_bound(docs * chosen_lf, docs, chosen_k, 16));
+    return 0;
+}

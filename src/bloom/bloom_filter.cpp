@@ -1,0 +1,91 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/sc_assert.hpp"
+
+namespace sc {
+namespace {
+
+std::size_t word_count(std::uint32_t bits) { return (static_cast<std::size_t>(bits) + 63) / 64; }
+
+}  // namespace
+
+BloomFilter::BloomFilter(HashSpec spec) : spec_(spec), words_(word_count(spec.table_bits), 0) {
+    SC_ASSERT(spec_.valid());
+}
+
+BloomFilter::BloomFilter(HashSpec spec, std::vector<std::uint64_t> words)
+    : spec_(spec), words_(std::move(words)) {
+    SC_ASSERT(spec_.valid());
+    SC_ASSERT(words_.size() == word_count(spec_.table_bits));
+}
+
+void BloomFilter::insert(std::string_view key) {
+    for (std::uint32_t i : bloom_indexes(key, spec_)) set_bit(i, true);
+}
+
+bool BloomFilter::may_contain(std::string_view key) const {
+    const auto idx = bloom_indexes(key, spec_);
+    return may_contain(std::span<const std::uint32_t>(idx));
+}
+
+bool BloomFilter::may_contain(std::span<const std::uint32_t> indexes) const {
+    for (std::uint32_t i : indexes)
+        if (!test_bit(i)) return false;
+    return true;
+}
+
+bool BloomFilter::test_bit(std::uint32_t i) const {
+    SC_ASSERT(i < spec_.table_bits);
+    return (words_[i / 64] >> (i % 64)) & 1u;
+}
+
+void BloomFilter::set_bit(std::uint32_t i, bool value) {
+    SC_ASSERT(i < spec_.table_bits);
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    if (value)
+        words_[i / 64] |= mask;
+    else
+        words_[i / 64] &= ~mask;
+}
+
+std::uint64_t BloomFilter::popcount() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::uint64_t>(std::popcount(w));
+    return n;
+}
+
+double BloomFilter::fill_ratio() const {
+    return static_cast<double>(popcount()) / static_cast<double>(spec_.table_bits);
+}
+
+double BloomFilter::estimated_fp_rate() const {
+    return std::pow(fill_ratio(), static_cast<double>(spec_.function_num));
+}
+
+void BloomFilter::clear() {
+    for (auto& w : words_) w = 0;
+}
+
+void BloomFilter::assign_words(std::span<const std::uint64_t> words) {
+    SC_ASSERT(words.size() == words_.size());
+    words_.assign(words.begin(), words.end());
+}
+
+std::vector<std::uint32_t> BloomFilter::diff(const BloomFilter& other) const {
+    SC_ASSERT(spec_ == other.spec_);
+    std::vector<std::uint32_t> out;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        std::uint64_t x = words_[w] ^ other.words_[w];
+        while (x != 0) {
+            const int bit = std::countr_zero(x);
+            out.push_back(static_cast<std::uint32_t>(w * 64 + static_cast<std::size_t>(bit)));
+            x &= x - 1;
+        }
+    }
+    return out;
+}
+
+}  // namespace sc

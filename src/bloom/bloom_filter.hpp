@@ -1,0 +1,71 @@
+// Plain Bloom filter (Bloom 1970), as used for the *remote* copy of a
+// sibling proxy's summary: receivers only ever probe and apply bit flips,
+// so no counters are needed on this side.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "bloom/hash_spec.hpp"
+
+namespace sc {
+
+class BloomFilter {
+public:
+    /// An empty filter with all bits zero.
+    explicit BloomFilter(HashSpec spec);
+
+    /// Reconstruct from a received bit array (size must match spec).
+    BloomFilter(HashSpec spec, std::vector<std::uint64_t> words);
+
+    [[nodiscard]] const HashSpec& spec() const { return spec_; }
+    [[nodiscard]] std::uint32_t size_bits() const { return spec_.table_bits; }
+    [[nodiscard]] std::size_t size_bytes() const { return words_.size() * 8; }
+
+    /// Set all k positions for the key. Idempotent.
+    void insert(std::string_view key);
+
+    /// Probabilistic membership: false => definitely absent,
+    /// true => present with probability 1 - false-positive rate.
+    [[nodiscard]] bool may_contain(std::string_view key) const;
+
+    /// Same, for callers that have already computed the indexes.
+    [[nodiscard]] bool may_contain(std::span<const std::uint32_t> indexes) const;
+
+    [[nodiscard]] bool test_bit(std::uint32_t i) const;
+    void set_bit(std::uint32_t i, bool value);
+
+    /// Number of 1-bits (the fill that determines the live FP rate).
+    [[nodiscard]] std::uint64_t popcount() const;
+
+    /// Fraction of bits set, in [0, 1].
+    [[nodiscard]] double fill_ratio() const;
+
+    /// Observed false-positive probability implied by the fill ratio:
+    /// fill^k. (For a filter built from n keys this tracks the analytic
+    /// (1 - e^{-kn/m})^k closely.)
+    [[nodiscard]] double estimated_fp_rate() const;
+
+    void clear();
+
+    /// Raw word storage (little-endian bit order within each word);
+    /// used for full-bitmap summary transfers.
+    [[nodiscard]] std::span<const std::uint64_t> words() const { return words_; }
+
+    /// Replace contents from a received full bitmap.
+    void assign_words(std::span<const std::uint64_t> words);
+
+    /// Bit positions that differ from `other` (same spec required) —
+    /// handy for tests and for choosing delta vs full update encodings.
+    [[nodiscard]] std::vector<std::uint32_t> diff(const BloomFilter& other) const;
+
+    friend bool operator==(const BloomFilter&, const BloomFilter&) = default;
+
+private:
+    HashSpec spec_;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace sc

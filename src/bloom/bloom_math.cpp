@@ -1,0 +1,60 @@
+#include "bloom/bloom_math.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+double bloom_fp_exact(double m, double n, unsigned k) {
+    SC_ASSERT(m > 0 && n >= 0 && k >= 1);
+    // (1 - 1/m)^(k n) computed via exp/log1p for numerical stability.
+    const double zero_prob = std::exp(k * n * std::log1p(-1.0 / m));
+    return std::pow(1.0 - zero_prob, static_cast<double>(k));
+}
+
+double bloom_fp_approx(double m, double n, unsigned k) {
+    SC_ASSERT(m > 0 && n >= 0 && k >= 1);
+    return std::pow(1.0 - std::exp(-static_cast<double>(k) * n / m), static_cast<double>(k));
+}
+
+double bloom_optimal_k_real(double m, double n) {
+    SC_ASSERT(m > 0 && n > 0);
+    return std::numbers::ln2 * m / n;
+}
+
+unsigned bloom_optimal_k(double m, double n) {
+    const double kr = bloom_optimal_k_real(m, n);
+    const auto lo = static_cast<unsigned>(std::max(1.0, std::floor(kr)));
+    const unsigned hi = lo + 1;
+    return bloom_fp_approx(m, n, lo) <= bloom_fp_approx(m, n, hi) ? lo : hi;
+}
+
+double bloom_min_fp(double bits_per_entry) {
+    SC_ASSERT(bits_per_entry > 0);
+    const unsigned k = bloom_optimal_k(bits_per_entry, 1.0);
+    return bloom_fp_approx(bits_per_entry, 1.0, k);
+}
+
+double counter_overflow_bound(double m, double n, unsigned k, unsigned j) {
+    SC_ASSERT(m > 0 && n >= 0 && k >= 1 && j >= 1);
+    const double e = std::exp(1.0);
+    return m * std::pow(e * n * k / (static_cast<double>(j) * m), static_cast<double>(j));
+}
+
+double bloom_expected_set_bits(double m, double n, unsigned k) {
+    SC_ASSERT(m > 0 && n >= 0 && k >= 1);
+    return m * (1.0 - std::exp(k * n * std::log1p(-1.0 / m)));
+}
+
+double bloom_bits_per_entry_for_fp(double p, unsigned k) {
+    SC_ASSERT(p > 0 && p < 1 && k >= 1);
+    // Invert p = (1 - e^{-k/r})^k for r = bits per entry.
+    const double inner = 1.0 - std::pow(p, 1.0 / static_cast<double>(k));
+    if (inner <= 0.0) return std::numeric_limits<double>::infinity();
+    return -static_cast<double>(k) / std::log(inner);
+}
+
+}  // namespace sc

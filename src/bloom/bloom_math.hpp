@@ -1,0 +1,41 @@
+// Analytic formulas from Section V-C of the paper: false-positive
+// probability of a Bloom filter, the optimal number of hash functions, and
+// the counter-overflow bounds that justify 4-bit counters.
+#pragma once
+
+#include <cstdint>
+
+namespace sc {
+
+/// Exact probability that a membership probe of a non-member returns true
+/// after n keys were inserted into m bits with k hash functions:
+///     (1 - (1 - 1/m)^(k n))^k
+[[nodiscard]] double bloom_fp_exact(double m, double n, unsigned k);
+
+/// The standard approximation (1 - e^{-k n / m})^k.
+[[nodiscard]] double bloom_fp_approx(double m, double n, unsigned k);
+
+/// Real-valued k that minimizes the false-positive rate: ln(2) * m / n.
+[[nodiscard]] double bloom_optimal_k_real(double m, double n);
+
+/// Integral k (>= 1) minimizing the exact false-positive probability.
+[[nodiscard]] unsigned bloom_optimal_k(double m, double n);
+
+/// Minimum achievable FP rate at load factor m/n (using the optimal
+/// integral k): useful for sizing tables given an FP budget.
+[[nodiscard]] double bloom_min_fp(double bits_per_entry);
+
+/// Upper bound on Pr[some counter >= j] after inserting n keys with k hash
+/// functions into m counters (paper Section V-C, from Knuth):
+///     m * (e n k / (j m))^j
+[[nodiscard]] double counter_overflow_bound(double m, double n, unsigned k, unsigned j);
+
+/// Expected number of distinct bits set after n insertions with k functions
+/// into m bits: m * (1 - (1 - 1/m)^(k n)).
+[[nodiscard]] double bloom_expected_set_bits(double m, double n, unsigned k);
+
+/// Bits required per entry so that the FP rate with k functions is <= p.
+/// Returns +inf if k functions can never reach p.
+[[nodiscard]] double bloom_bits_per_entry_for_fp(double p, unsigned k);
+
+}  // namespace sc

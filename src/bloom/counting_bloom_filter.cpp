@@ -1,0 +1,80 @@
+#include "bloom/counting_bloom_filter.hpp"
+
+#include <algorithm>
+
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+CountingBloomFilter::CountingBloomFilter(HashSpec spec, unsigned counter_bits)
+    : spec_(spec),
+      counter_bits_(counter_bits),
+      counter_max_(static_cast<std::uint8_t>((1u << counter_bits) - 1)),
+      counters_(spec.table_bits, 0),
+      bits_(spec) {
+    SC_ASSERT(spec_.valid());
+    SC_ASSERT(counter_bits >= 1 && counter_bits <= 8);
+}
+
+void CountingBloomFilter::insert(std::string_view key) {
+    for (std::uint32_t i : bloom_indexes(key, spec_)) {
+        std::uint8_t& c = counters_[i];
+        if (c == counter_max_) {
+            ++overflows_;
+            continue;  // saturated: stays pinned at max forever
+        }
+        if (c == 0) {
+            bits_.set_bit(i, true);
+            delta_.record({i, true});
+        }
+        ++c;
+    }
+}
+
+void CountingBloomFilter::erase(std::string_view key) {
+    for (std::uint32_t i : bloom_indexes(key, spec_)) {
+        std::uint8_t& c = counters_[i];
+        if (c == counter_max_) continue;  // pinned — never decremented
+        if (c == 0) {
+            ++underflows_;
+            continue;
+        }
+        --c;
+        if (c == 0) {
+            bits_.set_bit(i, false);
+            delta_.record({i, false});
+        }
+    }
+}
+
+bool CountingBloomFilter::may_contain(std::string_view key) const {
+    for (std::uint32_t i : bloom_indexes(key, spec_))
+        if (counters_[i] == 0) return false;
+    return true;
+}
+
+std::uint8_t CountingBloomFilter::counter(std::uint32_t i) const {
+    SC_ASSERT(i < spec_.table_bits);
+    return counters_[i];
+}
+
+DeltaLog CountingBloomFilter::take_delta() {
+    delta_.compact();
+    DeltaLog out = std::move(delta_);
+    delta_ = DeltaLog{};
+    return out;
+}
+
+std::uint8_t CountingBloomFilter::max_counter() const {
+    return counters_.empty() ? 0 : *std::max_element(counters_.begin(), counters_.end());
+}
+
+void CountingBloomFilter::clear() {
+    std::fill(counters_.begin(), counters_.end(), 0);
+    bits_.clear();
+    delta_.clear();
+    overflows_ = 0;
+    underflows_ = 0;
+}
+
+}  // namespace sc

@@ -1,0 +1,78 @@
+// Counting Bloom filter — the structure this paper introduced (Section V-C).
+//
+// A proxy maintains its *own* summary as an array of small counters so that
+// cache replacements (deletions) are supported: inserting a key increments
+// the k counters it hashes to, deleting decrements them, and the derived
+// bit array has bit i set iff counter i is non-zero. Counters saturate at
+// their maximum (the paper recommends 4-bit counters saturating at 15): a
+// saturated counter is never decremented again, trading a vanishing
+// probability of a future false negative for overflow safety.
+//
+// Every 0->1 and 1->0 transition of the derived bit array is appended to a
+// DeltaLog, which is exactly the stream of updates SC-ICP broadcasts.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/delta_log.hpp"
+#include "bloom/hash_spec.hpp"
+
+namespace sc {
+
+class CountingBloomFilter {
+public:
+    /// counter_bits in [1, 8]; the paper uses 4.
+    explicit CountingBloomFilter(HashSpec spec, unsigned counter_bits = 4);
+
+    [[nodiscard]] const HashSpec& spec() const { return spec_; }
+    [[nodiscard]] unsigned counter_bits() const { return counter_bits_; }
+    [[nodiscard]] std::uint8_t counter_max() const { return counter_max_; }
+
+    /// Increment the key's counters (saturating). Records any 0->1 bit
+    /// transitions in the delta log.
+    void insert(std::string_view key);
+
+    /// Decrement the key's counters. Saturated counters stay saturated.
+    /// Records any 1->0 bit transitions. Deleting a key that was never
+    /// inserted is a caller bug; counters already at zero are left at zero
+    /// and counted in underflow_events() so tests can detect misuse.
+    void erase(std::string_view key);
+
+    [[nodiscard]] bool may_contain(std::string_view key) const;
+
+    [[nodiscard]] std::uint8_t counter(std::uint32_t i) const;
+
+    /// The derived plain filter (bit i == counter i non-zero), kept in sync
+    /// incrementally. This is what gets broadcast to siblings.
+    [[nodiscard]] const BloomFilter& bits() const { return bits_; }
+
+    /// Flips accumulated since the last take_delta(). The log is compacted
+    /// (superseded records dropped) before being returned.
+    [[nodiscard]] DeltaLog take_delta();
+    [[nodiscard]] std::size_t pending_delta_size() const { return delta_.size(); }
+
+    /// Number of counters that have ever saturated (stuck at max).
+    [[nodiscard]] std::uint64_t overflow_events() const { return overflows_; }
+    /// Number of decrements that hit an already-zero counter.
+    [[nodiscard]] std::uint64_t underflow_events() const { return underflows_; }
+    /// Largest counter value currently in the table.
+    [[nodiscard]] std::uint8_t max_counter() const;
+
+    void clear();
+
+private:
+    HashSpec spec_;
+    unsigned counter_bits_;
+    std::uint8_t counter_max_;
+    std::vector<std::uint8_t> counters_;  // one byte per counter for speed;
+                                          // width is enforced by saturation
+    BloomFilter bits_;
+    DeltaLog delta_;
+    std::uint64_t overflows_ = 0;
+    std::uint64_t underflows_ = 0;
+};
+
+}  // namespace sc

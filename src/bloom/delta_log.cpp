@@ -1,0 +1,31 @@
+#include "bloom/delta_log.hpp"
+
+#include <unordered_map>
+
+namespace sc {
+
+std::size_t DeltaLog::compact() {
+    std::unordered_map<std::uint32_t, std::size_t> last;  // index -> position in out
+    std::vector<BitFlip> out;
+    out.reserve(flips_.size());
+    for (const BitFlip& f : flips_) {
+        if (auto it = last.find(f.index); it != last.end()) {
+            out[it->second].value = f.value;
+        } else {
+            last.emplace(f.index, out.size());
+            out.push_back(f);
+        }
+    }
+    const std::size_t removed = flips_.size() - out.size();
+    flips_ = std::move(out);
+    return removed;
+}
+
+std::vector<std::uint32_t> DeltaLog::encode() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(flips_.size());
+    for (const BitFlip& f : flips_) out.push_back(encode_bit_flip(f));
+    return out;
+}
+
+}  // namespace sc

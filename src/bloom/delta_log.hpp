@@ -1,0 +1,62 @@
+// Bit-flip records for incremental summary updates (paper Section VI-A).
+//
+// Each record is one 32-bit integer: the most significant bit carries the
+// *new value* of the bit and the low 31 bits carry its index. Encoding the
+// absolute value (rather than "flip") makes updates idempotent, so they can
+// be carried over an unreliable transport: losing an earlier message cannot
+// invert the meaning of a later one. This caps the table size at 2^31 bits,
+// which the paper notes is "for the time being large enough".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+struct BitFlip {
+    std::uint32_t index = 0;
+    bool value = false;
+
+    friend bool operator==(const BitFlip&, const BitFlip&) = default;
+};
+
+inline constexpr std::uint32_t kBitFlipIndexMask = 0x7fffffffu;
+inline constexpr std::uint32_t kBitFlipValueBit = 0x80000000u;
+
+[[nodiscard]] constexpr std::uint32_t encode_bit_flip(BitFlip f) {
+    SC_ASSERT(f.index <= kBitFlipIndexMask);
+    return (f.value ? kBitFlipValueBit : 0u) | f.index;
+}
+
+[[nodiscard]] constexpr BitFlip decode_bit_flip(std::uint32_t raw) {
+    return BitFlip{raw & kBitFlipIndexMask, (raw & kBitFlipValueBit) != 0};
+}
+
+/// Accumulates the flips since the last summary broadcast. Appending the
+/// opposite value for an index supersedes the earlier record lazily: we
+/// keep both and let compact() collapse them, since in the common case a
+/// bit rarely toggles twice between updates.
+class DeltaLog {
+public:
+    void record(BitFlip f) { flips_.push_back(f); }
+
+    [[nodiscard]] const std::vector<BitFlip>& flips() const { return flips_; }
+    [[nodiscard]] std::size_t size() const { return flips_.size(); }
+    [[nodiscard]] bool empty() const { return flips_.empty(); }
+
+    /// Drop superseded records, keeping only the last value per index
+    /// (in first-touch order). Returns the number of records removed.
+    std::size_t compact();
+
+    void clear() { flips_.clear(); }
+
+    /// Wire encoding: one 32-bit word per record.
+    [[nodiscard]] std::vector<std::uint32_t> encode() const;
+
+private:
+    std::vector<BitFlip> flips_;
+};
+
+}  // namespace sc

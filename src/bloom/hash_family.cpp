@@ -1,0 +1,129 @@
+#include "bloom/hash_family.hpp"
+
+#include <array>
+
+#include "util/rng.hpp"
+#include "util/sc_assert.hpp"
+
+namespace sc {
+namespace {
+
+// Low 64 bits of the irreducible polynomial x^64 + x^4 + x^3 + x + 1.
+constexpr std::uint64_t kRabinPoly = 0x1b;
+
+// T[t] = t(x) * x^64 mod P(x): the reduction of the byte shifted out of
+// the top of the fingerprint.
+const std::array<std::uint64_t, 256>& rabin_table() {
+    static const std::array<std::uint64_t, 256> table = [] {
+        std::array<std::uint64_t, 256> t{};
+        for (std::uint32_t b = 0; b < 256; ++b) {
+            std::uint64_t r = b;
+            for (int shift = 0; shift < 64; ++shift) {
+                const bool carry = (r >> 63) & 1;
+                r <<= 1;
+                if (carry) r ^= kRabinPoly;
+            }
+            t[b] = r;
+        }
+        return t;
+    }();
+    return table;
+}
+
+// Deterministic odd multipliers / offsets for derived hash functions.
+std::uint64_t derived_multiplier(unsigned i) {
+    std::uint64_t seed = 0x5ca1ab1e00000000ull + i;
+    return splitmix64(seed) | 1;  // odd
+}
+
+std::uint64_t derived_offset(unsigned i) {
+    std::uint64_t seed = 0x0ddba11000000000ull + i;
+    return splitmix64(seed);
+}
+
+class Md5Hasher final : public UrlHasher {
+public:
+    void indexes(std::string_view key, const HashSpec& spec,
+                 std::vector<std::uint32_t>& out) const override {
+        const auto idx = bloom_indexes(key, spec);
+        out.insert(out.end(), idx.begin(), idx.end());
+    }
+    [[nodiscard]] HashFamily family() const override { return HashFamily::md5; }
+};
+
+class LinearHasher final : public UrlHasher {
+public:
+    void indexes(std::string_view key, const HashSpec& spec,
+                 std::vector<std::uint32_t>& out) const override {
+        SC_ASSERT(spec.valid());
+        const std::uint64_t h = fnv1a32(key);
+        for (unsigned i = 0; i < spec.function_num; ++i) {
+            const std::uint64_t v = derived_multiplier(i) * h + derived_offset(i);
+            out.push_back(static_cast<std::uint32_t>((v >> 13) % spec.table_bits));
+        }
+    }
+    [[nodiscard]] HashFamily family() const override { return HashFamily::linear; }
+};
+
+class RabinHasher final : public UrlHasher {
+public:
+    void indexes(std::string_view key, const HashSpec& spec,
+                 std::vector<std::uint32_t>& out) const override {
+        SC_ASSERT(spec.valid());
+        const std::uint64_t f = rabin_fingerprint(key);
+        for (unsigned i = 0; i < spec.function_num; ++i) {
+            const std::uint64_t v = derived_multiplier(i ^ 0x80) * f;
+            out.push_back(static_cast<std::uint32_t>((v >> 21) % spec.table_bits));
+        }
+    }
+    [[nodiscard]] HashFamily family() const override { return HashFamily::rabin; }
+};
+
+}  // namespace
+
+const char* hash_family_name(HashFamily family) {
+    switch (family) {
+        case HashFamily::md5: return "md5";
+        case HashFamily::linear: return "linear";
+        case HashFamily::rabin: return "rabin";
+    }
+    return "?";
+}
+
+std::vector<std::uint32_t> UrlHasher::operator()(std::string_view key,
+                                                 const HashSpec& spec) const {
+    std::vector<std::uint32_t> out;
+    out.reserve(spec.function_num);
+    indexes(key, spec, out);
+    return out;
+}
+
+std::unique_ptr<UrlHasher> make_hasher(HashFamily family) {
+    switch (family) {
+        case HashFamily::md5: return std::make_unique<Md5Hasher>();
+        case HashFamily::linear: return std::make_unique<LinearHasher>();
+        case HashFamily::rabin: return std::make_unique<RabinHasher>();
+    }
+    return nullptr;
+}
+
+std::uint64_t rabin_fingerprint(std::string_view data) {
+    const auto& table = rabin_table();
+    std::uint64_t f = 0;
+    for (const char c : data) {
+        const auto top = static_cast<std::uint8_t>(f >> 56);
+        f = (f << 8) ^ static_cast<std::uint8_t>(c) ^ table[top];
+    }
+    return f;
+}
+
+std::uint32_t fnv1a32(std::string_view data) {
+    std::uint32_t h = 0x811c9dc5u;
+    for (const char c : data) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x01000193u;
+    }
+    return h;
+}
+
+}  // namespace sc

@@ -1,0 +1,63 @@
+// Alternative hash families for Bloom summaries (paper Section V-D).
+//
+// The protocol's default is MD5 (well-studied, and not efficiently
+// invertible, so clients cannot craft URLs that collide on purpose). The
+// paper notes two faster alternatives and their trade-off:
+//
+//   * linear  — one 32-bit base hash, further functions from random linear
+//     transformations of it ("a simple hash function can be used to
+//     generate, say 32 bits, and further bits can be obtained by taking
+//     random linear transformations of these 32 bits");
+//   * rabin   — Rabin's fingerprinting method: the key as a polynomial
+//     over GF(2) reduced modulo a fixed irreducible polynomial.
+//
+// Both are "efficiently invertible (one can easily build an URL that
+// hashes to a particular location), a fact that might be used by
+// malicious users" — which is why they stay off the wire protocol and are
+// offered for closed deployments only. bench/repro_hash_ablation
+// quantifies the speed/false-positive trade.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "bloom/hash_spec.hpp"
+
+namespace sc {
+
+enum class HashFamily {
+    md5,     ///< the protocol default (Section VI-A wire format)
+    linear,  ///< FNV-1a base + random linear transformations
+    rabin,   ///< 64-bit Rabin fingerprint + multiply-shift derivations
+};
+
+[[nodiscard]] const char* hash_family_name(HashFamily family);
+
+/// Strategy interface: derive the k bit-array indexes for a key.
+class UrlHasher {
+public:
+    virtual ~UrlHasher() = default;
+
+    /// Append spec.function_num indexes (each < spec.table_bits) to out.
+    virtual void indexes(std::string_view key, const HashSpec& spec,
+                         std::vector<std::uint32_t>& out) const = 0;
+
+    [[nodiscard]] virtual HashFamily family() const = 0;
+
+    /// Convenience wrapper.
+    [[nodiscard]] std::vector<std::uint32_t> operator()(std::string_view key,
+                                                        const HashSpec& spec) const;
+};
+
+[[nodiscard]] std::unique_ptr<UrlHasher> make_hasher(HashFamily family);
+
+/// 64-bit Rabin fingerprint of `data` modulo the fixed irreducible
+/// polynomial x^64 + x^4 + x^3 + x + 1 (table-driven, byte at a time).
+[[nodiscard]] std::uint64_t rabin_fingerprint(std::string_view data);
+
+/// 32-bit FNV-1a (the "simple hash function" base for the linear family).
+[[nodiscard]] std::uint32_t fnv1a32(std::string_view data);
+
+}  // namespace sc

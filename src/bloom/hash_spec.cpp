@@ -1,0 +1,59 @@
+#include "bloom/hash_spec.hpp"
+
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+bool HashSpec::valid() const {
+    if (function_num < 1 || function_bits < 1 || function_bits > 64 || table_bits < 1)
+        return false;
+    // The index space 2^function_bits must be able to address the table;
+    // otherwise high slots could never be hit.
+    if (function_bits < 64 && (std::uint64_t{1} << function_bits) < table_bits) return false;
+    return true;
+}
+
+Md5BitStream::Md5BitStream(std::string_view key) : key_(key) {}
+
+void Md5BitStream::refill() {
+    // round_ == 0 hashes key, round_ == 1 hashes key+key, etc.
+    ++round_;
+    Md5 ctx;
+    for (unsigned i = 0; i < round_; ++i) ctx.update(key_);
+    digest_ = ctx.finish();
+    bit_pos_ = 0;
+}
+
+std::uint64_t Md5BitStream::take(unsigned bits) {
+    SC_ASSERT(bits >= 1 && bits <= 64);
+    std::uint64_t out = 0;
+    unsigned got = 0;
+    while (got < bits) {
+        if (bit_pos_ >= 128) refill();
+        // Pull from the current digest one byte-aligned chunk at a time.
+        const unsigned byte = bit_pos_ / 8;
+        const unsigned off = bit_pos_ % 8;
+        const unsigned avail = 8 - off;
+        const unsigned want = std::min(avail, bits - got);
+        const auto chunk =
+            static_cast<std::uint64_t>((digest_.bytes[byte] >> off) & ((1u << want) - 1u));
+        out |= chunk << got;
+        got += want;
+        bit_pos_ += want;
+    }
+    return out;
+}
+
+std::vector<std::uint32_t> bloom_indexes(std::string_view key, const HashSpec& spec) {
+    SC_ASSERT(spec.valid());
+    std::vector<std::uint32_t> idx;
+    idx.reserve(spec.function_num);
+    Md5BitStream stream(key);
+    for (unsigned i = 0; i < spec.function_num; ++i) {
+        const std::uint64_t raw = stream.take(spec.function_bits);
+        idx.push_back(static_cast<std::uint32_t>(raw % spec.table_bits));
+    }
+    return idx;
+}
+
+}  // namespace sc

@@ -1,0 +1,57 @@
+// Hash-function family of the SC-ICP protocol (paper Section VI-A).
+//
+// A summary's hash functions are fully described by three integers that
+// travel in every ICP_OP_DIRUPDATE header, so any receiver can verify and
+// probe the filter:
+//   * function_num  — number of hash functions k,
+//   * function_bits — bits taken from the MD5 stream per function,
+//   * table_bits    — size m of the bit array (indices are mod m).
+//
+// Function i takes bits [i*function_bits, (i+1)*function_bits) out of
+// MD5(URL); when 128 bits are exhausted, further bits come from
+// MD5(URL + URL), then MD5(URL + URL + URL), and so on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/md5.hpp"
+
+namespace sc {
+
+struct HashSpec {
+    std::uint16_t function_num = 4;    ///< k — number of hash functions
+    std::uint16_t function_bits = 32;  ///< bits consumed per function
+    std::uint32_t table_bits = 0;      ///< m — bit-array size
+
+    friend bool operator==(const HashSpec&, const HashSpec&) = default;
+
+    /// True when the parameters are usable (k >= 1, 1 <= bits <= 64, m >= 1,
+    /// and m fits in function_bits so indices can cover the whole table).
+    [[nodiscard]] bool valid() const;
+};
+
+/// Incremental extractor of fixed-width bit groups from the MD5 stream
+/// MD5(key), MD5(key+key), ... — the paper's recipe for generating an
+/// unbounded number of hash functions from one signature.
+class Md5BitStream {
+public:
+    explicit Md5BitStream(std::string_view key);
+
+    /// Next `bits` bits (1..64) as the low bits of the result.
+    std::uint64_t take(unsigned bits);
+
+private:
+    void refill();
+
+    std::string key_;
+    Md5Digest digest_{};
+    unsigned bit_pos_ = 128;  // forces a refill on first take
+    unsigned round_ = 0;      // how many key copies have been hashed
+};
+
+/// All k bit-array indices for `key` under `spec`.
+[[nodiscard]] std::vector<std::uint32_t> bloom_indexes(std::string_view key,
+                                                       const HashSpec& spec);
+
+}  // namespace sc

@@ -1,0 +1,41 @@
+#include "cache/infinite_cache.hpp"
+
+namespace sc {
+
+void InfiniteCacheStats::add_request(std::string_view url, std::uint64_t size,
+                                     std::uint64_t version) {
+    ++requests_;
+    request_bytes_ += size;
+    const auto [it, inserted] = docs_.try_emplace(std::string(url), Doc{size, version});
+    if (inserted) {
+        unique_bytes_ += size;
+        return;  // cold miss
+    }
+    if (it->second.version != version) {
+        // Modified document: miss; the new body replaces the old unique copy.
+        unique_bytes_ += size - std::min(size, it->second.size);
+        if (size > it->second.size) {
+            // grew: already accounted above
+        } else {
+            // shrank or equal: infinite cache keeps the newest body; we
+            // keep unique_bytes as the max concurrent footprint, which the
+            // paper's "total size of unique documents" effectively is.
+        }
+        it->second = Doc{size, version};
+        return;
+    }
+    ++hits_;
+    hit_bytes_ += size;
+}
+
+double InfiniteCacheStats::max_hit_ratio() const {
+    return requests_ == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(requests_);
+}
+
+double InfiniteCacheStats::max_byte_hit_ratio() const {
+    return request_bytes_ == 0
+               ? 0.0
+               : static_cast<double>(hit_bytes_) / static_cast<double>(request_bytes_);
+}
+
+}  // namespace sc

@@ -1,0 +1,53 @@
+// Infinite-cache accounting used for Table I of the paper: the "infinite
+// cache size" is the total bytes of unique documents in a trace (the
+// smallest cache that never replaces), and the maximum hit / byte-hit
+// ratios are what a cache of that size achieves under perfect consistency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sc {
+
+class InfiniteCacheStats {
+public:
+    /// Feed one request. `version` models the last-modified stamp: a
+    /// repeat request with a different version counts as a miss (document
+    /// modification), exactly like the paper's consistency rule.
+    void add_request(std::string_view url, std::uint64_t size, std::uint64_t version);
+
+    [[nodiscard]] std::uint64_t requests() const { return requests_; }
+    [[nodiscard]] std::uint64_t hits() const { return hits_; }
+    [[nodiscard]] std::uint64_t request_bytes() const { return request_bytes_; }
+    [[nodiscard]] std::uint64_t hit_bytes() const { return hit_bytes_; }
+
+    /// Total bytes of unique (url, version) bodies = the infinite cache size.
+    [[nodiscard]] std::uint64_t infinite_cache_bytes() const { return unique_bytes_; }
+    [[nodiscard]] std::uint64_t unique_documents() const { return docs_.size(); }
+
+    [[nodiscard]] double max_hit_ratio() const;
+    [[nodiscard]] double max_byte_hit_ratio() const;
+
+    /// Track the set of distinct clients seen (for the Table I column).
+    void add_client(std::uint32_t client_id) { clients_.insert(client_id); }
+    [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+
+private:
+    struct Doc {
+        std::uint64_t size;
+        std::uint64_t version;
+    };
+
+    std::unordered_map<std::string, Doc> docs_;
+    std::unordered_set<std::uint32_t> clients_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t request_bytes_ = 0;
+    std::uint64_t hit_bytes_ = 0;
+    std::uint64_t unique_bytes_ = 0;
+};
+
+}  // namespace sc

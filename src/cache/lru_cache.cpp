@@ -1,0 +1,89 @@
+#include "cache/lru_cache.hpp"
+
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+LruCache::LruCache(LruCacheConfig config) : config_(config) {
+    SC_ASSERT(config_.capacity_bytes > 0);
+}
+
+LruCache::Lookup LruCache::lookup(std::string_view url, std::uint64_t version) {
+    const auto it = index_.find(url);
+    if (it == index_.end()) return Lookup::miss_absent;
+    if (it->second->version != version) {
+        // Perfect-consistency model: a changed document is a miss and the
+        // stale copy leaves the cache (the caller re-fetches and re-inserts).
+        remove(it->second, /*is_eviction=*/false);
+        return Lookup::miss_changed;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    return Lookup::hit;
+}
+
+bool LruCache::contains(std::string_view url) const { return index_.contains(url); }
+
+std::optional<std::uint64_t> LruCache::cached_version(std::string_view url) const {
+    const auto it = index_.find(url);
+    if (it == index_.end()) return std::nullopt;
+    return it->second->version;
+}
+
+bool LruCache::insert(std::string_view url, std::uint64_t size, std::uint64_t version) {
+    if (size > config_.max_object_bytes || size > config_.capacity_bytes) return false;
+    if (const auto it = index_.find(url); it != index_.end()) {
+        // Refresh in place: adjust bytes, update version, promote.
+        used_bytes_ -= it->second->size;
+        it->second->size = size;
+        it->second->version = version;
+        order_.splice(order_.begin(), order_, it->second);
+        evict_until_fits(size);
+        used_bytes_ += size;
+        return true;
+    }
+    evict_until_fits(size);
+    order_.push_front(Entry{std::string(url), size, version});
+    index_.emplace(std::string_view(order_.front().url), order_.begin());
+    used_bytes_ += size;
+    if (on_insert_) on_insert_(order_.front());
+    return true;
+}
+
+void LruCache::touch(std::string_view url) {
+    if (const auto it = index_.find(url); it != index_.end())
+        order_.splice(order_.begin(), order_, it->second);
+}
+
+bool LruCache::erase(std::string_view url) {
+    const auto it = index_.find(url);
+    if (it == index_.end()) return false;
+    remove(it->second, /*is_eviction=*/false);
+    return true;
+}
+
+const LruCache::Entry* LruCache::peek(std::string_view url) const {
+    const auto it = index_.find(url);
+    return it == index_.end() ? nullptr : &*it->second;
+}
+
+const LruCache::Entry* LruCache::lru_entry() const {
+    return order_.empty() ? nullptr : &order_.back();
+}
+
+void LruCache::remove(List::iterator it, bool is_eviction) {
+    if (is_eviction) ++evictions_;
+    if (on_remove_) on_remove_(*it);
+    used_bytes_ -= it->size;
+    index_.erase(std::string_view(it->url));
+    order_.erase(it);
+}
+
+void LruCache::evict_until_fits(std::uint64_t incoming) {
+    SC_ASSERT(incoming <= config_.capacity_bytes);
+    while (used_bytes_ + incoming > config_.capacity_bytes) {
+        SC_ASSERT(!order_.empty());
+        remove(std::prev(order_.end()), /*is_eviction=*/true);
+    }
+}
+
+}  // namespace sc

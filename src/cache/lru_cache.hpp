@@ -1,0 +1,110 @@
+// Proxy document cache with the replacement policy of Section II:
+// least-recently-used eviction under a byte capacity, documents larger
+// than 250 KB never cached, and perfect consistency modeled by treating a
+// hit on a document whose last-modified stamp (version) changed as a miss.
+//
+// Eviction/insert/erase hooks let the owning proxy mirror the directory
+// into its counting Bloom filter or other summary representation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace sc {
+
+/// 250 KB in the paper's sense (decimal kilobytes, as proxies configured).
+inline constexpr std::uint64_t kDefaultMaxObjectBytes = 250'000;
+
+struct LruCacheConfig {
+    std::uint64_t capacity_bytes = 0;
+    std::uint64_t max_object_bytes = kDefaultMaxObjectBytes;
+};
+
+class LruCache {
+public:
+    enum class Lookup {
+        hit,              ///< present with matching version
+        miss_absent,      ///< not in cache
+        miss_changed,     ///< present but version differs (stale; evicted)
+    };
+
+    struct Entry {
+        std::string url;
+        std::uint64_t size = 0;
+        std::uint64_t version = 0;
+    };
+
+    /// Called with the entry being removed. `evicted` fires only for
+    /// capacity evictions; `removed` fires for every removal (evictions,
+    /// explicit erase, stale replacement).
+    using RemovalHook = std::function<void(const Entry&)>;
+
+    explicit LruCache(LruCacheConfig config);
+
+    /// Look up `url` expecting `version`; promotes to MRU on hit. A version
+    /// mismatch removes the stale entry and reports miss_changed.
+    Lookup lookup(std::string_view url, std::uint64_t version);
+
+    /// Does the directory contain the URL (any version)? No promotion.
+    [[nodiscard]] bool contains(std::string_view url) const;
+
+    /// Version of a cached URL, if present. No promotion.
+    [[nodiscard]] std::optional<std::uint64_t> cached_version(std::string_view url) const;
+
+    /// Entry for a cached URL (any version), or nullptr. No promotion;
+    /// the pointer is invalidated by the next mutating call.
+    [[nodiscard]] const Entry* peek(std::string_view url) const;
+
+    /// Insert (or refresh) a document as MRU, evicting LRU entries as
+    /// needed. Returns false — and caches nothing — if the document
+    /// exceeds max_object_bytes or the total capacity.
+    bool insert(std::string_view url, std::uint64_t size, std::uint64_t version);
+
+    /// Promote an entry to MRU without a version check (the single-copy
+    /// sharing scheme does this on remote hits instead of copying).
+    void touch(std::string_view url);
+
+    /// Remove an entry if present. Returns true if something was removed.
+    bool erase(std::string_view url);
+
+    void set_removal_hook(RemovalHook hook) { on_remove_ = std::move(hook); }
+    void set_insert_hook(std::function<void(const Entry&)> hook) { on_insert_ = std::move(hook); }
+
+    [[nodiscard]] std::uint64_t used_bytes() const { return used_bytes_; }
+    [[nodiscard]] std::uint64_t capacity_bytes() const { return config_.capacity_bytes; }
+    [[nodiscard]] std::size_t document_count() const { return index_.size(); }
+    [[nodiscard]] const LruCacheConfig& config() const { return config_; }
+
+    /// Least-recently-used entry (eviction candidate), if any.
+    [[nodiscard]] const Entry* lru_entry() const;
+
+    /// Iterate all entries from MRU to LRU.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        for (const Entry& e : order_) fn(e);
+    }
+
+    /// Cumulative eviction count (capacity pressure indicator).
+    [[nodiscard]] std::uint64_t eviction_count() const { return evictions_; }
+
+private:
+    using List = std::list<Entry>;
+
+    void remove(List::iterator it, bool is_eviction);
+    void evict_until_fits(std::uint64_t incoming);
+
+    LruCacheConfig config_;
+    List order_;  // front = MRU, back = LRU
+    std::unordered_map<std::string_view, List::iterator> index_;  // keys view into list nodes
+    std::uint64_t used_bytes_ = 0;
+    std::uint64_t evictions_ = 0;
+    RemovalHook on_remove_;
+    std::function<void(const Entry&)> on_insert_;
+};
+
+}  // namespace sc

@@ -1,0 +1,164 @@
+#include "core/summary_cache_node.hpp"
+
+#include <algorithm>
+
+#include "summary/bloom_summary.hpp"
+#include "util/sc_assert.hpp"
+
+namespace sc {
+namespace {
+
+HashSpec spec_for(const SummaryCacheNodeConfig& config) {
+    HashSpec spec;
+    spec.function_num = config.bloom.hash_functions;
+    spec.function_bits = 32;
+    spec.table_bits = bloom_table_bits(config.expected_docs, config.bloom.load_factor);
+    return spec;
+}
+
+/// Repack the filter's 64-bit words into the wire's big-endian 32-bit words.
+std::vector<std::uint32_t> bitmap_words_of(const BloomFilter& filter) {
+    const std::size_t n32 = (filter.spec().table_bits + 31) / 32;
+    std::vector<std::uint32_t> out(n32, 0);
+    const auto words = filter.words();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const std::uint64_t w64 = words[i / 2];
+        out[i] = static_cast<std::uint32_t>((i % 2 == 0) ? w64 : (w64 >> 32));
+    }
+    return out;
+}
+
+void apply_bitmap_words(BloomFilter& filter, std::span<const std::uint32_t> words32) {
+    std::vector<std::uint64_t> w64((filter.spec().table_bits + 63) / 64, 0);
+    for (std::size_t i = 0; i < words32.size(); ++i) {
+        if (i % 2 == 0)
+            w64[i / 2] |= words32[i];
+        else
+            w64[i / 2] |= static_cast<std::uint64_t>(words32[i]) << 32;
+    }
+    filter.assign_words(w64);
+}
+
+}  // namespace
+
+SummaryCacheNode::SummaryCacheNode(SummaryCacheNodeConfig config)
+    : config_(config),
+      counting_(spec_for(config), config.bloom.counter_bits),
+      policy_(config.update_threshold) {}
+
+void SummaryCacheNode::on_cache_insert(std::string_view url) {
+    counting_.insert(url);
+    policy_.on_new_document();
+}
+
+void SummaryCacheNode::on_cache_erase(std::string_view url) { counting_.erase(url); }
+
+std::vector<std::vector<std::uint8_t>> SummaryCacheNode::poll_updates() {
+    if (!policy_.should_publish(std::max<std::uint64_t>(directory_docs_, 1))) return {};
+    DeltaLog delta = counting_.take_delta();
+    policy_.on_published();
+    if (delta.empty()) return {};
+
+    // Delta vs full bitmap: pick the smaller wire encoding (Section VI-A;
+    // the Squid cache-digest variant always sends the full array).
+    const std::size_t delta_bytes = kIcpHeaderBytes + 12 + 4 * delta.size();
+    const std::size_t full_bytes =
+        kIcpHeaderBytes + 12 + 4 * ((counting_.spec().table_bits + 31) / 32);
+    std::vector<std::vector<std::uint8_t>> out;
+    if (full_bytes < delta_bytes && full_bytes <= kMaxIcpDatagram) {
+        out.push_back(encode_full_update());
+    } else {
+        out = encode_delta_chunks(delta);
+    }
+    updates_sent_ += out.size();
+    return out;
+}
+
+std::vector<std::vector<std::uint8_t>> SummaryCacheNode::encode_delta_chunks(
+    const DeltaLog& delta) {
+    std::vector<std::vector<std::uint8_t>> out;
+    const std::vector<std::uint32_t> records = delta.encode();
+    for (std::size_t off = 0; off < records.size(); off += kMaxRecordsPerUpdate) {
+        const std::size_t count = std::min(kMaxRecordsPerUpdate, records.size() - off);
+        IcpDirUpdate msg;
+        msg.request_number = next_request_number_++;
+        msg.sender_host = config_.node_id;
+        msg.spec = counting_.spec();
+        msg.full = false;
+        msg.records.assign(records.begin() + static_cast<std::ptrdiff_t>(off),
+                           records.begin() + static_cast<std::ptrdiff_t>(off + count));
+        out.push_back(encode_dirupdate(msg));
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> SummaryCacheNode::encode_full_update() {
+    IcpDirUpdate msg;
+    msg.request_number = next_request_number_++;
+    msg.sender_host = config_.node_id;
+    msg.spec = counting_.spec();
+    msg.full = true;
+    msg.bitmap_words = bitmap_words_of(counting_.bits());
+    return encode_dirupdate(msg);
+}
+
+void SummaryCacheNode::discard_delta() {
+    (void)counting_.take_delta();
+    policy_.on_published();
+}
+
+bool SummaryCacheNode::apply_sibling_update(const IcpDirUpdate& update) {
+    auto it = siblings_.find(update.sender_host);
+    if (update.full) {
+        if (it == siblings_.end() || it->second.spec() != update.spec) {
+            it = siblings_.insert_or_assign(update.sender_host, BloomFilter(update.spec)).first;
+        }
+        apply_bitmap_words(it->second, update.bitmap_words);
+        ++updates_applied_;
+        return true;
+    }
+    if (it == siblings_.end()) {
+        // First contact via delta: start from an empty filter with the
+        // advertised spec. (Bits set before we joined arrive with the next
+        // full refresh; meanwhile we only under-estimate, which is safe —
+        // the penalty is false misses, never incorrect service.)
+        it = siblings_.emplace(update.sender_host, BloomFilter(update.spec)).first;
+    } else if (it->second.spec() != update.spec) {
+        ++updates_rejected_;
+        return false;
+    }
+    for (const std::uint32_t rec : update.records) {
+        const BitFlip flip = decode_bit_flip(rec);
+        it->second.set_bit(flip.index, flip.value);
+    }
+    ++updates_applied_;
+    return true;
+}
+
+void SummaryCacheNode::forget_sibling(NodeId sibling) { siblings_.erase(sibling); }
+
+std::vector<NodeId> SummaryCacheNode::promising_siblings(std::string_view url) const {
+    std::vector<NodeId> out;
+    // Hash once per distinct spec (normally all siblings share ours).
+    const auto own_indexes = bloom_indexes(url, counting_.spec());
+    for (const auto& [id, filter] : siblings_) {
+        const bool promising =
+            (filter.spec() == counting_.spec())
+                ? filter.may_contain(std::span<const std::uint32_t>(own_indexes))
+                : filter.may_contain(url);
+        if (promising) out.push_back(id);
+    }
+    return out;
+}
+
+bool SummaryCacheNode::sibling_may_contain(NodeId sibling, std::string_view url) const {
+    const auto it = siblings_.find(sibling);
+    return it != siblings_.end() && it->second.may_contain(url);
+}
+
+const BloomFilter* SummaryCacheNode::sibling_filter(NodeId sibling) const {
+    const auto it = siblings_.find(sibling);
+    return it == siblings_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sc

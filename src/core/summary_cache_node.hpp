@@ -1,0 +1,116 @@
+// SummaryCacheNode — the paper's protocol state machine (Section VI),
+// transport-agnostic. One node per proxy:
+//
+//   * mirrors the local cache directory into a counting Bloom filter,
+//   * decides when the update threshold is crossed and emits ready-to-send
+//     ICP_OP_DIRUPDATE / ICP_OP_DIRFULL datagrams (chunked to fit UDP),
+//   * ingests siblings' update datagrams into per-sibling replica filters
+//     (self-describing: the hash spec travels in every message), and
+//   * answers "which siblings look promising for this URL?" — the probe
+//     that replaces ICP's multicast-on-every-miss.
+//
+// The mini-proxy in src/proto/ drives this over real sockets; the
+// simulator uses the same building blocks directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/counting_bloom_filter.hpp"
+#include "icp/icp_message.hpp"
+#include "summary/summary.hpp"
+#include "summary/update_policy.hpp"
+
+namespace sc {
+
+/// Stable identifier for a cooperating proxy (the ICP sender_host field).
+using NodeId = std::uint32_t;
+
+struct SummaryCacheNodeConfig {
+    NodeId node_id = 0;
+    /// Documents the local cache is expected to hold (cache bytes / 8 KB).
+    std::uint64_t expected_docs = 1024;
+    BloomSummaryConfig bloom;
+    /// Section V-A update-delay threshold (fraction of cached docs).
+    double update_threshold = 0.01;
+};
+
+class SummaryCacheNode {
+public:
+    explicit SummaryCacheNode(SummaryCacheNodeConfig config);
+
+    [[nodiscard]] NodeId id() const { return config_.node_id; }
+    [[nodiscard]] const HashSpec& hash_spec() const { return counting_.spec(); }
+
+    // --- local directory events -----------------------------------------
+    void on_cache_insert(std::string_view url);
+    void on_cache_erase(std::string_view url);
+
+    /// Current directory size, used by the threshold test. The owner of
+    /// the cache calls this setter whenever the count changes; keeping it
+    /// here avoids a circular dependency on the cache type.
+    void set_directory_size(std::uint64_t docs) { directory_docs_ = docs; }
+
+    // --- outbound updates -------------------------------------------------
+    /// If the update threshold is crossed, drain the delta log and return
+    /// the encoded datagrams to broadcast to every sibling (possibly more
+    /// than one if the delta needs chunking; possibly a single full-bitmap
+    /// message if that is smaller). Empty when below threshold.
+    [[nodiscard]] std::vector<std::vector<std::uint8_t>> poll_updates();
+
+    /// Unconditionally encode a full-bitmap update (used to initialize a
+    /// freshly (re)started sibling, mirroring Squid's recovery behaviour,
+    /// and served as the payload of the pull-based Cache Digest variant).
+    [[nodiscard]] std::vector<std::uint8_t> encode_full_update();
+
+    /// Drop the accumulated bit-flip log without emitting it. Pull-based
+    /// digest deployments never send deltas, so the log would otherwise
+    /// grow without bound.
+    void discard_delta();
+
+    // --- inbound updates --------------------------------------------------
+    /// Apply a sibling's decoded update message. Creates the replica on
+    /// first contact; a full update also re-creates it after spec changes.
+    /// Returns false (and ignores the message) if a delta arrives whose
+    /// spec mismatches the existing replica — the sender will refresh us
+    /// with a full update eventually.
+    bool apply_sibling_update(const IcpDirUpdate& update);
+
+    /// Drop a sibling's replica (peer detected as failed; Section VI-B).
+    void forget_sibling(NodeId sibling);
+
+    // --- probing ----------------------------------------------------------
+    /// Siblings whose replicated summary says the URL may be cached there.
+    [[nodiscard]] std::vector<NodeId> promising_siblings(std::string_view url) const;
+
+    [[nodiscard]] bool sibling_may_contain(NodeId sibling, std::string_view url) const;
+    [[nodiscard]] std::size_t known_siblings() const { return siblings_.size(); }
+    [[nodiscard]] const BloomFilter* sibling_filter(NodeId sibling) const;
+
+    // --- introspection ----------------------------------------------------
+    [[nodiscard]] const CountingBloomFilter& local_filter() const { return counting_; }
+    [[nodiscard]] std::uint64_t updates_sent() const { return updates_sent_; }
+    [[nodiscard]] std::uint64_t updates_applied() const { return updates_applied_; }
+    [[nodiscard]] std::uint64_t updates_rejected() const { return updates_rejected_; }
+
+private:
+    [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode_delta_chunks(
+        const DeltaLog& delta);
+
+    SummaryCacheNodeConfig config_;
+    CountingBloomFilter counting_;
+    UpdateThresholdPolicy policy_;
+    std::uint64_t directory_docs_ = 0;
+    std::map<NodeId, BloomFilter> siblings_;
+    std::uint32_t next_request_number_ = 1;
+    std::uint64_t updates_sent_ = 0;
+    std::uint64_t updates_applied_ = 0;
+    std::uint64_t updates_rejected_ = 0;
+};
+
+}  // namespace sc

@@ -1,0 +1,207 @@
+#include "icp/icp_message.hpp"
+
+#include "bloom/delta_log.hpp"
+#include "util/sc_assert.hpp"
+
+namespace sc {
+namespace {
+
+constexpr std::size_t kLengthFieldOffset = 2;
+
+void write_header(BufWriter& w, IcpOpcode op, std::uint32_t request_number,
+                  std::uint32_t sender_host) {
+    w.u8(static_cast<std::uint8_t>(op));
+    w.u8(kIcpVersion);
+    w.u16(0);  // length, patched after the payload is written
+    w.u32(request_number);
+    w.u32(0);  // options
+    w.u32(0);  // option data
+    w.u32(sender_host);
+}
+
+std::vector<std::uint8_t> seal(BufWriter& w) {
+    if (w.size() > kMaxIcpDatagram) throw WireError("message exceeds max datagram");
+    w.patch_u16(kLengthFieldOffset, static_cast<std::uint16_t>(w.size()));
+    return w.take();
+}
+
+IcpHeader read_header(BufReader& r, std::size_t datagram_size) {
+    IcpHeader h;
+    h.opcode = static_cast<IcpOpcode>(r.u8());
+    h.version = r.u8();
+    h.length = r.u16();
+    h.request_number = r.u32();
+    h.options = r.u32();
+    h.option_data = r.u32();
+    h.sender_host = r.u32();
+    if (h.version != kIcpVersion) throw WireError("unsupported ICP version");
+    if (h.length != datagram_size) throw WireError("length field does not match datagram");
+    return h;
+}
+
+void expect_opcode(const IcpHeader& h, IcpOpcode want) {
+    if (h.opcode != want) throw WireError("unexpected opcode");
+}
+
+}  // namespace
+
+const char* icp_opcode_name(IcpOpcode op) {
+    switch (op) {
+        case IcpOpcode::invalid: return "INVALID";
+        case IcpOpcode::query: return "QUERY";
+        case IcpOpcode::hit: return "HIT";
+        case IcpOpcode::miss: return "MISS";
+        case IcpOpcode::err: return "ERR";
+        case IcpOpcode::secho: return "SECHO";
+        case IcpOpcode::decho: return "DECHO";
+        case IcpOpcode::miss_nofetch: return "MISS_NOFETCH";
+        case IcpOpcode::denied: return "DENIED";
+        case IcpOpcode::hit_obj: return "HIT_OBJ";
+        case IcpOpcode::dirupdate: return "DIRUPDATE";
+        case IcpOpcode::dirfull: return "DIRFULL";
+    }
+    return "?";
+}
+
+std::vector<std::uint8_t> encode_query(const IcpQuery& q) {
+    BufWriter w;
+    write_header(w, IcpOpcode::query, q.request_number, q.sender_host);
+    w.u32(q.requester_host);
+    w.cstring(q.url);
+    return seal(w);
+}
+
+namespace {
+
+bool is_reply_opcode(IcpOpcode op) {
+    return op == IcpOpcode::hit || op == IcpOpcode::miss || op == IcpOpcode::miss_nofetch ||
+           op == IcpOpcode::err || op == IcpOpcode::denied || op == IcpOpcode::secho ||
+           op == IcpOpcode::decho;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_reply(const IcpReply& r) {
+    SC_ASSERT(is_reply_opcode(r.opcode));
+    BufWriter w;
+    write_header(w, r.opcode, r.request_number, r.sender_host);
+    w.cstring(r.url);
+    return seal(w);
+}
+
+std::vector<std::uint8_t> encode_hit_obj(const IcpHitObj& h) {
+    if (h.object.size() > kMaxHitObjBytes) throw WireError("object too large for HIT_OBJ");
+    BufWriter w;
+    write_header(w, IcpOpcode::hit_obj, h.request_number, h.sender_host);
+    // Version rides in option_data (offset 12..16 of the header).
+    w.patch_u16(12, static_cast<std::uint16_t>(h.version >> 16));
+    w.patch_u16(14, static_cast<std::uint16_t>(h.version));
+    w.cstring(h.url);
+    w.u16(static_cast<std::uint16_t>(h.object.size()));
+    w.bytes(h.object);
+    return seal(w);
+}
+
+std::vector<std::uint8_t> encode_dirupdate(const IcpDirUpdate& u) {
+    if (!u.spec.valid()) throw WireError("invalid hash spec");
+    BufWriter w;
+    write_header(w, u.full ? IcpOpcode::dirfull : IcpOpcode::dirupdate, u.request_number,
+                 u.sender_host);
+    w.u16(u.spec.function_num);
+    w.u16(u.spec.function_bits);
+    w.u32(u.spec.table_bits);
+    if (u.full) {
+        const std::size_t expected_words = (u.spec.table_bits + 31) / 32;
+        if (u.bitmap_words.size() != expected_words)
+            throw WireError("bitmap word count does not match table size");
+        w.u32(static_cast<std::uint32_t>(u.bitmap_words.size()));
+        for (std::uint32_t word : u.bitmap_words) w.u32(word);
+    } else {
+        w.u32(static_cast<std::uint32_t>(u.records.size()));
+        for (std::uint32_t rec : u.records) w.u32(rec);
+    }
+    return seal(w);
+}
+
+IcpHeader decode_header(std::span<const std::uint8_t> datagram) {
+    BufReader r(datagram);
+    return read_header(r, datagram.size());
+}
+
+IcpQuery decode_query(std::span<const std::uint8_t> datagram) {
+    BufReader r(datagram);
+    const IcpHeader h = read_header(r, datagram.size());
+    expect_opcode(h, IcpOpcode::query);
+    IcpQuery q;
+    q.request_number = h.request_number;
+    q.sender_host = h.sender_host;
+    q.requester_host = r.u32();
+    q.url = r.cstring();
+    if (!r.empty()) throw WireError("trailing bytes after query");
+    return q;
+}
+
+IcpReply decode_reply(std::span<const std::uint8_t> datagram) {
+    BufReader r(datagram);
+    const IcpHeader h = read_header(r, datagram.size());
+    if (!is_reply_opcode(h.opcode)) throw WireError("not a reply opcode");
+    IcpReply reply;
+    reply.opcode = h.opcode;
+    reply.request_number = h.request_number;
+    reply.sender_host = h.sender_host;
+    reply.url = r.cstring();
+    if (!r.empty()) throw WireError("trailing bytes after reply");
+    return reply;
+}
+
+IcpHitObj decode_hit_obj(std::span<const std::uint8_t> datagram) {
+    BufReader r(datagram);
+    const IcpHeader h = read_header(r, datagram.size());
+    expect_opcode(h, IcpOpcode::hit_obj);
+    IcpHitObj out;
+    out.request_number = h.request_number;
+    out.sender_host = h.sender_host;
+    out.version = h.option_data;
+    out.url = r.cstring();
+    const std::uint16_t len = r.u16();
+    if (r.remaining() != len) throw WireError("HIT_OBJ length mismatch");
+    const auto body = r.bytes(len);
+    out.object.assign(body.begin(), body.end());
+    return out;
+}
+
+IcpDirUpdate decode_dirupdate(std::span<const std::uint8_t> datagram) {
+    BufReader r(datagram);
+    const IcpHeader h = read_header(r, datagram.size());
+    if (h.opcode != IcpOpcode::dirupdate && h.opcode != IcpOpcode::dirfull)
+        throw WireError("not a directory update");
+    IcpDirUpdate u;
+    u.request_number = h.request_number;
+    u.sender_host = h.sender_host;
+    u.full = h.opcode == IcpOpcode::dirfull;
+    u.spec.function_num = r.u16();
+    u.spec.function_bits = r.u16();
+    u.spec.table_bits = r.u32();
+    if (!u.spec.valid()) throw WireError("invalid hash spec in update");
+    const std::uint32_t count = r.u32();
+    if (u.full) {
+        const std::size_t expected_words = (u.spec.table_bits + 31) / 32;
+        if (count != expected_words) throw WireError("bitmap word count mismatch");
+        u.bitmap_words.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) u.bitmap_words.push_back(r.u32());
+    } else {
+        if (r.remaining() != static_cast<std::size_t>(count) * 4)
+            throw WireError("record count does not match payload");
+        u.records.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const std::uint32_t rec = r.u32();
+            if ((rec & kBitFlipIndexMask) >= u.spec.table_bits)
+                throw WireError("bit index out of range");
+            u.records.push_back(rec);
+        }
+    }
+    if (!r.empty()) throw WireError("trailing bytes after update");
+    return u;
+}
+
+}  // namespace sc

@@ -1,0 +1,141 @@
+// ICP version 2 wire codec (RFC 2186 layout) plus the paper's SC-ICP
+// extension opcode ICP_OP_DIRUPDATE (Section VI-A).
+//
+// Every ICP message starts with the 20-byte fixed header:
+//   opcode:8  version:8  length:16  request_number:32
+//   options:32  option_data:32  sender_host:32
+// A query's payload is [requester_host:32][URL NUL-terminated]; a hit/miss
+// payload is just the URL.
+//
+// ICP_OP_DIRUPDATE carries, after the fixed header, the summary header
+//   function_num:16  function_bits:16  bit_array_size_in_bits:32
+//   number_of_updates:32
+// followed by number_of_updates 32-bit records (MSB = new bit value, low
+// 31 bits = bit index). Because every update message repeats the hash-spec
+// header, receivers can verify the parameters and messages survive
+// unreliable delivery. A companion opcode ICP_OP_DIRFULL replaces the
+// records with the complete bit array (the Squid cache-digest style
+// transfer for large thresholds); number_of_updates then counts 32-bit
+// bitmap words.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bloom/hash_spec.hpp"
+#include "icp/wire.hpp"
+
+namespace sc {
+
+enum class IcpOpcode : std::uint8_t {
+    invalid = 0,
+    query = 1,
+    hit = 2,
+    miss = 3,
+    err = 4,
+    secho = 10,
+    decho = 11,
+    miss_nofetch = 21,
+    denied = 22,
+    hit_obj = 23,
+    dirupdate = 30,  ///< SC-ICP delta update (paper Section VI-A)
+    dirfull = 31,    ///< SC-ICP full-bitmap update
+};
+
+[[nodiscard]] const char* icp_opcode_name(IcpOpcode op);
+
+inline constexpr std::uint8_t kIcpVersion = 2;
+inline constexpr std::size_t kIcpHeaderBytes = 20;
+
+/// The fixed 20-byte header shared by all ICP messages.
+struct IcpHeader {
+    IcpOpcode opcode = IcpOpcode::invalid;
+    std::uint8_t version = kIcpVersion;
+    std::uint16_t length = 0;  ///< total message bytes including header
+    std::uint32_t request_number = 0;
+    std::uint32_t options = 0;
+    std::uint32_t option_data = 0;
+    std::uint32_t sender_host = 0;
+
+    friend bool operator==(const IcpHeader&, const IcpHeader&) = default;
+};
+
+struct IcpQuery {
+    std::uint32_t request_number = 0;
+    std::uint32_t sender_host = 0;
+    std::uint32_t requester_host = 0;
+    std::string url;
+
+    friend bool operator==(const IcpQuery&, const IcpQuery&) = default;
+};
+
+/// HIT / MISS / MISS_NOFETCH / ERR / DENIED replies and SECHO / DECHO
+/// liveness probes all share this shape (header + URL payload; probes
+/// typically carry an empty URL).
+struct IcpReply {
+    IcpOpcode opcode = IcpOpcode::miss;
+    std::uint32_t request_number = 0;
+    std::uint32_t sender_host = 0;
+    std::string url;
+
+    friend bool operator==(const IcpReply&, const IcpReply&) = default;
+};
+
+/// ICP_OP_HIT_OBJ — a hit reply that carries the object inline (RFC 2186
+/// payload: URL, NUL, 16-bit object length, object bytes), saving the
+/// follow-up TCP fetch for small documents. We additionally carry the
+/// document's version stamp in the header's option_data field so the
+/// requester can reject a stale inline copy.
+struct IcpHitObj {
+    std::uint32_t request_number = 0;
+    std::uint32_t sender_host = 0;
+    std::uint32_t version = 0;  ///< travels in option_data
+    std::string url;
+    std::vector<std::uint8_t> object;
+
+    friend bool operator==(const IcpHitObj&, const IcpHitObj&) = default;
+};
+
+/// Largest object that fits an ICP_OP_HIT_OBJ (16-bit length field).
+inline constexpr std::size_t kMaxHitObjBytes = 0xffff;
+
+/// SC-ICP directory update: either a delta (records of bit flips) or a
+/// full bitmap, always self-describing via the hash spec.
+struct IcpDirUpdate {
+    std::uint32_t request_number = 0;
+    std::uint32_t sender_host = 0;
+    HashSpec spec;
+    bool full = false;
+    std::vector<std::uint32_t> records;       ///< delta form (encoded bit flips)
+    std::vector<std::uint32_t> bitmap_words;  ///< full form (big-endian 32-bit words)
+
+    friend bool operator==(const IcpDirUpdate&, const IcpDirUpdate&) = default;
+};
+
+// --- encode ---------------------------------------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> encode_query(const IcpQuery& q);
+[[nodiscard]] std::vector<std::uint8_t> encode_reply(const IcpReply& r);
+[[nodiscard]] std::vector<std::uint8_t> encode_dirupdate(const IcpDirUpdate& u);
+[[nodiscard]] std::vector<std::uint8_t> encode_hit_obj(const IcpHitObj& h);
+
+// --- decode ---------------------------------------------------------------
+
+/// Peek at the fixed header (validates length vs. buffer). Throws WireError.
+[[nodiscard]] IcpHeader decode_header(std::span<const std::uint8_t> datagram);
+
+[[nodiscard]] IcpQuery decode_query(std::span<const std::uint8_t> datagram);
+[[nodiscard]] IcpReply decode_reply(std::span<const std::uint8_t> datagram);
+[[nodiscard]] IcpDirUpdate decode_dirupdate(std::span<const std::uint8_t> datagram);
+[[nodiscard]] IcpHitObj decode_hit_obj(std::span<const std::uint8_t> datagram);
+
+/// Datagrams larger than this are never produced (fits any sane UDP MTU
+/// configuration; callers chunk delta updates to stay under it).
+inline constexpr std::size_t kMaxIcpDatagram = 60'000;
+
+/// How many delta records fit in one datagram under kMaxIcpDatagram.
+inline constexpr std::size_t kMaxRecordsPerUpdate =
+    (kMaxIcpDatagram - kIcpHeaderBytes - 12) / 4;
+
+}  // namespace sc

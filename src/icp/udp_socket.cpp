@@ -1,0 +1,145 @@
+#include "icp/udp_socket.hpp"
+
+#include <arpa/inet.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+namespace sc {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+    throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u:%u", (host >> 24) & 0xff, (host >> 16) & 0xff,
+                  (host >> 8) & 0xff, host & 0xff, port);
+    return buf;
+}
+
+sockaddr_in Endpoint::to_sockaddr() const {
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(host);
+    sa.sin_port = htons(port);
+    return sa;
+}
+
+Endpoint Endpoint::from_sockaddr(const sockaddr_in& sa) {
+    return Endpoint{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+Endpoint Endpoint::loopback(std::uint16_t port) { return Endpoint{0x7f000001u, port}; }
+
+Endpoint Endpoint::any(std::uint16_t port) { return Endpoint{0, port}; }
+
+std::optional<Endpoint> Endpoint::parse(std::string_view spec) {
+    if (spec.empty()) return std::nullopt;
+    std::uint32_t host = 0x7f000001u;  // bare port -> loopback
+    std::string_view port_part = spec;
+    if (const auto colon = spec.rfind(':'); colon != std::string_view::npos) {
+        port_part = spec.substr(colon + 1);
+        const std::string_view host_part = spec.substr(0, colon);
+        if (!host_part.empty()) {
+            unsigned a = 0, b = 0, c = 0, d = 0;
+            char tail = 0;
+            const std::string host_str(host_part);
+            if (std::sscanf(host_str.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4 ||
+                a > 255 || b > 255 || c > 255 || d > 255)
+                return std::nullopt;
+            host = (a << 24) | (b << 16) | (c << 8) | d;
+        } else {
+            host = 0;  // ":port" -> any
+        }
+    }
+    if (port_part.empty()) return std::nullopt;
+    long port = 0;
+    for (const char ch : port_part) {
+        if (ch < '0' || ch > '9') return std::nullopt;
+        port = port * 10 + (ch - '0');
+        if (port > 65535) return std::nullopt;
+    }
+    return Endpoint{host, static_cast<std::uint16_t>(port)};
+}
+
+UdpSocket::UdpSocket(std::uint16_t port) : UdpSocket(Endpoint::loopback(port)) {}
+
+UdpSocket::UdpSocket(const Endpoint& bind_addr) {
+    fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) throw_errno("socket");
+    const int one = 1;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    const sockaddr_in sa = bind_addr.to_sockaddr();
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) < 0) {
+        close_fd();
+        throw_errno("bind");
+    }
+}
+
+UdpSocket::~UdpSocket() { close_fd(); }
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+    if (this != &other) {
+        close_fd();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+void UdpSocket::close_fd() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Endpoint UdpSocket::local_endpoint() const {
+    sockaddr_in sa{};
+    socklen_t len = sizeof sa;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) < 0)
+        throw_errno("getsockname");
+    return Endpoint::from_sockaddr(sa);
+}
+
+void UdpSocket::send_to(const Endpoint& to, std::span<const std::uint8_t> payload) {
+    const sockaddr_in sa = to.to_sockaddr();
+    const ssize_t n = ::sendto(fd_, payload.data(), payload.size(), 0,
+                               reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+    if (n < 0) throw_errno("sendto");
+}
+
+std::optional<Datagram> UdpSocket::receive(int timeout_ms) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+        if (errno == EINTR) return std::nullopt;
+        throw_errno("poll");
+    }
+    if (ready == 0) return std::nullopt;
+
+    std::vector<std::uint8_t> buf(65536);
+    sockaddr_in sa{};
+    socklen_t len = sizeof sa;
+    const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&sa), &len);
+    if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+        throw_errno("recvfrom");
+    }
+    buf.resize(static_cast<std::size_t>(n));
+    return Datagram{Endpoint::from_sockaddr(sa), std::move(buf)};
+}
+
+}  // namespace sc

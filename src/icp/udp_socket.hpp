@@ -1,0 +1,73 @@
+// RAII UDP socket for the SC-ICP prototype. ICP is UDP-based (the paper's
+// prototype sends both queries and directory updates over UDP), so this is
+// the only transport the protocol strictly needs; the mini-proxy adds TCP
+// for the HTTP side separately.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// IPv4 endpoint.
+struct Endpoint {
+    std::uint32_t host = 0;  ///< host byte order (e.g. 0x7f000001 for loopback)
+    std::uint16_t port = 0;
+
+    friend bool operator==(const Endpoint&, const Endpoint&) = default;
+
+    [[nodiscard]] std::string to_string() const;
+    [[nodiscard]] sockaddr_in to_sockaddr() const;
+    [[nodiscard]] static Endpoint from_sockaddr(const sockaddr_in& sa);
+    [[nodiscard]] static Endpoint loopback(std::uint16_t port);
+    /// 0.0.0.0:<port> — bind on every interface.
+    [[nodiscard]] static Endpoint any(std::uint16_t port);
+
+    /// Parse "a.b.c.d:port", ":port", or "port" (bare port -> loopback).
+    /// Returns nullopt on malformed input.
+    [[nodiscard]] static std::optional<Endpoint> parse(std::string_view spec);
+};
+
+struct Datagram {
+    Endpoint from;
+    std::vector<std::uint8_t> payload;
+};
+
+/// Non-copyable, movable UDP socket. Throws std::system_error on
+/// construction failure; runtime send/recv errors surface as exceptions
+/// except EAGAIN, which is reported as "nothing available".
+class UdpSocket {
+public:
+    /// Bind to 127.0.0.1:port. port == 0 picks an ephemeral port.
+    explicit UdpSocket(std::uint16_t port = 0);
+
+    /// Bind to an arbitrary local endpoint (host 0 = INADDR_ANY).
+    explicit UdpSocket(const Endpoint& bind_addr);
+    ~UdpSocket();
+
+    UdpSocket(UdpSocket&& other) noexcept;
+    UdpSocket& operator=(UdpSocket&& other) noexcept;
+    UdpSocket(const UdpSocket&) = delete;
+    UdpSocket& operator=(const UdpSocket&) = delete;
+
+    [[nodiscard]] Endpoint local_endpoint() const;
+    [[nodiscard]] int fd() const { return fd_; }
+
+    void send_to(const Endpoint& to, std::span<const std::uint8_t> payload);
+
+    /// Wait up to timeout_ms (-1 = forever, 0 = poll) for one datagram.
+    /// Returns nullopt on timeout.
+    [[nodiscard]] std::optional<Datagram> receive(int timeout_ms);
+
+private:
+    void close_fd() noexcept;
+
+    int fd_ = -1;
+};
+
+}  // namespace sc

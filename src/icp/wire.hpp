@@ -1,0 +1,64 @@
+// Big-endian (network byte order) buffer primitives used by the ICP and
+// SC-ICP codecs. Reads are bounds-checked and throw WireError — a malformed
+// datagram from the network must never crash the proxy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sc {
+
+class WireError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+class BufWriter {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    /// Raw bytes, no length prefix.
+    void bytes(std::span<const std::uint8_t> data);
+    /// NUL-terminated string (the ICP URL payload convention).
+    void cstring(std::string_view s);
+
+    [[nodiscard]] std::size_t size() const { return buf_.size(); }
+    [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+    [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+
+    /// Overwrite a previously written big-endian u16 at `offset`
+    /// (for length fields known only after the payload is written).
+    void patch_u16(std::size_t offset, std::uint16_t v);
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+class BufReader {
+public:
+    explicit BufReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    [[nodiscard]] std::uint8_t u8();
+    [[nodiscard]] std::uint16_t u16();
+    [[nodiscard]] std::uint32_t u32();
+    /// Read a NUL-terminated string; consumes the terminator.
+    [[nodiscard]] std::string cstring();
+    /// Read exactly n raw bytes.
+    [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n);
+
+    [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+    [[nodiscard]] bool empty() const { return remaining() == 0; }
+
+private:
+    void need(std::size_t n) const;
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace sc

@@ -1,0 +1,643 @@
+#include "proto/mini_proxy.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+
+#include "summary/message_costs.hpp"
+#include "util/sc_assert.hpp"
+
+namespace sc {
+namespace {
+
+void set_receive_timeout(int fd, std::chrono::milliseconds timeout) {
+    timeval tv{};
+    tv.tv_sec = timeout.count() / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+}  // namespace
+
+const char* share_mode_name(ShareMode m) {
+    switch (m) {
+        case ShareMode::none: return "none";
+        case ShareMode::icp: return "icp";
+        case ShareMode::summary: return "summary";
+        case ShareMode::digest_pull: return "digest-pull";
+    }
+    return "?";
+}
+
+namespace {
+
+bool uses_summaries(ShareMode m) {
+    return m == ShareMode::summary || m == ShareMode::digest_pull;
+}
+
+}  // namespace
+
+MiniProxy::MiniProxy(MiniProxyConfig config)
+    : config_(config),
+      listener_(Endpoint{config.bind_host, config.http_port}),
+      udp_(Endpoint{config.bind_host, config.icp_port}),
+      http_endpoint_(listener_.local_endpoint()),
+      icp_endpoint_(udp_.local_endpoint()),
+      cache_(LruCacheConfig{config.cache_bytes, config.max_object_bytes}),
+      node_(SummaryCacheNodeConfig{
+          config.id,
+          std::max<std::uint64_t>(1, config.cache_bytes / kAverageDocumentBytes),
+          config.bloom, config.update_threshold}) {
+    if (!config_.access_log_path.empty()) {
+        access_log_ = std::make_unique<std::ofstream>(config_.access_log_path,
+                                                      std::ios::app);
+        if (!*access_log_)
+            throw std::runtime_error("cannot open access log: " + config_.access_log_path);
+    }
+    if (uses_summaries(config_.mode)) {
+        cache_.set_insert_hook([this](const LruCache::Entry& e) {
+            const std::lock_guard lock(node_mu_);
+            node_.on_cache_insert(e.url);
+        });
+        cache_.set_removal_hook([this](const LruCache::Entry& e) {
+            const std::lock_guard lock(node_mu_);
+            node_.on_cache_erase(e.url);
+        });
+    }
+}
+
+MiniProxy::~MiniProxy() { stop(); }
+
+void MiniProxy::add_sibling(NodeId id, Endpoint icp, Endpoint http) {
+    SC_ASSERT(!started_.load());
+    siblings_.push_back(Sibling{id, icp, http});
+}
+
+void MiniProxy::start() {
+    if (started_.exchange(true)) return;
+    loop_ = std::thread([this] { run(); });
+    if (config_.mode == ShareMode::digest_pull)
+        digest_thread_ = std::thread([this] { digest_fetch_loop(); });
+}
+
+void MiniProxy::stop() {
+    if (!started_.load()) return;
+    stopping_.store(true);
+    if (loop_.joinable()) loop_.join();
+    if (digest_thread_.joinable()) digest_thread_.join();
+}
+
+void MiniProxy::broadcast_full_summary() {
+    if (config_.mode != ShareMode::summary) return;
+    std::vector<std::uint8_t> msg;
+    {
+        const std::lock_guard lock(node_mu_);
+        msg = node_.encode_full_update();
+    }
+    for (const Sibling& s : siblings_) send_udp(s.icp, msg);
+    const std::lock_guard lock(stats_mu_);
+    stats_.updates_sent += siblings_.size();
+}
+
+MiniProxyStats MiniProxy::stats() const {
+    const std::lock_guard lock(stats_mu_);
+    return stats_;
+}
+
+std::size_t MiniProxy::cached_documents() const {
+    // Read when the proxy is quiescent (between workloads or after stop()).
+    return cache_.document_count();
+}
+
+void MiniProxy::log_access(HttpLiteStatus status, const HttpLiteRequest& req,
+                           std::chrono::steady_clock::time_point started) {
+    if (!access_log_) return;
+    const auto latency = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+    const auto epoch_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::system_clock::now().time_since_epoch())
+                              .count();
+    (*access_log_) << epoch_ms << ' ' << config_.id << ' '
+                   << http_lite_status_name(status) << ' ' << req.size << ' ' << latency
+                   << ' ' << req.url << '\n';
+    access_log_->flush();
+}
+
+void MiniProxy::send_udp(const Endpoint& to, std::span<const std::uint8_t> payload) {
+    udp_.send_to(to, payload);
+    const std::lock_guard lock(stats_mu_);
+    stats_.udp_bytes_sent += payload.size();
+}
+
+void MiniProxy::send_keepalives_and_check_liveness() {
+    const auto now = std::chrono::steady_clock::now();
+    if (now < next_keepalive_) return;
+    next_keepalive_ = now + config_.keepalive_interval;
+
+    IcpReply probe;
+    probe.opcode = IcpOpcode::secho;
+    probe.sender_host = config_.id;
+    const auto payload = encode_reply(probe);
+    for (const Sibling& s : siblings_) send_udp(s.icp, payload);
+    {
+        const std::lock_guard lock(stats_mu_);
+        stats_.keepalives_sent += siblings_.size();
+    }
+
+    const auto deadline = config_.keepalive_interval * config_.liveness_strikes;
+    for (Sibling& s : siblings_) {
+        if (s.alive && now - s.last_heard > deadline) {
+            s.alive = false;
+            {
+                const std::lock_guard lock(node_mu_);
+                node_.forget_sibling(s.id);  // stale replica must not attract queries
+            }
+            const std::lock_guard lock(stats_mu_);
+            ++stats_.sibling_death_events;
+        }
+    }
+}
+
+void MiniProxy::digest_fetch_loop() {
+    // Runs in its own thread so two pullers fetching from each other can
+    // never block each other's event loops (the pull-mode deadlock).
+    refresh_digests_once();  // initial bootstrap pull
+    auto next = std::chrono::steady_clock::now() + config_.digest_refresh;
+    while (!stopping_.load()) {
+        if (std::chrono::steady_clock::now() < next) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            continue;
+        }
+        next += config_.digest_refresh;
+        refresh_digests_once();
+    }
+}
+
+void MiniProxy::refresh_digests_once() {
+    {
+        // We never push deltas in pull mode; drop the accumulated log.
+        const std::lock_guard lock(node_mu_);
+        node_.discard_delta();
+    }
+    for (Sibling& s : siblings_) {
+        if (stopping_.load()) return;
+        try {
+            TcpConnection conn = TcpConnection::connect(s.http);
+            set_receive_timeout(conn.fd(), config_.fetch_timeout);
+            HttpLiteRequest dget;
+            dget.digest = true;
+            dget.url = "-";
+            conn.write_all(format_request(dget));
+            const auto line = conn.read_line();
+            if (!line) continue;
+            const auto header = parse_response_header(*line);
+            if (!header || header->status != HttpLiteStatus::ok) continue;
+            std::string body;
+            conn.read_exact(header->size, body);
+            const auto update = decode_dirupdate(std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(body.data()), body.size()));
+            bool applied = false;
+            {
+                const std::lock_guard lock(node_mu_);
+                applied = node_.apply_sibling_update(update);
+            }
+            if (applied) {
+                const std::lock_guard lock(stats_mu_);
+                ++stats_.digests_fetched;
+            }
+        } catch (const std::exception&) {
+            // Peer busy or down: liveness handles persistent failure.
+        }
+    }
+}
+
+void MiniProxy::note_heard_from(NodeId sender) {
+    const auto it = std::find_if(siblings_.begin(), siblings_.end(),
+                                 [sender](const Sibling& s) { return s.id == sender; });
+    if (it == siblings_.end()) return;
+    it->last_heard = std::chrono::steady_clock::now();
+    if (!it->alive) {
+        // Recovery (Section VI-B): the peer is back; reinitialize its view
+        // of us with a full bitmap.
+        it->alive = true;
+        {
+            const std::lock_guard lock(stats_mu_);
+            ++stats_.sibling_recovery_events;
+        }
+        if (config_.mode == ShareMode::summary) {
+            std::vector<std::uint8_t> full;
+            {
+                const std::lock_guard lock(node_mu_);
+                full = node_.encode_full_update();
+            }
+            send_udp(it->icp, full);
+            const std::lock_guard lock(stats_mu_);
+            ++stats_.updates_sent;
+        }
+    }
+}
+
+void MiniProxy::run() {
+    std::vector<TcpConnection> clients;
+    for (Sibling& s : siblings_) s.last_heard = std::chrono::steady_clock::now();
+    next_keepalive_ = std::chrono::steady_clock::now() + config_.keepalive_interval;
+    while (!stopping_.load()) {
+        send_keepalives_and_check_liveness();
+        std::vector<pollfd> pfds;
+        pfds.push_back({listener_.fd(), POLLIN, 0});
+        pfds.push_back({udp_.fd(), POLLIN, 0});
+        for (const auto& c : clients) pfds.push_back({c.fd(), POLLIN, 0});
+
+        const int ready = ::poll(pfds.data(), pfds.size(), 50);
+        if (ready <= 0) continue;
+
+        if (pfds[0].revents & POLLIN) {
+            if (auto conn = listener_.accept(0)) clients.push_back(std::move(*conn));
+        }
+        if (pfds[1].revents & POLLIN) {
+            while (auto dgram = udp_.receive(0)) handle_datagram(*dgram);
+        }
+        for (std::size_t i = 0; i < clients.size();) {
+            const auto& pfd = pfds[2 + i];
+            if (!(pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
+                ++i;
+                continue;
+            }
+            bool keep = true;
+            try {
+                const auto line = clients[i].read_line();
+                if (!line) {
+                    keep = false;
+                } else {
+                    handle_client_line(clients[i], *line);
+                }
+            } catch (const std::exception&) {
+                keep = false;  // protocol error or broken pipe: drop client
+            }
+            if (keep) {
+                ++i;
+            } else {
+                clients.erase(clients.begin() + static_cast<std::ptrdiff_t>(i));
+            }
+        }
+    }
+}
+
+void MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line) {
+    const auto req = parse_request(line);
+    if (!req) {
+        conn.write_all(format_response_header({HttpLiteStatus::error, 0}));
+        return;
+    }
+
+    if (req->digest) {
+        // Serve our cache digest (the encoded full-bitmap update).
+        std::vector<std::uint8_t> digest;
+        {
+            const std::lock_guard lock(node_mu_);
+            digest = node_.encode_full_update();
+        }
+        conn.write_all(format_response_header({HttpLiteStatus::ok, digest.size()}));
+        conn.write_all(std::span<const std::uint8_t>(digest));
+        const std::lock_guard lock(stats_mu_);
+        ++stats_.digests_served;
+        return;
+    }
+
+    if (req->sibling_only) {
+        // SGET: serve from cache only; a stale or absent copy is NOT_CACHED.
+        if (cache_.lookup(req->url, req->version) == LruCache::Lookup::hit) {
+            conn.write_all(format_response_header({HttpLiteStatus::local_hit, req->size}));
+            conn.write_all(synth_body(req->size));
+        } else {
+            conn.write_all(format_response_header({HttpLiteStatus::not_cached, 0}));
+        }
+        return;
+    }
+
+    const auto started = std::chrono::steady_clock::now();
+    {
+        const std::lock_guard lock(stats_mu_);
+        ++stats_.requests;
+    }
+
+    if (cache_.lookup(req->url, req->version) == LruCache::Lookup::hit) {
+        {
+            const std::lock_guard lock(stats_mu_);
+            ++stats_.local_hits;
+        }
+        conn.write_all(format_response_header({HttpLiteStatus::local_hit, req->size}));
+        conn.write_all(synth_body(req->size));
+        log_access(HttpLiteStatus::local_hit, *req, started);
+        return;
+    }
+
+    // Local miss: discover a remote copy per the configured protocol.
+    // Dead siblings are never queried.
+    std::vector<NodeId> targets;
+    if (config_.mode == ShareMode::icp) {
+        targets.reserve(siblings_.size());
+        for (const Sibling& s : siblings_)
+            if (s.alive) targets.push_back(s.id);
+    } else if (uses_summaries(config_.mode)) {
+        const std::lock_guard lock(node_mu_);
+        targets = node_.promising_siblings(req->url);
+    }
+
+    if (!targets.empty()) {
+        const QueryOutcome outcome = query_siblings(*req, targets);
+        if (outcome.inline_object) {
+            // A fresh HIT_OBJ already delivered the body: no TCP fetch.
+            {
+                const std::lock_guard lock(stats_mu_);
+                ++stats_.remote_hits;
+                ++stats_.hit_obj_used;
+            }
+            insert_document(*req);
+            conn.write_all(format_response_header({HttpLiteStatus::remote_hit, req->size}));
+            conn.write_all(synth_body(req->size));
+            log_access(HttpLiteStatus::remote_hit, *req, started);
+            return;
+        }
+        for (const NodeId id : outcome.hits) {
+            if (fetch_from_sibling(id, *req)) {
+                {
+                    const std::lock_guard lock(stats_mu_);
+                    ++stats_.remote_hits;
+                }
+                insert_document(*req);
+                conn.write_all(format_response_header({HttpLiteStatus::remote_hit, req->size}));
+                conn.write_all(synth_body(req->size));
+                log_access(HttpLiteStatus::remote_hit, *req, started);
+                return;
+            }
+        }
+    }
+
+    const std::string body = fetch_from_origin(*req);
+    {
+        const std::lock_guard lock(stats_mu_);
+        ++stats_.origin_fetches;
+    }
+    insert_document(*req);
+    conn.write_all(format_response_header({HttpLiteStatus::miss, body.size()}));
+    conn.write_all(body);
+    log_access(HttpLiteStatus::miss, *req, started);
+}
+
+MiniProxy::QueryOutcome MiniProxy::query_siblings(const HttpLiteRequest& req,
+                                                  const std::vector<NodeId>& targets) {
+    const std::uint32_t qn = next_query_number_++;
+    IcpQuery query;
+    query.request_number = qn;
+    query.sender_host = config_.id;
+    query.requester_host = config_.id;
+    query.url = req.url;
+    const auto payload = encode_query(query);
+
+    std::size_t sent = 0;
+    for (const NodeId id : targets) {
+        const auto it = std::find_if(siblings_.begin(), siblings_.end(),
+                                     [id](const Sibling& s) { return s.id == id; });
+        if (it == siblings_.end()) continue;
+        send_udp(it->icp, payload);
+        ++sent;
+    }
+    {
+        const std::lock_guard lock(stats_mu_);
+        stats_.icp_queries_sent += sent;
+    }
+    QueryOutcome outcome;
+    if (sent == 0) return outcome;
+
+    std::size_t replies = 0;
+    const auto deadline = std::chrono::steady_clock::now() + config_.query_timeout;
+    while (replies < sent && !outcome.inline_object) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+        auto dgram = udp_.receive(static_cast<int>(remaining.count()) + 1);
+        if (!dgram) break;
+        {
+            const std::lock_guard lock(stats_mu_);
+            stats_.udp_bytes_received += dgram->payload.size();
+        }
+        IcpHeader header;
+        try {
+            header = decode_header(dgram->payload);
+        } catch (const WireError&) {
+            continue;
+        }
+        note_heard_from(header.sender_host);
+        const bool is_reply = header.opcode == IcpOpcode::hit ||
+                              header.opcode == IcpOpcode::miss ||
+                              header.opcode == IcpOpcode::hit_obj;
+        if (is_reply && header.request_number == qn) {
+            ++replies;
+            {
+                const std::lock_guard lock(stats_mu_);
+                ++stats_.icp_replies_received;
+                if (header.opcode == IcpOpcode::miss && uses_summaries(config_.mode))
+                    ++stats_.false_hit_queries;
+            }
+            if (header.opcode == IcpOpcode::hit) {
+                outcome.hits.push_back(header.sender_host);
+            } else if (header.opcode == IcpOpcode::hit_obj) {
+                try {
+                    const IcpHitObj obj = decode_hit_obj(dgram->payload);
+                    if (obj.version == static_cast<std::uint32_t>(req.version) &&
+                        obj.object.size() == req.size) {
+                        outcome.inline_object = true;
+                    } else {
+                        // Stale or odd inline copy: fall back to SGET.
+                        outcome.hits.push_back(header.sender_host);
+                    }
+                } catch (const WireError&) {
+                    outcome.hits.push_back(header.sender_host);
+                }
+            }
+            continue;
+        }
+        // Not our reply: service it so siblings are never starved while we
+        // wait (queries, updates, or stale replies from earlier rounds).
+        handle_datagram_body(*dgram, header);
+    }
+    return outcome;
+}
+
+void MiniProxy::handle_datagram(const Datagram& dgram) {
+    {
+        const std::lock_guard lock(stats_mu_);
+        stats_.udp_bytes_received += dgram.payload.size();
+    }
+    IcpHeader header;
+    try {
+        header = decode_header(dgram.payload);
+    } catch (const WireError&) {
+        return;  // malformed datagram: drop
+    }
+    note_heard_from(header.sender_host);
+    handle_datagram_body(dgram, header);
+}
+
+void MiniProxy::handle_datagram_body(const Datagram& dgram, const IcpHeader& header) {
+    switch (header.opcode) {
+        case IcpOpcode::query:
+            answer_query(dgram);
+            break;
+        case IcpOpcode::dirupdate:
+        case IcpOpcode::dirfull:
+            try {
+                const IcpDirUpdate update = decode_dirupdate(dgram.payload);
+                bool applied = false;
+                {
+                    const std::lock_guard lock(node_mu_);
+                    applied = node_.apply_sibling_update(update);
+                }
+                if (applied) {
+                    const std::lock_guard lock(stats_mu_);
+                    ++stats_.updates_received;
+                }
+            } catch (const WireError&) {
+                // corrupt update: drop; the next full refresh repairs us
+            }
+            break;
+        case IcpOpcode::secho: {
+            // Liveness probe: echo back so the sender keeps us alive.
+            {
+                const std::lock_guard lock(stats_mu_);
+                ++stats_.keepalives_received;
+            }
+            IcpReply echo;
+            echo.opcode = IcpOpcode::decho;
+            echo.request_number = header.request_number;
+            echo.sender_host = config_.id;
+            send_udp(dgram.from, encode_reply(echo));
+            break;
+        }
+        case IcpOpcode::decho:
+            break;  // note_heard_from already refreshed the peer
+        default:
+            break;  // late replies and unknown opcodes are dropped
+    }
+}
+
+void MiniProxy::answer_query(const Datagram& dgram) {
+    IcpQuery query;
+    try {
+        query = decode_query(dgram.payload);
+    } catch (const WireError&) {
+        return;
+    }
+    {
+        const std::lock_guard lock(stats_mu_);
+        ++stats_.icp_queries_received;
+    }
+
+    // Small cached documents ride back inline (ICP_OP_HIT_OBJ).
+    if (config_.hit_obj_max_bytes > 0) {
+        if (const LruCache::Entry* entry = cache_.peek(query.url);
+            entry != nullptr &&
+            entry->size <= std::min<std::uint64_t>(config_.hit_obj_max_bytes,
+                                                   kMaxHitObjBytes)) {
+            IcpHitObj obj;
+            obj.request_number = query.request_number;
+            obj.sender_host = config_.id;
+            obj.version = static_cast<std::uint32_t>(entry->version);
+            obj.url = query.url;
+            const std::string body = synth_body(entry->size);
+            obj.object.assign(body.begin(), body.end());
+            send_udp(dgram.from, encode_hit_obj(obj));
+            const std::lock_guard lock(stats_mu_);
+            ++stats_.icp_replies_sent;
+            ++stats_.hit_obj_served;
+            return;
+        }
+    }
+
+    IcpReply reply;
+    reply.opcode = cache_.contains(query.url) ? IcpOpcode::hit : IcpOpcode::miss;
+    reply.request_number = query.request_number;
+    reply.sender_host = config_.id;
+    reply.url = query.url;
+    send_udp(dgram.from, encode_reply(reply));
+    const std::lock_guard lock(stats_mu_);
+    ++stats_.icp_replies_sent;
+}
+
+std::optional<std::string> MiniProxy::fetch_from_sibling(NodeId id, const HttpLiteRequest& req) {
+    const auto it = std::find_if(siblings_.begin(), siblings_.end(),
+                                 [id](const Sibling& s) { return s.id == id; });
+    if (it == siblings_.end()) return std::nullopt;
+    try {
+        TcpConnection conn = TcpConnection::connect(it->http);
+        set_receive_timeout(conn.fd(), config_.fetch_timeout);
+        HttpLiteRequest sreq = req;
+        sreq.sibling_only = true;
+        conn.write_all(format_request(sreq));
+        const auto line = conn.read_line();
+        if (!line) return std::nullopt;
+        const auto header = parse_response_header(*line);
+        if (!header || header->status != HttpLiteStatus::local_hit) return std::nullopt;
+        std::string body;
+        conn.read_exact(header->size, body);
+        {
+            const std::lock_guard lock(stats_mu_);
+            ++stats_.sibling_fetches;
+        }
+        return body;
+    } catch (const std::exception&) {
+        return std::nullopt;  // timeout or connection failure: fall to origin
+    }
+}
+
+std::string MiniProxy::fetch_from_origin(const HttpLiteRequest& req) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        try {
+            if (!origin_conn_ || !origin_conn_->valid())
+                origin_conn_ = TcpConnection::connect(config_.origin);
+            origin_conn_->write_all(format_request(req));
+            const auto line = origin_conn_->read_line();
+            if (!line) throw std::runtime_error("origin closed connection");
+            const auto header = parse_response_header(*line);
+            if (!header || header->status != HttpLiteStatus::ok)
+                throw std::runtime_error("bad origin response");
+            std::string body;
+            origin_conn_->read_exact(header->size, body);
+            return body;
+        } catch (const std::exception&) {
+            origin_conn_.reset();  // reconnect once, then give up
+            if (attempt == 1) throw;
+        }
+    }
+    return {};  // unreachable
+}
+
+void MiniProxy::insert_document(const HttpLiteRequest& req) {
+    if (!cache_.insert(req.url, req.size, req.version)) return;
+    if (!uses_summaries(config_.mode)) return;
+    {
+        const std::lock_guard lock(node_mu_);
+        node_.set_directory_size(cache_.document_count());
+    }
+    if (config_.mode == ShareMode::summary) broadcast_updates();
+    // digest_pull: siblings fetch the whole digest on their own schedule.
+}
+
+void MiniProxy::broadcast_updates() {
+    std::vector<std::vector<std::uint8_t>> msgs;
+    {
+        const std::lock_guard lock(node_mu_);
+        msgs = node_.poll_updates();
+    }
+    if (msgs.empty()) return;
+    for (const auto& msg : msgs)
+        for (const Sibling& s : siblings_) send_udp(s.icp, msg);
+    const std::lock_guard lock(stats_mu_);
+    stats_.updates_sent += msgs.size() * siblings_.size();
+}
+
+}  // namespace sc

@@ -1,0 +1,206 @@
+// "Squidlet" — the prototype proxy of Section VI-B, scaled to its essence:
+// an HTTP-lite front end, an LRU document cache, ICPv2 over UDP toward
+// siblings, and a SummaryCacheNode driving SC-ICP directory updates.
+//
+// Four sharing modes: the paper's three experimental columns plus the
+// Squid variant it cites:
+//   * none        — no cooperation (the no-ICP baseline),
+//   * icp         — multicast an ICP query to every sibling on every miss,
+//   * summary     — probe replicated summaries first, query only promising
+//                   siblings (the SC-ICP protocol, pushed delta updates),
+//   * digest_pull — the Squid Cache Digest variant: periodically fetch
+//                   each sibling's full digest over TCP instead.
+//
+// Single event-loop thread per proxy. While waiting for ICP replies the
+// loop keeps servicing incoming UDP (sibling queries and updates), so
+// proxies never deadlock on each other's control traffic; sibling
+// *document* fetches use a receive timeout and degrade to an origin fetch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/lru_cache.hpp"
+#include "core/summary_cache_node.hpp"
+#include "icp/udp_socket.hpp"
+#include "proto/http_lite.hpp"
+#include "proto/tcp.hpp"
+
+namespace sc {
+
+enum class ShareMode {
+    none,         ///< no cooperation
+    icp,          ///< multicast query on every miss
+    summary,      ///< SC-ICP: pushed delta updates, probe before querying
+    digest_pull,  ///< Squid Cache Digest variant: periodically FETCH each
+                  ///< sibling's full digest over TCP; no pushed updates
+};
+
+[[nodiscard]] const char* share_mode_name(ShareMode m);
+
+struct MiniProxyConfig {
+    NodeId id = 0;
+    std::uint16_t http_port = 0;  ///< 0 = ephemeral
+    std::uint16_t icp_port = 0;
+    /// Local address to bind (host byte order); default loopback, 0 = any
+    /// interface — the wide-area deployment case.
+    std::uint32_t bind_host = 0x7f000001u;
+    Endpoint origin;
+    std::uint64_t cache_bytes = 8ull * 1024 * 1024;
+    std::uint64_t max_object_bytes = kDefaultMaxObjectBytes;
+    ShareMode mode = ShareMode::none;
+    double update_threshold = 0.01;
+    BloomSummaryConfig bloom;
+    std::chrono::milliseconds query_timeout{100};   ///< ICP reply wait
+    std::chrono::milliseconds fetch_timeout{2000};  ///< sibling SGET wait
+
+    /// Liveness (Section VI-B): SECHO probes every interval; a sibling
+    /// that stays silent for liveness_strikes intervals is declared dead
+    /// (its summary replica is dropped); the first datagram heard from it
+    /// again triggers recovery — we push it a fresh full summary.
+    std::chrono::milliseconds keepalive_interval{500};
+    int liveness_strikes = 3;
+
+    /// Serve ICP_OP_HIT_OBJ (object inline in the reply) for cached
+    /// documents up to this size; 0 disables the optimization.
+    std::uint64_t hit_obj_max_bytes = 0;
+
+    /// digest_pull mode: how often to re-fetch each sibling's digest.
+    std::chrono::milliseconds digest_refresh{1000};
+
+    /// Squid-style access log: one line per client request
+    /// ("<epoch-ms> <proxy-id> <status> <size> <latency-us> <url>").
+    /// Empty disables logging.
+    std::string access_log_path;
+};
+
+struct MiniProxyStats {
+    std::uint64_t requests = 0;
+    std::uint64_t local_hits = 0;
+    std::uint64_t remote_hits = 0;
+    std::uint64_t origin_fetches = 0;
+    std::uint64_t false_hit_queries = 0;  ///< sibling replied MISS after summary said hit
+    std::uint64_t icp_queries_sent = 0;
+    std::uint64_t icp_queries_received = 0;
+    std::uint64_t icp_replies_sent = 0;
+    std::uint64_t icp_replies_received = 0;
+    std::uint64_t updates_sent = 0;      ///< update datagrams sent (all siblings)
+    std::uint64_t updates_received = 0;
+    std::uint64_t sibling_fetches = 0;
+    std::uint64_t udp_bytes_sent = 0;
+    std::uint64_t udp_bytes_received = 0;
+    std::uint64_t keepalives_sent = 0;
+    std::uint64_t keepalives_received = 0;
+    std::uint64_t sibling_death_events = 0;
+    std::uint64_t sibling_recovery_events = 0;
+    std::uint64_t hit_obj_served = 0;  ///< HIT_OBJ replies sent
+    std::uint64_t hit_obj_used = 0;    ///< remote hits satisfied inline
+    std::uint64_t digests_fetched = 0; ///< digest_pull: digests pulled
+    std::uint64_t digests_served = 0;  ///< DGET requests answered
+};
+
+class MiniProxy {
+public:
+    explicit MiniProxy(MiniProxyConfig config);
+    ~MiniProxy();
+
+    MiniProxy(const MiniProxy&) = delete;
+    MiniProxy& operator=(const MiniProxy&) = delete;
+
+    [[nodiscard]] Endpoint http_endpoint() const { return http_endpoint_; }
+    [[nodiscard]] Endpoint icp_endpoint() const { return icp_endpoint_; }
+    [[nodiscard]] NodeId id() const { return config_.id; }
+
+    /// Register a sibling (call on every proxy before start()).
+    void add_sibling(NodeId id, Endpoint icp, Endpoint http);
+
+    /// Launch the event loop. Idempotent.
+    void start();
+
+    /// Stop and join. Idempotent; the destructor calls it.
+    void stop();
+
+    /// Send a full-bitmap summary to every sibling immediately (bootstrap
+    /// or recovery, Section VI-B). Only meaningful in summary mode.
+    void broadcast_full_summary();
+
+    [[nodiscard]] MiniProxyStats stats() const;
+    [[nodiscard]] std::size_t cached_documents() const;
+
+private:
+    struct Sibling {
+        NodeId id;
+        Endpoint icp;
+        Endpoint http;
+        bool alive = true;
+        std::chrono::steady_clock::time_point last_heard{};
+    };
+
+    struct ClientSession {
+        TcpConnection conn;
+    };
+
+    void run();
+    void handle_client_line(TcpConnection& conn, const std::string& line);
+    void handle_datagram(const Datagram& dgram);
+    void handle_datagram_body(const Datagram& dgram, const IcpHeader& header);
+    void answer_query(const Datagram& dgram);
+
+    struct QueryOutcome {
+        std::vector<NodeId> hits;     ///< siblings that replied HIT
+        bool inline_object = false;   ///< a fresh HIT_OBJ carried the body
+    };
+
+    /// Query the targets and collect replies within the timeout.
+    [[nodiscard]] QueryOutcome query_siblings(const HttpLiteRequest& req,
+                                              const std::vector<NodeId>& targets);
+
+    void send_keepalives_and_check_liveness();
+    void note_heard_from(NodeId sender);
+    void digest_fetch_loop();
+    void refresh_digests_once();
+
+    [[nodiscard]] std::optional<std::string> fetch_from_sibling(NodeId id,
+                                                                const HttpLiteRequest& req);
+    [[nodiscard]] std::string fetch_from_origin(const HttpLiteRequest& req);
+    void insert_document(const HttpLiteRequest& req);
+    void broadcast_updates();
+    void send_udp(const Endpoint& to, std::span<const std::uint8_t> payload);
+    void log_access(HttpLiteStatus status, const HttpLiteRequest& req,
+                    std::chrono::steady_clock::time_point started);
+
+    MiniProxyConfig config_;
+    TcpListener listener_;
+    UdpSocket udp_;
+    Endpoint http_endpoint_;
+    Endpoint icp_endpoint_;
+    LruCache cache_;
+    /// Guards node_: the event loop and (in digest_pull mode) the digest
+    /// fetcher thread both touch the protocol state.
+    mutable std::mutex node_mu_;
+    SummaryCacheNode node_;
+    std::vector<Sibling> siblings_;
+    std::optional<TcpConnection> origin_conn_;
+    std::uint32_t next_query_number_ = 1;
+    std::chrono::steady_clock::time_point next_keepalive_{};
+
+    std::thread loop_;
+    std::thread digest_thread_;  ///< digest_pull mode only
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> started_{false};
+
+    mutable std::mutex stats_mu_;
+    MiniProxyStats stats_;
+    std::unique_ptr<std::ofstream> access_log_;  // loop thread only
+};
+
+}  // namespace sc

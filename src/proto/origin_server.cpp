@@ -1,0 +1,61 @@
+#include "proto/origin_server.hpp"
+
+#include "proto/http_lite.hpp"
+
+namespace sc {
+
+OriginServer::OriginServer(Config config)
+    : config_(config), listener_(config.port), endpoint_(listener_.local_endpoint()) {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+OriginServer::~OriginServer() { stop(); }
+
+void OriginServer::stop() {
+    if (stopping_.exchange(true)) return;
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::vector<std::thread> workers;
+    {
+        const std::lock_guard lock(workers_mu_);
+        workers = std::move(workers_);
+    }
+    for (auto& w : workers)
+        if (w.joinable()) w.join();
+}
+
+void OriginServer::accept_loop() {
+    while (!stopping_.load()) {
+        auto conn = listener_.accept(/*timeout_ms=*/50);
+        if (!conn) continue;
+        const std::lock_guard lock(workers_mu_);
+        workers_.emplace_back(
+            [this, c = std::make_shared<TcpConnection>(std::move(*conn))]() mutable {
+                serve(std::move(*c));
+            });
+    }
+}
+
+void OriginServer::serve(TcpConnection conn) {
+    try {
+        while (!stopping_.load()) {
+            // Poll before reading so shutdown is never blocked by an idle
+            // persistent connection.
+            if (!conn.wait_readable(100)) continue;
+            const auto line = conn.read_line();
+            if (!line) break;  // client closed
+            const auto req = parse_request(*line);
+            if (!req) {
+                conn.write_all(format_response_header({HttpLiteStatus::error, 0}));
+                break;
+            }
+            if (config_.reply_delay.count() > 0) std::this_thread::sleep_for(config_.reply_delay);
+            conn.write_all(format_response_header({HttpLiteStatus::ok, req->size}));
+            conn.write_all(synth_body(req->size));
+            served_.fetch_add(1);
+        }
+    } catch (const std::exception&) {
+        // Connection-level failure: drop this client, keep serving others.
+    }
+}
+
+}  // namespace sc

@@ -1,0 +1,53 @@
+// Origin-server emulator: plays the benchmark's server processes, which
+// "wait before sending the reply to simulate the network latency"
+// (Section IV used one second). Replies to any GET with the number of
+// bytes the request asked for. Thread-per-connection; fine at prototype
+// scale (tens of concurrent proxies on loopback).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "icp/udp_socket.hpp"  // Endpoint
+#include "proto/tcp.hpp"
+
+namespace sc {
+
+class OriginServer {
+public:
+    struct Config {
+        std::uint16_t port = 0;  ///< 0 = ephemeral
+        std::chrono::milliseconds reply_delay{0};
+    };
+
+    explicit OriginServer(Config config);
+    ~OriginServer();
+
+    OriginServer(const OriginServer&) = delete;
+    OriginServer& operator=(const OriginServer&) = delete;
+
+    [[nodiscard]] Endpoint endpoint() const { return endpoint_; }
+    [[nodiscard]] std::uint64_t requests_served() const { return served_.load(); }
+
+    void stop();
+
+private:
+    void accept_loop();
+    void serve(TcpConnection conn);
+
+    Config config_;
+    TcpListener listener_;
+    Endpoint endpoint_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> served_{0};
+    std::thread accept_thread_;
+    std::vector<std::thread> workers_;
+    std::mutex workers_mu_;
+};
+
+}  // namespace sc

@@ -1,0 +1,52 @@
+#include "proto/replay_client.hpp"
+
+#include <chrono>
+
+#include "proto/http_lite.hpp"
+#include "proto/tcp.hpp"
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+ReplayClientStats replay_trace(const std::vector<Request>& trace,
+                               const std::vector<Endpoint>& proxy_http_endpoints) {
+    SC_ASSERT(!proxy_http_endpoints.empty());
+    ReplayClientStats stats;
+
+    std::vector<TcpConnection> conns;
+    conns.reserve(proxy_http_endpoints.size());
+    for (const Endpoint& ep : proxy_http_endpoints) conns.push_back(TcpConnection::connect(ep));
+
+    for (const Request& r : trace) {
+        const std::size_t p = r.client_id % proxy_http_endpoints.size();
+        TcpConnection& conn = conns[p];
+
+        HttpLiteRequest req;
+        req.url = r.url;
+        req.version = r.version;
+        req.size = r.size;
+
+        const auto start = std::chrono::steady_clock::now();
+        conn.write_all(format_request(req));
+        const auto line = conn.read_line();
+        if (!line) throw std::runtime_error("proxy closed connection mid-replay");
+        const auto header = parse_response_header(*line);
+        if (!header) throw std::runtime_error("malformed proxy response");
+        conn.discard_exact(header->size);
+        const auto elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+
+        ++stats.requests;
+        stats.latency_s.add(elapsed);
+        switch (header->status) {
+            case HttpLiteStatus::local_hit: ++stats.local_hits; break;
+            case HttpLiteStatus::remote_hit: ++stats.remote_hits; break;
+            case HttpLiteStatus::miss: ++stats.misses; break;
+            default: ++stats.errors; break;
+        }
+    }
+    return stats;
+}
+
+}  // namespace sc

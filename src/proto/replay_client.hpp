@@ -1,0 +1,38 @@
+// Trace-replay client (Section VII, experiments 3 and 4): feeds a request
+// stream into a set of running MiniProxy instances over TCP and collects
+// client-visible statistics. Requests are issued sequentially in trace
+// order over persistent connections — one per proxy — which preserves the
+// global timing order (experiment 4's property) or the client binding
+// (experiment 3's), depending on how the caller assigned client ids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "icp/udp_socket.hpp"  // Endpoint
+#include "trace/request.hpp"
+#include "util/stats.hpp"
+
+namespace sc {
+
+struct ReplayClientStats {
+    std::uint64_t requests = 0;
+    std::uint64_t local_hits = 0;
+    std::uint64_t remote_hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t errors = 0;
+    OnlineStats latency_s;  ///< per-request client-visible latency
+
+    [[nodiscard]] double total_hit_ratio() const {
+        return requests == 0 ? 0.0
+                             : static_cast<double>(local_hits + remote_hits) /
+                                   static_cast<double>(requests);
+    }
+};
+
+/// Replay `trace` against the proxies; request i goes to proxy
+/// (client_id mod proxies). Bodies are read and discarded.
+[[nodiscard]] ReplayClientStats replay_trace(const std::vector<Request>& trace,
+                                             const std::vector<Endpoint>& proxy_http_endpoints);
+
+}  // namespace sc

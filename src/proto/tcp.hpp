@@ -1,0 +1,85 @@
+// Minimal RAII TCP layer for the prototype: a loopback listener and a
+// blocking connection with line-oriented helpers (the HTTP-lite protocol
+// is line-framed). All errors surface as std::system_error; EOF is a
+// regular return value, not an error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "icp/udp_socket.hpp"  // Endpoint
+
+namespace sc {
+
+class TcpConnection {
+public:
+    /// Wrap an accepted or connected fd (takes ownership).
+    explicit TcpConnection(int fd);
+    ~TcpConnection();
+
+    TcpConnection(TcpConnection&& other) noexcept;
+    TcpConnection& operator=(TcpConnection&& other) noexcept;
+    TcpConnection(const TcpConnection&) = delete;
+    TcpConnection& operator=(const TcpConnection&) = delete;
+
+    /// Connect to a loopback endpoint (blocking).
+    [[nodiscard]] static TcpConnection connect(const Endpoint& to);
+
+    /// Read one '\n'-terminated line (strips "\r\n" or "\n").
+    /// Returns nullopt on clean EOF before any byte of a new line.
+    [[nodiscard]] std::optional<std::string> read_line();
+
+    /// True when a read would not block: either readahead is buffered or
+    /// the socket is readable (data or EOF) within timeout_ms.
+    [[nodiscard]] bool wait_readable(int timeout_ms);
+
+    /// Read exactly n bytes into out (resized). Throws on premature EOF.
+    void read_exact(std::size_t n, std::string& out);
+
+    /// Discard exactly n bytes.
+    void discard_exact(std::size_t n);
+
+    void write_all(std::string_view data);
+    void write_all(std::span<const std::uint8_t> data);
+
+    [[nodiscard]] int fd() const { return fd_; }
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+    void close() noexcept;
+
+private:
+    [[nodiscard]] bool fill_buffer();  // false on EOF
+
+    int fd_ = -1;
+    std::string buf_;   // readahead
+    std::size_t pos_ = 0;
+};
+
+class TcpListener {
+public:
+    /// Listen on 127.0.0.1:port (0 = ephemeral).
+    explicit TcpListener(std::uint16_t port = 0);
+
+    /// Listen on an arbitrary local endpoint (host 0 = INADDR_ANY).
+    explicit TcpListener(const Endpoint& bind_addr);
+    ~TcpListener();
+
+    TcpListener(TcpListener&& other) noexcept;
+    TcpListener& operator=(TcpListener&& other) noexcept;
+    TcpListener(const TcpListener&) = delete;
+    TcpListener& operator=(const TcpListener&) = delete;
+
+    [[nodiscard]] Endpoint local_endpoint() const;
+    [[nodiscard]] int fd() const { return fd_; }
+
+    /// Wait up to timeout_ms for a connection; nullopt on timeout.
+    [[nodiscard]] std::optional<TcpConnection> accept(int timeout_ms);
+
+private:
+    void close_fd() noexcept;
+
+    int fd_ = -1;
+};
+
+}  // namespace sc

@@ -1,0 +1,24 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sc {
+
+double tcp_packets_per_leg(const CostModelConfig& cfg, double bytes) {
+    const double segments = std::ceil(std::max(0.0, bytes) / cfg.tcp_mss);
+    return cfg.tcp_leg_overhead_pkts + segments * (1.0 + cfg.acks_per_segment);
+}
+
+std::uint64_t udp_datagrams_for_update(const CostModelConfig& cfg, std::uint64_t bytes) {
+    if (bytes == 0) return 0;
+    return static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(bytes) / cfg.udp_mtu_payload));
+}
+
+double queueing_delay(double c, double rho) {
+    const double bounded = std::clamp(rho, 0.0, 0.95);
+    return c / (1.0 - bounded);
+}
+
+}  // namespace sc

@@ -1,0 +1,60 @@
+// Packet / CPU / latency cost model reproducing the *accounting* of the
+// paper's testbed experiments (Sections IV and VII): 10 SPARC-20-class
+// machines, Squid proxies, netstat packet counts, and the Wisconsin Proxy
+// Benchmark's 1-second origin-server delay.
+//
+// The absolute constants are calibrated, not measured — what the
+// reproduction must preserve is the *relative* overhead of ICP vs no-ICP
+// vs SC-ICP (factors of tens in UDP messages, tens of percent in CPU,
+// ~10% in latency), which depends on event counts, not on the constants'
+// absolute scale. Every constant is documented and adjustable.
+#pragma once
+
+#include <cstdint>
+
+namespace sc {
+
+struct CostModelConfig {
+    // --- CPU charges, seconds per event (SPARC-20-era Squid scale) ------
+    double user_cpu_per_http = 0.0100;      ///< parse+serve one HTTP request
+    double sys_cpu_per_tcp_packet = 0.00025;///< kernel cost per TCP packet
+    double user_cpu_per_icp_event = 0.00024;///< build/parse one ICP message
+    double sys_cpu_per_udp = 0.00014;       ///< kernel cost per UDP datagram
+    double user_cpu_per_md5 = 0.00001;      ///< one MD5 signature (SC-ICP)
+    double user_cpu_per_remote_hit = 0.0040;///< extra work serving a sibling
+
+    // --- latency components, seconds ------------------------------------
+    double server_delay = 1.0;       ///< benchmark origin servers sleep 1 s
+    double hit_service_time = 0.020; ///< local-hit turnaround (no queueing)
+    double remote_hit_fetch = 0.150; ///< LAN fetch from a sibling
+    double lan_rtt = 0.002;          ///< ICP query/reply round trip
+
+    // --- packet accounting ----------------------------------------------
+    double tcp_mss = 1460.0;
+    /// Non-data TCP packets per HTTP transfer leg as seen at one NIC
+    /// (SYN/SYN-ACK/ACK, request, FIN exchange): sent + received.
+    double tcp_leg_overhead_pkts = 8.0;
+    /// ACKs per data segment (delayed acks: one per two segments).
+    double acks_per_segment = 0.5;
+    /// UDP datagram payload capacity for chunking summary updates.
+    double udp_mtu_payload = 1400.0;
+
+    // --- background traffic ----------------------------------------------
+    /// Squid peers exchange liveness probes; this is the only inter-proxy
+    /// UDP in the no-ICP baseline (the paper's Table II footnote).
+    double keepalive_interval_s = 1.5;
+};
+
+/// TCP packets (sent + received at one proxy NIC) for transferring a body
+/// of `bytes` over one HTTP leg.
+[[nodiscard]] double tcp_packets_per_leg(const CostModelConfig& cfg, double bytes);
+
+/// UDP datagrams needed to carry a summary-update message of `bytes`.
+[[nodiscard]] std::uint64_t udp_datagrams_for_update(const CostModelConfig& cfg,
+                                                     std::uint64_t bytes);
+
+/// M/M/1-style queueing inflation: expected time in system for work `c`
+/// at utilization rho (clamped below 0.95 to keep the model stable).
+[[nodiscard]] double queueing_delay(double c, double rho);
+
+}  // namespace sc

@@ -1,0 +1,70 @@
+// Deterministic discrete-event core: a time-ordered queue of callbacks
+// with FIFO tie-breaking (insertion sequence) so runs are bit-reproducible
+// regardless of floating-point ties.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+class EventQueue {
+public:
+    using Handler = std::function<void()>;
+
+    /// Schedule `fn` at absolute time `t` (must be >= now()).
+    void schedule(double t, Handler fn) {
+        SC_ASSERT(t >= now_ - 1e-12);
+        heap_.push(Event{t, next_seq_++, std::move(fn)});
+    }
+
+    /// Convenience: schedule `fn` after a delay.
+    void schedule_in(double delay, Handler fn) { schedule(now_ + delay, std::move(fn)); }
+
+    /// Pop and run the earliest event. Returns false when empty.
+    bool step() {
+        if (heap_.empty()) return false;
+        // Moving out of a priority_queue top requires a const_cast; the
+        // element is popped immediately after, so this is safe.
+        Event ev = std::move(const_cast<Event&>(heap_.top()));
+        heap_.pop();
+        now_ = ev.time;
+        ev.fn();
+        return true;
+    }
+
+    /// Run until the queue drains or max_events fire (runaway guard).
+    /// Returns the number of events executed.
+    std::uint64_t run(std::uint64_t max_events = ~0ull) {
+        std::uint64_t n = 0;
+        while (n < max_events && step()) ++n;
+        return n;
+    }
+
+    [[nodiscard]] double now() const { return now_; }
+    [[nodiscard]] bool empty() const { return heap_.empty(); }
+    [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+private:
+    struct Event {
+        double time;
+        std::uint64_t seq;
+        Handler fn;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;  // FIFO among simultaneous events
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    double now_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sc

@@ -1,0 +1,157 @@
+#include "sim/hierarchy_sim.hpp"
+
+#include "summary/message_costs.hpp"
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+const char* hierarchy_protocol_name(HierarchyProtocol p) {
+    switch (p) {
+        case HierarchyProtocol::always_query: return "always-query";
+        case HierarchyProtocol::summary: return "summary";
+    }
+    return "?";
+}
+
+double HierarchySimResult::total_hit_ratio() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(child_hits + parent_hits) / static_cast<double>(requests);
+}
+
+double HierarchySimResult::parent_hit_ratio() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(parent_hits) / static_cast<double>(requests);
+}
+
+double HierarchySimResult::queries_per_request() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(query_messages) / static_cast<double>(requests);
+}
+
+HierarchySimulator::HierarchySimulator(HierarchySimConfig config) : config_(config) {
+    SC_ASSERT(config_.num_children >= 1);
+    SC_ASSERT(config_.child_cache_bytes > 0 && config_.parent_cache_bytes > 0);
+    for (std::uint32_t i = 0; i < config_.num_children; ++i)
+        children_.push_back(std::make_unique<LruCache>(
+            LruCacheConfig{config_.child_cache_bytes, config_.max_object_bytes}));
+    parent_ = std::make_unique<LruCache>(
+        LruCacheConfig{config_.parent_cache_bytes, config_.max_object_bytes});
+
+    if (config_.protocol == HierarchyProtocol::summary) {
+        const std::uint64_t expected_docs =
+            std::max<std::uint64_t>(1, config_.parent_cache_bytes / kAverageDocumentBytes);
+        parent_summary_ = make_summary(config_.summary_kind, expected_docs, config_.bloom);
+        parent_policy_ = std::make_unique<UpdateThresholdPolicy>(config_.update_threshold);
+        DirectorySummary* summary = parent_summary_.get();
+        parent_->set_insert_hook(
+            [summary](const LruCache::Entry& e) { summary->on_insert(e.url); });
+        parent_->set_removal_hook(
+            [summary](const LruCache::Entry& e) { summary->on_erase(e.url); });
+    }
+}
+
+void HierarchySimulator::maybe_publish() {
+    if (!parent_policy_->should_publish(parent_->document_count())) return;
+    if (config_.min_update_changes > 0 &&
+        parent_summary_->pending_changes() < config_.min_update_changes)
+        return;
+    const std::uint64_t bytes = parent_summary_->publish();
+    parent_policy_->on_published();
+    if (bytes == 0) return;
+    const std::uint64_t receivers = config_.multicast_updates ? 1 : config_.num_children;
+    result_.update_messages += receivers;
+    result_.update_bytes += bytes * receivers;
+}
+
+void HierarchySimulator::parent_relay_fetch(const Request& r, std::uint32_t child) {
+    // The parent fetches from the origin on the child's behalf, caches the
+    // document (it is the shared tier), and relays it down.
+    ++result_.parent_fetches;
+    if (parent_->insert(r.url, r.size, r.version) && parent_policy_) {
+        parent_policy_->on_new_document();
+        maybe_publish();
+    }
+    children_[child]->insert(r.url, r.size, r.version);
+}
+
+void HierarchySimulator::child_direct_fetch(const Request& r, std::uint32_t child) {
+    // Summary said the parent has nothing: skip the detour entirely.
+    ++result_.direct_fetches;
+    children_[child]->insert(r.url, r.size, r.version);
+}
+
+void HierarchySimulator::process(const Request& r) {
+    // Route the parent's own user population straight to the parent.
+    const auto bucket = (r.client_id * 2654435761u) % 1000u;
+    if (static_cast<double>(bucket) < 1000.0 * config_.parent_client_fraction) {
+        ++result_.parent_own_requests;
+        if (parent_->lookup(r.url, r.version) == LruCache::Lookup::hit) {
+            ++result_.parent_own_hits;
+            return;
+        }
+        ++result_.parent_fetches;
+        if (parent_->insert(r.url, r.size, r.version) && parent_policy_) {
+            parent_policy_->on_new_document();
+            maybe_publish();
+        }
+        return;
+    }
+
+    ++result_.requests;
+    const std::uint32_t child = r.client_id % config_.num_children;
+
+    if (children_[child]->lookup(r.url, r.version) == LruCache::Lookup::hit) {
+        ++result_.child_hits;
+        return;
+    }
+
+    const bool ask_parent =
+        config_.protocol == HierarchyProtocol::always_query ||
+        parent_summary_->published_may_contain(r.url);
+
+    if (ask_parent) {
+        ++result_.query_messages;
+        ++result_.reply_messages;
+        switch (parent_->lookup(r.url, r.version)) {
+            case LruCache::Lookup::hit:
+                ++result_.parent_hits;
+                children_[child]->insert(r.url, r.size, r.version);
+                return;
+            case LruCache::Lookup::miss_changed:
+                ++result_.parent_stale_hits;
+                parent_relay_fetch(r, child);
+                return;
+            case LruCache::Lookup::miss_absent:
+                if (config_.protocol == HierarchyProtocol::summary) {
+                    // Summary promised a copy and the parent had none.
+                    ++result_.false_hits;
+                    child_direct_fetch(r, child);
+                } else {
+                    parent_relay_fetch(r, child);
+                }
+                return;
+        }
+        return;
+    }
+
+    // Summary protocol, parent not promising: check for the false miss
+    // (fresh copy at the parent that the lagging summary hides).
+    if (const auto v = parent_->cached_version(r.url); v && *v == r.version)
+        ++result_.false_misses;
+    child_direct_fetch(r, child);
+}
+
+void HierarchySimulator::process_all(const std::vector<Request>& trace) {
+    for (const Request& r : trace) process(r);
+}
+
+HierarchySimResult run_hierarchy_sim(const HierarchySimConfig& config,
+                                     const std::vector<Request>& trace) {
+    HierarchySimulator sim(config);
+    sim.process_all(trace);
+    return sim.result();
+}
+
+}  // namespace sc

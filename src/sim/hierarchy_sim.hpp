@@ -1,0 +1,96 @@
+// Parent-child proxy hierarchy (paper Section VIII).
+//
+// Hierarchical caching differs from sibling cooperation in one way: a
+// proxy may ask its *parent* to fetch a document from the origin server,
+// but can only take what a *sibling* already has. The paper notes that
+// summary-cache enhanced ICP applies between parent and child too: each
+// child replicates the parent's summary, asks the parent only when the
+// summary looks promising, and otherwise goes straight to the origin —
+// eliminating the per-miss parent query of classic hierarchies.
+//
+// This simulator models N children under one parent:
+//   * always_query — classic hierarchy: every child miss queries the
+//     parent; on a parent miss the parent fetches, caches, and relays.
+//   * summary      — children hold the parent's summary; non-promising
+//     misses bypass the parent entirely (direct origin fetch).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/lru_cache.hpp"
+#include "summary/summary.hpp"
+#include "summary/update_policy.hpp"
+#include "trace/request.hpp"
+
+namespace sc {
+
+enum class HierarchyProtocol { always_query, summary };
+
+[[nodiscard]] const char* hierarchy_protocol_name(HierarchyProtocol p);
+
+struct HierarchySimConfig {
+    std::uint32_t num_children = 4;
+    std::uint64_t child_cache_bytes = 0;
+    std::uint64_t parent_cache_bytes = 0;
+    std::uint64_t max_object_bytes = kDefaultMaxObjectBytes;
+    HierarchyProtocol protocol = HierarchyProtocol::always_query;
+    SummaryKind summary_kind = SummaryKind::bloom;
+    double update_threshold = 0.01;
+    BloomSummaryConfig bloom;
+    std::size_t min_update_changes = 0;
+    bool multicast_updates = false;
+    /// Fraction of clients that are the parent's *own* users (a parent
+    /// proxy usually serves a population of its own besides its children);
+    /// their requests hit the parent directly and populate its cache.
+    double parent_client_fraction = 0.2;
+};
+
+struct HierarchySimResult {
+    std::uint64_t requests = 0;            ///< child-population requests
+    std::uint64_t parent_own_requests = 0; ///< the parent's own users
+    std::uint64_t parent_own_hits = 0;
+    std::uint64_t child_hits = 0;          ///< served from the child's own cache
+    std::uint64_t parent_hits = 0;         ///< fresh copy at the parent
+    std::uint64_t parent_stale_hits = 0;   ///< parent copy out of date
+    std::uint64_t false_hits = 0;          ///< summary flagged, parent had nothing
+    std::uint64_t false_misses = 0;        ///< parent had it, summary silent
+    std::uint64_t parent_fetches = 0;      ///< origin fetches routed via the parent
+    std::uint64_t direct_fetches = 0;      ///< origin fetches bypassing the parent
+    std::uint64_t query_messages = 0;
+    std::uint64_t reply_messages = 0;
+    std::uint64_t update_messages = 0;
+    std::uint64_t update_bytes = 0;
+
+    [[nodiscard]] double total_hit_ratio() const;
+    [[nodiscard]] double parent_hit_ratio() const;
+    [[nodiscard]] double queries_per_request() const;
+};
+
+class HierarchySimulator {
+public:
+    explicit HierarchySimulator(HierarchySimConfig config);
+
+    void process(const Request& r);
+    void process_all(const std::vector<Request>& trace);
+
+    [[nodiscard]] const HierarchySimResult& result() const { return result_; }
+
+private:
+    void parent_relay_fetch(const Request& r, std::uint32_t child);
+    void child_direct_fetch(const Request& r, std::uint32_t child);
+    void maybe_publish();
+
+    HierarchySimConfig config_;
+    std::vector<std::unique_ptr<LruCache>> children_;
+    std::unique_ptr<LruCache> parent_;
+    std::unique_ptr<DirectorySummary> parent_summary_;        // summary mode
+    std::unique_ptr<UpdateThresholdPolicy> parent_policy_;    // summary mode
+    HierarchySimResult result_;
+};
+
+[[nodiscard]] HierarchySimResult run_hierarchy_sim(const HierarchySimConfig& config,
+                                                   const std::vector<Request>& trace);
+
+}  // namespace sc

@@ -1,0 +1,225 @@
+#include "sim/latency_sim.hpp"
+
+#include <deque>
+#include <optional>
+
+#include "summary/message_costs.hpp"
+#include "util/sc_assert.hpp"
+
+namespace sc {
+namespace {
+
+/// One-way network latency between any two hosts on the testbed LAN.
+double one_way(const CostModelConfig& cost) { return cost.lan_rtt / 2.0; }
+
+struct SimProxy {
+    std::unique_ptr<LruCache> cache;
+    std::unique_ptr<BloomSummary> summary;  // SC-ICP only
+    std::unique_ptr<UpdateThresholdPolicy> policy;
+    double cpu_free_at = 0.0;
+    double busy_s = 0.0;
+};
+
+class Engine {
+public:
+    explicit Engine(const WisconsinConfig& cfg)
+        : cfg_(cfg), cost_(cfg.cost), proxies_(cfg.num_proxies) {
+        const std::uint64_t expected_docs =
+            std::max<std::uint64_t>(1, cfg.cache_bytes / kAverageDocumentBytes);
+        for (auto& p : proxies_) {
+            p.cache = std::make_unique<LruCache>(LruCacheConfig{cfg.cache_bytes});
+            if (cfg_.protocol == BenchProtocol::sc_icp) {
+                p.summary = std::make_unique<BloomSummary>(expected_docs, cfg.bloom);
+                p.policy = std::make_unique<UpdateThresholdPolicy>(cfg.update_threshold);
+                BloomSummary* summary = p.summary.get();
+                p.cache->set_insert_hook(
+                    [summary](const LruCache::Entry& e) { summary->on_insert(e.url); });
+                p.cache->set_removal_hook(
+                    [summary](const LruCache::Entry& e) { summary->on_erase(e.url); });
+            }
+        }
+
+        const auto workload = generate_wisconsin_workload(cfg);
+        const std::uint32_t total_clients = cfg.num_proxies * cfg.clients_per_proxy;
+        queues_.resize(total_clients);
+        for (const Request& r : workload) queues_[r.client_id].push_back(r);
+    }
+
+    LatencySimResult run() {
+        // Stagger client starts across one millisecond so the opening
+        // burst does not arrive as one mega-tie.
+        for (std::uint32_t c = 0; c < queues_.size(); ++c) {
+            const double start = 1e-6 * c;
+            q_.schedule(start, [this, c] { issue(c); });
+        }
+        q_.run(500'000'000ull);  // generous runaway guard
+        result_.duration_s = last_completion_;
+        for (const auto& p : proxies_) {
+            if (result_.duration_s > 0)
+                result_.max_cpu_utilization =
+                    std::max(result_.max_cpu_utilization, p.busy_s / result_.duration_s);
+        }
+        return std::move(result_);
+    }
+
+private:
+    // Reserve the proxy CPU for `service` seconds starting no earlier than
+    // now; returns the completion time.
+    double exec(SimProxy& p, double service) {
+        const double start = std::max(q_.now(), p.cpu_free_at);
+        const double done = start + service;
+        p.cpu_free_at = done;
+        p.busy_s += service;
+        return done;
+    }
+
+    void issue(std::uint32_t client) {
+        auto& queue = queues_[client];
+        if (queue.empty()) return;
+        const Request req = std::move(queue.front());
+        queue.pop_front();
+        const double start = q_.now();
+        const std::uint32_t home = client % cfg_.num_proxies;
+        q_.schedule_in(one_way(cost_), [this, req, client, home, start] {
+            arrive(req, client, home, start);
+        });
+    }
+
+    void arrive(const Request& req, std::uint32_t client, std::uint32_t home, double start) {
+        SimProxy& p = proxies_[home];
+        const double done = exec(p, cost_.user_cpu_per_http);
+        q_.schedule(done,
+                    [this, req, client, home, start] { after_lookup(req, client, home, start); });
+    }
+
+    void after_lookup(const Request& req, std::uint32_t client, std::uint32_t home,
+                      double start) {
+        SimProxy& p = proxies_[home];
+        if (p.cache->lookup(req.url, req.version) == LruCache::Lookup::hit) {
+            ++result_.local_hits;
+            reply_to_client(client, start, q_.now() + cost_.hit_service_time);
+            return;
+        }
+        std::vector<std::uint32_t> targets;
+        if (cfg_.protocol == BenchProtocol::icp) {
+            for (std::uint32_t s = 0; s < cfg_.num_proxies; ++s)
+                if (s != home) targets.push_back(s);
+        } else if (cfg_.protocol == BenchProtocol::sc_icp) {
+            for (std::uint32_t s = 0; s < cfg_.num_proxies; ++s) {
+                if (s == home) continue;
+                if (proxies_[s].summary->published_may_contain(req.url)) targets.push_back(s);
+            }
+        }
+        if (targets.empty()) {
+            origin_fetch(req, client, home, start);
+            return;
+        }
+        query_siblings(req, client, home, start, targets);
+    }
+
+    struct QueryCtx {
+        Request req;
+        std::uint32_t client;
+        std::uint32_t home;
+        double start;
+        std::size_t pending;
+        std::optional<std::uint32_t> hit_sibling;
+    };
+
+    void query_siblings(const Request& req, std::uint32_t client, std::uint32_t home,
+                        double start, const std::vector<std::uint32_t>& targets) {
+        auto ctx = std::make_shared<QueryCtx>(
+            QueryCtx{req, client, home, start, targets.size(), std::nullopt});
+        result_.queries_sent += targets.size();
+        for (const std::uint32_t s : targets) {
+            q_.schedule_in(one_way(cost_), [this, ctx, s] {
+                // Query arrives at the sibling: it burns CPU, snapshots its
+                // answer at completion, and the reply travels back.
+                SimProxy& sib = proxies_[s];
+                const double done = exec(sib, cost_.user_cpu_per_icp_event);
+                q_.schedule(done, [this, ctx, s] {
+                    const auto v = proxies_[s].cache->cached_version(ctx->req.url);
+                    const bool fresh = v && *v == ctx->req.version;
+                    q_.schedule_in(one_way(cost_), [this, ctx, s, fresh] {
+                        // Reply lands at the requester (more CPU).
+                        const double processed =
+                            exec(proxies_[ctx->home], cost_.user_cpu_per_icp_event);
+                        if (fresh && !ctx->hit_sibling) ctx->hit_sibling = s;
+                        SC_ASSERT(ctx->pending > 0);
+                        if (--ctx->pending == 0)
+                            q_.schedule(processed, [this, ctx] { after_queries(ctx); });
+                    });
+                });
+            });
+        }
+    }
+
+    void after_queries(const std::shared_ptr<QueryCtx>& ctx) {
+        if (ctx->hit_sibling) {
+            // Fetch the document from the sibling over TCP.
+            const std::uint32_t s = *ctx->hit_sibling;
+            q_.schedule_in(cost_.remote_hit_fetch, [this, ctx, s] {
+                const double done = exec(proxies_[s], cost_.user_cpu_per_remote_hit);
+                q_.schedule(done, [this, ctx, s] {
+                    proxies_[s].cache->touch(ctx->req.url);
+                    ++result_.remote_hits;
+                    insert_and_publish(ctx->req, ctx->home);
+                    reply_to_client(ctx->client, ctx->start, q_.now());
+                });
+            });
+            return;
+        }
+        origin_fetch(ctx->req, ctx->client, ctx->home, ctx->start);
+    }
+
+    void origin_fetch(const Request& req, std::uint32_t client, std::uint32_t home,
+                      double start) {
+        q_.schedule_in(cost_.server_delay, [this, req, client, home, start] {
+            insert_and_publish(req, home);
+            reply_to_client(client, start, q_.now());
+        });
+    }
+
+    void insert_and_publish(const Request& req, std::uint32_t home) {
+        SimProxy& p = proxies_[home];
+        if (!p.cache->insert(req.url, req.size, req.version)) return;
+        if (!p.policy) return;
+        p.policy->on_new_document();
+        if (!p.policy->should_publish(p.cache->document_count())) return;
+        if (p.summary->pending_changes() < 350) return;  // IP-packet batching
+        const std::uint64_t bytes = p.summary->publish();
+        p.policy->on_published();
+        if (bytes == 0) return;
+        for (std::uint32_t s = 0; s < cfg_.num_proxies; ++s) {
+            if (s == home) continue;
+            ++result_.updates_sent;
+            q_.schedule_in(one_way(cost_), [this, s] {
+                (void)exec(proxies_[s], cost_.user_cpu_per_icp_event);
+            });
+        }
+    }
+
+    void reply_to_client(std::uint32_t client, double start, double ready) {
+        const double arrive_at = std::max(ready, q_.now()) + one_way(cost_);
+        q_.schedule(arrive_at, [this, client, start] {
+            ++result_.requests;
+            result_.client_latency_s.add(q_.now() - start);
+            last_completion_ = std::max(last_completion_, q_.now());
+            issue(client);  // closed loop: no think time
+        });
+    }
+
+    WisconsinConfig cfg_;
+    CostModelConfig cost_;
+    EventQueue q_;
+    std::vector<SimProxy> proxies_;
+    std::vector<std::deque<Request>> queues_;
+    LatencySimResult result_;
+    double last_completion_ = 0.0;
+};
+
+}  // namespace
+
+LatencySimResult run_latency_sim(const WisconsinConfig& cfg) { return Engine(cfg).run(); }
+
+}  // namespace sc

@@ -1,0 +1,53 @@
+// Discrete-event latency simulation of the testbed (Section IV / VII).
+//
+// Where wisconsin.cpp derives latency and CPU from a closed-form queueing
+// model, this simulator *measures* them: clients are closed-loop entities
+// (next request issued when the previous reply lands), each proxy is a
+// single-CPU FIFO server whose work items (HTTP handling, ICP message
+// processing, remote-hit service) take the CostModelConfig service times,
+// the origin delays every fetch by server_delay, and every inter-proxy or
+// client message pays a one-way network latency. The two methods agreeing
+// on the protocol ordering (no-ICP vs ICP vs SC-ICP) is the evidence that
+// Table II's latency story is not an artifact of the closed-form model.
+//
+// Fully deterministic: event ordering breaks ties by insertion sequence
+// and all randomness comes from the workload generator's seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/lru_cache.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/wisconsin.hpp"  // BenchProtocol, WisconsinConfig
+#include "summary/bloom_summary.hpp"
+#include "summary/update_policy.hpp"
+#include "util/stats.hpp"
+
+namespace sc {
+
+struct LatencySimResult {
+    OnlineStats client_latency_s;   ///< per-request client-visible latency
+    double duration_s = 0.0;        ///< completion time of the last request
+    double max_cpu_utilization = 0.0;  ///< busiest proxy's busy fraction
+    std::uint64_t requests = 0;
+    std::uint64_t local_hits = 0;
+    std::uint64_t remote_hits = 0;
+    std::uint64_t queries_sent = 0;
+    std::uint64_t updates_sent = 0;
+
+    [[nodiscard]] double hit_ratio() const {
+        return requests == 0
+                   ? 0.0
+                   : static_cast<double>(local_hits + remote_hits) /
+                         static_cast<double>(requests);
+    }
+};
+
+/// Run the Wisconsin-benchmark scenario through the event simulator.
+/// Reuses WisconsinConfig so the two methods consume identical workloads.
+[[nodiscard]] LatencySimResult run_latency_sim(const WisconsinConfig& cfg);
+
+}  // namespace sc

@@ -1,0 +1,357 @@
+#include "sim/share_sim.hpp"
+
+#include <algorithm>
+
+#include "bloom/hash_spec.hpp"
+#include "summary/bloom_summary.hpp"
+#include "summary/message_costs.hpp"
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+const char* sharing_scheme_name(SharingScheme s) {
+    switch (s) {
+        case SharingScheme::none: return "no-sharing";
+        case SharingScheme::simple: return "simple";
+        case SharingScheme::single_copy: return "single-copy";
+        case SharingScheme::global: return "global";
+    }
+    return "?";
+}
+
+const char* query_protocol_name(QueryProtocol p) {
+    switch (p) {
+        case QueryProtocol::none: return "none";
+        case QueryProtocol::icp: return "icp";
+        case QueryProtocol::oracle: return "oracle";
+        case QueryProtocol::summary: return "summary";
+    }
+    return "?";
+}
+
+double ShareSimResult::total_hit_ratio() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(local_hits + remote_hits) / static_cast<double>(requests);
+}
+
+double ShareSimResult::byte_hit_ratio() const {
+    return request_bytes == 0
+               ? 0.0
+               : static_cast<double>(hit_bytes) / static_cast<double>(request_bytes);
+}
+
+double ShareSimResult::local_hit_ratio() const {
+    return requests == 0 ? 0.0 : static_cast<double>(local_hits) / static_cast<double>(requests);
+}
+
+double ShareSimResult::remote_hit_ratio() const {
+    return requests == 0 ? 0.0 : static_cast<double>(remote_hits) / static_cast<double>(requests);
+}
+
+double ShareSimResult::false_hit_ratio() const {
+    return requests == 0 ? 0.0 : static_cast<double>(false_hits) / static_cast<double>(requests);
+}
+
+double ShareSimResult::false_miss_ratio() const {
+    return requests == 0 ? 0.0 : static_cast<double>(false_misses) / static_cast<double>(requests);
+}
+
+double ShareSimResult::remote_stale_hit_ratio() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(remote_stale_hits) / static_cast<double>(requests);
+}
+
+std::uint64_t ShareSimResult::total_messages() const {
+    // Matches the paper's Figure 7 accounting: queries + summary updates.
+    // (Replies are tracked separately; the packet-level model counts them.)
+    return query_messages + update_messages;
+}
+
+std::uint64_t ShareSimResult::total_message_bytes() const {
+    return query_bytes + update_bytes;
+}
+
+double ShareSimResult::messages_per_request() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(total_messages()) / static_cast<double>(requests);
+}
+
+double ShareSimResult::message_bytes_per_request() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(total_message_bytes()) / static_cast<double>(requests);
+}
+
+ShareSimulator::ShareSimulator(ShareSimConfig config) : config_(std::move(config)) {
+    SC_ASSERT(config_.num_proxies >= 1);
+    SC_ASSERT(config_.cache_bytes_per_proxy > 0 || !config_.per_proxy_cache_bytes.empty());
+    SC_ASSERT(config_.per_proxy_cache_bytes.empty() ||
+              config_.per_proxy_cache_bytes.size() == config_.num_proxies);
+
+    const auto capacity_of = [this](std::uint32_t proxy) {
+        return config_.per_proxy_cache_bytes.empty() ? config_.cache_bytes_per_proxy
+                                                     : config_.per_proxy_cache_bytes[proxy];
+    };
+
+    if (config_.scheme == SharingScheme::global) {
+        std::uint64_t total = 0;
+        for (std::uint32_t p = 0; p < config_.num_proxies; ++p) total += capacity_of(p);
+        const auto capacity = static_cast<std::uint64_t>(
+            static_cast<double>(total) * config_.global_capacity_scale);
+        global_cache_ = std::make_unique<LruCache>(
+            LruCacheConfig{capacity, config_.max_object_bytes});
+        return;
+    }
+
+    proxies_.resize(config_.num_proxies);
+    for (std::uint32_t i = 0; i < config_.num_proxies; ++i) {
+        auto& p = proxies_[i];
+        const std::uint64_t capacity = capacity_of(i);
+        SC_ASSERT(capacity > 0);
+        const std::uint64_t expected_docs =
+            std::max<std::uint64_t>(1, capacity / kAverageDocumentBytes);
+        p.cache =
+            std::make_unique<LruCache>(LruCacheConfig{capacity, config_.max_object_bytes});
+        if (config_.protocol == QueryProtocol::summary) {
+            p.summary = make_summary(config_.summary_kind, expected_docs, config_.bloom);
+            if (config_.update_interval_seconds > 0.0)
+                p.time_policy =
+                    std::make_unique<TimeIntervalPolicy>(config_.update_interval_seconds);
+            else
+                p.policy = std::make_unique<UpdateThresholdPolicy>(config_.update_threshold);
+            DirectorySummary* summary = p.summary.get();
+            p.cache->set_insert_hook(
+                [summary](const LruCache::Entry& e) { summary->on_insert(e.url); });
+            p.cache->set_removal_hook(
+                [summary](const LruCache::Entry& e) { summary->on_erase(e.url); });
+        }
+    }
+}
+
+void ShareSimulator::process(const Request& r) {
+    ++result_.requests;
+    result_.request_bytes += r.size;
+
+    if (config_.scheme == SharingScheme::global) {
+        if (global_cache_->lookup(r.url, r.version) == LruCache::Lookup::hit) {
+            ++result_.local_hits;
+            result_.hit_bytes += r.size;
+        } else {
+            ++result_.server_fetches;
+            global_cache_->insert(r.url, r.size, r.version);
+        }
+        return;
+    }
+
+    const std::uint32_t home = r.client_id % config_.num_proxies;
+
+    if (proxies_[home].cache->lookup(r.url, r.version) == LruCache::Lookup::hit) {
+        ++result_.local_hits;
+        result_.hit_bytes += r.size;
+        return;
+    }
+
+    if (config_.scheme == SharingScheme::none || config_.protocol == QueryProtocol::none) {
+        ++result_.server_fetches;
+        insert_local(r, home);
+        return;
+    }
+
+    process_shared(r, home);
+}
+
+void ShareSimulator::process_shared(const Request& r, std::uint32_t home) {
+    std::vector<std::uint32_t> queried;
+    bool summary_mode = false;
+    switch (config_.protocol) {
+        case QueryProtocol::icp:
+        case QueryProtocol::oracle:
+            queried.reserve(config_.num_proxies - 1);
+            for (std::uint32_t q = 0; q < config_.num_proxies; ++q)
+                if (q != home) queried.push_back(q);
+            break;
+        case QueryProtocol::summary:
+            queried = promising_siblings(r, home);
+            summary_mode = true;
+            break;
+        case QueryProtocol::none:
+            SC_ASSERT(false);  // handled by the caller
+    }
+    handle_miss_via_queries(r, home, queried, summary_mode);
+}
+
+std::vector<std::uint32_t> ShareSimulator::promising_siblings(const Request& r,
+                                                              std::uint32_t home) const {
+    std::vector<std::uint32_t> out;
+    if (config_.summary_kind == SummaryKind::bloom) {
+        // All proxies share one hash spec, so hash the URL once and probe
+        // every sibling's published bit array with the same indexes.
+        const auto* home_summary = static_cast<const BloomSummary*>(proxies_[home].summary.get());
+        const auto indexes = bloom_indexes(r.url, home_summary->hash_spec());
+        for (std::uint32_t q = 0; q < config_.num_proxies; ++q) {
+            if (q == home) continue;
+            const auto* s = static_cast<const BloomSummary*>(proxies_[q].summary.get());
+            if (s->published_may_contain(std::span<const std::uint32_t>(indexes)))
+                out.push_back(q);
+        }
+        return out;
+    }
+    for (std::uint32_t q = 0; q < config_.num_proxies; ++q) {
+        if (q == home) continue;
+        if (proxies_[q].summary->published_may_contain(r.url)) out.push_back(q);
+    }
+    return out;
+}
+
+void ShareSimulator::handle_miss_via_queries(const Request& r, std::uint32_t home,
+                                             const std::vector<std::uint32_t>& queried,
+                                             bool summary_mode) {
+    const bool count_messages = config_.protocol != QueryProtocol::oracle;
+
+    if (summary_mode) {
+        // Summary protocol: probe the promising siblings ONE AT A TIME —
+        // the Squid cache-digest behaviour the paper's message accounting
+        // reflects ("the number of query messages ... includes remote
+        // cache hits, false hits and remote stale hits"). A sibling whose
+        // ICP reply is HIT but whose copy turns out stale ends the round
+        // (the document comes from the server); a MISS reply is a wasted
+        // query (false hit) and probing moves to the next candidate.
+        bool wasted_query = false;
+        for (std::uint32_t q : queried) {
+            ++result_.query_messages;
+            ++result_.reply_messages;
+            result_.query_bytes += kQueryMessageBytes;
+            result_.reply_bytes += kQueryMessageBytes;
+            const auto v = proxies_[q].cache->cached_version(r.url);
+            if (!v) {
+                wasted_query = true;  // summary lied about this sibling
+                continue;
+            }
+            if (*v == r.version) {
+                if (wasted_query) ++result_.false_hits;
+                ++result_.remote_hits;
+                result_.hit_bytes += r.size;
+                proxies_[q].cache->touch(r.url);
+                if (config_.scheme == SharingScheme::simple) insert_local(r, home);
+                return;
+            }
+            ++result_.remote_stale_hits;  // found, but out of date
+            break;
+        }
+        // One false-hit event per request that wasted at least one query.
+        if (wasted_query) ++result_.false_hits;
+        // A fresh copy held by a sibling whose summary stayed silent is a
+        // false miss — the cost of update delay and of inclusive errors.
+        for (std::uint32_t q = 0; q < config_.num_proxies; ++q) {
+            if (q == home) continue;
+            if (std::find(queried.begin(), queried.end(), q) != queried.end()) continue;
+            const auto v = proxies_[q].cache->cached_version(r.url);
+            if (v && *v == r.version) {
+                ++result_.false_misses;
+                break;
+            }
+        }
+        ++result_.server_fetches;
+        insert_local(r, home);
+        return;
+    }
+
+    // ICP / oracle: the query (if any) is multicast to every sibling at
+    // once and all replies come back.
+    if (count_messages) {
+        result_.query_messages += queried.size();
+        result_.reply_messages += queried.size();
+        result_.query_bytes += kQueryMessageBytes * queried.size();
+        result_.reply_bytes += kQueryMessageBytes * queried.size();
+    }
+    std::optional<std::uint32_t> fresh;
+    bool stale_seen = false;
+    for (std::uint32_t q : queried) {
+        const auto v = proxies_[q].cache->cached_version(r.url);
+        if (!v) continue;
+        if (*v == r.version) {
+            fresh = q;
+            break;
+        }
+        stale_seen = true;
+    }
+    if (fresh) {
+        ++result_.remote_hits;
+        result_.hit_bytes += r.size;
+        proxies_[*fresh].cache->touch(r.url);
+        if (config_.scheme == SharingScheme::simple) insert_local(r, home);
+        return;
+    }
+    if (stale_seen) ++result_.remote_stale_hits;
+    ++result_.server_fetches;
+    insert_local(r, home);
+}
+
+void ShareSimulator::insert_local(const Request& r, std::uint32_t home) {
+    Proxy& p = proxies_[home];
+    const bool inserted = p.cache->insert(r.url, r.size, r.version);
+    if (!inserted) return;
+    if (p.policy || p.time_policy) {
+        if (p.policy) p.policy->on_new_document();
+        if (p.time_policy) p.time_policy->on_new_document();
+        maybe_publish(home, r.timestamp);
+    }
+}
+
+void ShareSimulator::maybe_publish(std::uint32_t proxy, double now) {
+    Proxy& p = proxies_[proxy];
+    const bool due = p.time_policy ? p.time_policy->should_publish(now)
+                                   : p.policy->should_publish(p.cache->document_count());
+    if (!due) return;
+    if (config_.min_update_changes > 0 &&
+        p.summary->pending_changes() < config_.min_update_changes)
+        return;  // batch until the update fills an IP packet (Section VI-B)
+    const std::uint64_t bytes = p.summary->publish();
+    if (p.time_policy)
+        p.time_policy->on_published(now);
+    else
+        p.policy->on_published();
+    if (bytes == 0) return;  // directory churn netted out; nothing to send
+    ++result_.summary_publishes;
+    // One multicast datagram reaches every peer; unicast costs N-1 sends.
+    const std::uint64_t peers = config_.multicast_updates ? 1 : config_.num_proxies - 1;
+    result_.update_messages += peers;
+    result_.update_bytes += bytes * peers;
+}
+
+void ShareSimulator::process_all(const std::vector<Request>& trace) {
+    for (const Request& r : trace) process(r);
+    finalize_memory_metrics();
+}
+
+void ShareSimulator::finalize_memory_metrics() {
+    if (config_.protocol != QueryProtocol::summary || proxies_.empty()) return;
+    // DRAM proxy 0 spends: replicas of every sibling's summary, plus the
+    // structures maintaining its own.
+    std::uint64_t replicas = 0;
+    for (std::uint32_t q = 1; q < config_.num_proxies; ++q)
+        replicas += proxies_[q].summary->replica_memory_bytes();
+    result_.summary_replica_bytes = replicas;
+    result_.summary_owner_bytes = proxies_[0].summary->owner_memory_bytes();
+}
+
+std::vector<std::size_t> ShareSimulator::directory_sizes() const {
+    std::vector<std::size_t> out;
+    if (global_cache_) {
+        out.push_back(global_cache_->document_count());
+        return out;
+    }
+    out.reserve(proxies_.size());
+    for (const auto& p : proxies_) out.push_back(p.cache->document_count());
+    return out;
+}
+
+ShareSimResult run_share_sim(const ShareSimConfig& config, const std::vector<Request>& trace) {
+    ShareSimulator sim(config);
+    sim.process_all(trace);
+    return sim.result();
+}
+
+}  // namespace sc

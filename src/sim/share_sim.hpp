@@ -1,0 +1,155 @@
+// Trace-driven simulation of cooperative proxy caching (paper Sections
+// II, III, V). A time-ordered request stream is partitioned onto N proxies
+// (client mod N); the simulator runs one of the paper's sharing schemes
+// and, for miss-path discovery, either the ICP query protocol or the
+// summary-cache protocol, and accounts every inter-proxy message and byte
+// using the Section V-D cost model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/lru_cache.hpp"
+#include "summary/summary.hpp"
+#include "summary/update_policy.hpp"
+#include "trace/request.hpp"
+
+namespace sc {
+
+/// Section III's four cooperation schemes.
+enum class SharingScheme {
+    none,         ///< proxies do not cooperate
+    simple,       ///< serve each other's misses; fetched docs cached locally (ICP-style)
+    single_copy,  ///< remote hits promote the remote copy; no local duplicate
+    global,       ///< one unified cache with global LRU
+};
+
+[[nodiscard]] const char* sharing_scheme_name(SharingScheme s);
+
+/// How misses discover remote copies.
+enum class QueryProtocol {
+    none,     ///< no discovery (schemes none/global, or oracle-free runs)
+    icp,      ///< multicast query to every sibling on every miss
+    oracle,   ///< perfect knowledge, zero messages (upper bound; Figure 1)
+    summary,  ///< probe replicated summaries, query only promising siblings
+};
+
+[[nodiscard]] const char* query_protocol_name(QueryProtocol p);
+
+struct ShareSimConfig {
+    std::uint32_t num_proxies = 4;
+    std::uint64_t cache_bytes_per_proxy = 0;
+    /// When non-empty (size == num_proxies), per-proxy capacities override
+    /// the uniform cache_bytes_per_proxy — Section III's remark that cache
+    /// sizes should be "proportional to [the] user population size" under
+    /// load imbalance.
+    std::vector<std::uint64_t> per_proxy_cache_bytes;
+    std::uint64_t max_object_bytes = kDefaultMaxObjectBytes;
+    SharingScheme scheme = SharingScheme::simple;
+    QueryProtocol protocol = QueryProtocol::icp;
+
+    // Summary-protocol parameters (used when protocol == summary).
+    SummaryKind summary_kind = SummaryKind::bloom;
+    double update_threshold = 0.01;  ///< Section V-A delay threshold
+    BloomSummaryConfig bloom;
+    /// Also require this many pending changes before broadcasting — the
+    /// prototype "sends updates whenever there are enough changes to fill
+    /// an IP packet" (Section VI-B). 0 disables the batching floor.
+    std::size_t min_update_changes = 0;
+
+    /// > 0 switches to the time-based policy of Section V-A: broadcast
+    /// every this-many seconds of trace time instead of at the threshold.
+    double update_interval_seconds = 0.0;
+
+    /// Deliver each summary update as ONE multicast message instead of
+    /// N-1 unicasts (Section V-F suggests a non-reliable multicast scheme
+    /// for update distribution).
+    bool multicast_updates = false;
+
+    /// Scale factor on the global cache capacity (Figure 1 also plots a
+    /// global cache 10% smaller, i.e. 0.9).
+    double global_capacity_scale = 1.0;
+};
+
+struct ShareSimResult {
+    std::uint64_t requests = 0;
+    std::uint64_t request_bytes = 0;
+
+    std::uint64_t local_hits = 0;
+    std::uint64_t remote_hits = 0;
+    std::uint64_t remote_stale_hits = 0;  ///< sibling had it, but stale
+    std::uint64_t false_hits = 0;  ///< requests where >=1 query was wasted (summary wrong)
+    std::uint64_t false_misses = 0;       ///< fresh copy existed, summary silent
+    std::uint64_t server_fetches = 0;
+
+    std::uint64_t hit_bytes = 0;  ///< bytes served locally or from a sibling
+
+    std::uint64_t query_messages = 0;
+    std::uint64_t reply_messages = 0;
+    std::uint64_t update_messages = 0;
+    std::uint64_t summary_publishes = 0;
+
+    std::uint64_t query_bytes = 0;
+    std::uint64_t reply_bytes = 0;
+    std::uint64_t update_bytes = 0;
+
+    std::uint64_t summary_replica_bytes = 0;  ///< per-proxy DRAM for peers' summaries
+    std::uint64_t summary_owner_bytes = 0;    ///< per-proxy DRAM for own summary
+
+    [[nodiscard]] double total_hit_ratio() const;
+    [[nodiscard]] double byte_hit_ratio() const;
+    [[nodiscard]] double local_hit_ratio() const;
+    [[nodiscard]] double remote_hit_ratio() const;
+    [[nodiscard]] double false_hit_ratio() const;
+    [[nodiscard]] double false_miss_ratio() const;
+    [[nodiscard]] double remote_stale_hit_ratio() const;
+    [[nodiscard]] std::uint64_t total_messages() const;
+    [[nodiscard]] std::uint64_t total_message_bytes() const;
+    [[nodiscard]] double messages_per_request() const;
+    [[nodiscard]] double message_bytes_per_request() const;
+};
+
+/// Runs one configuration over a request stream. Reusable: construct once,
+/// feed requests one at a time (or all at once), read the result.
+class ShareSimulator {
+public:
+    explicit ShareSimulator(ShareSimConfig config);
+
+    void process(const Request& r);
+    void process_all(const std::vector<Request>& trace);
+
+    [[nodiscard]] const ShareSimResult& result() const { return result_; }
+    [[nodiscard]] const ShareSimConfig& config() const { return config_; }
+
+    /// Per-proxy cache directory sizes (diagnostics / tests).
+    [[nodiscard]] std::vector<std::size_t> directory_sizes() const;
+
+private:
+    struct Proxy {
+        std::unique_ptr<LruCache> cache;
+        std::unique_ptr<DirectorySummary> summary;  // protocol == summary only
+        std::unique_ptr<UpdateThresholdPolicy> policy;      // threshold mode
+        std::unique_ptr<TimeIntervalPolicy> time_policy;    // interval mode
+    };
+
+    void process_shared(const Request& r, std::uint32_t home);
+    [[nodiscard]] std::vector<std::uint32_t> promising_siblings(const Request& r,
+                                                                std::uint32_t home) const;
+    void handle_miss_via_queries(const Request& r, std::uint32_t home,
+                                 const std::vector<std::uint32_t>& queried, bool summary_mode);
+    void insert_local(const Request& r, std::uint32_t home);
+    void maybe_publish(std::uint32_t proxy, double now);
+    void finalize_memory_metrics();
+
+    ShareSimConfig config_;
+    std::vector<Proxy> proxies_;
+    std::unique_ptr<LruCache> global_cache_;  // scheme == global only
+    ShareSimResult result_;
+};
+
+/// Convenience wrapper: run a whole trace through one configuration.
+[[nodiscard]] ShareSimResult run_share_sim(const ShareSimConfig& config,
+                                           const std::vector<Request>& trace);
+
+}  // namespace sc

@@ -1,0 +1,230 @@
+#include "sim/wisconsin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+const char* bench_protocol_name(BenchProtocol p) {
+    switch (p) {
+        case BenchProtocol::no_icp: return "no-ICP";
+        case BenchProtocol::icp: return "ICP";
+        case BenchProtocol::sc_icp: return "SC-ICP";
+    }
+    return "?";
+}
+
+std::vector<Request> generate_wisconsin_workload(const WisconsinConfig& cfg) {
+    SC_ASSERT(cfg.num_proxies >= 1 && cfg.clients_per_proxy >= 1);
+    const std::uint32_t total_clients = cfg.num_proxies * cfg.clients_per_proxy;
+    const BoundedParetoSampler sizes(cfg.size_alpha, cfg.size_lo, cfg.size_hi);
+
+    struct Client {
+        Rng rng{0};
+        std::vector<std::pair<std::string, std::uint64_t>> history;  // (url, size)
+        std::uint64_t next_doc = 0;
+    };
+    Rng master(cfg.seed);
+    std::vector<Client> clients(total_clients);
+    for (auto& c : clients) c.rng = master.fork();
+
+    std::vector<Request> out;
+    out.reserve(static_cast<std::size_t>(total_clients) * cfg.requests_per_client);
+
+    // Clients issue with no think time, which in the benchmark makes them
+    // advance in near lockstep: emit in rounds.
+    for (std::uint32_t step = 0; step < cfg.requests_per_client; ++step) {
+        for (std::uint32_t id = 0; id < total_clients; ++id) {
+            Client& c = clients[id];
+            Request r;
+            r.timestamp = step;
+            r.client_id = id;
+            r.version = 0;
+            if (!c.history.empty() && c.rng.next_bool(cfg.inherent_hit_ratio)) {
+                const auto& [url, size] =
+                    c.history[c.rng.next_below(c.history.size())];
+                r.url = url;
+                r.size = size;
+            } else {
+                r.url = "http://wb" + std::to_string(id) + "/o" + std::to_string(c.next_doc++);
+                r.size = std::max<std::uint64_t>(
+                    1, static_cast<std::uint64_t>(sizes.sample(c.rng)));
+                c.history.emplace_back(r.url, r.size);
+            }
+            out.push_back(std::move(r));
+        }
+    }
+    return out;
+}
+
+namespace {
+
+ShareSimConfig sim_config_for(BenchProtocol protocol, std::uint32_t num_proxies,
+                              std::uint64_t cache_bytes, double update_threshold,
+                              const BloomSummaryConfig& bloom) {
+    ShareSimConfig sim;
+    sim.num_proxies = num_proxies;
+    sim.cache_bytes_per_proxy = cache_bytes;
+    switch (protocol) {
+        case BenchProtocol::no_icp:
+            sim.scheme = SharingScheme::none;
+            sim.protocol = QueryProtocol::none;
+            break;
+        case BenchProtocol::icp:
+            sim.scheme = SharingScheme::simple;
+            sim.protocol = QueryProtocol::icp;
+            break;
+        case BenchProtocol::sc_icp:
+            sim.scheme = SharingScheme::simple;
+            sim.protocol = QueryProtocol::summary;
+            sim.summary_kind = SummaryKind::bloom;
+            sim.update_threshold = update_threshold;
+            sim.bloom = bloom;
+            // The prototype batches updates until they fill an IP packet
+            // (~350 four-byte flip records; Section VI-B).
+            sim.min_update_changes = 350;
+            break;
+    }
+    return sim;
+}
+
+}  // namespace
+
+namespace detail {
+
+BenchRow derive_bench_row(const ShareSimResult& sim, const CostModelConfig& cost,
+                          BenchProtocol protocol, std::uint32_t num_proxies,
+                          std::uint32_t total_clients, double mean_doc_bytes,
+                          std::string label) {
+    SC_ASSERT(sim.requests > 0);
+    const double n = num_proxies;
+    const double requests = static_cast<double>(sim.requests);
+    const double req_pp = requests / n;
+
+    const double local_frac = sim.local_hit_ratio();
+    const double remote_frac = sim.remote_hit_ratio();
+    const double miss_frac = std::max(0.0, 1.0 - local_frac - remote_frac);
+
+    // Fraction of requests that wait on at least one ICP query round trip.
+    double query_wait_frac = 0.0;
+    if (protocol == BenchProtocol::icp) {
+        query_wait_frac = 1.0 - local_frac;  // every local miss multicasts
+    } else if (protocol == BenchProtocol::sc_icp) {
+        query_wait_frac = static_cast<double>(sim.remote_hits + sim.remote_stale_hits +
+                                              sim.false_hits) /
+                          requests;
+    }
+
+    // Inter-proxy UDP events per proxy (each datagram counted at its sender
+    // and at its receiver, as netstat does).
+    const double query_events = 2.0 *
+                                static_cast<double>(sim.query_messages + sim.reply_messages) / n;
+    double update_events = 0.0;
+    if (sim.update_messages > 0) {
+        const std::uint64_t avg_update_bytes = sim.update_bytes / sim.update_messages;
+        const auto dgrams = static_cast<double>(udp_datagrams_for_update(cost, avg_update_bytes));
+        update_events = 2.0 * static_cast<double>(sim.update_messages) * dgrams / n;
+    }
+
+    // TCP packets per proxy: client leg on every request, server leg on
+    // every origin fetch, and two inter-proxy legs per remote hit (fetching
+    // side and serving side).
+    const double leg = tcp_packets_per_leg(cost, mean_doc_bytes);
+    const double tcp_pp = req_pp * leg + static_cast<double>(sim.server_fetches) / n * leg +
+                          2.0 * static_cast<double>(sim.remote_hits) / n * leg;
+
+    // MD5 signatures computed (SC-ICP only): one per directory insert plus
+    // one per summary probe on a local miss.
+    double md5_ops = 0.0;
+    if (protocol == BenchProtocol::sc_icp) {
+        md5_ops = (static_cast<double>(sim.server_fetches) + requests * (1.0 - local_frac)) / n;
+    }
+
+    // Fixed point: latency -> duration -> keepalive/UDP counts and CPU
+    // utilization -> queueing delay -> latency.
+    double latency = cost.server_delay;  // initial guess
+    double duration = 1.0;
+    double udp_pp = 0.0;
+    double user_pp = 0.0;
+    double sys_pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+        duration = requests * latency / static_cast<double>(total_clients);
+        const double keepalive_events =
+            2.0 * (n - 1.0) * duration / cost.keepalive_interval_s;
+        udp_pp = query_events + update_events + keepalive_events;
+
+        user_pp = req_pp * cost.user_cpu_per_http +
+                  (query_events + update_events) * cost.user_cpu_per_icp_event +
+                  md5_ops * cost.user_cpu_per_md5 +
+                  static_cast<double>(sim.remote_hits) / n * cost.user_cpu_per_remote_hit;
+        sys_pp = tcp_pp * cost.sys_cpu_per_tcp_packet + udp_pp * cost.sys_cpu_per_udp;
+
+        const double c = (user_pp + sys_pp) / req_pp;       // CPU work per request
+        const double lambda = req_pp / duration;            // arrivals per second
+        const double rho = lambda * c;
+        const double wait = queueing_delay(c, rho);
+
+        const double path = cost.hit_service_time + miss_frac * cost.server_delay +
+                            remote_frac * cost.remote_hit_fetch +
+                            query_wait_frac * cost.lan_rtt;
+        latency = 0.5 * latency + 0.5 * (path + wait);  // damped update
+    }
+
+    BenchRow row;
+    row.label = std::move(label);
+    row.hit_ratio = sim.total_hit_ratio();
+    row.remote_hit_ratio = remote_frac;
+    row.avg_latency_s = latency;
+    row.user_cpu_s = user_pp;
+    row.sys_cpu_s = sys_pp;
+    row.udp_msgs = udp_pp;
+    row.tcp_pkts = tcp_pp;
+    row.total_pkts = tcp_pp + udp_pp;
+    row.duration_s = duration;
+    row.requests_per_proxy = sim.requests / num_proxies;
+    return row;
+}
+
+}  // namespace detail
+
+BenchRow run_wisconsin(const WisconsinConfig& cfg) {
+    const std::vector<Request> workload = generate_wisconsin_workload(cfg);
+    const ShareSimConfig sim_cfg = sim_config_for(cfg.protocol, cfg.num_proxies, cfg.cache_bytes,
+                                                  cfg.update_threshold, cfg.bloom);
+    const ShareSimResult sim = run_share_sim(sim_cfg, workload);
+    const double mean_doc =
+        static_cast<double>(sim.request_bytes) / static_cast<double>(sim.requests);
+    return detail::derive_bench_row(sim, cfg.cost, cfg.protocol, cfg.num_proxies,
+                                    cfg.num_proxies * cfg.clients_per_proxy, mean_doc,
+                                    bench_protocol_name(cfg.protocol));
+}
+
+BenchRow run_replay(const ReplayConfig& cfg, const std::vector<Request>& trace) {
+    SC_ASSERT(!trace.empty());
+    // Fold trace clients onto the benchmark's client processes.
+    std::vector<Request> replay;
+    replay.reserve(trace.size());
+    std::uint64_t seq = 0;
+    for (const Request& r : trace) {
+        Request copy = r;
+        copy.client_id = (cfg.assignment == ReplayAssignment::by_client)
+                             ? r.client_id % cfg.client_processes
+                             : static_cast<std::uint32_t>(seq % cfg.client_processes);
+        replay.push_back(std::move(copy));
+        ++seq;
+    }
+    const ShareSimConfig sim_cfg = sim_config_for(cfg.protocol, cfg.num_proxies, cfg.cache_bytes,
+                                                  cfg.update_threshold, cfg.bloom);
+    const ShareSimResult sim = run_share_sim(sim_cfg, replay);
+    const double mean_doc =
+        static_cast<double>(sim.request_bytes) / static_cast<double>(sim.requests);
+    return detail::derive_bench_row(sim, cfg.cost, cfg.protocol, cfg.num_proxies,
+                                    cfg.client_processes, mean_doc,
+                                    bench_protocol_name(cfg.protocol));
+}
+
+}  // namespace sc

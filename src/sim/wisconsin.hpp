@@ -1,0 +1,102 @@
+// Replica of the paper's testbed experiments:
+//   * Table II  — Wisconsin Proxy Benchmark 1.0, four proxies, synthetic
+//     disjoint workloads (no remote hits), inherent hit ratio 25% / 45%;
+//   * Tables IV & V — UPisa trace replay with two request-to-proxy
+//     assignment modes (experiment 3: clients keep their proxy;
+//     experiment 4: round-robin, load-balanced).
+//
+// The request streams run through ShareSimulator for exact hit/miss and
+// message counts; the CostModelConfig then converts event counts into the
+// rows the paper reports (latency, user/system CPU, UDP messages, TCP and
+// total packets per proxy), with throughput and CPU utilization solved by
+// fixed-point iteration (clients issue requests back to back, so the
+// request rate depends on the latency the model itself produces).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/share_sim.hpp"
+#include "trace/request.hpp"
+
+namespace sc {
+
+enum class BenchProtocol { no_icp, icp, sc_icp };
+
+[[nodiscard]] const char* bench_protocol_name(BenchProtocol p);
+
+/// How trace-replay requests map onto proxies (Tables IV vs V).
+enum class ReplayAssignment {
+    by_client,    ///< experiment 3: a client's requests all hit its proxy
+    round_robin,  ///< experiment 4: requests dealt to proxies in order
+};
+
+struct WisconsinConfig {
+    std::uint32_t num_proxies = 4;
+    std::uint32_t clients_per_proxy = 30;
+    std::uint32_t requests_per_client = 200;
+    double inherent_hit_ratio = 0.25;  ///< re-reference probability
+    std::uint64_t cache_bytes = 75ull * 1024 * 1024;  ///< 75 MB per proxy
+    BenchProtocol protocol = BenchProtocol::no_icp;
+    double update_threshold = 0.01;
+    BloomSummaryConfig bloom;
+    // Pareto document sizes (alpha 1.1 heavy tail, ~18 KB mean).
+    double size_alpha = 1.1;
+    double size_lo = 3'000;
+    double size_hi = 10'000'000;
+    std::uint64_t seed = 42;
+    CostModelConfig cost;
+};
+
+/// One column of Table II / IV / V (all figures are per proxy).
+struct BenchRow {
+    std::string label;
+    double hit_ratio = 0.0;         ///< total cache hit ratio, local+remote
+    double remote_hit_ratio = 0.0;
+    double avg_latency_s = 0.0;     ///< mean client-visible latency
+    double user_cpu_s = 0.0;
+    double sys_cpu_s = 0.0;
+    double udp_msgs = 0.0;          ///< UDP datagrams sent + received
+    double tcp_pkts = 0.0;          ///< TCP packets sent + received
+    double total_pkts = 0.0;        ///< IP packets at the NIC (≈ TCP + UDP)
+    double duration_s = 0.0;        ///< wall-clock length of the run
+    std::uint64_t requests_per_proxy = 0;
+};
+
+/// Synthetic Wisconsin-benchmark workload: each client re-requests one of
+/// its own previous URLs with probability `inherent_hit_ratio`, otherwise
+/// fetches a brand-new URL in its private namespace (so there are no
+/// inter-proxy hits, the paper's worst case for ICP). Clients issue
+/// requests round-robin with no think time.
+[[nodiscard]] std::vector<Request> generate_wisconsin_workload(const WisconsinConfig& cfg);
+
+/// Run the Table II experiment for one protocol setting.
+[[nodiscard]] BenchRow run_wisconsin(const WisconsinConfig& cfg);
+
+struct ReplayConfig {
+    std::uint32_t num_proxies = 4;
+    std::uint32_t client_processes = 80;  ///< trace clients folded onto these
+    std::uint64_t cache_bytes = 75ull * 1024 * 1024;
+    BenchProtocol protocol = BenchProtocol::no_icp;
+    ReplayAssignment assignment = ReplayAssignment::by_client;
+    double update_threshold = 0.01;
+    BloomSummaryConfig bloom;
+    CostModelConfig cost;
+};
+
+/// Run a Tables IV/V style trace replay over `trace`.
+[[nodiscard]] BenchRow run_replay(const ReplayConfig& cfg, const std::vector<Request>& trace);
+
+namespace detail {
+
+/// Shared core: convert exact simulation counts into a BenchRow.
+[[nodiscard]] BenchRow derive_bench_row(const ShareSimResult& sim, const CostModelConfig& cost,
+                                        BenchProtocol protocol, std::uint32_t num_proxies,
+                                        std::uint32_t total_clients, double mean_doc_bytes,
+                                        std::string label);
+
+}  // namespace detail
+
+}  // namespace sc

@@ -1,0 +1,70 @@
+#include "summary/bloom_summary.hpp"
+
+#include <algorithm>
+
+#include "summary/message_costs.hpp"
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+std::uint32_t bloom_table_bits(std::uint64_t expected_docs, std::uint32_t load_factor) {
+    SC_ASSERT(load_factor >= 1);
+    const std::uint64_t raw = std::max<std::uint64_t>(64, expected_docs * load_factor);
+    const std::uint64_t rounded = (raw + 63) / 64 * 64;
+    SC_ASSERT(rounded <= 0x7fffffffull);  // wire format caps indexes at 2^31
+    return static_cast<std::uint32_t>(rounded);
+}
+
+namespace {
+
+HashSpec make_spec(std::uint64_t expected_docs, const BloomSummaryConfig& config) {
+    HashSpec spec;
+    spec.function_num = config.hash_functions;
+    spec.function_bits = 32;
+    spec.table_bits = bloom_table_bits(expected_docs, config.load_factor);
+    return spec;
+}
+
+}  // namespace
+
+BloomSummary::BloomSummary(std::uint64_t expected_docs, const BloomSummaryConfig& config)
+    : config_(config),
+      counting_(make_spec(expected_docs, config), config.counter_bits),
+      published_(counting_.spec()) {}
+
+void BloomSummary::on_insert(std::string_view url) { counting_.insert(url); }
+
+void BloomSummary::on_erase(std::string_view url) { counting_.erase(url); }
+
+bool BloomSummary::published_may_contain(std::string_view url) const {
+    return published_.may_contain(url);
+}
+
+bool BloomSummary::current_may_contain(std::string_view url) const {
+    return counting_.may_contain(url);
+}
+
+std::uint64_t BloomSummary::publish() {
+    const DeltaLog delta = counting_.take_delta();
+    if (delta.empty()) return 0;
+    for (const BitFlip& f : delta.flips()) published_.set_bit(f.index, f.value);
+    // Wire cost: whichever encoding is smaller (Section VI-A both exist).
+    const std::uint64_t delta_bytes =
+        kBloomUpdateHeaderBytes + kBloomUpdatePerFlipBytes * delta.size();
+    const std::uint64_t full_bytes = kBloomUpdateHeaderBytes + published_.size_bytes();
+    return std::min(delta_bytes, full_bytes);
+}
+
+std::uint64_t BloomSummary::pending_changes() const { return counting_.pending_delta_size(); }
+
+std::uint64_t BloomSummary::replica_memory_bytes() const {
+    return counting_.spec().table_bits / 8;
+}
+
+std::uint64_t BloomSummary::owner_memory_bytes() const {
+    // Counters (counter_bits per slot) plus the derived bit array.
+    return counting_.spec().table_bits * config_.counter_bits / 8 +
+           counting_.spec().table_bits / 8;
+}
+
+}  // namespace sc

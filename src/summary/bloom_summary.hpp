@@ -1,0 +1,54 @@
+// Bloom-filter summary — the paper's recommended representation.
+//
+// The owner maintains a counting Bloom filter (insertions and cache
+// replacements adjust 4-bit counters); remote proxies hold only the
+// derived bit array. publish() drains the bit-flip log into the published
+// replica and charges the cheaper of the two wire encodings of Section
+// VI-A: delta (32-byte header + 4 bytes per flip) or the full bit array.
+#pragma once
+
+#include <cstdint>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/counting_bloom_filter.hpp"
+#include "summary/summary.hpp"
+
+namespace sc {
+
+class BloomSummary final : public DirectorySummary {
+public:
+    /// Sized per the paper: table bits = load_factor * expected_docs.
+    BloomSummary(std::uint64_t expected_docs, const BloomSummaryConfig& config);
+
+    void on_insert(std::string_view url) override;
+    void on_erase(std::string_view url) override;
+    [[nodiscard]] bool published_may_contain(std::string_view url) const override;
+    [[nodiscard]] bool current_may_contain(std::string_view url) const override;
+    std::uint64_t publish() override;
+    [[nodiscard]] std::uint64_t pending_changes() const override;
+    [[nodiscard]] std::uint64_t replica_memory_bytes() const override;
+    [[nodiscard]] std::uint64_t owner_memory_bytes() const override;
+    [[nodiscard]] SummaryKind kind() const override { return SummaryKind::bloom; }
+
+    [[nodiscard]] const HashSpec& hash_spec() const { return counting_.spec(); }
+    [[nodiscard]] const CountingBloomFilter& counting_filter() const { return counting_; }
+    [[nodiscard]] const BloomFilter& published_filter() const { return published_; }
+
+    /// Probe the published replica with precomputed indexes (lets a caller
+    /// hash a URL once and test many same-spec peers).
+    [[nodiscard]] bool published_may_contain(std::span<const std::uint32_t> indexes) const {
+        return published_.may_contain(indexes);
+    }
+
+private:
+    BloomSummaryConfig config_;
+    CountingBloomFilter counting_;
+    BloomFilter published_;
+};
+
+/// Table size (bits) the paper's sizing rule gives: load_factor bits per
+/// expected document, rounded up to a multiple of 64, at least 64.
+[[nodiscard]] std::uint32_t bloom_table_bits(std::uint64_t expected_docs,
+                                             std::uint32_t load_factor);
+
+}  // namespace sc

@@ -1,0 +1,51 @@
+#include "summary/exact_directory.hpp"
+
+#include "summary/message_costs.hpp"
+
+namespace sc {
+
+void ExactDirectorySummary::on_insert(std::string_view url) {
+    const Md5Digest sig = md5(url);
+    if (current_.insert(sig).second) pending_.push_back({sig, true});
+}
+
+void ExactDirectorySummary::on_erase(std::string_view url) {
+    const Md5Digest sig = md5(url);
+    if (current_.erase(sig) > 0) pending_.push_back({sig, false});
+}
+
+bool ExactDirectorySummary::published_may_contain(std::string_view url) const {
+    return published_.contains(md5(url));
+}
+
+bool ExactDirectorySummary::current_may_contain(std::string_view url) const {
+    return current_.contains(md5(url));
+}
+
+std::uint64_t ExactDirectorySummary::publish() {
+    if (pending_.empty()) return 0;
+    for (const Change& c : pending_) {
+        if (c.added)
+            published_.insert(c.sig);
+        else
+            published_.erase(c.sig);
+    }
+    const std::uint64_t bytes =
+        kDirectoryUpdateHeaderBytes + kDirectoryUpdatePerChangeBytes * pending_.size();
+    pending_.clear();
+    return bytes;
+}
+
+std::uint64_t ExactDirectorySummary::pending_changes() const { return pending_.size(); }
+
+std::uint64_t ExactDirectorySummary::replica_memory_bytes() const {
+    // 16 bytes of signature per cached document, as the paper accounts it.
+    return 16 * current_.size();
+}
+
+std::uint64_t ExactDirectorySummary::owner_memory_bytes() const {
+    // The owner keeps its own signature set plus the pending change list.
+    return 16 * current_.size() + 17 * pending_.size();
+}
+
+}  // namespace sc

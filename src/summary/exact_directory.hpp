@@ -1,0 +1,47 @@
+// Exact-directory summary: the cache directory itself, each URL condensed
+// to its 16-byte MD5 signature (paper Section V-B). No representation
+// error — every false hit/miss it produces comes purely from update delay.
+// Its flaw is memory: ~0.2% of cache size per peer, which at 16 peers of
+// 8 GB costs hundreds of megabytes of proxy DRAM.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "summary/summary.hpp"
+#include "util/md5.hpp"
+
+namespace sc {
+
+class ExactDirectorySummary final : public DirectorySummary {
+public:
+    ExactDirectorySummary() = default;
+
+    void on_insert(std::string_view url) override;
+    void on_erase(std::string_view url) override;
+    [[nodiscard]] bool published_may_contain(std::string_view url) const override;
+    [[nodiscard]] bool current_may_contain(std::string_view url) const override;
+    std::uint64_t publish() override;
+    [[nodiscard]] std::uint64_t pending_changes() const override;
+    [[nodiscard]] std::uint64_t replica_memory_bytes() const override;
+    [[nodiscard]] std::uint64_t owner_memory_bytes() const override;
+    [[nodiscard]] SummaryKind kind() const override { return SummaryKind::exact_directory; }
+
+private:
+    struct SigHash {
+        std::size_t operator()(const Md5Digest& d) const { return d.word64(0); }
+    };
+    using SigSet = std::unordered_set<Md5Digest, SigHash>;
+
+    struct Change {
+        Md5Digest sig;
+        bool added;
+    };
+
+    SigSet current_;
+    SigSet published_;
+    std::vector<Change> pending_;
+};
+
+}  // namespace sc

@@ -1,0 +1,28 @@
+// The byte model of Section V-D, used to estimate inter-proxy bandwidth
+// (Figure 8): queries are small and per-miss; summary updates are
+// occasional bursts whose size depends on the representation.
+#pragma once
+
+#include <cstdint>
+
+namespace sc {
+
+/// ICP-style query/reply: 20-byte header + 50-byte average URL.
+inline constexpr std::uint64_t kQueryHeaderBytes = 20;
+inline constexpr std::uint64_t kAverageUrlBytes = 50;
+inline constexpr std::uint64_t kQueryMessageBytes = kQueryHeaderBytes + kAverageUrlBytes;
+
+/// Exact-directory / server-name update: 20-byte header + 16 bytes per change.
+inline constexpr std::uint64_t kDirectoryUpdateHeaderBytes = 20;
+inline constexpr std::uint64_t kDirectoryUpdatePerChangeBytes = 16;
+
+/// Bloom-filter update: 32-byte SC-ICP header (Section VI-A) + 4 bytes per
+/// bit flip, or header + the full bit array when that is smaller.
+inline constexpr std::uint64_t kBloomUpdateHeaderBytes = 32;
+inline constexpr std::uint64_t kBloomUpdatePerFlipBytes = 4;
+
+/// The paper's average-document assumption used for sizing summaries:
+/// expected cached documents = cache bytes / 8 KB.
+inline constexpr std::uint64_t kAverageDocumentBytes = 8 * 1024;
+
+}  // namespace sc

@@ -1,0 +1,62 @@
+#include "summary/server_name.hpp"
+
+#include "summary/message_costs.hpp"
+#include "trace/request.hpp"
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+void ServerNameSummary::on_insert(std::string_view url) {
+    const std::string host(url_host(url));
+    auto [it, inserted] = refcount_.try_emplace(host, 0);
+    if (it->second++ == 0) pending_.push_back({host, true});
+}
+
+void ServerNameSummary::on_erase(std::string_view url) {
+    const std::string host(url_host(url));
+    const auto it = refcount_.find(host);
+    if (it == refcount_.end()) return;  // erase of an untracked URL: no-op
+    SC_ASSERT(it->second > 0);
+    if (--it->second == 0) {
+        refcount_.erase(it);
+        pending_.push_back({host, false});
+    }
+}
+
+bool ServerNameSummary::published_may_contain(std::string_view url) const {
+    return published_.contains(std::string(url_host(url)));
+}
+
+bool ServerNameSummary::current_may_contain(std::string_view url) const {
+    return refcount_.contains(std::string(url_host(url)));
+}
+
+std::uint64_t ServerNameSummary::publish() {
+    if (pending_.empty()) return 0;
+    for (Change& c : pending_) {
+        if (c.added)
+            published_.insert(std::move(c.host));
+        else
+            published_.erase(c.host);
+    }
+    const std::uint64_t bytes =
+        kDirectoryUpdateHeaderBytes + kDirectoryUpdatePerChangeBytes * pending_.size();
+    pending_.clear();
+    return bytes;
+}
+
+std::uint64_t ServerNameSummary::pending_changes() const { return pending_.size(); }
+
+std::uint64_t ServerNameSummary::replica_memory_bytes() const {
+    // The paper's model charges 16 bytes per listed server name.
+    return 16 * refcount_.size();
+}
+
+std::uint64_t ServerNameSummary::owner_memory_bytes() const {
+    // Host strings plus a 4-byte refcount each.
+    std::uint64_t bytes = 0;
+    for (const auto& [host, _] : refcount_) bytes += host.size() + 4;
+    return bytes;
+}
+
+}  // namespace sc

@@ -1,0 +1,46 @@
+// Server-name summary (paper Section V-B): the list of distinct server
+// host names appearing among cached URLs. With the web's ~10:1 ratio of
+// URLs to servers it is compact, but any URL on a listed server probes as
+// a hit, so its false-hit ratio is an order of magnitude above Bloom
+// filters (Figure 6) — this representation exists as the paper's negative
+// result and as a baseline in Figures 5-8 / Table III.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "summary/summary.hpp"
+
+namespace sc {
+
+class ServerNameSummary final : public DirectorySummary {
+public:
+    ServerNameSummary() = default;
+
+    void on_insert(std::string_view url) override;
+    void on_erase(std::string_view url) override;
+    [[nodiscard]] bool published_may_contain(std::string_view url) const override;
+    [[nodiscard]] bool current_may_contain(std::string_view url) const override;
+    std::uint64_t publish() override;
+    [[nodiscard]] std::uint64_t pending_changes() const override;
+    [[nodiscard]] std::uint64_t replica_memory_bytes() const override;
+    [[nodiscard]] std::uint64_t owner_memory_bytes() const override;
+    [[nodiscard]] SummaryKind kind() const override { return SummaryKind::server_name; }
+
+    [[nodiscard]] std::size_t distinct_servers() const { return refcount_.size(); }
+
+private:
+    struct Change {
+        std::string host;
+        bool added;
+    };
+
+    std::unordered_map<std::string, std::uint32_t> refcount_;  // host -> cached docs on it
+    std::unordered_set<std::string> published_;
+    std::vector<Change> pending_;
+};
+
+}  // namespace sc

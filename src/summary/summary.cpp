@@ -1,0 +1,28 @@
+#include "summary/summary.hpp"
+
+#include "summary/bloom_summary.hpp"
+#include "summary/exact_directory.hpp"
+#include "summary/server_name.hpp"
+
+namespace sc {
+
+const char* summary_kind_name(SummaryKind kind) {
+    switch (kind) {
+        case SummaryKind::exact_directory: return "exact-directory";
+        case SummaryKind::server_name: return "server-name";
+        case SummaryKind::bloom: return "bloom";
+    }
+    return "?";
+}
+
+std::unique_ptr<DirectorySummary> make_summary(SummaryKind kind, std::uint64_t expected_docs,
+                                               const BloomSummaryConfig& bloom_cfg) {
+    switch (kind) {
+        case SummaryKind::exact_directory: return std::make_unique<ExactDirectorySummary>();
+        case SummaryKind::server_name: return std::make_unique<ServerNameSummary>();
+        case SummaryKind::bloom: return std::make_unique<BloomSummary>(expected_docs, bloom_cfg);
+    }
+    return nullptr;
+}
+
+}  // namespace sc

@@ -1,0 +1,77 @@
+// Directory-summary representations (paper Section V-B/V-D).
+//
+// A proxy mirrors its cache directory into a DirectorySummary. The summary
+// has two views:
+//   * the *current* view, updated synchronously with every cache insert
+//     and eviction, and
+//   * the *published* view — the snapshot remote proxies hold, which lags
+//     until publish() is called (the update-threshold policy decides when).
+// Remote probes always ask the published view; the gap between the views
+// is exactly what produces false misses and (for delayed deletions) false
+// hits, independent of any representation-induced false positives.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace sc {
+
+enum class SummaryKind {
+    exact_directory,  ///< 16-byte MD5 signature per URL
+    server_name,      ///< list of distinct server-name components
+    bloom,            ///< Bloom filter (the paper's recommendation)
+};
+
+[[nodiscard]] const char* summary_kind_name(SummaryKind kind);
+
+class DirectorySummary {
+public:
+    virtual ~DirectorySummary() = default;
+
+    /// Mirror a document entering the cache directory.
+    virtual void on_insert(std::string_view url) = 0;
+
+    /// Mirror a document leaving the cache directory.
+    virtual void on_erase(std::string_view url) = 0;
+
+    /// What a remote proxy's replica would answer right now.
+    [[nodiscard]] virtual bool published_may_contain(std::string_view url) const = 0;
+
+    /// Current (unpublished) view — useful for tests and diagnostics.
+    [[nodiscard]] virtual bool current_may_contain(std::string_view url) const = 0;
+
+    /// Propagate pending changes into the published view; returns the size
+    /// in bytes of the update message this would send to ONE peer (0 when
+    /// nothing changed, in which case no message is sent).
+    virtual std::uint64_t publish() = 0;
+
+    /// Changes accumulated since the last publish.
+    [[nodiscard]] virtual std::uint64_t pending_changes() const = 0;
+
+    /// DRAM one remote proxy spends to replicate this summary.
+    [[nodiscard]] virtual std::uint64_t replica_memory_bytes() const = 0;
+
+    /// DRAM the owner spends maintaining it (counters etc.).
+    [[nodiscard]] virtual std::uint64_t owner_memory_bytes() const = 0;
+
+    [[nodiscard]] virtual SummaryKind kind() const = 0;
+};
+
+/// Sizing parameters for Bloom summaries (see bloom_summary.hpp for the
+/// concrete class). `load_factor` is bits per expected cached document —
+/// the paper evaluates 8, 16, and 32 with 4 hash functions.
+struct BloomSummaryConfig {
+    std::uint32_t load_factor = 16;
+    std::uint16_t hash_functions = 4;
+    unsigned counter_bits = 4;
+};
+
+/// Create a summary sized for a cache expected to hold `expected_docs`
+/// documents (the paper derives this as cache bytes / 8 KB).
+[[nodiscard]] std::unique_ptr<DirectorySummary> make_summary(SummaryKind kind,
+                                                             std::uint64_t expected_docs,
+                                                             const BloomSummaryConfig& bloom_cfg = {});
+
+}  // namespace sc

@@ -1,0 +1,154 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/sc_assert.hpp"
+
+namespace sc {
+namespace {
+
+// Stateless 64-bit mix for deterministic per-document values.
+std::uint64_t mix64(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(TraceProfile profile)
+    : profile_(std::move(profile)),
+      rng_(profile_.seed),
+      // Two-level popularity: pick a server (Zipf), then a document on it
+      // (Zipf). Correlated popularity is what gives real caches their
+      // ~10:1 URL-to-server ratio *among cached documents*.
+      server_popularity_(std::max<std::uint64_t>(
+                             1, profile_.shared_docs / profile_.docs_per_server),
+                         profile_.zipf_exponent),
+      private_popularity_(std::max<std::uint64_t>(1, profile_.private_docs), 0.8),
+      client_activity_(std::max<std::uint64_t>(1, profile_.clients),
+                       profile_.client_zipf_exponent),
+      size_sampler_(profile_.size_alpha, profile_.size_lo, profile_.size_hi) {
+    SC_ASSERT(profile_.requests > 0);
+    SC_ASSERT(profile_.clients >= 1);
+    SC_ASSERT(profile_.proxy_groups >= 1);
+    server_count_ = server_popularity_.population();
+
+    // Carve the shared-document id space into per-server ranges whose
+    // sizes follow ~1/(s+1): popular servers host many documents, the
+    // long tail hosts one or two. Everyone gets at least one document;
+    // any remainder goes to the head.
+    const std::uint64_t servers = server_count_;
+    double harmonic = 0.0;
+    for (std::uint64_t s = 0; s < servers; ++s) harmonic += 1.0 / static_cast<double>(s + 1);
+    server_offsets_.reserve(servers + 1);
+    server_offsets_.push_back(0);
+    std::uint64_t assigned = 0;
+    for (std::uint64_t s = 0; s < servers; ++s) {
+        const double share =
+            static_cast<double>(profile_.shared_docs) / (static_cast<double>(s + 1) * harmonic);
+        const auto docs = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(share));
+        assigned += docs;
+        server_offsets_.push_back(assigned);
+    }
+    // Rounding (the max(1, ...) floor) can assign slightly more ids than
+    // profile_.shared_docs; private ids start after whatever was assigned.
+    shared_id_count_ = server_offsets_.back();
+}
+
+std::uint64_t TraceGenerator::shared_server_of(std::uint64_t doc) const {
+    const auto it = std::upper_bound(server_offsets_.begin(), server_offsets_.end(), doc);
+    SC_ASSERT(it != server_offsets_.begin());
+    return static_cast<std::uint64_t>(it - server_offsets_.begin()) - 1;
+}
+
+std::uint64_t TraceGenerator::pick_document(std::uint32_t client) {
+    if (rng_.next_bool(profile_.private_fraction) && profile_.private_docs > 0) {
+        const std::uint64_t rank = private_popularity_.sample(rng_);
+        return shared_id_count_ +
+               static_cast<std::uint64_t>(client) * profile_.private_docs + rank;
+    }
+    const std::uint64_t server = server_popularity_.sample(rng_);
+    const std::uint64_t hosted = server_offsets_[server + 1] - server_offsets_[server];
+    if (hosted == 1) return server_offsets_[server];
+    const std::uint64_t within = ZipfSampler(hosted, 0.8).sample(rng_);
+    return server_offsets_[server] + within;
+}
+
+std::uint64_t TraceGenerator::document_size(std::uint64_t doc, std::uint64_t version) {
+    // Deterministic per (document, version): a modified document may change
+    // size, which the consistency rule detects as a miss.
+    Rng local(mix64(doc * 0x9e3779b97f4a7c15ull + version + profile_.seed));
+    const double raw = size_sampler_.sample(local);
+    return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(raw));
+}
+
+std::string TraceGenerator::document_url(std::uint64_t doc) const {
+    // Shared documents live on their Zipf-sized server; private documents
+    // get contiguous per-client server blocks after the shared range.
+    // Correlated popularity is what makes the server-name summary compact
+    // inside caches (and collision-prone), as the paper observes.
+    const std::uint64_t server =
+        doc < shared_id_count_
+            ? shared_server_of(doc)
+            : server_count_ + (doc - shared_id_count_) / profile_.docs_per_server;
+    std::string url = "http://s";
+    url += std::to_string(server);
+    url += '.';
+    url += profile_.name;
+    url += "/d";
+    url += std::to_string(doc);
+    return url;
+}
+
+Request TraceGenerator::materialize(double t, std::uint32_t client, std::uint64_t doc) {
+    DocState& st = doc_state_[doc];
+    if (rng_.next_bool(profile_.modify_probability)) ++st.version;
+    Request r;
+    r.timestamp = t;
+    r.client_id = client;
+    r.url = document_url(doc);
+    r.version = st.version;
+    r.size = document_size(doc, st.version);
+    return r;
+}
+
+std::optional<Request> TraceGenerator::next() {
+    if (emitted_ >= profile_.requests) return std::nullopt;
+    ++emitted_;
+
+    if (pending_duplicate_) {
+        Request r = std::move(*pending_duplicate_);
+        pending_duplicate_.reset();
+        return r;
+    }
+
+    now_ += sample_exponential(rng_, 1.0 / profile_.request_rate);
+    const auto client = static_cast<std::uint32_t>(client_activity_.sample(rng_));
+    const std::uint64_t doc = pick_document(client);
+    Request r = materialize(now_, client, doc);
+
+    if (profile_.duplicate_anomaly && profile_.proxy_groups > 1 &&
+        rng_.next_bool(profile_.duplicate_fraction) && emitted_ < profile_.requests) {
+        // Same document, (nearly) same instant, different proxy group —
+        // the NLANR pathology that defeats any update delay.
+        Request dup = r;
+        dup.client_id = client + 1;  // lands in the adjacent group
+        dup.timestamp = r.timestamp + 1e-4;
+        pending_duplicate_ = std::move(dup);
+    }
+    return r;
+}
+
+std::vector<Request> TraceGenerator::generate_all() {
+    std::vector<Request> out;
+    out.reserve(profile_.requests);
+    while (auto r = next()) out.push_back(std::move(*r));
+    return out;
+}
+
+}  // namespace sc

@@ -1,0 +1,76 @@
+// Seeded synthetic request-stream generator. Given a TraceProfile it emits
+// requests in timestamp order with:
+//   * Zipf-skewed shared-document popularity (cross-client overlap — the
+//     source of remote cache hits),
+//   * per-client private working sets (cold misses; limits shareability),
+//   * per-(document, version) Pareto sizes,
+//   * Bernoulli document modifications (remote *stale* hits),
+//   * optionally the NLANR duplicate-request anomaly of Section V-A.
+//
+// Generation is fully deterministic in the profile's seed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "trace/profile.hpp"
+#include "trace/request.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+#include <unordered_map>
+
+namespace sc {
+
+class TraceGenerator {
+public:
+    explicit TraceGenerator(TraceProfile profile);
+
+    /// Next request, or nullopt once profile.requests have been emitted.
+    std::optional<Request> next();
+
+    /// Drain the whole stream into a vector.
+    [[nodiscard]] std::vector<Request> generate_all();
+
+    [[nodiscard]] const TraceProfile& profile() const { return profile_; }
+
+    /// Proxy group a client belongs to: clientID mod group count (Section II).
+    [[nodiscard]] static std::uint32_t proxy_group(std::uint32_t client_id,
+                                                   std::uint32_t groups) {
+        return client_id % groups;
+    }
+
+private:
+    struct DocState {
+        std::uint64_t version = 0;
+    };
+
+    [[nodiscard]] std::uint64_t pick_document(std::uint32_t client);
+    [[nodiscard]] Request materialize(double t, std::uint32_t client, std::uint64_t doc);
+    [[nodiscard]] std::uint64_t document_size(std::uint64_t doc, std::uint64_t version);
+    [[nodiscard]] std::string document_url(std::uint64_t doc) const;
+
+    [[nodiscard]] std::uint64_t shared_server_of(std::uint64_t doc) const;
+
+    TraceProfile profile_;
+    Rng rng_;
+    ZipfSampler server_popularity_;  ///< which shared server a request hits
+    ZipfSampler private_popularity_;
+    ZipfSampler client_activity_;
+    /// Document-id ranges per shared server: server s owns ids
+    /// [server_offsets_[s], server_offsets_[s+1]). Popular servers host
+    /// more documents (size ~ 1/(s+1)), mirroring the real web's skew.
+    std::vector<std::uint64_t> server_offsets_;
+    std::uint64_t shared_id_count_ = 0;  ///< first private document id
+    /// Per-client session state: the document-id range of the server the
+    /// client visited last (session locality keeps the next request there).
+    std::unordered_map<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>> sessions_;
+    BoundedParetoSampler size_sampler_;
+    std::unordered_map<std::uint64_t, DocState> doc_state_;
+    std::uint64_t emitted_ = 0;
+    double now_ = 0.0;
+    std::uint64_t server_count_ = 0;
+    std::optional<Request> pending_duplicate_;
+};
+
+}  // namespace sc

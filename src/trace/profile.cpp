@@ -1,0 +1,116 @@
+#include "trace/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+const char* trace_name(TraceKind kind) {
+    switch (kind) {
+        case TraceKind::dec: return "DEC";
+        case TraceKind::ucb: return "UCB";
+        case TraceKind::upisa: return "UPisa";
+        case TraceKind::questnet: return "Questnet";
+        case TraceKind::nlanr: return "NLANR";
+    }
+    return "?";
+}
+
+TraceProfile standard_profile(TraceKind kind, double scale) {
+    SC_ASSERT(scale > 0.0);
+    TraceProfile p;
+    p.name = trace_name(kind);
+    switch (kind) {
+        case TraceKind::dec:
+            // Corporate proxy population: many clients, 16 groups, broad
+            // shared universe, moderate skew.
+            p.requests = 1'200'000;
+            p.clients = 10'000;
+            p.proxy_groups = 16;
+            p.shared_docs = 600'000;
+            p.zipf_exponent = 0.77;
+            p.private_fraction = 0.22;
+            p.private_docs = 300;
+            p.request_rate = 60.0;
+            p.seed = 0xdec0'0001;
+            break;
+        case TraceKind::ucb:
+            // Dial-IP service: fewer clients, 8 groups.
+            p.requests = 900'000;
+            p.clients = 5'800;
+            p.proxy_groups = 8;
+            p.shared_docs = 450'000;
+            p.zipf_exponent = 0.75;
+            p.private_fraction = 0.25;
+            p.private_docs = 350;
+            p.request_rate = 40.0;
+            p.seed = 0x0cb0'0002;
+            break;
+        case TraceKind::upisa:
+            // One CS department over months: small population, high locality.
+            p.requests = 400'000;
+            p.clients = 2'000;
+            p.proxy_groups = 8;
+            p.shared_docs = 160'000;
+            p.zipf_exponent = 0.82;
+            p.private_fraction = 0.18;
+            p.private_docs = 250;
+            p.request_rate = 8.0;
+            p.seed = 0x0915'0003;
+            break;
+        case TraceKind::questnet:
+            // Parent-proxy logs: each "client" is a child proxy whose own
+            // cache already absorbed its hits, so streams are miss-heavy:
+            // weaker skew, large private working sets.
+            p.requests = 700'000;
+            p.clients = 12;
+            p.proxy_groups = 12;
+            p.shared_docs = 500'000;
+            p.zipf_exponent = 0.62;
+            p.private_fraction = 0.35;
+            p.private_docs = 30'000;
+            p.client_zipf_exponent = 0.3;
+            p.request_rate = 45.0;
+            p.seed = 0x9e37'0004;
+            break;
+        case TraceKind::nlanr:
+            // Four national parent proxies, one day. Includes the trace
+            // anomaly Section V-A diagnoses: duplicate simultaneous
+            // requests hitting two different proxies.
+            p.requests = 600'000;
+            p.clients = 4'000;
+            p.proxy_groups = 4;
+            p.shared_docs = 400'000;
+            p.zipf_exponent = 0.70;
+            p.private_fraction = 0.28;
+            p.private_docs = 400;
+            p.request_rate = 70.0;
+            p.duplicate_anomaly = true;
+            p.duplicate_fraction = 0.04;
+            p.seed = 0x1a2b'0005;
+            break;
+    }
+    if (scale != 1.0) {
+        const auto scaled = [scale](std::uint64_t v) {
+            return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                                  std::llround(static_cast<double>(v) * scale)));
+        };
+        p.requests = scaled(p.requests);
+        p.shared_docs = scaled(p.shared_docs);
+        // Private universes and client counts scale with the square root so
+        // small runs keep a realistic requests-per-document ratio.
+        const double root = std::sqrt(scale);
+        p.clients = std::max<std::uint32_t>(
+            p.proxy_groups,
+            static_cast<std::uint32_t>(std::llround(static_cast<double>(p.clients) * root)));
+        p.private_docs = std::max<std::uint32_t>(
+            10,
+            static_cast<std::uint32_t>(std::llround(static_cast<double>(p.private_docs) * root)));
+        if (p.name == "Questnet") p.clients = 12;  // clients *are* the child proxies
+    }
+    return p;
+}
+
+}  // namespace sc

@@ -1,0 +1,71 @@
+// Synthetic stand-ins for the paper's five proprietary traces (Table I).
+//
+// The originals (DEC, UCB, UPisa, Questnet, NLANR) are not redistributable,
+// so each profile captures the aggregate properties the protocol results
+// depend on: client population and grouping, request volume, popularity
+// skew (drives hit ratio vs. cache size), per-client private working sets
+// (drives cold misses and the sharing benefit), document sizes (Pareto),
+// and document modification rate (drives remote *stale* hits). DESIGN.md
+// documents the substitution; EXPERIMENTS.md reports the calibrated
+// statistics our generator actually achieves next to the paper's.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sc {
+
+enum class TraceKind { dec, ucb, upisa, questnet, nlanr };
+
+inline constexpr std::array<TraceKind, 5> kAllTraceKinds = {
+    TraceKind::dec, TraceKind::ucb, TraceKind::upisa, TraceKind::questnet, TraceKind::nlanr};
+
+[[nodiscard]] const char* trace_name(TraceKind kind);
+
+struct TraceProfile {
+    std::string name;
+
+    // Volume / population
+    std::uint64_t requests = 0;
+    std::uint32_t clients = 0;
+    std::uint32_t proxy_groups = 0;  ///< number of cooperating proxies (Section II)
+
+    // Popularity model
+    std::uint64_t shared_docs = 0;      ///< size of the globally shared document universe
+    double zipf_exponent = 0.75;        ///< skew of shared-document popularity
+    double private_fraction = 0.25;     ///< fraction of requests to client-private docs
+    std::uint32_t private_docs = 400;   ///< private universe size per client
+    double client_zipf_exponent = 0.6;  ///< activity skew across clients
+
+    // Document properties. Calibrated so the mean *cacheable* document
+    // (<= 250 KB) is ~8 KB — the figure the paper's summary-sizing rule
+    // (cache bytes / 8 KB) assumes.
+    double size_alpha = 1.1;            ///< Pareto shape (heavy-tailed sizes)
+    double size_lo = 2'000;             ///< min body bytes
+    double size_hi = 8.0e7;             ///< max body bytes (80 MB tail)
+    std::uint32_t docs_per_server = 10; ///< URL-to-server-name ratio (paper: ~10:1)
+    double modify_probability = 0.003;  ///< per-access chance the doc changed
+    /// Probability a client's next request stays on the same server as its
+    /// previous one (pages embed many objects from one host). This is what
+    /// clusters cached URLs onto few servers — the paper's observed ~10:1
+    /// ratio that makes the server-name summary compact.
+    double session_locality = 0.7;
+
+    // Arrival process
+    double request_rate = 50.0;  ///< aggregate requests per second
+
+    // NLANR anomaly (Section V-A): a few clients fire the same request
+    // at two proxies nearly simultaneously, which punishes update delay.
+    bool duplicate_anomaly = false;
+    double duplicate_fraction = 0.0;
+
+    std::uint64_t seed = 0;
+};
+
+/// The calibrated default profile for one of the five traces. `scale`
+/// multiplies request count and document populations together so that
+/// quick runs stay representative (hit ratios move only mildly with scale).
+[[nodiscard]] TraceProfile standard_profile(TraceKind kind, double scale = 1.0);
+
+}  // namespace sc

@@ -1,0 +1,13 @@
+#include "trace/request.hpp"
+
+namespace sc {
+
+std::string_view url_host(std::string_view url) {
+    constexpr std::string_view scheme = "://";
+    std::size_t start = url.find(scheme);
+    start = (start == std::string_view::npos) ? 0 : start + scheme.size();
+    const std::size_t end = url.find('/', start);
+    return url.substr(start, end == std::string_view::npos ? std::string_view::npos : end - start);
+}
+
+}  // namespace sc

@@ -1,0 +1,26 @@
+// One HTTP GET record, the unit every simulation consumes. Matches the
+// fields the paper's traces carry: time, client, URL, reply size, and a
+// last-modified stamp (version) used for the perfect-consistency rule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sc {
+
+struct Request {
+    double timestamp = 0.0;      ///< seconds since trace start
+    std::uint32_t client_id = 0; ///< stable client identifier
+    std::string url;             ///< absolute URL, e.g. "http://s12.dec/d3456"
+    std::uint64_t size = 0;      ///< document body size in bytes
+    std::uint64_t version = 0;   ///< last-modified stamp; change => modified
+
+    friend bool operator==(const Request&, const Request&) = default;
+};
+
+/// Host component of a URL ("http://host/path" -> "host"); the
+/// server-name summary representation stores exactly these.
+[[nodiscard]] std::string_view url_host(std::string_view url);
+
+}  // namespace sc

@@ -1,0 +1,92 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sc {
+namespace {
+
+constexpr const char* kHeader = "timestamp,client,url,size,version";
+
+[[noreturn]] void malformed(std::size_t line_no, const std::string& why) {
+    throw std::runtime_error("trace csv line " + std::to_string(line_no) + ": " + why);
+}
+
+template <typename Int>
+Int parse_int(std::string_view field, std::size_t line_no) {
+    Int value{};
+    const auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), value);
+    if (ec != std::errc{} || ptr != field.data() + field.size())
+        malformed(line_no, "bad integer field '" + std::string(field) + "'");
+    return value;
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& out, const std::vector<Request>& trace) {
+    out << kHeader << '\n';
+    char ts[64];
+    for (const Request& r : trace) {
+        std::snprintf(ts, sizeof ts, "%.6f", r.timestamp);
+        out << ts << ',' << r.client_id << ',' << r.url << ',' << r.size << ',' << r.version
+            << '\n';
+    }
+}
+
+void write_trace_csv_file(const std::string& path, const std::vector<Request>& trace) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open for write: " + path);
+    write_trace_csv(out, trace);
+    if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<Request> read_trace_csv(std::istream& in) {
+    std::vector<Request> out;
+    std::string line;
+    std::size_t line_no = 0;
+
+    if (!std::getline(in, line)) throw std::runtime_error("trace csv: empty input");
+    ++line_no;
+    if (line != kHeader) malformed(line_no, "bad header");
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        // Split into exactly five fields. The URL (field 3) is comma-free.
+        std::array<std::string_view, 5> fields;
+        std::string_view rest = line;
+        for (int i = 0; i < 4; ++i) {
+            const std::size_t comma = rest.find(',');
+            if (comma == std::string_view::npos) malformed(line_no, "too few fields");
+            fields[static_cast<std::size_t>(i)] = rest.substr(0, comma);
+            rest.remove_prefix(comma + 1);
+        }
+        if (rest.find(',') != std::string_view::npos) malformed(line_no, "too many fields");
+        fields[4] = rest;
+
+        Request r;
+        try {
+            r.timestamp = std::stod(std::string(fields[0]));
+        } catch (const std::exception&) {
+            malformed(line_no, "bad timestamp");
+        }
+        r.client_id = parse_int<std::uint32_t>(fields[1], line_no);
+        r.url = std::string(fields[2]);
+        r.size = parse_int<std::uint64_t>(fields[3], line_no);
+        r.version = parse_int<std::uint64_t>(fields[4], line_no);
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+std::vector<Request> read_trace_csv_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open for read: " + path);
+    return read_trace_csv(in);
+}
+
+}  // namespace sc

@@ -1,0 +1,24 @@
+// CSV serialization of request streams so generated traces can be saved,
+// inspected, and replayed byte-identically (the prototype's trace-replay
+// client reads this format).
+//
+// Format: header line "timestamp,client,url,size,version", then one record
+// per line. URLs must not contain commas or newlines (ours never do).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/request.hpp"
+
+namespace sc {
+
+void write_trace_csv(std::ostream& out, const std::vector<Request>& trace);
+void write_trace_csv_file(const std::string& path, const std::vector<Request>& trace);
+
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] std::vector<Request> read_trace_csv(std::istream& in);
+[[nodiscard]] std::vector<Request> read_trace_csv_file(const std::string& path);
+
+}  // namespace sc

@@ -1,0 +1,34 @@
+#include "util/bytes.hpp"
+
+#include <cstdio>
+
+namespace sc {
+
+std::string format_bytes(std::uint64_t bytes) {
+    char buf[48];
+    if (bytes >= kGiB) {
+        std::snprintf(buf, sizeof buf, "%.2f GB", static_cast<double>(bytes) / static_cast<double>(kGiB));
+    } else if (bytes >= kMiB) {
+        std::snprintf(buf, sizeof buf, "%.2f MB", static_cast<double>(bytes) / static_cast<double>(kMiB));
+    } else if (bytes >= kKiB) {
+        std::snprintf(buf, sizeof buf, "%.1f KB", static_cast<double>(bytes) / static_cast<double>(kKiB));
+    } else {
+        std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+std::string format_count(std::uint64_t n) {
+    std::string digits = std::to_string(n);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    int seen = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (seen != 0 && seen % 3 == 0) out.push_back(',');
+        out.push_back(*it);
+        ++seen;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+}  // namespace sc

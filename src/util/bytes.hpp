@@ -1,0 +1,19 @@
+// Byte-count helpers shared by reports and tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sc {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * 1024;
+inline constexpr std::uint64_t kGiB = 1024ull * 1024 * 1024;
+
+/// Human-readable size: "1.5 MB", "832 KB", "17 B".
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// Thousands-separated integer: "1,234,567".
+[[nodiscard]] std::string format_count(std::uint64_t n);
+
+}  // namespace sc

@@ -1,0 +1,89 @@
+#include "util/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+// ---------------------------------------------------------------- Zipf ----
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+    SC_ASSERT(n >= 1);
+    SC_ASSERT(s > 0.0);
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(n) + 0.5);
+    threshold_ = 2.0 - h_inverse(h(2.5) - std::pow(2.0, -s));
+}
+
+double ZipfSampler::h(double x) const {
+    // Integral of x^-s: log(x) when s == 1, else x^(1-s)/(1-s).
+    if (s_ == 1.0) return std::log(x);
+    return std::pow(x, 1.0 - s_) / (1.0 - s_);
+}
+
+double ZipfSampler::h_inverse(double x) const {
+    if (s_ == 1.0) return std::exp(x);
+    return std::pow((1.0 - s_) * x, 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+    if (n_ == 1) return 0;
+    // Rejection-inversion over the hazard envelope.
+    for (;;) {
+        const double u = h_x1_ + rng.next_double() * (h_n_ - h_x1_);
+        const double x = h_inverse(u);
+        auto k = static_cast<std::uint64_t>(x + 0.5);
+        k = std::clamp<std::uint64_t>(k, 1, n_);
+        if (static_cast<double>(k) - x <= threshold_ ||
+            u >= h(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -s_)) {
+            return k - 1;  // ranks are 0-based externally
+        }
+    }
+}
+
+// -------------------------------------------------------------- Pareto ----
+
+BoundedParetoSampler::BoundedParetoSampler(double alpha, double lo, double hi)
+    : alpha_(alpha), lo_(lo), hi_(hi) {
+    SC_ASSERT(alpha > 0.0);
+    SC_ASSERT(lo > 0.0 && hi > lo);
+    lo_pow_ = std::pow(lo, alpha);
+    hi_pow_ = std::pow(hi, alpha);
+}
+
+double BoundedParetoSampler::sample(Rng& rng) const {
+    const double u = rng.next_double();
+    // Inverse-CDF of the bounded Pareto.
+    const double num = u * hi_pow_ - u * lo_pow_ - hi_pow_;
+    return std::pow(-num / (hi_pow_ * lo_pow_), -1.0 / alpha_);
+}
+
+double BoundedParetoSampler::mean() const {
+    if (alpha_ == 1.0) {
+        return (lo_ * hi_) / (hi_ - lo_) * std::log(hi_ / lo_);
+    }
+    const double l = lo_pow_;
+    return l / (1.0 - l / hi_pow_) * (alpha_ / (alpha_ - 1.0)) *
+           (1.0 / std::pow(lo_, alpha_ - 1.0) - 1.0 / std::pow(hi_, alpha_ - 1.0));
+}
+
+// --------------------------------------------------------------- misc -----
+
+double sample_exponential(Rng& rng, double mean) {
+    SC_ASSERT(mean > 0.0);
+    double u = rng.next_double();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+std::size_t sample_discrete_cdf(Rng& rng, const std::vector<double>& cum) {
+    SC_ASSERT(!cum.empty());
+    const double x = rng.next_double() * cum.back();
+    const auto it = std::upper_bound(cum.begin(), cum.end(), x);
+    return static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+        it - cum.begin(), static_cast<std::ptrdiff_t>(cum.size()) - 1));
+}
+
+}  // namespace sc

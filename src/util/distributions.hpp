@@ -1,0 +1,69 @@
+// Samplers for the distributions the paper's workloads rely on:
+//   * Zipf-like document popularity (drives temporal locality and the
+//     logarithmic hit-ratio growth of Section III),
+//   * bounded Pareto document sizes (the Wisconsin Proxy Benchmark uses
+//     Pareto sizes, Section IV),
+//   * exponential inter-arrival helpers for the event-driven simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sc {
+
+/// Zipf(s) over ranks {0, 1, ..., n-1}: P(rank k) proportional to 1/(k+1)^s.
+/// Uses rejection-inversion sampling (Hörmann & Derflinger), O(1) per draw
+/// with no O(n) table, so populations of hundreds of millions are fine.
+class ZipfSampler {
+public:
+    ZipfSampler(std::uint64_t n, double s);
+
+    [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+    [[nodiscard]] std::uint64_t population() const { return n_; }
+    [[nodiscard]] double exponent() const { return s_; }
+
+private:
+    [[nodiscard]] double h(double x) const;          // integral of 1/x^s
+    [[nodiscard]] double h_inverse(double x) const;  // inverse of h
+
+    std::uint64_t n_;
+    double s_;
+    double h_x1_;
+    double h_n_;
+    double threshold_;  // rejection shortcut for rank 1
+};
+
+/// Bounded Pareto over [lo, hi] with shape alpha. The paper's benchmark
+/// uses Pareto document sizes (heavy-tailed; alpha near 1.1).
+class BoundedParetoSampler {
+public:
+    BoundedParetoSampler(double alpha, double lo, double hi);
+
+    [[nodiscard]] double sample(Rng& rng) const;
+
+    /// Analytic mean of the bounded Pareto distribution.
+    [[nodiscard]] double mean() const;
+
+    [[nodiscard]] double alpha() const { return alpha_; }
+    [[nodiscard]] double lo() const { return lo_; }
+    [[nodiscard]] double hi() const { return hi_; }
+
+private:
+    double alpha_;
+    double lo_;
+    double hi_;
+    double lo_pow_;  // lo^alpha
+    double hi_pow_;  // hi^alpha
+};
+
+/// Exponential with the given mean (mean = 1/lambda).
+[[nodiscard]] double sample_exponential(Rng& rng, double mean);
+
+/// Draw from a discrete distribution given cumulative weights
+/// (cum.back() is the total mass). Returns an index into cum.
+[[nodiscard]] std::size_t sample_discrete_cdf(Rng& rng, const std::vector<double>& cum);
+
+}  // namespace sc

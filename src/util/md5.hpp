@@ -1,0 +1,61 @@
+// Clean-room MD5 (RFC 1321). The paper uses MD5 signatures of URLs both as
+// exact-directory entries (16 bytes per URL) and as the source of the Bloom
+// filter hash functions (disjoint 32-bit groups of the 128-bit digest).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace sc {
+
+/// A 128-bit MD5 digest.
+struct Md5Digest {
+    std::array<std::uint8_t, 16> bytes{};
+
+    friend bool operator==(const Md5Digest&, const Md5Digest&) = default;
+
+    /// The i-th little-endian 32-bit word of the digest, i in [0, 4).
+    [[nodiscard]] std::uint32_t word32(int i) const;
+
+    /// The i-th little-endian 64-bit word of the digest, i in [0, 2).
+    [[nodiscard]] std::uint64_t word64(int i) const;
+
+    /// Lowercase hex rendering, e.g. "d41d8cd98f00b204e9800998ecf8427e".
+    [[nodiscard]] std::string hex() const;
+};
+
+/// Incremental MD5 context. Feed any number of update() calls, then finish().
+class Md5 {
+public:
+    Md5();
+
+    /// Absorb more input. May be called repeatedly.
+    void update(std::span<const std::uint8_t> data);
+    void update(std::string_view data);
+
+    /// Finalize and return the digest. The context must not be reused
+    /// afterwards except by calling reset().
+    Md5Digest finish();
+
+    /// Restore the context to its initial (empty-message) state.
+    void reset();
+
+private:
+    void compress(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 4> state_{};
+    std::uint64_t total_len_ = 0;        // bytes absorbed so far
+    std::array<std::uint8_t, 64> buf_{}; // partial block
+    std::size_t buf_len_ = 0;
+};
+
+/// One-shot digest of a string.
+[[nodiscard]] Md5Digest md5(std::string_view data);
+
+/// One-shot digest of raw bytes.
+[[nodiscard]] Md5Digest md5(std::span<const std::uint8_t> data);
+
+}  // namespace sc

@@ -1,0 +1,87 @@
+// Deterministic, seedable PRNG used by every stochastic component
+// (trace synthesis, workload generators, Monte-Carlo checks). All results
+// in the repository are reproducible from the seed alone; no component
+// reads the wall clock for randomness.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+/// splitmix64: used to expand a 64-bit seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256++ — fast, high-quality 64-bit generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr Rng(std::uint64_t seed = 0x5c5c5c5c5c5c5c5cull) {
+        std::uint64_t sm = seed;
+        for (auto& s : state_) s = splitmix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    constexpr result_type operator()() {
+        const std::uint64_t result = std::rotl(state_[0] + state_[3], 23) + state_[0];
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = std::rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    constexpr double next_double() {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    constexpr std::uint64_t next_below(std::uint64_t bound) {
+        SC_ASSERT(bound > 0);
+        // Lemire's unbiased multiply-shift rejection method.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// True with probability p (clamped to [0,1]).
+    constexpr bool next_bool(double p) { return next_double() < p; }
+
+    /// Derive an independent child stream (for per-client generators).
+    constexpr Rng fork() {
+        Rng child(0);
+        for (auto& s : child.state_) s = (*this)();
+        return child;
+    }
+
+private:
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace sc

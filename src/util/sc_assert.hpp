@@ -1,0 +1,21 @@
+// Lightweight precondition / invariant checking in the spirit of the
+// Core Guidelines' Expects()/Ensures(). Violations are programming errors,
+// so they terminate rather than throw.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sc::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+    std::fprintf(stderr, "SC_ASSERT failed: %s at %s:%d\n", expr, file, line);
+    std::abort();
+}
+
+}  // namespace sc::detail
+
+#define SC_ASSERT(expr)                                             \
+    do {                                                            \
+        if (!(expr)) ::sc::detail::assert_fail(#expr, __FILE__, __LINE__); \
+    } while (false)

@@ -1,0 +1,112 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/sc_assert.hpp"
+
+namespace sc {
+
+void OnlineStats::add(double x) {
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+}
+
+double OnlineStats::variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double nt = na + nb;
+    mean_ += delta * nb / nt;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void Percentiles::add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+double Percentiles::quantile(double q) const {
+    SC_ASSERT(q >= 0.0 && q <= 1.0);
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Percentiles::mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+}
+
+void Log2Histogram::add(double x) {
+    ++total_;
+    if (x < 1.0) {
+        ++underflow_;
+        return;
+    }
+    const auto bucket = static_cast<std::size_t>(std::floor(std::log2(x)));
+    if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+    ++buckets_[bucket];
+}
+
+std::string Log2Histogram::render() const {
+    std::string out;
+    char line[96];
+    if (underflow_ > 0) {
+        std::snprintf(line, sizeof line, "[0, 1) %llu\n",
+                      static_cast<unsigned long long>(underflow_));
+        out += line;
+    }
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0) continue;
+        std::snprintf(line, sizeof line, "[%.0f, %.0f) %llu\n", std::exp2(static_cast<double>(i)),
+                      std::exp2(static_cast<double>(i + 1)),
+                      static_cast<unsigned long long>(buckets_[i]));
+        out += line;
+    }
+    return out;
+}
+
+std::string percent(double numerator, double denominator, int decimals) {
+    char buf[48];
+    const double v = denominator == 0.0 ? 0.0 : 100.0 * numerator / denominator;
+    std::snprintf(buf, sizeof buf, "%.*f%%", decimals, v);
+    return buf;
+}
+
+}  // namespace sc

@@ -1,0 +1,75 @@
+// Small statistics toolkit used by the simulator and the reproduction
+// harnesses: online mean/variance (Welford), exact percentiles over stored
+// samples, and fixed-bucket histograms for size/latency distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Online mean / variance / min / max accumulator (Welford's algorithm).
+class OnlineStats {
+public:
+    void add(double x);
+
+    [[nodiscard]] std::uint64_t count() const { return n_; }
+    [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+    /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+    [[nodiscard]] double sum() const { return sum_; }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    void merge(const OnlineStats& other);
+
+private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// Stores samples and answers exact quantile queries.
+class Percentiles {
+public:
+    void add(double x);
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
+    /// q in [0, 1]; linear interpolation between order statistics.
+    /// Returns 0 when empty.
+    [[nodiscard]] double quantile(double q) const;
+
+    [[nodiscard]] std::size_t count() const { return samples_.size(); }
+    [[nodiscard]] double mean() const;
+
+private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/// Histogram over geometric (power-of-two) buckets, suitable for byte
+/// sizes and latencies spanning several orders of magnitude.
+class Log2Histogram {
+public:
+    void add(double x);
+
+    [[nodiscard]] std::uint64_t total() const { return total_; }
+    /// Render one line per non-empty bucket: "[lo, hi) count".
+    [[nodiscard]] std::string render() const;
+
+private:
+    std::vector<std::uint64_t> buckets_;  // bucket i covers [2^i, 2^(i+1))
+    std::uint64_t underflow_ = 0;         // x < 1
+    std::uint64_t total_ = 0;
+};
+
+/// Ratio helper: percentage string with fixed precision, "12.34%".
+[[nodiscard]] std::string percent(double numerator, double denominator, int decimals = 2);
+
+}  // namespace sc

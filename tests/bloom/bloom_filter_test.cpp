@@ -1,0 +1,148 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_math.hpp"
+
+namespace sc {
+namespace {
+
+HashSpec small_spec(std::uint32_t bits = 4096, std::uint16_t k = 4) {
+    return HashSpec{k, 32, bits};
+}
+
+TEST(BloomFilter, EmptyContainsNothing) {
+    const BloomFilter f(small_spec());
+    EXPECT_FALSE(f.may_contain("anything"));
+    EXPECT_EQ(f.popcount(), 0u);
+    EXPECT_EQ(f.fill_ratio(), 0.0);
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+    BloomFilter f(small_spec(1 << 14));
+    std::vector<std::string> keys;
+    for (int i = 0; i < 1000; ++i) keys.push_back("http://host/" + std::to_string(i));
+    for (const auto& k : keys) f.insert(k);
+    for (const auto& k : keys) ASSERT_TRUE(f.may_contain(k)) << k;
+}
+
+TEST(BloomFilter, InsertIsIdempotent) {
+    BloomFilter f(small_spec());
+    f.insert("x");
+    const std::uint64_t pop = f.popcount();
+    f.insert("x");
+    EXPECT_EQ(f.popcount(), pop);
+}
+
+TEST(BloomFilter, SetAndTestBits) {
+    BloomFilter f(small_spec(128));
+    EXPECT_FALSE(f.test_bit(0));
+    f.set_bit(0, true);
+    f.set_bit(127, true);
+    EXPECT_TRUE(f.test_bit(0));
+    EXPECT_TRUE(f.test_bit(127));
+    EXPECT_EQ(f.popcount(), 2u);
+    f.set_bit(0, false);
+    EXPECT_FALSE(f.test_bit(0));
+    EXPECT_EQ(f.popcount(), 1u);
+}
+
+TEST(BloomFilter, ClearResets) {
+    BloomFilter f(small_spec());
+    for (int i = 0; i < 100; ++i) f.insert(std::to_string(i));
+    f.clear();
+    EXPECT_EQ(f.popcount(), 0u);
+    EXPECT_FALSE(f.may_contain("0"));
+}
+
+TEST(BloomFilter, WordsRoundTrip) {
+    BloomFilter f(small_spec());
+    for (int i = 0; i < 64; ++i) f.insert("k" + std::to_string(i));
+    const auto words = f.words();
+    BloomFilter g(small_spec(), std::vector<std::uint64_t>(words.begin(), words.end()));
+    EXPECT_EQ(f, g);
+    for (int i = 0; i < 64; ++i) EXPECT_TRUE(g.may_contain("k" + std::to_string(i)));
+}
+
+TEST(BloomFilter, AssignWords) {
+    BloomFilter src(small_spec());
+    src.insert("hello");
+    BloomFilter dst(small_spec());
+    dst.assign_words(src.words());
+    EXPECT_EQ(src, dst);
+}
+
+TEST(BloomFilter, DiffFindsExactlyTheDifferingBits) {
+    BloomFilter a(small_spec(256));
+    BloomFilter b(small_spec(256));
+    a.set_bit(3, true);
+    a.set_bit(250, true);
+    b.set_bit(250, true);
+    b.set_bit(100, true);
+    const auto d = a.diff(b);
+    EXPECT_EQ(d, (std::vector<std::uint32_t>{3, 100}));
+    EXPECT_TRUE(a.diff(a).empty());
+}
+
+TEST(BloomFilter, FalsePositiveRateMatchesTheory) {
+    // n = 1000 keys at 8 bits/entry with k=4: theory ~2.4% false positives.
+    constexpr int n = 1000;
+    const HashSpec spec{4, 32, 8 * n};
+    BloomFilter f(spec);
+    for (int i = 0; i < n; ++i) f.insert("member/" + std::to_string(i));
+
+    int fp = 0;
+    constexpr int probes = 50'000;
+    for (int i = 0; i < probes; ++i)
+        if (f.may_contain("nonmember/" + std::to_string(i))) ++fp;
+    const double measured = static_cast<double>(fp) / probes;
+    const double theory = bloom_fp_exact(8.0 * n, n, 4);
+    EXPECT_NEAR(measured, theory, theory * 0.25);
+    // estimated_fp_rate (from fill ratio) tracks both.
+    EXPECT_NEAR(f.estimated_fp_rate(), theory, theory * 0.25);
+}
+
+// Paper Section V-C headline numbers: at 10 bits/entry the false-positive
+// probability is ~1.2% with four hash functions and ~0.9% with five.
+TEST(BloomFilter, PaperLoadFactorTenNumbers) {
+    EXPECT_NEAR(bloom_fp_approx(10, 1, 4), 0.0118, 0.0005);
+    EXPECT_NEAR(bloom_fp_approx(10, 1, 5), 0.00943, 0.0005);
+}
+
+struct LoadFactorCase {
+    std::uint32_t load_factor;
+    std::uint16_t k;
+};
+
+class BloomLoadFactorSweep : public ::testing::TestWithParam<LoadFactorCase> {};
+
+TEST_P(BloomLoadFactorSweep, MeasuredFpWithinTheoryBand) {
+    const auto [lf, k] = GetParam();
+    constexpr int n = 2000;
+    const HashSpec spec{k, 32, lf * n};
+    BloomFilter f(spec);
+    for (int i = 0; i < n; ++i) f.insert("in/" + std::to_string(i));
+    int fp = 0;
+    const int probes = 200'000;
+    for (int i = 0; i < probes; ++i)
+        if (f.may_contain("out/" + std::to_string(i))) ++fp;
+    const double measured = static_cast<double>(fp) / probes;
+    const double theory = bloom_fp_exact(static_cast<double>(lf) * n, n, k);
+    EXPECT_LT(measured, theory * 1.5 + 1e-4);
+    EXPECT_GT(measured, theory * 0.5 - 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadFactors, BloomLoadFactorSweep,
+                         ::testing::Values(LoadFactorCase{4, 3}, LoadFactorCase{8, 4},
+                                           LoadFactorCase{16, 4}, LoadFactorCase{16, 8},
+                                           LoadFactorCase{32, 4}),
+                         [](const auto& info) {
+                             return "lf" + std::to_string(info.param.load_factor) + "_k" +
+                                    std::to_string(info.param.k);
+                         });
+
+}  // namespace
+}  // namespace sc

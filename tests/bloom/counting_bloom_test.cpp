@@ -1,0 +1,154 @@
+#include "bloom/counting_bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sc {
+namespace {
+
+HashSpec spec(std::uint32_t bits = 4096) { return HashSpec{4, 32, bits}; }
+
+TEST(CountingBloom, InsertThenContains) {
+    CountingBloomFilter f(spec());
+    f.insert("http://a/1");
+    EXPECT_TRUE(f.may_contain("http://a/1"));
+    EXPECT_TRUE(f.bits().may_contain("http://a/1"));
+}
+
+TEST(CountingBloom, EraseRemoves) {
+    CountingBloomFilter f(spec(1 << 16));
+    f.insert("only-key");
+    f.erase("only-key");
+    EXPECT_FALSE(f.may_contain("only-key"));
+    EXPECT_EQ(f.bits().popcount(), 0u);
+}
+
+TEST(CountingBloom, EraseOfOneKeyKeepsOthers) {
+    CountingBloomFilter f(spec(1 << 16));
+    std::vector<std::string> keys;
+    for (int i = 0; i < 500; ++i) keys.push_back("k" + std::to_string(i));
+    for (const auto& k : keys) f.insert(k);
+    for (int i = 0; i < 250; ++i) f.erase(keys[static_cast<std::size_t>(i)]);
+    // Deletions must never produce false negatives for remaining members.
+    for (int i = 250; i < 500; ++i)
+        ASSERT_TRUE(f.may_contain(keys[static_cast<std::size_t>(i)])) << i;
+}
+
+TEST(CountingBloom, DuplicateInsertNeedsTwoErases) {
+    CountingBloomFilter f(spec(1 << 16));
+    f.insert("dup");
+    f.insert("dup");
+    f.erase("dup");
+    EXPECT_TRUE(f.may_contain("dup"));  // one reference left
+    f.erase("dup");
+    EXPECT_FALSE(f.may_contain("dup"));
+}
+
+TEST(CountingBloom, DeltaLogRecordsTransitionsOnly) {
+    CountingBloomFilter f(spec(1 << 16));
+    f.insert("a");                      // 4 bits 0->1 (barring collisions)
+    const auto delta1 = f.take_delta();
+    EXPECT_GE(delta1.size(), 1u);
+    EXPECT_LE(delta1.size(), 4u);
+    for (const auto& flip : delta1.flips()) EXPECT_TRUE(flip.value);
+
+    f.insert("a");  // counters 1->2: no bit transitions
+    auto delta2 = f.take_delta();
+    EXPECT_TRUE(delta2.empty());
+
+    f.erase("a");  // counters 2->1: still no transitions
+    EXPECT_TRUE(f.take_delta().empty());
+
+    f.erase("a");  // counters 1->0: bits turn off
+    const auto delta3 = f.take_delta();
+    EXPECT_EQ(delta3.size(), delta1.size());
+    for (const auto& flip : delta3.flips()) EXPECT_FALSE(flip.value);
+}
+
+TEST(CountingBloom, TakeDeltaCompactsToggles) {
+    CountingBloomFilter f(spec(1 << 16));
+    f.insert("x");
+    f.erase("x");
+    // Bits went 0->1->0 between publishes: compaction leaves the final
+    // value per index (value=false records).
+    const auto delta = f.take_delta();
+    for (const auto& flip : delta.flips()) EXPECT_FALSE(flip.value);
+    // Applying the compacted delta to a replica that saw neither change
+    // leaves it correctly empty-equivalent for "x": off bits stay off.
+    BloomFilter replica(spec(1 << 16));
+    for (const auto& flip : delta.flips()) replica.set_bit(flip.index, flip.value);
+    EXPECT_FALSE(replica.may_contain("x"));
+}
+
+TEST(CountingBloom, SaturatedCounterIsPinned) {
+    CountingBloomFilter f(spec(64), /*counter_bits=*/2);  // max = 3
+    // Insert one key five times: counters saturate at 3 and record overflows.
+    for (int i = 0; i < 5; ++i) f.insert("k");
+    EXPECT_GT(f.overflow_events(), 0u);
+    EXPECT_LE(f.max_counter(), 3);
+    // Erase five times: pinned counters never decrement, so the key still
+    // appears present (the designed fail-safe direction).
+    for (int i = 0; i < 5; ++i) f.erase("k");
+    EXPECT_TRUE(f.may_contain("k"));
+}
+
+TEST(CountingBloom, UnderflowIsCountedNotFatal) {
+    CountingBloomFilter f(spec(1 << 16));
+    f.erase("never-inserted");
+    EXPECT_GT(f.underflow_events(), 0u);
+    EXPECT_EQ(f.bits().popcount(), 0u);
+}
+
+TEST(CountingBloom, FourBitCountersSufficeAtPaperLoads) {
+    // Paper Section V-C: with load factor 16 and k=4, Pr[any counter >= 16]
+    // is minuscule. Empirically the max counter stays well below 15.
+    constexpr int n = 4096;
+    CountingBloomFilter f(HashSpec{4, 32, 16 * n}, 4);
+    for (int i = 0; i < n; ++i) f.insert("doc" + std::to_string(i));
+    EXPECT_EQ(f.overflow_events(), 0u);
+    EXPECT_LT(f.max_counter(), 9);  // theory: max ~ O(log m / log log m), ~5
+}
+
+TEST(CountingBloom, BitsViewTracksCounters) {
+    CountingBloomFilter f(spec(1 << 12));
+    for (int i = 0; i < 200; ++i) f.insert("d" + std::to_string(i));
+    for (std::uint32_t b = 0; b < (1u << 12); ++b)
+        ASSERT_EQ(f.bits().test_bit(b), f.counter(b) > 0) << "bit " << b;
+}
+
+TEST(CountingBloom, ClearResetsEverything) {
+    CountingBloomFilter f(spec());
+    f.insert("a");
+    f.insert("b");
+    f.clear();
+    EXPECT_FALSE(f.may_contain("a"));
+    EXPECT_EQ(f.bits().popcount(), 0u);
+    EXPECT_TRUE(f.take_delta().empty());
+    EXPECT_EQ(f.overflow_events(), 0u);
+    EXPECT_EQ(f.max_counter(), 0);
+}
+
+TEST(CountingBloom, ChurnMatchesReferenceSet) {
+    // Long insert/erase churn: the filter must agree with an exact set on
+    // membership of all *current* members (no false negatives, property).
+    CountingBloomFilter f(HashSpec{4, 32, 1 << 16});
+    std::vector<std::string> live;
+    for (int round = 0; round < 2000; ++round) {
+        const std::string key = "u" + std::to_string(round % 700);
+        const bool is_live =
+            std::find(live.begin(), live.end(), key) != live.end();
+        if (is_live) {
+            f.erase(key);
+            live.erase(std::find(live.begin(), live.end(), key));
+        } else {
+            f.insert(key);
+            live.push_back(key);
+        }
+    }
+    for (const auto& k : live) ASSERT_TRUE(f.may_contain(k));
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,88 @@
+#include "bloom/delta_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sc {
+namespace {
+
+TEST(BitFlip, EncodeDecodeRoundTrip) {
+    for (const BitFlip f : {BitFlip{0, false}, BitFlip{0, true}, BitFlip{12345, true},
+                            BitFlip{kBitFlipIndexMask, false}, BitFlip{kBitFlipIndexMask, true}}) {
+        EXPECT_EQ(decode_bit_flip(encode_bit_flip(f)), f);
+    }
+}
+
+TEST(BitFlip, MsbCarriesValue) {
+    EXPECT_EQ(encode_bit_flip({5, true}), 0x80000005u);
+    EXPECT_EQ(encode_bit_flip({5, false}), 0x00000005u);
+}
+
+TEST(DeltaLog, RecordsInOrder) {
+    DeltaLog log;
+    log.record({1, true});
+    log.record({2, true});
+    log.record({3, false});
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log.flips()[0], (BitFlip{1, true}));
+    EXPECT_EQ(log.flips()[2], (BitFlip{3, false}));
+}
+
+TEST(DeltaLog, CompactKeepsLastValuePerIndex) {
+    DeltaLog log;
+    log.record({7, true});
+    log.record({8, true});
+    log.record({7, false});  // supersedes the first record
+    const std::size_t removed = log.compact();
+    EXPECT_EQ(removed, 1u);
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.flips()[0], (BitFlip{7, false}));  // first-touch order kept
+    EXPECT_EQ(log.flips()[1], (BitFlip{8, true}));
+}
+
+TEST(DeltaLog, CompactOfDistinctIndexesIsNoop) {
+    DeltaLog log;
+    for (std::uint32_t i = 0; i < 100; ++i) log.record({i, i % 2 == 0});
+    EXPECT_EQ(log.compact(), 0u);
+    EXPECT_EQ(log.size(), 100u);
+}
+
+TEST(DeltaLog, EncodeMatchesRecords) {
+    DeltaLog log;
+    log.record({10, true});
+    log.record({20, false});
+    const auto wire = log.encode();
+    ASSERT_EQ(wire.size(), 2u);
+    EXPECT_EQ(decode_bit_flip(wire[0]), (BitFlip{10, true}));
+    EXPECT_EQ(decode_bit_flip(wire[1]), (BitFlip{20, false}));
+}
+
+TEST(DeltaLog, ClearEmpties) {
+    DeltaLog log;
+    log.record({1, true});
+    log.clear();
+    EXPECT_TRUE(log.empty());
+    EXPECT_TRUE(log.encode().empty());
+}
+
+TEST(DeltaLog, AbsoluteValuesMakeReplayIdempotent) {
+    // The design rationale (Section VI-A): records carry absolute bit
+    // values so applying an update twice — duplicated datagram — is safe.
+    DeltaLog log;
+    log.record({42, true});
+    log.record({43, false});
+    std::vector<bool> bits(64, false);
+    bits[43] = true;
+    const auto apply = [&] {
+        for (std::uint32_t rec : log.encode()) {
+            const BitFlip f = decode_bit_flip(rec);
+            bits[f.index] = f.value;
+        }
+    };
+    apply();
+    apply();  // duplicate delivery
+    EXPECT_TRUE(bits[42]);
+    EXPECT_FALSE(bits[43]);
+}
+
+}  // namespace
+}  // namespace sc

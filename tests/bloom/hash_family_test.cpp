@@ -1,0 +1,105 @@
+#include "bloom/hash_family.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/bloom_math.hpp"
+
+namespace sc {
+namespace {
+
+const HashSpec kSpec{4, 32, 1 << 16};
+
+class HashFamilyTest : public ::testing::TestWithParam<HashFamily> {};
+
+TEST_P(HashFamilyTest, DeterministicAndInRange) {
+    const auto hasher = make_hasher(GetParam());
+    ASSERT_NE(hasher, nullptr);
+    for (int i = 0; i < 200; ++i) {
+        const std::string key = "http://h" + std::to_string(i) + "/d";
+        const auto a = (*hasher)(key, kSpec);
+        const auto b = (*hasher)(key, kSpec);
+        ASSERT_EQ(a, b);
+        ASSERT_EQ(a.size(), kSpec.function_num);
+        for (std::uint32_t x : a) ASSERT_LT(x, kSpec.table_bits);
+    }
+}
+
+TEST_P(HashFamilyTest, FalsePositiveRateNearTheory) {
+    // Any decent family must land within ~2x of the analytic FP rate.
+    const auto hasher = make_hasher(GetParam());
+    constexpr int n = 4096;
+    const HashSpec spec{4, 32, 8 * n};
+    BloomFilter filter(spec);
+    for (int i = 0; i < n; ++i)
+        for (std::uint32_t idx : (*hasher)("member/" + std::to_string(i), spec))
+            filter.set_bit(idx, true);
+    int fp = 0;
+    constexpr int probes = 60'000;
+    for (int i = 0; i < probes; ++i) {
+        const auto idx = (*hasher)("probe/" + std::to_string(i), spec);
+        if (filter.may_contain(std::span<const std::uint32_t>(idx))) ++fp;
+    }
+    const double measured = static_cast<double>(fp) / probes;
+    const double theory = bloom_fp_exact(8.0 * n, n, 4);
+    EXPECT_LT(measured, theory * 2.0) << hash_family_name(GetParam());
+    EXPECT_GT(measured, theory * 0.4) << hash_family_name(GetParam());
+}
+
+TEST_P(HashFamilyTest, DistinctKeysRarelyShareAllIndexes) {
+    const auto hasher = make_hasher(GetParam());
+    std::set<std::vector<std::uint32_t>> seen;
+    constexpr int keys = 5000;
+    for (int i = 0; i < keys; ++i) seen.insert((*hasher)("k" + std::to_string(i), kSpec));
+    EXPECT_GT(seen.size(), keys - 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, HashFamilyTest,
+                         ::testing::Values(HashFamily::md5, HashFamily::linear,
+                                           HashFamily::rabin),
+                         [](const auto& info) { return hash_family_name(info.param); });
+
+TEST(HashFamilies, Md5FamilyMatchesWireRecipe) {
+    // The md5 strategy must agree exactly with the SC-ICP wire derivation.
+    const auto hasher = make_hasher(HashFamily::md5);
+    const std::string url = "http://wire.example.com/check";
+    EXPECT_EQ((*hasher)(url, kSpec), bloom_indexes(url, kSpec));
+}
+
+TEST(RabinFingerprint, BasicProperties) {
+    EXPECT_EQ(rabin_fingerprint(""), 0u);
+    EXPECT_NE(rabin_fingerprint("a"), rabin_fingerprint("b"));
+    EXPECT_NE(rabin_fingerprint("ab"), rabin_fingerprint("ba"));
+    EXPECT_EQ(rabin_fingerprint("http://x/y"), rabin_fingerprint("http://x/y"));
+}
+
+TEST(RabinFingerprint, IsLinearInGf2) {
+    // Rabin fingerprints are linear over GF(2): f(a XOR b) = f(a) XOR f(b)
+    // for equal-length strings XORed bytewise (with f(0^n) folded in).
+    const std::string a = "abcdefgh";
+    const std::string b = "12345678";
+    std::string axb(a.size(), '\0');
+    for (std::size_t i = 0; i < a.size(); ++i)
+        axb[i] = static_cast<char>(a[i] ^ b[i]);
+    const std::string zeros(a.size(), '\0');
+    EXPECT_EQ(rabin_fingerprint(axb) ^ rabin_fingerprint(zeros),
+              rabin_fingerprint(a) ^ rabin_fingerprint(b));
+}
+
+TEST(Fnv1a32, KnownVectors) {
+    EXPECT_EQ(fnv1a32(""), 0x811c9dc5u);
+    EXPECT_EQ(fnv1a32("a"), 0xe40c292cu);
+    EXPECT_EQ(fnv1a32("foobar"), 0xbf9cf968u);
+}
+
+TEST(HashFamilies, Names) {
+    EXPECT_STREQ(hash_family_name(HashFamily::md5), "md5");
+    EXPECT_STREQ(hash_family_name(HashFamily::linear), "linear");
+    EXPECT_STREQ(hash_family_name(HashFamily::rabin), "rabin");
+}
+
+}  // namespace
+}  // namespace sc

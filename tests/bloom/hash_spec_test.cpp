@@ -1,0 +1,105 @@
+#include "bloom/hash_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sc {
+namespace {
+
+TEST(HashSpec, Validity) {
+    EXPECT_TRUE((HashSpec{4, 32, 1024}).valid());
+    EXPECT_FALSE((HashSpec{0, 32, 1024}).valid());   // no functions
+    EXPECT_FALSE((HashSpec{4, 0, 1024}).valid());    // zero-width groups
+    EXPECT_FALSE((HashSpec{4, 65, 1024}).valid());   // too wide
+    EXPECT_FALSE((HashSpec{4, 32, 0}).valid());      // empty table
+    EXPECT_FALSE((HashSpec{4, 8, 1024}).valid());    // 2^8 < 1024: unreachable slots
+    EXPECT_TRUE((HashSpec{4, 10, 1024}).valid());    // 2^10 == 1024: exactly addressable
+    EXPECT_TRUE((HashSpec{4, 64, 1u << 30}).valid());
+}
+
+TEST(HashSpec, IndexesAreDeterministic) {
+    const HashSpec spec{4, 32, 65536};
+    const auto a = bloom_indexes("http://example.com/doc", spec);
+    const auto b = bloom_indexes("http://example.com/doc", spec);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(HashSpec, IndexesWithinTable) {
+    const HashSpec spec{8, 32, 12345};  // non-power-of-two table
+    for (int i = 0; i < 200; ++i) {
+        const auto idx = bloom_indexes("url" + std::to_string(i), spec);
+        for (std::uint32_t x : idx) ASSERT_LT(x, spec.table_bits);
+    }
+}
+
+TEST(HashSpec, DifferentKeysDifferentIndexes) {
+    const HashSpec spec{4, 32, 1u << 20};
+    const auto a = bloom_indexes("http://a/", spec);
+    const auto b = bloom_indexes("http://b/", spec);
+    EXPECT_NE(a, b);
+}
+
+TEST(HashSpec, MoreFunctionsThan128BitsUsesConcatenatedMd5) {
+    // 10 functions x 32 bits = 320 bits > 128: the extension recipe of
+    // Section VI-A (MD5 of the URL concatenated with itself) kicks in.
+    const HashSpec spec{10, 32, 1u << 16};
+    const auto idx = bloom_indexes("http://example.com/long", spec);
+    EXPECT_EQ(idx.size(), 10u);
+    for (std::uint32_t x : idx) EXPECT_LT(x, spec.table_bits);
+    // Deterministic across calls.
+    EXPECT_EQ(idx, bloom_indexes("http://example.com/long", spec));
+}
+
+TEST(HashSpec, FirstFourFunctionsMatchMd5Words) {
+    // With 32-bit groups, function i must equal MD5 word i mod m — the
+    // paper's exact recipe ("dividing the 128 bits into four 32-bit words").
+    const HashSpec spec{4, 32, 999983};
+    const std::string url = "http://www.cs.wisc.edu/~cao/";
+    const auto idx = bloom_indexes(url, spec);
+    const Md5Digest d = md5(url);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(idx[static_cast<std::size_t>(i)], d.word32(i) % spec.table_bits) << i;
+}
+
+TEST(Md5BitStream, NonByteAlignedGroups) {
+    // 13-bit groups exercise the cross-byte extraction path.
+    Md5BitStream stream("key");
+    std::vector<std::uint64_t> groups;
+    for (int i = 0; i < 30; ++i) {
+        const std::uint64_t g = stream.take(13);
+        EXPECT_LT(g, 1ull << 13);
+        groups.push_back(g);
+    }
+    // Reproducible.
+    Md5BitStream stream2("key");
+    for (int i = 0; i < 30; ++i) EXPECT_EQ(stream2.take(13), groups[static_cast<std::size_t>(i)]);
+}
+
+TEST(Md5BitStream, First128BitsMatchDigest) {
+    Md5BitStream stream("abc");
+    const Md5Digest d = md5("abc");
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(stream.take(8), d.bytes[static_cast<std::size_t>(i)]) << "byte " << i;
+    // The next bits come from MD5("abcabc").
+    const Md5Digest d2 = md5("abcabc");
+    EXPECT_EQ(stream.take(8), d2.bytes[0]);
+}
+
+TEST(HashSpec, IndexDistributionIsRoughlyUniform) {
+    const HashSpec spec{4, 32, 64};
+    std::vector<int> counts(64, 0);
+    constexpr int keys = 4000;
+    for (int i = 0; i < keys; ++i)
+        for (std::uint32_t x : bloom_indexes("k" + std::to_string(i), spec)) ++counts[x];
+    const double expected = keys * 4.0 / 64.0;  // 250 per slot
+    for (int c : counts) {
+        EXPECT_GT(c, expected * 0.7);
+        EXPECT_LT(c, expected * 1.3);
+    }
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,75 @@
+#include "cache/infinite_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sc {
+namespace {
+
+TEST(InfiniteCache, FirstRequestIsColdMiss) {
+    InfiniteCacheStats s;
+    s.add_request("u", 100, 0);
+    EXPECT_EQ(s.requests(), 1u);
+    EXPECT_EQ(s.hits(), 0u);
+    EXPECT_EQ(s.infinite_cache_bytes(), 100u);
+    EXPECT_EQ(s.unique_documents(), 1u);
+}
+
+TEST(InfiniteCache, RepeatIsHit) {
+    InfiniteCacheStats s;
+    s.add_request("u", 100, 0);
+    s.add_request("u", 100, 0);
+    EXPECT_EQ(s.hits(), 1u);
+    EXPECT_EQ(s.hit_bytes(), 100u);
+    EXPECT_DOUBLE_EQ(s.max_hit_ratio(), 0.5);
+    EXPECT_EQ(s.infinite_cache_bytes(), 100u);  // no duplicate storage
+}
+
+TEST(InfiniteCache, ModifiedDocumentIsMiss) {
+    InfiniteCacheStats s;
+    s.add_request("u", 100, 0);
+    s.add_request("u", 100, 1);  // new version
+    EXPECT_EQ(s.hits(), 0u);
+    s.add_request("u", 100, 1);  // now a hit on the new version
+    EXPECT_EQ(s.hits(), 1u);
+}
+
+TEST(InfiniteCache, ModificationGrowsUniqueBytesWhenLarger) {
+    InfiniteCacheStats s;
+    s.add_request("u", 100, 0);
+    s.add_request("u", 150, 1);
+    EXPECT_EQ(s.infinite_cache_bytes(), 150u);
+}
+
+TEST(InfiniteCache, ByteHitRatio) {
+    InfiniteCacheStats s;
+    s.add_request("a", 100, 0);
+    s.add_request("b", 300, 0);
+    s.add_request("a", 100, 0);  // hit: 100 of 500 bytes served from cache
+    EXPECT_DOUBLE_EQ(s.max_byte_hit_ratio(), 100.0 / 500.0);
+}
+
+TEST(InfiniteCache, ClientTracking) {
+    InfiniteCacheStats s;
+    s.add_client(1);
+    s.add_client(2);
+    s.add_client(1);
+    EXPECT_EQ(s.client_count(), 2u);
+}
+
+TEST(InfiniteCache, EmptyRatiosAreZero) {
+    InfiniteCacheStats s;
+    EXPECT_EQ(s.max_hit_ratio(), 0.0);
+    EXPECT_EQ(s.max_byte_hit_ratio(), 0.0);
+}
+
+TEST(InfiniteCache, ManyDocumentsAccumulate) {
+    InfiniteCacheStats s;
+    for (int i = 0; i < 1000; ++i) s.add_request("u" + std::to_string(i), 10, 0);
+    for (int i = 0; i < 1000; ++i) s.add_request("u" + std::to_string(i), 10, 0);
+    EXPECT_EQ(s.unique_documents(), 1000u);
+    EXPECT_EQ(s.infinite_cache_bytes(), 10'000u);
+    EXPECT_DOUBLE_EQ(s.max_hit_ratio(), 0.5);
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,189 @@
+#include "cache/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sc {
+namespace {
+
+LruCache make_cache(std::uint64_t capacity = 1000, std::uint64_t max_obj = kDefaultMaxObjectBytes) {
+    return LruCache(LruCacheConfig{capacity, max_obj});
+}
+
+TEST(LruCache, MissOnEmpty) {
+    auto c = make_cache();
+    EXPECT_EQ(c.lookup("u", 0), LruCache::Lookup::miss_absent);
+    EXPECT_EQ(c.document_count(), 0u);
+    EXPECT_EQ(c.used_bytes(), 0u);
+}
+
+TEST(LruCache, InsertThenHit) {
+    auto c = make_cache();
+    EXPECT_TRUE(c.insert("u", 100, 7));
+    EXPECT_EQ(c.lookup("u", 7), LruCache::Lookup::hit);
+    EXPECT_EQ(c.used_bytes(), 100u);
+    EXPECT_EQ(c.document_count(), 1u);
+}
+
+TEST(LruCache, VersionChangeIsMissAndEvictsStaleCopy) {
+    auto c = make_cache();
+    c.insert("u", 100, 1);
+    EXPECT_EQ(c.lookup("u", 2), LruCache::Lookup::miss_changed);
+    // The stale entry is gone: a further lookup is a plain absence.
+    EXPECT_EQ(c.lookup("u", 2), LruCache::Lookup::miss_absent);
+    EXPECT_EQ(c.used_bytes(), 0u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+    auto c = make_cache(300);
+    c.insert("a", 100, 0);
+    c.insert("b", 100, 0);
+    c.insert("c", 100, 0);
+    // Touch "a" so "b" becomes LRU.
+    EXPECT_EQ(c.lookup("a", 0), LruCache::Lookup::hit);
+    c.insert("d", 100, 0);  // must evict "b"
+    EXPECT_FALSE(c.contains("b"));
+    EXPECT_TRUE(c.contains("a"));
+    EXPECT_TRUE(c.contains("c"));
+    EXPECT_TRUE(c.contains("d"));
+    EXPECT_EQ(c.eviction_count(), 1u);
+}
+
+TEST(LruCache, EvictsMultipleToFitLargeObject) {
+    auto c = make_cache(400);
+    c.insert("a", 100, 0);
+    c.insert("b", 100, 0);
+    c.insert("c", 100, 0);
+    c.insert("big", 250, 0);  // 300 + 250 > 400: evicts a, then b
+    EXPECT_FALSE(c.contains("a"));
+    EXPECT_FALSE(c.contains("b"));
+    EXPECT_TRUE(c.contains("c"));
+    EXPECT_TRUE(c.contains("big"));
+    EXPECT_EQ(c.used_bytes(), 350u);
+    EXPECT_LE(c.used_bytes(), c.capacity_bytes());
+    EXPECT_EQ(c.eviction_count(), 2u);
+}
+
+TEST(LruCache, RejectsObjectsOverMaxSize) {
+    auto c = make_cache(10'000'000);
+    EXPECT_FALSE(c.insert("huge", kDefaultMaxObjectBytes + 1, 0));
+    EXPECT_TRUE(c.insert("edge", kDefaultMaxObjectBytes, 0));
+    EXPECT_EQ(c.document_count(), 1u);
+}
+
+TEST(LruCache, RejectsObjectsOverCapacity) {
+    auto c = make_cache(100, /*max_obj=*/1000);
+    EXPECT_FALSE(c.insert("too-big-for-cache", 101, 0));
+    EXPECT_EQ(c.document_count(), 0u);
+}
+
+TEST(LruCache, TouchPromotes) {
+    auto c = make_cache(200);
+    c.insert("a", 100, 0);
+    c.insert("b", 100, 0);
+    c.touch("a");           // a becomes MRU, b LRU
+    c.insert("c", 100, 0);  // evicts b
+    EXPECT_TRUE(c.contains("a"));
+    EXPECT_FALSE(c.contains("b"));
+}
+
+TEST(LruCache, TouchOfAbsentKeyIsNoop) {
+    auto c = make_cache();
+    c.touch("ghost");
+    EXPECT_EQ(c.document_count(), 0u);
+}
+
+TEST(LruCache, EraseRemoves) {
+    auto c = make_cache();
+    c.insert("a", 50, 0);
+    EXPECT_TRUE(c.erase("a"));
+    EXPECT_FALSE(c.erase("a"));
+    EXPECT_EQ(c.used_bytes(), 0u);
+}
+
+TEST(LruCache, RefreshUpdatesSizeAndVersion) {
+    auto c = make_cache(1000);
+    c.insert("a", 100, 1);
+    c.insert("a", 300, 2);  // refresh in place
+    EXPECT_EQ(c.document_count(), 1u);
+    EXPECT_EQ(c.used_bytes(), 300u);
+    EXPECT_EQ(c.lookup("a", 2), LruCache::Lookup::hit);
+    EXPECT_EQ(c.cached_version("a"), std::make_optional<std::uint64_t>(2));
+}
+
+TEST(LruCache, RefreshOfOnlyEntryWithLargerSize) {
+    auto c = make_cache(500);
+    c.insert("a", 100, 0);
+    EXPECT_TRUE(c.insert("a", 500, 1));  // grows to full capacity
+    EXPECT_EQ(c.used_bytes(), 500u);
+    EXPECT_EQ(c.document_count(), 1u);
+}
+
+TEST(LruCache, HooksFireOnInsertEvictErase) {
+    auto c = make_cache(200);
+    std::vector<std::string> inserted, removed;
+    c.set_insert_hook([&](const LruCache::Entry& e) { inserted.push_back(e.url); });
+    c.set_removal_hook([&](const LruCache::Entry& e) { removed.push_back(e.url); });
+    c.insert("a", 100, 0);
+    c.insert("b", 100, 0);
+    c.insert("c", 100, 0);  // evicts a
+    c.erase("b");
+    EXPECT_EQ(inserted, (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(removed, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(LruCache, RemovalHookFiresOnStaleReplacement) {
+    auto c = make_cache();
+    std::vector<std::string> removed;
+    c.set_removal_hook([&](const LruCache::Entry& e) { removed.push_back(e.url); });
+    c.insert("a", 10, 1);
+    (void)c.lookup("a", 2);  // stale: removed
+    EXPECT_EQ(removed, std::vector<std::string>{"a"});
+}
+
+TEST(LruCache, LruEntryReflectsOrder) {
+    auto c = make_cache(1000);
+    EXPECT_EQ(c.lru_entry(), nullptr);
+    c.insert("a", 10, 0);
+    c.insert("b", 10, 0);
+    ASSERT_NE(c.lru_entry(), nullptr);
+    EXPECT_EQ(c.lru_entry()->url, "a");
+    (void)c.lookup("a", 0);
+    EXPECT_EQ(c.lru_entry()->url, "b");
+}
+
+TEST(LruCache, ForEachIteratesMruToLru) {
+    auto c = make_cache(1000);
+    c.insert("a", 10, 0);
+    c.insert("b", 10, 0);
+    c.insert("c", 10, 0);
+    std::vector<std::string> order;
+    c.for_each([&](const LruCache::Entry& e) { order.push_back(e.url); });
+    EXPECT_EQ(order, (std::vector<std::string>{"c", "b", "a"}));
+}
+
+TEST(LruCache, CapacityInvariantUnderChurn) {
+    auto c = make_cache(5000);
+    for (int i = 0; i < 2000; ++i) {
+        c.insert("u" + std::to_string(i % 300), 17 + i % 91, static_cast<std::uint64_t>(i % 3));
+        ASSERT_LE(c.used_bytes(), c.capacity_bytes());
+    }
+    // Byte accounting stays consistent with the directory contents.
+    std::uint64_t sum = 0;
+    c.for_each([&](const LruCache::Entry& e) { sum += e.size; });
+    EXPECT_EQ(sum, c.used_bytes());
+}
+
+TEST(LruCache, ContainsDoesNotPromote) {
+    auto c = make_cache(200);
+    c.insert("a", 100, 0);
+    c.insert("b", 100, 0);
+    (void)c.contains("a");  // must NOT promote
+    c.insert("c", 100, 0);  // evicts a (still LRU)
+    EXPECT_FALSE(c.contains("a"));
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,146 @@
+// Property test: LruCache against a straightforward reference model
+// (vector-based LRU) under long random operation sequences. Any divergence
+// in contents, byte accounting, or eviction choice is a bug in one of the
+// two — and the reference is simple enough to trust.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cache/lru_cache.hpp"
+#include "util/rng.hpp"
+
+namespace sc {
+namespace {
+
+// Deliberately naive reference implementation.
+class ReferenceLru {
+public:
+    ReferenceLru(std::uint64_t capacity, std::uint64_t max_obj)
+        : capacity_(capacity), max_obj_(max_obj) {}
+
+    struct Doc {
+        std::string url;
+        std::uint64_t size;
+        std::uint64_t version;
+    };
+
+    bool lookup(const std::string& url, std::uint64_t version) {
+        const auto it = find(url);
+        if (it == docs_.end()) return false;
+        if (it->version != version) {
+            docs_.erase(it);
+            return false;
+        }
+        promote(it);
+        return true;
+    }
+
+    bool insert(const std::string& url, std::uint64_t size, std::uint64_t version) {
+        if (size > max_obj_ || size > capacity_) return false;
+        if (const auto it = find(url); it != docs_.end()) docs_.erase(it);
+        while (used() + size > capacity_) docs_.pop_back();  // back = LRU
+        docs_.insert(docs_.begin(), Doc{url, size, version});
+        return true;
+    }
+
+    void touch(const std::string& url) {
+        if (const auto it = find(url); it != docs_.end()) promote(it);
+    }
+
+    bool erase(const std::string& url) {
+        const auto it = find(url);
+        if (it == docs_.end()) return false;
+        docs_.erase(it);
+        return true;
+    }
+
+    [[nodiscard]] std::uint64_t used() const {
+        std::uint64_t sum = 0;
+        for (const Doc& d : docs_) sum += d.size;
+        return sum;
+    }
+    [[nodiscard]] std::size_t count() const { return docs_.size(); }
+    [[nodiscard]] const std::vector<Doc>& docs() const { return docs_; }
+
+private:
+    std::vector<Doc>::iterator find(const std::string& url) {
+        return std::find_if(docs_.begin(), docs_.end(),
+                            [&](const Doc& d) { return d.url == url; });
+    }
+    void promote(std::vector<Doc>::iterator it) {
+        const Doc d = *it;
+        docs_.erase(it);
+        docs_.insert(docs_.begin(), d);
+    }
+
+    std::uint64_t capacity_;
+    std::uint64_t max_obj_;
+    std::vector<Doc> docs_;
+};
+
+struct PropertyCase {
+    std::uint64_t capacity;
+    std::uint64_t max_obj;
+    std::uint64_t universe;  // distinct URLs touched
+    std::uint64_t seed;
+};
+
+class LruPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(LruPropertyTest, MatchesReferenceModelUnderRandomOps) {
+    const auto [capacity, max_obj, universe, seed] = GetParam();
+    LruCache real(LruCacheConfig{capacity, max_obj});
+    ReferenceLru ref(capacity, max_obj);
+    Rng rng(seed);
+
+    for (int step = 0; step < 6000; ++step) {
+        const std::string url = "u" + std::to_string(rng.next_below(universe));
+        const std::uint64_t version = rng.next_below(3);
+        const std::uint64_t size = 1 + rng.next_below(max_obj + max_obj / 4);  // some too big
+        switch (rng.next_below(10)) {
+            case 0:
+            case 1:
+            case 2:
+            case 3: {  // lookup
+                const bool real_hit = real.lookup(url, version) == LruCache::Lookup::hit;
+                ASSERT_EQ(real_hit, ref.lookup(url, version)) << "step " << step;
+                break;
+            }
+            case 4:
+            case 5:
+            case 6:
+            case 7:  // insert
+                ASSERT_EQ(real.insert(url, size, version), ref.insert(url, size, version))
+                    << "step " << step;
+                break;
+            case 8:  // touch
+                real.touch(url);
+                ref.touch(url);
+                break;
+            case 9:  // erase
+                ASSERT_EQ(real.erase(url), ref.erase(url)) << "step " << step;
+                break;
+        }
+        ASSERT_EQ(real.used_bytes(), ref.used()) << "step " << step;
+        ASSERT_EQ(real.document_count(), ref.count()) << "step " << step;
+    }
+
+    // Final structural comparison: same documents in the same LRU order.
+    std::vector<std::string> real_order;
+    real.for_each([&](const LruCache::Entry& e) { real_order.push_back(e.url); });
+    std::vector<std::string> ref_order;
+    for (const auto& d : ref.docs()) ref_order.push_back(d.url);
+    EXPECT_EQ(real_order, ref_order);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LruPropertyTest,
+    ::testing::Values(PropertyCase{1000, 400, 20, 1}, PropertyCase{5000, 900, 60, 2},
+                      PropertyCase{500, 500, 10, 3}, PropertyCase{100'000, 9'000, 300, 4},
+                      PropertyCase{777, 333, 15, 5}),
+    [](const auto& info) { return "case" + std::to_string(info.param.seed); });
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,201 @@
+#include "core/summary_cache_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sc {
+namespace {
+
+SummaryCacheNodeConfig cfg(NodeId id, double threshold = 0.01,
+                           std::uint64_t expected_docs = 1024) {
+    SummaryCacheNodeConfig c;
+    c.node_id = id;
+    c.expected_docs = expected_docs;
+    c.update_threshold = threshold;
+    return c;
+}
+
+// Deliver every pending update datagram from `from` to `to`.
+void sync(SummaryCacheNode& from, SummaryCacheNode& to) {
+    for (const auto& msg : from.poll_updates())
+        ASSERT_TRUE(to.apply_sibling_update(decode_dirupdate(msg)));
+}
+
+TEST(SummaryCacheNode, NoUpdatesBelowThreshold) {
+    SummaryCacheNode node(cfg(1, 0.5));  // 50% threshold
+    node.set_directory_size(1000);
+    node.on_cache_insert("http://a/1");
+    EXPECT_TRUE(node.poll_updates().empty());
+}
+
+TEST(SummaryCacheNode, UpdateEmittedAtThreshold) {
+    SummaryCacheNode node(cfg(1, 0.01));
+    node.set_directory_size(100);  // threshold: 1 new doc
+    node.on_cache_insert("http://a/1");
+    const auto msgs = node.poll_updates();
+    EXPECT_FALSE(msgs.empty());
+    EXPECT_EQ(node.updates_sent(), msgs.size());
+}
+
+TEST(SummaryCacheNode, SiblingLearnsViaDeltaUpdates) {
+    SummaryCacheNode a(cfg(1, 0.0));  // publish every change
+    SummaryCacheNode b(cfg(2, 0.0));
+    a.set_directory_size(1);
+    a.on_cache_insert("http://shared/doc");
+    sync(a, b);
+    EXPECT_TRUE(b.sibling_may_contain(1, "http://shared/doc"));
+    EXPECT_EQ(b.promising_siblings("http://shared/doc"), std::vector<NodeId>{1});
+    EXPECT_TRUE(b.promising_siblings("http://other/doc").empty());
+}
+
+TEST(SummaryCacheNode, EraseEventuallyClearsSiblingView) {
+    SummaryCacheNode a(cfg(1, 0.0));
+    SummaryCacheNode b(cfg(2, 0.0));
+    a.set_directory_size(1);
+    a.on_cache_insert("u");
+    sync(a, b);
+    a.on_cache_erase("u");
+    a.on_cache_insert("v");  // new doc pushes the policy over threshold
+    sync(a, b);
+    EXPECT_FALSE(b.sibling_may_contain(1, "u"));
+    EXPECT_TRUE(b.sibling_may_contain(1, "v"));
+}
+
+TEST(SummaryCacheNode, FullUpdateBootstrapsSibling) {
+    SummaryCacheNode a(cfg(1, 0.5));
+    for (int i = 0; i < 50; ++i) a.on_cache_insert("d" + std::to_string(i));
+    SummaryCacheNode b(cfg(2));
+    ASSERT_TRUE(b.apply_sibling_update(decode_dirupdate(a.encode_full_update())));
+    for (int i = 0; i < 50; ++i)
+        EXPECT_TRUE(b.sibling_may_contain(1, "d" + std::to_string(i))) << i;
+    EXPECT_EQ(b.known_siblings(), 1u);
+}
+
+TEST(SummaryCacheNode, DuplicatedUpdateDeliveryIsIdempotent) {
+    SummaryCacheNode a(cfg(1, 0.0));
+    SummaryCacheNode b(cfg(2));
+    a.set_directory_size(1);
+    a.on_cache_insert("x");
+    const auto msgs = a.poll_updates();
+    ASSERT_EQ(msgs.size(), 1u);
+    const auto update = decode_dirupdate(msgs[0]);
+    ASSERT_TRUE(b.apply_sibling_update(update));
+    ASSERT_TRUE(b.apply_sibling_update(update));  // duplicate datagram
+    EXPECT_TRUE(b.sibling_may_contain(1, "x"));
+    const BloomFilter* f = b.sibling_filter(1);
+    ASSERT_NE(f, nullptr);
+    EXPECT_LE(f->popcount(), 4u);  // absolute values: no double-set effects
+}
+
+TEST(SummaryCacheNode, LostUpdateOnlyCausesFalseMissesNotCorruption) {
+    SummaryCacheNode a(cfg(1, 0.0));
+    SummaryCacheNode b(cfg(2));
+    a.set_directory_size(2);
+    a.on_cache_insert("first");
+    (void)a.poll_updates();  // "lost" in the network
+    a.on_cache_insert("second");
+    sync(a, b);
+    // b missed "first" (a false miss from b's perspective) but applied
+    // "second" correctly — absolute-value records survive gaps.
+    EXPECT_TRUE(b.sibling_may_contain(1, "second"));
+    EXPECT_FALSE(b.sibling_may_contain(1, "first"));
+    // A later full refresh repairs the gap.
+    ASSERT_TRUE(b.apply_sibling_update(decode_dirupdate(a.encode_full_update())));
+    EXPECT_TRUE(b.sibling_may_contain(1, "first"));
+}
+
+TEST(SummaryCacheNode, LargeDeltaIsChunked) {
+    SummaryCacheNodeConfig c = cfg(1, 0.0);
+    c.expected_docs = 200'000;  // large table so flips rarely collide
+    SummaryCacheNode a(c);
+    a.set_directory_size(1);
+    // ~100k inserts * up to 4 flips each >> kMaxRecordsPerUpdate.
+    for (int i = 0; i < 40'000; ++i) a.on_cache_insert("doc" + std::to_string(i));
+    const auto msgs = a.poll_updates();
+    EXPECT_GT(msgs.size(), 1u);
+    for (const auto& m : msgs) EXPECT_LE(m.size(), kMaxIcpDatagram);
+    // All chunks apply cleanly.
+    SummaryCacheNode b(cfg(2));
+    for (const auto& m : msgs) ASSERT_TRUE(b.apply_sibling_update(decode_dirupdate(m)));
+    EXPECT_TRUE(b.sibling_may_contain(1, "doc0"));
+    EXPECT_TRUE(b.sibling_may_contain(1, "doc39999"));
+}
+
+TEST(SummaryCacheNode, SmallTablePrefersFullBitmap) {
+    SummaryCacheNodeConfig c = cfg(1, 0.0);
+    c.expected_docs = 64;  // tiny table: full bitmap beats a large delta
+    SummaryCacheNode a(c);
+    a.set_directory_size(1);
+    for (int i = 0; i < 500; ++i) a.on_cache_insert("k" + std::to_string(i));
+    const auto msgs = a.poll_updates();
+    ASSERT_EQ(msgs.size(), 1u);
+    const auto update = decode_dirupdate(msgs[0]);
+    EXPECT_TRUE(update.full);
+}
+
+TEST(SummaryCacheNode, DeltaWithMismatchedSpecRejected) {
+    SummaryCacheNode a(cfg(1, 0.0));
+    SummaryCacheNode b(cfg(2));
+    a.set_directory_size(1);
+    a.on_cache_insert("x");
+    auto msgs = a.poll_updates();
+    ASSERT_FALSE(msgs.empty());
+    auto update = decode_dirupdate(msgs[0]);
+    ASSERT_TRUE(b.apply_sibling_update(update));
+    // Same sibling suddenly advertises a different table size via delta.
+    update.spec.table_bits /= 2;
+    update.records.clear();
+    EXPECT_FALSE(b.apply_sibling_update(update));
+    EXPECT_EQ(b.updates_rejected(), 1u);
+    // But a full update with the new spec re-creates the replica.
+    update.full = true;
+    update.bitmap_words.assign((update.spec.table_bits + 31) / 32, 0);
+    EXPECT_TRUE(b.apply_sibling_update(update));
+}
+
+TEST(SummaryCacheNode, ForgetSiblingDropsReplica) {
+    SummaryCacheNode a(cfg(1, 0.0));
+    SummaryCacheNode b(cfg(2));
+    a.set_directory_size(1);
+    a.on_cache_insert("x");
+    sync(a, b);
+    EXPECT_EQ(b.known_siblings(), 1u);
+    b.forget_sibling(1);
+    EXPECT_EQ(b.known_siblings(), 0u);
+    EXPECT_FALSE(b.sibling_may_contain(1, "x"));
+    EXPECT_EQ(b.sibling_filter(1), nullptr);
+}
+
+TEST(SummaryCacheNode, MultipleSiblingsProbedTogether) {
+    SummaryCacheNode home(cfg(0));
+    SummaryCacheNode s1(cfg(1, 0.0));
+    SummaryCacheNode s2(cfg(2, 0.0));
+    s1.set_directory_size(1);
+    s2.set_directory_size(1);
+    s1.on_cache_insert("common");
+    s2.on_cache_insert("common");
+    s2.on_cache_insert("only2");
+    for (const auto& m : s1.poll_updates())
+        ASSERT_TRUE(home.apply_sibling_update(decode_dirupdate(m)));
+    for (const auto& m : s2.poll_updates())
+        ASSERT_TRUE(home.apply_sibling_update(decode_dirupdate(m)));
+    EXPECT_EQ(home.promising_siblings("common"), (std::vector<NodeId>{1, 2}));
+    EXPECT_EQ(home.promising_siblings("only2"), std::vector<NodeId>{2});
+}
+
+TEST(SummaryCacheNode, WireRoundTripPreservesFilterExactly) {
+    // Full update must transfer the bit array verbatim.
+    SummaryCacheNode a(cfg(1));
+    for (int i = 0; i < 300; ++i) a.on_cache_insert("doc/" + std::to_string(i));
+    SummaryCacheNode b(cfg(2));
+    ASSERT_TRUE(b.apply_sibling_update(decode_dirupdate(a.encode_full_update())));
+    const BloomFilter* replica = b.sibling_filter(1);
+    ASSERT_NE(replica, nullptr);
+    EXPECT_EQ(replica->popcount(), a.local_filter().bits().popcount());
+    EXPECT_EQ(*replica, a.local_filter().bits());
+}
+
+}  // namespace
+}  // namespace sc

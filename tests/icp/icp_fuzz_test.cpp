@@ -1,0 +1,108 @@
+// Robustness of the wire decoders against corrupted datagrams: the proxy
+// feeds raw network bytes straight into these functions, so any input —
+// truncated, bit-flipped, or random — must either decode or throw
+// WireError; it must never crash, hang, or allocate absurdly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bloom/delta_log.hpp"
+#include "icp/icp_message.hpp"
+#include "util/rng.hpp"
+
+namespace sc {
+namespace {
+
+// Exercise every decoder; only WireError may escape.
+void decode_all(std::span<const std::uint8_t> datagram) {
+    try {
+        (void)decode_header(datagram);
+    } catch (const WireError&) {
+    }
+    try {
+        (void)decode_query(datagram);
+    } catch (const WireError&) {
+    }
+    try {
+        (void)decode_reply(datagram);
+    } catch (const WireError&) {
+    }
+    try {
+        (void)decode_dirupdate(datagram);
+    } catch (const WireError&) {
+    }
+    try {
+        (void)decode_hit_obj(datagram);
+    } catch (const WireError&) {
+    }
+}
+
+TEST(IcpFuzz, RandomBytesNeverCrash) {
+    Rng rng(0xf022);
+    for (int round = 0; round < 3000; ++round) {
+        std::vector<std::uint8_t> data(rng.next_below(120));
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(256));
+        decode_all(data);
+    }
+}
+
+TEST(IcpFuzz, TruncationsOfValidMessagesNeverCrash) {
+    const auto query = encode_query({7, 1, 2, "http://fuzz.example.com/some/path"});
+    IcpDirUpdate u;
+    u.spec = HashSpec{4, 32, 4096};
+    for (std::uint32_t i = 0; i < 40; ++i) u.records.push_back(encode_bit_flip({i * 97 % 4096, i % 2 == 0}));
+    const auto update = encode_dirupdate(u);
+
+    for (const auto& msg : {query, update}) {
+        for (std::size_t len = 0; len <= msg.size(); ++len) {
+            decode_all(std::span<const std::uint8_t>(msg.data(), len));
+        }
+    }
+}
+
+TEST(IcpFuzz, SingleByteCorruptionsNeverCrash) {
+    const auto query = encode_query({3, 9, 9, "http://x/y"});
+    Rng rng(1234);
+    for (std::size_t pos = 0; pos < query.size(); ++pos) {
+        for (int bit = 0; bit < 8; ++bit) {
+            auto mutated = query;
+            mutated[pos] ^= static_cast<std::uint8_t>(1u << bit);
+            decode_all(mutated);
+        }
+    }
+}
+
+TEST(IcpFuzz, LengthFieldLiesAreRejected) {
+    auto query = encode_query({1, 1, 1, "http://u"});
+    // Claim a huge length: header check must reject (datagram mismatch).
+    query[2] = 0xff;
+    query[3] = 0xff;
+    EXPECT_THROW((void)decode_header(query), WireError);
+    // Claim zero length.
+    query[2] = 0;
+    query[3] = 0;
+    EXPECT_THROW((void)decode_header(query), WireError);
+}
+
+TEST(IcpFuzz, HugeClaimedRecordCountRejectedWithoutAllocation) {
+    // Hand-craft a dirupdate whose count field claims 2^31 records but
+    // whose payload is tiny: must throw before trying to reserve.
+    BufWriter w;
+    w.u8(static_cast<std::uint8_t>(IcpOpcode::dirupdate));
+    w.u8(kIcpVersion);
+    w.u16(0);
+    w.u32(1);  // request number
+    w.u32(0);
+    w.u32(0);
+    w.u32(0);
+    w.u16(4);      // function num
+    w.u16(32);     // function bits
+    w.u32(4096);   // table bits
+    w.u32(0x7fffffff);  // ludicrous record count
+    w.patch_u16(2, static_cast<std::uint16_t>(w.size()));
+    const auto data = w.take();
+    EXPECT_THROW((void)decode_dirupdate(data), WireError);
+}
+
+}  // namespace
+}  // namespace sc

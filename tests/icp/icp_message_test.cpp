@@ -1,0 +1,196 @@
+#include "icp/icp_message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bloom/delta_log.hpp"
+
+namespace sc {
+namespace {
+
+TEST(IcpMessage, QueryRoundTrip) {
+    IcpQuery q;
+    q.request_number = 42;
+    q.sender_host = 0x0a000001;
+    q.requester_host = 0x0a000002;
+    q.url = "http://www.cs.wisc.edu/~cao/papers/summarycache.html";
+    const auto wire = encode_query(q);
+    EXPECT_EQ(wire.size(), kIcpHeaderBytes + 4 + q.url.size() + 1);
+    EXPECT_EQ(decode_query(wire), q);
+}
+
+TEST(IcpMessage, HeaderFieldsOnTheWire) {
+    IcpQuery q;
+    q.request_number = 0x01020304;
+    q.sender_host = 0x7f000001;
+    q.url = "u";
+    const auto wire = encode_query(q);
+    EXPECT_EQ(wire[0], static_cast<std::uint8_t>(IcpOpcode::query));
+    EXPECT_EQ(wire[1], kIcpVersion);
+    // length (big-endian) must equal the datagram size
+    EXPECT_EQ((wire[2] << 8) | wire[3], static_cast<int>(wire.size()));
+    EXPECT_EQ(wire[4], 0x01);
+    EXPECT_EQ(wire[7], 0x04);
+}
+
+TEST(IcpMessage, ReplyRoundTripAllOpcodes) {
+    for (IcpOpcode op : {IcpOpcode::hit, IcpOpcode::miss, IcpOpcode::miss_nofetch,
+                         IcpOpcode::err, IcpOpcode::denied, IcpOpcode::secho,
+                         IcpOpcode::decho}) {
+        IcpReply r;
+        r.opcode = op;
+        r.request_number = 7;
+        r.sender_host = 3;
+        r.url = "http://a/b";
+        EXPECT_EQ(decode_reply(encode_reply(r)), r) << icp_opcode_name(op);
+    }
+}
+
+TEST(IcpMessage, DirUpdateDeltaRoundTrip) {
+    IcpDirUpdate u;
+    u.request_number = 9;
+    u.sender_host = 0x01;
+    u.spec = HashSpec{4, 32, 65536};
+    u.records = {encode_bit_flip({100, true}), encode_bit_flip({200, false}),
+                 encode_bit_flip({65535, true})};
+    const auto wire = encode_dirupdate(u);
+    // 20-byte ICP header + 12-byte summary header + 4 bytes per record.
+    EXPECT_EQ(wire.size(), kIcpHeaderBytes + 12 + 12);
+    EXPECT_EQ(decode_dirupdate(wire), u);
+}
+
+TEST(IcpMessage, DirUpdateFullRoundTrip) {
+    IcpDirUpdate u;
+    u.request_number = 10;
+    u.sender_host = 0x02;
+    u.spec = HashSpec{4, 32, 256};
+    u.full = true;
+    u.bitmap_words.assign(8, 0);  // 256 bits = 8 x 32-bit words
+    u.bitmap_words[0] = 0xdeadbeef;
+    u.bitmap_words[7] = 1;
+    const auto wire = encode_dirupdate(u);
+    const auto back = decode_dirupdate(wire);
+    EXPECT_TRUE(back.full);
+    EXPECT_EQ(back, u);
+}
+
+TEST(IcpMessage, DecodeHeaderPeeksOpcode) {
+    IcpReply r;
+    r.opcode = IcpOpcode::hit;
+    r.url = "x";
+    const auto h = decode_header(encode_reply(r));
+    EXPECT_EQ(h.opcode, IcpOpcode::hit);
+    EXPECT_EQ(h.version, kIcpVersion);
+}
+
+TEST(IcpMessage, LengthMismatchRejected) {
+    auto wire = encode_query({1, 2, 3, "http://u"});
+    wire.push_back(0);  // datagram longer than the length field claims
+    EXPECT_THROW((void)decode_header(wire), WireError);
+}
+
+TEST(IcpMessage, TruncatedDatagramRejected) {
+    auto wire = encode_query({1, 2, 3, "http://u"});
+    wire.resize(wire.size() - 3);
+    EXPECT_THROW((void)decode_query(wire), WireError);
+}
+
+TEST(IcpMessage, WrongVersionRejected) {
+    auto wire = encode_query({1, 2, 3, "http://u"});
+    wire[1] = 3;  // ICP v3 does not exist
+    EXPECT_THROW((void)decode_query(wire), WireError);
+}
+
+TEST(IcpMessage, WrongOpcodeRejected) {
+    const auto query = encode_query({1, 2, 3, "http://u"});
+    EXPECT_THROW((void)decode_reply(query), WireError);
+    EXPECT_THROW((void)decode_dirupdate(query), WireError);
+    IcpReply r;
+    r.opcode = IcpOpcode::miss;
+    r.url = "u";
+    EXPECT_THROW((void)decode_query(encode_reply(r)), WireError);
+}
+
+TEST(IcpMessage, InvalidSpecInUpdateRejected) {
+    IcpDirUpdate u;
+    u.spec = HashSpec{0, 32, 100};  // zero hash functions
+    EXPECT_THROW((void)encode_dirupdate(u), WireError);
+}
+
+TEST(IcpMessage, OutOfRangeBitIndexRejected) {
+    IcpDirUpdate u;
+    u.spec = HashSpec{4, 32, 128};
+    u.records = {encode_bit_flip({500, true})};  // 500 >= 128
+    const auto wire = encode_dirupdate(u);       // encoder doesn't inspect records
+    EXPECT_THROW((void)decode_dirupdate(wire), WireError);
+}
+
+TEST(IcpMessage, BitmapWordCountMismatchRejected) {
+    IcpDirUpdate u;
+    u.spec = HashSpec{4, 32, 256};
+    u.full = true;
+    u.bitmap_words.assign(7, 0);  // needs 8
+    EXPECT_THROW((void)encode_dirupdate(u), WireError);
+}
+
+TEST(IcpMessage, UrlWithNulRejected) {
+    IcpQuery q;
+    q.url = std::string("http://a\0b", 10);
+    EXPECT_THROW((void)encode_query(q), WireError);
+}
+
+TEST(IcpMessage, OpcodeNames) {
+    EXPECT_STREQ(icp_opcode_name(IcpOpcode::query), "QUERY");
+    EXPECT_STREQ(icp_opcode_name(IcpOpcode::dirupdate), "DIRUPDATE");
+    EXPECT_STREQ(icp_opcode_name(IcpOpcode::dirfull), "DIRFULL");
+    EXPECT_STREQ(icp_opcode_name(static_cast<IcpOpcode>(99)), "?");
+}
+
+TEST(IcpMessage, HitObjRoundTrip) {
+    IcpHitObj h;
+    h.request_number = 77;
+    h.sender_host = 5;
+    h.version = 0xdeadbeef;
+    h.url = "http://small/object";
+    h.object = {1, 2, 3, 4, 5, 0, 255};
+    const auto wire = encode_hit_obj(h);
+    EXPECT_EQ(decode_hit_obj(wire), h);
+    const IcpHeader header = decode_header(wire);
+    EXPECT_EQ(header.opcode, IcpOpcode::hit_obj);
+    EXPECT_EQ(header.option_data, 0xdeadbeefu);
+}
+
+TEST(IcpMessage, HitObjEmptyBody) {
+    IcpHitObj h;
+    h.url = "http://zero/bytes";
+    EXPECT_EQ(decode_hit_obj(encode_hit_obj(h)), h);
+}
+
+TEST(IcpMessage, HitObjTooLargeRejected) {
+    IcpHitObj h;
+    h.url = "u";
+    h.object.assign(kMaxHitObjBytes + 1, 0x7f);
+    EXPECT_THROW((void)encode_hit_obj(h), WireError);
+}
+
+TEST(IcpMessage, HitObjLengthFieldMismatchRejected) {
+    IcpHitObj h;
+    h.url = "u";
+    h.object = {9, 9, 9};
+    auto wire = encode_hit_obj(h);
+    wire.push_back(0);                 // trailing byte
+    wire[3] = static_cast<std::uint8_t>(wire.size());  // fix up total length
+    EXPECT_THROW((void)decode_hit_obj(wire), WireError);
+}
+
+TEST(IcpMessage, MaxRecordsFitsDatagram) {
+    IcpDirUpdate u;
+    u.spec = HashSpec{4, 32, 0x7fffffff};
+    u.records.assign(kMaxRecordsPerUpdate, encode_bit_flip({1, true}));
+    const auto wire = encode_dirupdate(u);
+    EXPECT_LE(wire.size(), kMaxIcpDatagram);
+    u.records.push_back(encode_bit_flip({1, true}));
+    EXPECT_THROW((void)encode_dirupdate(u), WireError);  // one over: too big
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,100 @@
+#include "icp/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sc {
+namespace {
+
+TEST(BufWriter, BigEndianEncoding) {
+    BufWriter w;
+    w.u8(0xab);
+    w.u16(0x1234);
+    w.u32(0xdeadbeef);
+    const auto& buf = w.data();
+    ASSERT_EQ(buf.size(), 7u);
+    EXPECT_EQ(buf[0], 0xab);
+    EXPECT_EQ(buf[1], 0x12);
+    EXPECT_EQ(buf[2], 0x34);
+    EXPECT_EQ(buf[3], 0xde);
+    EXPECT_EQ(buf[4], 0xad);
+    EXPECT_EQ(buf[5], 0xbe);
+    EXPECT_EQ(buf[6], 0xef);
+}
+
+TEST(BufRoundTrip, AllPrimitives) {
+    BufWriter w;
+    w.u8(7);
+    w.u16(65535);
+    w.u32(4'000'000'000u);
+    w.cstring("hello world");
+    const std::array<std::uint8_t, 3> raw = {1, 2, 3};
+    w.bytes(raw);
+    const auto buf = w.take();
+
+    BufReader r(buf);
+    EXPECT_EQ(r.u8(), 7);
+    EXPECT_EQ(r.u16(), 65535);
+    EXPECT_EQ(r.u32(), 4'000'000'000u);
+    EXPECT_EQ(r.cstring(), "hello world");
+    const auto back = r.bytes(3);
+    EXPECT_TRUE(std::equal(back.begin(), back.end(), raw.begin()));
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(BufReader, TruncatedReadsThrow) {
+    const std::vector<std::uint8_t> buf = {0x01};
+    BufReader r16(buf);
+    EXPECT_THROW((void)r16.u16(), WireError);
+    BufReader r32(buf);
+    EXPECT_THROW((void)r32.u32(), WireError);
+    BufReader rb(buf);
+    EXPECT_THROW((void)rb.bytes(2), WireError);
+}
+
+TEST(BufReader, UnterminatedStringThrows) {
+    const std::vector<std::uint8_t> buf = {'a', 'b', 'c'};  // no NUL
+    BufReader r(buf);
+    EXPECT_THROW((void)r.cstring(), WireError);
+}
+
+TEST(BufReader, EmptyStringOk) {
+    const std::vector<std::uint8_t> buf = {0};
+    BufReader r(buf);
+    EXPECT_EQ(r.cstring(), "");
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(BufWriter, EmbeddedNulInStringRejected) {
+    BufWriter w;
+    EXPECT_THROW(w.cstring(std::string_view("a\0b", 3)), WireError);
+}
+
+TEST(BufWriter, PatchU16) {
+    BufWriter w;
+    w.u16(0);
+    w.u32(42);
+    w.patch_u16(0, 0xbeef);
+    BufReader r(w.data());
+    EXPECT_EQ(r.u16(), 0xbeef);
+    EXPECT_EQ(r.u32(), 42u);
+}
+
+TEST(BufWriter, PatchOutOfRangeThrows) {
+    BufWriter w;
+    w.u8(1);
+    EXPECT_THROW(w.patch_u16(0, 5), WireError);  // needs 2 bytes
+}
+
+TEST(BufReader, RemainingTracksConsumption) {
+    const std::vector<std::uint8_t> buf = {1, 2, 3, 4, 5};
+    BufReader r(buf);
+    EXPECT_EQ(r.remaining(), 5u);
+    (void)r.u8();
+    EXPECT_EQ(r.remaining(), 4u);
+    (void)r.u32();
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_TRUE(r.empty());
+}
+
+}  // namespace
+}  // namespace sc

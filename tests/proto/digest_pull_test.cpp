@@ -1,0 +1,117 @@
+// The Squid Cache Digest variant (paper Section VI: "A variant of our
+// approach called cache digest is also implemented in Squid 1.2b20"):
+// instead of pushing deltas, each proxy periodically FETCHES every
+// sibling's full digest over TCP.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "proto/mini_proxy.hpp"
+#include "proto/origin_server.hpp"
+
+namespace sc {
+namespace {
+
+using namespace std::chrono_literals;
+
+MiniProxyConfig digest_cfg(NodeId id, Endpoint origin) {
+    MiniProxyConfig cfg;
+    cfg.id = id;
+    cfg.origin = origin;
+    cfg.mode = ShareMode::digest_pull;
+    cfg.digest_refresh = 120ms;
+    return cfg;
+}
+
+HttpLiteStatus get(MiniProxy& p, const std::string& url, std::uint64_t size = 100) {
+    TcpConnection c = TcpConnection::connect(p.http_endpoint());
+    c.write_all(format_request({false, false, url, 0, size}));
+    const auto header = parse_response_header(*c.read_line());
+    EXPECT_TRUE(header.has_value());
+    c.discard_exact(header->size);
+    return header->status;
+}
+
+TEST(DigestPull, DigestIsServedOverTcp) {
+    OriginServer origin({});
+    auto p = std::make_unique<MiniProxy>(digest_cfg(1, origin.endpoint()));
+    p->start();
+    (void)get(*p, "http://warm/doc");
+
+    // Fetch the digest by hand and decode it.
+    TcpConnection c = TcpConnection::connect(p->http_endpoint());
+    HttpLiteRequest dget;
+    dget.digest = true;
+    dget.url = "-";
+    c.write_all(format_request(dget));
+    const auto header = parse_response_header(*c.read_line());
+    ASSERT_TRUE(header.has_value());
+    EXPECT_EQ(header->status, HttpLiteStatus::ok);
+    std::string body;
+    c.read_exact(header->size, body);
+    const auto update = decode_dirupdate(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(body.data()), body.size()));
+    EXPECT_TRUE(update.full);
+    EXPECT_EQ(update.sender_host, 1u);
+
+    // The digest must advertise the cached document.
+    SummaryCacheNode probe(SummaryCacheNodeConfig{.node_id = 99, .expected_docs = 1024,
+                                                  .bloom = {}, .update_threshold = 0.01});
+    ASSERT_TRUE(probe.apply_sibling_update(update));
+    EXPECT_TRUE(probe.sibling_may_contain(1, "http://warm/doc"));
+    EXPECT_GE(p->stats().digests_served, 1u);
+    p->stop();
+    origin.stop();
+}
+
+TEST(DigestPull, PeriodicPullEnablesRemoteHits) {
+    OriginServer origin({});
+    auto a = std::make_unique<MiniProxy>(digest_cfg(1, origin.endpoint()));
+    auto b = std::make_unique<MiniProxy>(digest_cfg(2, origin.endpoint()));
+    a->add_sibling(2, b->icp_endpoint(), b->http_endpoint());
+    b->add_sibling(1, a->icp_endpoint(), a->http_endpoint());
+    a->start();
+    b->start();
+
+    EXPECT_EQ(get(*a, "http://pulled/doc"), HttpLiteStatus::miss);
+    std::this_thread::sleep_for(350ms);  // at least one refresh cycle
+    EXPECT_GE(b->stats().digests_fetched, 1u);
+    EXPECT_EQ(get(*b, "http://pulled/doc"), HttpLiteStatus::remote_hit);
+    EXPECT_EQ(origin.requests_served(), 1u);
+
+    // Pull mode pushes nothing.
+    EXPECT_EQ(a->stats().updates_sent, 0u);
+    EXPECT_EQ(b->stats().updates_received, 0u);
+
+    a->stop();
+    b->stop();
+    origin.stop();
+}
+
+TEST(DigestPull, StaleDigestCausesFalseMissNotWrongAnswer) {
+    OriginServer origin({});
+    MiniProxyConfig cfg_a = digest_cfg(1, origin.endpoint());
+    MiniProxyConfig cfg_b = digest_cfg(2, origin.endpoint());
+    cfg_b.digest_refresh = std::chrono::milliseconds(60'000);  // b never refreshes again
+    auto a = std::make_unique<MiniProxy>(cfg_a);
+    auto b = std::make_unique<MiniProxy>(cfg_b);
+    a->add_sibling(2, b->icp_endpoint(), b->http_endpoint());
+    b->add_sibling(1, a->icp_endpoint(), a->http_endpoint());
+    a->start();
+    b->start();
+    std::this_thread::sleep_for(150ms);  // b's single startup pull happens
+
+    // a caches a doc AFTER b's only pull: b's digest of a is stale.
+    EXPECT_EQ(get(*a, "http://late/doc"), HttpLiteStatus::miss);
+    EXPECT_EQ(get(*b, "http://late/doc"), HttpLiteStatus::miss);  // false miss
+    EXPECT_EQ(origin.requests_served(), 2u);
+
+    a->stop();
+    b->stop();
+    origin.stop();
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,84 @@
+#include "proto/http_lite.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sc {
+namespace {
+
+TEST(HttpLite, RequestRoundTrip) {
+    HttpLiteRequest r;
+    r.url = "http://s1.dec/d42";
+    r.version = 7;
+    r.size = 8192;
+    const std::string line = format_request(r);
+    EXPECT_EQ(line, "GET http://s1.dec/d42 7 8192\r\n");
+    const auto parsed = parse_request("GET http://s1.dec/d42 7 8192");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_FALSE(parsed->sibling_only);
+    EXPECT_EQ(parsed->url, r.url);
+    EXPECT_EQ(parsed->version, 7u);
+    EXPECT_EQ(parsed->size, 8192u);
+}
+
+TEST(HttpLite, SgetRoundTrip) {
+    HttpLiteRequest r;
+    r.sibling_only = true;
+    r.url = "http://x/y";
+    const auto parsed = parse_request("SGET http://x/y 0 0");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->sibling_only);
+    EXPECT_EQ(format_request(r), "SGET http://x/y 0 0\r\n");
+}
+
+TEST(HttpLite, MalformedRequestsRejected) {
+    EXPECT_FALSE(parse_request("").has_value());
+    EXPECT_FALSE(parse_request("GET").has_value());
+    EXPECT_FALSE(parse_request("GET url 1").has_value());           // too few
+    EXPECT_FALSE(parse_request("GET url 1 2 3").has_value());       // too many
+    EXPECT_FALSE(parse_request("POST url 1 2").has_value());        // bad verb
+    EXPECT_FALSE(parse_request("GET url one 2").has_value());       // bad version
+    EXPECT_FALSE(parse_request("GET url 1 -5").has_value());        // bad size
+}
+
+TEST(HttpLite, ExtraWhitespaceTolerated) {
+    const auto parsed = parse_request("GET  http://x/y   1  2");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->url, "http://x/y");
+}
+
+TEST(HttpLite, ResponseHeaderRoundTrip) {
+    for (HttpLiteStatus s :
+         {HttpLiteStatus::ok, HttpLiteStatus::local_hit, HttpLiteStatus::remote_hit,
+          HttpLiteStatus::miss, HttpLiteStatus::not_cached, HttpLiteStatus::error}) {
+        const HttpLiteResponseHeader h{s, 12345};
+        const std::string line = format_response_header(h);
+        // Strip the trailing CRLF the way read_line does.
+        const auto parsed = parse_response_header(line.substr(0, line.size() - 2));
+        ASSERT_TRUE(parsed.has_value()) << http_lite_status_name(s);
+        EXPECT_EQ(parsed->status, s);
+        EXPECT_EQ(parsed->size, 12345u);
+    }
+}
+
+TEST(HttpLite, MalformedResponsesRejected) {
+    EXPECT_FALSE(parse_response_header("").has_value());
+    EXPECT_FALSE(parse_response_header("OK").has_value());
+    EXPECT_FALSE(parse_response_header("WHAT 10").has_value());
+    EXPECT_FALSE(parse_response_header("OK ten").has_value());
+    EXPECT_FALSE(parse_response_header("OK 1 2").has_value());
+}
+
+TEST(HttpLite, StatusNames) {
+    EXPECT_STREQ(http_lite_status_name(HttpLiteStatus::local_hit), "LOCAL_HIT");
+    EXPECT_EQ(parse_http_lite_status("REMOTE_HIT"), HttpLiteStatus::remote_hit);
+    EXPECT_FALSE(parse_http_lite_status("nope").has_value());
+}
+
+TEST(HttpLite, SynthBody) {
+    EXPECT_EQ(synth_body(0), "");
+    EXPECT_EQ(synth_body(3), "xxx");
+    EXPECT_EQ(synth_body(1000).size(), 1000u);
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,137 @@
+#include "proto/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sc {
+namespace {
+
+TEST(TcpListener, EphemeralPortAssigned) {
+    TcpListener l;
+    EXPECT_GT(l.local_endpoint().port, 0);
+    EXPECT_EQ(l.local_endpoint().host, 0x7f000001u);
+}
+
+TEST(TcpListener, AcceptTimesOutWithoutClient) {
+    TcpListener l;
+    EXPECT_FALSE(l.accept(20).has_value());
+}
+
+TEST(Tcp, ConnectAndExchangeLines) {
+    TcpListener l;
+    std::thread server([&] {
+        auto conn = l.accept(2000);
+        ASSERT_TRUE(conn.has_value());
+        const auto line = conn->read_line();
+        ASSERT_TRUE(line.has_value());
+        EXPECT_EQ(*line, "hello server");
+        conn->write_all("hello client\r\n");
+    });
+    TcpConnection c = TcpConnection::connect(l.local_endpoint());
+    c.write_all("hello server\n");
+    const auto reply = c.read_line();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(*reply, "hello client");  // CRLF stripped
+    server.join();
+}
+
+TEST(Tcp, ReadExactAcrossChunks) {
+    TcpListener l;
+    const std::string payload(100'000, 'z');
+    std::thread server([&] {
+        auto conn = l.accept(2000);
+        ASSERT_TRUE(conn.has_value());
+        conn->write_all("SIZE\n");
+        conn->write_all(payload);
+    });
+    TcpConnection c = TcpConnection::connect(l.local_endpoint());
+    ASSERT_TRUE(c.read_line().has_value());
+    std::string body;
+    c.read_exact(payload.size(), body);
+    EXPECT_EQ(body, payload);
+    server.join();
+}
+
+TEST(Tcp, ReadLineThenBodyFromSameBuffer) {
+    // Header and body arriving in one TCP segment must both be readable.
+    TcpListener l;
+    std::thread server([&] {
+        auto conn = l.accept(2000);
+        ASSERT_TRUE(conn.has_value());
+        conn->write_all("HDR 4\r\nbody");  // single write
+    });
+    TcpConnection c = TcpConnection::connect(l.local_endpoint());
+    EXPECT_EQ(c.read_line(), "HDR 4");
+    std::string body;
+    c.read_exact(4, body);
+    EXPECT_EQ(body, "body");
+    server.join();
+}
+
+TEST(Tcp, EofReturnsNullopt) {
+    TcpListener l;
+    std::thread server([&] {
+        auto conn = l.accept(2000);
+        ASSERT_TRUE(conn.has_value());
+        conn->write_all("only line\n");
+        // connection closes when conn goes out of scope
+    });
+    TcpConnection c = TcpConnection::connect(l.local_endpoint());
+    EXPECT_TRUE(c.read_line().has_value());
+    EXPECT_FALSE(c.read_line().has_value());  // clean EOF
+    server.join();
+}
+
+TEST(Tcp, EofMidBodyThrows) {
+    TcpListener l;
+    std::thread server([&] {
+        auto conn = l.accept(2000);
+        ASSERT_TRUE(conn.has_value());
+        conn->write_all("xx");  // promises nothing, closes early
+    });
+    TcpConnection c = TcpConnection::connect(l.local_endpoint());
+    std::string body;
+    EXPECT_THROW(c.read_exact(10, body), std::runtime_error);
+    server.join();
+}
+
+TEST(Tcp, DiscardExact) {
+    TcpListener l;
+    std::thread server([&] {
+        auto conn = l.accept(2000);
+        ASSERT_TRUE(conn.has_value());
+        conn->write_all("skipme!!rest\n");
+    });
+    TcpConnection c = TcpConnection::connect(l.local_endpoint());
+    c.discard_exact(8);
+    EXPECT_EQ(c.read_line(), "rest");
+    server.join();
+}
+
+TEST(Tcp, ConnectToClosedPortThrows) {
+    // Bind-then-close to find a port that is (almost certainly) not listening.
+    Endpoint dead;
+    {
+        TcpListener l;
+        dead = l.local_endpoint();
+    }
+    EXPECT_THROW((void)TcpConnection::connect(dead), std::system_error);
+}
+
+TEST(Tcp, MoveSemantics) {
+    TcpListener l;
+    std::thread server([&] {
+        auto conn = l.accept(2000);
+        ASSERT_TRUE(conn.has_value());
+        conn->write_all("moved\n");
+    });
+    TcpConnection a = TcpConnection::connect(l.local_endpoint());
+    TcpConnection b = std::move(a);
+    EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing the contract
+    EXPECT_EQ(b.read_line(), "moved");
+    server.join();
+}
+
+}  // namespace
+}  // namespace sc

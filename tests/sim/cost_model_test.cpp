@@ -1,0 +1,59 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sc {
+namespace {
+
+TEST(CostModel, TcpPacketsPerLegScalesWithBody) {
+    const CostModelConfig cfg;
+    const double empty = tcp_packets_per_leg(cfg, 0.0);
+    EXPECT_DOUBLE_EQ(empty, cfg.tcp_leg_overhead_pkts);  // just the handshake
+    // One MSS of data: one segment plus its share of acks.
+    EXPECT_DOUBLE_EQ(tcp_packets_per_leg(cfg, cfg.tcp_mss),
+                     cfg.tcp_leg_overhead_pkts + 1.0 * (1.0 + cfg.acks_per_segment));
+    // Just over one MSS rounds up to two segments.
+    EXPECT_DOUBLE_EQ(tcp_packets_per_leg(cfg, cfg.tcp_mss + 1),
+                     cfg.tcp_leg_overhead_pkts + 2.0 * (1.0 + cfg.acks_per_segment));
+    // Monotone in body size.
+    EXPECT_GT(tcp_packets_per_leg(cfg, 1e6), tcp_packets_per_leg(cfg, 1e4));
+}
+
+TEST(CostModel, UdpDatagramsForUpdate) {
+    const CostModelConfig cfg;
+    EXPECT_EQ(udp_datagrams_for_update(cfg, 0), 0u);
+    EXPECT_EQ(udp_datagrams_for_update(cfg, 1), 1u);
+    EXPECT_EQ(udp_datagrams_for_update(cfg, static_cast<std::uint64_t>(cfg.udp_mtu_payload)),
+              1u);
+    EXPECT_EQ(
+        udp_datagrams_for_update(cfg, static_cast<std::uint64_t>(cfg.udp_mtu_payload) + 1),
+        2u);
+    EXPECT_EQ(udp_datagrams_for_update(cfg, 10 * 1400), 10u);
+}
+
+TEST(CostModel, QueueingDelayBehaviour) {
+    // At zero utilization the wait equals the service time.
+    EXPECT_DOUBLE_EQ(queueing_delay(0.01, 0.0), 0.01);
+    // Grows with utilization.
+    EXPECT_GT(queueing_delay(0.01, 0.8), queueing_delay(0.01, 0.5));
+    // Clamped: never diverges even at rho >= 1.
+    const double clamped = queueing_delay(0.01, 0.95);
+    EXPECT_DOUBLE_EQ(queueing_delay(0.01, 1.5), clamped);
+    EXPECT_DOUBLE_EQ(queueing_delay(0.01, 0.999), clamped);
+    EXPECT_LT(clamped, 1.0);  // 0.01 / 0.05 = 0.2 s
+}
+
+TEST(CostModel, DefaultsAreInternallyConsistent) {
+    const CostModelConfig cfg;
+    // The calibration assumptions behind Table II (see EXPERIMENTS.md):
+    // ICP event processing is a small fraction of full HTTP handling...
+    EXPECT_LT(cfg.user_cpu_per_icp_event, cfg.user_cpu_per_http / 10);
+    // ...MD5 is negligible next to either (the paper's Section V-E claim)...
+    EXPECT_LT(cfg.user_cpu_per_md5, cfg.user_cpu_per_icp_event);
+    // ...and a remote hit is far cheaper than an origin round trip.
+    EXPECT_LT(cfg.remote_hit_fetch, cfg.server_delay / 2);
+    EXPECT_GT(cfg.tcp_mss, 500.0);
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,68 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sc {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) q.schedule(1.0, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, HandlersMayScheduleMoreEvents) {
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5) q.schedule_in(1.0, chain);
+    };
+    q.schedule(0.0, chain);
+    q.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, ScheduleInUsesCurrentTime) {
+    EventQueue q;
+    double when = -1;
+    q.schedule(2.0, [&] { q.schedule_in(0.5, [&] { when = q.now(); }); });
+    q.run();
+    EXPECT_DOUBLE_EQ(when, 2.5);
+}
+
+TEST(EventQueue, RunGuardStopsRunaway) {
+    EventQueue q;
+    std::function<void()> forever = [&] { q.schedule_in(0.1, forever); };
+    q.schedule(0.0, forever);
+    const std::uint64_t executed = q.run(1000);
+    EXPECT_EQ(executed, 1000u);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, EmptyQueueBehaviour) {
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.step());
+    EXPECT_EQ(q.run(), 0u);
+    EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,112 @@
+#include "sim/hierarchy_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+
+namespace sc {
+namespace {
+
+std::vector<Request> hierarchy_trace() {
+    static const std::vector<Request> trace = [] {
+        TraceProfile p = standard_profile(TraceKind::questnet, 0.05);
+        return TraceGenerator(p).generate_all();
+    }();
+    return trace;
+}
+
+HierarchySimConfig base_cfg(HierarchyProtocol protocol) {
+    HierarchySimConfig cfg;
+    cfg.num_children = 4;
+    cfg.child_cache_bytes = 4ull * 1024 * 1024;
+    cfg.parent_cache_bytes = 32ull * 1024 * 1024;
+    cfg.protocol = protocol;
+    return cfg;
+}
+
+TEST(HierarchySim, HandConstructedParentHit) {
+    HierarchySimConfig cfg = base_cfg(HierarchyProtocol::always_query);
+    cfg.parent_client_fraction = 0.0;
+    HierarchySimulator sim(cfg);
+    // Child 0's client fetches; the parent relays and caches. A different
+    // child then gets a parent hit.
+    sim.process({0.0, 0, "http://h/doc", 100, 0});
+    sim.process({1.0, 1, "http://h/doc", 100, 0});
+    const auto& r = sim.result();
+    EXPECT_EQ(r.parent_fetches, 1u);
+    EXPECT_EQ(r.parent_hits, 1u);
+    EXPECT_EQ(r.query_messages, 2u);  // one per child miss
+    // And the child that relayed now hits locally.
+    sim.process({2.0, 0, "http://h/doc", 100, 0});
+    EXPECT_EQ(sim.result().child_hits, 1u);
+}
+
+TEST(HierarchySim, StaleParentCopyRefetched) {
+    HierarchySimConfig cfg = base_cfg(HierarchyProtocol::always_query);
+    cfg.parent_client_fraction = 0.0;
+    HierarchySimulator sim(cfg);
+    sim.process({0.0, 0, "http://h/doc", 100, 1});
+    sim.process({1.0, 1, "http://h/doc", 100, 2});  // parent copy is stale
+    const auto& r = sim.result();
+    EXPECT_EQ(r.parent_stale_hits, 1u);
+    EXPECT_EQ(r.parent_fetches, 2u);
+    EXPECT_EQ(r.parent_hits, 0u);
+}
+
+TEST(HierarchySim, AlwaysQueryQueriesEveryChildMiss) {
+    const auto trace = hierarchy_trace();
+    const auto r = run_hierarchy_sim(base_cfg(HierarchyProtocol::always_query), trace);
+    EXPECT_EQ(r.query_messages, r.requests - r.child_hits);
+    EXPECT_EQ(r.false_hits, 0u);
+    EXPECT_EQ(r.false_misses, 0u);
+    EXPECT_EQ(r.update_messages, 0u);
+}
+
+TEST(HierarchySim, SummaryProtocolSlashesParentQueries) {
+    const auto trace = hierarchy_trace();
+    const auto classic = run_hierarchy_sim(base_cfg(HierarchyProtocol::always_query), trace);
+    const auto summary = run_hierarchy_sim(base_cfg(HierarchyProtocol::summary), trace);
+    // The whole point of Section VIII: the child only bothers the parent
+    // when the replicated summary is promising.
+    EXPECT_LT(summary.queries_per_request(), classic.queries_per_request() / 2);
+    EXPECT_GT(summary.update_messages, 0u);
+    // Hit ratio gives up something (the parent no longer absorbs every
+    // child miss) but stays in the same league.
+    EXPECT_GT(summary.total_hit_ratio(), classic.total_hit_ratio() * 0.5);
+}
+
+TEST(HierarchySim, SummaryErrorsAreTolerableKinds) {
+    const auto trace = hierarchy_trace();
+    auto cfg = base_cfg(HierarchyProtocol::summary);
+    cfg.update_threshold = 0.05;
+    const auto r = run_hierarchy_sim(cfg, trace);
+    // Errors exist but stay small relative to traffic.
+    EXPECT_LT(r.false_hits, r.requests / 10);
+    EXPECT_LT(r.false_misses, r.requests / 10);
+    // Every child request is accounted for exactly once: a local hit, a
+    // fresh parent hit, a stale-relay refetch, or a direct origin fetch.
+    EXPECT_EQ(r.child_hits + r.parent_hits + r.parent_stale_hits + r.direct_fetches,
+              r.requests);
+}
+
+TEST(HierarchySim, ParentOwnPopulationPopulatesCache) {
+    const auto trace = hierarchy_trace();
+    auto cfg = base_cfg(HierarchyProtocol::summary);
+    cfg.parent_client_fraction = 0.3;
+    const auto r = run_hierarchy_sim(cfg, trace);
+    EXPECT_GT(r.parent_own_requests, 0u);
+    EXPECT_GT(r.parent_own_hits, 0u);
+    EXPECT_GT(r.parent_hits, 0u);  // children benefit from that population
+}
+
+TEST(HierarchySim, MulticastCollapsesUpdateCount) {
+    const auto trace = hierarchy_trace();
+    auto cfg = base_cfg(HierarchyProtocol::summary);
+    const auto unicast = run_hierarchy_sim(cfg, trace);
+    cfg.multicast_updates = true;
+    const auto multicast = run_hierarchy_sim(cfg, trace);
+    EXPECT_EQ(unicast.update_messages, multicast.update_messages * cfg.num_children);
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,81 @@
+#include "sim/latency_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sc {
+namespace {
+
+WisconsinConfig small_cfg(BenchProtocol protocol) {
+    WisconsinConfig cfg;
+    cfg.protocol = protocol;
+    cfg.clients_per_proxy = 6;
+    cfg.requests_per_client = 40;
+    cfg.inherent_hit_ratio = 0.25;
+    cfg.cache_bytes = 16ull * 1024 * 1024;
+    return cfg;
+}
+
+TEST(LatencySim, CompletesAllRequests) {
+    const auto cfg = small_cfg(BenchProtocol::no_icp);
+    const auto r = run_latency_sim(cfg);
+    EXPECT_EQ(r.requests, static_cast<std::uint64_t>(cfg.num_proxies) *
+                              cfg.clients_per_proxy * cfg.requests_per_client);
+    EXPECT_GT(r.duration_s, 0.0);
+    EXPECT_GT(r.client_latency_s.mean(), 0.5);  // dominated by the 1 s origin
+    EXPECT_LT(r.client_latency_s.mean(), 3.0);
+}
+
+TEST(LatencySim, HitRatioMatchesWorkloadTarget) {
+    const auto r = run_latency_sim(small_cfg(BenchProtocol::no_icp));
+    EXPECT_NEAR(r.hit_ratio(), 0.25, 0.10);
+    EXPECT_EQ(r.remote_hits, 0u);  // disjoint workloads
+    EXPECT_EQ(r.queries_sent, 0u);
+}
+
+TEST(LatencySim, IcpQueriesEveryMissAndCostsLatency) {
+    const auto base = run_latency_sim(small_cfg(BenchProtocol::no_icp));
+    const auto icp = run_latency_sim(small_cfg(BenchProtocol::icp));
+    const auto cfg = small_cfg(BenchProtocol::icp);
+    // Every local miss multicasts to N-1 siblings.
+    const std::uint64_t misses = icp.requests - icp.local_hits;
+    EXPECT_EQ(icp.queries_sent, misses * (cfg.num_proxies - 1));
+    // Measured, not modeled: ICP must cost latency with zero remote hits.
+    EXPECT_GT(icp.client_latency_s.mean(), base.client_latency_s.mean());
+    EXPECT_GT(icp.max_cpu_utilization, base.max_cpu_utilization);
+}
+
+TEST(LatencySim, ScIcpStaysNearBaseline) {
+    const auto base = run_latency_sim(small_cfg(BenchProtocol::no_icp));
+    const auto icp = run_latency_sim(small_cfg(BenchProtocol::icp));
+    const auto sc = run_latency_sim(small_cfg(BenchProtocol::sc_icp));
+    EXPECT_LT(sc.queries_sent, icp.queries_sent / 10);
+    EXPECT_LT(sc.client_latency_s.mean(), icp.client_latency_s.mean());
+    EXPECT_NEAR(sc.client_latency_s.mean(), base.client_latency_s.mean(),
+                base.client_latency_s.mean() * 0.05);
+}
+
+TEST(LatencySim, DeterministicAcrossRuns) {
+    const auto a = run_latency_sim(small_cfg(BenchProtocol::icp));
+    const auto b = run_latency_sim(small_cfg(BenchProtocol::icp));
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_DOUBLE_EQ(a.client_latency_s.mean(), b.client_latency_s.mean());
+    EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
+    EXPECT_EQ(a.queries_sent, b.queries_sent);
+}
+
+TEST(LatencySim, AgreesWithClosedFormModelOnOrdering) {
+    // The independent check promised in DESIGN.md: the measured latencies
+    // must rank the protocols the same way the queueing model does.
+    const auto m_base = run_wisconsin(small_cfg(BenchProtocol::no_icp));
+    const auto m_icp = run_wisconsin(small_cfg(BenchProtocol::icp));
+    const auto s_base = run_latency_sim(small_cfg(BenchProtocol::no_icp));
+    const auto s_icp = run_latency_sim(small_cfg(BenchProtocol::icp));
+    EXPECT_GT(m_icp.avg_latency_s, m_base.avg_latency_s);
+    EXPECT_GT(s_icp.client_latency_s.mean(), s_base.client_latency_s.mean());
+    // Absolute levels within a factor of two of each other.
+    EXPECT_LT(std::abs(s_base.client_latency_s.mean() - m_base.avg_latency_s),
+              m_base.avg_latency_s);
+}
+
+}  // namespace
+}  // namespace sc

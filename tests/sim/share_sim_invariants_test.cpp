@@ -1,0 +1,116 @@
+// Invariant sweep: every (trace, scheme, protocol) combination must
+// satisfy the structural properties of the sharing simulation — exact
+// accounting, no impossible error categories, sane ratios. Parameterized
+// so a regression in any configuration is pinpointed by name.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "sim/share_sim.hpp"
+#include "trace/generator.hpp"
+
+namespace sc {
+namespace {
+
+struct SweepCase {
+    TraceKind trace;
+    SharingScheme scheme;
+    QueryProtocol protocol;
+    SummaryKind summary;
+};
+
+std::string case_name(const SweepCase& c) {
+    std::string name = trace_name(c.trace);
+    name += "_";
+    name += sharing_scheme_name(c.scheme);
+    name += "_";
+    name += query_protocol_name(c.protocol);
+    if (c.protocol == QueryProtocol::summary) {
+        name += "_";
+        name += summary_kind_name(c.summary);
+    }
+    for (auto& ch : name)
+        if (ch == '-') ch = '_';
+    return name;
+}
+
+const std::vector<Request>& trace_for(TraceKind kind) {
+    static std::map<TraceKind, std::vector<Request>> cache;
+    auto it = cache.find(kind);
+    if (it == cache.end())
+        it = cache.emplace(kind, TraceGenerator(standard_profile(kind, 0.02)).generate_all())
+                 .first;
+    return it->second;
+}
+
+class ShareSimInvariants : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ShareSimInvariants, StructuralPropertiesHold) {
+    const SweepCase c = GetParam();
+    const auto& trace = trace_for(c.trace);
+    ShareSimConfig cfg;
+    cfg.num_proxies = standard_profile(c.trace).proxy_groups;
+    cfg.cache_bytes_per_proxy = 2ull * 1024 * 1024;
+    cfg.scheme = c.scheme;
+    cfg.protocol = c.protocol;
+    cfg.summary_kind = c.summary;
+    const ShareSimResult r = run_share_sim(cfg, trace);
+
+    // Conservation: every request is a local hit, a remote hit, or a fetch.
+    EXPECT_EQ(r.requests, trace.size());
+    EXPECT_EQ(r.local_hits + r.remote_hits + r.server_fetches, r.requests);
+
+    // Byte accounting never exceeds what was requested.
+    EXPECT_LE(r.hit_bytes, r.request_bytes);
+    EXPECT_GE(r.byte_hit_ratio(), 0.0);
+    EXPECT_LE(r.byte_hit_ratio(), 1.0);
+
+    // Error categories are possible only under the summary protocol.
+    if (c.protocol != QueryProtocol::summary) {
+        EXPECT_EQ(r.false_hits, 0u);
+        EXPECT_EQ(r.false_misses, 0u);
+        EXPECT_EQ(r.update_messages, 0u);
+    }
+    // Message accounting matches the protocol.
+    switch (c.protocol) {
+        case QueryProtocol::none:
+        case QueryProtocol::oracle:
+            EXPECT_EQ(r.query_messages, 0u);
+            break;
+        case QueryProtocol::icp:
+            EXPECT_EQ(r.query_messages,
+                      (r.requests - r.local_hits) * (cfg.num_proxies - 1));
+            break;
+        case QueryProtocol::summary:
+            EXPECT_LE(r.query_messages, (r.requests - r.local_hits) * (cfg.num_proxies - 1));
+            break;
+    }
+    EXPECT_EQ(r.reply_messages, r.query_messages);
+
+    // Remote hits require cooperation.
+    if (c.scheme == SharingScheme::none || c.protocol == QueryProtocol::none) {
+        EXPECT_EQ(r.remote_hits, 0u);
+    }
+}
+
+std::vector<SweepCase> all_cases() {
+    std::vector<SweepCase> out;
+    for (const TraceKind t : {TraceKind::dec, TraceKind::upisa, TraceKind::nlanr}) {
+        out.push_back({t, SharingScheme::none, QueryProtocol::none, SummaryKind::bloom});
+        out.push_back({t, SharingScheme::simple, QueryProtocol::icp, SummaryKind::bloom});
+        out.push_back({t, SharingScheme::simple, QueryProtocol::oracle, SummaryKind::bloom});
+        out.push_back({t, SharingScheme::single_copy, QueryProtocol::icp, SummaryKind::bloom});
+        out.push_back({t, SharingScheme::global, QueryProtocol::none, SummaryKind::bloom});
+        for (const SummaryKind k :
+             {SummaryKind::exact_directory, SummaryKind::server_name, SummaryKind::bloom})
+            out.push_back({t, SharingScheme::simple, QueryProtocol::summary, k});
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShareSimInvariants, ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) { return case_name(info.param); });
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,297 @@
+#include "sim/share_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/infinite_cache.hpp"
+#include "trace/generator.hpp"
+
+namespace sc {
+namespace {
+
+std::vector<Request> small_trace() {
+    static const std::vector<Request> trace =
+        TraceGenerator(standard_profile(TraceKind::upisa, 0.05)).generate_all();
+    return trace;
+}
+
+std::uint64_t cache_bytes_for(const std::vector<Request>& trace, double fraction,
+                              std::uint32_t proxies) {
+    InfiniteCacheStats stats;
+    for (const Request& r : trace) stats.add_request(r.url, r.size, r.version);
+    return std::max<std::uint64_t>(
+        1'000'000, static_cast<std::uint64_t>(
+                       static_cast<double>(stats.infinite_cache_bytes()) * fraction / proxies));
+}
+
+ShareSimConfig base_config(const std::vector<Request>& trace, SharingScheme scheme,
+                           QueryProtocol protocol, std::uint32_t proxies = 8) {
+    ShareSimConfig cfg;
+    cfg.num_proxies = proxies;
+    cfg.cache_bytes_per_proxy = cache_bytes_for(trace, 0.10, proxies);
+    cfg.scheme = scheme;
+    cfg.protocol = protocol;
+    return cfg;
+}
+
+TEST(ShareSim, HandConstructedRemoteHit) {
+    // Two proxies; client 0 -> proxy 0, client 1 -> proxy 1. Proxy 1 loads
+    // the doc, then client 0 asks for it: a remote hit under ICP.
+    ShareSimConfig cfg;
+    cfg.num_proxies = 2;
+    cfg.cache_bytes_per_proxy = 1'000'000;
+    cfg.scheme = SharingScheme::simple;
+    cfg.protocol = QueryProtocol::icp;
+    ShareSimulator sim(cfg);
+    sim.process({0.0, 1, "http://x/doc", 100, 0});  // proxy 1 miss -> server
+    sim.process({1.0, 0, "http://x/doc", 100, 0});  // proxy 0 miss -> remote hit
+    const auto& r = sim.result();
+    EXPECT_EQ(r.requests, 2u);
+    EXPECT_EQ(r.remote_hits, 1u);
+    EXPECT_EQ(r.server_fetches, 1u);
+    EXPECT_EQ(r.query_messages, 2u);  // one (N-1)=1 query per miss
+    // Simple sharing copies the doc locally: a third request hits locally.
+    sim.process({2.0, 0, "http://x/doc", 100, 0});
+    EXPECT_EQ(sim.result().local_hits, 1u);
+}
+
+TEST(ShareSim, SingleCopyDoesNotDuplicate) {
+    ShareSimConfig cfg;
+    cfg.num_proxies = 2;
+    cfg.cache_bytes_per_proxy = 1'000'000;
+    cfg.scheme = SharingScheme::single_copy;
+    cfg.protocol = QueryProtocol::icp;
+    ShareSimulator sim(cfg);
+    sim.process({0.0, 1, "http://x/doc", 100, 0});
+    sim.process({1.0, 0, "http://x/doc", 100, 0});  // remote hit, no local copy
+    sim.process({2.0, 0, "http://x/doc", 100, 0});  // remote hit again
+    const auto& r = sim.result();
+    EXPECT_EQ(r.remote_hits, 2u);
+    EXPECT_EQ(r.local_hits, 0u);
+    const auto sizes = sim.directory_sizes();
+    EXPECT_EQ(sizes[0], 0u);
+    EXPECT_EQ(sizes[1], 1u);
+}
+
+TEST(ShareSim, StaleRemoteCopyIsRemoteStaleHit) {
+    ShareSimConfig cfg;
+    cfg.num_proxies = 2;
+    cfg.cache_bytes_per_proxy = 1'000'000;
+    cfg.scheme = SharingScheme::simple;
+    cfg.protocol = QueryProtocol::icp;
+    ShareSimulator sim(cfg);
+    sim.process({0.0, 1, "http://x/doc", 100, 0});  // proxy 1 caches v0
+    sim.process({1.0, 0, "http://x/doc", 100, 1});  // proxy 0 wants v1: stale
+    const auto& r = sim.result();
+    EXPECT_EQ(r.remote_hits, 0u);
+    EXPECT_EQ(r.remote_stale_hits, 1u);
+    EXPECT_EQ(r.server_fetches, 2u);
+}
+
+TEST(ShareSim, GlobalCacheActsAsOne) {
+    ShareSimConfig cfg;
+    cfg.num_proxies = 4;
+    cfg.cache_bytes_per_proxy = 1'000'000;
+    cfg.scheme = SharingScheme::global;
+    cfg.protocol = QueryProtocol::none;
+    ShareSimulator sim(cfg);
+    sim.process({0.0, 0, "u", 10, 0});
+    sim.process({1.0, 3, "u", 10, 0});  // different client group, still a hit
+    EXPECT_EQ(sim.result().local_hits, 1u);
+    EXPECT_EQ(sim.result().total_messages(), 0u);
+}
+
+TEST(ShareSim, SharingBeatsNoSharing) {
+    const auto trace = small_trace();
+    const auto none =
+        run_share_sim(base_config(trace, SharingScheme::none, QueryProtocol::none), trace);
+    const auto simple =
+        run_share_sim(base_config(trace, SharingScheme::simple, QueryProtocol::icp), trace);
+    EXPECT_GT(simple.total_hit_ratio(), none.total_hit_ratio() + 0.02);
+    EXPECT_GT(simple.byte_hit_ratio(), none.byte_hit_ratio());
+}
+
+TEST(ShareSim, OracleAndIcpFindTheSameHits) {
+    const auto trace = small_trace();
+    const auto icp =
+        run_share_sim(base_config(trace, SharingScheme::simple, QueryProtocol::icp), trace);
+    const auto oracle =
+        run_share_sim(base_config(trace, SharingScheme::simple, QueryProtocol::oracle), trace);
+    EXPECT_EQ(icp.local_hits, oracle.local_hits);
+    EXPECT_EQ(icp.remote_hits, oracle.remote_hits);
+    EXPECT_GT(icp.query_messages, 0u);
+    EXPECT_EQ(oracle.query_messages, 0u);  // oracle is free
+}
+
+TEST(ShareSim, IcpQueriesEqualLocalMissesTimesSiblings) {
+    const auto trace = small_trace();
+    const auto cfg = base_config(trace, SharingScheme::simple, QueryProtocol::icp);
+    const auto r = run_share_sim(cfg, trace);
+    const std::uint64_t local_misses = r.requests - r.local_hits;
+    EXPECT_EQ(r.query_messages, local_misses * (cfg.num_proxies - 1));
+    EXPECT_EQ(r.reply_messages, r.query_messages);
+    EXPECT_EQ(r.update_messages, 0u);
+}
+
+TEST(ShareSim, ExactSummaryNoDelayMatchesIcpHits) {
+    const auto trace = small_trace();
+    auto cfg = base_config(trace, SharingScheme::simple, QueryProtocol::summary);
+    cfg.summary_kind = SummaryKind::exact_directory;
+    cfg.update_threshold = 0.0;  // publish every change: summaries are exact
+    const auto sum = run_share_sim(cfg, trace);
+    const auto icp =
+        run_share_sim(base_config(trace, SharingScheme::simple, QueryProtocol::icp), trace);
+    // Sequential probing may end a round on a stale copy that ICP's
+    // multicast would have survived, so allow a hair of difference.
+    EXPECT_NEAR(sum.total_hit_ratio(), icp.total_hit_ratio(), 0.005);
+    EXPECT_EQ(sum.false_hits, 0u);
+    EXPECT_EQ(sum.false_misses, 0u);
+    // ...while sending far fewer queries.
+    EXPECT_LT(sum.query_messages, icp.query_messages / 5);
+}
+
+TEST(ShareSim, UpdateDelayCausesFalseMissesProportionally) {
+    const auto trace = small_trace();
+    auto cfg = base_config(trace, SharingScheme::simple, QueryProtocol::summary);
+    cfg.summary_kind = SummaryKind::exact_directory;
+
+    cfg.update_threshold = 0.01;
+    const auto t1 = run_share_sim(cfg, trace);
+    cfg.update_threshold = 0.10;
+    const auto t10 = run_share_sim(cfg, trace);
+
+    EXPECT_GT(t1.false_misses, 0u);
+    EXPECT_GT(t10.false_misses, t1.false_misses);
+    EXPECT_LT(t10.total_hit_ratio(), t1.total_hit_ratio());
+    EXPECT_LT(t10.update_messages, t1.update_messages);  // fewer broadcasts
+}
+
+TEST(ShareSim, BloomSummaryCloseToExactHitRatio) {
+    const auto trace = small_trace();
+    auto cfg = base_config(trace, SharingScheme::simple, QueryProtocol::summary);
+    cfg.update_threshold = 0.01;
+
+    cfg.summary_kind = SummaryKind::exact_directory;
+    const auto exact = run_share_sim(cfg, trace);
+    cfg.summary_kind = SummaryKind::bloom;
+    cfg.bloom.load_factor = 16;
+    const auto bloom = run_share_sim(cfg, trace);
+
+    EXPECT_NEAR(bloom.total_hit_ratio(), exact.total_hit_ratio(), 0.01);
+    // Bloom representation adds some false hits but stays far below
+    // server-name levels.
+    cfg.summary_kind = SummaryKind::server_name;
+    const auto server = run_share_sim(cfg, trace);
+    EXPECT_GT(server.false_hit_ratio(), bloom.false_hit_ratio() * 3);
+}
+
+TEST(ShareSim, BloomLoadFactorTradesMemoryForFalseHits) {
+    const auto trace = small_trace();
+    auto cfg = base_config(trace, SharingScheme::simple, QueryProtocol::summary);
+    cfg.summary_kind = SummaryKind::bloom;
+
+    cfg.bloom.load_factor = 8;
+    const auto lf8 = run_share_sim(cfg, trace);
+    cfg.bloom.load_factor = 32;
+    const auto lf32 = run_share_sim(cfg, trace);
+
+    EXPECT_GE(lf8.false_hits, lf32.false_hits);
+    EXPECT_LT(lf8.summary_replica_bytes, lf32.summary_replica_bytes);
+}
+
+TEST(ShareSim, SummaryUsesFarFewerMessagesThanIcp) {
+    const auto trace = small_trace();
+    auto cfg = base_config(trace, SharingScheme::simple, QueryProtocol::summary);
+    cfg.summary_kind = SummaryKind::bloom;
+    cfg.min_update_changes = 350;  // prototype-style IP-packet batching
+    const auto sum = run_share_sim(cfg, trace);
+    const auto icp =
+        run_share_sim(base_config(trace, SharingScheme::simple, QueryProtocol::icp), trace);
+    // The paper reports a factor of 25-60; at 8 proxies expect >10x.
+    EXPECT_GT(icp.messages_per_request(), 10 * sum.messages_per_request());
+    EXPECT_GT(icp.message_bytes_per_request(), 2 * sum.message_bytes_per_request());
+}
+
+TEST(ShareSim, ByteAccountingConsistent) {
+    const auto trace = small_trace();
+    const auto r =
+        run_share_sim(base_config(trace, SharingScheme::simple, QueryProtocol::icp), trace);
+    EXPECT_EQ(r.requests, trace.size());
+    EXPECT_LE(r.hit_bytes, r.request_bytes);
+    EXPECT_EQ(r.local_hits + r.remote_hits + r.server_fetches, r.requests);
+}
+
+TEST(ShareSim, NoSharingHasNoMessages) {
+    const auto trace = small_trace();
+    const auto r =
+        run_share_sim(base_config(trace, SharingScheme::none, QueryProtocol::none), trace);
+    EXPECT_EQ(r.total_messages(), 0u);
+    EXPECT_EQ(r.remote_hits, 0u);
+}
+
+TEST(ShareSim, PerProxyCapacitiesOverrideUniformSize) {
+    // Section III: allocate capacity proportional to load. A proxy with a
+    // tiny cache must evict constantly while its well-provisioned sibling
+    // keeps its working set.
+    ShareSimConfig cfg;
+    cfg.num_proxies = 2;
+    cfg.per_proxy_cache_bytes = {500, 1'000'000};
+    cfg.max_object_bytes = 400;
+    cfg.scheme = SharingScheme::none;
+    cfg.protocol = QueryProtocol::none;
+    ShareSimulator sim(cfg);
+    // Client 0 -> proxy 0 (500 B cache), client 1 -> proxy 1 (1 MB cache).
+    for (int round = 0; round < 3; ++round)
+        for (int d = 0; d < 5; ++d) {
+            sim.process({0.0, 0, "http://a/" + std::to_string(d), 300, 0});
+            sim.process({0.0, 1, "http://b/" + std::to_string(d), 300, 0});
+        }
+    const auto sizes = sim.directory_sizes();
+    EXPECT_LE(sizes[0], 1u);   // 500 B holds at most one 300 B doc
+    EXPECT_EQ(sizes[1], 5u);   // 1 MB holds the whole working set
+    // Proxy 1's repeats all hit; proxy 0 keeps missing.
+    EXPECT_GE(sim.result().local_hits, 10u);  // proxy 1's two repeat rounds
+    EXPECT_LT(sim.result().local_hits, 15u);  // proxy 0 contributed few
+}
+
+TEST(ShareSim, ProportionalAllocationBeatsEqualUnderImbalance) {
+    // One proxy receives 4x the traffic of the other three.
+    TraceProfile p = standard_profile(TraceKind::dec, 0.02);
+    p.proxy_groups = 4;
+    p.client_zipf_exponent = 1.5;
+    const auto trace = TraceGenerator(p).generate_all();
+
+    std::vector<std::uint64_t> load(4, 0);
+    std::uint64_t bytes = 0;
+    for (const Request& r : trace) {
+        ++load[r.client_id % 4];
+        bytes += r.size;
+    }
+    const std::uint64_t total_cache = bytes / 30;
+
+    ShareSimConfig cfg;
+    cfg.num_proxies = 4;
+    cfg.scheme = SharingScheme::simple;
+    cfg.protocol = QueryProtocol::oracle;
+    cfg.cache_bytes_per_proxy = total_cache / 4;
+    const auto equal = run_share_sim(cfg, trace);
+
+    cfg.per_proxy_cache_bytes.clear();
+    for (const std::uint64_t l : load)
+        cfg.per_proxy_cache_bytes.push_back(
+            std::max<std::uint64_t>(1 << 18, total_cache * l / trace.size()));
+    const auto proportional = run_share_sim(cfg, trace);
+
+    EXPECT_GE(proportional.total_hit_ratio(), equal.total_hit_ratio() - 0.002);
+}
+
+TEST(ShareSim, GlobalCapacityScaleShrinksCache) {
+    const auto trace = small_trace();
+    auto cfg = base_config(trace, SharingScheme::global, QueryProtocol::none);
+    const auto full = run_share_sim(cfg, trace);
+    cfg.global_capacity_scale = 0.5;
+    const auto half = run_share_sim(cfg, trace);
+    EXPECT_LE(half.total_hit_ratio(), full.total_hit_ratio() + 1e-9);
+}
+
+}  // namespace
+}  // namespace sc

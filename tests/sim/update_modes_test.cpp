@@ -1,0 +1,103 @@
+// The update-propagation variants of ShareSimConfig: time-interval policy
+// (Section V-A's alternative trigger), IP-packet batching (Section VI-B),
+// and multicast distribution (Section V-F).
+#include <gtest/gtest.h>
+
+#include "sim/share_sim.hpp"
+#include "trace/generator.hpp"
+
+namespace sc {
+namespace {
+
+std::vector<Request> trace() {
+    static const std::vector<Request> t =
+        TraceGenerator(standard_profile(TraceKind::ucb, 0.03)).generate_all();
+    return t;
+}
+
+ShareSimConfig base() {
+    ShareSimConfig cfg;
+    cfg.num_proxies = 8;
+    cfg.cache_bytes_per_proxy = 4ull * 1024 * 1024;
+    cfg.scheme = SharingScheme::simple;
+    cfg.protocol = QueryProtocol::summary;
+    cfg.summary_kind = SummaryKind::bloom;
+    return cfg;
+}
+
+TEST(UpdateModes, TimeIntervalPolicyPublishes) {
+    auto cfg = base();
+    cfg.update_interval_seconds = 60.0;
+    const auto r = run_share_sim(cfg, trace());
+    EXPECT_GT(r.summary_publishes, 0u);
+    EXPECT_GT(r.update_messages, 0u);
+    // Trace covers requests/rate seconds; publishes are bounded by
+    // duration/interval per proxy (plus one straggler each).
+    const double duration = trace().back().timestamp;
+    EXPECT_LE(r.summary_publishes, static_cast<std::uint64_t>(duration / 60.0 + 1) *
+                                       cfg.num_proxies);
+}
+
+TEST(UpdateModes, LongerIntervalsMeanFewerUpdatesAndMoreFalseMisses) {
+    auto cfg = base();
+    cfg.update_interval_seconds = 30.0;
+    const auto fast = run_share_sim(cfg, trace());
+    cfg.update_interval_seconds = 1800.0;
+    const auto slow = run_share_sim(cfg, trace());
+    EXPECT_LT(slow.summary_publishes, fast.summary_publishes);
+    EXPECT_GE(slow.false_misses, fast.false_misses);
+    EXPECT_LE(slow.total_hit_ratio(), fast.total_hit_ratio() + 1e-9);
+}
+
+TEST(UpdateModes, IntervalMatchesEquivalentThreshold) {
+    // Section V-A: an interval converts to a threshold through the request
+    // rate and miss ratio; the resulting hit-ratio degradation must agree.
+    // Pick an interval short enough that the equivalent fraction stays
+    // well inside (0, 1) — the conversion only makes sense there.
+    constexpr double kInterval = 20.0;
+    auto cfg = base();
+    cfg.update_interval_seconds = kInterval;
+    const auto timed = run_share_sim(cfg, trace());
+
+    // Derive the equivalent fraction from observed quantities.
+    const double duration = trace().back().timestamp;
+    const double rate = static_cast<double>(timed.requests) / duration;
+    const double miss = 1.0 - timed.local_hit_ratio() - timed.remote_hit_ratio();
+    const double docs =
+        static_cast<double>(cfg.cache_bytes_per_proxy) / 8192.0;  // rough per-proxy docs
+    const double fraction = std::clamp(
+        interval_to_threshold(kInterval, rate / cfg.num_proxies, miss, docs), 0.0, 1.0);
+    ASSERT_LT(fraction, 0.5);
+
+    auto cfg2 = base();
+    cfg2.update_threshold = fraction;
+    const auto threshold = run_share_sim(cfg2, trace());
+    EXPECT_NEAR(threshold.total_hit_ratio(), timed.total_hit_ratio(), 0.03);
+}
+
+TEST(UpdateModes, MulticastCutsUpdateMessagesByPeerCount) {
+    auto cfg = base();
+    const auto unicast = run_share_sim(cfg, trace());
+    cfg.multicast_updates = true;
+    const auto multicast = run_share_sim(cfg, trace());
+    ASSERT_GT(unicast.update_messages, 0u);
+    EXPECT_EQ(unicast.update_messages,
+              multicast.update_messages * (cfg.num_proxies - 1));
+    EXPECT_EQ(unicast.update_bytes, multicast.update_bytes * (cfg.num_proxies - 1));
+    // Queries and hit ratios are untouched by the transport choice.
+    EXPECT_EQ(unicast.query_messages, multicast.query_messages);
+    EXPECT_EQ(unicast.local_hits, multicast.local_hits);
+}
+
+TEST(UpdateModes, BatchingFloorsReduceUpdateCount) {
+    auto cfg = base();
+    cfg.update_threshold = 0.001;  // aggressive threshold...
+    const auto eager = run_share_sim(cfg, trace());
+    cfg.min_update_changes = 350;  // ...tamed by the packet-fill floor
+    const auto batched = run_share_sim(cfg, trace());
+    EXPECT_LT(batched.summary_publishes, eager.summary_publishes);
+    EXPECT_GE(batched.false_misses, eager.false_misses);
+}
+
+}  // namespace
+}  // namespace sc

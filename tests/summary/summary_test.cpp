@@ -1,0 +1,231 @@
+#include "summary/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "summary/bloom_summary.hpp"
+#include "summary/exact_directory.hpp"
+#include "summary/message_costs.hpp"
+#include "summary/server_name.hpp"
+
+namespace sc {
+namespace {
+
+// ---- behaviour common to all representations (parameterized) -------------
+
+class SummaryKindTest : public ::testing::TestWithParam<SummaryKind> {
+protected:
+    std::unique_ptr<DirectorySummary> make(std::uint64_t expected_docs = 1024) const {
+        return make_summary(GetParam(), expected_docs);
+    }
+};
+
+TEST_P(SummaryKindTest, PublishedViewLagsUntilPublish) {
+    auto s = make();
+    s->on_insert("http://host1/a");
+    EXPECT_TRUE(s->current_may_contain("http://host1/a"));
+    EXPECT_FALSE(s->published_may_contain("http://host1/a"));
+    EXPECT_GT(s->publish(), 0u);
+    EXPECT_TRUE(s->published_may_contain("http://host1/a"));
+}
+
+TEST_P(SummaryKindTest, NoFalseNegativesOnPublishedMembers) {
+    auto s = make();
+    for (int i = 0; i < 300; ++i) s->on_insert("http://h" + std::to_string(i / 10) + "/d" + std::to_string(i));
+    (void)s->publish();
+    for (int i = 0; i < 300; ++i)
+        ASSERT_TRUE(s->published_may_contain("http://h" + std::to_string(i / 10) + "/d" +
+                                             std::to_string(i)));
+}
+
+TEST_P(SummaryKindTest, PublishWithNothingPendingCostsNothing) {
+    auto s = make();
+    EXPECT_EQ(s->publish(), 0u);
+    s->on_insert("x");
+    (void)s->publish();
+    EXPECT_EQ(s->publish(), 0u);  // nothing new since last publish
+}
+
+TEST_P(SummaryKindTest, DeletedDocsEventuallyLeaveThePublishedView) {
+    auto s = make();
+    s->on_insert("http://gone/a");
+    (void)s->publish();
+    s->on_erase("http://gone/a");
+    (void)s->publish();
+    // Exact and server-name views must drop it; Bloom may keep spurious
+    // bits from collisions, but with a single key there are none.
+    EXPECT_FALSE(s->published_may_contain("http://gone/a"));
+}
+
+TEST_P(SummaryKindTest, MemoryAccountingIsPositive) {
+    auto s = make();
+    for (int i = 0; i < 50; ++i) s->on_insert("http://h/d" + std::to_string(i));
+    EXPECT_GT(s->replica_memory_bytes(), 0u);
+    EXPECT_GT(s->owner_memory_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SummaryKindTest,
+                         ::testing::Values(SummaryKind::exact_directory,
+                                           SummaryKind::server_name, SummaryKind::bloom),
+                         [](const auto& info) {
+                             return std::string(summary_kind_name(info.param)) == "exact-directory"
+                                        ? "exact"
+                                        : std::string(summary_kind_name(info.param)) ==
+                                                  "server-name"
+                                              ? "server"
+                                              : "bloom";
+                         });
+
+// ---- exact directory ------------------------------------------------------
+
+TEST(ExactDirectory, SixteenBytesPerDocument) {
+    ExactDirectorySummary s;
+    for (int i = 0; i < 100; ++i) s.on_insert("u" + std::to_string(i));
+    EXPECT_EQ(s.replica_memory_bytes(), 1600u);
+}
+
+TEST(ExactDirectory, UpdateMessageByteModel) {
+    ExactDirectorySummary s;
+    s.on_insert("a");
+    s.on_insert("b");
+    s.on_erase("a");
+    // 3 changes at 16 bytes plus the 20-byte header.
+    EXPECT_EQ(s.pending_changes(), 3u);
+    EXPECT_EQ(s.publish(), kDirectoryUpdateHeaderBytes + 3 * kDirectoryUpdatePerChangeBytes);
+}
+
+TEST(ExactDirectory, NoRepresentationFalsePositives) {
+    ExactDirectorySummary s;
+    for (int i = 0; i < 1000; ++i) s.on_insert("in/" + std::to_string(i));
+    (void)s.publish();
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_FALSE(s.published_may_contain("out/" + std::to_string(i)));
+}
+
+TEST(ExactDirectory, DuplicateInsertIsSingleChange) {
+    ExactDirectorySummary s;
+    s.on_insert("a");
+    s.on_insert("a");
+    EXPECT_EQ(s.pending_changes(), 1u);
+}
+
+// ---- server name -----------------------------------------------------------
+
+TEST(ServerName, AllUrlsOnListedServerProbeAsHits) {
+    ServerNameSummary s;
+    s.on_insert("http://popular.com/page1");
+    (void)s.publish();
+    // The paper's failure mode: any URL on the host looks cached.
+    EXPECT_TRUE(s.published_may_contain("http://popular.com/other-page"));
+    EXPECT_FALSE(s.published_may_contain("http://elsewhere.com/page1"));
+}
+
+TEST(ServerName, RefcountKeepsHostWhileAnyDocRemains) {
+    ServerNameSummary s;
+    s.on_insert("http://h.com/a");
+    s.on_insert("http://h.com/b");
+    s.on_erase("http://h.com/a");
+    (void)s.publish();
+    EXPECT_TRUE(s.published_may_contain("http://h.com/anything"));
+    s.on_erase("http://h.com/b");
+    (void)s.publish();
+    EXPECT_FALSE(s.published_may_contain("http://h.com/anything"));
+}
+
+TEST(ServerName, DistinctServersCounted) {
+    ServerNameSummary s;
+    for (int i = 0; i < 30; ++i)
+        s.on_insert("http://host" + std::to_string(i % 3) + "/d" + std::to_string(i));
+    EXPECT_EQ(s.distinct_servers(), 3u);
+    EXPECT_EQ(s.replica_memory_bytes(), 3u * 16u);
+}
+
+TEST(ServerName, EraseUntrackedIsNoop) {
+    ServerNameSummary s;
+    s.on_erase("http://never/a");
+    EXPECT_EQ(s.pending_changes(), 0u);
+}
+
+// ---- bloom -----------------------------------------------------------------
+
+TEST(BloomSummaryTest, TableSizedByLoadFactor) {
+    EXPECT_EQ(bloom_table_bits(1000, 8), 8000u);  // already a multiple of 64
+    EXPECT_EQ(bloom_table_bits(1000, 16), 16000u % 64 == 0 ? 16000u : (16000u + 63) / 64 * 64);
+    EXPECT_EQ(bloom_table_bits(1, 1), 64u);  // floor
+    EXPECT_EQ(bloom_table_bits(100, 10) % 64, 0u);
+}
+
+TEST(BloomSummaryTest, ReplicaMemoryIsLoadFactorOverEight) {
+    BloomSummaryConfig cfg;
+    cfg.load_factor = 8;
+    const BloomSummary s(1024, cfg);
+    // 8 bits/doc over 1024 docs = an 8192-bit array = 1024 bytes.
+    EXPECT_EQ(s.replica_memory_bytes(), 1024u);
+    // Owner additionally holds 4-bit counters: 8192 * 4/8 + the bit array.
+    EXPECT_EQ(s.owner_memory_bytes(), 8192u * 4u / 8u + 1024u);
+}
+
+TEST(BloomSummaryTest, PublishCostIsPerFlip) {
+    BloomSummary s(1024, BloomSummaryConfig{});
+    s.on_insert("http://x/1");  // <= 4 bit flips
+    const std::uint64_t bytes = s.publish();
+    EXPECT_GE(bytes, kBloomUpdateHeaderBytes + kBloomUpdatePerFlipBytes);
+    EXPECT_LE(bytes, kBloomUpdateHeaderBytes + 4 * kBloomUpdatePerFlipBytes);
+}
+
+TEST(BloomSummaryTest, PublishPrefersFullArrayWhenDeltaHuge) {
+    BloomSummaryConfig cfg;
+    cfg.load_factor = 8;
+    BloomSummary s(64, cfg);  // 512-bit table = 64 bytes full
+    for (int i = 0; i < 200; ++i) s.on_insert("k" + std::to_string(i));
+    const std::uint64_t bytes = s.publish();
+    EXPECT_LE(bytes, kBloomUpdateHeaderBytes + 64);  // capped at the full array
+}
+
+TEST(BloomSummaryTest, FalsePositiveRateTracksLoadFactor) {
+    const auto measure = [](std::uint32_t lf) {
+        BloomSummaryConfig cfg;
+        cfg.load_factor = lf;
+        BloomSummary s(2000, cfg);
+        for (int i = 0; i < 2000; ++i) s.on_insert("in/" + std::to_string(i));
+        (void)s.publish();
+        int fp = 0;
+        constexpr int probes = 30'000;
+        for (int i = 0; i < probes; ++i)
+            if (s.published_may_contain("out/" + std::to_string(i))) ++fp;
+        return static_cast<double>(fp) / probes;
+    };
+    const double fp8 = measure(8);
+    const double fp16 = measure(16);
+    const double fp32 = measure(32);
+    EXPECT_GT(fp8, fp16);
+    EXPECT_GT(fp16, fp32);
+    EXPECT_NEAR(fp8, 0.024, 0.015);  // theory ~2.4% at k=4, lf=8
+    EXPECT_LT(fp32, 0.005);
+}
+
+TEST(BloomSummaryTest, EraseCleansPublishedBitsAfterPublish) {
+    BloomSummary s(512, BloomSummaryConfig{});
+    s.on_insert("a");
+    s.on_insert("b");
+    (void)s.publish();
+    s.on_erase("a");
+    (void)s.publish();
+    EXPECT_FALSE(s.published_may_contain("a"));
+    EXPECT_TRUE(s.published_may_contain("b"));
+}
+
+TEST(SummaryFactory, KindNamesAndDispatch) {
+    EXPECT_STREQ(summary_kind_name(SummaryKind::bloom), "bloom");
+    EXPECT_STREQ(summary_kind_name(SummaryKind::exact_directory), "exact-directory");
+    EXPECT_STREQ(summary_kind_name(SummaryKind::server_name), "server-name");
+    EXPECT_EQ(make_summary(SummaryKind::bloom, 100)->kind(), SummaryKind::bloom);
+    EXPECT_EQ(make_summary(SummaryKind::exact_directory, 100)->kind(),
+              SummaryKind::exact_directory);
+    EXPECT_EQ(make_summary(SummaryKind::server_name, 100)->kind(), SummaryKind::server_name);
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,68 @@
+#include "summary/update_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sc {
+namespace {
+
+TEST(UpdatePolicy, NoChangesNoPublish) {
+    UpdateThresholdPolicy p(0.01);
+    EXPECT_FALSE(p.should_publish(1000));
+}
+
+TEST(UpdatePolicy, PublishesAtThreshold) {
+    UpdateThresholdPolicy p(0.01);  // 1% of 1000 docs = 10 new docs
+    for (int i = 0; i < 9; ++i) p.on_new_document();
+    EXPECT_FALSE(p.should_publish(1000));
+    p.on_new_document();
+    EXPECT_TRUE(p.should_publish(1000));
+}
+
+TEST(UpdatePolicy, ZeroFractionPublishesEveryChange) {
+    UpdateThresholdPolicy p(0.0);
+    EXPECT_FALSE(p.should_publish(100));  // nothing changed yet
+    p.on_new_document();
+    EXPECT_TRUE(p.should_publish(100));
+}
+
+TEST(UpdatePolicy, ResetAfterPublish) {
+    UpdateThresholdPolicy p(0.1);
+    for (int i = 0; i < 20; ++i) p.on_new_document();
+    EXPECT_TRUE(p.should_publish(100));
+    p.on_published();
+    EXPECT_EQ(p.unreflected(), 0u);
+    EXPECT_FALSE(p.should_publish(100));
+}
+
+TEST(UpdatePolicy, SmallerDirectoryTriggersSooner) {
+    UpdateThresholdPolicy p(0.05);
+    p.on_new_document();
+    EXPECT_TRUE(p.should_publish(10));    // 1 >= 0.5
+    EXPECT_FALSE(p.should_publish(100));  // 1 < 5
+}
+
+TEST(UpdatePolicy, IntervalThresholdConversionRoundTrip) {
+    // 300 seconds at 50 req/s with 60% misses over 90,000 cached docs.
+    const double f = interval_to_threshold(300.0, 50.0, 0.6, 90'000.0);
+    EXPECT_NEAR(f, 0.1, 1e-12);
+    EXPECT_NEAR(threshold_to_interval(f, 50.0, 0.6, 90'000.0), 300.0, 1e-9);
+}
+
+TEST(UpdatePolicy, PaperScaleSanity) {
+    // Section V-A: thresholds of 1%-10% correspond to roughly 300-3000
+    // requests between updates for the paper's traces. With a 10%-of-
+    // infinite cache holding ~30k docs and a ~60% miss ratio, a 1%
+    // threshold is ~300 new docs => ~500 requests. Same order of magnitude.
+    const double interval_reqs =
+        0.01 * 30'000 / 0.6;  // new docs needed / new docs per request
+    EXPECT_GT(interval_reqs, 300.0);
+    EXPECT_LT(interval_reqs, 3000.0);
+}
+
+TEST(UpdatePolicy, DegenerateConversions) {
+    EXPECT_EQ(interval_to_threshold(10, 50, 0.5, 0.0), 1.0);  // empty cache
+    EXPECT_EQ(threshold_to_interval(0.01, 0.0, 0.5, 1000), 0.0);
+}
+
+}  // namespace
+}  // namespace sc

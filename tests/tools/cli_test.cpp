@@ -1,0 +1,65 @@
+#include "cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace sc::cli {
+namespace {
+
+Flags make(std::vector<std::string> args, std::set<std::string> known) {
+    std::vector<char*> argv;
+    static std::vector<std::string> storage;  // keep c_str()s alive
+    storage = std::move(args);
+    storage.insert(storage.begin(), "prog");
+    argv.reserve(storage.size());
+    for (auto& s : storage) argv.push_back(s.data());
+    return Flags(static_cast<int>(argv.size()), argv.data(), std::move(known));
+}
+
+TEST(CliFlags, EqualsAndSpaceForms) {
+    const auto f = make({"--alpha=1.5", "--name", "bob", "--verbose"},
+                        {"alpha", "name", "verbose"});
+    EXPECT_DOUBLE_EQ(f.get_double("alpha", 0), 1.5);
+    EXPECT_EQ(f.get("name", ""), "bob");
+    EXPECT_TRUE(f.get_bool("verbose"));
+}
+
+TEST(CliFlags, DefaultsWhenAbsent) {
+    const auto f = make({}, {"x", "y"});
+    EXPECT_EQ(f.get("x", "dflt"), "dflt");
+    EXPECT_EQ(f.get_int("y", 42), 42);
+    EXPECT_FALSE(f.get_bool("x"));
+    EXPECT_FALSE(f.has("x"));
+}
+
+TEST(CliFlags, BooleanFollowedByFlag) {
+    // "--flag --other v": flag is boolean, other gets the value.
+    const auto f = make({"--flag", "--other", "v"}, {"flag", "other"});
+    EXPECT_TRUE(f.get_bool("flag"));
+    EXPECT_EQ(f.get("other", ""), "v");
+}
+
+TEST(CliFlags, UnknownFlagIsFatal) {
+    EXPECT_EXIT((void)make({"--nope"}, {"yes"}), ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(CliFlags, PositionalIsFatal) {
+    EXPECT_EXIT((void)make({"stray"}, {"x"}), ::testing::ExitedWithCode(2),
+                "positional arguments");
+}
+
+TEST(CliFlags, RequireMissingIsFatal) {
+    EXPECT_EXIT((void)make({}, {"x"}).require("x"), ::testing::ExitedWithCode(2),
+                "missing required flag");
+}
+
+TEST(CliFlags, ParsePort) {
+    EXPECT_EQ(parse_port("8080"), 8080);
+    EXPECT_EQ(parse_port("host:443"), 443);
+    EXPECT_EXIT((void)parse_port("0"), ::testing::ExitedWithCode(2), "bad port");
+    EXPECT_EXIT((void)parse_port("99999"), ::testing::ExitedWithCode(2), "bad port");
+}
+
+}  // namespace
+}  // namespace sc::cli

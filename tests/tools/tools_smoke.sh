@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the CLI tools:
+#   sc_tracegen -> sc_simulate (offline path)
+#   sc_origin + 2x sc_proxy + sc_replay (live path, summary mode)
+# Invoked by ctest with the five binary paths as arguments.
+set -euo pipefail
+
+TRACEGEN=$1 SIMULATE=$2 ORIGIN=$3 PROXY=$4 REPLAY=$5
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# Pick a port block unlikely to collide (derived from our PID).
+BASE=$(( 20000 + ($$ % 20000) ))
+P_ORIGIN=$((BASE)) P1_HTTP=$((BASE+1)) P1_ICP=$((BASE+2)) P2_HTTP=$((BASE+3)) P2_ICP=$((BASE+4))
+
+# --- offline path -----------------------------------------------------------
+"$TRACEGEN" --trace upisa --scale 0.01 --out "$WORK/trace.csv" --quiet
+[ -s "$WORK/trace.csv" ] || fail "tracegen produced no output"
+head -1 "$WORK/trace.csv" | grep -q "timestamp,client,url,size,version" \
+    || fail "tracegen csv header wrong"
+
+"$SIMULATE" --in "$WORK/trace.csv" --proxies 8 --cache-mb 4 \
+    --protocol summary --batch 350 > "$WORK/sim.txt"
+grep -q "total hit ratio" "$WORK/sim.txt" || fail "simulate printed no report"
+grep -q "messages/request" "$WORK/sim.txt" || fail "simulate printed no message stats"
+
+# --- live path ---------------------------------------------------------------
+"$ORIGIN" --port "$P_ORIGIN" --delay-ms 1 > "$WORK/origin.log" 2>&1 &
+PIDS+=($!)
+"$PROXY" --id 1 --http-port "$P1_HTTP" --icp-port "$P1_ICP" --origin "$P_ORIGIN" \
+    --sibling "2:$P2_HTTP:$P2_ICP" --mode summary --threshold 0 \
+    > "$WORK/p1.log" 2>&1 &
+PIDS+=($!)
+"$PROXY" --id 2 --http-port "$P2_HTTP" --icp-port "$P2_ICP" --origin "$P_ORIGIN" \
+    --sibling "1:$P1_HTTP:$P1_ICP" --mode summary --threshold 0 \
+    > "$WORK/p2.log" 2>&1 &
+PIDS+=($!)
+
+# Wait for all three to come up.
+for log in origin.log p1.log p2.log; do
+    for _ in $(seq 1 50); do
+        grep -qE "listening|HTTP" "$WORK/$log" && break
+        sleep 0.1
+    done
+    grep -qE "listening|HTTP" "$WORK/$log" || fail "$log never came up"
+done
+
+"$TRACEGEN" --trace nlanr --requests 400 --scale 0.01 --out "$WORK/live.csv" --quiet
+"$REPLAY" --in "$WORK/live.csv" --proxies "$P1_HTTP,$P2_HTTP" > "$WORK/replay.txt"
+grep -q "errors *0" "$WORK/replay.txt" || fail "replay reported errors"
+grep -q "requests *400" "$WORK/replay.txt" || fail "replay lost requests"
+# With a shared NLANR-style workload some sharing must occur.
+hits=$(grep -oE "remote hits +[0-9]+" "$WORK/replay.txt" | grep -oE "[0-9]+")
+[ "${hits:-0}" -gt 0 ] || fail "no remote hits through the live federation"
+
+echo "tools smoke OK (remote hits: $hits)"

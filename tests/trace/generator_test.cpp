@@ -1,0 +1,153 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/infinite_cache.hpp"
+
+namespace sc {
+namespace {
+
+TraceProfile tiny_profile() {
+    TraceProfile p = standard_profile(TraceKind::upisa, 0.02);
+    return p;
+}
+
+TEST(TraceProfile, NamesAndKinds) {
+    EXPECT_STREQ(trace_name(TraceKind::dec), "DEC");
+    EXPECT_STREQ(trace_name(TraceKind::nlanr), "NLANR");
+    for (TraceKind kind : kAllTraceKinds) {
+        const TraceProfile p = standard_profile(kind);
+        EXPECT_GT(p.requests, 0u) << p.name;
+        EXPECT_GE(p.clients, p.proxy_groups) << p.name;
+        EXPECT_GT(p.shared_docs, 0u) << p.name;
+    }
+}
+
+TEST(TraceProfile, ScaleShrinksVolume) {
+    const TraceProfile full = standard_profile(TraceKind::dec);
+    const TraceProfile small = standard_profile(TraceKind::dec, 0.1);
+    EXPECT_NEAR(static_cast<double>(small.requests), full.requests * 0.1, 2.0);
+    EXPECT_LT(small.shared_docs, full.shared_docs);
+    EXPECT_EQ(small.proxy_groups, full.proxy_groups);  // topology is fixed
+}
+
+TEST(TraceGenerator, EmitsExactlyProfileRequests) {
+    TraceGenerator gen(tiny_profile());
+    const auto trace = gen.generate_all();
+    EXPECT_EQ(trace.size(), gen.profile().requests);
+    EXPECT_FALSE(gen.next().has_value());  // exhausted
+}
+
+TEST(TraceGenerator, DeterministicForSameSeed) {
+    const auto a = TraceGenerator(tiny_profile()).generate_all();
+    const auto b = TraceGenerator(tiny_profile()).generate_all();
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a, b);
+}
+
+TEST(TraceGenerator, DifferentSeedsDiffer) {
+    TraceProfile p1 = tiny_profile();
+    TraceProfile p2 = tiny_profile();
+    p2.seed ^= 0xdeadbeef;
+    const auto a = TraceGenerator(p1).generate_all();
+    const auto b = TraceGenerator(p2).generate_all();
+    EXPECT_NE(a, b);
+}
+
+TEST(TraceGenerator, TimestampsNondecreasing) {
+    const auto trace = TraceGenerator(tiny_profile()).generate_all();
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        ASSERT_GE(trace[i].timestamp, trace[i - 1].timestamp - 1e-3) << i;
+}
+
+TEST(TraceGenerator, ClientIdsWithinPopulation) {
+    TraceProfile p = tiny_profile();
+    const auto trace = TraceGenerator(p).generate_all();
+    for (const Request& r : trace) ASSERT_LE(r.client_id, p.clients);  // +1 anomaly slack
+}
+
+TEST(TraceGenerator, SizesConsistentPerDocumentVersion) {
+    const auto trace = TraceGenerator(tiny_profile()).generate_all();
+    std::unordered_map<std::string, std::pair<std::uint64_t, std::uint64_t>> seen;
+    for (const Request& r : trace) {
+        const auto key = r.url + "#" + std::to_string(r.version);
+        const auto [it, inserted] = seen.try_emplace(key, std::make_pair(r.size, r.version));
+        if (!inserted) {
+            ASSERT_EQ(it->second.first, r.size) << key;
+        }
+    }
+}
+
+TEST(TraceGenerator, RequestsRepeatAcrossClients) {
+    // Cross-client overlap is what makes cache sharing worthwhile; the
+    // generator must produce documents requested by multiple clients.
+    const auto trace = TraceGenerator(tiny_profile()).generate_all();
+    std::unordered_map<std::string, std::set<std::uint32_t>> clients_per_url;
+    for (const Request& r : trace) clients_per_url[r.url].insert(r.client_id);
+    std::size_t shared = 0;
+    for (const auto& [url, clients] : clients_per_url)
+        if (clients.size() > 1) ++shared;
+    EXPECT_GT(shared, clients_per_url.size() / 20);
+}
+
+TEST(TraceGenerator, HostToUrlRatioNearPaperValue) {
+    // Section V-B observes ~10 URLs per server name.
+    const auto trace = TraceGenerator(TraceGenerator(tiny_profile()).profile()).generate_all();
+    std::unordered_set<std::string> urls;
+    std::unordered_set<std::string> hosts;
+    for (const Request& r : trace) {
+        urls.insert(r.url);
+        hosts.insert(std::string(url_host(r.url)));
+    }
+    const double ratio = static_cast<double>(urls.size()) / static_cast<double>(hosts.size());
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 25.0);
+}
+
+TEST(TraceGenerator, NlanrAnomalyEmitsNearDuplicates) {
+    TraceProfile p = standard_profile(TraceKind::nlanr, 0.02);
+    const auto trace = TraceGenerator(p).generate_all();
+    std::size_t duplicates = 0;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        const auto& a = trace[i - 1];
+        const auto& b = trace[i];
+        if (a.url == b.url && b.client_id == a.client_id + 1 &&
+            b.timestamp - a.timestamp < 1e-3)
+            ++duplicates;
+    }
+    EXPECT_GT(duplicates, trace.size() * p.duplicate_fraction / 4);
+    // And the duplicate lands in a different proxy group.
+    EXPECT_GT(p.proxy_groups, 1u);
+}
+
+TEST(TraceGenerator, InfiniteCacheHitRatioInPlausibleBand) {
+    // The calibrated profiles should land in web-trace territory
+    // (Table I maxima were roughly 30%-60%).
+    for (TraceKind kind : kAllTraceKinds) {
+        const auto trace = TraceGenerator(standard_profile(kind, 0.05)).generate_all();
+        InfiniteCacheStats stats;
+        for (const Request& r : trace) stats.add_request(r.url, r.size, r.version);
+        EXPECT_GT(stats.max_hit_ratio(), 0.15) << trace_name(kind);
+        EXPECT_LT(stats.max_hit_ratio(), 0.80) << trace_name(kind);
+    }
+}
+
+TEST(TraceGenerator, ProxyGroupPartitioning) {
+    EXPECT_EQ(TraceGenerator::proxy_group(0, 4), 0u);
+    EXPECT_EQ(TraceGenerator::proxy_group(5, 4), 1u);
+    EXPECT_EQ(TraceGenerator::proxy_group(7, 8), 7u);
+}
+
+TEST(UrlHost, ExtractsHostComponent) {
+    EXPECT_EQ(url_host("http://example.com/path/x"), "example.com");
+    EXPECT_EQ(url_host("http://s12.DEC/d99"), "s12.DEC");
+    EXPECT_EQ(url_host("no-scheme/path"), "no-scheme");
+    EXPECT_EQ(url_host("http://bare-host"), "bare-host");
+}
+
+}  // namespace
+}  // namespace sc

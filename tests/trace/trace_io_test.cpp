@@ -1,0 +1,93 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/generator.hpp"
+
+namespace sc {
+namespace {
+
+std::vector<Request> sample_trace() {
+    return {
+        {0.5, 1, "http://a.com/x", 1024, 0},
+        {1.25, 2, "http://b.com/y", 77, 3},
+        {2.0, 1, "http://a.com/x", 1024, 0},
+    };
+}
+
+TEST(TraceIo, RoundTripThroughStream) {
+    std::stringstream ss;
+    write_trace_csv(ss, sample_trace());
+    const auto back = read_trace_csv(ss);
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[0].url, "http://a.com/x");
+    EXPECT_EQ(back[1].client_id, 2u);
+    EXPECT_EQ(back[1].size, 77u);
+    EXPECT_EQ(back[1].version, 3u);
+    EXPECT_NEAR(back[0].timestamp, 0.5, 1e-6);
+}
+
+TEST(TraceIo, GeneratedTraceRoundTripsExactly) {
+    TraceProfile p = standard_profile(TraceKind::ucb, 0.005);
+    const auto trace = TraceGenerator(p).generate_all();
+    std::stringstream ss;
+    write_trace_csv(ss, trace);
+    const auto back = read_trace_csv(ss);
+    ASSERT_EQ(back.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        ASSERT_EQ(back[i].url, trace[i].url) << i;
+        ASSERT_EQ(back[i].client_id, trace[i].client_id) << i;
+        ASSERT_EQ(back[i].size, trace[i].size) << i;
+        ASSERT_EQ(back[i].version, trace[i].version) << i;
+        ASSERT_NEAR(back[i].timestamp, trace[i].timestamp, 1e-5) << i;
+    }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/sc_trace_io_test.csv";
+    write_trace_csv_file(path, sample_trace());
+    const auto back = read_trace_csv_file(path);
+    EXPECT_EQ(back.size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+    EXPECT_THROW(read_trace_csv_file("/nonexistent/dir/nope.csv"), std::runtime_error);
+}
+
+TEST(TraceIo, EmptyInputThrows) {
+    std::stringstream ss;
+    EXPECT_THROW(read_trace_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, BadHeaderThrows) {
+    std::stringstream ss("wrong,header\n");
+    EXPECT_THROW(read_trace_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, TooFewFieldsThrows) {
+    std::stringstream ss("timestamp,client,url,size,version\n1.0,2,http://x\n");
+    EXPECT_THROW(read_trace_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, TooManyFieldsThrows) {
+    std::stringstream ss("timestamp,client,url,size,version\n1.0,2,http://x,10,0,extra\n");
+    EXPECT_THROW(read_trace_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, BadIntegerThrows) {
+    std::stringstream ss("timestamp,client,url,size,version\n1.0,abc,http://x,10,0\n");
+    EXPECT_THROW(read_trace_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, BlankLinesAreSkipped) {
+    std::stringstream ss("timestamp,client,url,size,version\n\n1.0,2,http://x,10,0\n\n");
+    const auto back = read_trace_csv(ss);
+    EXPECT_EQ(back.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,29 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sc {
+namespace {
+
+TEST(FormatBytes, Ranges) {
+    EXPECT_EQ(format_bytes(0), "0 B");
+    EXPECT_EQ(format_bytes(17), "17 B");
+    EXPECT_EQ(format_bytes(1023), "1023 B");
+    EXPECT_EQ(format_bytes(1024), "1.0 KB");
+    EXPECT_EQ(format_bytes(1536), "1.5 KB");
+    EXPECT_EQ(format_bytes(kMiB), "1.00 MB");
+    EXPECT_EQ(format_bytes(kMiB * 5 / 2), "2.50 MB");
+    EXPECT_EQ(format_bytes(kGiB), "1.00 GB");
+    EXPECT_EQ(format_bytes(8 * kGiB), "8.00 GB");
+}
+
+TEST(FormatCount, ThousandsSeparators) {
+    EXPECT_EQ(format_count(0), "0");
+    EXPECT_EQ(format_count(999), "999");
+    EXPECT_EQ(format_count(1000), "1,000");
+    EXPECT_EQ(format_count(1234567), "1,234,567");
+    EXPECT_EQ(format_count(1000000000ull), "1,000,000,000");
+}
+
+}  // namespace
+}  // namespace sc

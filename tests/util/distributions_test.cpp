@@ -1,0 +1,155 @@
+#include "util/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace sc {
+namespace {
+
+TEST(Zipf, SamplesWithinPopulation) {
+    ZipfSampler zipf(100, 0.8);
+    Rng rng(1);
+    for (int i = 0; i < 50'000; ++i) ASSERT_LT(zipf.sample(rng), 100u);
+}
+
+TEST(Zipf, SingleElementPopulation) {
+    ZipfSampler zipf(1, 0.9);
+    Rng rng(2);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(Zipf, FrequenciesMatchPowerLaw) {
+    // For Zipf(s) the frequency ratio of rank 0 to rank r is (r+1)^s.
+    constexpr double s = 1.0;
+    ZipfSampler zipf(1000, s);
+    Rng rng(3);
+    std::map<std::uint64_t, int> counts;
+    constexpr int n = 500'000;
+    for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+    const double f0 = counts[0];
+    for (std::uint64_t r : {1u, 3u, 9u}) {
+        const double expected_ratio = std::pow(static_cast<double>(r + 1), s);
+        const double actual_ratio = f0 / counts[r];
+        EXPECT_NEAR(actual_ratio, expected_ratio, expected_ratio * 0.15) << "rank " << r;
+    }
+}
+
+TEST(Zipf, HigherExponentMoreSkewed) {
+    Rng rng(4);
+    const auto top_share = [&rng](double s) {
+        ZipfSampler zipf(10'000, s);
+        int top = 0;
+        constexpr int n = 100'000;
+        for (int i = 0; i < n; ++i)
+            if (zipf.sample(rng) < 10) ++top;
+        return static_cast<double>(top) / n;
+    };
+    EXPECT_GT(top_share(1.1), top_share(0.6));
+}
+
+class ZipfExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentSweep, RankZeroIsModalAndAllRanksReachable) {
+    const double s = GetParam();
+    ZipfSampler zipf(50, s);
+    Rng rng(5);
+    std::vector<int> counts(50, 0);
+    for (int i = 0; i < 200'000; ++i) ++counts[zipf.sample(rng)];
+    EXPECT_EQ(std::max_element(counts.begin(), counts.end()) - counts.begin(), 0);
+    for (int c : counts) EXPECT_GT(c, 0);
+    // Monotone (statistically) along a geometric subsequence.
+    EXPECT_GT(counts[0], counts[7]);
+    EXPECT_GT(counts[7], counts[49]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentSweep,
+                         ::testing::Values(0.5, 0.7, 0.8, 1.0, 1.2));
+
+TEST(Pareto, SamplesWithinBounds) {
+    BoundedParetoSampler pareto(1.1, 300.0, 1e7);
+    Rng rng(6);
+    for (int i = 0; i < 100'000; ++i) {
+        const double x = pareto.sample(rng);
+        ASSERT_GE(x, 300.0);
+        ASSERT_LE(x, 1e7);
+    }
+}
+
+TEST(Pareto, EmpiricalMeanMatchesAnalytic) {
+    BoundedParetoSampler pareto(1.5, 1000.0, 1e6);
+    Rng rng(7);
+    double sum = 0.0;
+    constexpr int n = 2'000'000;
+    for (int i = 0; i < n; ++i) sum += pareto.sample(rng);
+    EXPECT_NEAR(sum / n, pareto.mean(), pareto.mean() * 0.02);
+}
+
+TEST(Pareto, HeavyTailAlphaNearOne) {
+    // With alpha=1.1 the mean is far above the median: heavy tail.
+    BoundedParetoSampler pareto(1.1, 3000.0, 1e7);
+    Rng rng(8);
+    std::vector<double> xs(100'000);
+    for (auto& x : xs) x = pareto.sample(rng);
+    std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(xs.size() / 2),
+                     xs.end());
+    const double median = xs[xs.size() / 2];
+    EXPECT_GT(pareto.mean(), 2.0 * median);
+}
+
+TEST(Pareto, CdfQuarterPoints) {
+    // P(X <= x) = (1 - lo^a x^-a) / (1 - (lo/hi)^a); verify empirically.
+    const double alpha = 2.0, lo = 10.0, hi = 1000.0;
+    BoundedParetoSampler pareto(alpha, lo, hi);
+    Rng rng(9);
+    constexpr int n = 400'000;
+    const auto cdf = [&](double x) {
+        const double num = 1.0 - std::pow(lo, alpha) * std::pow(x, -alpha);
+        const double den = 1.0 - std::pow(lo / hi, alpha);
+        return num / den;
+    };
+    int below20 = 0, below100 = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = pareto.sample(rng);
+        if (x <= 20.0) ++below20;
+        if (x <= 100.0) ++below100;
+    }
+    EXPECT_NEAR(static_cast<double>(below20) / n, cdf(20.0), 0.01);
+    EXPECT_NEAR(static_cast<double>(below100) / n, cdf(100.0), 0.01);
+}
+
+TEST(Exponential, MeanMatches) {
+    Rng rng(10);
+    double sum = 0.0;
+    constexpr int n = 500'000;
+    for (int i = 0; i < n; ++i) sum += sample_exponential(rng, 2.5);
+    EXPECT_NEAR(sum / n, 2.5, 0.02);
+}
+
+TEST(Exponential, AlwaysPositive) {
+    Rng rng(11);
+    for (int i = 0; i < 10'000; ++i) ASSERT_GT(sample_exponential(rng, 0.001), 0.0);
+}
+
+TEST(DiscreteCdf, RespectsWeights) {
+    Rng rng(12);
+    const std::vector<double> cum = {1.0, 3.0, 6.0};  // weights 1, 2, 3
+    std::vector<int> counts(3, 0);
+    constexpr int n = 300'000;
+    for (int i = 0; i < n; ++i) ++counts[sample_discrete_cdf(rng, cum)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 1.0 / 6, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 2.0 / 6, 0.01);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 3.0 / 6, 0.01);
+}
+
+TEST(DiscreteCdf, SingleBucket) {
+    Rng rng(13);
+    const std::vector<double> cum = {5.0};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_discrete_cdf(rng, cum), 0u);
+}
+
+}  // namespace
+}  // namespace sc

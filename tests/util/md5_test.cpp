@@ -1,0 +1,94 @@
+#include "util/md5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sc {
+namespace {
+
+// RFC 1321 Appendix A.5 test suite.
+TEST(Md5, Rfc1321Vectors) {
+    EXPECT_EQ(md5("").hex(), "d41d8cd98f00b204e9800998ecf8427e");
+    EXPECT_EQ(md5("a").hex(), "0cc175b9c0f1b6a831c399e269772661");
+    EXPECT_EQ(md5("abc").hex(), "900150983cd24fb0d6963f7d28e17f72");
+    EXPECT_EQ(md5("message digest").hex(), "f96b697d7cb7938d525a2f31aaf161d0");
+    EXPECT_EQ(md5("abcdefghijklmnopqrstuvwxyz").hex(), "c3fcd3d76192e4007dfb496cca67e13b");
+    EXPECT_EQ(md5("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789").hex(),
+              "d174ab98d277d9f5a5611c2c9f419d9f");
+    EXPECT_EQ(
+        md5("12345678901234567890123456789012345678901234567890123456789012345678901234567890")
+            .hex(),
+        "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalUpdatesMatchOneShot) {
+    const std::string msg = "The quick brown fox jumps over the lazy dog";
+    for (std::size_t split = 0; split <= msg.size(); ++split) {
+        Md5 ctx;
+        ctx.update(std::string_view(msg).substr(0, split));
+        ctx.update(std::string_view(msg).substr(split));
+        EXPECT_EQ(ctx.finish(), md5(msg)) << "split at " << split;
+    }
+}
+
+TEST(Md5, ManySmallUpdates) {
+    Md5 ctx;
+    std::string msg;
+    for (int i = 0; i < 1000; ++i) {
+        const char c = static_cast<char>('a' + i % 26);
+        ctx.update(std::string_view(&c, 1));
+        msg.push_back(c);
+    }
+    EXPECT_EQ(ctx.finish(), md5(msg));
+}
+
+TEST(Md5, BlockBoundaryLengths) {
+    // Lengths around the 64-byte block and 56-byte padding boundaries.
+    for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 121u, 127u, 128u, 129u}) {
+        const std::string msg(len, 'q');
+        Md5 ctx;
+        ctx.update(msg);
+        const Md5Digest inc = ctx.finish();
+        EXPECT_EQ(inc, md5(msg)) << "len " << len;
+    }
+}
+
+TEST(Md5, ResetRestoresInitialState) {
+    Md5 ctx;
+    ctx.update("garbage that should be forgotten");
+    ctx.reset();
+    ctx.update("abc");
+    EXPECT_EQ(ctx.finish().hex(), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5, Word32ExtractionIsLittleEndian) {
+    const Md5Digest d = md5("abc");
+    // First 4 bytes of 900150983c... are 90 01 50 98 -> LE word 0x98500190.
+    EXPECT_EQ(d.word32(0), 0x98500190u);
+    EXPECT_EQ(d.word64(0) & 0xffffffffull, d.word32(0));
+    EXPECT_EQ(d.word64(0) >> 32, d.word32(1));
+    EXPECT_EQ(d.word64(1) & 0xffffffffull, d.word32(2));
+    EXPECT_EQ(d.word64(1) >> 32, d.word32(3));
+}
+
+TEST(Md5, DifferentInputsDiffer) {
+    EXPECT_NE(md5("http://a.com/x"), md5("http://a.com/y"));
+    EXPECT_NE(md5("http://a.com/x"), md5("http://a.com/x "));
+}
+
+TEST(Md5, BinaryInputWithNulBytes) {
+    const std::array<std::uint8_t, 5> data = {0x00, 0x01, 0x00, 0xff, 0x00};
+    const Md5Digest d = md5(std::span<const std::uint8_t>(data));
+    EXPECT_NE(d, md5(""));  // NULs are real input bytes
+    EXPECT_EQ(d, md5(std::span<const std::uint8_t>(data)));
+}
+
+TEST(Md5, LongInput) {
+    // "a" repeated 1,000,000 times — well-known extended vector.
+    const std::string big(1'000'000, 'a');
+    EXPECT_EQ(md5(big).hex(), "7707d6ae4e027c70eea2a935c2296f21");
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,110 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sc {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, KnownSmallSample) {
+    OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+    OnlineStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+    OnlineStats all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10 + i;
+        all.add(x);
+        (i % 2 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+    OnlineStats a, b;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(b);  // no-op
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);  // copy
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Percentiles, ExactQuantiles) {
+    Percentiles p;
+    for (int i = 1; i <= 100; ++i) p.add(i);
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
+    EXPECT_NEAR(p.quantile(0.5), 50.5, 1e-9);
+    EXPECT_NEAR(p.quantile(0.9), 90.1, 1e-9);
+}
+
+TEST(Percentiles, EmptyReturnsZero) {
+    Percentiles p;
+    EXPECT_EQ(p.quantile(0.5), 0.0);
+    EXPECT_EQ(p.mean(), 0.0);
+}
+
+TEST(Percentiles, InterleavedAddAndQuery) {
+    Percentiles p;
+    p.add(10.0);
+    EXPECT_DOUBLE_EQ(p.quantile(0.5), 10.0);
+    p.add(20.0);
+    p.add(0.0);
+    EXPECT_DOUBLE_EQ(p.quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(p.mean(), 10.0);
+}
+
+TEST(Log2Histogram, BucketsAndRender) {
+    Log2Histogram h;
+    h.add(0.5);   // underflow
+    h.add(1.0);   // [1,2)
+    h.add(1.9);   // [1,2)
+    h.add(1024);  // [1024, 2048)
+    EXPECT_EQ(h.total(), 4u);
+    const std::string r = h.render();
+    EXPECT_NE(r.find("[0, 1) 1"), std::string::npos);
+    EXPECT_NE(r.find("[1, 2) 2"), std::string::npos);
+    EXPECT_NE(r.find("[1024, 2048) 1"), std::string::npos);
+}
+
+TEST(Percent, Formatting) {
+    EXPECT_EQ(percent(1, 4), "25.00%");
+    EXPECT_EQ(percent(1, 3, 1), "33.3%");
+    EXPECT_EQ(percent(5, 0), "0.00%");  // guarded division
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,101 @@
+// Minimal command-line flag parser shared by the tools: supports
+// "--key=value", "--key value", and boolean "--flag". Unknown flags are
+// fatal, so typos never silently run a default experiment.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sc::cli {
+
+class Flags {
+public:
+    /// Parse argv; `known` is the set of accepted flag names (no "--").
+    Flags(int argc, char** argv, std::set<std::string> known)
+        : program_(argv[0]), known_(std::move(known)) {
+        for (int i = 1; i < argc; ++i) {
+            std::string_view arg = argv[i];
+            if (!arg.starts_with("--")) fail("positional arguments are not supported", arg);
+            arg.remove_prefix(2);
+            std::string key;
+            std::string value;
+            if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+                key = std::string(arg.substr(0, eq));
+                value = std::string(arg.substr(eq + 1));
+            } else {
+                key = std::string(arg);
+                // A following token that is not itself a flag is the value.
+                if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+                    value = argv[++i];
+                } else {
+                    value = "true";  // boolean flag
+                }
+            }
+            if (!known_.contains(key)) fail("unknown flag", key);
+            values_[key] = value;
+        }
+    }
+
+    [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    }
+
+    [[nodiscard]] long long get_int(const std::string& key, long long fallback) const {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+    }
+
+    [[nodiscard]] bool get_bool(const std::string& key, bool fallback = false) const {
+        const auto it = values_.find(key);
+        if (it == values_.end()) return fallback;
+        return it->second == "true" || it->second == "1" || it->second == "yes";
+    }
+
+    [[nodiscard]] bool has(const std::string& key) const { return values_.contains(key); }
+
+    /// Required flag: exits with a message when missing.
+    [[nodiscard]] std::string require(const std::string& key) const {
+        const auto it = values_.find(key);
+        if (it == values_.end()) fail("missing required flag", "--" + key);
+        return it->second;
+    }
+
+private:
+    [[noreturn]] void fail(const char* why, std::string_view what) const {
+        std::fprintf(stderr, "%s: %s: %.*s\nknown flags:", program_.c_str(), why,
+                     static_cast<int>(what.size()), what.data());
+        for (const auto& k : known_) std::fprintf(stderr, " --%s", k.c_str());
+        std::fprintf(stderr, "\n");
+        std::exit(2);
+    }
+
+    std::string program_;
+    std::set<std::string> known_;
+    std::map<std::string, std::string> values_;
+};
+
+/// Parse "host:port" (host must be 127.0.0.1 or omitted) into a port.
+[[nodiscard]] inline std::uint16_t parse_port(const std::string& spec) {
+    const auto colon = spec.rfind(':');
+    const std::string port = colon == std::string::npos ? spec : spec.substr(colon + 1);
+    const long v = std::atol(port.c_str());
+    if (v <= 0 || v > 65535) {
+        std::fprintf(stderr, "bad port: %s\n", spec.c_str());
+        std::exit(2);
+    }
+    return static_cast<std::uint16_t>(v);
+}
+
+}  // namespace sc::cli

@@ -1,0 +1,121 @@
+// sc_simulate — run the cache-sharing simulator over a trace and print a
+// full protocol report.
+//
+//   sc_simulate --in trace.csv --proxies 8 --cache-mb 64 --protocol summary
+//   sc_simulate --trace dec --scale 0.1 --protocol icp
+//
+// Protocols: none, icp, oracle, summary. Representations (summary only):
+// exact, server, bloom (with --load-factor). Update policy: --threshold
+// fraction or --interval seconds; --batch records; --multicast.
+#include <cstdio>
+#include <string>
+
+#include "cli.hpp"
+#include "sim/share_sim.hpp"
+#include "trace/generator.hpp"
+#include "trace/trace_io.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+using namespace sc;
+
+std::optional<TraceKind> parse_trace(const std::string& name) {
+    for (const TraceKind kind : kAllTraceKinds) {
+        std::string lower = trace_name(kind);
+        for (auto& c : lower) c = static_cast<char>(std::tolower(c));
+        if (name == trace_name(kind) || name == lower) return kind;
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const cli::Flags flags(
+        argc, argv,
+        {"in", "trace", "scale", "proxies", "cache-mb", "scheme", "protocol", "summary",
+         "load-factor", "threshold", "interval", "batch", "multicast"});
+
+    // --- workload ---------------------------------------------------------
+    std::vector<Request> trace;
+    if (flags.has("in")) {
+        trace = read_trace_csv_file(flags.require("in"));
+    } else {
+        const auto kind = parse_trace(flags.get("trace", "upisa"));
+        if (!kind) {
+            std::fprintf(stderr, "unknown trace\n");
+            return 2;
+        }
+        trace = TraceGenerator(standard_profile(*kind, flags.get_double("scale", 0.1)))
+                    .generate_all();
+    }
+    if (trace.empty()) {
+        std::fprintf(stderr, "empty trace\n");
+        return 2;
+    }
+
+    // --- configuration ------------------------------------------------------
+    ShareSimConfig cfg;
+    cfg.num_proxies = static_cast<std::uint32_t>(flags.get_int("proxies", 4));
+    cfg.cache_bytes_per_proxy =
+        static_cast<std::uint64_t>(flags.get_double("cache-mb", 64.0) * kMiB);
+
+    const std::string scheme = flags.get("scheme", "simple");
+    if (scheme == "none") cfg.scheme = SharingScheme::none;
+    else if (scheme == "simple") cfg.scheme = SharingScheme::simple;
+    else if (scheme == "single-copy") cfg.scheme = SharingScheme::single_copy;
+    else if (scheme == "global") cfg.scheme = SharingScheme::global;
+    else { std::fprintf(stderr, "bad --scheme\n"); return 2; }
+
+    const std::string protocol = flags.get("protocol", "summary");
+    if (protocol == "none") cfg.protocol = QueryProtocol::none;
+    else if (protocol == "icp") cfg.protocol = QueryProtocol::icp;
+    else if (protocol == "oracle") cfg.protocol = QueryProtocol::oracle;
+    else if (protocol == "summary") cfg.protocol = QueryProtocol::summary;
+    else { std::fprintf(stderr, "bad --protocol\n"); return 2; }
+
+    const std::string summary = flags.get("summary", "bloom");
+    if (summary == "exact") cfg.summary_kind = SummaryKind::exact_directory;
+    else if (summary == "server") cfg.summary_kind = SummaryKind::server_name;
+    else if (summary == "bloom") cfg.summary_kind = SummaryKind::bloom;
+    else { std::fprintf(stderr, "bad --summary\n"); return 2; }
+
+    cfg.bloom.load_factor = static_cast<std::uint32_t>(flags.get_int("load-factor", 16));
+    cfg.update_threshold = flags.get_double("threshold", 0.01);
+    cfg.update_interval_seconds = flags.get_double("interval", 0.0);
+    cfg.min_update_changes = static_cast<std::size_t>(flags.get_int("batch", 0));
+    cfg.multicast_updates = flags.get_bool("multicast");
+
+    // --- run ---------------------------------------------------------------
+    const ShareSimResult r = run_share_sim(cfg, trace);
+
+    std::printf("workload: %s requests, %u proxies, %s cache/proxy, scheme=%s protocol=%s\n",
+                format_count(r.requests).c_str(), cfg.num_proxies,
+                format_bytes(cfg.cache_bytes_per_proxy).c_str(),
+                sharing_scheme_name(cfg.scheme), query_protocol_name(cfg.protocol));
+    if (cfg.protocol == QueryProtocol::summary)
+        std::printf("summary: %s, load factor %u, threshold %.2f%%, interval %.0fs, "
+                    "batch %zu, %s updates\n",
+                    summary_kind_name(cfg.summary_kind), cfg.bloom.load_factor,
+                    100 * cfg.update_threshold, cfg.update_interval_seconds,
+                    cfg.min_update_changes, cfg.multicast_updates ? "multicast" : "unicast");
+    std::printf("\n");
+    std::printf("total hit ratio        %8.2f%%   (local %.2f%%, remote %.2f%%)\n",
+                100 * r.total_hit_ratio(), 100 * r.local_hit_ratio(),
+                100 * r.remote_hit_ratio());
+    std::printf("byte hit ratio         %8.2f%%\n", 100 * r.byte_hit_ratio());
+    std::printf("remote stale hits      %8.3f%%\n", 100 * r.remote_stale_hit_ratio());
+    std::printf("false hits             %8.3f%%\n", 100 * r.false_hit_ratio());
+    std::printf("false misses           %8.3f%%\n", 100 * r.false_miss_ratio());
+    std::printf("origin fetches         %9s\n", format_count(r.server_fetches).c_str());
+    std::printf("messages/request       %9.4f   (queries %s, updates %s)\n",
+                r.messages_per_request(), format_count(r.query_messages).c_str(),
+                format_count(r.update_messages).c_str());
+    std::printf("message bytes/request  %9.1f\n", r.message_bytes_per_request());
+    if (cfg.protocol == QueryProtocol::summary)
+        std::printf("summary DRAM/proxy     %9s (+%s own counters)\n",
+                    format_bytes(r.summary_replica_bytes).c_str(),
+                    format_bytes(r.summary_owner_bytes).c_str());
+    return 0;
+}

@@ -1,8 +1,32 @@
 #include "cache/lru_cache.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/sc_assert.hpp"
 
 namespace sc {
+namespace {
+
+// Process-wide counters shared by every LruCache instance (per-instance
+// series would explode in the N-proxy simulators). Handles are raw
+// pointers into the leaked global registry, so a single relaxed add per
+// event — registration runs once, on first cache operation.
+struct LruMetrics {
+    obs::Counter hits = obs::metrics().counter(
+        "sc_lru_hits_total", "LRU document-cache lookups that hit (all instances)");
+    obs::Counter misses = obs::metrics().counter(
+        "sc_lru_misses_total", "LRU lookups that missed (absent or stale version)");
+    obs::Counter evictions = obs::metrics().counter(
+        "sc_lru_evictions_total", "Documents evicted by capacity pressure");
+    obs::Counter inserted_bytes = obs::metrics().counter(
+        "sc_lru_inserted_bytes_total", "Bytes admitted into LRU caches");
+};
+
+LruMetrics& lru_metrics() {
+    static LruMetrics m;
+    return m;
+}
+
+}  // namespace
 
 LruCache::LruCache(LruCacheConfig config) : config_(config) {
     SC_ASSERT(config_.capacity_bytes > 0);
@@ -10,14 +34,19 @@ LruCache::LruCache(LruCacheConfig config) : config_(config) {
 
 LruCache::Lookup LruCache::lookup(std::string_view url, std::uint64_t version) {
     const auto it = index_.find(url);
-    if (it == index_.end()) return Lookup::miss_absent;
+    if (it == index_.end()) {
+        lru_metrics().misses.inc();
+        return Lookup::miss_absent;
+    }
     if (it->second->version != version) {
         // Perfect-consistency model: a changed document is a miss and the
         // stale copy leaves the cache (the caller re-fetches and re-inserts).
         remove(it->second, /*is_eviction=*/false);
+        lru_metrics().misses.inc();
         return Lookup::miss_changed;
     }
     order_.splice(order_.begin(), order_, it->second);
+    lru_metrics().hits.inc();
     return Lookup::hit;
 }
 
@@ -39,12 +68,14 @@ bool LruCache::insert(std::string_view url, std::uint64_t size, std::uint64_t ve
         order_.splice(order_.begin(), order_, it->second);
         evict_until_fits(size);
         used_bytes_ += size;
+        lru_metrics().inserted_bytes.inc(size);
         return true;
     }
     evict_until_fits(size);
     order_.push_front(Entry{std::string(url), size, version});
     index_.emplace(std::string_view(order_.front().url), order_.begin());
     used_bytes_ += size;
+    lru_metrics().inserted_bytes.inc(size);
     if (on_insert_) on_insert_(order_.front());
     return true;
 }
@@ -71,7 +102,10 @@ const LruCache::Entry* LruCache::lru_entry() const {
 }
 
 void LruCache::remove(List::iterator it, bool is_eviction) {
-    if (is_eviction) ++evictions_;
+    if (is_eviction) {
+        ++evictions_;
+        lru_metrics().evictions.inc();
+    }
     if (on_remove_) on_remove_(*it);
     used_bytes_ -= it->size;
     index_.erase(std::string_view(it->url));

@@ -1,7 +1,9 @@
 #include "core/summary_cache_node.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/trace_ring.hpp"
 #include "summary/bloom_summary.hpp"
 #include "util/sc_assert.hpp"
 
@@ -44,7 +46,16 @@ void apply_bitmap_words(BloomFilter& filter, std::span<const std::uint32_t> word
 SummaryCacheNode::SummaryCacheNode(SummaryCacheNodeConfig config)
     : config_(config),
       counting_(spec_for(config), config.bloom.counter_bits),
-      policy_(config.update_threshold) {}
+      policy_(config.update_threshold) {
+    const obs::Labels labels{{"node", std::to_string(config_.node_id)}};
+    metric_updates_sent_ = obs::metrics().counter(
+        "sc_node_updates_sent_total", "SC-ICP update datagrams encoded for broadcast", labels);
+    metric_updates_applied_ = obs::metrics().counter(
+        "sc_node_updates_applied_total", "Sibling update messages applied", labels);
+    metric_updates_rejected_ = obs::metrics().counter(
+        "sc_node_updates_rejected_total", "Sibling updates rejected (hash-spec mismatch)",
+        labels);
+}
 
 void SummaryCacheNode::on_cache_insert(std::string_view url) {
     counting_.insert(url);
@@ -71,6 +82,10 @@ std::vector<std::vector<std::uint8_t>> SummaryCacheNode::poll_updates() {
         out = encode_delta_chunks(delta);
     }
     updates_sent_ += out.size();
+    metric_updates_sent_.inc(out.size());
+    obs::trace(obs::TraceEventType::summary_update_emitted,
+               static_cast<std::uint16_t>(config_.node_id), out.size(),
+               full_bytes < delta_bytes ? 1 : 0);
     return out;
 }
 
@@ -115,6 +130,9 @@ bool SummaryCacheNode::apply_sibling_update(const IcpDirUpdate& update) {
         }
         apply_bitmap_words(it->second, update.bitmap_words);
         ++updates_applied_;
+        metric_updates_applied_.inc();
+        obs::trace(obs::TraceEventType::summary_update_applied,
+                   static_cast<std::uint16_t>(config_.node_id), update.sender_host, 1);
         return true;
     }
     if (it == siblings_.end()) {
@@ -125,6 +143,9 @@ bool SummaryCacheNode::apply_sibling_update(const IcpDirUpdate& update) {
         it = siblings_.emplace(update.sender_host, BloomFilter(update.spec)).first;
     } else if (it->second.spec() != update.spec) {
         ++updates_rejected_;
+        metric_updates_rejected_.inc();
+        obs::trace(obs::TraceEventType::summary_update_rejected,
+                   static_cast<std::uint16_t>(config_.node_id), update.sender_host);
         return false;
     }
     for (const std::uint32_t rec : update.records) {
@@ -132,6 +153,9 @@ bool SummaryCacheNode::apply_sibling_update(const IcpDirUpdate& update) {
         it->second.set_bit(flip.index, flip.value);
     }
     ++updates_applied_;
+    metric_updates_applied_.inc();
+    obs::trace(obs::TraceEventType::summary_update_applied,
+               static_cast<std::uint16_t>(config_.node_id), update.sender_host, 0);
     return true;
 }
 

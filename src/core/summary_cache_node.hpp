@@ -23,6 +23,7 @@
 #include "bloom/bloom_filter.hpp"
 #include "bloom/counting_bloom_filter.hpp"
 #include "icp/icp_message.hpp"
+#include "obs/metrics.hpp"
 #include "summary/summary.hpp"
 #include "summary/update_policy.hpp"
 
@@ -111,6 +112,11 @@ private:
     std::uint64_t updates_sent_ = 0;
     std::uint64_t updates_applied_ = 0;
     std::uint64_t updates_rejected_ = 0;
+    // Registry mirrors of the member counters, labeled node=<id>
+    // (docs/OBSERVABILITY.md).
+    obs::Counter metric_updates_sent_;
+    obs::Counter metric_updates_applied_;
+    obs::Counter metric_updates_rejected_;
 };
 
 }  // namespace sc

@@ -11,11 +11,33 @@
 #include <system_error>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace sc {
 namespace {
 
 [[noreturn]] void throw_errno(const char* what) {
     throw std::system_error(errno, std::generic_category(), what);
+}
+
+// Process-wide datagram accounting, shared by every socket (the ICP
+// control plane is one logical transport per proxy process).
+struct UdpMetrics {
+    obs::Counter datagrams_sent = obs::metrics().counter(
+        "sc_udp_datagrams_sent_total", "UDP datagrams sent (ICP queries, replies, updates)");
+    obs::Counter datagrams_received = obs::metrics().counter(
+        "sc_udp_datagrams_received_total", "UDP datagrams received");
+    obs::Counter bytes_sent =
+        obs::metrics().counter("sc_udp_bytes_sent_total", "UDP payload bytes sent");
+    obs::Counter bytes_received =
+        obs::metrics().counter("sc_udp_bytes_received_total", "UDP payload bytes received");
+    obs::Counter send_errors =
+        obs::metrics().counter("sc_udp_send_errors_total", "sendto() failures");
+};
+
+UdpMetrics& udp_metrics() {
+    static UdpMetrics m;
+    return m;
 }
 
 }  // namespace
@@ -117,7 +139,12 @@ void UdpSocket::send_to(const Endpoint& to, std::span<const std::uint8_t> payloa
     const sockaddr_in sa = to.to_sockaddr();
     const ssize_t n = ::sendto(fd_, payload.data(), payload.size(), 0,
                                reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
-    if (n < 0) throw_errno("sendto");
+    if (n < 0) {
+        udp_metrics().send_errors.inc();
+        throw_errno("sendto");
+    }
+    udp_metrics().datagrams_sent.inc();
+    udp_metrics().bytes_sent.inc(payload.size());
 }
 
 std::optional<Datagram> UdpSocket::receive(int timeout_ms) {
@@ -139,6 +166,8 @@ std::optional<Datagram> UdpSocket::receive(int timeout_ms) {
         throw_errno("recvfrom");
     }
     buf.resize(static_cast<std::size_t>(n));
+    udp_metrics().datagrams_received.inc();
+    udp_metrics().bytes_received.inc(buf.size());
     return Datagram{Endpoint::from_sockaddr(sa), std::move(buf)};
 }
 

@@ -1,0 +1,355 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sc::obs {
+namespace detail {
+
+std::atomic<std::uint64_t> sink_u64{0};
+std::atomic<double> sink_f64{0.0};
+
+void atomic_add_double(std::atomic<double>& cell, double delta) {
+    double cur = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace detail
+
+const char* metric_kind_name(MetricKind k) {
+    switch (k) {
+        case MetricKind::counter: return "counter";
+        case MetricKind::gauge: return "gauge";
+        case MetricKind::histogram: return "histogram";
+    }
+    return "?";
+}
+
+void Histogram::observe(double x) {
+    if (!series_) return;
+    detail::Series& s = *series_;
+    std::size_t i = 0;
+    while (i < s.bounds.size() && x > s.bounds[i]) ++i;
+    s.buckets[i].fetch_add(1, std::memory_order_relaxed);
+    s.observations.fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add_double(s.sum, x);
+}
+
+const std::vector<double>& default_latency_bounds() {
+    static const std::vector<double> bounds{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+                                            0.05,   0.1,   0.25,   0.5,   1.0,  2.5};
+    return bounds;
+}
+
+double SeriesSnapshot::quantile(double q) const {
+    if (observations == 0 || bucket_counts.empty()) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(observations);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+        const std::uint64_t prev = cum;
+        cum += bucket_counts[i];
+        if (static_cast<double>(cum) < target || bucket_counts[i] == 0) continue;
+        if (i == bounds.size()) return bounds.empty() ? 0.0 : bounds.back();  // +Inf bucket
+        const double lo = i == 0 ? 0.0 : bounds[i - 1];
+        const double hi = bounds[i];
+        const double into = target - static_cast<double>(prev);
+        return lo + (hi - lo) * into / static_cast<double>(bucket_counts[i]);
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
+}
+
+namespace {
+
+/// Canonical map key: name + '\0' + sorted "k=v" pairs. '\0' cannot occur
+/// in metric names, so keys never collide across families.
+std::string series_key(std::string_view name, const Labels& labels) {
+    std::string key(name);
+    for (const auto& [k, v] : labels) {
+        key += '\0';
+        key += k;
+        key += '=';
+        key += v;
+    }
+    return key;
+}
+
+Labels canonical(Labels labels) {
+    std::sort(labels.begin(), labels.end());
+    return labels;
+}
+
+}  // namespace
+
+const SeriesSnapshot* MetricsSnapshot::find(std::string_view name, const Labels& labels) const {
+    for (const SeriesSnapshot& s : series) {
+        if (s.name != name) continue;
+        bool match = true;
+        for (const auto& want : labels) {
+            if (std::find(s.labels.begin(), s.labels.end(), want) == s.labels.end()) {
+                match = false;
+                break;
+            }
+        }
+        if (match) return &s;
+    }
+    return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry* instance = [] {
+        const char* disabled = std::getenv("SC_OBS_DISABLED");
+        const bool off = disabled != nullptr && disabled[0] != '\0' && disabled[0] != '0';
+        return new MetricsRegistry(!off);  // leaked: outlives every thread
+    }();
+    return *instance;
+}
+
+detail::Series* MetricsRegistry::intern(std::string_view name, std::string_view help,
+                                        MetricKind kind, Labels labels,
+                                        std::vector<double> bounds) {
+    labels = canonical(std::move(labels));
+    const std::string key = series_key(name, labels);
+    const std::lock_guard lock(mu_);
+    const auto it = series_.find(key);
+    if (it != series_.end()) {
+        if (it->second->kind != kind)
+            throw std::logic_error("metric re-registered with different kind: " +
+                                   std::string(name));
+        return it->second.get();
+    }
+    auto s = std::make_unique<detail::Series>();
+    s->name = std::string(name);
+    s->help = std::string(help);
+    s->kind = kind;
+    s->labels = std::move(labels);
+    if (kind == MetricKind::histogram) {
+        s->bounds = std::move(bounds);
+        s->buckets = std::make_unique<std::atomic<std::uint64_t>[]>(s->bounds.size() + 1);
+        for (std::size_t i = 0; i <= s->bounds.size(); ++i) s->buckets[i] = 0;
+    }
+    return series_.emplace(key, std::move(s)).first->second.get();
+}
+
+Counter MetricsRegistry::counter(std::string_view name, std::string_view help, Labels labels) {
+    if (!enabled_.load(std::memory_order_relaxed)) return Counter{};
+    return Counter{&intern(name, help, MetricKind::counter, std::move(labels), {})->counter};
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name, std::string_view help, Labels labels) {
+    if (!enabled_.load(std::memory_order_relaxed)) return Gauge{};
+    return Gauge{&intern(name, help, MetricKind::gauge, std::move(labels), {})->gauge};
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name, std::string_view help,
+                                     std::vector<double> bounds, Labels labels) {
+    if (!enabled_.load(std::memory_order_relaxed)) return Histogram{};
+    if (!std::is_sorted(bounds.begin(), bounds.end()))
+        throw std::logic_error("histogram bounds must be ascending: " + std::string(name));
+    return Histogram{
+        intern(name, help, MetricKind::histogram, std::move(labels), std::move(bounds))};
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    MetricsSnapshot out;
+    const std::lock_guard lock(mu_);
+    out.series.reserve(series_.size());
+    for (const auto& [key, s] : series_) {  // map order == sorted by (name, labels)
+        SeriesSnapshot snap;
+        snap.name = s->name;
+        snap.help = s->help;
+        snap.kind = s->kind;
+        snap.labels = s->labels;
+        switch (s->kind) {
+            case MetricKind::counter:
+                snap.counter = s->counter.load(std::memory_order_relaxed);
+                break;
+            case MetricKind::gauge:
+                snap.gauge = s->gauge.load(std::memory_order_relaxed);
+                break;
+            case MetricKind::histogram:
+                snap.bounds = s->bounds;
+                snap.bucket_counts.resize(s->bounds.size() + 1);
+                for (std::size_t i = 0; i <= s->bounds.size(); ++i)
+                    snap.bucket_counts[i] = s->buckets[i].load(std::memory_order_relaxed);
+                snap.observations = s->observations.load(std::memory_order_relaxed);
+                snap.sum = s->sum.load(std::memory_order_relaxed);
+                break;
+        }
+        out.series.push_back(std::move(snap));
+    }
+    return out;
+}
+
+void MetricsRegistry::reset() {
+    const std::lock_guard lock(mu_);
+    for (auto& [key, s] : series_) {
+        s->counter.store(0, std::memory_order_relaxed);
+        s->gauge.store(0.0, std::memory_order_relaxed);
+        s->observations.store(0, std::memory_order_relaxed);
+        s->sum.store(0.0, std::memory_order_relaxed);
+        for (std::size_t i = 0; s->buckets && i <= s->bounds.size(); ++i)
+            s->buckets[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+std::size_t MetricsRegistry::series_count() const {
+    const std::lock_guard lock(mu_);
+    return series_.size();
+}
+
+namespace {
+
+/// Shortest round-trip double rendering that prints integers without a
+/// trailing ".0" ("42", "0.25", "1e-05").
+std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.15g", v);
+    return buf;
+}
+
+std::string escape_label_value(std::string_view v) {
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+        if (c == '\\' || c == '"') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/// {a="1",b="2"} — with `extra` ("le=0.5") appended when non-empty.
+std::string label_block(const Labels& labels, const std::string& extra = {}) {
+    if (labels.empty() && extra.empty()) return {};
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+        if (!first) out += ',';
+        first = false;
+        out += k;
+        out += "=\"";
+        out += escape_label_value(v);
+        out += '"';
+    }
+    if (!extra.empty()) {
+        if (!first) out += ',';
+        out += extra;
+    }
+    out += '}';
+    return out;
+}
+
+std::string json_escape(std::string_view v) {
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+    std::string out;
+    std::string last_family;
+    for (const SeriesSnapshot& s : snapshot.series) {
+        if (s.name != last_family) {
+            last_family = s.name;
+            out += "# HELP " + s.name + ' ' + s.help + '\n';
+            out += "# TYPE " + s.name + ' ' + metric_kind_name(s.kind) + '\n';
+        }
+        switch (s.kind) {
+            case MetricKind::counter:
+                out += s.name + label_block(s.labels) + ' ' + std::to_string(s.counter) + '\n';
+                break;
+            case MetricKind::gauge:
+                out += s.name + label_block(s.labels) + ' ' + format_double(s.gauge) + '\n';
+                break;
+            case MetricKind::histogram: {
+                std::uint64_t cum = 0;
+                for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
+                    cum += s.bucket_counts[i];
+                    const std::string le =
+                        i == s.bounds.size() ? "le=\"+Inf\""
+                                             : "le=\"" + format_double(s.bounds[i]) + '"';
+                    out += s.name + "_bucket" + label_block(s.labels, le) + ' ' +
+                           std::to_string(cum) + '\n';
+                }
+                out += s.name + "_sum" + label_block(s.labels) + ' ' + format_double(s.sum) +
+                       '\n';
+                out += s.name + "_count" + label_block(s.labels) + ' ' +
+                       std::to_string(s.observations) + '\n';
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+    std::string out = "{\"metrics\":[";
+    bool first = true;
+    for (const SeriesSnapshot& s : snapshot.series) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"name\":\"" + json_escape(s.name) + "\",\"kind\":\"";
+        out += metric_kind_name(s.kind);
+        out += "\",\"labels\":{";
+        bool first_label = true;
+        for (const auto& [k, v] : s.labels) {
+            if (!first_label) out += ',';
+            first_label = false;
+            out += '"' + json_escape(k) + "\":\"" + json_escape(v) + '"';
+        }
+        out += '}';
+        switch (s.kind) {
+            case MetricKind::counter:
+                out += ",\"value\":" + std::to_string(s.counter);
+                break;
+            case MetricKind::gauge:
+                out += ",\"value\":" + format_double(s.gauge);
+                break;
+            case MetricKind::histogram: {
+                out += ",\"buckets\":[";
+                for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
+                    if (i > 0) out += ',';
+                    out += "{\"le\":";
+                    out += i == s.bounds.size() ? "\"+Inf\"" : format_double(s.bounds[i]);
+                    out += ",\"count\":" + std::to_string(s.bucket_counts[i]) + '}';
+                }
+                out += "],\"sum\":" + format_double(s.sum) +
+                       ",\"count\":" + std::to_string(s.observations);
+                break;
+            }
+        }
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace sc::obs

@@ -1,0 +1,205 @@
+// sc::obs — process-wide metrics registry (counters, gauges, histograms).
+//
+// The paper's whole evaluation is quantitative (messages, bytes, CPU, hit
+// ratio); this registry makes those quantities observable from a *running*
+// system instead of end-of-run printouts. Design constraints:
+//
+//   * Hot-path increments are a single relaxed atomic add — no lock, no
+//     allocation, no branch (a disabled registry hands out handles backed
+//     by a shared sink cell, so instrumented code never checks a flag).
+//   * Registration takes a mutex once per (name, labels) series; handles
+//     are plain pointers into registry-owned storage that stays valid for
+//     the registry's lifetime.
+//   * snapshot() is wait-free with respect to writers (relaxed loads) and
+//     produces a deterministic, sorted view that the exporters (Prometheus
+//     text and JSON, see exposition functions below) render.
+//
+// The global() registry is a leaked singleton so instrumented code may run
+// during static destruction; standalone registries are supported for tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sc::obs {
+
+/// Label set: key/value pairs, canonicalized (sorted by key) at
+/// registration so {a=1,b=2} and {b=2,a=1} name the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { counter, gauge, histogram };
+
+[[nodiscard]] const char* metric_kind_name(MetricKind k);
+
+namespace detail {
+
+/// One registered time series. Owned by the registry; never moved or
+/// freed while the registry lives, so instrument handles can hold raw
+/// pointers into it.
+struct Series {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::counter;
+    Labels labels;
+
+    std::atomic<std::uint64_t> counter{0};
+    std::atomic<double> gauge{0.0};
+
+    // Histogram state: buckets[i] counts observations <= bounds[i];
+    // buckets[bounds.size()] is the +Inf overflow bucket.
+    std::vector<double> bounds;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> observations{0};
+    std::atomic<double> sum{0.0};
+};
+
+void atomic_add_double(std::atomic<double>& cell, double delta);
+
+/// Shared sink for handles from a disabled registry: increments land
+/// here and are never exported.
+extern std::atomic<std::uint64_t> sink_u64;
+extern std::atomic<double> sink_f64;
+
+}  // namespace detail
+
+/// Monotonic counter handle. Cheap to copy; default-constructed handles
+/// are valid no-ops (they increment the shared sink).
+class Counter {
+public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { cell_->fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t value() const { return cell_->load(std::memory_order_relaxed); }
+
+private:
+    friend class MetricsRegistry;
+    explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+    std::atomic<std::uint64_t>* cell_ = &detail::sink_u64;
+};
+
+/// Instantaneous-value handle (set/add). Same lifetime rules as Counter.
+class Gauge {
+public:
+    Gauge() = default;
+
+    void set(double v) { cell_->store(v, std::memory_order_relaxed); }
+    void add(double delta) { detail::atomic_add_double(*cell_, delta); }
+    [[nodiscard]] double value() const { return cell_->load(std::memory_order_relaxed); }
+
+private:
+    friend class MetricsRegistry;
+    explicit Gauge(std::atomic<double>* cell) : cell_(cell) {}
+    std::atomic<double>* cell_ = &detail::sink_f64;
+};
+
+/// Fixed-bucket histogram handle. observe() is a short bound scan plus
+/// relaxed atomic adds; bucket bounds are fixed at registration.
+class Histogram {
+public:
+    Histogram() = default;
+
+    void observe(double x);
+    [[nodiscard]] std::uint64_t count() const {
+        return series_ ? series_->observations.load(std::memory_order_relaxed) : 0;
+    }
+
+private:
+    friend class MetricsRegistry;
+    explicit Histogram(detail::Series* series) : series_(series) {}
+    detail::Series* series_ = nullptr;  // null = no-op (disabled registry)
+};
+
+/// Prometheus-style default latency bucket bounds, in seconds.
+[[nodiscard]] const std::vector<double>& default_latency_bounds();
+
+/// Point-in-time copy of one series, safe to hold after the registry
+/// has moved on (all plain values).
+struct SeriesSnapshot {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::counter;
+    Labels labels;
+
+    std::uint64_t counter = 0;  ///< kind == counter
+    double gauge = 0.0;         ///< kind == gauge
+
+    std::vector<double> bounds;               ///< kind == histogram
+    std::vector<std::uint64_t> bucket_counts; ///< bounds.size() + 1 (+Inf last)
+    std::uint64_t observations = 0;
+    double sum = 0.0;
+
+    /// q in [0, 1]: estimated quantile by linear interpolation inside the
+    /// chosen bucket (lower edge 0 for the first bucket; the +Inf bucket
+    /// reports its lower bound). Returns 0 when empty.
+    [[nodiscard]] double quantile(double q) const;
+};
+
+struct MetricsSnapshot {
+    std::vector<SeriesSnapshot> series;  ///< sorted by (name, labels)
+
+    /// First series with this name (and label subset, if given), or null.
+    [[nodiscard]] const SeriesSnapshot* find(std::string_view name,
+                                             const Labels& labels = {}) const;
+};
+
+class MetricsRegistry {
+public:
+    explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Process-wide registry (leaked singleton). Honors SC_OBS_DISABLED=1
+    /// in the environment at first use.
+    [[nodiscard]] static MetricsRegistry& global();
+
+    /// Register (or look up) a series. Re-registering the same
+    /// (name, labels) returns a handle to the same cell; a kind conflict
+    /// throws std::logic_error.
+    [[nodiscard]] Counter counter(std::string_view name, std::string_view help,
+                                  Labels labels = {});
+    [[nodiscard]] Gauge gauge(std::string_view name, std::string_view help,
+                              Labels labels = {});
+    /// `bounds` are ascending upper bucket edges; a +Inf bucket is implied.
+    [[nodiscard]] Histogram histogram(std::string_view name, std::string_view help,
+                                      std::vector<double> bounds, Labels labels = {});
+
+    [[nodiscard]] MetricsSnapshot snapshot() const;
+
+    /// Handles minted while disabled point at the shared sink and stay
+    /// no-ops forever; series registered while enabled keep counting.
+    void set_enabled(bool enabled) { enabled_ = enabled; }
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    /// Zero every registered series (tests / between benchmark runs).
+    void reset();
+
+    [[nodiscard]] std::size_t series_count() const;
+
+private:
+    detail::Series* intern(std::string_view name, std::string_view help, MetricKind kind,
+                           Labels labels, std::vector<double> bounds);
+
+    std::atomic<bool> enabled_{true};
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<detail::Series>> series_;  // key: name + labels
+};
+
+/// Shorthand for MetricsRegistry::global().
+[[nodiscard]] inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+
+/// Prometheus text exposition format 0.0.4 (HELP/TYPE per family,
+/// histogram as _bucket{le=...}/_sum/_count).
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// JSON exposition: {"metrics": [{name, kind, labels, ...}, ...]}.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace sc::obs

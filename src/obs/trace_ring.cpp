@@ -1,0 +1,116 @@
+#include "obs/trace_ring.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+namespace sc::obs {
+
+const char* trace_event_name(TraceEventType t) {
+    switch (t) {
+        case TraceEventType::none: return "none";
+        case TraceEventType::summary_update_emitted: return "summary_update_emitted";
+        case TraceEventType::summary_update_applied: return "summary_update_applied";
+        case TraceEventType::summary_update_rejected: return "summary_update_rejected";
+        case TraceEventType::false_positive_probe: return "false_positive_probe";
+        case TraceEventType::remote_hit: return "remote_hit";
+        case TraceEventType::icp_timeout: return "icp_timeout";
+        case TraceEventType::sibling_dead: return "sibling_dead";
+        case TraceEventType::sibling_recovered: return "sibling_recovered";
+    }
+    return "?";
+}
+
+namespace {
+
+std::uint64_t monotonic_ns() {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now().time_since_epoch())
+                                          .count());
+}
+
+std::uint64_t next_ring_id() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity_per_thread)
+    : id_(next_ring_id()), capacity_(capacity_per_thread == 0 ? 1 : capacity_per_thread) {}
+
+TraceRing& TraceRing::global() {
+    static TraceRing* instance = new TraceRing();  // leaked: outlives every thread
+    return *instance;
+}
+
+TraceRing::Buffer& TraceRing::local_buffer() {
+    // Keyed by registry id, not address: a test-scoped ring destroyed and
+    // another allocated at the same address must not inherit its buffer.
+    thread_local std::unordered_map<std::uint64_t, std::shared_ptr<Buffer>> rings;
+    auto& slot = rings[id_];
+    if (!slot) {
+        slot = std::make_shared<Buffer>(capacity_);
+        const std::lock_guard lock(mu_);
+        buffers_.push_back(slot);  // stays registered after thread exit so
+                                   // its tail is still drainable
+    }
+    return *slot;
+}
+
+void TraceRing::record(TraceEventType type, std::uint16_t node, std::uint64_t a,
+                       std::uint64_t b) {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    Buffer& buf = local_buffer();
+    const std::lock_guard lock(buf.mu);
+    TraceEvent& slot = buf.slots[buf.next % capacity_];
+    slot.ns = monotonic_ns();
+    slot.type = type;
+    slot.node = node;
+    slot.seq = static_cast<std::uint32_t>(buf.next);
+    slot.a = a;
+    slot.b = b;
+    ++buf.next;
+}
+
+std::vector<TraceEvent> TraceRing::drain() {
+    std::vector<std::shared_ptr<Buffer>> buffers;
+    {
+        const std::lock_guard lock(mu_);
+        buffers = buffers_;
+    }
+    std::vector<TraceEvent> out;
+    for (const auto& buf : buffers) {
+        const std::lock_guard lock(buf->mu);
+        // Undrained window, clipped to the ring capacity (older events
+        // were overwritten).
+        const std::uint64_t lo =
+            std::max(buf->drained, buf->next > capacity_ ? buf->next - capacity_ : 0);
+        for (std::uint64_t i = lo; i < buf->next; ++i)
+            out.push_back(buf->slots[i % capacity_]);
+        buf->drained = buf->next;
+    }
+    std::sort(out.begin(), out.end(), [](const TraceEvent& x, const TraceEvent& y) {
+        return x.ns != y.ns ? x.ns < y.ns : x.seq < y.seq;
+    });
+    return out;
+}
+
+void TraceRing::clear() { (void)drain(); }
+
+std::string trace_to_json(const std::vector<TraceEvent>& events) {
+    std::string out = "[";
+    bool first = true;
+    for (const TraceEvent& e : events) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"ns\":" + std::to_string(e.ns) + ",\"type\":\"";
+        out += trace_event_name(e.type);
+        out += "\",\"node\":" + std::to_string(e.node) + ",\"a\":" + std::to_string(e.a) +
+               ",\"b\":" + std::to_string(e.b) + '}';
+    }
+    out += ']';
+    return out;
+}
+
+}  // namespace sc::obs

@@ -4,7 +4,9 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <string>
 
+#include "obs/trace_ring.hpp"
 #include "summary/message_costs.hpp"
 #include "util/sc_assert.hpp"
 
@@ -49,6 +51,34 @@ MiniProxy::MiniProxy(MiniProxyConfig config)
           config.id,
           std::max<std::uint64_t>(1, config.cache_bytes / kAverageDocumentBytes),
           config.bloom, config.update_threshold}) {
+    const obs::Labels labels{{"mode", share_mode_name(config_.mode)},
+                             {"node", std::to_string(config_.id)}};
+    auto& reg = obs::metrics();
+    obs_.requests = reg.counter("sc_proxy_requests_total",
+                                "Client GET requests handled", labels);
+    obs_.cache_hits = reg.counter(
+        "sc_cache_hits_total",
+        "Client requests served from the local cache (LOCAL_HIT access-log lines)", labels);
+    obs_.cache_misses = reg.counter(
+        "sc_cache_misses_total",
+        "Client requests not in the local cache (REMOTE_HIT or MISS lines)", labels);
+    obs_.remote_hits = reg.counter("sc_proxy_remote_hits_total",
+                                   "Misses satisfied by a sibling cache", labels);
+    obs_.origin_fetches = reg.counter("sc_proxy_origin_fetches_total",
+                                      "Misses fetched from the origin server", labels);
+    obs_.false_hit_queries = reg.counter(
+        "sc_proxy_false_hit_queries_total",
+        "Sibling replied MISS after its summary predicted a hit", labels);
+    obs_.icp_timeouts = reg.counter(
+        "sc_proxy_icp_timeouts_total",
+        "Query rounds where the reply wait expired with replies outstanding", labels);
+    obs_.request_latency = reg.histogram("sc_proxy_request_latency_seconds",
+                                         "Client request latency (seconds)",
+                                         obs::default_latency_bounds(), labels);
+    obs_.cached_documents =
+        reg.gauge("sc_proxy_cached_documents", "Documents currently cached", labels);
+    obs_.cached_bytes =
+        reg.gauge("sc_proxy_cached_bytes", "Bytes currently cached", labels);
     if (!config_.access_log_path.empty()) {
         access_log_ = std::make_unique<std::ofstream>(config_.access_log_path,
                                                       std::ios::app);
@@ -125,6 +155,17 @@ void MiniProxy::log_access(HttpLiteStatus status, const HttpLiteRequest& req,
     access_log_->flush();
 }
 
+void MiniProxy::finish_request(HttpLiteStatus status, const HttpLiteRequest& req,
+                               std::chrono::steady_clock::time_point started) {
+    if (status == HttpLiteStatus::local_hit)
+        obs_.cache_hits.inc();
+    else
+        obs_.cache_misses.inc();
+    obs_.request_latency.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count());
+    log_access(status, req, started);
+}
+
 void MiniProxy::send_udp(const Endpoint& to, std::span<const std::uint8_t> payload) {
     udp_.send_to(to, payload);
     const std::lock_guard lock(stats_mu_);
@@ -154,6 +195,8 @@ void MiniProxy::send_keepalives_and_check_liveness() {
                 const std::lock_guard lock(node_mu_);
                 node_.forget_sibling(s.id);  // stale replica must not attract queries
             }
+            obs::trace(obs::TraceEventType::sibling_dead,
+                       static_cast<std::uint16_t>(config_.id), s.id);
             const std::lock_guard lock(stats_mu_);
             ++stats_.sibling_death_events;
         }
@@ -222,6 +265,8 @@ void MiniProxy::note_heard_from(NodeId sender) {
         // Recovery (Section VI-B): the peer is back; reinitialize its view
         // of us with a full bitmap.
         it->alive = true;
+        obs::trace(obs::TraceEventType::sibling_recovered,
+                   static_cast<std::uint16_t>(config_.id), it->id);
         {
             const std::lock_guard lock(stats_mu_);
             ++stats_.sibling_recovery_events;
@@ -271,7 +316,7 @@ void MiniProxy::run() {
                 if (!line) {
                     keep = false;
                 } else {
-                    handle_client_line(clients[i], *line);
+                    keep = handle_client_line(clients[i], *line);
                 }
             } catch (const std::exception&) {
                 keep = false;  // protocol error or broken pipe: drop client
@@ -285,11 +330,15 @@ void MiniProxy::run() {
     }
 }
 
-void MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line) {
+bool MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line) {
+    if (line.rfind("GET /__metrics", 0) == 0 || line.rfind("GET /__trace", 0) == 0) {
+        serve_admin(conn, line);
+        return false;  // admin endpoints are one-shot; close like HTTP/1.0
+    }
     const auto req = parse_request(line);
     if (!req) {
         conn.write_all(format_response_header({HttpLiteStatus::error, 0}));
-        return;
+        return true;
     }
 
     if (req->digest) {
@@ -299,11 +348,15 @@ void MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line)
             const std::lock_guard lock(node_mu_);
             digest = node_.encode_full_update();
         }
+        {
+            // Count before replying: a puller that has read the digest body
+            // must observe it as served.
+            const std::lock_guard lock(stats_mu_);
+            ++stats_.digests_served;
+        }
         conn.write_all(format_response_header({HttpLiteStatus::ok, digest.size()}));
         conn.write_all(std::span<const std::uint8_t>(digest));
-        const std::lock_guard lock(stats_mu_);
-        ++stats_.digests_served;
-        return;
+        return true;
     }
 
     if (req->sibling_only) {
@@ -314,10 +367,11 @@ void MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line)
         } else {
             conn.write_all(format_response_header({HttpLiteStatus::not_cached, 0}));
         }
-        return;
+        return true;
     }
 
     const auto started = std::chrono::steady_clock::now();
+    obs_.requests.inc();
     {
         const std::lock_guard lock(stats_mu_);
         ++stats_.requests;
@@ -330,8 +384,8 @@ void MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line)
         }
         conn.write_all(format_response_header({HttpLiteStatus::local_hit, req->size}));
         conn.write_all(synth_body(req->size));
-        log_access(HttpLiteStatus::local_hit, *req, started);
-        return;
+        finish_request(HttpLiteStatus::local_hit, *req, started);
+        return true;
     }
 
     // Local miss: discover a remote copy per the configured protocol.
@@ -355,11 +409,14 @@ void MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line)
                 ++stats_.remote_hits;
                 ++stats_.hit_obj_used;
             }
+            obs_.remote_hits.inc();
+            obs::trace(obs::TraceEventType::remote_hit,
+                       static_cast<std::uint16_t>(config_.id), 0, 1);
             insert_document(*req);
             conn.write_all(format_response_header({HttpLiteStatus::remote_hit, req->size}));
             conn.write_all(synth_body(req->size));
-            log_access(HttpLiteStatus::remote_hit, *req, started);
-            return;
+            finish_request(HttpLiteStatus::remote_hit, *req, started);
+            return true;
         }
         for (const NodeId id : outcome.hits) {
             if (fetch_from_sibling(id, *req)) {
@@ -367,11 +424,14 @@ void MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line)
                     const std::lock_guard lock(stats_mu_);
                     ++stats_.remote_hits;
                 }
+                obs_.remote_hits.inc();
+                obs::trace(obs::TraceEventType::remote_hit,
+                           static_cast<std::uint16_t>(config_.id), id, 0);
                 insert_document(*req);
                 conn.write_all(format_response_header({HttpLiteStatus::remote_hit, req->size}));
                 conn.write_all(synth_body(req->size));
-                log_access(HttpLiteStatus::remote_hit, *req, started);
-                return;
+                finish_request(HttpLiteStatus::remote_hit, *req, started);
+                return true;
             }
         }
     }
@@ -381,10 +441,40 @@ void MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line)
         const std::lock_guard lock(stats_mu_);
         ++stats_.origin_fetches;
     }
+    obs_.origin_fetches.inc();
     insert_document(*req);
     conn.write_all(format_response_header({HttpLiteStatus::miss, body.size()}));
     conn.write_all(body);
-    log_access(HttpLiteStatus::miss, *req, started);
+    finish_request(HttpLiteStatus::miss, *req, started);
+    return true;
+}
+
+void MiniProxy::serve_admin(TcpConnection& conn, const std::string& line) {
+    // curl speaks "GET <path> HTTP/1.x" followed by a header block; the
+    // http-lite client sends the bare request line. Answer both.
+    const bool want_trace = line.rfind("GET /__trace", 0) == 0;
+    const bool http_style = line.find(" HTTP/") != std::string::npos;
+    if (http_style) {
+        // Drain the header block (terminated by an empty line).
+        while (conn.wait_readable(100)) {
+            const auto hdr = conn.read_line();
+            if (!hdr || hdr->empty()) break;
+        }
+    }
+    const std::string body = want_trace
+                                 ? obs::trace_to_json(obs::TraceRing::global().drain())
+                                 : obs::to_prometheus(obs::metrics().snapshot());
+    if (http_style) {
+        std::string head = "HTTP/1.0 200 OK\r\nContent-Type: ";
+        head += want_trace ? "application/json" : "text/plain; version=0.0.4";
+        head += "\r\nContent-Length: ";
+        head += std::to_string(body.size());
+        head += "\r\nConnection: close\r\n\r\n";
+        conn.write_all(head);
+    } else {
+        conn.write_all(format_response_header({HttpLiteStatus::ok, body.size()}));
+    }
+    conn.write_all(body);
 }
 
 MiniProxy::QueryOutcome MiniProxy::query_siblings(const HttpLiteRequest& req,
@@ -443,6 +533,11 @@ MiniProxy::QueryOutcome MiniProxy::query_siblings(const HttpLiteRequest& req,
                 if (header.opcode == IcpOpcode::miss && uses_summaries(config_.mode))
                     ++stats_.false_hit_queries;
             }
+            if (header.opcode == IcpOpcode::miss && uses_summaries(config_.mode)) {
+                obs_.false_hit_queries.inc();
+                obs::trace(obs::TraceEventType::false_positive_probe,
+                           static_cast<std::uint16_t>(config_.id), header.sender_host);
+            }
             if (header.opcode == IcpOpcode::hit) {
                 outcome.hits.push_back(header.sender_host);
             } else if (header.opcode == IcpOpcode::hit_obj) {
@@ -464,6 +559,11 @@ MiniProxy::QueryOutcome MiniProxy::query_siblings(const HttpLiteRequest& req,
         // Not our reply: service it so siblings are never starved while we
         // wait (queries, updates, or stale replies from earlier rounds).
         handle_datagram_body(*dgram, header);
+    }
+    if (replies < sent && !outcome.inline_object) {
+        obs_.icp_timeouts.inc();
+        obs::trace(obs::TraceEventType::icp_timeout,
+                   static_cast<std::uint16_t>(config_.id), sent - replies);
     }
     return outcome;
 }
@@ -618,6 +718,8 @@ std::string MiniProxy::fetch_from_origin(const HttpLiteRequest& req) {
 
 void MiniProxy::insert_document(const HttpLiteRequest& req) {
     if (!cache_.insert(req.url, req.size, req.version)) return;
+    obs_.cached_documents.set(static_cast<double>(cache_.document_count()));
+    obs_.cached_bytes.set(static_cast<double>(cache_.used_bytes()));
     if (!uses_summaries(config_.mode)) return;
     {
         const std::lock_guard lock(node_mu_);

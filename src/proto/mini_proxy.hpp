@@ -32,6 +32,7 @@
 #include "cache/lru_cache.hpp"
 #include "core/summary_cache_node.hpp"
 #include "icp/udp_socket.hpp"
+#include "obs/metrics.hpp"
 #include "proto/http_lite.hpp"
 #include "proto/tcp.hpp"
 
@@ -150,7 +151,12 @@ private:
     };
 
     void run();
-    void handle_client_line(TcpConnection& conn, const std::string& line);
+    /// Returns false when the connection should be closed after the reply
+    /// (admin endpoints speak real HTTP and close).
+    [[nodiscard]] bool handle_client_line(TcpConnection& conn, const std::string& line);
+    /// GET /__metrics (Prometheus text) and /__trace (JSON event dump);
+    /// answers both curl-style HTTP/1.x and bare HTTP-lite request lines.
+    void serve_admin(TcpConnection& conn, const std::string& line);
     void handle_datagram(const Datagram& dgram);
     void handle_datagram_body(const Datagram& dgram, const IcpHeader& header);
     void answer_query(const Datagram& dgram);
@@ -177,6 +183,11 @@ private:
     void send_udp(const Endpoint& to, std::span<const std::uint8_t> payload);
     void log_access(HttpLiteStatus status, const HttpLiteRequest& req,
                     std::chrono::steady_clock::time_point started);
+    /// Single exit point for a client GET: observes latency, bumps the
+    /// hit/miss counters, and writes the access-log line — all from the
+    /// same status, so the log and /__metrics always agree.
+    void finish_request(HttpLiteStatus status, const HttpLiteRequest& req,
+                        std::chrono::steady_clock::time_point started);
 
     MiniProxyConfig config_;
     TcpListener listener_;
@@ -201,6 +212,23 @@ private:
     mutable std::mutex stats_mu_;
     MiniProxyStats stats_;
     std::unique_ptr<std::ofstream> access_log_;  // loop thread only
+
+    // sc::obs instrumentation, labeled {node, mode}. The hit/miss pair is
+    // incremented exactly where the access log line is written, so
+    // `GET /__metrics` and the log can never disagree.
+    struct Instruments {
+        obs::Counter requests;
+        obs::Counter cache_hits;
+        obs::Counter cache_misses;
+        obs::Counter remote_hits;
+        obs::Counter origin_fetches;
+        obs::Counter false_hit_queries;
+        obs::Counter icp_timeouts;
+        obs::Histogram request_latency;
+        obs::Gauge cached_documents;
+        obs::Gauge cached_bytes;
+    };
+    Instruments obs_;
 };
 
 }  // namespace sc

@@ -49,9 +49,11 @@ void OriginServer::serve(TcpConnection conn) {
                 break;
             }
             if (config_.reply_delay.count() > 0) std::this_thread::sleep_for(config_.reply_delay);
+            // Count before replying: a client that has read the full body
+            // must observe the request as served (tests rely on this).
+            served_.fetch_add(1);
             conn.write_all(format_response_header({HttpLiteStatus::ok, req->size}));
             conn.write_all(synth_body(req->size));
-            served_.fetch_add(1);
         }
     } catch (const std::exception&) {
         // Connection-level failure: drop this client, keep serving others.

@@ -11,11 +11,29 @@
 #include <system_error>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace sc {
 namespace {
 
 [[noreturn]] void throw_errno(const char* what) {
     throw std::system_error(errno, std::generic_category(), what);
+}
+
+struct TcpMetrics {
+    obs::Counter accepts = obs::metrics().counter(
+        "sc_tcp_accepts_total", "Connections accepted (clients, SGET/DGET peers)");
+    obs::Counter connects = obs::metrics().counter(
+        "sc_tcp_connects_total", "Outbound connections established (origin, siblings)");
+    obs::Counter bytes_written =
+        obs::metrics().counter("sc_tcp_bytes_written_total", "TCP bytes written");
+    obs::Counter bytes_read =
+        obs::metrics().counter("sc_tcp_bytes_read_total", "TCP bytes read");
+};
+
+TcpMetrics& tcp_metrics() {
+    static TcpMetrics m;
+    return m;
 }
 
 }  // namespace
@@ -56,6 +74,7 @@ TcpConnection TcpConnection::connect(const Endpoint& to) {
         errno = saved;
         throw_errno("connect");
     }
+    tcp_metrics().connects.inc();
     return TcpConnection(fd);
 }
 
@@ -65,6 +84,7 @@ bool TcpConnection::fill_buffer() {
         const ssize_t n = ::read(fd_, chunk, sizeof chunk);
         if (n > 0) {
             buf_.append(chunk, static_cast<std::size_t>(n));
+            tcp_metrics().bytes_read.inc(static_cast<std::uint64_t>(n));
             return true;
         }
         if (n == 0) return false;  // EOF
@@ -122,6 +142,7 @@ void TcpConnection::read_exact(std::size_t n, std::string& out) {
         const ssize_t got = ::read(fd_, chunk, want);
         if (got > 0) {
             out.append(chunk, static_cast<std::size_t>(got));
+            tcp_metrics().bytes_read.inc(static_cast<std::uint64_t>(got));
             continue;
         }
         if (got == 0) throw std::runtime_error("EOF during body read");
@@ -141,9 +162,13 @@ void TcpConnection::write_all(std::string_view data) {
 }
 
 void TcpConnection::write_all(std::span<const std::uint8_t> data) {
+    tcp_metrics().bytes_written.inc(data.size());
     std::size_t off = 0;
     while (off < data.size()) {
-        const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+        // MSG_NOSIGNAL: a peer that closed early (e.g. curl aborting an
+        // admin-endpoint read) must surface as EPIPE, not kill the process.
+        const ssize_t n =
+            ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
         if (n > 0) {
             off += static_cast<std::size_t>(n);
             continue;
@@ -214,6 +239,7 @@ std::optional<TcpConnection> TcpListener::accept(int timeout_ms) {
     }
     const int one = 1;
     (void)::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    tcp_metrics().accepts.inc();
     return TcpConnection(conn);
 }
 

@@ -3,6 +3,7 @@
 #include <deque>
 #include <optional>
 
+#include "obs/metrics.hpp"
 #include "summary/message_costs.hpp"
 #include "util/sc_assert.hpp"
 
@@ -220,6 +221,29 @@ private:
 
 }  // namespace
 
-LatencySimResult run_latency_sim(const WisconsinConfig& cfg) { return Engine(cfg).run(); }
+void LatencySimResult::publish_metrics(BenchProtocol protocol) const {
+    const obs::Labels labels{{"protocol", bench_protocol_name(protocol)}};
+    auto& reg = obs::metrics();
+    const auto set = [&](const char* name, const char* help, std::uint64_t v) {
+        reg.counter(name, help, labels).inc(v);
+    };
+    set("sc_latency_sim_requests_total", "Requests completed", requests);
+    set("sc_latency_sim_local_hits_total", "Local cache hits", local_hits);
+    set("sc_latency_sim_remote_hits_total", "Remote (sibling) hits", remote_hits);
+    set("sc_latency_sim_queries_sent_total", "ICP queries sent", queries_sent);
+    set("sc_latency_sim_updates_sent_total", "Summary updates sent", updates_sent);
+    reg.gauge("sc_latency_sim_mean_latency_seconds",
+              "Mean client-visible request latency", labels)
+        .set(client_latency_s.mean());
+    reg.gauge("sc_latency_sim_max_cpu_utilization",
+              "Busiest proxy's busy fraction", labels)
+        .set(max_cpu_utilization);
+}
+
+LatencySimResult run_latency_sim(const WisconsinConfig& cfg) {
+    LatencySimResult result = Engine(cfg).run();
+    result.publish_metrics(cfg.protocol);
+    return result;
+}
 
 }  // namespace sc

@@ -44,6 +44,10 @@ struct LatencySimResult {
                    : static_cast<double>(local_hits + remote_hits) /
                          static_cast<double>(requests);
     }
+
+    /// Mirror the tallies into the global sc::obs registry as
+    /// sc_latency_sim_* series labeled {protocol}.
+    void publish_metrics(BenchProtocol protocol) const;
 };
 
 /// Run the Wisconsin-benchmark scenario through the event simulator.

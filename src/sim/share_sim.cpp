@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bloom/hash_spec.hpp"
+#include "obs/metrics.hpp"
 #include "summary/bloom_summary.hpp"
 #include "summary/message_costs.hpp"
 #include "util/sc_assert.hpp"
@@ -348,9 +349,41 @@ std::vector<std::size_t> ShareSimulator::directory_sizes() const {
     return out;
 }
 
+void ShareSimResult::publish_metrics(const ShareSimConfig& config) const {
+    const obs::Labels labels{{"protocol", query_protocol_name(config.protocol)},
+                             {"scheme", sharing_scheme_name(config.scheme)}};
+    auto& reg = obs::metrics();
+    const auto set = [&](const char* name, const char* help, std::uint64_t v) {
+        reg.counter(name, help, labels).inc(v);
+    };
+    set("sc_sim_requests_total", "Trace requests simulated", requests);
+    set("sc_sim_local_hits_total", "Requests served by the home proxy", local_hits);
+    set("sc_sim_remote_hits_total", "Requests served by a sibling", remote_hits);
+    set("sc_sim_false_hits_total", "Requests with >=1 wasted query (summary wrong)",
+        false_hits);
+    set("sc_sim_false_misses_total", "Fresh remote copy missed (summary silent)",
+        false_misses);
+    set("sc_sim_server_fetches_total", "Requests fetched from the origin server",
+        server_fetches);
+    set("sc_sim_query_messages_total", "Inter-proxy query messages", query_messages);
+    set("sc_sim_reply_messages_total", "Inter-proxy reply messages", reply_messages);
+    set("sc_sim_update_messages_total", "Summary update messages", update_messages);
+    set("sc_sim_query_bytes_total", "Query message bytes", query_bytes);
+    set("sc_sim_reply_bytes_total", "Reply message bytes", reply_bytes);
+    set("sc_sim_update_bytes_total", "Update message bytes", update_bytes);
+    reg.gauge("sc_sim_hit_ratio", "Total (local + remote) hit ratio", labels)
+        .set(total_hit_ratio());
+    reg.gauge("sc_sim_summary_replica_bytes", "Per-proxy DRAM for peers' summaries",
+              labels)
+        .set(static_cast<double>(summary_replica_bytes));
+    reg.gauge("sc_sim_summary_owner_bytes", "Per-proxy DRAM for the own summary", labels)
+        .set(static_cast<double>(summary_owner_bytes));
+}
+
 ShareSimResult run_share_sim(const ShareSimConfig& config, const std::vector<Request>& trace) {
     ShareSimulator sim(config);
     sim.process_all(trace);
+    sim.result().publish_metrics(config);
     return sim.result();
 }
 

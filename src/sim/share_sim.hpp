@@ -108,6 +108,11 @@ struct ShareSimResult {
     [[nodiscard]] std::uint64_t total_message_bytes() const;
     [[nodiscard]] double messages_per_request() const;
     [[nodiscard]] double message_bytes_per_request() const;
+
+    /// Mirror the tallies into the global sc::obs registry as
+    /// sc_sim_* series labeled {scheme, protocol}, so `--metrics-out`
+    /// exports exactly what the report prints.
+    void publish_metrics(const ShareSimConfig& config) const;
 };
 
 /// Runs one configuration over a request stream. Reusable: construct once,

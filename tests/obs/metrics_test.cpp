@@ -1,0 +1,260 @@
+// sc::obs metrics registry: concurrency exactness, histogram quantiles,
+// exporter golden outputs, and the disabled-registry no-op contract.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sc::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterRoundTrip) {
+    MetricsRegistry reg;
+    auto c = reg.counter("requests_total", "requests");
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.series.size(), 1u);
+    EXPECT_EQ(snap.series[0].counter, 42u);
+    EXPECT_EQ(snap.series[0].kind, MetricKind::counter);
+}
+
+TEST(MetricsRegistry, ReRegistrationReturnsSameCell) {
+    MetricsRegistry reg;
+    auto a = reg.counter("x_total", "x", {{"node", "1"}});
+    auto b = reg.counter("x_total", "x", {{"node", "1"}});
+    a.inc(3);
+    b.inc(4);
+    EXPECT_EQ(a.value(), 7u);
+    EXPECT_EQ(reg.series_count(), 1u);
+}
+
+TEST(MetricsRegistry, LabelOrderIsCanonicalized) {
+    MetricsRegistry reg;
+    auto a = reg.counter("x_total", "x", {{"a", "1"}, {"b", "2"}});
+    auto b = reg.counter("x_total", "x", {{"b", "2"}, {"a", "1"}});
+    a.inc();
+    b.inc();
+    EXPECT_EQ(a.value(), 2u);
+    EXPECT_EQ(reg.series_count(), 1u);
+}
+
+TEST(MetricsRegistry, KindConflictThrows) {
+    MetricsRegistry reg;
+    (void)reg.counter("x", "x");
+    EXPECT_THROW((void)reg.gauge("x", "x"), std::logic_error);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsSumExactly) {
+    MetricsRegistry reg;
+    auto c = reg.counter("concurrent_total", "hammered by N threads");
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 100000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistry, ConcurrentHistogramObservationsSumExactly) {
+    MetricsRegistry reg;
+    auto h = reg.histogram("lat_seconds", "latency", {0.01, 0.1, 1.0});
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 50000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.observe(0.001 * static_cast<double>(t + 1));
+        });
+    }
+    for (auto& t : threads) t.join();
+    const auto snap = reg.snapshot();
+    const auto* s = snap.find("lat_seconds");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->observations, static_cast<std::uint64_t>(kThreads * kPerThread));
+    // All observations land below the first bound.
+    EXPECT_EQ(s->bucket_counts[0], static_cast<std::uint64_t>(kThreads * kPerThread));
+    // Sum accumulates losslessly under the CAS loop (only fp rounding):
+    // 50000 * (1+2+3+4) * 0.001.
+    EXPECT_NEAR(s->sum, 500.0, 1e-4);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+    MetricsRegistry reg;
+    auto g = reg.gauge("temperature", "g");
+    g.set(20.0);
+    g.add(2.5);
+    g.add(-0.5);
+    EXPECT_DOUBLE_EQ(g.value(), 22.0);
+}
+
+TEST(MetricsRegistry, DisabledRegistryHandsOutNoOpHandles) {
+    MetricsRegistry reg(false);
+    auto c = reg.counter("x_total", "x");
+    auto g = reg.gauge("y", "y");
+    auto h = reg.histogram("z_seconds", "z", {1.0});
+    c.inc(5);
+    g.set(3.0);
+    h.observe(0.5);
+    EXPECT_EQ(reg.series_count(), 0u);
+    EXPECT_TRUE(reg.snapshot().series.empty());
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsRegistry, ResetZeroesEverySeries) {
+    MetricsRegistry reg;
+    auto c = reg.counter("x_total", "x");
+    auto h = reg.histogram("h_seconds", "h", {1.0});
+    c.inc(9);
+    h.observe(0.5);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);
+    const auto snap = reg.snapshot();
+    const auto* s = snap.find("h_seconds");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->observations, 0u);
+    EXPECT_DOUBLE_EQ(s->sum, 0.0);
+}
+
+TEST(MetricsRegistry, HistogramBoundsMustAscend) {
+    MetricsRegistry reg;
+    EXPECT_THROW((void)reg.histogram("bad_seconds", "b", {1.0, 0.5}), std::logic_error);
+}
+
+// --- quantile edges ---------------------------------------------------------
+
+TEST(HistogramQuantile, EmptyIsZero) {
+    MetricsRegistry reg;
+    (void)reg.histogram("h", "h", {1.0, 2.0});
+    const auto snap = reg.snapshot();
+    const auto* s = snap.find("h");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->quantile(0.5), 0.0);
+}
+
+TEST(HistogramQuantile, InterpolatesWithinBucket) {
+    MetricsRegistry reg;
+    auto h = reg.histogram("h", "h", {10.0, 20.0});
+    // 100 observations uniformly inside (0, 10]: the median interpolates to
+    // the middle of the first bucket (lower edge 0).
+    for (int i = 0; i < 100; ++i) h.observe(5.0);
+    const auto snap = reg.snapshot();
+    const auto* s = snap.find("h");
+    ASSERT_NE(s, nullptr);
+    EXPECT_NEAR(s->quantile(0.5), 5.0, 0.2);
+    EXPECT_NEAR(s->quantile(0.0), 0.0, 1e-9);
+    EXPECT_NEAR(s->quantile(1.0), 10.0, 1e-9);
+}
+
+TEST(HistogramQuantile, SpansBuckets) {
+    MetricsRegistry reg;
+    auto h = reg.histogram("h", "h", {1.0, 2.0, 4.0});
+    for (int i = 0; i < 50; ++i) h.observe(0.5);  // bucket (0, 1]
+    for (int i = 0; i < 50; ++i) h.observe(3.0);  // bucket (2, 4]
+    const auto snap = reg.snapshot();
+    const auto* s = snap.find("h");
+    ASSERT_NE(s, nullptr);
+    // p25 inside the first bucket, p75 inside the third.
+    EXPECT_GT(s->quantile(0.25), 0.0);
+    EXPECT_LE(s->quantile(0.25), 1.0);
+    EXPECT_GT(s->quantile(0.75), 2.0);
+    EXPECT_LE(s->quantile(0.75), 4.0);
+}
+
+TEST(HistogramQuantile, OverflowBucketReportsLastFiniteBound) {
+    MetricsRegistry reg;
+    auto h = reg.histogram("h", "h", {1.0, 2.0});
+    for (int i = 0; i < 10; ++i) h.observe(100.0);  // all +Inf bucket
+    const auto snap = reg.snapshot();
+    const auto* s = snap.find("h");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->quantile(0.99), 2.0);
+}
+
+// --- exporter golden outputs ------------------------------------------------
+
+TEST(Exporters, PrometheusGolden) {
+    MetricsRegistry reg;
+    reg.counter("sc_requests_total", "Requests handled", {{"node", "1"}}).inc(7);
+    reg.gauge("sc_cached_bytes", "Bytes cached").set(1024);
+    auto h = reg.histogram("sc_latency_seconds", "Latency", {0.5, 1.0});
+    h.observe(0.25);
+    h.observe(0.75);
+    h.observe(9.0);
+
+    const std::string expected =
+        "# HELP sc_cached_bytes Bytes cached\n"
+        "# TYPE sc_cached_bytes gauge\n"
+        "sc_cached_bytes 1024\n"
+        "# HELP sc_latency_seconds Latency\n"
+        "# TYPE sc_latency_seconds histogram\n"
+        "sc_latency_seconds_bucket{le=\"0.5\"} 1\n"
+        "sc_latency_seconds_bucket{le=\"1\"} 2\n"
+        "sc_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+        "sc_latency_seconds_sum 10\n"
+        "sc_latency_seconds_count 3\n"
+        "# HELP sc_requests_total Requests handled\n"
+        "# TYPE sc_requests_total counter\n"
+        "sc_requests_total{node=\"1\"} 7\n";
+    EXPECT_EQ(to_prometheus(reg.snapshot()), expected);
+}
+
+TEST(Exporters, PrometheusEscapesLabelValues) {
+    MetricsRegistry reg;
+    reg.counter("x_total", "x", {{"path", "a\"b\\c\nd"}}).inc();
+    const std::string text = to_prometheus(reg.snapshot());
+    EXPECT_NE(text.find("x_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos);
+}
+
+TEST(Exporters, JsonGolden) {
+    MetricsRegistry reg;
+    reg.counter("sc_requests_total", "Requests handled", {{"node", "1"}}).inc(7);
+    auto h = reg.histogram("sc_latency_seconds", "Latency", {0.5});
+    h.observe(0.25);
+
+    const std::string expected =
+        "{\"metrics\":["
+        "{\"name\":\"sc_latency_seconds\",\"kind\":\"histogram\",\"labels\":{},"
+        "\"buckets\":[{\"le\":0.5,\"count\":1},{\"le\":\"+Inf\",\"count\":0}],"
+        "\"sum\":0.25,\"count\":1},"
+        "{\"name\":\"sc_requests_total\",\"kind\":\"counter\","
+        "\"labels\":{\"node\":\"1\"},\"value\":7}"
+        "]}";
+    EXPECT_EQ(to_json(reg.snapshot()), expected);
+}
+
+TEST(Exporters, SnapshotIsSortedDeterministically) {
+    MetricsRegistry reg;
+    (void)reg.counter("b_total", "b");
+    (void)reg.counter("a_total", "a");
+    (void)reg.counter("a_total", "a", {{"node", "2"}});
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.series.size(), 3u);
+    EXPECT_EQ(snap.series[0].name, "a_total");
+    EXPECT_TRUE(snap.series[0].labels.empty());
+    EXPECT_EQ(snap.series[1].name, "a_total");
+    ASSERT_EQ(snap.series[1].labels.size(), 1u);
+    EXPECT_EQ(snap.series[2].name, "b_total");
+}
+
+TEST(Exporters, FindMatchesLabelSubset) {
+    MetricsRegistry reg;
+    reg.counter("x_total", "x", {{"mode", "summary"}, {"node", "3"}}).inc(5);
+    const auto snap = reg.snapshot();
+    const auto* s = snap.find("x_total", {{"node", "3"}});
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->counter, 5u);
+    EXPECT_EQ(snap.find("x_total", {{"node", "9"}}), nullptr);
+}
+
+}  // namespace
+}  // namespace sc::obs

@@ -1,0 +1,134 @@
+// sc::obs trace ring: overwrite-oldest semantics, drain-marks-consumed,
+// multi-thread merge ordering, and the JSON rendering.
+#include "obs/trace_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sc::obs {
+namespace {
+
+TEST(TraceRing, RecordsAndDrainsInOrder) {
+    TraceRing ring(16);
+    ring.record(TraceEventType::remote_hit, 1, 10);
+    ring.record(TraceEventType::icp_timeout, 1, 20);
+    ring.record(TraceEventType::sibling_dead, 2, 30);
+    const auto events = ring.drain();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].type, TraceEventType::remote_hit);
+    EXPECT_EQ(events[0].a, 10u);
+    EXPECT_EQ(events[1].type, TraceEventType::icp_timeout);
+    EXPECT_EQ(events[2].type, TraceEventType::sibling_dead);
+    EXPECT_EQ(events[2].node, 2u);
+    // Monotonic timestamps.
+    EXPECT_LE(events[0].ns, events[1].ns);
+    EXPECT_LE(events[1].ns, events[2].ns);
+}
+
+TEST(TraceRing, DrainMarksEventsConsumed) {
+    TraceRing ring(16);
+    ring.record(TraceEventType::remote_hit, 1);
+    EXPECT_EQ(ring.drain().size(), 1u);
+    EXPECT_TRUE(ring.drain().empty());
+    ring.record(TraceEventType::remote_hit, 1);
+    EXPECT_EQ(ring.drain().size(), 1u);
+}
+
+TEST(TraceRing, OverwritesOldestWhenFull) {
+    constexpr std::size_t kCap = 8;
+    TraceRing ring(kCap);
+    // Write capacity + k events; the drain must return exactly the last
+    // kCap, in recording order.
+    constexpr std::uint64_t kTotal = kCap + 5;
+    for (std::uint64_t i = 0; i < kTotal; ++i)
+        ring.record(TraceEventType::false_positive_probe, 1, i);
+    const auto events = ring.drain();
+    ASSERT_EQ(events.size(), kCap);
+    for (std::size_t i = 0; i < kCap; ++i)
+        EXPECT_EQ(events[i].a, kTotal - kCap + i) << "slot " << i;
+}
+
+TEST(TraceRing, OverwriteAfterPartialDrainStillClipsToCapacity) {
+    constexpr std::size_t kCap = 4;
+    TraceRing ring(kCap);
+    ring.record(TraceEventType::remote_hit, 1, 0);
+    EXPECT_EQ(ring.drain().size(), 1u);
+    // Lap the ring twice past the drained watermark.
+    for (std::uint64_t i = 1; i <= 2 * kCap + 1; ++i)
+        ring.record(TraceEventType::remote_hit, 1, i);
+    const auto events = ring.drain();
+    ASSERT_EQ(events.size(), kCap);
+    EXPECT_EQ(events.front().a, 2 * kCap + 1 - (kCap - 1));
+    EXPECT_EQ(events.back().a, 2 * kCap + 1);
+}
+
+TEST(TraceRing, ClearDropsUndrained) {
+    TraceRing ring(16);
+    ring.record(TraceEventType::remote_hit, 1);
+    ring.clear();
+    EXPECT_TRUE(ring.drain().empty());
+}
+
+TEST(TraceRing, DisabledRingRecordsNothing) {
+    TraceRing ring(16);
+    ring.set_enabled(false);
+    ring.record(TraceEventType::remote_hit, 1);
+    EXPECT_TRUE(ring.drain().empty());
+    ring.set_enabled(true);
+    ring.record(TraceEventType::remote_hit, 1);
+    EXPECT_EQ(ring.drain().size(), 1u);
+}
+
+TEST(TraceRing, MergesPerThreadBuffersByTimestamp) {
+    TraceRing ring(1024);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&ring, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                ring.record(TraceEventType::summary_update_applied,
+                            static_cast<std::uint16_t>(t), static_cast<std::uint64_t>(i));
+        });
+    }
+    for (auto& t : threads) t.join();
+    const auto events = ring.drain();
+    ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads * kPerThread));
+    // Global order is by timestamp; each thread's own events must still
+    // appear in their recording order.
+    std::vector<std::uint64_t> next_a(kThreads, 0);
+    for (std::size_t i = 1; i < events.size(); ++i) EXPECT_LE(events[i - 1].ns, events[i].ns);
+    for (const TraceEvent& e : events) {
+        EXPECT_EQ(e.a, next_a[e.node]) << "thread " << e.node;
+        ++next_a[e.node];
+    }
+}
+
+TEST(TraceRing, JsonRendering) {
+    std::vector<TraceEvent> events(1);
+    events[0].ns = 12345;
+    events[0].type = TraceEventType::icp_timeout;
+    events[0].node = 3;
+    events[0].a = 2;
+    events[0].b = 0;
+    EXPECT_EQ(trace_to_json(events),
+              "[{\"ns\":12345,\"type\":\"icp_timeout\",\"node\":3,\"a\":2,\"b\":0}]");
+    EXPECT_EQ(trace_to_json({}), "[]");
+}
+
+TEST(TraceRing, GlobalShorthandRecords) {
+    TraceRing::global().clear();
+    trace(TraceEventType::sibling_recovered, 7, 8, 9);
+    const auto events = TraceRing::global().drain();
+    ASSERT_GE(events.size(), 1u);
+    bool found = false;
+    for (const TraceEvent& e : events)
+        found = found || (e.type == TraceEventType::sibling_recovered && e.node == 7 &&
+                          e.a == 8 && e.b == 9);
+    EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace sc::obs

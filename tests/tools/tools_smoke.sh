@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the CLI tools:
-#   sc_tracegen -> sc_simulate (offline path)
-#   sc_origin + 2x sc_proxy + sc_replay (live path, summary mode)
+#   sc_tracegen -> sc_simulate (offline path, --metrics-out JSON)
+#   sc_origin + 2x sc_proxy + sc_replay (live path, summary mode), then
+#   GET /__metrics is checked against the access log and the SIGTERM
+#   --metrics-out dump is validated.
 # Invoked by ctest with the five binary paths as arguments.
 set -euo pipefail
 
@@ -27,21 +29,35 @@ head -1 "$WORK/trace.csv" | grep -q "timestamp,client,url,size,version" \
     || fail "tracegen csv header wrong"
 
 "$SIMULATE" --in "$WORK/trace.csv" --proxies 8 --cache-mb 4 \
-    --protocol summary --batch 350 > "$WORK/sim.txt"
+    --protocol summary --batch 350 --metrics-out "$WORK/sim_metrics.json" > "$WORK/sim.txt"
 grep -q "total hit ratio" "$WORK/sim.txt" || fail "simulate printed no report"
 grep -q "messages/request" "$WORK/sim.txt" || fail "simulate printed no message stats"
+[ -s "$WORK/sim_metrics.json" ] || fail "simulate wrote no --metrics-out file"
+grep -q '"sc_sim_requests_total"' "$WORK/sim_metrics.json" \
+    || fail "simulate metrics JSON lacks sc_sim_requests_total"
+# The JSON counter must equal the request count the report is based on.
+sim_requests=$(grep -cve '^\s*$' "$WORK/trace.csv")
+sim_requests=$((sim_requests - 1))  # header line
+json_requests=$(sed -n \
+    's/.*"sc_sim_requests_total"[^{]*{[^}]*},"value":\([0-9]*\).*/\1/p' \
+    "$WORK/sim_metrics.json")
+[ "${json_requests:-x}" = "$sim_requests" ] \
+    || fail "sc_sim_requests_total=$json_requests != trace requests=$sim_requests"
 
 # --- live path ---------------------------------------------------------------
 "$ORIGIN" --port "$P_ORIGIN" --delay-ms 1 > "$WORK/origin.log" 2>&1 &
 PIDS+=($!)
 "$PROXY" --id 1 --http-port "$P1_HTTP" --icp-port "$P1_ICP" --origin "$P_ORIGIN" \
     --sibling "2:$P2_HTTP:$P2_ICP" --mode summary --threshold 0 \
+    --access-log "$WORK/p1_access.log" \
     > "$WORK/p1.log" 2>&1 &
 PIDS+=($!)
 "$PROXY" --id 2 --http-port "$P2_HTTP" --icp-port "$P2_ICP" --origin "$P_ORIGIN" \
     --sibling "1:$P1_HTTP:$P1_ICP" --mode summary --threshold 0 \
+    --metrics-out "$WORK/p2_metrics.json" \
     > "$WORK/p2.log" 2>&1 &
-PIDS+=($!)
+P2_PID=$!
+PIDS+=($P2_PID)
 
 # Wait for all three to come up.
 for log in origin.log p1.log p2.log; do
@@ -60,4 +76,38 @@ grep -q "requests *400" "$WORK/replay.txt" || fail "replay lost requests"
 hits=$(grep -oE "remote hits +[0-9]+" "$WORK/replay.txt" | grep -oE "[0-9]+")
 [ "${hits:-0}" -gt 0 ] || fail "no remote hits through the live federation"
 
-echo "tools smoke OK (remote hits: $hits)"
+# --- observability ------------------------------------------------------------
+# GET /__metrics must return valid Prometheus text whose hit/miss counters
+# match proxy 1's access log for the same run.
+curl -sf --max-time 5 "http://127.0.0.1:$P1_HTTP/__metrics" > "$WORK/p1_metrics.prom" \
+    || fail "GET /__metrics failed"
+grep -q '^# TYPE sc_cache_hits_total counter$' "$WORK/p1_metrics.prom" \
+    || fail "/__metrics is not Prometheus exposition text"
+log_hits=$(grep -c " LOCAL_HIT " "$WORK/p1_access.log" || true)
+log_total=$(grep -cve '^\s*$' "$WORK/p1_access.log")
+log_misses=$((log_total - log_hits))
+prom_hits=$(sed -n 's/^sc_cache_hits_total{[^}]*} \([0-9]*\)$/\1/p' "$WORK/p1_metrics.prom")
+prom_misses=$(sed -n 's/^sc_cache_misses_total{[^}]*} \([0-9]*\)$/\1/p' "$WORK/p1_metrics.prom")
+[ "${prom_hits:-x}" = "$log_hits" ] \
+    || fail "sc_cache_hits_total=$prom_hits != access-log LOCAL_HIT lines=$log_hits"
+[ "${prom_misses:-x}" = "$log_misses" ] \
+    || fail "sc_cache_misses_total=$prom_misses != access-log misses=$log_misses"
+
+# GET /__trace returns a JSON array of protocol events.
+curl -sf --max-time 5 "http://127.0.0.1:$P1_HTTP/__trace" > "$WORK/p1_trace.json" \
+    || fail "GET /__trace failed"
+head -c1 "$WORK/p1_trace.json" | grep -q '\[' || fail "/__trace is not a JSON array"
+
+# SIGTERM proxy 2: it must exit cleanly and dump --metrics-out JSON.
+kill -TERM "$P2_PID"
+for _ in $(seq 1 50); do
+    kill -0 "$P2_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$P2_PID" 2>/dev/null && fail "proxy 2 ignored SIGTERM"
+wait "$P2_PID" 2>/dev/null || true
+[ -s "$WORK/p2_metrics.json" ] || fail "proxy 2 wrote no --metrics-out file"
+grep -q '"sc_proxy_requests_total"' "$WORK/p2_metrics.json" \
+    || fail "proxy metrics JSON lacks sc_proxy_requests_total"
+
+echo "tools smoke OK (remote hits: $hits, p1 hits/misses: $log_hits/$log_misses)"

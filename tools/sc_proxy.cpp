@@ -10,13 +10,18 @@
 //
 // --sibling takes id:http-port:icp-port (loopback). Modes: none, icp,
 // summary, digest (Squid Cache-Digest-style pull). Prints a stats line every few seconds until killed.
+// --metrics-out FILE dumps the sc::obs registry as JSON on shutdown; live
+// metrics are also served at GET /__metrics on the HTTP port.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "cli.hpp"
+#include "obs/metrics.hpp"
 #include "proto/mini_proxy.hpp"
 
 namespace {
@@ -69,7 +74,7 @@ int main(int argc, char** argv) {
     const cli::Flags flags(argc, argv,
                            {"id", "http-port", "icp-port", "origin", "sibling", "mode",
                             "cache-mb", "threshold", "hit-obj-bytes", "bind",
-                            "access-log"});
+                            "access-log", "metrics-out"});
 
     MiniProxyConfig cfg;
     cfg.id = static_cast<NodeId>(flags.get_int("id", 1));
@@ -109,8 +114,13 @@ int main(int argc, char** argv) {
 
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
+    // Short sleeps so a SIGTERM is honoured promptly (sleep_for restarts
+    // across EINTR; a long nap would delay the --metrics-out dump).
+    auto next_report = std::chrono::steady_clock::now() + std::chrono::seconds(3);
     while (g_stop == 0) {
-        std::this_thread::sleep_for(std::chrono::seconds(3));
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (std::chrono::steady_clock::now() < next_report) continue;
+        next_report += std::chrono::seconds(3);
         const auto s = proxy.stats();
         if (s.requests == 0) continue;
         std::printf("req=%llu localHit=%llu remoteHit=%llu queries=%llu updates=%llu "
@@ -124,5 +134,15 @@ int main(int argc, char** argv) {
         std::fflush(stdout);
     }
     proxy.stop();
+
+    if (flags.has("metrics-out")) {
+        const std::string path = flags.require("metrics-out");
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write --metrics-out %s\n", path.c_str());
+            return 2;
+        }
+        out << obs::to_json(obs::metrics().snapshot()) << '\n';
+    }
     return 0;
 }

@@ -7,10 +7,13 @@
 // Protocols: none, icp, oracle, summary. Representations (summary only):
 // exact, server, bloom (with --load-factor). Update policy: --threshold
 // fraction or --interval seconds; --batch records; --multicast.
+// --metrics-out FILE dumps the sc::obs registry as JSON at exit.
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "cli.hpp"
+#include "obs/metrics.hpp"
 #include "sim/share_sim.hpp"
 #include "trace/generator.hpp"
 #include "trace/trace_io.hpp"
@@ -35,7 +38,7 @@ int main(int argc, char** argv) {
     const cli::Flags flags(
         argc, argv,
         {"in", "trace", "scale", "proxies", "cache-mb", "scheme", "protocol", "summary",
-         "load-factor", "threshold", "interval", "batch", "multicast"});
+         "load-factor", "threshold", "interval", "batch", "multicast", "metrics-out"});
 
     // --- workload ---------------------------------------------------------
     std::vector<Request> trace;
@@ -117,5 +120,15 @@ int main(int argc, char** argv) {
         std::printf("summary DRAM/proxy     %9s (+%s own counters)\n",
                     format_bytes(r.summary_replica_bytes).c_str(),
                     format_bytes(r.summary_owner_bytes).c_str());
+
+    if (flags.has("metrics-out")) {
+        const std::string path = flags.require("metrics-out");
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write --metrics-out %s\n", path.c_str());
+            return 2;
+        }
+        out << obs::to_json(obs::metrics().snapshot()) << '\n';
+    }
     return 0;
 }

@@ -115,6 +115,27 @@ void BM_LruInsertLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_LruInsertLookup);
 
+// The cache is internally locked for the proxy worker pool; the Threads(1)
+// row prices the uncontended mutex (compare against BM_LruInsertLookup
+// history) and the higher rows the contended worst case — every worker
+// hammering the shared cache with no proxy work in between.
+void BM_LruInsertLookupContended(benchmark::State& state) {
+    static LruCache* cache = nullptr;
+    if (state.thread_index() == 0)
+        cache = new LruCache(LruCacheConfig{64ull * 1024 * 1024});
+    const auto urls = make_urls(8192);
+    std::size_t i = static_cast<std::size_t>(state.thread_index()) * 977;
+    for (auto _ : state) {
+        const auto& url = urls[i++ & 8191];
+        if (cache->lookup(url, 0) != LruCache::Lookup::hit) cache->insert(url, 8192, 0);
+    }
+    if (state.thread_index() == 0) {
+        delete cache;
+        cache = nullptr;
+    }
+}
+BENCHMARK(BM_LruInsertLookupContended)->Threads(1)->Threads(4)->Threads(8);
+
 void BM_IcpQueryEncodeDecode(benchmark::State& state) {
     IcpQuery q{7, 1, 2, "http://server.example.com/some/longish/path/doc12345"};
     for (auto _ : state) {

@@ -33,6 +33,7 @@ LruCache::LruCache(LruCacheConfig config) : config_(config) {
 }
 
 LruCache::Lookup LruCache::lookup(std::string_view url, std::uint64_t version) {
+    const std::lock_guard lock(mu_);
     const auto it = index_.find(url);
     if (it == index_.end()) {
         lru_metrics().misses.inc();
@@ -50,15 +51,20 @@ LruCache::Lookup LruCache::lookup(std::string_view url, std::uint64_t version) {
     return Lookup::hit;
 }
 
-bool LruCache::contains(std::string_view url) const { return index_.contains(url); }
+bool LruCache::contains(std::string_view url) const {
+    const std::lock_guard lock(mu_);
+    return index_.contains(url);
+}
 
 std::optional<std::uint64_t> LruCache::cached_version(std::string_view url) const {
+    const std::lock_guard lock(mu_);
     const auto it = index_.find(url);
     if (it == index_.end()) return std::nullopt;
     return it->second->version;
 }
 
 bool LruCache::insert(std::string_view url, std::uint64_t size, std::uint64_t version) {
+    const std::lock_guard lock(mu_);
     if (size > config_.max_object_bytes || size > config_.capacity_bytes) return false;
     if (const auto it = index_.find(url); it != index_.end()) {
         // Refresh in place: adjust bytes, update version, promote.
@@ -81,11 +87,13 @@ bool LruCache::insert(std::string_view url, std::uint64_t size, std::uint64_t ve
 }
 
 void LruCache::touch(std::string_view url) {
+    const std::lock_guard lock(mu_);
     if (const auto it = index_.find(url); it != index_.end())
         order_.splice(order_.begin(), order_, it->second);
 }
 
 bool LruCache::erase(std::string_view url) {
+    const std::lock_guard lock(mu_);
     const auto it = index_.find(url);
     if (it == index_.end()) return false;
     remove(it->second, /*is_eviction=*/false);
@@ -93,11 +101,20 @@ bool LruCache::erase(std::string_view url) {
 }
 
 const LruCache::Entry* LruCache::peek(std::string_view url) const {
+    const std::lock_guard lock(mu_);
     const auto it = index_.find(url);
     return it == index_.end() ? nullptr : &*it->second;
 }
 
+std::optional<LruCache::Entry> LruCache::entry_copy(std::string_view url) const {
+    const std::lock_guard lock(mu_);
+    const auto it = index_.find(url);
+    if (it == index_.end()) return std::nullopt;
+    return *it->second;
+}
+
 const LruCache::Entry* LruCache::lru_entry() const {
+    const std::lock_guard lock(mu_);
     return order_.empty() ? nullptr : &order_.back();
 }
 

@@ -5,11 +5,20 @@
 //
 // Eviction/insert/erase hooks let the owning proxy mirror the directory
 // into its counting Bloom filter or other summary representation.
+//
+// Thread safety: every public method takes an internal mutex, so a cache
+// can be shared by the proxy's worker pool without external locking
+// (`bench/micro_primitives` measures the uncontended cost). Hooks run
+// under that mutex: they must not call back into the cache, and any lock
+// they take is ordered cache-mutex-first. The pointer-returning accessors
+// (`peek`, `lru_entry`) remain valid only until the next mutating call —
+// concurrent readers should use `entry_copy` instead.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -60,6 +69,10 @@ public:
     /// the pointer is invalidated by the next mutating call.
     [[nodiscard]] const Entry* peek(std::string_view url) const;
 
+    /// Copy of the entry for a cached URL, if present. No promotion. The
+    /// race-free form of peek() for use from concurrent workers.
+    [[nodiscard]] std::optional<Entry> entry_copy(std::string_view url) const;
+
     /// Insert (or refresh) a document as MRU, evicting LRU entries as
     /// needed. Returns false — and caches nothing — if the document
     /// exceeds max_object_bytes or the total capacity.
@@ -72,25 +85,42 @@ public:
     /// Remove an entry if present. Returns true if something was removed.
     bool erase(std::string_view url);
 
-    void set_removal_hook(RemovalHook hook) { on_remove_ = std::move(hook); }
-    void set_insert_hook(std::function<void(const Entry&)> hook) { on_insert_ = std::move(hook); }
+    void set_removal_hook(RemovalHook hook) {
+        const std::lock_guard lock(mu_);
+        on_remove_ = std::move(hook);
+    }
+    void set_insert_hook(std::function<void(const Entry&)> hook) {
+        const std::lock_guard lock(mu_);
+        on_insert_ = std::move(hook);
+    }
 
-    [[nodiscard]] std::uint64_t used_bytes() const { return used_bytes_; }
+    [[nodiscard]] std::uint64_t used_bytes() const {
+        const std::lock_guard lock(mu_);
+        return used_bytes_;
+    }
     [[nodiscard]] std::uint64_t capacity_bytes() const { return config_.capacity_bytes; }
-    [[nodiscard]] std::size_t document_count() const { return index_.size(); }
+    [[nodiscard]] std::size_t document_count() const {
+        const std::lock_guard lock(mu_);
+        return index_.size();
+    }
     [[nodiscard]] const LruCacheConfig& config() const { return config_; }
 
     /// Least-recently-used entry (eviction candidate), if any.
     [[nodiscard]] const Entry* lru_entry() const;
 
-    /// Iterate all entries from MRU to LRU.
+    /// Iterate all entries from MRU to LRU (under the cache mutex: fn
+    /// must not call back into the cache).
     template <typename Fn>
     void for_each(Fn&& fn) const {
+        const std::lock_guard lock(mu_);
         for (const Entry& e : order_) fn(e);
     }
 
     /// Cumulative eviction count (capacity pressure indicator).
-    [[nodiscard]] std::uint64_t eviction_count() const { return evictions_; }
+    [[nodiscard]] std::uint64_t eviction_count() const {
+        const std::lock_guard lock(mu_);
+        return evictions_;
+    }
 
 private:
     using List = std::list<Entry>;
@@ -98,6 +128,7 @@ private:
     void remove(List::iterator it, bool is_eviction);
     void evict_until_fits(std::uint64_t incoming);
 
+    mutable std::mutex mu_;
     LruCacheConfig config_;
     List order_;  // front = MRU, back = LRU
     std::unordered_map<std::string_view, List::iterator> index_;  // keys view into list nodes

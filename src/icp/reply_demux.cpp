@@ -1,0 +1,108 @@
+#include "icp/reply_demux.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/sc_assert.hpp"
+
+namespace sc {
+namespace {
+
+// Process-wide: stale replies are a wire-level pathology (delayed rounds,
+// restarted peers), interesting in aggregate like the UDP/TCP counters.
+obs::Counter& stale_counter() {
+    static obs::Counter c = obs::metrics().counter(
+        "sc_icp_stale_replies_total",
+        "ICP replies dropped because their request number matched no outstanding query");
+    return c;
+}
+
+}  // namespace
+
+IcpReplyWaiter::IcpReplyWaiter(IcpReplyWaiter&& other) noexcept
+    : demux_(other.demux_), qn_(other.qn_) {
+    other.demux_ = nullptr;
+}
+
+IcpReplyWaiter& IcpReplyWaiter::operator=(IcpReplyWaiter&& other) noexcept {
+    if (this != &other) {
+        if (demux_) demux_->unregister(qn_);
+        demux_ = other.demux_;
+        qn_ = other.qn_;
+        other.demux_ = nullptr;
+    }
+    return *this;
+}
+
+IcpReplyWaiter::~IcpReplyWaiter() {
+    if (demux_) demux_->unregister(qn_);
+}
+
+std::optional<Datagram> IcpReplyWaiter::wait_next(
+    std::chrono::steady_clock::time_point deadline) {
+    SC_ASSERT(demux_ != nullptr);
+    std::unique_lock lock(demux_->mu_);
+    const auto it = demux_->rounds_.find(qn_);
+    SC_ASSERT(it != demux_->rounds_.end());
+    // Element references survive rehashing (iterators do not), and only
+    // this waiter ever erases its own round, so `round` stays valid while
+    // the lock is released inside wait_until.
+    ReplyDemux::Round& round = it->second;
+    for (;;) {
+        if (!round.replies.empty()) {
+            Datagram d = std::move(round.replies.front());
+            round.replies.pop_front();
+            return d;
+        }
+        if (demux_->shutdown_) return std::nullopt;
+        if (demux_->cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+            round.replies.empty())
+            return std::nullopt;
+    }
+}
+
+ReplyDemux::ReplyDemux() { (void)stale_counter(); }
+
+IcpReplyWaiter ReplyDemux::register_query(std::uint32_t qn) {
+    const std::lock_guard lock(mu_);
+    const auto [it, inserted] = rounds_.try_emplace(qn);
+    (void)it;
+    SC_ASSERT(inserted);  // rounds are allocated from an atomic counter
+    return IcpReplyWaiter(this, qn);
+}
+
+bool ReplyDemux::dispatch(std::uint32_t request_number, Datagram dgram) {
+    {
+        const std::lock_guard lock(mu_);
+        const auto it = rounds_.find(request_number);
+        if (it != rounds_.end()) {
+            it->second.replies.push_back(std::move(dgram));
+            cv_.notify_all();
+            return true;
+        }
+        ++stale_;
+    }
+    stale_counter().inc();
+    return false;
+}
+
+void ReplyDemux::shutdown() {
+    const std::lock_guard lock(mu_);
+    shutdown_ = true;
+    cv_.notify_all();
+}
+
+std::uint64_t ReplyDemux::stale_replies() const {
+    const std::lock_guard lock(mu_);
+    return stale_;
+}
+
+std::size_t ReplyDemux::pending_rounds() const {
+    const std::lock_guard lock(mu_);
+    return rounds_.size();
+}
+
+void ReplyDemux::unregister(std::uint32_t qn) {
+    const std::lock_guard lock(mu_);
+    rounds_.erase(qn);
+}
+
+}  // namespace sc

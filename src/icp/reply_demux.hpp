@@ -1,0 +1,94 @@
+// Reply demultiplexer for concurrent ICP query rounds sharing one UDP
+// socket. Exactly one thread (the proxy event loop) receives datagrams;
+// reply opcodes are routed here by request number to the worker that
+// registered the query, so concurrent workers never steal each other's
+// replies. Replies for unknown or expired request numbers — a delayed
+// reply from a previous round, or a restarted peer replaying an old
+// number — are dropped and counted (`sc_icp_stale_replies_total`), never
+// delivered to the wrong round.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "icp/udp_socket.hpp"
+
+namespace sc {
+
+class ReplyDemux;
+
+/// RAII registration of one outstanding query round. Destruction
+/// unregisters the request number; replies arriving afterwards count as
+/// stale.
+class IcpReplyWaiter {
+public:
+    IcpReplyWaiter(IcpReplyWaiter&& other) noexcept;
+    IcpReplyWaiter& operator=(IcpReplyWaiter&& other) noexcept;
+    IcpReplyWaiter(const IcpReplyWaiter&) = delete;
+    IcpReplyWaiter& operator=(const IcpReplyWaiter&) = delete;
+    ~IcpReplyWaiter();
+
+    /// Block until a reply routed to this query arrives (FIFO), the
+    /// deadline passes, or the demux shuts down. nullopt on the latter two.
+    [[nodiscard]] std::optional<Datagram> wait_next(
+        std::chrono::steady_clock::time_point deadline);
+
+    [[nodiscard]] std::uint32_t query_number() const { return qn_; }
+
+private:
+    friend class ReplyDemux;
+    IcpReplyWaiter(ReplyDemux* demux, std::uint32_t qn) : demux_(demux), qn_(qn) {}
+
+    ReplyDemux* demux_ = nullptr;  ///< null after move-from
+    std::uint32_t qn_ = 0;
+};
+
+class ReplyDemux {
+public:
+    ReplyDemux();
+
+    ReplyDemux(const ReplyDemux&) = delete;
+    ReplyDemux& operator=(const ReplyDemux&) = delete;
+
+    /// Register an outstanding query. `qn` must not already be registered
+    /// (callers allocate from an atomic counter, so rounds never collide).
+    [[nodiscard]] IcpReplyWaiter register_query(std::uint32_t qn);
+
+    /// Route a reply datagram to its waiter. Returns false — and counts a
+    /// stale reply — when no round with this request number is outstanding.
+    bool dispatch(std::uint32_t request_number, Datagram dgram);
+
+    /// Wake every waiter with "no more replies"; subsequent waits return
+    /// nullopt immediately. Used at proxy shutdown so workers blocked on
+    /// a query round join promptly instead of riding out their timeout.
+    void shutdown();
+
+    /// Replies dropped because their request number was unknown/expired.
+    [[nodiscard]] std::uint64_t stale_replies() const;
+
+    /// Rounds currently outstanding (tests).
+    [[nodiscard]] std::size_t pending_rounds() const;
+
+private:
+    friend class IcpReplyWaiter;
+
+    struct Round {
+        std::deque<Datagram> replies;
+    };
+
+    void unregister(std::uint32_t qn);
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;  ///< shared: waiters re-check their round
+    bool shutdown_ = false;
+    std::unordered_map<std::uint32_t, Round> rounds_;
+    std::uint64_t stale_ = 0;
+};
+
+}  // namespace sc

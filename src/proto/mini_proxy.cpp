@@ -1,10 +1,14 @@
 #include "proto/mini_proxy.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <random>
 #include <string>
+#include <system_error>
 
 #include "obs/trace_ring.hpp"
 #include "summary/message_costs.hpp"
@@ -50,7 +54,10 @@ MiniProxy::MiniProxy(MiniProxyConfig config)
       node_(SummaryCacheNodeConfig{
           config.id,
           std::max<std::uint64_t>(1, config.cache_bytes / kAverageDocumentBytes),
-          config.bloom, config.update_threshold}) {
+          config.bloom, config.update_threshold}),
+      next_query_number_(std::random_device{}()) {
+    if (::pipe2(wake_pipe_, O_CLOEXEC | O_NONBLOCK) < 0)
+        throw std::system_error(errno, std::generic_category(), "pipe2");
     const obs::Labels labels{{"mode", share_mode_name(config_.mode)},
                              {"node", std::to_string(config_.id)}};
     auto& reg = obs::metrics();
@@ -79,6 +86,11 @@ MiniProxy::MiniProxy(MiniProxyConfig config)
         reg.gauge("sc_proxy_cached_documents", "Documents currently cached", labels);
     obs_.cached_bytes =
         reg.gauge("sc_proxy_cached_bytes", "Bytes currently cached", labels);
+    obs_.worker_queue_depth = reg.gauge(
+        "sc_proxy_worker_queue_depth",
+        "Dispatched request lines waiting for a free worker", labels);
+    obs_.inflight_requests = reg.gauge(
+        "sc_proxy_inflight_requests", "Requests currently being served by workers", labels);
     if (!config_.access_log_path.empty()) {
         access_log_ = std::make_unique<std::ofstream>(config_.access_log_path,
                                                       std::ios::app);
@@ -97,15 +109,22 @@ MiniProxy::MiniProxy(MiniProxyConfig config)
     }
 }
 
-MiniProxy::~MiniProxy() { stop(); }
+MiniProxy::~MiniProxy() {
+    stop();
+    if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+    if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
 
 void MiniProxy::add_sibling(NodeId id, Endpoint icp, Endpoint http) {
     SC_ASSERT(!started_.load());
-    siblings_.push_back(Sibling{id, icp, http});
+    siblings_.emplace_back(id, icp, http);
 }
 
 void MiniProxy::start() {
     if (started_.exchange(true)) return;
+    const int n = std::max(1, config_.workers);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
     loop_ = std::thread([this] { run(); });
     if (config_.mode == ShareMode::digest_pull)
         digest_thread_ = std::thread([this] { digest_fetch_loop(); });
@@ -114,7 +133,12 @@ void MiniProxy::start() {
 void MiniProxy::stop() {
     if (!started_.load()) return;
     stopping_.store(true);
+    demux_.shutdown();  // workers blocked on a query round return promptly
+    jobs_cv_.notify_all();
     if (loop_.joinable()) loop_.join();
+    for (auto& w : workers_)
+        if (w.joinable()) w.join();
+    workers_.clear();
     if (digest_thread_.joinable()) digest_thread_.join();
 }
 
@@ -131,14 +155,16 @@ void MiniProxy::broadcast_full_summary() {
 }
 
 MiniProxyStats MiniProxy::stats() const {
-    const std::lock_guard lock(stats_mu_);
-    return stats_;
+    MiniProxyStats s;
+    {
+        const std::lock_guard lock(stats_mu_);
+        s = stats_;
+    }
+    s.icp_stale_replies = demux_.stale_replies();
+    return s;
 }
 
-std::size_t MiniProxy::cached_documents() const {
-    // Read when the proxy is quiescent (between workloads or after stop()).
-    return cache_.document_count();
-}
+std::size_t MiniProxy::cached_documents() const { return cache_.document_count(); }
 
 void MiniProxy::log_access(HttpLiteStatus status, const HttpLiteRequest& req,
                            std::chrono::steady_clock::time_point started) {
@@ -149,6 +175,7 @@ void MiniProxy::log_access(HttpLiteStatus status, const HttpLiteRequest& req,
     const auto epoch_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                               std::chrono::system_clock::now().time_since_epoch())
                               .count();
+    const std::lock_guard lock(access_log_mu_);
     (*access_log_) << epoch_ms << ' ' << config_.id << ' '
                    << http_lite_status_name(status) << ' ' << req.size << ' ' << latency
                    << ' ' << req.url << '\n';
@@ -189,8 +216,8 @@ void MiniProxy::send_keepalives_and_check_liveness() {
 
     const auto deadline = config_.keepalive_interval * config_.liveness_strikes;
     for (Sibling& s : siblings_) {
-        if (s.alive && now - s.last_heard > deadline) {
-            s.alive = false;
+        if (s.alive.load(std::memory_order_relaxed) && now - s.last_heard > deadline) {
+            s.alive.store(false, std::memory_order_relaxed);
             {
                 const std::lock_guard lock(node_mu_);
                 node_.forget_sibling(s.id);  // stale replica must not attract queries
@@ -261,10 +288,10 @@ void MiniProxy::note_heard_from(NodeId sender) {
                                  [sender](const Sibling& s) { return s.id == sender; });
     if (it == siblings_.end()) return;
     it->last_heard = std::chrono::steady_clock::now();
-    if (!it->alive) {
+    if (!it->alive.load(std::memory_order_relaxed)) {
         // Recovery (Section VI-B): the peer is back; reinitialize its view
         // of us with a full bitmap.
-        it->alive = true;
+        it->alive.store(true, std::memory_order_relaxed);
         obs::trace(obs::TraceEventType::sibling_recovered,
                    static_cast<std::uint16_t>(config_.id), it->id);
         {
@@ -284,53 +311,136 @@ void MiniProxy::note_heard_from(NodeId sender) {
     }
 }
 
+void MiniProxy::wake_loop() {
+    const char byte = 'w';
+    // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+    (void)!::write(wake_pipe_[1], &byte, 1);
+}
+
+bool MiniProxy::pump_session(std::uint64_t id, Session& s) {
+    if (s.busy) return true;
+    if (auto line = s.conn.buffered_line()) {
+        s.busy = true;
+        {
+            const std::lock_guard lock(jobs_mu_);
+            job_queue_.push_back(Job{id, &s, std::move(*line)});
+        }
+        obs_.worker_queue_depth.add(1);
+        jobs_cv_.notify_one();
+        return true;
+    }
+    if (s.saw_eof) return false;  // peer closed; buffered lines all served
+    // A stream this long without a newline is not a request line.
+    if (s.conn.buffered_bytes() > kMaxRequestLineBytes) return false;
+    return true;
+}
+
 void MiniProxy::run() {
-    std::vector<TcpConnection> clients;
     for (Sibling& s : siblings_) s.last_heard = std::chrono::steady_clock::now();
     next_keepalive_ = std::chrono::steady_clock::now() + config_.keepalive_interval;
+    std::vector<pollfd> pfds;
+    std::vector<std::uint64_t> pfd_sessions;  // ids behind pfds[3..]
+    std::vector<Completion> done;
     while (!stopping_.load()) {
         send_keepalives_and_check_liveness();
-        std::vector<pollfd> pfds;
+        pfds.clear();
+        pfd_sessions.clear();
         pfds.push_back({listener_.fd(), POLLIN, 0});
         pfds.push_back({udp_.fd(), POLLIN, 0});
-        for (const auto& c : clients) pfds.push_back({c.fd(), POLLIN, 0});
+        pfds.push_back({wake_pipe_[0], POLLIN, 0});
+        for (const auto& [id, s] : sessions_) {
+            if (s->busy) continue;  // a worker owns the connection
+            pfds.push_back({s->conn.fd(), POLLIN, 0});
+            pfd_sessions.push_back(id);
+        }
 
         const int ready = ::poll(pfds.data(), pfds.size(), 50);
-        if (ready <= 0) continue;
+        if (ready < 0) continue;  // EINTR
 
+        // Worker completions first: they idle sessions that may have more
+        // buffered (pipelined) requests ready to dispatch.
+        if (pfds[2].revents & POLLIN) {
+            char drain[256];
+            while (::read(wake_pipe_[0], drain, sizeof drain) > 0) {}
+        }
+        done.clear();
+        {
+            const std::lock_guard lock(jobs_mu_);
+            done.swap(completions_);
+        }
+        for (const Completion& c : done) {
+            const auto it = sessions_.find(c.session_id);
+            if (it == sessions_.end()) continue;
+            Session& s = *it->second;
+            s.busy = false;
+            if (!c.keep || !pump_session(c.session_id, s)) sessions_.erase(it);
+        }
+
+        // Accepting cannot invalidate this round's pfds: new sessions are
+        // simply absent from the snapshot until the next iteration (this
+        // ordering replaces the old read-past-the-end of pfds when an
+        // accept landed mid-iteration).
         if (pfds[0].revents & POLLIN) {
-            if (auto conn = listener_.accept(0)) clients.push_back(std::move(*conn));
+            while (auto conn = listener_.accept(0)) {
+                const std::uint64_t id = next_session_id_++;
+                sessions_.emplace(id, std::make_unique<Session>(std::move(*conn)));
+            }
         }
         if (pfds[1].revents & POLLIN) {
             while (auto dgram = udp_.receive(0)) handle_datagram(*dgram);
         }
-        for (std::size_t i = 0; i < clients.size();) {
-            const auto& pfd = pfds[2 + i];
-            if (!(pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
-                ++i;
-                continue;
-            }
-            bool keep = true;
+        for (std::size_t k = 3; k < pfds.size(); ++k) {
+            if (!(pfds[k].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+            const auto it = sessions_.find(pfd_sessions[k - 3]);
+            if (it == sessions_.end() || it->second->busy) continue;
+            Session& s = *it->second;
+            bool drop = false;
             try {
-                const auto line = clients[i].read_line();
-                if (!line) {
-                    keep = false;
-                } else {
-                    keep = handle_client_line(clients[i], *line);
-                }
+                // Only the bytes available right now: a slow or malicious
+                // client that stops mid-line parks its partial buffer here
+                // and we resume on its next readiness event — it can no
+                // longer wedge the loop in a blocking read.
+                if (s.conn.fill_available() == TcpConnection::Fill::eof)
+                    s.saw_eof = true;
             } catch (const std::exception&) {
-                keep = false;  // protocol error or broken pipe: drop client
+                drop = true;  // ECONNRESET and friends
             }
-            if (keep) {
-                ++i;
-            } else {
-                clients.erase(clients.begin() + static_cast<std::ptrdiff_t>(i));
-            }
+            if (drop || !pump_session(it->first, s)) sessions_.erase(it);
         }
     }
 }
 
-bool MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line) {
+void MiniProxy::worker_loop() {
+    WorkerCtx ctx;
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock lock(jobs_mu_);
+            jobs_cv_.wait(lock,
+                          [this] { return stopping_.load() || !job_queue_.empty(); });
+            if (stopping_.load()) return;  // shutdown drops queued work
+            job = std::move(job_queue_.front());
+            job_queue_.pop_front();
+        }
+        obs_.worker_queue_depth.add(-1);
+        obs_.inflight_requests.add(1);
+        bool keep = false;
+        try {
+            keep = handle_client_line(job.session->conn, job.line, ctx);
+        } catch (const std::exception&) {
+            // protocol error or broken pipe: drop client
+        }
+        obs_.inflight_requests.add(-1);
+        {
+            const std::lock_guard lock(jobs_mu_);
+            completions_.push_back({job.session_id, keep});
+        }
+        wake_loop();
+    }
+}
+
+bool MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line,
+                                   WorkerCtx& ctx) {
     if (line.rfind("GET /__metrics", 0) == 0 || line.rfind("GET /__trace", 0) == 0) {
         serve_admin(conn, line);
         return false;  // admin endpoints are one-shot; close like HTTP/1.0
@@ -394,7 +504,7 @@ bool MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line)
     if (config_.mode == ShareMode::icp) {
         targets.reserve(siblings_.size());
         for (const Sibling& s : siblings_)
-            if (s.alive) targets.push_back(s.id);
+            if (s.alive.load(std::memory_order_relaxed)) targets.push_back(s.id);
     } else if (uses_summaries(config_.mode)) {
         const std::lock_guard lock(node_mu_);
         targets = node_.promising_siblings(req->url);
@@ -436,7 +546,7 @@ bool MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line)
         }
     }
 
-    const std::string body = fetch_from_origin(*req);
+    const std::string body = fetch_from_origin(*req, ctx);
     {
         const std::lock_guard lock(stats_mu_);
         ++stats_.origin_fetches;
@@ -451,7 +561,9 @@ bool MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line)
 
 void MiniProxy::serve_admin(TcpConnection& conn, const std::string& line) {
     // curl speaks "GET <path> HTTP/1.x" followed by a header block; the
-    // http-lite client sends the bare request line. Answer both.
+    // http-lite client sends the bare request line. Answer both. The
+    // worker owns the connection here, so the blocking header drain is
+    // safe — the event loop is not polling this fd.
     const bool want_trace = line.rfind("GET /__trace", 0) == 0;
     const bool http_style = line.find(" HTTP/") != std::string::npos;
     if (http_style) {
@@ -479,7 +591,9 @@ void MiniProxy::serve_admin(TcpConnection& conn, const std::string& line) {
 
 MiniProxy::QueryOutcome MiniProxy::query_siblings(const HttpLiteRequest& req,
                                                   const std::vector<NodeId>& targets) {
-    const std::uint32_t qn = next_query_number_++;
+    const std::uint32_t qn =
+        next_query_number_.fetch_add(1, std::memory_order_relaxed);
+    IcpReplyWaiter waiter = demux_.register_query(qn);
     IcpQuery query;
     query.request_number = qn;
     query.sender_host = config_.id;
@@ -505,60 +619,45 @@ MiniProxy::QueryOutcome MiniProxy::query_siblings(const HttpLiteRequest& req,
     std::size_t replies = 0;
     const auto deadline = std::chrono::steady_clock::now() + config_.query_timeout;
     while (replies < sent && !outcome.inline_object) {
-        const auto now = std::chrono::steady_clock::now();
-        if (now >= deadline) break;
-        const auto remaining =
-            std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
-        auto dgram = udp_.receive(static_cast<int>(remaining.count()) + 1);
-        if (!dgram) break;
-        {
-            const std::lock_guard lock(stats_mu_);
-            stats_.udp_bytes_received += dgram->payload.size();
-        }
+        // The event loop receives every datagram; replies for our round
+        // arrive through the demux, so concurrent workers' rounds can
+        // never consume each other's replies.
+        auto dgram = waiter.wait_next(deadline);
+        if (!dgram) break;  // timeout or shutdown
         IcpHeader header;
         try {
             header = decode_header(dgram->payload);
         } catch (const WireError&) {
-            continue;
+            continue;  // cannot happen: the loop validated before routing
         }
-        note_heard_from(header.sender_host);
-        const bool is_reply = header.opcode == IcpOpcode::hit ||
-                              header.opcode == IcpOpcode::miss ||
-                              header.opcode == IcpOpcode::hit_obj;
-        if (is_reply && header.request_number == qn) {
-            ++replies;
-            {
-                const std::lock_guard lock(stats_mu_);
-                ++stats_.icp_replies_received;
-                if (header.opcode == IcpOpcode::miss && uses_summaries(config_.mode))
-                    ++stats_.false_hit_queries;
-            }
-            if (header.opcode == IcpOpcode::miss && uses_summaries(config_.mode)) {
-                obs_.false_hit_queries.inc();
-                obs::trace(obs::TraceEventType::false_positive_probe,
-                           static_cast<std::uint16_t>(config_.id), header.sender_host);
-            }
-            if (header.opcode == IcpOpcode::hit) {
-                outcome.hits.push_back(header.sender_host);
-            } else if (header.opcode == IcpOpcode::hit_obj) {
-                try {
-                    const IcpHitObj obj = decode_hit_obj(dgram->payload);
-                    if (obj.version == static_cast<std::uint32_t>(req.version) &&
-                        obj.object.size() == req.size) {
-                        outcome.inline_object = true;
-                    } else {
-                        // Stale or odd inline copy: fall back to SGET.
-                        outcome.hits.push_back(header.sender_host);
-                    }
-                } catch (const WireError&) {
+        ++replies;
+        {
+            const std::lock_guard lock(stats_mu_);
+            ++stats_.icp_replies_received;
+            if (header.opcode == IcpOpcode::miss && uses_summaries(config_.mode))
+                ++stats_.false_hit_queries;
+        }
+        if (header.opcode == IcpOpcode::miss && uses_summaries(config_.mode)) {
+            obs_.false_hit_queries.inc();
+            obs::trace(obs::TraceEventType::false_positive_probe,
+                       static_cast<std::uint16_t>(config_.id), header.sender_host);
+        }
+        if (header.opcode == IcpOpcode::hit) {
+            outcome.hits.push_back(header.sender_host);
+        } else if (header.opcode == IcpOpcode::hit_obj) {
+            try {
+                const IcpHitObj obj = decode_hit_obj(dgram->payload);
+                if (obj.version == static_cast<std::uint32_t>(req.version) &&
+                    obj.object.size() == req.size) {
+                    outcome.inline_object = true;
+                } else {
+                    // Stale or odd inline copy: fall back to SGET.
                     outcome.hits.push_back(header.sender_host);
                 }
+            } catch (const WireError&) {
+                outcome.hits.push_back(header.sender_host);
             }
-            continue;
         }
-        // Not our reply: service it so siblings are never starved while we
-        // wait (queries, updates, or stale replies from earlier rounds).
-        handle_datagram_body(*dgram, header);
     }
     if (replies < sent && !outcome.inline_object) {
         obs_.icp_timeouts.inc();
@@ -580,6 +679,16 @@ void MiniProxy::handle_datagram(const Datagram& dgram) {
         return;  // malformed datagram: drop
     }
     note_heard_from(header.sender_host);
+    const bool is_reply = header.opcode == IcpOpcode::hit ||
+                          header.opcode == IcpOpcode::miss ||
+                          header.opcode == IcpOpcode::hit_obj;
+    if (is_reply) {
+        // Route to the worker that owns this query round; unknown or
+        // expired request numbers (delayed replies from an earlier round,
+        // a restarted peer) are counted and dropped, never misdelivered.
+        (void)demux_.dispatch(header.request_number, dgram);
+        return;
+    }
     handle_datagram_body(dgram, header);
 }
 
@@ -621,7 +730,7 @@ void MiniProxy::handle_datagram_body(const Datagram& dgram, const IcpHeader& hea
         case IcpOpcode::decho:
             break;  // note_heard_from already refreshed the peer
         default:
-            break;  // late replies and unknown opcodes are dropped
+            break;  // unknown opcodes are dropped
     }
 }
 
@@ -639,8 +748,8 @@ void MiniProxy::answer_query(const Datagram& dgram) {
 
     // Small cached documents ride back inline (ICP_OP_HIT_OBJ).
     if (config_.hit_obj_max_bytes > 0) {
-        if (const LruCache::Entry* entry = cache_.peek(query.url);
-            entry != nullptr &&
+        if (const auto entry = cache_.entry_copy(query.url);
+            entry &&
             entry->size <= std::min<std::uint64_t>(config_.hit_obj_max_bytes,
                                                    kMaxHitObjBytes)) {
             IcpHitObj obj;
@@ -694,22 +803,22 @@ std::optional<std::string> MiniProxy::fetch_from_sibling(NodeId id, const HttpLi
     }
 }
 
-std::string MiniProxy::fetch_from_origin(const HttpLiteRequest& req) {
+std::string MiniProxy::fetch_from_origin(const HttpLiteRequest& req, WorkerCtx& ctx) {
     for (int attempt = 0; attempt < 2; ++attempt) {
         try {
-            if (!origin_conn_ || !origin_conn_->valid())
-                origin_conn_ = TcpConnection::connect(config_.origin);
-            origin_conn_->write_all(format_request(req));
-            const auto line = origin_conn_->read_line();
+            if (!ctx.origin_conn || !ctx.origin_conn->valid())
+                ctx.origin_conn = TcpConnection::connect(config_.origin);
+            ctx.origin_conn->write_all(format_request(req));
+            const auto line = ctx.origin_conn->read_line();
             if (!line) throw std::runtime_error("origin closed connection");
             const auto header = parse_response_header(*line);
             if (!header || header->status != HttpLiteStatus::ok)
                 throw std::runtime_error("bad origin response");
             std::string body;
-            origin_conn_->read_exact(header->size, body);
+            ctx.origin_conn->read_exact(header->size, body);
             return body;
         } catch (const std::exception&) {
-            origin_conn_.reset();  // reconnect once, then give up
+            ctx.origin_conn.reset();  // reconnect once, then give up
             if (attempt == 1) throw;
         }
     }
@@ -721,9 +830,13 @@ void MiniProxy::insert_document(const HttpLiteRequest& req) {
     obs_.cached_documents.set(static_cast<double>(cache_.document_count()));
     obs_.cached_bytes.set(static_cast<double>(cache_.used_bytes()));
     if (!uses_summaries(config_.mode)) return;
+    // Read the count before taking node_mu_: the insert hooks lock
+    // cache-mutex-then-node_mu_, so querying the cache under node_mu_
+    // would invert that order.
+    const std::size_t directory_size = cache_.document_count();
     {
         const std::lock_guard lock(node_mu_);
-        node_.set_directory_size(cache_.document_count());
+        node_.set_directory_size(directory_size);
     }
     if (config_.mode == ShareMode::summary) broadcast_updates();
     // digest_pull: siblings fetch the whole digest on their own schedule.

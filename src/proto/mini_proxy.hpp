@@ -11,15 +11,26 @@
 //   * digest_pull — the Squid Cache Digest variant: periodically fetch
 //                   each sibling's full digest over TCP instead.
 //
-// Single event-loop thread per proxy. While waiting for ICP replies the
-// loop keeps servicing incoming UDP (sibling queries and updates), so
-// proxies never deadlock on each other's control traffic; sibling
-// *document* fetches use a receive timeout and degrade to an origin fetch.
+// Threading model (docs/PROTOCOL.md "Threading model"): one event-loop
+// thread owns the listener, the UDP socket, and every idle client
+// connection. It only accepts, polls readiness, and reads *available*
+// bytes into per-connection buffers — it never blocks on a partial line
+// and never runs a fetch. Complete request lines are dispatched to an
+// N-thread worker pool (`MiniProxyConfig::workers`) that runs the full
+// local-hit / summary-probe / sibling-query / origin-fetch pipeline; a
+// connection is owned by exactly one worker while its request is in
+// flight, so responses on one connection stay ordered. ICP replies are
+// routed to the waiting worker by request number through a ReplyDemux;
+// all other datagrams (queries, updates, liveness) are serviced inline by
+// the event loop, so two proxies can never deadlock on each other's
+// control traffic even at workers=1.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -31,6 +42,7 @@
 
 #include "cache/lru_cache.hpp"
 #include "core/summary_cache_node.hpp"
+#include "icp/reply_demux.hpp"
 #include "icp/udp_socket.hpp"
 #include "obs/metrics.hpp"
 #include "proto/http_lite.hpp"
@@ -48,6 +60,10 @@ enum class ShareMode {
 
 [[nodiscard]] const char* share_mode_name(ShareMode m);
 
+/// A client that streams more than this many bytes without completing a
+/// request line is dropped (slow-loris / garbage-stream protection).
+inline constexpr std::size_t kMaxRequestLineBytes = 64 * 1024;
+
 struct MiniProxyConfig {
     NodeId id = 0;
     std::uint16_t http_port = 0;  ///< 0 = ephemeral
@@ -63,6 +79,11 @@ struct MiniProxyConfig {
     BloomSummaryConfig bloom;
     std::chrono::milliseconds query_timeout{100};   ///< ICP reply wait
     std::chrono::milliseconds fetch_timeout{2000};  ///< sibling SGET wait
+
+    /// Request-pipeline worker threads. 1 reproduces the serial behavior
+    /// (requests complete in arrival order); more lets slow sibling or
+    /// origin fetches overlap instead of head-of-line blocking everyone.
+    int workers = 1;
 
     /// Liveness (Section VI-B): SECHO probes every interval; a sibling
     /// that stays silent for liveness_strikes intervals is declared dead
@@ -94,6 +115,7 @@ struct MiniProxyStats {
     std::uint64_t icp_queries_received = 0;
     std::uint64_t icp_replies_sent = 0;
     std::uint64_t icp_replies_received = 0;
+    std::uint64_t icp_stale_replies = 0;  ///< replies for unknown/expired query rounds
     std::uint64_t updates_sent = 0;      ///< update datagrams sent (all siblings)
     std::uint64_t updates_received = 0;
     std::uint64_t sibling_fetches = 0;
@@ -124,7 +146,7 @@ public:
     /// Register a sibling (call on every proxy before start()).
     void add_sibling(NodeId id, Endpoint icp, Endpoint http);
 
-    /// Launch the event loop. Idempotent.
+    /// Launch the event loop and worker pool. Idempotent.
     void start();
 
     /// Stop and join. Idempotent; the destructor calls it.
@@ -138,22 +160,53 @@ public:
     [[nodiscard]] std::size_t cached_documents() const;
 
 private:
+    /// Sibling bookkeeping. `alive` is written by the event loop
+    /// (liveness) and read by workers picking query targets, hence
+    /// atomic; `last_heard` is event-loop-only; the endpoints and id are
+    /// immutable after start().
     struct Sibling {
         NodeId id;
         Endpoint icp;
         Endpoint http;
-        bool alive = true;
+        std::atomic<bool> alive{true};
         std::chrono::steady_clock::time_point last_heard{};
+
+        Sibling(NodeId id_, Endpoint icp_, Endpoint http_)
+            : id(id_), icp(icp_), http(http_) {}
+        Sibling(const Sibling& o)  // pre-start() vector growth only
+            : id(o.id), icp(o.icp), http(o.http), alive(o.alive.load()),
+              last_heard(o.last_heard) {}
     };
 
-    struct ClientSession {
+    /// One accepted client connection. Owned by the event loop while
+    /// idle; handed to exactly one worker (busy == true) per dispatched
+    /// request, during which the loop neither polls nor touches conn.
+    struct Session {
         TcpConnection conn;
+        bool busy = false;     ///< a worker owns the connection right now
+        bool saw_eof = false;  ///< peer closed; drain buffered lines, then close
+
+        explicit Session(TcpConnection c) : conn(std::move(c)) {}
+    };
+
+    /// Per-worker state: each worker keeps its own persistent origin
+    /// connection so fetches never contend on a shared socket.
+    struct WorkerCtx {
+        std::optional<TcpConnection> origin_conn;
     };
 
     void run();
+    void worker_loop();
+    /// Dispatch the next buffered request line of an idle session, or
+    /// decide the session is finished. Returns false when the caller
+    /// should erase (close) the session.
+    [[nodiscard]] bool pump_session(std::uint64_t id, Session& s);
+    void wake_loop();
+
     /// Returns false when the connection should be closed after the reply
     /// (admin endpoints speak real HTTP and close).
-    [[nodiscard]] bool handle_client_line(TcpConnection& conn, const std::string& line);
+    [[nodiscard]] bool handle_client_line(TcpConnection& conn, const std::string& line,
+                                          WorkerCtx& ctx);
     /// GET /__metrics (Prometheus text) and /__trace (JSON event dump);
     /// answers both curl-style HTTP/1.x and bare HTTP-lite request lines.
     void serve_admin(TcpConnection& conn, const std::string& line);
@@ -166,7 +219,8 @@ private:
         bool inline_object = false;   ///< a fresh HIT_OBJ carried the body
     };
 
-    /// Query the targets and collect replies within the timeout.
+    /// Query the targets and collect replies within the timeout. Runs on
+    /// a worker; replies arrive via the demux (the event loop receives).
     [[nodiscard]] QueryOutcome query_siblings(const HttpLiteRequest& req,
                                               const std::vector<NodeId>& targets);
 
@@ -177,7 +231,7 @@ private:
 
     [[nodiscard]] std::optional<std::string> fetch_from_sibling(NodeId id,
                                                                 const HttpLiteRequest& req);
-    [[nodiscard]] std::string fetch_from_origin(const HttpLiteRequest& req);
+    [[nodiscard]] std::string fetch_from_origin(const HttpLiteRequest& req, WorkerCtx& ctx);
     void insert_document(const HttpLiteRequest& req);
     void broadcast_updates();
     void send_udp(const Endpoint& to, std::span<const std::uint8_t> payload);
@@ -194,24 +248,51 @@ private:
     UdpSocket udp_;
     Endpoint http_endpoint_;
     Endpoint icp_endpoint_;
-    LruCache cache_;
-    /// Guards node_: the event loop and (in digest_pull mode) the digest
-    /// fetcher thread both touch the protocol state.
+    LruCache cache_;  ///< internally thread-safe (shared with workers)
+    /// Guards node_: workers, the event loop, and (in digest_pull mode)
+    /// the digest fetcher thread all touch the protocol state. Lock
+    /// order: cache_ internal mutex first (insert hooks), then node_mu_.
     mutable std::mutex node_mu_;
     SummaryCacheNode node_;
     std::vector<Sibling> siblings_;
-    std::optional<TcpConnection> origin_conn_;
-    std::uint32_t next_query_number_ = 1;
+    ReplyDemux demux_;  ///< routes ICP replies to the querying worker
+    /// Seeded per-boot so a restarted proxy's rounds never collide with
+    /// replies still in flight toward its predecessor's numbers.
+    std::atomic<std::uint32_t> next_query_number_;
     std::chrono::steady_clock::time_point next_keepalive_{};
 
+    // --- event loop <-> worker pool ------------------------------------
+    struct Job {
+        std::uint64_t session_id;
+        Session* session;  ///< stable (sessions_ stores unique_ptr)
+        std::string line;
+    };
+    struct Completion {
+        std::uint64_t session_id;
+        bool keep;
+    };
+    std::mutex jobs_mu_;  ///< guards job_queue_ and completions_
+    std::condition_variable jobs_cv_;
+    std::deque<Job> job_queue_;
+    std::vector<Completion> completions_;
+    int wake_pipe_[2] = {-1, -1};  ///< workers wake the poll loop
+
+    /// All sessions, keyed by a monotonically assigned id. Touched only
+    /// by the event loop thread (workers reach a session exclusively
+    /// through the Job's stable pointer while it is busy).
+    std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+    std::uint64_t next_session_id_ = 1;
+
     std::thread loop_;
+    std::vector<std::thread> workers_;
     std::thread digest_thread_;  ///< digest_pull mode only
     std::atomic<bool> stopping_{false};
     std::atomic<bool> started_{false};
 
     mutable std::mutex stats_mu_;
     MiniProxyStats stats_;
-    std::unique_ptr<std::ofstream> access_log_;  // loop thread only
+    std::mutex access_log_mu_;  ///< workers share the access log stream
+    std::unique_ptr<std::ofstream> access_log_;
 
     // sc::obs instrumentation, labeled {node, mode}. The hit/miss pair is
     // incremented exactly where the access log line is written, so
@@ -227,6 +308,8 @@ private:
         obs::Histogram request_latency;
         obs::Gauge cached_documents;
         obs::Gauge cached_bytes;
+        obs::Gauge worker_queue_depth;   ///< dispatched lines awaiting a worker
+        obs::Gauge inflight_requests;    ///< requests currently inside workers
     };
     Instruments obs_;
 };

@@ -93,19 +93,38 @@ bool TcpConnection::fill_buffer() {
     }
 }
 
+TcpConnection::Fill TcpConnection::fill_available() {
+    char chunk[16384];
+    for (;;) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, MSG_DONTWAIT);
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            tcp_metrics().bytes_read.inc(static_cast<std::uint64_t>(n));
+            return Fill::data;
+        }
+        if (n == 0) return Fill::eof;
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return Fill::would_block;
+        throw_errno("recv");
+    }
+}
+
+std::optional<std::string> TcpConnection::buffered_line() {
+    const std::size_t nl = buf_.find('\n', pos_);
+    if (nl == std::string::npos) return std::nullopt;
+    std::string line = buf_.substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+    if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return line;
+}
+
 std::optional<std::string> TcpConnection::read_line() {
     for (;;) {
-        const std::size_t nl = buf_.find('\n', pos_);
-        if (nl != std::string::npos) {
-            std::string line = buf_.substr(pos_, nl - pos_);
-            pos_ = nl + 1;
-            if (pos_ == buf_.size()) {
-                buf_.clear();
-                pos_ = 0;
-            }
-            if (!line.empty() && line.back() == '\r') line.pop_back();
-            return line;
-        }
+        if (auto line = buffered_line()) return line;
         if (!fill_buffer()) {
             if (pos_ < buf_.size())
                 throw std::runtime_error("EOF in the middle of a line");

@@ -31,6 +31,26 @@ public:
     /// Returns nullopt on clean EOF before any byte of a new line.
     [[nodiscard]] std::optional<std::string> read_line();
 
+    /// Outcome of one non-blocking read attempt.
+    enum class Fill : std::uint8_t {
+        data,         ///< at least one byte was appended to the readahead
+        would_block,  ///< nothing available right now
+        eof,          ///< peer closed (readahead may still hold bytes)
+    };
+
+    /// Pull whatever bytes are available into the readahead buffer
+    /// without blocking (single MSG_DONTWAIT recv). Lets an event loop
+    /// consume POLLIN readiness byte-by-byte and resume line parsing on
+    /// the next readiness event instead of blocking for a full line.
+    [[nodiscard]] Fill fill_available();
+
+    /// Extract one complete line from the readahead buffer only — never
+    /// touches the socket. Returns nullopt when no full line is buffered.
+    [[nodiscard]] std::optional<std::string> buffered_line();
+
+    /// Bytes sitting in the readahead buffer (partial or complete lines).
+    [[nodiscard]] std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
     /// True when a read would not block: either readahead is buffered or
     /// the socket is readable (data or EOF) within timeout_ms.
     [[nodiscard]] bool wait_readable(int timeout_ms);

@@ -1,0 +1,111 @@
+#include "icp/reply_demux.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace sc {
+namespace {
+
+using namespace std::chrono_literals;
+
+Datagram tagged(std::uint8_t tag) {
+    Datagram d;
+    d.payload = {tag};
+    return d;
+}
+
+std::chrono::steady_clock::time_point in(std::chrono::milliseconds ms) {
+    return std::chrono::steady_clock::now() + ms;
+}
+
+TEST(ReplyDemux, DeliversRepliesFifoToTheirRound) {
+    ReplyDemux demux;
+    auto waiter = demux.register_query(7);
+    EXPECT_TRUE(demux.dispatch(7, tagged(1)));
+    EXPECT_TRUE(demux.dispatch(7, tagged(2)));
+    const auto first = waiter.wait_next(in(500ms));
+    const auto second = waiter.wait_next(in(500ms));
+    ASSERT_TRUE(first && second);
+    EXPECT_EQ(first->payload[0], 1);
+    EXPECT_EQ(second->payload[0], 2);
+}
+
+TEST(ReplyDemux, InterleavedRepliesForConcurrentRoundsNeverCross) {
+    // Two worker threads with outstanding rounds; the "event loop" (this
+    // thread) interleaves replies for both. Each worker must see exactly
+    // its own replies, in order.
+    ReplyDemux demux;
+    auto wa = demux.register_query(100);
+    auto wb = demux.register_query(200);
+
+    std::vector<std::uint8_t> got_a, got_b;
+    std::thread ta([&] {
+        for (int i = 0; i < 3; ++i)
+            if (auto d = wa.wait_next(in(2000ms))) got_a.push_back(d->payload[0]);
+    });
+    std::thread tb([&] {
+        for (int i = 0; i < 3; ++i)
+            if (auto d = wb.wait_next(in(2000ms))) got_b.push_back(d->payload[0]);
+    });
+    EXPECT_TRUE(demux.dispatch(200, tagged(10)));
+    EXPECT_TRUE(demux.dispatch(100, tagged(1)));
+    EXPECT_TRUE(demux.dispatch(100, tagged(2)));
+    EXPECT_TRUE(demux.dispatch(200, tagged(11)));
+    EXPECT_TRUE(demux.dispatch(100, tagged(3)));
+    EXPECT_TRUE(demux.dispatch(200, tagged(12)));
+    ta.join();
+    tb.join();
+    EXPECT_EQ(got_a, (std::vector<std::uint8_t>{1, 2, 3}));
+    EXPECT_EQ(got_b, (std::vector<std::uint8_t>{10, 11, 12}));
+}
+
+TEST(ReplyDemux, UnknownRequestNumberIsStale) {
+    ReplyDemux demux;
+    EXPECT_FALSE(demux.dispatch(42, tagged(1)));
+    EXPECT_EQ(demux.stale_replies(), 1u);
+    {
+        auto waiter = demux.register_query(42);
+        EXPECT_EQ(demux.pending_rounds(), 1u);
+        EXPECT_TRUE(demux.dispatch(42, tagged(2)));
+        ASSERT_TRUE(waiter.wait_next(in(500ms)));
+    }
+    // The round expired with the waiter: late replies are stale again.
+    EXPECT_EQ(demux.pending_rounds(), 0u);
+    EXPECT_FALSE(demux.dispatch(42, tagged(3)));
+    EXPECT_EQ(demux.stale_replies(), 2u);
+}
+
+TEST(ReplyDemux, WaitTimesOutWhenNoReplyArrives) {
+    ReplyDemux demux;
+    auto waiter = demux.register_query(1);
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(waiter.wait_next(in(30ms)));
+    EXPECT_GE(std::chrono::steady_clock::now() - start, 30ms);
+}
+
+TEST(ReplyDemux, ShutdownWakesBlockedWaiters) {
+    ReplyDemux demux;
+    auto waiter = demux.register_query(9);
+    std::thread t([&] { EXPECT_FALSE(waiter.wait_next(in(10s))); });
+    std::this_thread::sleep_for(20ms);
+    demux.shutdown();
+    t.join();  // must return promptly, not after 10s
+    // Post-shutdown waits return immediately.
+    auto late = demux.register_query(10);
+    EXPECT_FALSE(late.wait_next(in(10s)));
+}
+
+TEST(ReplyDemux, MovedFromWaiterReleasesOwnership) {
+    ReplyDemux demux;
+    auto a = demux.register_query(5);
+    IcpReplyWaiter b = std::move(a);
+    EXPECT_EQ(b.query_number(), 5u);
+    EXPECT_TRUE(demux.dispatch(5, tagged(1)));
+    EXPECT_TRUE(b.wait_next(in(500ms)));
+}
+
+}  // namespace
+}  // namespace sc

@@ -47,13 +47,15 @@ json_requests=$(sed -n \
 # --- live path ---------------------------------------------------------------
 "$ORIGIN" --port "$P_ORIGIN" --delay-ms 1 > "$WORK/origin.log" 2>&1 &
 PIDS+=($!)
+# Proxy 1 runs the serial default (--workers 1: replay counters must be
+# byte-identical to the pre-pool behavior); proxy 2 runs a 4-worker pool.
 "$PROXY" --id 1 --http-port "$P1_HTTP" --icp-port "$P1_ICP" --origin "$P_ORIGIN" \
-    --sibling "2:$P2_HTTP:$P2_ICP" --mode summary --threshold 0 \
+    --sibling "2:$P2_HTTP:$P2_ICP" --mode summary --threshold 0 --workers 1 \
     --access-log "$WORK/p1_access.log" \
     > "$WORK/p1.log" 2>&1 &
 PIDS+=($!)
 "$PROXY" --id 2 --http-port "$P2_HTTP" --icp-port "$P2_ICP" --origin "$P_ORIGIN" \
-    --sibling "1:$P1_HTTP:$P1_ICP" --mode summary --threshold 0 \
+    --sibling "1:$P1_HTTP:$P1_ICP" --mode summary --threshold 0 --workers 4 \
     --metrics-out "$WORK/p2_metrics.json" \
     > "$WORK/p2.log" 2>&1 &
 P2_PID=$!
@@ -92,6 +94,11 @@ prom_misses=$(sed -n 's/^sc_cache_misses_total{[^}]*} \([0-9]*\)$/\1/p' "$WORK/p
     || fail "sc_cache_hits_total=$prom_hits != access-log LOCAL_HIT lines=$log_hits"
 [ "${prom_misses:-x}" = "$log_misses" ] \
     || fail "sc_cache_misses_total=$prom_misses != access-log misses=$log_misses"
+# Worker-pool gauges exist and are quiescent (nothing in flight post-replay).
+queue_depth=$(sed -n 's/^sc_proxy_worker_queue_depth{[^}]*} \([0-9.]*\)$/\1/p' \
+    "$WORK/p1_metrics.prom")
+[ "${queue_depth:-x}" = "0" ] \
+    || fail "sc_proxy_worker_queue_depth=$queue_depth (want 0 when idle)"
 
 # GET /__trace returns a JSON array of protocol events.
 curl -sf --max-time 5 "http://127.0.0.1:$P1_HTTP/__trace" > "$WORK/p1_trace.json" \

@@ -9,7 +9,9 @@
 //   ...
 //
 // --sibling takes id:http-port:icp-port (loopback). Modes: none, icp,
-// summary, digest (Squid Cache-Digest-style pull). Prints a stats line every few seconds until killed.
+// summary, digest (Squid Cache-Digest-style pull). --workers N serves
+// requests with an N-thread pool (default 1 = serial, arrival order).
+// Prints a stats line every few seconds until killed.
 // --metrics-out FILE dumps the sc::obs registry as JSON on shutdown; live
 // metrics are also served at GET /__metrics on the HTTP port.
 #include <chrono>
@@ -74,7 +76,7 @@ int main(int argc, char** argv) {
     const cli::Flags flags(argc, argv,
                            {"id", "http-port", "icp-port", "origin", "sibling", "mode",
                             "cache-mb", "threshold", "hit-obj-bytes", "bind",
-                            "access-log", "metrics-out"});
+                            "access-log", "metrics-out", "workers"});
 
     MiniProxyConfig cfg;
     cfg.id = static_cast<NodeId>(flags.get_int("id", 1));
@@ -93,6 +95,8 @@ int main(int argc, char** argv) {
                                                  1024.0 * 1024.0);
     cfg.update_threshold = flags.get_double("threshold", 0.01);
     cfg.hit_obj_max_bytes = static_cast<std::uint64_t>(flags.get_int("hit-obj-bytes", 0));
+    cfg.workers = static_cast<int>(flags.get_int("workers", 1));
+    if (cfg.workers < 1) { std::fprintf(stderr, "bad --workers\n"); return 2; }
 
     const std::string mode = flags.get("mode", "summary");
     if (mode == "none") cfg.mode = ShareMode::none;

@@ -15,8 +15,11 @@
 #include "bloom/bloom_filter.hpp"
 #include "bloom/counting_bloom_filter.hpp"
 #include "cache/lru_cache.hpp"
+#include "core/peer_directory.hpp"
+#include "core/protocol_engine.hpp"
 #include "icp/icp_message.hpp"
 #include "obs/metrics.hpp"
+#include "summary/bloom_summary.hpp"
 #include "util/md5.hpp"
 
 namespace {
@@ -245,6 +248,56 @@ double best_seconds(F&& f, int trials) {
     }
     return best;
 }
+
+// --- engine decision path ---------------------------------------------------
+// One full ProtocolEngine decision per iteration — local lookup, peer-digest
+// probe, sequential query round, admission, publish check. This is the
+// per-request compute both the simulators and the live proxy pay now that
+// they share the engine; CI runs it alongside the BM_Obs guards.
+
+void BM_EngineDecision(benchmark::State& state) {
+    LruCache cache(LruCacheConfig{8ull * 1024 * 1024});
+    BloomSummary own(1024, {});
+    cache.set_insert_hook([&own](const LruCache::Entry& e) { own.on_insert(e.url); });
+    cache.set_removal_hook([&own](const LruCache::Entry& e) { own.on_erase(e.url); });
+
+    std::vector<BloomSummary> peers;
+    peers.reserve(3);
+    for (int i = 0; i < 3; ++i) peers.emplace_back(1024, BloomSummaryConfig{});
+    const auto urls = make_urls(4096);
+    // The middle peer advertises half the universe: rounds mix winners,
+    // wasted queries (Bloom noise), and empty probe sets.
+    for (std::size_t i = 0; i < urls.size(); i += 2) peers[1].on_insert(urls[i]);
+    peers[1].publish();
+    core::SummaryPeerView view;
+    view.set_prober(&own);
+    for (std::uint32_t i = 0; i < peers.size(); ++i) view.add_peer(i + 1, &peers[i]);
+
+    core::ProtocolEngine engine(
+        core::ProtocolEngineConfig{0, core::DeltaBatcherConfig{0.01, 0.0, 0}}, cache, &own,
+        &view);
+    std::size_t i = 0;
+    std::uint64_t served = 0;
+    for (auto _ : state) {
+        const auto& url = urls[i++ & (urls.size() - 1)];
+        if (engine.lookup_local(url, 0) == LruCache::Lookup::hit) {
+            ++served;
+            continue;
+        }
+        const auto targets = engine.probe(url);
+        const auto round =
+            engine.run_sequential_round(targets, [&](std::uint32_t id) {
+                return peers[id - 1].current_may_contain(url) ? core::PeerAnswer::fresh
+                                                              : core::PeerAnswer::absent;
+            });
+        if (round.winner) ++served;
+        (void)engine.admit(url, 8192, 0);
+        if (const auto pub = engine.maybe_publish(0.0))
+            benchmark::DoNotOptimize(pub->wire_bytes);
+    }
+    benchmark::DoNotOptimize(served);
+}
+BENCHMARK(BM_EngineDecision);
 
 /// The ISSUE's acceptance guard: instrumenting the summary request path
 /// must cost < 5% (SC_OBS_OVERHEAD_BUDGET_PCT overrides; returns nonzero

@@ -2,8 +2,9 @@
 //
 //  1. A counting Bloom filter mirrors a proxy's cache directory
 //     (insertions AND deletions — the structure this paper introduced).
-//  2. A SummaryCacheNode turns directory churn into SC-ICP update
-//     datagrams once the update threshold is crossed.
+//  2. A DeltaBatcher decides WHEN the churn is worth broadcasting (the
+//     update-delay threshold); a SummaryCacheNode encodes it as SC-ICP
+//     update datagrams (the cheaper of delta vs full bitmap).
 //  3. A second node ingests those datagrams and probes its replica to
 //     decide which siblings are worth querying — the step that replaces
 //     ICP's multicast-on-every-miss.
@@ -12,6 +13,7 @@
 #include <cstdio>
 
 #include "bloom/counting_bloom_filter.hpp"
+#include "core/delta_batcher.hpp"
 #include "core/summary_cache_node.hpp"
 
 int main() {
@@ -31,17 +33,25 @@ int main() {
     // --- 2. a proxy node publishing its directory ------------------------
     SummaryCacheNodeConfig cfg_a;
     cfg_a.node_id = 1;
-    cfg_a.expected_docs = 1024;       // cache bytes / 8 KB
-    cfg_a.update_threshold = 0.01;    // broadcast when 1% of docs are new
+    cfg_a.expected_docs = 1024;  // cache bytes / 8 KB
     SummaryCacheNode proxy_a(cfg_a);
 
-    proxy_a.set_directory_size(100);
-    for (int i = 0; i < 5; ++i)
+    // Broadcast when 1% of the directory is new (Section V-A).
+    core::DeltaBatcher batcher(core::DeltaBatcherConfig{/*update_threshold=*/0.01});
+    for (int i = 0; i < 5; ++i) {
         proxy_a.on_cache_insert("http://news.site/article" + std::to_string(i));
+        batcher.on_new_document();
+    }
 
-    const auto updates = proxy_a.poll_updates();  // encoded ICP_OP_DIRUPDATE datagrams
-    std::printf("\nproxy A crossed its update threshold: %zu datagram(s) to broadcast\n",
-                updates.size());
+    std::vector<std::vector<std::uint8_t>> updates;
+    if (const auto batch = batcher.try_begin_flush(/*cached_docs=*/100, /*now=*/0.0,
+                                                   /*pending_changes=*/0)) {
+        updates = proxy_a.encode_pending_updates();  // ICP_OP_DIRUPDATE datagrams
+        batcher.finish_flush(/*now=*/0.0, *batch);
+        std::printf("\nproxy A crossed its update threshold: %zu datagram(s) "
+                    "coalescing %llu insert(s)\n",
+                    updates.size(), static_cast<unsigned long long>(*batch));
+    }
 
     // --- 3. a sibling ingesting the update and probing -------------------
     SummaryCacheNodeConfig cfg_b = cfg_a;

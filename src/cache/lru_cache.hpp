@@ -10,9 +10,15 @@
 // can be shared by the proxy's worker pool without external locking
 // (`bench/micro_primitives` measures the uncontended cost). Hooks run
 // under that mutex: they must not call back into the cache, and any lock
-// they take is ordered cache-mutex-first. The pointer-returning accessors
-// (`peek`, `lru_entry`) remain valid only until the next mutating call —
-// concurrent readers should use `entry_copy` instead.
+// they take must be a LEAF lock — one under which no code path calls back
+// into the cache or takes further locks. The DeltaBatcher journal mutex
+// is the canonical example; routing hook work through the journal (rather
+// than into summary/node state guarded by coarser locks) is what lets
+// flush callbacks call back into the cache safely. See docs/PROTOCOL.md
+// "Locking" and tests/core/delta_batcher_test.cpp (deadlock regression).
+// The pointer-returning accessors (`peek`, `lru_entry`) remain valid only
+// until the next mutating call — concurrent readers should use
+// `entry_copy` instead.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +30,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "cache/cache_store.hpp"
+
 namespace sc {
 
 /// 250 KB in the paper's sense (decimal kilobytes, as proxies configured).
@@ -34,36 +42,27 @@ struct LruCacheConfig {
     std::uint64_t max_object_bytes = kDefaultMaxObjectBytes;
 };
 
-class LruCache {
+class LruCache final : public CacheStore {
 public:
-    enum class Lookup {
-        hit,              ///< present with matching version
-        miss_absent,      ///< not in cache
-        miss_changed,     ///< present but version differs (stale; evicted)
-    };
+    using Lookup = CacheStore::Lookup;
+    using Entry = CacheStore::Entry;
 
-    struct Entry {
-        std::string url;
-        std::uint64_t size = 0;
-        std::uint64_t version = 0;
-    };
-
-    /// Called with the entry being removed. `evicted` fires only for
-    /// capacity evictions; `removed` fires for every removal (evictions,
-    /// explicit erase, stale replacement).
-    using RemovalHook = std::function<void(const Entry&)>;
+    /// Called with the entry being removed — fires for every removal
+    /// (evictions, explicit erase, stale replacement).
+    using RemovalHook = CacheStore::EntryHook;
 
     explicit LruCache(LruCacheConfig config);
 
     /// Look up `url` expecting `version`; promotes to MRU on hit. A version
     /// mismatch removes the stale entry and reports miss_changed.
-    Lookup lookup(std::string_view url, std::uint64_t version);
+    Lookup lookup(std::string_view url, std::uint64_t version) override;
 
     /// Does the directory contain the URL (any version)? No promotion.
-    [[nodiscard]] bool contains(std::string_view url) const;
+    [[nodiscard]] bool contains(std::string_view url) const override;
 
     /// Version of a cached URL, if present. No promotion.
-    [[nodiscard]] std::optional<std::uint64_t> cached_version(std::string_view url) const;
+    [[nodiscard]] std::optional<std::uint64_t> cached_version(
+        std::string_view url) const override;
 
     /// Entry for a cached URL (any version), or nullptr. No promotion;
     /// the pointer is invalidated by the next mutating call.
@@ -71,35 +70,37 @@ public:
 
     /// Copy of the entry for a cached URL, if present. No promotion. The
     /// race-free form of peek() for use from concurrent workers.
-    [[nodiscard]] std::optional<Entry> entry_copy(std::string_view url) const;
+    [[nodiscard]] std::optional<Entry> entry_copy(std::string_view url) const override;
 
     /// Insert (or refresh) a document as MRU, evicting LRU entries as
     /// needed. Returns false — and caches nothing — if the document
     /// exceeds max_object_bytes or the total capacity.
-    bool insert(std::string_view url, std::uint64_t size, std::uint64_t version);
+    bool insert(std::string_view url, std::uint64_t size, std::uint64_t version) override;
 
     /// Promote an entry to MRU without a version check (the single-copy
     /// sharing scheme does this on remote hits instead of copying).
-    void touch(std::string_view url);
+    void touch(std::string_view url) override;
 
     /// Remove an entry if present. Returns true if something was removed.
-    bool erase(std::string_view url);
+    bool erase(std::string_view url) override;
 
-    void set_removal_hook(RemovalHook hook) {
+    void set_removal_hook(RemovalHook hook) override {
         const std::lock_guard lock(mu_);
         on_remove_ = std::move(hook);
     }
-    void set_insert_hook(std::function<void(const Entry&)> hook) {
+    void set_insert_hook(EntryHook hook) override {
         const std::lock_guard lock(mu_);
         on_insert_ = std::move(hook);
     }
 
-    [[nodiscard]] std::uint64_t used_bytes() const {
+    [[nodiscard]] std::uint64_t used_bytes() const override {
         const std::lock_guard lock(mu_);
         return used_bytes_;
     }
-    [[nodiscard]] std::uint64_t capacity_bytes() const { return config_.capacity_bytes; }
-    [[nodiscard]] std::size_t document_count() const {
+    [[nodiscard]] std::uint64_t capacity_bytes() const override {
+        return config_.capacity_bytes;
+    }
+    [[nodiscard]] std::size_t document_count() const override {
         const std::lock_guard lock(mu_);
         return index_.size();
     }
@@ -135,7 +136,7 @@ private:
     std::uint64_t used_bytes_ = 0;
     std::uint64_t evictions_ = 0;
     RemovalHook on_remove_;
-    std::function<void(const Entry&)> on_insert_;
+    EntryHook on_insert_;
 };
 
 }  // namespace sc

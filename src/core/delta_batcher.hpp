@@ -1,0 +1,117 @@
+// DeltaBatcher — when to turn directory churn into one wire update.
+//
+// Owns the paper's Section V-A update-delay decision (threshold fraction
+// or time interval) plus the Section VI-B "enough changes to fill an IP
+// packet" batching floor, and makes that decision safe to drive from many
+// worker threads at once: an epoch-based compare-and-swap elects exactly
+// one flusher per threshold crossing, so concurrent inserts coalesce into
+// a single delta/full-bitmap flush instead of a per-insert broadcast.
+//
+// It also carries the hook journal that decouples cache hooks from
+// summary state. LruCache hooks run under the cache mutex and therefore
+// must only take leaf locks; record_insert/record_erase take exactly one
+// (the journal mutex, under which nothing else is called), and the
+// elected flusher later drains the journal into the counting filter /
+// SummaryCacheNode outside the cache lock. That inversion-free shape is
+// what lets a flush callback call back into the cache (document_count,
+// even insert) without deadlocking — see tests/core/delta_batcher_test.cpp.
+//
+// Single-threaded callers (the simulators) use the same object; the
+// atomics cost nothing there and the decision logic is shared, which is
+// the point — one implementation of the §V-A rules for sim and proxy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sc::core {
+
+struct DeltaBatcherConfig {
+    /// Fraction of cached documents that must be unreflected before a
+    /// flush is due (0 = flush after every change). Ignored when
+    /// update_interval_seconds > 0.
+    double update_threshold = 0.01;
+    /// > 0 switches to the time-based policy: a flush is due when this
+    /// many seconds passed since the last one (and something changed).
+    double update_interval_seconds = 0.0;
+    /// Also require this many pending summary changes before flushing —
+    /// the prototype "sends updates whenever there are enough changes to
+    /// fill an IP packet" (Section VI-B). 0 disables the floor. The floor
+    /// does NOT reset the unreflected count; the flush stays due.
+    std::uint64_t min_update_changes = 0;
+};
+
+class DeltaBatcher {
+public:
+    /// One journaled directory event (true = insert, false = erase).
+    struct Op {
+        bool insert = true;
+        std::string url;
+    };
+
+    explicit DeltaBatcher(DeltaBatcherConfig config);
+
+    // --- hook journal (leaf lock; callable from cache hooks) -------------
+    void record_insert(std::string_view url);
+    void record_erase(std::string_view url);
+
+    /// Take the journaled ops (in order). Called by whoever mirrors them
+    /// into the summary/node — never from a cache hook.
+    [[nodiscard]] std::vector<Op> drain_journal();
+
+    [[nodiscard]] bool journal_empty() const;
+
+    // --- update-delay accounting -----------------------------------------
+    /// A document entered the directory that the published summary does
+    /// not reflect yet.
+    void on_new_document() { unreflected_.fetch_add(1, std::memory_order_relaxed); }
+
+    [[nodiscard]] std::uint64_t unreflected() const {
+        return unreflected_.load(std::memory_order_relaxed);
+    }
+
+    /// Is a flush due? Exactly the UpdateThresholdPolicy /
+    /// TimeIntervalPolicy criterion, keyed by config.
+    [[nodiscard]] bool due(std::uint64_t cached_docs, double now) const;
+
+    /// Try to become THE flusher for the current epoch. Returns the batch
+    /// size (documents coalesced into this flush) if this caller won, or
+    /// nullopt when no flush is due, the floor blocks it, or another
+    /// thread already holds the flush. `pending_changes` feeds the
+    /// min_update_changes floor (pass 0 when unused).
+    [[nodiscard]] std::optional<std::uint64_t> try_begin_flush(std::uint64_t cached_docs,
+                                                               double now,
+                                                               std::uint64_t pending_changes);
+
+    /// Complete the flush begun by try_begin_flush: stamps the publish
+    /// time (time mode) and records the batch size histogram.
+    void finish_flush(double now, std::uint64_t batch_size);
+
+    /// Flush epochs completed (each coalesces >= 1 insert).
+    [[nodiscard]] std::uint64_t epoch() const {
+        return epoch_.load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] const DeltaBatcherConfig& config() const { return config_; }
+
+private:
+    DeltaBatcherConfig config_;
+    std::atomic<std::uint64_t> unreflected_{0};
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<bool> flushing_{false};
+    std::atomic<double> last_publish_{0.0};
+
+    mutable std::mutex journal_mu_;  // leaf lock: nothing is called under it
+    std::vector<Op> journal_;
+
+    obs::Histogram metric_batch_size_;
+};
+
+}  // namespace sc::core

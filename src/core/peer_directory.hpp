@@ -1,0 +1,63 @@
+// PeerDirectory — "which peers look promising for this URL?"
+//
+// The probe that replaces ICP's multicast-on-every-miss, abstracted away
+// from how peer summaries are stored. The simulators hold peers' actual
+// DirectorySummary objects (SummaryPeerView below); the live proxy holds
+// decoded Bloom replicas inside SummaryCacheNode, which implements this
+// interface directly. Either way the protocol engine sees one probe call
+// and never downcasts to a concrete summary type.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "summary/summary.hpp"
+
+namespace sc::core {
+
+class PeerDirectory {
+public:
+    virtual ~PeerDirectory() = default;
+
+    /// Peers (in a stable, caller-defined order) whose replicated summary
+    /// says the URL may be cached there. The order is the probe order of
+    /// the sequential query round, so it is part of protocol behaviour.
+    [[nodiscard]] virtual std::vector<std::uint32_t> promising_peers(
+        std::string_view url) const = 0;
+};
+
+/// Peers as (id, DirectorySummary*) pairs, probed in insertion order. The
+/// prober summary (normally the home proxy's own) prepares the URL once —
+/// for Bloom summaries that means hashing once per request, with
+/// same-spec peers tested by precomputed indexes (DirectorySummary::
+/// make_probe / predicts replace the old BloomSummary downcasts).
+class SummaryPeerView final : public PeerDirectory {
+public:
+    void set_prober(const DirectorySummary* prober) { prober_ = prober; }
+
+    void add_peer(std::uint32_t id, const DirectorySummary* summary) {
+        peers_.push_back(Peer{id, summary});
+    }
+
+    [[nodiscard]] std::vector<std::uint32_t> promising_peers(
+        std::string_view url) const override {
+        std::vector<std::uint32_t> out;
+        const SummaryProbe probe =
+            prober_ != nullptr ? prober_->make_probe(url) : SummaryProbe{url, nullptr, {}};
+        for (const Peer& p : peers_)
+            if (p.summary->predicts(probe)) out.push_back(p.id);
+        return out;
+    }
+
+private:
+    struct Peer {
+        std::uint32_t id = 0;
+        const DirectorySummary* summary = nullptr;
+    };
+
+    const DirectorySummary* prober_ = nullptr;
+    std::vector<Peer> peers_;
+};
+
+}  // namespace sc::core

@@ -44,9 +44,7 @@ void apply_bitmap_words(BloomFilter& filter, std::span<const std::uint32_t> word
 }  // namespace
 
 SummaryCacheNode::SummaryCacheNode(SummaryCacheNodeConfig config)
-    : config_(config),
-      counting_(spec_for(config), config.bloom.counter_bits),
-      policy_(config.update_threshold) {
+    : config_(config), counting_(spec_for(config), config.bloom.counter_bits) {
     const obs::Labels labels{{"node", std::to_string(config_.node_id)}};
     metric_updates_sent_ = obs::metrics().counter(
         "sc_node_updates_sent_total", "SC-ICP update datagrams encoded for broadcast", labels);
@@ -57,17 +55,12 @@ SummaryCacheNode::SummaryCacheNode(SummaryCacheNodeConfig config)
         labels);
 }
 
-void SummaryCacheNode::on_cache_insert(std::string_view url) {
-    counting_.insert(url);
-    policy_.on_new_document();
-}
+void SummaryCacheNode::on_cache_insert(std::string_view url) { counting_.insert(url); }
 
 void SummaryCacheNode::on_cache_erase(std::string_view url) { counting_.erase(url); }
 
-std::vector<std::vector<std::uint8_t>> SummaryCacheNode::poll_updates() {
-    if (!policy_.should_publish(std::max<std::uint64_t>(directory_docs_, 1))) return {};
+std::vector<std::vector<std::uint8_t>> SummaryCacheNode::encode_pending_updates() {
     DeltaLog delta = counting_.take_delta();
-    policy_.on_published();
     if (delta.empty()) return {};
 
     // Delta vs full bitmap: pick the smaller wire encoding (Section VI-A;
@@ -117,10 +110,7 @@ std::vector<std::uint8_t> SummaryCacheNode::encode_full_update() {
     return encode_dirupdate(msg);
 }
 
-void SummaryCacheNode::discard_delta() {
-    (void)counting_.take_delta();
-    policy_.on_published();
-}
+void SummaryCacheNode::discard_delta() { (void)counting_.take_delta(); }
 
 bool SummaryCacheNode::apply_sibling_update(const IcpDirUpdate& update) {
     auto it = siblings_.find(update.sender_host);

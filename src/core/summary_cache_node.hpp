@@ -1,16 +1,19 @@
-// SummaryCacheNode — the paper's protocol state machine (Section VI),
+// SummaryCacheNode — the paper's wire state machine (Section VI),
 // transport-agnostic. One node per proxy:
 //
 //   * mirrors the local cache directory into a counting Bloom filter,
-//   * decides when the update threshold is crossed and emits ready-to-send
-//     ICP_OP_DIRUPDATE / ICP_OP_DIRFULL datagrams (chunked to fit UDP),
+//   * encodes pending directory changes as ready-to-send
+//     ICP_OP_DIRUPDATE / ICP_OP_DIRFULL datagrams (chunked to fit UDP,
+//     cheaper of delta / full bitmap per Section VI-A),
 //   * ingests siblings' update datagrams into per-sibling replica filters
 //     (self-describing: the hash spec travels in every message), and
 //   * answers "which siblings look promising for this URL?" — the probe
-//     that replaces ICP's multicast-on-every-miss.
+//     that replaces ICP's multicast-on-every-miss (it implements
+//     core::PeerDirectory, so the ProtocolEngine can drive it).
 //
-// The mini-proxy in src/proto/ drives this over real sockets; the
-// simulator uses the same building blocks directly.
+// WHEN to encode is not decided here: the update-delay threshold lives in
+// core::DeltaBatcher, shared with the simulators. The mini-proxy in
+// src/proto/ drives this node over real sockets.
 #pragma once
 
 #include <cstdint>
@@ -22,10 +25,10 @@
 
 #include "bloom/bloom_filter.hpp"
 #include "bloom/counting_bloom_filter.hpp"
+#include "core/peer_directory.hpp"
 #include "icp/icp_message.hpp"
 #include "obs/metrics.hpp"
 #include "summary/summary.hpp"
-#include "summary/update_policy.hpp"
 
 namespace sc {
 
@@ -37,11 +40,9 @@ struct SummaryCacheNodeConfig {
     /// Documents the local cache is expected to hold (cache bytes / 8 KB).
     std::uint64_t expected_docs = 1024;
     BloomSummaryConfig bloom;
-    /// Section V-A update-delay threshold (fraction of cached docs).
-    double update_threshold = 0.01;
 };
 
-class SummaryCacheNode {
+class SummaryCacheNode : public core::PeerDirectory {
 public:
     explicit SummaryCacheNode(SummaryCacheNodeConfig config);
 
@@ -52,17 +53,14 @@ public:
     void on_cache_insert(std::string_view url);
     void on_cache_erase(std::string_view url);
 
-    /// Current directory size, used by the threshold test. The owner of
-    /// the cache calls this setter whenever the count changes; keeping it
-    /// here avoids a circular dependency on the cache type.
-    void set_directory_size(std::uint64_t docs) { directory_docs_ = docs; }
-
     // --- outbound updates -------------------------------------------------
-    /// If the update threshold is crossed, drain the delta log and return
-    /// the encoded datagrams to broadcast to every sibling (possibly more
-    /// than one if the delta needs chunking; possibly a single full-bitmap
-    /// message if that is smaller). Empty when below threshold.
-    [[nodiscard]] std::vector<std::vector<std::uint8_t>> poll_updates();
+    /// Drain the accumulated bit-flip log and return the encoded datagrams
+    /// to broadcast to every sibling (possibly more than one if the delta
+    /// needs chunking; possibly a single full-bitmap message if that is
+    /// smaller — the Section VI-A cheaper-encoding rule). Empty when the
+    /// directory churn netted out. Deciding WHEN to call this is the
+    /// DeltaBatcher's job.
+    [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode_pending_updates();
 
     /// Unconditionally encode a full-bitmap update (used to initialize a
     /// freshly (re)started sibling, mirroring Squid's recovery behaviour,
@@ -86,8 +84,15 @@ public:
     void forget_sibling(NodeId sibling);
 
     // --- probing ----------------------------------------------------------
-    /// Siblings whose replicated summary says the URL may be cached there.
+    /// Siblings whose replicated summary says the URL may be cached there,
+    /// in ascending NodeId order (the sequential-round probe order).
     [[nodiscard]] std::vector<NodeId> promising_siblings(std::string_view url) const;
+
+    /// core::PeerDirectory — same answer, engine-facing name.
+    [[nodiscard]] std::vector<std::uint32_t> promising_peers(
+        std::string_view url) const override {
+        return promising_siblings(url);
+    }
 
     [[nodiscard]] bool sibling_may_contain(NodeId sibling, std::string_view url) const;
     [[nodiscard]] std::size_t known_siblings() const { return siblings_.size(); }
@@ -105,8 +110,6 @@ private:
 
     SummaryCacheNodeConfig config_;
     CountingBloomFilter counting_;
-    UpdateThresholdPolicy policy_;
-    std::uint64_t directory_docs_ = 0;
     std::map<NodeId, BloomFilter> siblings_;
     std::uint32_t next_request_number_ = 1;
     std::uint64_t updates_sent_ = 0;

@@ -54,7 +54,11 @@ MiniProxy::MiniProxy(MiniProxyConfig config)
       node_(SummaryCacheNodeConfig{
           config.id,
           std::max<std::uint64_t>(1, config.cache_bytes / kAverageDocumentBytes),
-          config.bloom, config.update_threshold}),
+          config.bloom}),
+      node_probe_(*this),
+      engine_(core::ProtocolEngineConfig{
+                  config.id, core::DeltaBatcherConfig{config.update_threshold, 0.0, 0}},
+              cache_, nullptr, &node_probe_),
       next_query_number_(std::random_device{}()) {
     if (::pipe2(wake_pipe_, O_CLOEXEC | O_NONBLOCK) < 0)
         throw std::system_error(errno, std::generic_category(), "pipe2");
@@ -91,6 +95,9 @@ MiniProxy::MiniProxy(MiniProxyConfig config)
         "Dispatched request lines waiting for a free worker", labels);
     obs_.inflight_requests = reg.gauge(
         "sc_proxy_inflight_requests", "Requests currently being served by workers", labels);
+    obs_.write_buffer_bytes = reg.gauge(
+        "sc_proxy_write_buffer_bytes",
+        "Response bytes buffered for slow readers, awaiting POLLOUT", labels);
     if (!config_.access_log_path.empty()) {
         access_log_ = std::make_unique<std::ofstream>(config_.access_log_path,
                                                       std::ios::app);
@@ -98,14 +105,31 @@ MiniProxy::MiniProxy(MiniProxyConfig config)
             throw std::runtime_error("cannot open access log: " + config_.access_log_path);
     }
     if (uses_summaries(config_.mode)) {
+        // Hooks run under the cache mutex, so they must only take leaf
+        // locks: they append to the batcher journal and nothing more.
+        // sync_node_locked() mirrors the journal into node_ later, from
+        // every path that reads the counting filter.
         cache_.set_insert_hook([this](const LruCache::Entry& e) {
-            const std::lock_guard lock(node_mu_);
-            node_.on_cache_insert(e.url);
+            engine_.batcher().record_insert(e.url);
         });
         cache_.set_removal_hook([this](const LruCache::Entry& e) {
-            const std::lock_guard lock(node_mu_);
-            node_.on_cache_erase(e.url);
+            engine_.batcher().record_erase(e.url);
         });
+    }
+}
+
+std::vector<std::uint32_t> MiniProxy::LockedNodeProbe::promising_peers(
+    std::string_view url) const {
+    const std::lock_guard lock(proxy.node_mu_);
+    return proxy.node_.promising_siblings(url);
+}
+
+void MiniProxy::sync_node_locked() {
+    for (const auto& op : engine_.batcher().drain_journal()) {
+        if (op.insert)
+            node_.on_cache_insert(op.url);
+        else
+            node_.on_cache_erase(op.url);
     }
 }
 
@@ -147,6 +171,7 @@ void MiniProxy::broadcast_full_summary() {
     std::vector<std::uint8_t> msg;
     {
         const std::lock_guard lock(node_mu_);
+        sync_node_locked();  // the bitmap must reflect every journaled insert
         msg = node_.encode_full_update();
     }
     for (const Sibling& s : siblings_) send_udp(s.icp, msg);
@@ -247,8 +272,10 @@ void MiniProxy::digest_fetch_loop() {
 
 void MiniProxy::refresh_digests_once() {
     {
-        // We never push deltas in pull mode; drop the accumulated log.
+        // We never push deltas in pull mode: mirror the journal (keeping
+        // the counting filter current for DGET serves), drop the delta log.
         const std::lock_guard lock(node_mu_);
+        sync_node_locked();
         node_.discard_delta();
     }
     for (Sibling& s : siblings_) {
@@ -302,6 +329,7 @@ void MiniProxy::note_heard_from(NodeId sender) {
             std::vector<std::uint8_t> full;
             {
                 const std::lock_guard lock(node_mu_);
+                sync_node_locked();
                 full = node_.encode_full_update();
             }
             send_udp(it->icp, full);
@@ -309,6 +337,50 @@ void MiniProxy::note_heard_from(NodeId sender) {
             ++stats_.updates_sent;
         }
     }
+}
+
+void MiniProxy::send_to_client(Session& s, std::string_view data) {
+    if (s.overflow) return;  // session is doomed; stop accumulating
+    if (s.outbox.empty()) {
+        const std::size_t n = s.conn.write_some(data);
+        data.remove_prefix(n);
+        if (data.empty()) return;
+    }
+    // Socket full — or earlier bytes still queued (never reorder). The
+    // event loop drains the remainder on POLLOUT after the worker
+    // releases the session.
+    s.outbox.append(data);
+    obs_.write_buffer_bytes.add(static_cast<double>(data.size()));
+    if (s.outbox.size() > config_.write_buffer_limit) s.overflow = true;
+}
+
+void MiniProxy::send_to_client(Session& s, std::span<const std::uint8_t> data) {
+    send_to_client(s, std::string_view(reinterpret_cast<const char*>(data.data()),
+                                       data.size()));
+}
+
+void MiniProxy::flush_outbox(Session& s) {
+    const std::size_t n = s.conn.write_some(s.outbox);
+    if (n == 0) return;
+    s.outbox.erase(0, n);
+    obs_.write_buffer_bytes.add(-static_cast<double>(n));
+}
+
+void MiniProxy::finish_session(std::uint64_t id) {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    if (!it->second->outbox.empty() && !it->second->overflow) {
+        it->second->close_after_flush = true;  // drain first, then close
+        return;
+    }
+    drop_session(id);
+}
+
+void MiniProxy::drop_session(std::uint64_t id) {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    obs_.write_buffer_bytes.add(-static_cast<double>(it->second->outbox.size()));
+    sessions_.erase(it);
 }
 
 void MiniProxy::wake_loop() {
@@ -319,6 +391,9 @@ void MiniProxy::wake_loop() {
 
 bool MiniProxy::pump_session(std::uint64_t id, Session& s) {
     if (s.busy) return true;
+    // Backpressure: while buffered response bytes await POLLOUT, hold the
+    // next pipelined request (flush_outbox re-pumps once drained).
+    if (!s.outbox.empty()) return true;
     if (auto line = s.conn.buffered_line()) {
         s.busy = true;
         {
@@ -350,7 +425,9 @@ void MiniProxy::run() {
         pfds.push_back({wake_pipe_[0], POLLIN, 0});
         for (const auto& [id, s] : sessions_) {
             if (s->busy) continue;  // a worker owns the connection
-            pfds.push_back({s->conn.fd(), POLLIN, 0});
+            const short events =
+                static_cast<short>(POLLIN | (s->outbox.empty() ? 0 : POLLOUT));
+            pfds.push_back({s->conn.fd(), events, 0});
             pfd_sessions.push_back(id);
         }
 
@@ -373,7 +450,11 @@ void MiniProxy::run() {
             if (it == sessions_.end()) continue;
             Session& s = *it->second;
             s.busy = false;
-            if (!c.keep || !pump_session(c.session_id, s)) sessions_.erase(it);
+            if (s.overflow) {
+                drop_session(c.session_id);
+                continue;
+            }
+            if (!c.keep || !pump_session(c.session_id, s)) finish_session(c.session_id);
         }
 
         // Accepting cannot invalidate this round's pfds: new sessions are
@@ -390,24 +471,45 @@ void MiniProxy::run() {
             while (auto dgram = udp_.receive(0)) handle_datagram(*dgram);
         }
         for (std::size_t k = 3; k < pfds.size(); ++k) {
-            if (!(pfds[k].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-            const auto it = sessions_.find(pfd_sessions[k - 3]);
+            if (!(pfds[k].revents & (POLLIN | POLLOUT | POLLHUP | POLLERR))) continue;
+            const std::uint64_t sid = pfd_sessions[k - 3];
+            const auto it = sessions_.find(sid);
             if (it == sessions_.end() || it->second->busy) continue;
             Session& s = *it->second;
             bool drop = false;
-            try {
-                // Only the bytes available right now: a slow or malicious
-                // client that stops mid-line parks its partial buffer here
-                // and we resume on its next readiness event — it can no
-                // longer wedge the loop in a blocking read.
-                if (s.conn.fill_available() == TcpConnection::Fill::eof)
-                    s.saw_eof = true;
-            } catch (const std::exception&) {
-                drop = true;  // ECONNRESET and friends
+            if (pfds[k].revents & POLLOUT) {
+                try {
+                    flush_outbox(s);
+                } catch (const std::exception&) {
+                    drop = true;  // reader went away with bytes still queued
+                }
+                if (!drop && s.outbox.empty() && s.close_after_flush) {
+                    drop_session(sid);
+                    continue;
+                }
             }
-            if (drop || !pump_session(it->first, s)) sessions_.erase(it);
+            if (!drop && (pfds[k].revents & (POLLIN | POLLHUP | POLLERR))) {
+                try {
+                    // Only the bytes available right now: a slow or malicious
+                    // client that stops mid-line parks its partial buffer here
+                    // and we resume on its next readiness event — it can no
+                    // longer wedge the loop in a blocking read.
+                    if (s.conn.fill_available() == TcpConnection::Fill::eof)
+                        s.saw_eof = true;
+                } catch (const std::exception&) {
+                    drop = true;  // ECONNRESET and friends
+                }
+            }
+            if (drop)
+                drop_session(sid);
+            else if (!pump_session(sid, s))
+                finish_session(sid);
         }
     }
+    // Shutdown: release the gauge charge of any still-buffered responses.
+    for (const auto& [id, s] : sessions_)
+        obs_.write_buffer_bytes.add(-static_cast<double>(s->outbox.size()));
+    sessions_.clear();
 }
 
 void MiniProxy::worker_loop() {
@@ -426,7 +528,7 @@ void MiniProxy::worker_loop() {
         obs_.inflight_requests.add(1);
         bool keep = false;
         try {
-            keep = handle_client_line(job.session->conn, job.line, ctx);
+            keep = handle_client_line(*job.session, job.line, ctx);
         } catch (const std::exception&) {
             // protocol error or broken pipe: drop client
         }
@@ -439,15 +541,15 @@ void MiniProxy::worker_loop() {
     }
 }
 
-bool MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line,
+bool MiniProxy::handle_client_line(Session& s, const std::string& line,
                                    WorkerCtx& ctx) {
     if (line.rfind("GET /__metrics", 0) == 0 || line.rfind("GET /__trace", 0) == 0) {
-        serve_admin(conn, line);
+        serve_admin(s.conn, line);
         return false;  // admin endpoints are one-shot; close like HTTP/1.0
     }
     const auto req = parse_request(line);
     if (!req) {
-        conn.write_all(format_response_header({HttpLiteStatus::error, 0}));
+        send_to_client(s, format_response_header({HttpLiteStatus::error, 0}));
         return true;
     }
 
@@ -456,6 +558,7 @@ bool MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line,
         std::vector<std::uint8_t> digest;
         {
             const std::lock_guard lock(node_mu_);
+            sync_node_locked();  // the digest must reflect journaled inserts
             digest = node_.encode_full_update();
         }
         {
@@ -464,18 +567,18 @@ bool MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line,
             const std::lock_guard lock(stats_mu_);
             ++stats_.digests_served;
         }
-        conn.write_all(format_response_header({HttpLiteStatus::ok, digest.size()}));
-        conn.write_all(std::span<const std::uint8_t>(digest));
+        send_to_client(s, format_response_header({HttpLiteStatus::ok, digest.size()}));
+        send_to_client(s, std::span<const std::uint8_t>(digest));
         return true;
     }
 
     if (req->sibling_only) {
         // SGET: serve from cache only; a stale or absent copy is NOT_CACHED.
-        if (cache_.lookup(req->url, req->version) == LruCache::Lookup::hit) {
-            conn.write_all(format_response_header({HttpLiteStatus::local_hit, req->size}));
-            conn.write_all(synth_body(req->size));
+        if (engine_.lookup_local(req->url, req->version) == LruCache::Lookup::hit) {
+            send_to_client(s, format_response_header({HttpLiteStatus::local_hit, req->size}));
+            send_to_client(s, synth_body(req->size));
         } else {
-            conn.write_all(format_response_header({HttpLiteStatus::not_cached, 0}));
+            send_to_client(s, format_response_header({HttpLiteStatus::not_cached, 0}));
         }
         return true;
     }
@@ -487,13 +590,13 @@ bool MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line,
         ++stats_.requests;
     }
 
-    if (cache_.lookup(req->url, req->version) == LruCache::Lookup::hit) {
+    if (engine_.lookup_local(req->url, req->version) == LruCache::Lookup::hit) {
         {
             const std::lock_guard lock(stats_mu_);
             ++stats_.local_hits;
         }
-        conn.write_all(format_response_header({HttpLiteStatus::local_hit, req->size}));
-        conn.write_all(synth_body(req->size));
+        send_to_client(s, format_response_header({HttpLiteStatus::local_hit, req->size}));
+        send_to_client(s, synth_body(req->size));
         finish_request(HttpLiteStatus::local_hit, *req, started);
         return true;
     }
@@ -503,44 +606,59 @@ bool MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line,
     std::vector<NodeId> targets;
     if (config_.mode == ShareMode::icp) {
         targets.reserve(siblings_.size());
-        for (const Sibling& s : siblings_)
-            if (s.alive.load(std::memory_order_relaxed)) targets.push_back(s.id);
+        for (const Sibling& sib : siblings_)
+            if (sib.alive.load(std::memory_order_relaxed)) targets.push_back(sib.id);
     } else if (uses_summaries(config_.mode)) {
-        const std::lock_guard lock(node_mu_);
-        targets = node_.promising_siblings(req->url);
+        targets = engine_.probe(req->url);
     }
 
-    if (!targets.empty()) {
+    const auto serve_remote_hit = [&](NodeId from, bool inline_obj) {
+        {
+            const std::lock_guard lock(stats_mu_);
+            ++stats_.remote_hits;
+            if (inline_obj) ++stats_.hit_obj_used;
+        }
+        obs_.remote_hits.inc();
+        obs::trace(obs::TraceEventType::remote_hit,
+                   static_cast<std::uint16_t>(config_.id), from, inline_obj ? 1 : 0);
+        insert_document(*req);
+        send_to_client(s, format_response_header({HttpLiteStatus::remote_hit, req->size}));
+        send_to_client(s, synth_body(req->size));
+        finish_request(HttpLiteStatus::remote_hit, *req, started);
+    };
+
+    if (!targets.empty() && uses_summaries(config_.mode)) {
+        // SC-ICP probes the promising siblings ONE AT A TIME, stopping at
+        // the first fresh copy — the message economy the simulator counts
+        // (the parity test holds the two to the same tallies). A HIT whose
+        // copy is gone or stale by SGET time ends the round at the origin.
+        bool inline_obj = false;
+        const core::RoundOutcome round = engine_.run_sequential_round(
+            targets, [&](std::uint32_t id) {
+                const QueryOutcome one = query_siblings(*req, {id});
+                if (one.inline_object) {
+                    inline_obj = true;
+                    return core::PeerAnswer::fresh;
+                }
+                if (one.hits.empty()) return core::PeerAnswer::absent;
+                if (fetch_from_sibling(id, *req)) return core::PeerAnswer::fresh;
+                return core::PeerAnswer::stale;
+            });
+        if (round.winner) {
+            serve_remote_hit(*round.winner, inline_obj);
+            return true;
+        }
+    } else if (!targets.empty()) {
+        // Classic ICP: one multicast round; every reply comes back.
         const QueryOutcome outcome = query_siblings(*req, targets);
         if (outcome.inline_object) {
             // A fresh HIT_OBJ already delivered the body: no TCP fetch.
-            {
-                const std::lock_guard lock(stats_mu_);
-                ++stats_.remote_hits;
-                ++stats_.hit_obj_used;
-            }
-            obs_.remote_hits.inc();
-            obs::trace(obs::TraceEventType::remote_hit,
-                       static_cast<std::uint16_t>(config_.id), 0, 1);
-            insert_document(*req);
-            conn.write_all(format_response_header({HttpLiteStatus::remote_hit, req->size}));
-            conn.write_all(synth_body(req->size));
-            finish_request(HttpLiteStatus::remote_hit, *req, started);
+            serve_remote_hit(0, true);
             return true;
         }
         for (const NodeId id : outcome.hits) {
             if (fetch_from_sibling(id, *req)) {
-                {
-                    const std::lock_guard lock(stats_mu_);
-                    ++stats_.remote_hits;
-                }
-                obs_.remote_hits.inc();
-                obs::trace(obs::TraceEventType::remote_hit,
-                           static_cast<std::uint16_t>(config_.id), id, 0);
-                insert_document(*req);
-                conn.write_all(format_response_header({HttpLiteStatus::remote_hit, req->size}));
-                conn.write_all(synth_body(req->size));
-                finish_request(HttpLiteStatus::remote_hit, *req, started);
+                serve_remote_hit(id, false);
                 return true;
             }
         }
@@ -553,8 +671,8 @@ bool MiniProxy::handle_client_line(TcpConnection& conn, const std::string& line,
     }
     obs_.origin_fetches.inc();
     insert_document(*req);
-    conn.write_all(format_response_header({HttpLiteStatus::miss, body.size()}));
-    conn.write_all(body);
+    send_to_client(s, format_response_header({HttpLiteStatus::miss, body.size()}));
+    send_to_client(s, body);
     finish_request(HttpLiteStatus::miss, *req, started);
     return true;
 }
@@ -826,33 +944,27 @@ std::string MiniProxy::fetch_from_origin(const HttpLiteRequest& req, WorkerCtx& 
 }
 
 void MiniProxy::insert_document(const HttpLiteRequest& req) {
-    if (!cache_.insert(req.url, req.size, req.version)) return;
+    if (!engine_.admit(req.url, req.size, req.version)) return;
     obs_.cached_documents.set(static_cast<double>(cache_.document_count()));
     obs_.cached_bytes.set(static_cast<double>(cache_.used_bytes()));
-    if (!uses_summaries(config_.mode)) return;
-    // Read the count before taking node_mu_: the insert hooks lock
-    // cache-mutex-then-node_mu_, so querying the cache under node_mu_
-    // would invert that order.
-    const std::size_t directory_size = cache_.document_count();
-    {
-        const std::lock_guard lock(node_mu_);
-        node_.set_directory_size(directory_size);
-    }
     if (config_.mode == ShareMode::summary) broadcast_updates();
     // digest_pull: siblings fetch the whole digest on their own schedule.
 }
 
 void MiniProxy::broadcast_updates() {
-    std::vector<std::vector<std::uint8_t>> msgs;
-    {
+    // The batcher elects exactly one flusher per threshold crossing:
+    // concurrent workers' inserts coalesce into that flusher's batch
+    // instead of each worker broadcasting its own delta.
+    const auto flushed = engine_.maybe_flush(0.0, [this] {
         const std::lock_guard lock(node_mu_);
-        msgs = node_.poll_updates();
-    }
-    if (msgs.empty()) return;
-    for (const auto& msg : msgs)
+        sync_node_locked();
+        return node_.encode_pending_updates();
+    });
+    if (!flushed || flushed->first.empty()) return;
+    for (const auto& msg : flushed->first)
         for (const Sibling& s : siblings_) send_udp(s.icp, msg);
     const std::lock_guard lock(stats_mu_);
-    stats_.updates_sent += msgs.size() * siblings_.size();
+    stats_.updates_sent += flushed->first.size() * siblings_.size();
 }
 
 }  // namespace sc

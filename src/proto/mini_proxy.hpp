@@ -23,7 +23,13 @@
 // routed to the waiting worker by request number through a ReplyDemux;
 // all other datagrams (queries, updates, liveness) are serviced inline by
 // the event loop, so two proxies can never deadlock on each other's
-// control traffic even at workers=1.
+// control traffic even at workers=1. Responses are written non-blocking:
+// bytes a slow reader cannot take yet are buffered per connection and
+// drained by the event loop on POLLOUT (capped by write_buffer_limit).
+//
+// The decision pipeline itself — probe order, sequential SC-ICP query
+// rounds, admission, update batching — lives in core::ProtocolEngine,
+// the same object the trace simulators drive.
 #pragma once
 
 #include <atomic>
@@ -41,6 +47,8 @@
 #include <vector>
 
 #include "cache/lru_cache.hpp"
+#include "core/peer_directory.hpp"
+#include "core/protocol_engine.hpp"
 #include "core/summary_cache_node.hpp"
 #include "icp/reply_demux.hpp"
 #include "icp/udp_socket.hpp"
@@ -98,6 +106,12 @@ struct MiniProxyConfig {
 
     /// digest_pull mode: how often to re-fetch each sibling's digest.
     std::chrono::milliseconds digest_refresh{1000};
+
+    /// Per-connection cap on response bytes buffered for a reader that is
+    /// slower than we produce (drained on POLLOUT by the event loop). A
+    /// connection whose buffer exceeds this is dropped — a reader that
+    /// never drains cannot pin unbounded memory.
+    std::uint64_t write_buffer_limit = 8ull * 1024 * 1024;
 
     /// Squid-style access log: one line per client request
     /// ("<epoch-ms> <proxy-id> <status> <size> <latency-us> <url>").
@@ -181,10 +195,19 @@ private:
     /// One accepted client connection. Owned by the event loop while
     /// idle; handed to exactly one worker (busy == true) per dispatched
     /// request, during which the loop neither polls nor touches conn.
+    ///
+    /// Responses go through send_to_client: whatever the socket refuses
+    /// without blocking lands in `outbox`, which the event loop drains on
+    /// POLLOUT once the worker releases the session — a slow reader can
+    /// no longer stall a worker mid-response. The next buffered request
+    /// line is not dispatched until the outbox is empty (backpressure).
     struct Session {
         TcpConnection conn;
         bool busy = false;     ///< a worker owns the connection right now
         bool saw_eof = false;  ///< peer closed; drain buffered lines, then close
+        std::string outbox;    ///< response bytes awaiting POLLOUT
+        bool close_after_flush = false;  ///< finished; close once outbox drains
+        bool overflow = false;  ///< outbox blew write_buffer_limit: drop
 
         explicit Session(TcpConnection c) : conn(std::move(c)) {}
     };
@@ -205,8 +228,18 @@ private:
 
     /// Returns false when the connection should be closed after the reply
     /// (admin endpoints speak real HTTP and close).
-    [[nodiscard]] bool handle_client_line(TcpConnection& conn, const std::string& line,
+    [[nodiscard]] bool handle_client_line(Session& s, const std::string& line,
                                           WorkerCtx& ctx);
+    /// Write a response chunk: as much as the socket takes without
+    /// blocking, the rest into the session outbox. Worker-only (the
+    /// worker owns the session while busy).
+    void send_to_client(Session& s, std::string_view data);
+    void send_to_client(Session& s, std::span<const std::uint8_t> data);
+    /// Event-loop side of the pair: drain the outbox on POLLOUT.
+    void flush_outbox(Session& s);
+    /// Close a session now, or once its outbox drains.
+    void finish_session(std::uint64_t id);
+    void drop_session(std::uint64_t id);
     /// GET /__metrics (Prometheus text) and /__trace (JSON event dump);
     /// answers both curl-style HTTP/1.x and bare HTTP-lite request lines.
     void serve_admin(TcpConnection& conn, const std::string& line);
@@ -250,10 +283,29 @@ private:
     Endpoint icp_endpoint_;
     LruCache cache_;  ///< internally thread-safe (shared with workers)
     /// Guards node_: workers, the event loop, and (in digest_pull mode)
-    /// the digest fetcher thread all touch the protocol state. Lock
-    /// order: cache_ internal mutex first (insert hooks), then node_mu_.
+    /// the digest fetcher thread all touch the protocol state. The cache
+    /// hooks no longer take this lock — they only append to the engine's
+    /// DeltaBatcher journal (a leaf lock), and sync_node_locked() later
+    /// mirrors the journal into node_ under node_mu_, outside the cache
+    /// mutex — so node_mu_ and the cache mutex are unordered and a flush
+    /// may freely call back into the cache.
     mutable std::mutex node_mu_;
     SummaryCacheNode node_;
+    /// core::PeerDirectory over node_: takes node_mu_ around the replica
+    /// probe so the engine can consult it without knowing about the lock.
+    struct LockedNodeProbe final : core::PeerDirectory {
+        explicit LockedNodeProbe(const MiniProxy& p) : proxy(p) {}
+        [[nodiscard]] std::vector<std::uint32_t> promising_peers(
+            std::string_view url) const override;
+        const MiniProxy& proxy;
+    };
+    LockedNodeProbe node_probe_;
+    /// The shared decision pipeline (same object the simulators drive).
+    /// Its DeltaBatcher elects one flusher per threshold crossing, so
+    /// concurrent workers' inserts coalesce into a single update batch.
+    core::ProtocolEngine engine_;
+    /// Mirror journaled cache-hook events into node_. Requires node_mu_.
+    void sync_node_locked();
     std::vector<Sibling> siblings_;
     ReplyDemux demux_;  ///< routes ICP replies to the querying worker
     /// Seeded per-boot so a restarted proxy's rounds never collide with
@@ -310,6 +362,7 @@ private:
         obs::Gauge cached_bytes;
         obs::Gauge worker_queue_depth;   ///< dispatched lines awaiting a worker
         obs::Gauge inflight_requests;    ///< requests currently inside workers
+        obs::Gauge write_buffer_bytes;   ///< response bytes awaiting POLLOUT
     };
     Instruments obs_;
 };

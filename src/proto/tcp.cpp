@@ -197,6 +197,21 @@ void TcpConnection::write_all(std::span<const std::uint8_t> data) {
     }
 }
 
+std::size_t TcpConnection::write_some(std::string_view data) {
+    if (data.empty()) return 0;
+    while (true) {
+        const ssize_t n =
+            ::send(fd_, data.data(), data.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
+        if (n >= 0) {
+            tcp_metrics().bytes_written.inc(static_cast<std::uint64_t>(n));
+            return static_cast<std::size_t>(n);
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+        throw_errno("write");
+    }
+}
+
 TcpListener::TcpListener(std::uint16_t port) : TcpListener(Endpoint::loopback(port)) {}
 
 TcpListener::TcpListener(const Endpoint& bind_addr) {

@@ -64,6 +64,12 @@ public:
     void write_all(std::string_view data);
     void write_all(std::span<const std::uint8_t> data);
 
+    /// Write as many bytes as the socket accepts without blocking (single
+    /// MSG_DONTWAIT send). Returns the byte count actually written — 0 when
+    /// the send buffer is full. Lets an event loop buffer the remainder and
+    /// resume on POLLOUT instead of stalling a worker on a slow reader.
+    [[nodiscard]] std::size_t write_some(std::string_view data);
+
     [[nodiscard]] int fd() const { return fd_; }
     [[nodiscard]] bool valid() const { return fd_ >= 0; }
     void close() noexcept;

@@ -43,36 +43,37 @@ HierarchySimulator::HierarchySimulator(HierarchySimConfig config) : config_(conf
         const std::uint64_t expected_docs =
             std::max<std::uint64_t>(1, config_.parent_cache_bytes / kAverageDocumentBytes);
         parent_summary_ = make_summary(config_.summary_kind, expected_docs, config_.bloom);
-        parent_policy_ = std::make_unique<UpdateThresholdPolicy>(config_.update_threshold);
         DirectorySummary* summary = parent_summary_.get();
         parent_->set_insert_hook(
             [summary](const LruCache::Entry& e) { summary->on_insert(e.url); });
         parent_->set_removal_hook(
             [summary](const LruCache::Entry& e) { summary->on_erase(e.url); });
+        parent_view_ = std::make_unique<core::SummaryPeerView>();
+        parent_view_->set_prober(parent_summary_.get());
+        parent_view_->add_peer(0, parent_summary_.get());
     }
+    // Engine for the parent tier: its cache, its summary, and (summary
+    // mode) the one-peer view the children probe.
+    parent_engine_ = std::make_unique<core::ProtocolEngine>(
+        core::ProtocolEngineConfig{
+            0, core::DeltaBatcherConfig{config_.update_threshold, 0.0,
+                                        config_.min_update_changes}},
+        *parent_, parent_summary_.get(), parent_view_.get());
 }
 
 void HierarchySimulator::maybe_publish() {
-    if (!parent_policy_->should_publish(parent_->document_count())) return;
-    if (config_.min_update_changes > 0 &&
-        parent_summary_->pending_changes() < config_.min_update_changes)
-        return;
-    const std::uint64_t bytes = parent_summary_->publish();
-    parent_policy_->on_published();
-    if (bytes == 0) return;
+    const auto pub = parent_engine_->maybe_publish(0.0);
+    if (!pub || pub->wire_bytes == 0) return;
     const std::uint64_t receivers = config_.multicast_updates ? 1 : config_.num_children;
     result_.update_messages += receivers;
-    result_.update_bytes += bytes * receivers;
+    result_.update_bytes += pub->wire_bytes * receivers;
 }
 
 void HierarchySimulator::parent_relay_fetch(const Request& r, std::uint32_t child) {
     // The parent fetches from the origin on the child's behalf, caches the
     // document (it is the shared tier), and relays it down.
     ++result_.parent_fetches;
-    if (parent_->insert(r.url, r.size, r.version) && parent_policy_) {
-        parent_policy_->on_new_document();
-        maybe_publish();
-    }
+    if (parent_engine_->admit(r.url, r.size, r.version) && parent_summary_) maybe_publish();
     children_[child]->insert(r.url, r.size, r.version);
 }
 
@@ -92,10 +93,8 @@ void HierarchySimulator::process(const Request& r) {
             return;
         }
         ++result_.parent_fetches;
-        if (parent_->insert(r.url, r.size, r.version) && parent_policy_) {
-            parent_policy_->on_new_document();
+        if (parent_engine_->admit(r.url, r.size, r.version) && parent_summary_)
             maybe_publish();
-        }
         return;
     }
 
@@ -107,9 +106,8 @@ void HierarchySimulator::process(const Request& r) {
         return;
     }
 
-    const bool ask_parent =
-        config_.protocol == HierarchyProtocol::always_query ||
-        parent_summary_->published_may_contain(r.url);
+    const bool ask_parent = config_.protocol == HierarchyProtocol::always_query ||
+                            !parent_engine_->probe(r.url).empty();
 
     if (ask_parent) {
         ++result_.query_messages;

@@ -20,8 +20,9 @@
 #include <vector>
 
 #include "cache/lru_cache.hpp"
+#include "core/peer_directory.hpp"
+#include "core/protocol_engine.hpp"
 #include "summary/summary.hpp"
-#include "summary/update_policy.hpp"
 #include "trace/request.hpp"
 
 namespace sc {
@@ -86,7 +87,10 @@ private:
     std::vector<std::unique_ptr<LruCache>> children_;
     std::unique_ptr<LruCache> parent_;
     std::unique_ptr<DirectorySummary> parent_summary_;        // summary mode
-    std::unique_ptr<UpdateThresholdPolicy> parent_policy_;    // summary mode
+    /// Children's shared view of the parent's summary (summary mode): one
+    /// peer — the parent — probed before deciding to ask it at all.
+    std::unique_ptr<core::SummaryPeerView> parent_view_;
+    std::unique_ptr<core::ProtocolEngine> parent_engine_;
     HierarchySimResult result_;
 };
 

@@ -3,6 +3,8 @@
 #include <deque>
 #include <optional>
 
+#include "core/peer_directory.hpp"
+#include "core/protocol_engine.hpp"
 #include "obs/metrics.hpp"
 #include "summary/message_costs.hpp"
 #include "util/sc_assert.hpp"
@@ -16,7 +18,8 @@ double one_way(const CostModelConfig& cost) { return cost.lan_rtt / 2.0; }
 struct SimProxy {
     std::unique_ptr<LruCache> cache;
     std::unique_ptr<BloomSummary> summary;  // SC-ICP only
-    std::unique_ptr<UpdateThresholdPolicy> policy;
+    std::unique_ptr<core::SummaryPeerView> peers;
+    std::unique_ptr<core::ProtocolEngine> engine;
     double cpu_free_at = 0.0;
     double busy_s = 0.0;
 };
@@ -31,13 +34,27 @@ public:
             p.cache = std::make_unique<LruCache>(LruCacheConfig{cfg.cache_bytes});
             if (cfg_.protocol == BenchProtocol::sc_icp) {
                 p.summary = std::make_unique<BloomSummary>(expected_docs, cfg.bloom);
-                p.policy = std::make_unique<UpdateThresholdPolicy>(cfg.update_threshold);
                 BloomSummary* summary = p.summary.get();
                 p.cache->set_insert_hook(
                     [summary](const LruCache::Entry& e) { summary->on_insert(e.url); });
                 p.cache->set_removal_hook(
                     [summary](const LruCache::Entry& e) { summary->on_erase(e.url); });
             }
+        }
+        // The prototype "sends updates whenever there are enough changes
+        // to fill an IP packet" — the 350-change floor of Section VI-B.
+        const core::DeltaBatcherConfig batching{cfg.update_threshold, 0.0, 350};
+        for (std::uint32_t i = 0; i < cfg.num_proxies; ++i) {
+            SimProxy& p = proxies_[i];
+            if (cfg_.protocol == BenchProtocol::sc_icp) {
+                p.peers = std::make_unique<core::SummaryPeerView>();
+                p.peers->set_prober(p.summary.get());
+                for (std::uint32_t q = 0; q < cfg.num_proxies; ++q)
+                    if (q != i) p.peers->add_peer(q, proxies_[q].summary.get());
+            }
+            p.engine = std::make_unique<core::ProtocolEngine>(
+                core::ProtocolEngineConfig{i, batching}, *p.cache, p.summary.get(),
+                p.peers.get());
         }
 
         const auto workload = generate_wisconsin_workload(cfg);
@@ -106,10 +123,7 @@ private:
             for (std::uint32_t s = 0; s < cfg_.num_proxies; ++s)
                 if (s != home) targets.push_back(s);
         } else if (cfg_.protocol == BenchProtocol::sc_icp) {
-            for (std::uint32_t s = 0; s < cfg_.num_proxies; ++s) {
-                if (s == home) continue;
-                if (proxies_[s].summary->published_may_contain(req.url)) targets.push_back(s);
-            }
+            targets = p.engine->probe(req.url);
         }
         if (targets.empty()) {
             origin_fetch(req, client, home, start);
@@ -183,14 +197,10 @@ private:
 
     void insert_and_publish(const Request& req, std::uint32_t home) {
         SimProxy& p = proxies_[home];
-        if (!p.cache->insert(req.url, req.size, req.version)) return;
-        if (!p.policy) return;
-        p.policy->on_new_document();
-        if (!p.policy->should_publish(p.cache->document_count())) return;
-        if (p.summary->pending_changes() < 350) return;  // IP-packet batching
-        const std::uint64_t bytes = p.summary->publish();
-        p.policy->on_published();
-        if (bytes == 0) return;
+        if (!p.engine->admit(req.url, req.size, req.version)) return;
+        if (!p.summary) return;
+        const auto pub = p.engine->maybe_publish(q_.now());
+        if (!pub || pub->wire_bytes == 0) return;
         for (std::uint32_t s = 0; s < cfg_.num_proxies; ++s) {
             if (s == home) continue;
             ++result_.updates_sent;

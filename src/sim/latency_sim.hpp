@@ -23,7 +23,6 @@
 #include "sim/event_queue.hpp"
 #include "sim/wisconsin.hpp"  // BenchProtocol, WisconsinConfig
 #include "summary/bloom_summary.hpp"
-#include "summary/update_policy.hpp"
 #include "util/stats.hpp"
 
 namespace sc {

@@ -2,9 +2,7 @@
 
 #include <algorithm>
 
-#include "bloom/hash_spec.hpp"
 #include "obs/metrics.hpp"
-#include "summary/bloom_summary.hpp"
 #include "summary/message_costs.hpp"
 #include "util/sc_assert.hpp"
 
@@ -117,17 +115,30 @@ ShareSimulator::ShareSimulator(ShareSimConfig config) : config_(std::move(config
             std::make_unique<LruCache>(LruCacheConfig{capacity, config_.max_object_bytes});
         if (config_.protocol == QueryProtocol::summary) {
             p.summary = make_summary(config_.summary_kind, expected_docs, config_.bloom);
-            if (config_.update_interval_seconds > 0.0)
-                p.time_policy =
-                    std::make_unique<TimeIntervalPolicy>(config_.update_interval_seconds);
-            else
-                p.policy = std::make_unique<UpdateThresholdPolicy>(config_.update_threshold);
             DirectorySummary* summary = p.summary.get();
             p.cache->set_insert_hook(
                 [summary](const LruCache::Entry& e) { summary->on_insert(e.url); });
             p.cache->set_removal_hook(
                 [summary](const LruCache::Entry& e) { summary->on_erase(e.url); });
         }
+    }
+    // Second pass: every proxy's peer view points at the siblings'
+    // summaries (index order — the probe order of the sequential round),
+    // and one ProtocolEngine per proxy drives the shared pipeline.
+    const core::DeltaBatcherConfig batching{config_.update_threshold,
+                                            config_.update_interval_seconds,
+                                            config_.min_update_changes};
+    for (std::uint32_t i = 0; i < config_.num_proxies; ++i) {
+        auto& p = proxies_[i];
+        if (config_.protocol == QueryProtocol::summary) {
+            p.peers = std::make_unique<core::SummaryPeerView>();
+            p.peers->set_prober(p.summary.get());
+            for (std::uint32_t q = 0; q < config_.num_proxies; ++q)
+                if (q != i) p.peers->add_peer(q, proxies_[q].summary.get());
+        }
+        p.engine = std::make_unique<core::ProtocolEngine>(
+            core::ProtocolEngineConfig{i, batching}, *p.cache, p.summary.get(),
+            p.peers.get());
     }
 }
 
@@ -174,7 +185,10 @@ void ShareSimulator::process_shared(const Request& r, std::uint32_t home) {
                 if (q != home) queried.push_back(q);
             break;
         case QueryProtocol::summary:
-            queried = promising_siblings(r, home);
+            // The engine probes every sibling's published summary through
+            // the home proxy's peer view (one hash per request; same-spec
+            // Bloom peers are tested by precomputed indexes).
+            queried = proxies_[home].engine->probe(r.url);
             summary_mode = true;
             break;
         case QueryProtocol::none:
@@ -183,66 +197,44 @@ void ShareSimulator::process_shared(const Request& r, std::uint32_t home) {
     handle_miss_via_queries(r, home, queried, summary_mode);
 }
 
-std::vector<std::uint32_t> ShareSimulator::promising_siblings(const Request& r,
-                                                              std::uint32_t home) const {
-    std::vector<std::uint32_t> out;
-    if (config_.summary_kind == SummaryKind::bloom) {
-        // All proxies share one hash spec, so hash the URL once and probe
-        // every sibling's published bit array with the same indexes.
-        const auto* home_summary = static_cast<const BloomSummary*>(proxies_[home].summary.get());
-        const auto indexes = bloom_indexes(r.url, home_summary->hash_spec());
-        for (std::uint32_t q = 0; q < config_.num_proxies; ++q) {
-            if (q == home) continue;
-            const auto* s = static_cast<const BloomSummary*>(proxies_[q].summary.get());
-            if (s->published_may_contain(std::span<const std::uint32_t>(indexes)))
-                out.push_back(q);
-        }
-        return out;
-    }
-    for (std::uint32_t q = 0; q < config_.num_proxies; ++q) {
-        if (q == home) continue;
-        if (proxies_[q].summary->published_may_contain(r.url)) out.push_back(q);
-    }
-    return out;
-}
-
 void ShareSimulator::handle_miss_via_queries(const Request& r, std::uint32_t home,
                                              const std::vector<std::uint32_t>& queried,
                                              bool summary_mode) {
     const bool count_messages = config_.protocol != QueryProtocol::oracle;
+    core::ProtocolEngine& engine = *proxies_[home].engine;
+
+    // The simulator's transport: "ask" a sibling by peeking its cache —
+    // the zero-latency form of the query/reply exchange.
+    const auto ask = [&](std::uint32_t q) {
+        const auto v = proxies_[q].cache->cached_version(r.url);
+        if (!v) return core::PeerAnswer::absent;
+        return *v == r.version ? core::PeerAnswer::fresh : core::PeerAnswer::stale;
+    };
 
     if (summary_mode) {
-        // Summary protocol: probe the promising siblings ONE AT A TIME —
-        // the Squid cache-digest behaviour the paper's message accounting
-        // reflects ("the number of query messages ... includes remote
-        // cache hits, false hits and remote stale hits"). A sibling whose
-        // ICP reply is HIT but whose copy turns out stale ends the round
-        // (the document comes from the server); a MISS reply is a wasted
-        // query (false hit) and probing moves to the next candidate.
-        bool wasted_query = false;
-        for (std::uint32_t q : queried) {
-            ++result_.query_messages;
-            ++result_.reply_messages;
-            result_.query_bytes += kQueryMessageBytes;
-            result_.reply_bytes += kQueryMessageBytes;
-            const auto v = proxies_[q].cache->cached_version(r.url);
-            if (!v) {
-                wasted_query = true;  // summary lied about this sibling
-                continue;
-            }
-            if (*v == r.version) {
-                if (wasted_query) ++result_.false_hits;
-                ++result_.remote_hits;
-                result_.hit_bytes += r.size;
-                proxies_[q].cache->touch(r.url);
-                if (config_.scheme == SharingScheme::simple) insert_local(r, home);
-                return;
-            }
-            ++result_.remote_stale_hits;  // found, but out of date
-            break;
-        }
+        // Summary protocol: the engine probes the promising siblings ONE
+        // AT A TIME — the Squid cache-digest behaviour the paper's message
+        // accounting reflects ("the number of query messages ... includes
+        // remote cache hits, false hits and remote stale hits"). A sibling
+        // whose copy turns out stale ends the round (the document comes
+        // from the server); an absent answer is a wasted query and probing
+        // moves to the next candidate.
+        const core::RoundOutcome round = engine.run_sequential_round(queried, ask);
+        result_.query_messages += round.queries;
+        result_.reply_messages += round.queries;
+        result_.query_bytes += kQueryMessageBytes * round.queries;
+        result_.reply_bytes += kQueryMessageBytes * round.queries;
+        result_.wasted_queries += round.wasted_queries;
         // One false-hit event per request that wasted at least one query.
-        if (wasted_query) ++result_.false_hits;
+        if (round.wasted_queries > 0) ++result_.false_hits;
+        if (round.winner) {
+            ++result_.remote_hits;
+            result_.hit_bytes += r.size;
+            proxies_[*round.winner].cache->touch(r.url);
+            if (config_.scheme == SharingScheme::simple) insert_local(r, home);
+            return;
+        }
+        if (round.stale_ended) ++result_.remote_stale_hits;
         // A fresh copy held by a sibling whose summary stayed silent is a
         // false miss — the cost of update delay and of inclusive errors.
         for (std::uint32_t q = 0; q < config_.num_proxies; ++q) {
@@ -261,65 +253,41 @@ void ShareSimulator::handle_miss_via_queries(const Request& r, std::uint32_t hom
 
     // ICP / oracle: the query (if any) is multicast to every sibling at
     // once and all replies come back.
+    const core::RoundOutcome round = engine.run_multicast_round(queried, ask);
     if (count_messages) {
-        result_.query_messages += queried.size();
-        result_.reply_messages += queried.size();
-        result_.query_bytes += kQueryMessageBytes * queried.size();
-        result_.reply_bytes += kQueryMessageBytes * queried.size();
+        result_.query_messages += round.queries;
+        result_.reply_messages += round.queries;
+        result_.query_bytes += kQueryMessageBytes * round.queries;
+        result_.reply_bytes += kQueryMessageBytes * round.queries;
     }
-    std::optional<std::uint32_t> fresh;
-    bool stale_seen = false;
-    for (std::uint32_t q : queried) {
-        const auto v = proxies_[q].cache->cached_version(r.url);
-        if (!v) continue;
-        if (*v == r.version) {
-            fresh = q;
-            break;
-        }
-        stale_seen = true;
-    }
-    if (fresh) {
+    if (round.winner) {
         ++result_.remote_hits;
         result_.hit_bytes += r.size;
-        proxies_[*fresh].cache->touch(r.url);
+        proxies_[*round.winner].cache->touch(r.url);
         if (config_.scheme == SharingScheme::simple) insert_local(r, home);
         return;
     }
-    if (stale_seen) ++result_.remote_stale_hits;
+    if (round.stale_ended) ++result_.remote_stale_hits;
     ++result_.server_fetches;
     insert_local(r, home);
 }
 
 void ShareSimulator::insert_local(const Request& r, std::uint32_t home) {
     Proxy& p = proxies_[home];
-    const bool inserted = p.cache->insert(r.url, r.size, r.version);
-    if (!inserted) return;
-    if (p.policy || p.time_policy) {
-        if (p.policy) p.policy->on_new_document();
-        if (p.time_policy) p.time_policy->on_new_document();
-        maybe_publish(home, r.timestamp);
-    }
+    if (!p.engine->admit(r.url, r.size, r.version)) return;
+    if (p.summary) maybe_publish(home, r.timestamp);
 }
 
 void ShareSimulator::maybe_publish(std::uint32_t proxy, double now) {
     Proxy& p = proxies_[proxy];
-    const bool due = p.time_policy ? p.time_policy->should_publish(now)
-                                   : p.policy->should_publish(p.cache->document_count());
-    if (!due) return;
-    if (config_.min_update_changes > 0 &&
-        p.summary->pending_changes() < config_.min_update_changes)
-        return;  // batch until the update fills an IP packet (Section VI-B)
-    const std::uint64_t bytes = p.summary->publish();
-    if (p.time_policy)
-        p.time_policy->on_published(now);
-    else
-        p.policy->on_published();
-    if (bytes == 0) return;  // directory churn netted out; nothing to send
+    const auto pub = p.engine->maybe_publish(now);
+    if (!pub) return;                   // not due, floor not met, or already flushing
+    if (pub->wire_bytes == 0) return;   // directory churn netted out; nothing to send
     ++result_.summary_publishes;
     // One multicast datagram reaches every peer; unicast costs N-1 sends.
     const std::uint64_t peers = config_.multicast_updates ? 1 : config_.num_proxies - 1;
     result_.update_messages += peers;
-    result_.update_bytes += bytes * peers;
+    result_.update_bytes += pub->wire_bytes * peers;
 }
 
 void ShareSimulator::process_all(const std::vector<Request>& trace) {
@@ -363,6 +331,8 @@ void ShareSimResult::publish_metrics(const ShareSimConfig& config) const {
         false_hits);
     set("sc_sim_false_misses_total", "Fresh remote copy missed (summary silent)",
         false_misses);
+    set("sc_sim_wasted_queries_total", "Individual queries answered absent (summary wrong)",
+        wasted_queries);
     set("sc_sim_server_fetches_total", "Requests fetched from the origin server",
         server_fetches);
     set("sc_sim_query_messages_total", "Inter-proxy query messages", query_messages);

@@ -11,8 +11,9 @@
 #include <vector>
 
 #include "cache/lru_cache.hpp"
+#include "core/peer_directory.hpp"
+#include "core/protocol_engine.hpp"
 #include "summary/summary.hpp"
-#include "summary/update_policy.hpp"
 #include "trace/request.hpp"
 
 namespace sc {
@@ -80,6 +81,7 @@ struct ShareSimResult {
     std::uint64_t remote_hits = 0;
     std::uint64_t remote_stale_hits = 0;  ///< sibling had it, but stale
     std::uint64_t false_hits = 0;  ///< requests where >=1 query was wasted (summary wrong)
+    std::uint64_t wasted_queries = 0;  ///< individual queries answered "absent"
     std::uint64_t false_misses = 0;       ///< fresh copy existed, summary silent
     std::uint64_t server_fetches = 0;
 
@@ -131,16 +133,17 @@ public:
     [[nodiscard]] std::vector<std::size_t> directory_sizes() const;
 
 private:
+    /// One cooperating proxy: the cache, its directory summary (summary
+    /// protocol only), the view of every sibling's summary it probes, and
+    /// the ProtocolEngine that drives the shared decision pipeline.
     struct Proxy {
         std::unique_ptr<LruCache> cache;
         std::unique_ptr<DirectorySummary> summary;  // protocol == summary only
-        std::unique_ptr<UpdateThresholdPolicy> policy;      // threshold mode
-        std::unique_ptr<TimeIntervalPolicy> time_policy;    // interval mode
+        std::unique_ptr<core::SummaryPeerView> peers;
+        std::unique_ptr<core::ProtocolEngine> engine;
     };
 
     void process_shared(const Request& r, std::uint32_t home);
-    [[nodiscard]] std::vector<std::uint32_t> promising_siblings(const Request& r,
-                                                                std::uint32_t home) const;
     void handle_miss_via_queries(const Request& r, std::uint32_t home,
                                  const std::vector<std::uint32_t>& queried, bool summary_mode);
     void insert_local(const Request& r, std::uint32_t home);

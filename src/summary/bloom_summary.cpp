@@ -40,6 +40,16 @@ bool BloomSummary::published_may_contain(std::string_view url) const {
     return published_.may_contain(url);
 }
 
+SummaryProbe BloomSummary::make_probe(std::string_view url) const {
+    return SummaryProbe{url, &counting_.spec(), bloom_indexes(url, counting_.spec())};
+}
+
+bool BloomSummary::predicts(const SummaryProbe& probe) const {
+    if (probe.spec != nullptr && *probe.spec == published_.spec())
+        return published_.may_contain(std::span<const std::uint32_t>(probe.indexes));
+    return published_.may_contain(probe.url);
+}
+
 bool BloomSummary::current_may_contain(std::string_view url) const {
     return counting_.may_contain(url);
 }

@@ -23,6 +23,14 @@ public:
     void on_insert(std::string_view url) override;
     void on_erase(std::string_view url) override;
     [[nodiscard]] bool published_may_contain(std::string_view url) const override;
+
+    /// Hash once: the probe carries the bit-array indexes plus the spec
+    /// they were computed under.
+    [[nodiscard]] SummaryProbe make_probe(std::string_view url) const override;
+
+    /// Same-spec probes reuse the precomputed indexes; anything else
+    /// (different sizing, non-Bloom origin) rehashes the URL.
+    [[nodiscard]] bool predicts(const SummaryProbe& probe) const override;
     [[nodiscard]] bool current_may_contain(std::string_view url) const override;
     std::uint64_t publish() override;
     [[nodiscard]] std::uint64_t pending_changes() const override;

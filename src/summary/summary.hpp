@@ -15,8 +15,11 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace sc {
+
+struct HashSpec;
 
 enum class SummaryKind {
     exact_directory,  ///< 16-byte MD5 signature per URL
@@ -25,6 +28,17 @@ enum class SummaryKind {
 };
 
 [[nodiscard]] const char* summary_kind_name(SummaryKind kind);
+
+/// A URL prepared for probing many peer summaries. A summary's
+/// make_probe() may attach precomputed state (Bloom indexes plus the
+/// hash spec they were computed under) so the URL is hashed once per
+/// request, not once per peer; predicts() on a same-spec summary then
+/// skips rehashing. Summaries that share nothing fall back to the URL.
+struct SummaryProbe {
+    std::string_view url;
+    const HashSpec* spec = nullptr;       ///< spec `indexes` was computed under
+    std::vector<std::uint32_t> indexes;   ///< bit-array indexes, if spec != nullptr
+};
 
 class DirectorySummary {
 public:
@@ -38,6 +52,19 @@ public:
 
     /// What a remote proxy's replica would answer right now.
     [[nodiscard]] virtual bool published_may_contain(std::string_view url) const = 0;
+
+    /// Prepare `url` for probing a set of peers whose summaries were built
+    /// like this one. The base implementation carries only the URL.
+    [[nodiscard]] virtual SummaryProbe make_probe(std::string_view url) const {
+        return SummaryProbe{url, nullptr, {}};
+    }
+
+    /// Would this summary's published view predict the probe's URL is
+    /// cached? Equivalent to published_may_contain(probe.url) but may use
+    /// the probe's precomputed state (see BloomSummary).
+    [[nodiscard]] virtual bool predicts(const SummaryProbe& probe) const {
+        return published_may_contain(probe.url);
+    }
 
     /// Current (unpublished) view — useful for tests and diagnostics.
     [[nodiscard]] virtual bool current_may_contain(std::string_view url) const = 0;

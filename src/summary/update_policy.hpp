@@ -1,78 +1,16 @@
-// When to broadcast a summary update (paper Section V-A).
+// Update-delay conversions (paper Section V-A).
 //
-// The paper's criterion: defer until the fraction of cached documents not
-// yet reflected in the published summary reaches a threshold (0.1%-10%;
-// 1%-10% recommended). A time-interval policy is equivalent — intervals
-// convert to thresholds through the request rate and miss ratio — so both
-// are provided; the threshold form is what the simulations use.
+// The paper's criterion: defer summary broadcasts until the fraction of
+// cached documents not yet reflected in the published summary reaches a
+// threshold (0.1%-10%; 1%-10% recommended). A time-interval policy is
+// equivalent — intervals convert to thresholds through the request rate
+// and miss ratio. The policies themselves live in core::DeltaBatcher
+// (src/core/delta_batcher.hpp), which both the simulators and the live
+// proxy drive; this header keeps the closed-form conversions between the
+// two parameterizations.
 #pragma once
 
-#include <cstdint>
-
-#include "util/sc_assert.hpp"
-
 namespace sc {
-
-class UpdateThresholdPolicy {
-public:
-    /// fraction == 0 means publish after every change (the no-delay
-    /// baseline at the top of Figure 2).
-    explicit UpdateThresholdPolicy(double fraction) : fraction_(fraction) {
-        SC_ASSERT(fraction >= 0.0 && fraction <= 1.0);
-    }
-
-    /// Record that a document entered the cache that the published summary
-    /// does not reflect.
-    void on_new_document() { ++unreflected_; }
-
-    /// Should we broadcast now, given the current directory size?
-    [[nodiscard]] bool should_publish(std::uint64_t cached_docs) const {
-        if (unreflected_ == 0) return false;
-        if (fraction_ == 0.0) return true;
-        return static_cast<double>(unreflected_) >=
-               fraction_ * static_cast<double>(cached_docs);
-    }
-
-    /// Reset after a broadcast.
-    void on_published() { unreflected_ = 0; }
-
-    [[nodiscard]] std::uint64_t unreflected() const { return unreflected_; }
-    [[nodiscard]] double fraction() const { return fraction_; }
-
-private:
-    double fraction_;
-    std::uint64_t unreflected_ = 0;
-};
-
-/// Time-interval alternative (Section V-A): broadcast at fixed wall-clock
-/// intervals, regardless of how many documents changed. The false-miss
-/// behaviour is equivalent to a threshold via interval_to_threshold().
-class TimeIntervalPolicy {
-public:
-    explicit TimeIntervalPolicy(double interval_seconds) : interval_(interval_seconds) {
-        SC_ASSERT(interval_seconds > 0.0);
-    }
-
-    void on_new_document() { ++unreflected_; }
-
-    /// Should we broadcast at time `now` (seconds)?
-    [[nodiscard]] bool should_publish(double now) const {
-        return unreflected_ > 0 && now - last_publish_ >= interval_;
-    }
-
-    void on_published(double now) {
-        unreflected_ = 0;
-        last_publish_ = now;
-    }
-
-    [[nodiscard]] std::uint64_t unreflected() const { return unreflected_; }
-    [[nodiscard]] double interval() const { return interval_; }
-
-private:
-    double interval_;
-    double last_publish_ = 0.0;
-    std::uint64_t unreflected_ = 0;
-};
 
 /// Convert a time-based update interval into the equivalent threshold
 /// fraction (Section V-A): new documents per interval over cached docs.

@@ -1,0 +1,170 @@
+// DeltaBatcher: the §V-A update-delay policies (migrated here from the
+// old UpdateThresholdPolicy/TimeIntervalPolicy), the §VI-B packet floor,
+// flush-epoch election under contention, and the hook-journal locking
+// regression (run under TSan in CI).
+#include "core/delta_batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/lru_cache.hpp"
+
+namespace sc::core {
+namespace {
+
+DeltaBatcherConfig threshold_cfg(double fraction) {
+    return DeltaBatcherConfig{fraction, 0.0, 0};
+}
+
+TEST(DeltaBatcher, NoFlushWithoutChanges) {
+    DeltaBatcher b(threshold_cfg(0.01));
+    EXPECT_FALSE(b.due(1000, 0.0));
+    EXPECT_FALSE(b.try_begin_flush(1000, 0.0, 0).has_value());
+}
+
+TEST(DeltaBatcher, FlushDueAtThreshold) {
+    DeltaBatcher b(threshold_cfg(0.01));  // 1% of 1000 docs = 10 new docs
+    for (int i = 0; i < 9; ++i) b.on_new_document();
+    EXPECT_FALSE(b.due(1000, 0.0));
+    b.on_new_document();
+    EXPECT_TRUE(b.due(1000, 0.0));
+    const auto batch = b.try_begin_flush(1000, 0.0, 0);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(*batch, 10u);
+    b.finish_flush(0.0, *batch);
+    EXPECT_FALSE(b.due(1000, 0.0));  // reset by the flush
+    EXPECT_EQ(b.epoch(), 1u);
+}
+
+TEST(DeltaBatcher, ZeroThresholdFlushesEveryChange) {
+    DeltaBatcher b(threshold_cfg(0.0));
+    EXPECT_FALSE(b.due(100, 0.0));  // nothing changed yet
+    b.on_new_document();
+    EXPECT_TRUE(b.due(100, 0.0));
+}
+
+TEST(DeltaBatcher, SmallerDirectoryTriggersSooner) {
+    DeltaBatcher b(threshold_cfg(0.05));
+    b.on_new_document();
+    EXPECT_TRUE(b.due(10, 0.0));    // 1 >= 0.5
+    EXPECT_FALSE(b.due(100, 0.0));  // 1 < 5
+}
+
+TEST(DeltaBatcher, TimeIntervalPolicy) {
+    DeltaBatcher b(DeltaBatcherConfig{0.0, 10.0, 0});
+    b.on_new_document();
+    EXPECT_FALSE(b.due(1, 5.0));  // interval not yet elapsed
+    EXPECT_TRUE(b.due(1, 10.0));
+    const auto batch = b.try_begin_flush(1, 10.0, 0);
+    ASSERT_TRUE(batch.has_value());
+    b.finish_flush(10.0, *batch);
+    b.on_new_document();
+    EXPECT_FALSE(b.due(1, 15.0));  // clock restarts at the publish
+    EXPECT_TRUE(b.due(1, 20.0));
+}
+
+TEST(DeltaBatcher, PacketFloorDefersWithoutReset) {
+    // §VI-B: "enough changes to fill an IP packet". The floor defers the
+    // flush but must NOT consume the unreflected count — the flush stays
+    // due and fires as soon as the summary churn reaches the floor.
+    DeltaBatcher b(DeltaBatcherConfig{0.0, 0.0, 350});
+    b.on_new_document();
+    EXPECT_FALSE(b.try_begin_flush(1, 0.0, /*pending_changes=*/100).has_value());
+    EXPECT_EQ(b.unreflected(), 1u);  // not consumed
+    const auto batch = b.try_begin_flush(1, 0.0, /*pending_changes=*/350);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(*batch, 1u);
+    b.finish_flush(0.0, *batch);
+}
+
+TEST(DeltaBatcher, ConcurrentInsertersCoalesceIntoFlushEpochs) {
+    // Many threads insert and race to flush; the CAS elects exactly one
+    // flusher per epoch and no insert is lost or double-counted.
+    DeltaBatcher b(threshold_cfg(0.0));
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 2000;
+    std::atomic<std::uint64_t> flushed{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) {
+                b.on_new_document();
+                if (const auto batch = b.try_begin_flush(1, 0.0, 0)) {
+                    flushed.fetch_add(*batch);
+                    b.finish_flush(0.0, *batch);
+                }
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    // A final sweep collects whatever the last racers left behind.
+    if (const auto batch = b.try_begin_flush(1, 0.0, 0)) {
+        flushed.fetch_add(*batch);
+        b.finish_flush(0.0, *batch);
+    }
+    EXPECT_EQ(flushed.load(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_GE(b.epoch(), 1u);
+}
+
+TEST(DeltaBatcher, JournalPreservesOrder) {
+    DeltaBatcher b(threshold_cfg(0.0));
+    b.record_insert("a");
+    b.record_erase("a");
+    b.record_insert("b");
+    const auto ops = b.drain_journal();
+    ASSERT_EQ(ops.size(), 3u);
+    EXPECT_TRUE(ops[0].insert);
+    EXPECT_EQ(ops[0].url, "a");
+    EXPECT_FALSE(ops[1].insert);
+    EXPECT_EQ(ops[1].url, "a");
+    EXPECT_TRUE(ops[2].insert);
+    EXPECT_EQ(ops[2].url, "b");
+    EXPECT_TRUE(b.journal_empty());
+}
+
+TEST(DeltaBatcher, HookJournalCannotDeadlockWithReentrantFlush) {
+    // Deadlock regression (run under TSan in CI). The old design had the
+    // cache hooks lock the node mutex (cache-mutex -> node-mutex) while a
+    // flush under the node mutex wanted cache state (node-mutex ->
+    // cache-mutex): a classic inversion. The journal breaks it — hooks
+    // only touch the leaf journal lock, so a flusher may freely call back
+    // into the cache (document_count, even insert-with-eviction, which
+    // fires removal hooks) while another thread inserts concurrently.
+    DeltaBatcher b(threshold_cfg(0.0));
+    LruCache cache(LruCacheConfig{32 * 1024, 8 * 1024});  // tiny: evictions fire
+    cache.set_insert_hook([&b](const LruCache::Entry& e) { b.record_insert(e.url); });
+    cache.set_removal_hook([&b](const LruCache::Entry& e) { b.record_erase(e.url); });
+
+    std::atomic<bool> stop{false};
+    std::thread inserter([&] {
+        // Mirrors ProtocolEngine::admit: the cache insert fires the hook,
+        // the accepted document counts toward the threshold.
+        for (int i = 0; !stop.load(std::memory_order_relaxed); ++i)
+            if (cache.insert("ins/" + std::to_string(i), 4096, 1)) b.on_new_document();
+    });
+    std::uint64_t drained = 0;
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (int round = 0; drained < 2000; ++round) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "flush loop starved";
+        drained += b.drain_journal().size();
+        if (const auto batch = b.try_begin_flush(cache.document_count(), 0.0, 0)) {
+            // The flush callback path re-enters the cache — including an
+            // insert that evicts and fires hooks from THIS thread.
+            cache.insert("flush/" + std::to_string(round), 4096, 1);
+            b.finish_flush(0.0, *batch);
+        }
+    }
+    stop.store(true);
+    inserter.join();
+    drained += b.drain_journal().size();
+    EXPECT_GE(drained, 2000u);
+}
+
+}  // namespace
+}  // namespace sc::core

@@ -1,0 +1,129 @@
+// ProtocolEngine: the transport-free decision pipeline shared by the
+// trace simulators and the live MiniProxy.
+#include "core/protocol_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/lru_cache.hpp"
+#include "core/peer_directory.hpp"
+#include "summary/bloom_summary.hpp"
+
+namespace sc::core {
+namespace {
+
+ProtocolEngineConfig cfg(std::uint32_t id, double threshold = 0.0) {
+    return ProtocolEngineConfig{id, DeltaBatcherConfig{threshold, 0.0, 0}};
+}
+
+TEST(ProtocolEngine, SequentialRoundStopsAtFirstFresh) {
+    LruCache cache(LruCacheConfig{1 << 20});
+    ProtocolEngine engine(cfg(0), cache, nullptr, nullptr);
+    std::vector<std::uint32_t> asked;
+    const auto round = engine.run_sequential_round(
+        {3, 1, 4}, [&](std::uint32_t peer) {
+            asked.push_back(peer);
+            return peer == 1 ? PeerAnswer::fresh : PeerAnswer::absent;
+        });
+    ASSERT_TRUE(round.winner.has_value());
+    EXPECT_EQ(*round.winner, 1u);
+    EXPECT_EQ(round.queries, 2u);          // 3 (absent), then 1 (fresh); 4 never asked
+    EXPECT_EQ(round.wasted_queries, 1u);   // the lie about peer 3
+    EXPECT_FALSE(round.stale_ended);
+    EXPECT_EQ(asked, (std::vector<std::uint32_t>{3, 1}));
+}
+
+TEST(ProtocolEngine, SequentialRoundStaleEndsRound) {
+    LruCache cache(LruCacheConfig{1 << 20});
+    ProtocolEngine engine(cfg(0), cache, nullptr, nullptr);
+    const auto round = engine.run_sequential_round(
+        {1, 2, 3}, [](std::uint32_t peer) {
+            return peer == 2 ? PeerAnswer::stale : PeerAnswer::absent;
+        });
+    EXPECT_FALSE(round.winner.has_value());
+    EXPECT_TRUE(round.stale_ended);  // the document comes from the origin
+    EXPECT_EQ(round.queries, 2u);    // peer 3 is never asked
+    EXPECT_EQ(round.wasted_queries, 1u);
+}
+
+TEST(ProtocolEngine, MulticastRoundQueriesEveryCandidate) {
+    LruCache cache(LruCacheConfig{1 << 20});
+    ProtocolEngine engine(cfg(0), cache, nullptr, nullptr);
+    const auto round = engine.run_multicast_round(
+        {1, 2, 3}, [](std::uint32_t peer) {
+            return peer == 2 ? PeerAnswer::fresh : PeerAnswer::absent;
+        });
+    ASSERT_TRUE(round.winner.has_value());
+    EXPECT_EQ(*round.winner, 2u);
+    // Classic ICP pays for every candidate regardless of the outcome.
+    EXPECT_EQ(round.queries, 3u);
+}
+
+TEST(ProtocolEngine, AdmitCountsTowardUpdateThreshold) {
+    LruCache cache(LruCacheConfig{1 << 20});
+    ProtocolEngine engine(cfg(0, /*threshold=*/0.01), cache, nullptr, nullptr);
+    EXPECT_TRUE(engine.admit("http://a/1", 100, 1));
+    EXPECT_EQ(engine.batcher().unreflected(), 1u);
+    // An oversized document is rejected and must not count.
+    EXPECT_FALSE(engine.admit("http://a/big", 2u << 20, 1));
+    EXPECT_EQ(engine.batcher().unreflected(), 1u);
+    EXPECT_EQ(engine.lookup_local("http://a/1", 1), CacheStore::Lookup::hit);
+}
+
+TEST(ProtocolEngine, ProbeReturnsPromisingPeersInOrder) {
+    LruCache cache(LruCacheConfig{1 << 20});
+    BloomSummary own(64, {});
+    BloomSummary peer_a(64, {});
+    BloomSummary peer_b(64, {});
+    peer_a.on_insert("http://shared/doc");
+    peer_a.publish();
+    peer_b.on_insert("http://shared/doc");
+    peer_b.publish();
+    SummaryPeerView peers;
+    peers.set_prober(&own);
+    peers.add_peer(7, &peer_a);
+    peers.add_peer(2, &peer_b);
+    ProtocolEngine engine(cfg(0), cache, &own, &peers);
+    // Probe order is registration order — it IS the sequential query order.
+    EXPECT_EQ(engine.probe("http://shared/doc"), (std::vector<std::uint32_t>{7, 2}));
+    EXPECT_TRUE(engine.probe("http://never.seen/x").empty());
+}
+
+TEST(ProtocolEngine, MaybePublishElectsOnePublisherPerCrossing) {
+    LruCache cache(LruCacheConfig{1 << 20});
+    BloomSummary summary(64, {});
+    cache.set_insert_hook([&summary](const LruCache::Entry& e) { summary.on_insert(e.url); });
+    ProtocolEngine engine(cfg(1, /*threshold=*/0.0), cache, &summary, nullptr);
+
+    EXPECT_FALSE(engine.maybe_publish(0.0).has_value());  // nothing pending
+    ASSERT_TRUE(engine.admit("http://a/1", 100, 1));
+    const auto pub = engine.maybe_publish(0.0);
+    ASSERT_TRUE(pub.has_value());
+    EXPECT_GT(pub->wire_bytes, 0u);
+    EXPECT_EQ(pub->batch_size, 1u);
+    EXPECT_TRUE(summary.published_may_contain("http://a/1"));
+    // The crossing was consumed: no second publish until the next admit.
+    EXPECT_FALSE(engine.maybe_publish(0.0).has_value());
+}
+
+TEST(ProtocolEngine, MaybeFlushRunsCallbackOnlyWhenElected) {
+    LruCache cache(LruCacheConfig{1 << 20});
+    ProtocolEngine engine(cfg(1, /*threshold=*/0.0), cache, nullptr, nullptr);
+    int flushes = 0;
+    const auto flush = [&flushes] { return ++flushes; };
+    EXPECT_FALSE(engine.maybe_flush(0.0, flush).has_value());
+    EXPECT_EQ(flushes, 0);
+    ASSERT_TRUE(engine.admit("http://a/1", 100, 1));
+    ASSERT_TRUE(engine.admit("http://a/2", 100, 1));
+    const auto result = engine.maybe_flush(0.0, flush);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->first, 1);        // the callback's own return value
+    EXPECT_EQ(result->second, 2u);      // both admits coalesced into one flush
+    EXPECT_FALSE(engine.maybe_flush(0.0, flush).has_value());
+}
+
+}  // namespace
+}  // namespace sc::core

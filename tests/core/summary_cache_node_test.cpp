@@ -8,41 +8,46 @@
 namespace sc {
 namespace {
 
-SummaryCacheNodeConfig cfg(NodeId id, double threshold = 0.01,
-                           std::uint64_t expected_docs = 1024) {
+SummaryCacheNodeConfig cfg(NodeId id, std::uint64_t expected_docs = 1024) {
     SummaryCacheNodeConfig c;
     c.node_id = id;
     c.expected_docs = expected_docs;
-    c.update_threshold = threshold;
     return c;
 }
 
-// Deliver every pending update datagram from `from` to `to`.
+// Deliver every pending update datagram from `from` to `to`. WHEN to
+// encode is the DeltaBatcher's decision (tests/core/delta_batcher_test);
+// the node encodes whatever churn is pending.
 void sync(SummaryCacheNode& from, SummaryCacheNode& to) {
-    for (const auto& msg : from.poll_updates())
+    for (const auto& msg : from.encode_pending_updates())
         ASSERT_TRUE(to.apply_sibling_update(decode_dirupdate(msg)));
 }
 
-TEST(SummaryCacheNode, NoUpdatesBelowThreshold) {
-    SummaryCacheNode node(cfg(1, 0.5));  // 50% threshold
-    node.set_directory_size(1000);
-    node.on_cache_insert("http://a/1");
-    EXPECT_TRUE(node.poll_updates().empty());
+TEST(SummaryCacheNode, NoUpdatesWithoutDirectoryChurn) {
+    SummaryCacheNode node(cfg(1));
+    EXPECT_TRUE(node.encode_pending_updates().empty());
 }
 
-TEST(SummaryCacheNode, UpdateEmittedAtThreshold) {
-    SummaryCacheNode node(cfg(1, 0.01));
-    node.set_directory_size(100);  // threshold: 1 new doc
+TEST(SummaryCacheNode, UpdateEmittedForPendingChanges) {
+    SummaryCacheNode node(cfg(1));
     node.on_cache_insert("http://a/1");
-    const auto msgs = node.poll_updates();
+    const auto msgs = node.encode_pending_updates();
     EXPECT_FALSE(msgs.empty());
     EXPECT_EQ(node.updates_sent(), msgs.size());
+    // The delta log was consumed: nothing further is pending.
+    EXPECT_TRUE(node.encode_pending_updates().empty());
+}
+
+TEST(SummaryCacheNode, DiscardDeltaDropsPendingChanges) {
+    SummaryCacheNode node(cfg(1));
+    node.on_cache_insert("http://a/1");
+    node.discard_delta();  // pull mode: siblings fetch full digests instead
+    EXPECT_TRUE(node.encode_pending_updates().empty());
 }
 
 TEST(SummaryCacheNode, SiblingLearnsViaDeltaUpdates) {
-    SummaryCacheNode a(cfg(1, 0.0));  // publish every change
-    SummaryCacheNode b(cfg(2, 0.0));
-    a.set_directory_size(1);
+    SummaryCacheNode a(cfg(1));
+    SummaryCacheNode b(cfg(2));
     a.on_cache_insert("http://shared/doc");
     sync(a, b);
     EXPECT_TRUE(b.sibling_may_contain(1, "http://shared/doc"));
@@ -51,20 +56,19 @@ TEST(SummaryCacheNode, SiblingLearnsViaDeltaUpdates) {
 }
 
 TEST(SummaryCacheNode, EraseEventuallyClearsSiblingView) {
-    SummaryCacheNode a(cfg(1, 0.0));
-    SummaryCacheNode b(cfg(2, 0.0));
-    a.set_directory_size(1);
+    SummaryCacheNode a(cfg(1));
+    SummaryCacheNode b(cfg(2));
     a.on_cache_insert("u");
     sync(a, b);
     a.on_cache_erase("u");
-    a.on_cache_insert("v");  // new doc pushes the policy over threshold
+    a.on_cache_insert("v");
     sync(a, b);
     EXPECT_FALSE(b.sibling_may_contain(1, "u"));
     EXPECT_TRUE(b.sibling_may_contain(1, "v"));
 }
 
 TEST(SummaryCacheNode, FullUpdateBootstrapsSibling) {
-    SummaryCacheNode a(cfg(1, 0.5));
+    SummaryCacheNode a(cfg(1));
     for (int i = 0; i < 50; ++i) a.on_cache_insert("d" + std::to_string(i));
     SummaryCacheNode b(cfg(2));
     ASSERT_TRUE(b.apply_sibling_update(decode_dirupdate(a.encode_full_update())));
@@ -74,11 +78,10 @@ TEST(SummaryCacheNode, FullUpdateBootstrapsSibling) {
 }
 
 TEST(SummaryCacheNode, DuplicatedUpdateDeliveryIsIdempotent) {
-    SummaryCacheNode a(cfg(1, 0.0));
+    SummaryCacheNode a(cfg(1));
     SummaryCacheNode b(cfg(2));
-    a.set_directory_size(1);
     a.on_cache_insert("x");
-    const auto msgs = a.poll_updates();
+    const auto msgs = a.encode_pending_updates();
     ASSERT_EQ(msgs.size(), 1u);
     const auto update = decode_dirupdate(msgs[0]);
     ASSERT_TRUE(b.apply_sibling_update(update));
@@ -90,11 +93,10 @@ TEST(SummaryCacheNode, DuplicatedUpdateDeliveryIsIdempotent) {
 }
 
 TEST(SummaryCacheNode, LostUpdateOnlyCausesFalseMissesNotCorruption) {
-    SummaryCacheNode a(cfg(1, 0.0));
+    SummaryCacheNode a(cfg(1));
     SummaryCacheNode b(cfg(2));
-    a.set_directory_size(2);
     a.on_cache_insert("first");
-    (void)a.poll_updates();  // "lost" in the network
+    (void)a.encode_pending_updates();  // "lost" in the network
     a.on_cache_insert("second");
     sync(a, b);
     // b missed "first" (a false miss from b's perspective) but applied
@@ -107,13 +109,10 @@ TEST(SummaryCacheNode, LostUpdateOnlyCausesFalseMissesNotCorruption) {
 }
 
 TEST(SummaryCacheNode, LargeDeltaIsChunked) {
-    SummaryCacheNodeConfig c = cfg(1, 0.0);
-    c.expected_docs = 200'000;  // large table so flips rarely collide
-    SummaryCacheNode a(c);
-    a.set_directory_size(1);
+    SummaryCacheNode a(cfg(1, /*expected_docs=*/200'000));  // flips rarely collide
     // ~100k inserts * up to 4 flips each >> kMaxRecordsPerUpdate.
     for (int i = 0; i < 40'000; ++i) a.on_cache_insert("doc" + std::to_string(i));
-    const auto msgs = a.poll_updates();
+    const auto msgs = a.encode_pending_updates();
     EXPECT_GT(msgs.size(), 1u);
     for (const auto& m : msgs) EXPECT_LE(m.size(), kMaxIcpDatagram);
     // All chunks apply cleanly.
@@ -124,23 +123,19 @@ TEST(SummaryCacheNode, LargeDeltaIsChunked) {
 }
 
 TEST(SummaryCacheNode, SmallTablePrefersFullBitmap) {
-    SummaryCacheNodeConfig c = cfg(1, 0.0);
-    c.expected_docs = 64;  // tiny table: full bitmap beats a large delta
-    SummaryCacheNode a(c);
-    a.set_directory_size(1);
+    SummaryCacheNode a(cfg(1, /*expected_docs=*/64));  // full bitmap beats a large delta
     for (int i = 0; i < 500; ++i) a.on_cache_insert("k" + std::to_string(i));
-    const auto msgs = a.poll_updates();
+    const auto msgs = a.encode_pending_updates();
     ASSERT_EQ(msgs.size(), 1u);
     const auto update = decode_dirupdate(msgs[0]);
     EXPECT_TRUE(update.full);
 }
 
 TEST(SummaryCacheNode, DeltaWithMismatchedSpecRejected) {
-    SummaryCacheNode a(cfg(1, 0.0));
+    SummaryCacheNode a(cfg(1));
     SummaryCacheNode b(cfg(2));
-    a.set_directory_size(1);
     a.on_cache_insert("x");
-    auto msgs = a.poll_updates();
+    auto msgs = a.encode_pending_updates();
     ASSERT_FALSE(msgs.empty());
     auto update = decode_dirupdate(msgs[0]);
     ASSERT_TRUE(b.apply_sibling_update(update));
@@ -156,9 +151,8 @@ TEST(SummaryCacheNode, DeltaWithMismatchedSpecRejected) {
 }
 
 TEST(SummaryCacheNode, ForgetSiblingDropsReplica) {
-    SummaryCacheNode a(cfg(1, 0.0));
+    SummaryCacheNode a(cfg(1));
     SummaryCacheNode b(cfg(2));
-    a.set_directory_size(1);
     a.on_cache_insert("x");
     sync(a, b);
     EXPECT_EQ(b.known_siblings(), 1u);
@@ -170,17 +164,13 @@ TEST(SummaryCacheNode, ForgetSiblingDropsReplica) {
 
 TEST(SummaryCacheNode, MultipleSiblingsProbedTogether) {
     SummaryCacheNode home(cfg(0));
-    SummaryCacheNode s1(cfg(1, 0.0));
-    SummaryCacheNode s2(cfg(2, 0.0));
-    s1.set_directory_size(1);
-    s2.set_directory_size(1);
+    SummaryCacheNode s1(cfg(1));
+    SummaryCacheNode s2(cfg(2));
     s1.on_cache_insert("common");
     s2.on_cache_insert("common");
     s2.on_cache_insert("only2");
-    for (const auto& m : s1.poll_updates())
-        ASSERT_TRUE(home.apply_sibling_update(decode_dirupdate(m)));
-    for (const auto& m : s2.poll_updates())
-        ASSERT_TRUE(home.apply_sibling_update(decode_dirupdate(m)));
+    sync(s1, home);
+    sync(s2, home);
     EXPECT_EQ(home.promising_siblings("common"), (std::vector<NodeId>{1, 2}));
     EXPECT_EQ(home.promising_siblings("only2"), std::vector<NodeId>{2});
 }

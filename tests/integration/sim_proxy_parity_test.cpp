@@ -1,0 +1,134 @@
+// Simulator/proxy parity: the trace simulators and the live MiniProxy
+// drive the SAME core::ProtocolEngine, so for a deterministic workload the
+// two must produce identical protocol tallies — hits, false hits (wasted
+// queries), query messages, and update messages. This is the golden test
+// that pins the refactor's central claim: the semantics measured by
+// Figures 5-8 are, by construction, the semantics on the wire.
+//
+// Determinism requires taming the two sources of divergence a live
+// federation adds:
+//   * staleness — modify_probability = 0 removes version churn, so a
+//     sibling that answers HIT always serves a fresh copy;
+//   * update propagation — requests are replayed one at a time and the
+//     replay waits for every sent update datagram to be applied before
+//     the next request probes the replicas (the simulator's publishes are
+//     instantaneous by construction).
+// The proxies still run with --workers 4: successive requests land on
+// different pipeline workers, so the engine's flush election and the
+// journaled directory hooks are exercised off the main thread.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "proto/mini_proxy.hpp"
+#include "proto/origin_server.hpp"
+#include "sim/share_sim.hpp"
+#include "trace/generator.hpp"
+
+namespace sc {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::uint64_t total(const std::vector<std::unique_ptr<MiniProxy>>& proxies,
+                    std::uint64_t MiniProxyStats::*field) {
+    std::uint64_t sum = 0;
+    for (const auto& p : proxies) sum += p->stats().*field;
+    return sum;
+}
+
+/// Wait until every update datagram any proxy has sent was applied by its
+/// receiver (each datagram increments exactly one updates_received).
+[[nodiscard]] bool settle_updates(const std::vector<std::unique_ptr<MiniProxy>>& proxies) {
+    const auto deadline = std::chrono::steady_clock::now() + 2s;
+    while (total(proxies, &MiniProxyStats::updates_received) <
+           total(proxies, &MiniProxyStats::updates_sent)) {
+        if (std::chrono::steady_clock::now() > deadline) return false;
+        std::this_thread::sleep_for(200us);
+    }
+    return true;
+}
+
+TEST(SimProxyParity, SummaryProtocolTalliesMatchSimulator) {
+    constexpr std::uint32_t kProxies = 4;
+    constexpr std::uint64_t kCacheBytes = 1ull * 1024 * 1024;
+
+    TraceProfile profile = standard_profile(TraceKind::upisa, 0.05);
+    profile.requests = 600;
+    profile.clients = 12;
+    profile.modify_probability = 0.0;  // no stales: HIT implies fresh
+    profile.size_lo = 1'000;
+    profile.size_hi = 20'000;  // keep loopback bodies small
+    profile.seed = 1998;
+    const std::vector<Request> trace = TraceGenerator(profile).generate_all();
+
+    // --- the simulator's answer ------------------------------------------
+    ShareSimConfig sim_cfg;
+    sim_cfg.num_proxies = kProxies;
+    sim_cfg.cache_bytes_per_proxy = kCacheBytes;
+    sim_cfg.scheme = SharingScheme::simple;
+    sim_cfg.protocol = QueryProtocol::summary;
+    sim_cfg.update_threshold = 0.0;  // publish every insert (replay settles each)
+    const ShareSimResult sim = run_share_sim(sim_cfg, trace);
+    ASSERT_EQ(sim.remote_stale_hits, 0u);  // modify_probability = 0 held
+    ASSERT_GT(sim.remote_hits, 0u);        // the workload actually shares
+    ASSERT_GT(sim.update_messages, 0u);
+
+    // --- the live federation's answer ------------------------------------
+    OriginServer origin({});
+    std::vector<std::unique_ptr<MiniProxy>> proxies;
+    proxies.reserve(kProxies);
+    for (std::uint32_t i = 0; i < kProxies; ++i) {
+        MiniProxyConfig cfg;
+        cfg.id = i;  // ids == simulator indexes: identical probe order
+        cfg.origin = origin.endpoint();
+        cfg.cache_bytes = kCacheBytes;
+        cfg.mode = ShareMode::summary;
+        cfg.update_threshold = 0.0;
+        cfg.workers = 4;
+        proxies.push_back(std::make_unique<MiniProxy>(cfg));
+    }
+    for (std::uint32_t i = 0; i < kProxies; ++i)
+        for (std::uint32_t j = 0; j < kProxies; ++j)
+            if (j != i)
+                proxies[i]->add_sibling(j, proxies[j]->icp_endpoint(),
+                                        proxies[j]->http_endpoint());
+    for (auto& p : proxies) p->start();
+
+    std::vector<TcpConnection> conns;
+    conns.reserve(kProxies);
+    for (auto& p : proxies) conns.push_back(TcpConnection::connect(p->http_endpoint()));
+
+    for (const Request& r : trace) {
+        const std::uint32_t home = r.client_id % kProxies;  // the simulator's mapping
+        conns[home].write_all(format_request({false, false, r.url, r.version, r.size}));
+        const auto line = conns[home].read_line();
+        ASSERT_TRUE(line.has_value());
+        const auto header = parse_response_header(*line);
+        ASSERT_TRUE(header.has_value());
+        conns[home].discard_exact(header->size);
+        ASSERT_TRUE(settle_updates(proxies)) << "update datagram lost or unapplied";
+    }
+
+    // --- the tallies must agree exactly -----------------------------------
+    EXPECT_EQ(total(proxies, &MiniProxyStats::requests), sim.requests);
+    EXPECT_EQ(total(proxies, &MiniProxyStats::local_hits), sim.local_hits);
+    EXPECT_EQ(total(proxies, &MiniProxyStats::remote_hits), sim.remote_hits);
+    EXPECT_EQ(total(proxies, &MiniProxyStats::origin_fetches), sim.server_fetches);
+    EXPECT_EQ(total(proxies, &MiniProxyStats::icp_queries_sent), sim.query_messages);
+    // The false-hit tally: every query a summary provoked that the sibling
+    // answered MISS (the per-request sim.false_hits is derived from these).
+    EXPECT_EQ(total(proxies, &MiniProxyStats::false_hit_queries), sim.wasted_queries);
+    EXPECT_EQ(total(proxies, &MiniProxyStats::updates_sent), sim.update_messages);
+    EXPECT_EQ(origin.requests_served(), sim.server_fetches);
+
+    conns.clear();
+    for (auto& p : proxies) p->stop();
+    origin.stop();
+}
+
+}  // namespace
+}  // namespace sc

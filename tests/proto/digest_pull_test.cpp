@@ -57,8 +57,8 @@ TEST(DigestPull, DigestIsServedOverTcp) {
     EXPECT_EQ(update.sender_host, 1u);
 
     // The digest must advertise the cached document.
-    SummaryCacheNode probe(SummaryCacheNodeConfig{.node_id = 99, .expected_docs = 1024,
-                                                  .bloom = {}, .update_threshold = 0.01});
+    SummaryCacheNode probe(
+        SummaryCacheNodeConfig{.node_id = 99, .expected_docs = 1024, .bloom = {}});
     ASSERT_TRUE(probe.apply_sibling_update(update));
     EXPECT_TRUE(probe.sibling_may_contain(1, "http://warm/doc"));
     EXPECT_GE(p->stats().digests_served, 1u);

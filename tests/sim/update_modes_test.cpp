@@ -3,7 +3,10 @@
 // and multicast distribution (Section V-F).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/share_sim.hpp"
+#include "summary/update_policy.hpp"
 #include "trace/generator.hpp"
 
 namespace sc {

@@ -1,0 +1,81 @@
+// Machine-readable bench results: append records to a JSON array file so
+// CI can archive the perf trajectory run over run (BENCH_hotpath.json,
+// uploaded as an artifact). Each record is self-contained:
+//
+//   {"git_sha": "...", "name": "...", "threads": N,
+//    "ns_per_op": X, "allocs_per_op": Y}
+//
+// allocs_per_op is -1 when the benchmark did not count allocations.
+// The target file is SC_BENCH_JSON (default ./BENCH_hotpath.json); the
+// SHA comes from SC_GIT_SHA, then GITHUB_SHA, else "unknown" — the bench
+// binaries never shell out.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace sc::bench {
+
+struct Record {
+    std::string name;
+    int threads = 1;
+    double ns_per_op = 0.0;
+    double allocs_per_op = -1.0;  ///< -1 = not measured
+};
+
+inline std::string bench_json_path() {
+    const char* p = std::getenv("SC_BENCH_JSON");
+    return p != nullptr && *p != '\0' ? p : "BENCH_hotpath.json";
+}
+
+inline std::string bench_git_sha() {
+    for (const char* var : {"SC_GIT_SHA", "GITHUB_SHA"}) {
+        const char* v = std::getenv(var);
+        if (v != nullptr && *v != '\0') return v;
+    }
+    return "unknown";
+}
+
+/// Append one record, keeping the file a valid JSON array throughout
+/// (creates `[record]`, later rewrites the trailing `]` to `,record]`).
+inline void append_record(const Record& r) {
+    std::ostringstream rec;
+    rec << "{\"git_sha\": \"" << bench_git_sha() << "\", \"name\": \"" << r.name
+        << "\", \"threads\": " << r.threads << ", \"ns_per_op\": " << r.ns_per_op
+        << ", \"allocs_per_op\": " << r.allocs_per_op << "}";
+
+    const std::string path = bench_json_path();
+    std::string existing;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            existing = buf.str();
+        }
+    }
+    const std::size_t close = existing.rfind(']');
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+        return;
+    }
+    if (close == std::string::npos) {
+        out << "[\n  " << rec.str() << "\n]\n";
+    } else {
+        // Keep everything before the closing bracket; detect an empty
+        // array ("[" with only whitespace after it) to skip the comma.
+        std::string head = existing.substr(0, close);
+        const std::size_t open = head.rfind('[');
+        const bool empty_array =
+            open != std::string::npos &&
+            head.find_first_not_of(" \t\r\n", open + 1) == std::string::npos;
+        while (!head.empty() && (head.back() == '\n' || head.back() == ' ')) head.pop_back();
+        out << head << (empty_array ? "\n  " : ",\n  ") << rec.str() << "\n]\n";
+    }
+}
+
+}  // namespace sc::bench

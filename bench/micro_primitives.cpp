@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
+
 #include "bloom/bloom_filter.hpp"
 #include "bloom/counting_bloom_filter.hpp"
 #include "cache/lru_cache.hpp"
@@ -338,6 +340,10 @@ int check_obs_overhead() {
     const double overhead_pct = 100.0 * (inst - bare) / bare;
     std::printf("obs_overhead: bare=%.3fms instrumented=%.3fms overhead=%.2f%% budget=%.1f%%\n",
                 bare * 1e3, inst * 1e3, overhead_pct, budget_pct);
+    sc::bench::append_record(
+        {"micro_summary_path_bare", 1, bare * 1e9 / kRounds, -1.0});
+    sc::bench::append_record(
+        {"micro_summary_path_instrumented", 1, inst * 1e9 / kRounds, -1.0});
     if (overhead_pct >= budget_pct) {
         std::fprintf(stderr, "obs_overhead: instrumentation overhead %.2f%% exceeds %.1f%%\n",
                      overhead_pct, budget_pct);

@@ -23,12 +23,15 @@ BloomFilter::BloomFilter(HashSpec spec, std::vector<std::uint64_t> words)
 }
 
 void BloomFilter::insert(std::string_view key) {
-    for (std::uint32_t i : bloom_indexes(key, spec_)) set_bit(i, true);
+    BloomIndexes idx;
+    bloom_indexes(key, spec_, idx);
+    for (std::uint32_t i : idx) set_bit(i, true);
 }
 
 bool BloomFilter::may_contain(std::string_view key) const {
-    const auto idx = bloom_indexes(key, spec_);
-    return may_contain(std::span<const std::uint32_t>(idx));
+    BloomIndexes idx;
+    bloom_indexes(key, spec_, idx);
+    return may_contain(idx.span());
 }
 
 bool BloomFilter::may_contain(std::span<const std::uint32_t> indexes) const {

@@ -17,7 +17,9 @@ CountingBloomFilter::CountingBloomFilter(HashSpec spec, unsigned counter_bits)
 }
 
 void CountingBloomFilter::insert(std::string_view key) {
-    for (std::uint32_t i : bloom_indexes(key, spec_)) {
+    BloomIndexes idx;
+    bloom_indexes(key, spec_, idx);
+    for (std::uint32_t i : idx) {
         std::uint8_t& c = counters_[i];
         if (c == counter_max_) {
             ++overflows_;
@@ -32,7 +34,9 @@ void CountingBloomFilter::insert(std::string_view key) {
 }
 
 void CountingBloomFilter::erase(std::string_view key) {
-    for (std::uint32_t i : bloom_indexes(key, spec_)) {
+    BloomIndexes idx;
+    bloom_indexes(key, spec_, idx);
+    for (std::uint32_t i : idx) {
         std::uint8_t& c = counters_[i];
         if (c == counter_max_) continue;  // pinned — never decremented
         if (c == 0) {
@@ -48,7 +52,9 @@ void CountingBloomFilter::erase(std::string_view key) {
 }
 
 bool CountingBloomFilter::may_contain(std::string_view key) const {
-    for (std::uint32_t i : bloom_indexes(key, spec_))
+    BloomIndexes idx;
+    bloom_indexes(key, spec_, idx);
+    for (std::uint32_t i : idx)
         if (counters_[i] == 0) return false;
     return true;
 }

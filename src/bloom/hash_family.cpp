@@ -41,12 +41,37 @@ std::uint64_t derived_offset(unsigned i) {
     return splitmix64(seed);
 }
 
+// One index-derivation loop per family, generic over the output container
+// so the vector and inline-buffer overloads share the exact same bits.
+template <typename Out>
+void linear_indexes_into(std::string_view key, const HashSpec& spec, Out& out) {
+    SC_ASSERT(spec.valid());
+    const std::uint64_t h = fnv1a32(key);
+    for (unsigned i = 0; i < spec.function_num; ++i) {
+        const std::uint64_t v = derived_multiplier(i) * h + derived_offset(i);
+        out.push_back(static_cast<std::uint32_t>((v >> 13) % spec.table_bits));
+    }
+}
+
+template <typename Out>
+void rabin_indexes_into(std::string_view key, const HashSpec& spec, Out& out) {
+    SC_ASSERT(spec.valid());
+    const std::uint64_t f = rabin_fingerprint(key);
+    for (unsigned i = 0; i < spec.function_num; ++i) {
+        const std::uint64_t v = derived_multiplier(i ^ 0x80) * f;
+        out.push_back(static_cast<std::uint32_t>((v >> 21) % spec.table_bits));
+    }
+}
+
 class Md5Hasher final : public UrlHasher {
 public:
     void indexes(std::string_view key, const HashSpec& spec,
                  std::vector<std::uint32_t>& out) const override {
         const auto idx = bloom_indexes(key, spec);
         out.insert(out.end(), idx.begin(), idx.end());
+    }
+    void indexes(std::string_view key, const HashSpec& spec, BloomIndexes& out) const override {
+        bloom_indexes(key, spec, out);
     }
     [[nodiscard]] HashFamily family() const override { return HashFamily::md5; }
 };
@@ -55,12 +80,12 @@ class LinearHasher final : public UrlHasher {
 public:
     void indexes(std::string_view key, const HashSpec& spec,
                  std::vector<std::uint32_t>& out) const override {
-        SC_ASSERT(spec.valid());
-        const std::uint64_t h = fnv1a32(key);
-        for (unsigned i = 0; i < spec.function_num; ++i) {
-            const std::uint64_t v = derived_multiplier(i) * h + derived_offset(i);
-            out.push_back(static_cast<std::uint32_t>((v >> 13) % spec.table_bits));
-        }
+        linear_indexes_into(key, spec, out);
+    }
+    void indexes(std::string_view key, const HashSpec& spec, BloomIndexes& out) const override {
+        SC_ASSERT(spec.function_num <= kMaxWireHashFunctions);
+        out.clear();
+        linear_indexes_into(key, spec, out);
     }
     [[nodiscard]] HashFamily family() const override { return HashFamily::linear; }
 };
@@ -69,12 +94,12 @@ class RabinHasher final : public UrlHasher {
 public:
     void indexes(std::string_view key, const HashSpec& spec,
                  std::vector<std::uint32_t>& out) const override {
-        SC_ASSERT(spec.valid());
-        const std::uint64_t f = rabin_fingerprint(key);
-        for (unsigned i = 0; i < spec.function_num; ++i) {
-            const std::uint64_t v = derived_multiplier(i ^ 0x80) * f;
-            out.push_back(static_cast<std::uint32_t>((v >> 21) % spec.table_bits));
-        }
+        rabin_indexes_into(key, spec, out);
+    }
+    void indexes(std::string_view key, const HashSpec& spec, BloomIndexes& out) const override {
+        SC_ASSERT(spec.function_num <= kMaxWireHashFunctions);
+        out.clear();
+        rabin_indexes_into(key, spec, out);
     }
     [[nodiscard]] HashFamily family() const override { return HashFamily::rabin; }
 };
@@ -88,6 +113,15 @@ const char* hash_family_name(HashFamily family) {
         case HashFamily::rabin: return "rabin";
     }
     return "?";
+}
+
+void UrlHasher::indexes(std::string_view key, const HashSpec& spec, BloomIndexes& out) const {
+    SC_ASSERT(spec.function_num <= kMaxWireHashFunctions);
+    out.clear();
+    std::vector<std::uint32_t> tmp;
+    tmp.reserve(spec.function_num);
+    indexes(key, spec, tmp);
+    for (const std::uint32_t i : tmp) out.push_back(i);
 }
 
 std::vector<std::uint32_t> UrlHasher::operator()(std::string_view key,

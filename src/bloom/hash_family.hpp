@@ -44,6 +44,13 @@ public:
     virtual void indexes(std::string_view key, const HashSpec& spec,
                          std::vector<std::uint32_t>& out) const = 0;
 
+    /// Same, into the fixed inline buffer (out is cleared first) — the
+    /// request path's no-allocation form. Requires
+    /// spec.function_num <= kMaxWireHashFunctions. The base implementation
+    /// routes through the vector overload; the built-in families override
+    /// it to stay allocation-free.
+    virtual void indexes(std::string_view key, const HashSpec& spec, BloomIndexes& out) const;
+
     [[nodiscard]] virtual HashFamily family() const = 0;
 
     /// Convenience wrapper.

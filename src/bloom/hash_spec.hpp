@@ -12,12 +12,24 @@
 // MD5(URL + URL), then MD5(URL + URL + URL), and so on.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/md5.hpp"
 
 namespace sc {
+
+/// Hard cap on the number of hash functions any summary that travels the
+/// wire may use. The paper's configurations use k <= 16 and the optimal-k
+/// sweep of Figure 4 tops out at 22 (32 bits/entry); 32 leaves headroom
+/// while letting the request path keep all k indexes in a fixed inline
+/// array (BloomIndexes) instead of a heap vector. decode_dirupdate
+/// rejects specs above the cap, so replicas built from the wire always
+/// fit the no-allocation probe path.
+inline constexpr std::uint16_t kMaxWireHashFunctions = 32;
 
 struct HashSpec {
     std::uint16_t function_num = 4;    ///< k — number of hash functions
@@ -36,6 +48,9 @@ struct HashSpec {
 /// unbounded number of hash functions from one signature.
 class Md5BitStream {
 public:
+    /// `key` is referenced, not copied (the stream never outlives the
+    /// probed URL in any caller) — constructing the stream allocates
+    /// nothing, which the request path depends on.
     explicit Md5BitStream(std::string_view key);
 
     /// Next `bits` bits (1..64) as the low bits of the result.
@@ -44,14 +59,38 @@ public:
 private:
     void refill();
 
-    std::string key_;
+    std::string_view key_;
     Md5Digest digest_{};
     unsigned bit_pos_ = 128;  // forces a refill on first take
     unsigned round_ = 0;      // how many key copies have been hashed
 };
 
+/// The k bit-array indexes of one key, inline (no heap). Sized for
+/// kMaxWireHashFunctions so every spec that can arrive over the wire
+/// fits; converts to a span for the probe overloads.
+class BloomIndexes {
+public:
+    [[nodiscard]] std::size_t size() const { return n_; }
+    [[nodiscard]] bool empty() const { return n_ == 0; }
+    [[nodiscard]] std::uint32_t operator[](std::size_t i) const { return v_[i]; }
+    [[nodiscard]] const std::uint32_t* begin() const { return v_.data(); }
+    [[nodiscard]] const std::uint32_t* end() const { return v_.data() + n_; }
+    void push_back(std::uint32_t index) { v_[n_++] = index; }
+    void clear() { n_ = 0; }
+    [[nodiscard]] std::span<const std::uint32_t> span() const { return {v_.data(), n_}; }
+    operator std::span<const std::uint32_t>() const { return span(); }
+
+private:
+    std::array<std::uint32_t, kMaxWireHashFunctions> v_;
+    std::size_t n_ = 0;
+};
+
 /// All k bit-array indices for `key` under `spec`.
 [[nodiscard]] std::vector<std::uint32_t> bloom_indexes(std::string_view key,
                                                        const HashSpec& spec);
+
+/// Same, into a fixed inline buffer — the request path's form: no heap
+/// allocation per probe. Requires spec.function_num <= kMaxWireHashFunctions.
+void bloom_indexes(std::string_view key, const HashSpec& spec, BloomIndexes& out);
 
 }  // namespace sc

@@ -1,5 +1,8 @@
 #include "cache/lru_cache.hpp"
 
+#include <bit>
+#include <chrono>
+
 #include "obs/metrics.hpp"
 #include "util/sc_assert.hpp"
 
@@ -19,6 +22,10 @@ struct LruMetrics {
         "sc_lru_evictions_total", "Documents evicted by capacity pressure");
     obs::Counter inserted_bytes = obs::metrics().counter(
         "sc_lru_inserted_bytes_total", "Bytes admitted into LRU caches");
+    obs::Histogram shard_lock_wait = obs::metrics().histogram(
+        "sc_cache_shard_lock_wait",
+        "Seconds spent blocked on a cache shard mutex (contended acquisitions only)",
+        {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1});
 };
 
 LruMetrics& lru_metrics() {
@@ -26,114 +33,202 @@ LruMetrics& lru_metrics() {
     return m;
 }
 
+// FNV-1a, duplicated from sc_bloom so the cache library keeps its narrow
+// dependency set (sc_util + sc_obs only). Must stay the 32-bit FNV-1a
+// everyone expects: the shard of a URL is observable through for_each
+// order and per-shard eviction.
+std::uint32_t shard_hash(std::string_view url) {
+    std::uint32_t h = 0x811c9dc5u;
+    for (const char c : url) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x01000193u;
+    }
+    return h;
+}
+
 }  // namespace
 
-LruCache::LruCache(LruCacheConfig config) : config_(config) {
+LruCache::LruCache(LruCacheConfig config)
+    : config_(config), shards_(config.shards), shard_mask_(config.shards - 1) {
     SC_ASSERT(config_.capacity_bytes > 0);
+    SC_ASSERT(config_.shards >= 1 && std::has_single_bit(config_.shards));
+    // Spread the byte budget evenly; the first capacity % shards shards
+    // absorb the remainder so the totals always add up to capacity_bytes.
+    const std::uint64_t base = config_.capacity_bytes / config_.shards;
+    const std::uint64_t extra = config_.capacity_bytes % config_.shards;
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+        shards_[i].capacity = base + (i < extra ? 1 : 0);
+}
+
+LruCache::Shard& LruCache::shard_for(std::string_view url) {
+    return shards_[shard_mask_ == 0 ? 0 : (shard_hash(url) & shard_mask_)];
+}
+
+const LruCache::Shard& LruCache::shard_for(std::string_view url) const {
+    return shards_[shard_mask_ == 0 ? 0 : (shard_hash(url) & shard_mask_)];
+}
+
+std::unique_lock<std::mutex> LruCache::lock_shard(const Shard& shard) {
+    std::unique_lock lock(shard.mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        const auto start = std::chrono::steady_clock::now();
+        lock.lock();
+        lru_metrics().shard_lock_wait.observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+    }
+    return lock;
 }
 
 LruCache::Lookup LruCache::lookup(std::string_view url, std::uint64_t version) {
-    const std::lock_guard lock(mu_);
-    const auto it = index_.find(url);
-    if (it == index_.end()) {
+    Shard& s = shard_for(url);
+    const auto lock = lock_shard(s);
+    const auto it = s.index.find(url);
+    if (it == s.index.end()) {
         lru_metrics().misses.inc();
         return Lookup::miss_absent;
     }
     if (it->second->version != version) {
         // Perfect-consistency model: a changed document is a miss and the
         // stale copy leaves the cache (the caller re-fetches and re-inserts).
-        remove(it->second, /*is_eviction=*/false);
+        remove(s, it->second, /*is_eviction=*/false);
         lru_metrics().misses.inc();
         return Lookup::miss_changed;
     }
-    order_.splice(order_.begin(), order_, it->second);
+    s.order.splice(s.order.begin(), s.order, it->second);
     lru_metrics().hits.inc();
     return Lookup::hit;
 }
 
 bool LruCache::contains(std::string_view url) const {
-    const std::lock_guard lock(mu_);
-    return index_.contains(url);
+    const Shard& s = shard_for(url);
+    const auto lock = lock_shard(s);
+    return s.index.contains(url);
 }
 
 std::optional<std::uint64_t> LruCache::cached_version(std::string_view url) const {
-    const std::lock_guard lock(mu_);
-    const auto it = index_.find(url);
-    if (it == index_.end()) return std::nullopt;
+    const Shard& s = shard_for(url);
+    const auto lock = lock_shard(s);
+    const auto it = s.index.find(url);
+    if (it == s.index.end()) return std::nullopt;
     return it->second->version;
 }
 
 bool LruCache::insert(std::string_view url, std::uint64_t size, std::uint64_t version) {
-    const std::lock_guard lock(mu_);
-    if (size > config_.max_object_bytes || size > config_.capacity_bytes) return false;
-    if (const auto it = index_.find(url); it != index_.end()) {
+    Shard& s = shard_for(url);
+    const auto lock = lock_shard(s);
+    if (size > config_.max_object_bytes || size > s.capacity) return false;
+    if (const auto it = s.index.find(url); it != s.index.end()) {
         // Refresh in place: adjust bytes, update version, promote.
-        used_bytes_ -= it->second->size;
+        s.used_bytes -= it->second->size;
         it->second->size = size;
         it->second->version = version;
-        order_.splice(order_.begin(), order_, it->second);
-        evict_until_fits(size);
-        used_bytes_ += size;
+        s.order.splice(s.order.begin(), s.order, it->second);
+        evict_until_fits(s, size);
+        s.used_bytes += size;
         lru_metrics().inserted_bytes.inc(size);
         return true;
     }
-    evict_until_fits(size);
-    order_.push_front(Entry{std::string(url), size, version});
-    index_.emplace(std::string_view(order_.front().url), order_.begin());
-    used_bytes_ += size;
+    evict_until_fits(s, size);
+    s.order.push_front(Entry{std::string(url), size, version});
+    s.index.emplace(std::string_view(s.order.front().url), s.order.begin());
+    s.used_bytes += size;
     lru_metrics().inserted_bytes.inc(size);
-    if (on_insert_) on_insert_(order_.front());
+    if (on_insert_) on_insert_(s.order.front());
     return true;
 }
 
 void LruCache::touch(std::string_view url) {
-    const std::lock_guard lock(mu_);
-    if (const auto it = index_.find(url); it != index_.end())
-        order_.splice(order_.begin(), order_, it->second);
+    Shard& s = shard_for(url);
+    const auto lock = lock_shard(s);
+    if (const auto it = s.index.find(url); it != s.index.end())
+        s.order.splice(s.order.begin(), s.order, it->second);
 }
 
 bool LruCache::erase(std::string_view url) {
-    const std::lock_guard lock(mu_);
-    const auto it = index_.find(url);
-    if (it == index_.end()) return false;
-    remove(it->second, /*is_eviction=*/false);
+    Shard& s = shard_for(url);
+    const auto lock = lock_shard(s);
+    const auto it = s.index.find(url);
+    if (it == s.index.end()) return false;
+    remove(s, it->second, /*is_eviction=*/false);
     return true;
 }
 
-const LruCache::Entry* LruCache::peek(std::string_view url) const {
-    const std::lock_guard lock(mu_);
-    const auto it = index_.find(url);
-    return it == index_.end() ? nullptr : &*it->second;
-}
-
 std::optional<LruCache::Entry> LruCache::entry_copy(std::string_view url) const {
-    const std::lock_guard lock(mu_);
-    const auto it = index_.find(url);
-    if (it == index_.end()) return std::nullopt;
+    const Shard& s = shard_for(url);
+    const auto lock = lock_shard(s);
+    const auto it = s.index.find(url);
+    if (it == s.index.end()) return std::nullopt;
     return *it->second;
 }
 
-const LruCache::Entry* LruCache::lru_entry() const {
-    const std::lock_guard lock(mu_);
-    return order_.empty() ? nullptr : &order_.back();
+std::optional<LruCache::Entry> LruCache::lru_entry() const {
+    for (const Shard& s : shards_) {
+        const auto lock = lock_shard(s);
+        if (!s.order.empty()) return s.order.back();
+    }
+    return std::nullopt;
 }
 
-void LruCache::remove(List::iterator it, bool is_eviction) {
+void LruCache::set_removal_hook(RemovalHook hook) {
+    // Hooks are read under any single shard's lock, so the write must
+    // exclude every shard. Locked in index order; nothing else takes two
+    // shard locks, so the order cannot deadlock.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (const Shard& s : shards_) locks.push_back(lock_shard(s));
+    on_remove_ = std::move(hook);
+}
+
+void LruCache::set_insert_hook(EntryHook hook) {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (const Shard& s : shards_) locks.push_back(lock_shard(s));
+    on_insert_ = std::move(hook);
+}
+
+std::uint64_t LruCache::used_bytes() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+        const auto lock = lock_shard(s);
+        total += s.used_bytes;
+    }
+    return total;
+}
+
+std::size_t LruCache::document_count() const {
+    std::size_t total = 0;
+    for (const Shard& s : shards_) {
+        const auto lock = lock_shard(s);
+        total += s.index.size();
+    }
+    return total;
+}
+
+std::uint64_t LruCache::eviction_count() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+        const auto lock = lock_shard(s);
+        total += s.evictions;
+    }
+    return total;
+}
+
+void LruCache::remove(Shard& shard, List::iterator it, bool is_eviction) {
     if (is_eviction) {
-        ++evictions_;
+        ++shard.evictions;
         lru_metrics().evictions.inc();
     }
     if (on_remove_) on_remove_(*it);
-    used_bytes_ -= it->size;
-    index_.erase(std::string_view(it->url));
-    order_.erase(it);
+    shard.used_bytes -= it->size;
+    shard.index.erase(std::string_view(it->url));
+    shard.order.erase(it);
 }
 
-void LruCache::evict_until_fits(std::uint64_t incoming) {
-    SC_ASSERT(incoming <= config_.capacity_bytes);
-    while (used_bytes_ + incoming > config_.capacity_bytes) {
-        SC_ASSERT(!order_.empty());
-        remove(std::prev(order_.end()), /*is_eviction=*/true);
+void LruCache::evict_until_fits(Shard& shard, std::uint64_t incoming) {
+    SC_ASSERT(incoming <= shard.capacity);
+    while (shard.used_bytes + incoming > shard.capacity) {
+        SC_ASSERT(!shard.order.empty());
+        remove(shard, std::prev(shard.order.end()), /*is_eviction=*/true);
     }
 }
 

@@ -6,19 +6,30 @@
 // Eviction/insert/erase hooks let the owning proxy mirror the directory
 // into its counting Bloom filter or other summary representation.
 //
-// Thread safety: every public method takes an internal mutex, so a cache
-// can be shared by the proxy's worker pool without external locking
-// (`bench/micro_primitives` measures the uncontended cost). Hooks run
-// under that mutex: they must not call back into the cache, and any lock
-// they take must be a LEAF lock — one under which no code path calls back
-// into the cache or takes further locks. The DeltaBatcher journal mutex
-// is the canonical example; routing hook work through the journal (rather
-// than into summary/node state guarded by coarser locks) is what lets
-// flush callbacks call back into the cache safely. See docs/PROTOCOL.md
-// "Locking" and tests/core/delta_batcher_test.cpp (deadlock regression).
-// The pointer-returning accessors (`peek`, `lru_entry`) remain valid only
-// until the next mutating call — concurrent readers should use
-// `entry_copy` instead.
+// Sharding: the cache is split into `config.shards` (a power of two)
+// independent shards, each with its own mutex, LRU list, index, and byte
+// budget (capacity_bytes / shards). A URL always lands in the shard its
+// hash selects, so workers touching different URLs contend only when they
+// collide on a shard. `shards = 1` (the default, used by every simulator)
+// is exactly the historical single-list cache: one global LRU order, one
+// global byte budget, identical eviction sequence. With more shards the
+// LRU order and budget are per-shard — eviction order is only LRU within
+// a shard, which is why byte-identical repro runs pin shards = 1.
+//
+// Thread safety: every public method takes the target shard's mutex, so a
+// cache can be shared by the proxy's worker pool without external locking
+// (`bench/micro_primitives` measures the contended cost; the
+// `sc_cache_shard_lock_wait` histogram records waits observed in
+// production). Hooks run under a shard mutex: they must not call back
+// into the cache, and any lock they take must be a LEAF lock — one under
+// which no code path calls back into the cache or takes further locks.
+// The DeltaBatcher journal mutex is the canonical example; routing hook
+// work through the journal (rather than into summary/node state guarded
+// by coarser locks) is what lets flush callbacks call back into the cache
+// safely. See docs/PROTOCOL.md "Locking" and
+// tests/core/delta_batcher_test.cpp (deadlock regression).
+// All accessors return copies (`entry_copy`, `lru_entry`); no pointer
+// into cache-owned storage escapes a shard lock.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +40,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "cache/cache_store.hpp"
 
@@ -40,6 +52,9 @@ inline constexpr std::uint64_t kDefaultMaxObjectBytes = 250'000;
 struct LruCacheConfig {
     std::uint64_t capacity_bytes = 0;
     std::uint64_t max_object_bytes = kDefaultMaxObjectBytes;
+    /// Number of independent shards; must be a power of two. 1 (the
+    /// default) preserves the historical single-list LRU exactly.
+    std::size_t shards = 1;
 };
 
 class LruCache final : public CacheStore {
@@ -64,17 +79,13 @@ public:
     [[nodiscard]] std::optional<std::uint64_t> cached_version(
         std::string_view url) const override;
 
-    /// Entry for a cached URL (any version), or nullptr. No promotion;
-    /// the pointer is invalidated by the next mutating call.
-    [[nodiscard]] const Entry* peek(std::string_view url) const;
-
-    /// Copy of the entry for a cached URL, if present. No promotion. The
-    /// race-free form of peek() for use from concurrent workers.
+    /// Copy of the entry for a cached URL, if present. No promotion.
     [[nodiscard]] std::optional<Entry> entry_copy(std::string_view url) const override;
 
     /// Insert (or refresh) a document as MRU, evicting LRU entries as
     /// needed. Returns false — and caches nothing — if the document
-    /// exceeds max_object_bytes or the total capacity.
+    /// exceeds max_object_bytes or its shard's byte budget
+    /// (capacity_bytes / shards; the whole capacity when shards == 1).
     bool insert(std::string_view url, std::uint64_t size, std::uint64_t version) override;
 
     /// Promote an entry to MRU without a version check (the single-copy
@@ -84,58 +95,65 @@ public:
     /// Remove an entry if present. Returns true if something was removed.
     bool erase(std::string_view url) override;
 
-    void set_removal_hook(RemovalHook hook) override {
-        const std::lock_guard lock(mu_);
-        on_remove_ = std::move(hook);
-    }
-    void set_insert_hook(EntryHook hook) override {
-        const std::lock_guard lock(mu_);
-        on_insert_ = std::move(hook);
-    }
+    /// Hooks are shared by all shards; setting one locks every shard, so
+    /// install hooks before concurrent use (or accept the stall).
+    void set_removal_hook(RemovalHook hook) override;
+    void set_insert_hook(EntryHook hook) override;
 
-    [[nodiscard]] std::uint64_t used_bytes() const override {
-        const std::lock_guard lock(mu_);
-        return used_bytes_;
-    }
+    [[nodiscard]] std::uint64_t used_bytes() const override;
     [[nodiscard]] std::uint64_t capacity_bytes() const override {
         return config_.capacity_bytes;
     }
-    [[nodiscard]] std::size_t document_count() const override {
-        const std::lock_guard lock(mu_);
-        return index_.size();
-    }
+    [[nodiscard]] std::size_t document_count() const override;
     [[nodiscard]] const LruCacheConfig& config() const { return config_; }
+    [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
-    /// Least-recently-used entry (eviction candidate), if any.
-    [[nodiscard]] const Entry* lru_entry() const;
+    /// Copy of the least-recently-used entry (eviction candidate), if any.
+    /// With shards == 1 this is THE global LRU entry; with more shards it
+    /// is the LRU of the lowest-numbered non-empty shard (each shard
+    /// evicts independently, so no single global candidate exists).
+    [[nodiscard]] std::optional<Entry> lru_entry() const;
 
-    /// Iterate all entries from MRU to LRU (under the cache mutex: fn
-    /// must not call back into the cache).
+    /// Iterate all entries, shard by shard, MRU to LRU within each shard
+    /// (the full MRU→LRU order when shards == 1). Runs under each shard's
+    /// mutex in turn: fn must not call back into the cache.
     template <typename Fn>
     void for_each(Fn&& fn) const {
-        const std::lock_guard lock(mu_);
-        for (const Entry& e : order_) fn(e);
+        for (const Shard& s : shards_) {
+            const std::lock_guard lock(s.mu);
+            for (const Entry& e : s.order) fn(e);
+        }
     }
 
-    /// Cumulative eviction count (capacity pressure indicator).
-    [[nodiscard]] std::uint64_t eviction_count() const {
-        const std::lock_guard lock(mu_);
-        return evictions_;
-    }
+    /// Cumulative eviction count across all shards.
+    [[nodiscard]] std::uint64_t eviction_count() const;
 
 private:
     using List = std::list<Entry>;
 
-    void remove(List::iterator it, bool is_eviction);
-    void evict_until_fits(std::uint64_t incoming);
+    struct Shard {
+        mutable std::mutex mu;
+        List order;  // front = MRU, back = LRU
+        std::unordered_map<std::string_view, List::iterator> index;  // keys view into list nodes
+        std::uint64_t capacity = 0;  ///< this shard's byte budget
+        std::uint64_t used_bytes = 0;
+        std::uint64_t evictions = 0;
+    };
 
-    mutable std::mutex mu_;
+    [[nodiscard]] Shard& shard_for(std::string_view url);
+    [[nodiscard]] const Shard& shard_for(std::string_view url) const;
+
+    /// Lock a shard, recording the wait in sc_cache_shard_lock_wait when
+    /// the fast try_lock loses (the uncontended path stays untimed).
+    [[nodiscard]] static std::unique_lock<std::mutex> lock_shard(const Shard& shard);
+
+    void remove(Shard& shard, List::iterator it, bool is_eviction);
+    void evict_until_fits(Shard& shard, std::uint64_t incoming);
+
     LruCacheConfig config_;
-    List order_;  // front = MRU, back = LRU
-    std::unordered_map<std::string_view, List::iterator> index_;  // keys view into list nodes
-    std::uint64_t used_bytes_ = 0;
-    std::uint64_t evictions_ = 0;
-    RemovalHook on_remove_;
+    std::vector<Shard> shards_;   // size is a power of two, never resized
+    std::size_t shard_mask_ = 0;  // shards_.size() - 1
+    RemovalHook on_remove_;       // written only with ALL shard locks held
     EntryHook on_insert_;
 };
 

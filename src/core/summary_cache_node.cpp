@@ -45,6 +45,7 @@ void apply_bitmap_words(BloomFilter& filter, std::span<const std::uint32_t> word
 
 SummaryCacheNode::SummaryCacheNode(SummaryCacheNodeConfig config)
     : config_(config), counting_(spec_for(config), config.bloom.counter_bits) {
+    replicas_.store(std::make_shared<const ReplicaTable>(), std::memory_order_release);
     const obs::Labels labels{{"node", std::to_string(config_.node_id)}};
     metric_updates_sent_ = obs::metrics().counter(
         "sc_node_updates_sent_total", "SC-ICP update datagrams encoded for broadcast", labels);
@@ -53,6 +54,9 @@ SummaryCacheNode::SummaryCacheNode(SummaryCacheNodeConfig config)
     metric_updates_rejected_ = obs::metrics().counter(
         "sc_node_updates_rejected_total", "Sibling updates rejected (hash-spec mismatch)",
         labels);
+    metric_replica_swaps_ = obs::metrics().counter(
+        "sc_node_replica_swaps_total",
+        "Sibling replica snapshots atomically published (RCU swaps)", labels);
 }
 
 void SummaryCacheNode::on_cache_insert(std::string_view url) { counting_.insert(url); }
@@ -112,67 +116,110 @@ std::vector<std::uint8_t> SummaryCacheNode::encode_full_update() {
 
 void SummaryCacheNode::discard_delta() { (void)counting_.take_delta(); }
 
+SummaryCacheNode::ReplicaTable::const_iterator SummaryCacheNode::find_replica(
+    const ReplicaTable& table, NodeId sibling) {
+    const auto pos =
+        std::lower_bound(table.begin(), table.end(), sibling,
+                         [](const auto& entry, NodeId id) { return entry.first < id; });
+    return (pos != table.end() && pos->first == sibling) ? pos : table.end();
+}
+
 bool SummaryCacheNode::apply_sibling_update(const IcpDirUpdate& update) {
-    auto it = siblings_.find(update.sender_host);
+    // RCU writer: build the successor snapshot off the published table,
+    // then swap it in. Readers keep probing the old snapshot meanwhile.
+    const std::lock_guard lock(replica_write_mu_);
+    const auto current = replicas_.load(std::memory_order_acquire);
+    auto pos = std::lower_bound(
+        current->begin(), current->end(), update.sender_host,
+        [](const auto& entry, NodeId id) { return entry.first < id; });
+    const bool known = pos != current->end() && pos->first == update.sender_host;
+
+    std::shared_ptr<BloomFilter> next_filter;
+    bool full_trace;
     if (update.full) {
-        if (it == siblings_.end() || it->second.spec() != update.spec) {
-            it = siblings_.insert_or_assign(update.sender_host, BloomFilter(update.spec)).first;
+        // Full bitmap replaces the replica wholesale (and re-creates it
+        // after a spec change), so start from a fresh filter either way.
+        next_filter = std::make_shared<BloomFilter>(update.spec);
+        apply_bitmap_words(*next_filter, update.bitmap_words);
+        full_trace = true;
+    } else {
+        if (known && pos->second->spec() != update.spec) {
+            updates_rejected_.fetch_add(1, std::memory_order_relaxed);
+            metric_updates_rejected_.inc();
+            obs::trace(obs::TraceEventType::summary_update_rejected,
+                       static_cast<std::uint16_t>(config_.node_id), update.sender_host);
+            return false;
         }
-        apply_bitmap_words(it->second, update.bitmap_words);
-        ++updates_applied_;
-        metric_updates_applied_.inc();
-        obs::trace(obs::TraceEventType::summary_update_applied,
-                   static_cast<std::uint16_t>(config_.node_id), update.sender_host, 1);
-        return true;
-    }
-    if (it == siblings_.end()) {
         // First contact via delta: start from an empty filter with the
         // advertised spec. (Bits set before we joined arrive with the next
         // full refresh; meanwhile we only under-estimate, which is safe —
         // the penalty is false misses, never incorrect service.)
-        it = siblings_.emplace(update.sender_host, BloomFilter(update.spec)).first;
-    } else if (it->second.spec() != update.spec) {
-        ++updates_rejected_;
-        metric_updates_rejected_.inc();
-        obs::trace(obs::TraceEventType::summary_update_rejected,
-                   static_cast<std::uint16_t>(config_.node_id), update.sender_host);
-        return false;
+        next_filter = known ? std::make_shared<BloomFilter>(*pos->second)
+                            : std::make_shared<BloomFilter>(update.spec);
+        for (const std::uint32_t rec : update.records) {
+            const BitFlip flip = decode_bit_flip(rec);
+            next_filter->set_bit(flip.index, flip.value);
+        }
+        full_trace = false;
     }
-    for (const std::uint32_t rec : update.records) {
-        const BitFlip flip = decode_bit_flip(rec);
-        it->second.set_bit(flip.index, flip.value);
-    }
-    ++updates_applied_;
+
+    auto next = std::make_shared<ReplicaTable>(*current);
+    if (known)
+        (*next)[static_cast<std::size_t>(pos - current->begin())].second = std::move(next_filter);
+    else
+        next->insert(next->begin() + (pos - current->begin()),
+                     {update.sender_host, std::move(next_filter)});
+    publish_replicas(std::move(next));
+
+    updates_applied_.fetch_add(1, std::memory_order_relaxed);
     metric_updates_applied_.inc();
     obs::trace(obs::TraceEventType::summary_update_applied,
-               static_cast<std::uint16_t>(config_.node_id), update.sender_host, 0);
+               static_cast<std::uint16_t>(config_.node_id), update.sender_host,
+               full_trace ? 1 : 0);
     return true;
 }
 
-void SummaryCacheNode::forget_sibling(NodeId sibling) { siblings_.erase(sibling); }
+void SummaryCacheNode::forget_sibling(NodeId sibling) {
+    const std::lock_guard lock(replica_write_mu_);
+    const auto current = replicas_.load(std::memory_order_acquire);
+    const auto pos = find_replica(*current, sibling);
+    if (pos == current->end()) return;
+    auto next = std::make_shared<ReplicaTable>(*current);
+    next->erase(next->begin() + (pos - current->begin()));
+    publish_replicas(std::move(next));
+}
+
+void SummaryCacheNode::publish_replicas(std::shared_ptr<const ReplicaTable> next) {
+    replicas_.store(std::move(next), std::memory_order_release);
+    metric_replica_swaps_.inc();
+}
 
 std::vector<NodeId> SummaryCacheNode::promising_siblings(std::string_view url) const {
+    const auto table = replicas_.load(std::memory_order_acquire);
     std::vector<NodeId> out;
-    // Hash once per distinct spec (normally all siblings share ours).
-    const auto own_indexes = bloom_indexes(url, counting_.spec());
-    for (const auto& [id, filter] : siblings_) {
-        const bool promising =
-            (filter.spec() == counting_.spec())
-                ? filter.may_contain(std::span<const std::uint32_t>(own_indexes))
-                : filter.may_contain(url);
+    // Hash once per distinct spec (normally all siblings share ours),
+    // into the inline buffer — no heap traffic on the probe path.
+    BloomIndexes own_indexes;
+    bloom_indexes(url, counting_.spec(), own_indexes);
+    for (const auto& [id, filter] : *table) {
+        const bool promising = (filter->spec() == counting_.spec())
+                                   ? filter->may_contain(own_indexes.span())
+                                   : filter->may_contain(url);
         if (promising) out.push_back(id);
     }
     return out;
 }
 
 bool SummaryCacheNode::sibling_may_contain(NodeId sibling, std::string_view url) const {
-    const auto it = siblings_.find(sibling);
-    return it != siblings_.end() && it->second.may_contain(url);
+    const auto table = replicas_.load(std::memory_order_acquire);
+    const auto pos = find_replica(*table, sibling);
+    return pos != table->end() && pos->second->may_contain(url);
 }
 
-const BloomFilter* SummaryCacheNode::sibling_filter(NodeId sibling) const {
-    const auto it = siblings_.find(sibling);
-    return it == siblings_.end() ? nullptr : &it->second;
+std::shared_ptr<const BloomFilter> SummaryCacheNode::sibling_filter(NodeId sibling) const {
+    const auto table = replicas_.load(std::memory_order_acquire);
+    const auto pos = find_replica(*table, sibling);
+    return pos == table->end() ? nullptr : pos->second;
 }
 
 }  // namespace sc

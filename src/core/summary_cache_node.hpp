@@ -14,13 +14,31 @@
 // WHEN to encode is not decided here: the update-delay threshold lives in
 // core::DeltaBatcher, shared with the simulators. The mini-proxy in
 // src/proto/ drives this node over real sockets.
+//
+// Thread safety: the sibling-replica side is RCU-style. Each sibling's
+// Bloom replica is an immutable snapshot behind a shared_ptr; the set of
+// replicas is an immutable, NodeId-sorted table behind an atomic
+// shared_ptr. Probes (`promising_siblings` / `sibling_may_contain` /
+// `sibling_filter`) load the current table and never take a lock — they
+// see a complete, untorn filter, at worst one update behind. Writers
+// (`apply_sibling_update` / `forget_sibling`) serialize on an internal
+// mutex, build the next snapshot OFF that publication (clone the affected
+// filter, apply the flips, assemble a new table), then publish with one
+// atomic store (`sc_node_replica_swaps_total` counts these). The LOCAL
+// directory side (`on_cache_insert` / `on_cache_erase` /
+// `encode_pending_updates` / the counting filter) is NOT internally
+// synchronized — callers serialize those as before (MiniProxy under its
+// node mutex; simulators are single-threaded).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bloom/bloom_filter.hpp"
@@ -77,15 +95,18 @@ public:
     /// first contact; a full update also re-creates it after spec changes.
     /// Returns false (and ignores the message) if a delta arrives whose
     /// spec mismatches the existing replica — the sender will refresh us
-    /// with a full update eventually.
+    /// with a full update eventually. Thread-safe against concurrent
+    /// probes and other writers (see the RCU note above).
     bool apply_sibling_update(const IcpDirUpdate& update);
 
     /// Drop a sibling's replica (peer detected as failed; Section VI-B).
+    /// Thread-safe like apply_sibling_update.
     void forget_sibling(NodeId sibling);
 
-    // --- probing ----------------------------------------------------------
+    // --- probing (lock-free) ----------------------------------------------
     /// Siblings whose replicated summary says the URL may be cached there,
     /// in ascending NodeId order (the sequential-round probe order).
+    /// Takes no lock: probes the atomically published replica snapshot.
     [[nodiscard]] std::vector<NodeId> promising_siblings(std::string_view url) const;
 
     /// core::PeerDirectory — same answer, engine-facing name.
@@ -95,8 +116,12 @@ public:
     }
 
     [[nodiscard]] bool sibling_may_contain(NodeId sibling, std::string_view url) const;
-    [[nodiscard]] std::size_t known_siblings() const { return siblings_.size(); }
-    [[nodiscard]] const BloomFilter* sibling_filter(NodeId sibling) const;
+    [[nodiscard]] std::size_t known_siblings() const {
+        return replicas_.load(std::memory_order_acquire)->size();
+    }
+    /// The sibling's current replica snapshot (immutable), or nullptr.
+    /// Safe to keep: a snapshot never changes after publication.
+    [[nodiscard]] std::shared_ptr<const BloomFilter> sibling_filter(NodeId sibling) const;
 
     // --- introspection ----------------------------------------------------
     [[nodiscard]] const CountingBloomFilter& local_filter() const { return counting_; }
@@ -105,21 +130,35 @@ public:
     [[nodiscard]] std::uint64_t updates_rejected() const { return updates_rejected_; }
 
 private:
+    /// Immutable, NodeId-sorted set of sibling replicas. A table and every
+    /// filter it points at are frozen at publication; updates replace the
+    /// whole table (sharing the untouched filters).
+    using ReplicaTable = std::vector<std::pair<NodeId, std::shared_ptr<const BloomFilter>>>;
+
     [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode_delta_chunks(
         const DeltaLog& delta);
 
+    /// Publish `next` as the current table (writer mutex must be held).
+    void publish_replicas(std::shared_ptr<const ReplicaTable> next);
+
+    /// Position of `sibling` in the NodeId-sorted table, or end().
+    [[nodiscard]] static ReplicaTable::const_iterator find_replica(const ReplicaTable& table,
+                                                                   NodeId sibling);
+
     SummaryCacheNodeConfig config_;
     CountingBloomFilter counting_;
-    std::map<NodeId, BloomFilter> siblings_;
+    mutable std::mutex replica_write_mu_;  ///< serializes snapshot builders
+    std::atomic<std::shared_ptr<const ReplicaTable>> replicas_;
     std::uint32_t next_request_number_ = 1;
     std::uint64_t updates_sent_ = 0;
-    std::uint64_t updates_applied_ = 0;
-    std::uint64_t updates_rejected_ = 0;
+    std::atomic<std::uint64_t> updates_applied_{0};
+    std::atomic<std::uint64_t> updates_rejected_{0};
     // Registry mirrors of the member counters, labeled node=<id>
     // (docs/OBSERVABILITY.md).
     obs::Counter metric_updates_sent_;
     obs::Counter metric_updates_applied_;
     obs::Counter metric_updates_rejected_;
+    obs::Counter metric_replica_swaps_;
 };
 
 }  // namespace sc

@@ -104,6 +104,8 @@ std::vector<std::uint8_t> encode_hit_obj(const IcpHitObj& h) {
 
 std::vector<std::uint8_t> encode_dirupdate(const IcpDirUpdate& u) {
     if (!u.spec.valid()) throw WireError("invalid hash spec");
+    if (u.spec.function_num > kMaxWireHashFunctions)
+        throw WireError("too many hash functions for the wire format");
     BufWriter w;
     write_header(w, u.full ? IcpOpcode::dirfull : IcpOpcode::dirupdate, u.request_number,
                  u.sender_host);
@@ -183,6 +185,10 @@ IcpDirUpdate decode_dirupdate(std::span<const std::uint8_t> datagram) {
     u.spec.function_bits = r.u16();
     u.spec.table_bits = r.u32();
     if (!u.spec.valid()) throw WireError("invalid hash spec in update");
+    // Replicas built from the wire must fit the fixed-capacity probe path
+    // (BloomIndexes); a hostile peer must not be able to push k past it.
+    if (u.spec.function_num > kMaxWireHashFunctions)
+        throw WireError("too many hash functions in update");
     const std::uint32_t count = r.u32();
     if (u.full) {
         const std::size_t expected_words = (u.spec.table_bits + 31) / 32;

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <random>
 #include <string>
 #include <system_error>
@@ -42,6 +43,15 @@ bool uses_summaries(ShareMode m) {
     return m == ShareMode::summary || m == ShareMode::digest_pull;
 }
 
+/// cache_shards = 0 means auto: min(workers, 8) rounded down to a power
+/// of two (LruCache requires one). An explicit value is used as given.
+std::size_t resolve_cache_shards(const MiniProxyConfig& config) {
+    if (config.cache_shards != 0) return config.cache_shards;
+    const std::size_t want =
+        std::min<std::size_t>(static_cast<std::size_t>(std::max(config.workers, 1)), 8);
+    return std::bit_floor(want);
+}
+
 }  // namespace
 
 MiniProxy::MiniProxy(MiniProxyConfig config)
@@ -50,7 +60,8 @@ MiniProxy::MiniProxy(MiniProxyConfig config)
       udp_(Endpoint{config.bind_host, config.icp_port}),
       http_endpoint_(listener_.local_endpoint()),
       icp_endpoint_(udp_.local_endpoint()),
-      cache_(LruCacheConfig{config.cache_bytes, config.max_object_bytes}),
+      cache_(LruCacheConfig{config.cache_bytes, config.max_object_bytes,
+                            resolve_cache_shards(config)}),
       node_(SummaryCacheNodeConfig{
           config.id,
           std::max<std::uint64_t>(1, config.cache_bytes / kAverageDocumentBytes),
@@ -118,9 +129,9 @@ MiniProxy::MiniProxy(MiniProxyConfig config)
     }
 }
 
-std::vector<std::uint32_t> MiniProxy::LockedNodeProbe::promising_peers(
-    std::string_view url) const {
-    const std::lock_guard lock(proxy.node_mu_);
+std::vector<std::uint32_t> MiniProxy::NodeProbe::promising_peers(std::string_view url) const {
+    // Lock-free: the node probes its atomically published replica
+    // snapshots; workers never serialize on node_mu_ to pick peers.
     return proxy.node_.promising_siblings(url);
 }
 
@@ -243,10 +254,8 @@ void MiniProxy::send_keepalives_and_check_liveness() {
     for (Sibling& s : siblings_) {
         if (s.alive.load(std::memory_order_relaxed) && now - s.last_heard > deadline) {
             s.alive.store(false, std::memory_order_relaxed);
-            {
-                const std::lock_guard lock(node_mu_);
-                node_.forget_sibling(s.id);  // stale replica must not attract queries
-            }
+            // Internally synchronized (RCU writer path) — no node_mu_.
+            node_.forget_sibling(s.id);  // stale replica must not attract queries
             obs::trace(obs::TraceEventType::sibling_dead,
                        static_cast<std::uint16_t>(config_.id), s.id);
             const std::lock_guard lock(stats_mu_);
@@ -295,11 +304,8 @@ void MiniProxy::refresh_digests_once() {
             conn.read_exact(header->size, body);
             const auto update = decode_dirupdate(std::span<const std::uint8_t>(
                 reinterpret_cast<const std::uint8_t*>(body.data()), body.size()));
-            bool applied = false;
-            {
-                const std::lock_guard lock(node_mu_);
-                applied = node_.apply_sibling_update(update);
-            }
+            // Replica ingestion is internally synchronized — no node_mu_.
+            const bool applied = node_.apply_sibling_update(update);
             if (applied) {
                 const std::lock_guard lock(stats_mu_);
                 ++stats_.digests_fetched;
@@ -819,11 +825,8 @@ void MiniProxy::handle_datagram_body(const Datagram& dgram, const IcpHeader& hea
         case IcpOpcode::dirfull:
             try {
                 const IcpDirUpdate update = decode_dirupdate(dgram.payload);
-                bool applied = false;
-                {
-                    const std::lock_guard lock(node_mu_);
-                    applied = node_.apply_sibling_update(update);
-                }
+                // Replica ingestion is internally synchronized — no node_mu_.
+                const bool applied = node_.apply_sibling_update(update);
                 if (applied) {
                     const std::lock_guard lock(stats_mu_);
                     ++stats_.updates_received;

@@ -93,6 +93,12 @@ struct MiniProxyConfig {
     /// origin fetches overlap instead of head-of-line blocking everyone.
     int workers = 1;
 
+    /// LruCache shards (power of two). 0 = auto: min(workers, 8), rounded
+    /// down to a power of two. 1 reproduces the single-list LRU exactly
+    /// (global eviction order); more shards trade global LRU order for
+    /// per-shard locks that scale with the worker pool.
+    std::size_t cache_shards = 0;
+
     /// Liveness (Section VI-B): SECHO probes every interval; a sibling
     /// that stays silent for liveness_strikes intervals is declared dead
     /// (its summary replica is dropped); the first datagram heard from it
@@ -281,25 +287,30 @@ private:
     UdpSocket udp_;
     Endpoint http_endpoint_;
     Endpoint icp_endpoint_;
-    LruCache cache_;  ///< internally thread-safe (shared with workers)
-    /// Guards node_: workers, the event loop, and (in digest_pull mode)
-    /// the digest fetcher thread all touch the protocol state. The cache
-    /// hooks no longer take this lock — they only append to the engine's
+    LruCache cache_;  ///< internally thread-safe, sharded (shared with workers)
+    /// Guards node_'s LOCAL side (the counting filter and update
+    /// encoding): workers, the event loop, and (in digest_pull mode) the
+    /// digest fetcher thread all touch that state. Sibling-replica writes
+    /// (`apply_sibling_update` / `forget_sibling`) and reads
+    /// (`promising_peers` on the request path) are internally synchronized
+    /// by the node's RCU snapshots and need no node_mu_. The cache hooks
+    /// never take this lock — they only append to the engine's
     /// DeltaBatcher journal (a leaf lock), and sync_node_locked() later
     /// mirrors the journal into node_ under node_mu_, outside the cache
-    /// mutex — so node_mu_ and the cache mutex are unordered and a flush
-    /// may freely call back into the cache.
+    /// shard mutexes — so node_mu_ and the shard mutexes are unordered
+    /// and a flush may freely call back into the cache.
     mutable std::mutex node_mu_;
     SummaryCacheNode node_;
-    /// core::PeerDirectory over node_: takes node_mu_ around the replica
-    /// probe so the engine can consult it without knowing about the lock.
-    struct LockedNodeProbe final : core::PeerDirectory {
-        explicit LockedNodeProbe(const MiniProxy& p) : proxy(p) {}
+    /// core::PeerDirectory over node_: the replica probe is lock-free
+    /// (the node publishes immutable snapshots RCU-style), so the request
+    /// path consults it without touching node_mu_ at all.
+    struct NodeProbe final : core::PeerDirectory {
+        explicit NodeProbe(const MiniProxy& p) : proxy(p) {}
         [[nodiscard]] std::vector<std::uint32_t> promising_peers(
             std::string_view url) const override;
         const MiniProxy& proxy;
     };
-    LockedNodeProbe node_probe_;
+    NodeProbe node_probe_;
     /// The shared decision pipeline (same object the simulators drive).
     /// Its DeltaBatcher elects one flusher per threshold crossing, so
     /// concurrent workers' inserts coalesce into a single update batch.

@@ -41,12 +41,14 @@ bool BloomSummary::published_may_contain(std::string_view url) const {
 }
 
 SummaryProbe BloomSummary::make_probe(std::string_view url) const {
-    return SummaryProbe{url, &counting_.spec(), bloom_indexes(url, counting_.spec())};
+    SummaryProbe probe{url, &counting_.spec(), {}};
+    bloom_indexes(url, counting_.spec(), probe.indexes);
+    return probe;
 }
 
 bool BloomSummary::predicts(const SummaryProbe& probe) const {
     if (probe.spec != nullptr && *probe.spec == published_.spec())
-        return published_.may_contain(std::span<const std::uint32_t>(probe.indexes));
+        return published_.may_contain(probe.indexes.span());
     return published_.may_contain(probe.url);
 }
 

@@ -17,9 +17,9 @@
 #include <string_view>
 #include <vector>
 
-namespace sc {
+#include "bloom/hash_spec.hpp"
 
-struct HashSpec;
+namespace sc {
 
 enum class SummaryKind {
     exact_directory,  ///< 16-byte MD5 signature per URL
@@ -36,8 +36,8 @@ enum class SummaryKind {
 /// skips rehashing. Summaries that share nothing fall back to the URL.
 struct SummaryProbe {
     std::string_view url;
-    const HashSpec* spec = nullptr;       ///< spec `indexes` was computed under
-    std::vector<std::uint32_t> indexes;   ///< bit-array indexes, if spec != nullptr
+    const HashSpec* spec = nullptr;  ///< spec `indexes` was computed under
+    BloomIndexes indexes;            ///< bit-array indexes, if spec != nullptr (inline, no heap)
 };
 
 class DirectorySummary {

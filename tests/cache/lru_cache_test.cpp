@@ -145,10 +145,10 @@ TEST(LruCache, RemovalHookFiresOnStaleReplacement) {
 
 TEST(LruCache, LruEntryReflectsOrder) {
     auto c = make_cache(1000);
-    EXPECT_EQ(c.lru_entry(), nullptr);
+    EXPECT_EQ(c.lru_entry(), std::nullopt);
     c.insert("a", 10, 0);
     c.insert("b", 10, 0);
-    ASSERT_NE(c.lru_entry(), nullptr);
+    ASSERT_TRUE(c.lru_entry().has_value());
     EXPECT_EQ(c.lru_entry()->url, "a");
     (void)c.lookup("a", 0);
     EXPECT_EQ(c.lru_entry()->url, "b");

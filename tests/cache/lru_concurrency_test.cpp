@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/delta_batcher.hpp"
+
 namespace sc {
 namespace {
 
@@ -68,6 +70,73 @@ TEST(LruConcurrency, ParallelMixedOpsPreserveInvariants) {
     // Every resident entry was inserted; everything else was removed.
     EXPECT_EQ(hook_inserts.load() - hook_removes.load(), cache.document_count());
     EXPECT_GE(cache.eviction_count(), 1u);  // pressure actually happened
+}
+
+// The production hook wiring under maximum contention: a sharded cache
+// hammered by the worker pool while its hooks journal every directory
+// event into the DeltaBatcher (the leaf lock of docs/PROTOCOL.md), with a
+// drainer thread playing the elected flusher. TSan validates the shard
+// locks and the journal handoff; the final accounting check holds in any
+// build: journaled inserts minus erases must equal the resident count.
+TEST(LruConcurrency, ShardedOpsJournalThroughBatcherHooks) {
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 4000;
+    constexpr std::uint64_t kUrls = 256;
+    constexpr std::uint64_t kObjBytes = 1000;
+    LruCache cache(LruCacheConfig{64 * kObjBytes, kObjBytes, /*shards=*/8});
+    core::DeltaBatcher batcher(core::DeltaBatcherConfig{0.01, 0.0, 0});
+    cache.set_insert_hook(
+        [&batcher](const LruCache::Entry& e) { batcher.record_insert(e.url); });
+    cache.set_removal_hook(
+        [&batcher](const LruCache::Entry& e) { batcher.record_erase(e.url); });
+
+    std::atomic<bool> stop{false};
+    std::int64_t drained_balance = 0;  // inserts - erases seen by the drainer
+    std::thread drainer([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            const auto ops = batcher.drain_journal();
+            if (ops.empty()) std::this_thread::yield();
+            for (const auto& op : ops) drained_balance += op.insert ? 1 : -1;
+        }
+    });
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, t] {
+            std::uint64_t x = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(t + 1);
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17;  // xorshift
+                const std::uint64_t u = x % kUrls;
+                const std::string url = url_for(u);
+                switch (x % 6) {
+                    case 0: (void)cache.insert(url, kObjBytes, u % 3); break;
+                    case 1: (void)cache.lookup(url, u % 3); break;
+                    case 2: cache.touch(url); break;
+                    case 3: (void)cache.erase(url); break;
+                    case 4: (void)cache.entry_copy(url); break;
+                    default: (void)cache.lru_entry(); break;
+                }
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    stop.store(true, std::memory_order_release);
+    drainer.join();
+    for (const auto& op : batcher.drain_journal())  // anything after the last sweep
+        drained_balance += op.insert ? 1 : -1;
+
+    std::uint64_t walked_bytes = 0;
+    std::size_t walked_count = 0;
+    cache.for_each([&](const LruCache::Entry& e) {
+        walked_bytes += e.size;
+        ++walked_count;
+    });
+    EXPECT_EQ(walked_count, cache.document_count());
+    EXPECT_EQ(walked_bytes, cache.used_bytes());
+    EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());
+    EXPECT_EQ(drained_balance, static_cast<std::int64_t>(cache.document_count()));
+    EXPECT_GE(cache.eviction_count(), 1u);
 }
 
 TEST(LruConcurrency, ConcurrentInsertsOfSameUrlKeepSingleEntry) {

@@ -1,0 +1,243 @@
+// Sharded-LruCache semantics: a multi-shard cache must behave exactly
+// like N independent single-shard caches with the byte budget split
+// between them (base + remainder spread), with URLs routed by the 32-bit
+// FNV-1a the header documents. The reference model here re-implements
+// that contract naively; any divergence in results, accounting, eviction
+// choice, or for_each order is a bug in one of the two.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/lru_cache.hpp"
+#include "util/rng.hpp"
+
+namespace sc {
+namespace {
+
+// Must match the routing hash in lru_cache.cpp (the comment there pins it).
+std::uint32_t fnv1a32(const std::string& url) {
+    std::uint32_t h = 0x811c9dc5u;
+    for (const char c : url) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x01000193u;
+    }
+    return h;
+}
+
+/// One shard of the reference: the same naive vector LRU the property
+/// test trusts (tests/cache/lru_property_test.cpp), with its own budget.
+class ReferenceShard {
+public:
+    ReferenceShard(std::uint64_t capacity, std::uint64_t max_obj)
+        : capacity_(capacity), max_obj_(max_obj) {}
+
+    struct Doc {
+        std::string url;
+        std::uint64_t size;
+        std::uint64_t version;
+    };
+
+    bool lookup(const std::string& url, std::uint64_t version) {
+        const auto it = find(url);
+        if (it == docs_.end()) return false;
+        if (it->version != version) {
+            docs_.erase(it);
+            return false;
+        }
+        promote(it);
+        return true;
+    }
+
+    bool insert(const std::string& url, std::uint64_t size, std::uint64_t version) {
+        if (size > max_obj_ || size > capacity_) return false;
+        if (const auto it = find(url); it != docs_.end()) docs_.erase(it);
+        while (used() + size > capacity_) docs_.pop_back();  // back = LRU
+        docs_.insert(docs_.begin(), Doc{url, size, version});
+        return true;
+    }
+
+    void touch(const std::string& url) {
+        if (const auto it = find(url); it != docs_.end()) promote(it);
+    }
+
+    bool erase(const std::string& url) {
+        const auto it = find(url);
+        if (it == docs_.end()) return false;
+        docs_.erase(it);
+        return true;
+    }
+
+    [[nodiscard]] std::uint64_t used() const {
+        std::uint64_t sum = 0;
+        for (const Doc& d : docs_) sum += d.size;
+        return sum;
+    }
+    [[nodiscard]] std::size_t count() const { return docs_.size(); }
+    [[nodiscard]] const std::vector<Doc>& docs() const { return docs_; }
+
+private:
+    std::vector<Doc>::iterator find(const std::string& url) {
+        return std::find_if(docs_.begin(), docs_.end(),
+                            [&](const Doc& d) { return d.url == url; });
+    }
+    void promote(std::vector<Doc>::iterator it) {
+        const Doc d = *it;
+        docs_.erase(it);
+        docs_.insert(docs_.begin(), d);
+    }
+
+    std::uint64_t capacity_;
+    std::uint64_t max_obj_;
+    std::vector<Doc> docs_;
+};
+
+/// N reference shards with the budget split the way the header documents.
+class ReferenceShardedLru {
+public:
+    ReferenceShardedLru(std::uint64_t capacity, std::uint64_t max_obj, std::size_t shards)
+        : mask_(shards - 1) {
+        const std::uint64_t base = capacity / shards;
+        const std::uint64_t extra = capacity % shards;
+        for (std::size_t i = 0; i < shards; ++i)
+            shards_.emplace_back(base + (i < extra ? 1 : 0), max_obj);
+    }
+
+    ReferenceShard& shard_for(const std::string& url) {
+        return shards_[fnv1a32(url) & mask_];
+    }
+
+    [[nodiscard]] std::uint64_t used() const {
+        std::uint64_t sum = 0;
+        for (const auto& s : shards_) sum += s.used();
+        return sum;
+    }
+    [[nodiscard]] std::size_t count() const {
+        std::size_t sum = 0;
+        for (const auto& s : shards_) sum += s.count();
+        return sum;
+    }
+    /// Shard-by-shard MRU->LRU concatenation: the for_each order.
+    [[nodiscard]] std::vector<std::string> walk_order() const {
+        std::vector<std::string> out;
+        for (const auto& s : shards_)
+            for (const auto& d : s.docs()) out.push_back(d.url);
+        return out;
+    }
+
+private:
+    std::size_t mask_;
+    std::vector<ReferenceShard> shards_;
+};
+
+struct ShardCase {
+    std::size_t shards;
+    std::uint64_t capacity;
+    std::uint64_t seed;
+};
+
+class LruShardTest : public ::testing::TestWithParam<ShardCase> {};
+
+TEST_P(LruShardTest, MatchesPerShardReferenceModelsUnderRandomOps) {
+    const auto [shards, capacity, seed] = GetParam();
+    constexpr std::uint64_t kMaxObj = 400;
+    LruCache real(LruCacheConfig{capacity, kMaxObj, shards});
+    ReferenceShardedLru ref(capacity, kMaxObj, shards);
+    Rng rng(seed);
+
+    for (int step = 0; step < 6000; ++step) {
+        const std::string url = "u" + std::to_string(rng.next_below(60));
+        const std::uint64_t version = rng.next_below(3);
+        const std::uint64_t size = 1 + rng.next_below(kMaxObj + kMaxObj / 4);
+        ReferenceShard& model = ref.shard_for(url);
+        switch (rng.next_below(10)) {
+            case 0:
+            case 1:
+            case 2:
+            case 3: {
+                const bool real_hit = real.lookup(url, version) == LruCache::Lookup::hit;
+                ASSERT_EQ(real_hit, model.lookup(url, version)) << "step " << step;
+                break;
+            }
+            case 4:
+            case 5:
+            case 6:
+            case 7:
+                ASSERT_EQ(real.insert(url, size, version), model.insert(url, size, version))
+                    << "step " << step;
+                break;
+            case 8:
+                real.touch(url);
+                model.touch(url);
+                break;
+            case 9:
+                ASSERT_EQ(real.erase(url), model.erase(url)) << "step " << step;
+                break;
+        }
+        ASSERT_EQ(real.used_bytes(), ref.used()) << "step " << step;
+        ASSERT_EQ(real.document_count(), ref.count()) << "step " << step;
+    }
+
+    std::vector<std::string> real_order;
+    real.for_each([&](const LruCache::Entry& e) { real_order.push_back(e.url); });
+    EXPECT_EQ(real_order, ref.walk_order());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LruShardTest,
+    ::testing::Values(ShardCase{2, 5000, 11}, ShardCase{4, 5000, 12},
+                      ShardCase{8, 5000, 13}, ShardCase{4, 1003, 14},  // uneven split
+                      ShardCase{1, 5000, 15}),  // the historical single-list cache
+    [](const auto& info) {
+        return "shards" + std::to_string(info.param.shards) + "_seed" +
+               std::to_string(info.param.seed);
+    });
+
+TEST(LruShard, PerShardBudgetRejectsObjectLargerThanItsShard) {
+    // capacity/shards = 1000: a 1500-byte object fits the cache but not
+    // any one shard, so it must be rejected (documented insert contract).
+    LruCache cache(LruCacheConfig{4000, kDefaultMaxObjectBytes, 4});
+    EXPECT_FALSE(cache.insert("http://big", 1500, 0));
+    EXPECT_EQ(cache.used_bytes(), 0u);
+    EXPECT_TRUE(cache.insert("http://fits", 900, 0));
+}
+
+TEST(LruShard, RemainderSpreadSumsToFullCapacity) {
+    // 1003 bytes over 4 shards: budgets 251, 251, 251, 250. Saturating
+    // every shard with 1-byte documents must land exactly on capacity.
+    LruCache cache(LruCacheConfig{1003, kDefaultMaxObjectBytes, 4});
+    for (int i = 0; i < 8000; ++i)
+        ASSERT_TRUE(cache.insert("u" + std::to_string(i), 1, 0));
+    EXPECT_EQ(cache.used_bytes(), 1003u);
+    EXPECT_EQ(cache.document_count(), 1003u);
+    EXPECT_GT(cache.eviction_count(), 0u);
+}
+
+TEST(LruShard, ShardCountAndLruEntryAcrossShards) {
+    LruCache cache(LruCacheConfig{4000, kDefaultMaxObjectBytes, 4});
+    EXPECT_EQ(cache.shard_count(), 4u);
+    EXPECT_EQ(cache.lru_entry(), std::nullopt);
+    ASSERT_TRUE(cache.insert("http://only", 100, 7));
+    const auto lru = cache.lru_entry();
+    ASSERT_TRUE(lru.has_value());
+    EXPECT_EQ(lru->url, "http://only");
+    EXPECT_EQ(lru->version, 7u);
+    ASSERT_TRUE(cache.erase("http://only"));
+    EXPECT_EQ(cache.lru_entry(), std::nullopt);
+}
+
+TEST(LruShard, HooksSeeEveryInsertAndRemovalAcrossShards) {
+    LruCache cache(LruCacheConfig{1000, kDefaultMaxObjectBytes, 4});
+    std::uint64_t inserts = 0, removes = 0;
+    cache.set_insert_hook([&](const LruCache::Entry&) { ++inserts; });
+    cache.set_removal_hook([&](const LruCache::Entry&) { ++removes; });
+    for (int i = 0; i < 500; ++i)
+        ASSERT_TRUE(cache.insert("u" + std::to_string(i % 97), 50, 0));
+    EXPECT_EQ(inserts, 500u);
+    EXPECT_EQ(inserts - removes, cache.document_count());
+}
+
+}  // namespace
+}  // namespace sc

@@ -87,7 +87,7 @@ TEST(SummaryCacheNode, DuplicatedUpdateDeliveryIsIdempotent) {
     ASSERT_TRUE(b.apply_sibling_update(update));
     ASSERT_TRUE(b.apply_sibling_update(update));  // duplicate datagram
     EXPECT_TRUE(b.sibling_may_contain(1, "x"));
-    const BloomFilter* f = b.sibling_filter(1);
+    const std::shared_ptr<const BloomFilter> f = b.sibling_filter(1);
     ASSERT_NE(f, nullptr);
     EXPECT_LE(f->popcount(), 4u);  // absolute values: no double-set effects
 }
@@ -181,7 +181,7 @@ TEST(SummaryCacheNode, WireRoundTripPreservesFilterExactly) {
     for (int i = 0; i < 300; ++i) a.on_cache_insert("doc/" + std::to_string(i));
     SummaryCacheNode b(cfg(2));
     ASSERT_TRUE(b.apply_sibling_update(decode_dirupdate(a.encode_full_update())));
-    const BloomFilter* replica = b.sibling_filter(1);
+    const std::shared_ptr<const BloomFilter> replica = b.sibling_filter(1);
     ASSERT_NE(replica, nullptr);
     EXPECT_EQ(replica->popcount(), a.local_filter().bits().popcount());
     EXPECT_EQ(*replica, a.local_filter().bits());

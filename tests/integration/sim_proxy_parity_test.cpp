@@ -52,10 +52,7 @@ std::uint64_t total(const std::vector<std::unique_ptr<MiniProxy>>& proxies,
     return true;
 }
 
-TEST(SimProxyParity, SummaryProtocolTalliesMatchSimulator) {
-    constexpr std::uint32_t kProxies = 4;
-    constexpr std::uint64_t kCacheBytes = 1ull * 1024 * 1024;
-
+std::vector<Request> parity_trace() {
     TraceProfile profile = standard_profile(TraceKind::upisa, 0.05);
     profile.requests = 600;
     profile.clients = 12;
@@ -63,47 +60,52 @@ TEST(SimProxyParity, SummaryProtocolTalliesMatchSimulator) {
     profile.size_lo = 1'000;
     profile.size_hi = 20'000;  // keep loopback bodies small
     profile.seed = 1998;
-    const std::vector<Request> trace = TraceGenerator(profile).generate_all();
+    return TraceGenerator(profile).generate_all();
+}
 
-    // --- the simulator's answer ------------------------------------------
+ShareSimResult parity_sim(const std::vector<Request>& trace, std::uint32_t num_proxies,
+                          std::uint64_t cache_bytes) {
     ShareSimConfig sim_cfg;
-    sim_cfg.num_proxies = kProxies;
-    sim_cfg.cache_bytes_per_proxy = kCacheBytes;
+    sim_cfg.num_proxies = num_proxies;
+    sim_cfg.cache_bytes_per_proxy = cache_bytes;
     sim_cfg.scheme = SharingScheme::simple;
     sim_cfg.protocol = QueryProtocol::summary;
     sim_cfg.update_threshold = 0.0;  // publish every insert (replay settles each)
-    const ShareSimResult sim = run_share_sim(sim_cfg, trace);
-    ASSERT_EQ(sim.remote_stale_hits, 0u);  // modify_probability = 0 held
-    ASSERT_GT(sim.remote_hits, 0u);        // the workload actually shares
-    ASSERT_GT(sim.update_messages, 0u);
+    return run_share_sim(sim_cfg, trace);
+}
 
-    // --- the live federation's answer ------------------------------------
+/// Replay `trace` through a live federation, settling updates after every
+/// request, and check every protocol tally against the simulator's.
+void expect_live_tallies_match(const std::vector<Request>& trace, const ShareSimResult& sim,
+                               std::uint32_t num_proxies, std::uint64_t cache_bytes,
+                               std::size_t cache_shards) {
     OriginServer origin({});
     std::vector<std::unique_ptr<MiniProxy>> proxies;
-    proxies.reserve(kProxies);
-    for (std::uint32_t i = 0; i < kProxies; ++i) {
+    proxies.reserve(num_proxies);
+    for (std::uint32_t i = 0; i < num_proxies; ++i) {
         MiniProxyConfig cfg;
         cfg.id = i;  // ids == simulator indexes: identical probe order
         cfg.origin = origin.endpoint();
-        cfg.cache_bytes = kCacheBytes;
+        cfg.cache_bytes = cache_bytes;
         cfg.mode = ShareMode::summary;
         cfg.update_threshold = 0.0;
         cfg.workers = 4;
+        cfg.cache_shards = cache_shards;
         proxies.push_back(std::make_unique<MiniProxy>(cfg));
     }
-    for (std::uint32_t i = 0; i < kProxies; ++i)
-        for (std::uint32_t j = 0; j < kProxies; ++j)
+    for (std::uint32_t i = 0; i < num_proxies; ++i)
+        for (std::uint32_t j = 0; j < num_proxies; ++j)
             if (j != i)
                 proxies[i]->add_sibling(j, proxies[j]->icp_endpoint(),
                                         proxies[j]->http_endpoint());
     for (auto& p : proxies) p->start();
 
     std::vector<TcpConnection> conns;
-    conns.reserve(kProxies);
+    conns.reserve(num_proxies);
     for (auto& p : proxies) conns.push_back(TcpConnection::connect(p->http_endpoint()));
 
     for (const Request& r : trace) {
-        const std::uint32_t home = r.client_id % kProxies;  // the simulator's mapping
+        const std::uint32_t home = r.client_id % num_proxies;  // the simulator's mapping
         conns[home].write_all(format_request({false, false, r.url, r.version, r.size}));
         const auto line = conns[home].read_line();
         ASSERT_TRUE(line.has_value());
@@ -128,6 +130,35 @@ TEST(SimProxyParity, SummaryProtocolTalliesMatchSimulator) {
     conns.clear();
     for (auto& p : proxies) p->stop();
     origin.stop();
+}
+
+TEST(SimProxyParity, SummaryProtocolTalliesMatchSimulator) {
+    constexpr std::uint32_t kProxies = 4;
+    constexpr std::uint64_t kCacheBytes = 1ull * 1024 * 1024;
+    const std::vector<Request> trace = parity_trace();
+    const ShareSimResult sim = parity_sim(trace, kProxies, kCacheBytes);
+    ASSERT_EQ(sim.remote_stale_hits, 0u);  // modify_probability = 0 held
+    ASSERT_GT(sim.remote_hits, 0u);        // the workload actually shares
+    ASSERT_GT(sim.update_messages, 0u);
+    // Eviction order is part of this workload (1 MB caches churn), so the
+    // live caches must stay shards = 1: per-shard LRU would evict in a
+    // different order than the simulator's single list.
+    expect_live_tallies_match(trace, sim, kProxies, kCacheBytes, /*cache_shards=*/1);
+}
+
+TEST(SimProxyParity, ShardedCacheKeepsTalliesWhenEvictionFree) {
+    // The sharded request path must not change WHAT the protocol decides,
+    // only how it locks. With caches large enough that nothing is ever
+    // evicted, shard count cannot affect contents, so every tally must
+    // still match the simulator exactly — any drift means sharding leaked
+    // into protocol semantics (lost hooks, dropped inserts, probe skew).
+    constexpr std::uint32_t kProxies = 4;
+    constexpr std::uint64_t kCacheBytes = 64ull * 1024 * 1024;  // fits the whole trace
+    const std::vector<Request> trace = parity_trace();
+    const ShareSimResult sim = parity_sim(trace, kProxies, kCacheBytes);
+    ASSERT_GT(sim.remote_hits, 0u);
+    ASSERT_GT(sim.update_messages, 0u);
+    expect_live_tallies_match(trace, sim, kProxies, kCacheBytes, /*cache_shards=*/4);
 }
 
 }  // namespace

@@ -225,7 +225,16 @@ TEST(ProxyConcurrency, WorkerGaugesReturnToZeroWhenIdle) {
         TcpConnection c = rig.connect();
         EXPECT_EQ(rig.get(c, "http://gauge/doc"), HttpLiteStatus::miss);
     }
-    const auto snap = obs::metrics().snapshot();
+    // The worker decrements the inflight gauge after writing the response,
+    // so the client can observe the reply first — poll briefly for idle.
+    obs::MetricsSnapshot snap;
+    for (int i = 0; i < 50; ++i) {
+        snap = obs::metrics().snapshot();
+        const auto* q = snap.find("sc_proxy_worker_queue_depth");
+        const auto* f = snap.find("sc_proxy_inflight_requests");
+        if (q != nullptr && f != nullptr && q->gauge == 0.0 && f->gauge == 0.0) break;
+        std::this_thread::sleep_for(20ms);
+    }
     const auto* queue = snap.find("sc_proxy_worker_queue_depth");
     const auto* inflight = snap.find("sc_proxy_inflight_requests");
     ASSERT_NE(queue, nullptr);

@@ -11,6 +11,8 @@
 // --sibling takes id:http-port:icp-port (loopback). Modes: none, icp,
 // summary, digest (Squid Cache-Digest-style pull). --workers N serves
 // requests with an N-thread pool (default 1 = serial, arrival order).
+// --cache-shards M splits the LRU cache into M lock shards (power of
+// two; default 0 = auto, min(workers, 8)).
 // Prints a stats line every few seconds until killed.
 // --metrics-out FILE dumps the sc::obs registry as JSON on shutdown; live
 // metrics are also served at GET /__metrics on the HTTP port.
@@ -76,7 +78,7 @@ int main(int argc, char** argv) {
     const cli::Flags flags(argc, argv,
                            {"id", "http-port", "icp-port", "origin", "sibling", "mode",
                             "cache-mb", "threshold", "hit-obj-bytes", "bind",
-                            "access-log", "metrics-out", "workers"});
+                            "access-log", "metrics-out", "workers", "cache-shards"});
 
     MiniProxyConfig cfg;
     cfg.id = static_cast<NodeId>(flags.get_int("id", 1));
@@ -97,6 +99,13 @@ int main(int argc, char** argv) {
     cfg.hit_obj_max_bytes = static_cast<std::uint64_t>(flags.get_int("hit-obj-bytes", 0));
     cfg.workers = static_cast<int>(flags.get_int("workers", 1));
     if (cfg.workers < 1) { std::fprintf(stderr, "bad --workers\n"); return 2; }
+    // 0 = auto (min(workers, 8)); explicit values must be a power of two.
+    const long long shards = flags.get_int("cache-shards", 0);
+    if (shards < 0 || (shards > 0 && (shards & (shards - 1)) != 0)) {
+        std::fprintf(stderr, "bad --cache-shards (want 0 or a power of two)\n");
+        return 2;
+    }
+    cfg.cache_shards = static_cast<std::size_t>(shards);
 
     const std::string mode = flags.get("mode", "summary");
     if (mode == "none") cfg.mode = ShareMode::none;

@@ -38,16 +38,65 @@
 #include "icp/icp_message.hpp"
 #include "summary/bloom_summary.hpp"
 
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#include <unistd.h>
+#define SC_BENCH_HAVE_BACKTRACE 1
+#endif
+
 // --- allocation counter ------------------------------------------------------
 // Replace the global allocator so the zero-alloc gate can count heap
 // traffic. The counter is relaxed: the gate section runs single-threaded.
+// While the gate runs, g_capture_stacks additionally records the call stack
+// of the first few offending allocations into fixed storage (capturing must
+// not itself allocate), so a regression names the culprit instead of just
+// a count.
 
 namespace {
 std::atomic<std::uint64_t> g_alloc_count{0};
+
+constexpr int kMaxCapturedStacks = 8;
+constexpr int kMaxStackFrames = 32;
+std::atomic<bool> g_capture_stacks{false};
+std::atomic<int> g_captured{0};
+void* g_stack_frames[kMaxCapturedStacks][kMaxStackFrames];
+int g_stack_depths[kMaxCapturedStacks];
+
+void maybe_capture_stack() {
+#if SC_BENCH_HAVE_BACKTRACE
+    if (!g_capture_stacks.load(std::memory_order_relaxed)) return;
+    // backtrace() can allocate internally (libgcc lazy init); the guard
+    // keeps that from recursing into another capture.
+    static thread_local bool capturing = false;
+    if (capturing) return;
+    capturing = true;
+    const int slot = g_captured.fetch_add(1, std::memory_order_relaxed);
+    if (slot < kMaxCapturedStacks)
+        g_stack_depths[slot] = backtrace(g_stack_frames[slot], kMaxStackFrames);
+    capturing = false;
+#endif
+}
+
+void dump_captured_stacks() {
+#if SC_BENCH_HAVE_BACKTRACE
+    const int n = std::min(g_captured.load(std::memory_order_relaxed),
+                           kMaxCapturedStacks);
+    for (int i = 0; i < n; ++i) {
+        std::fprintf(stderr, "--- offending allocation #%d of %d captured ---\n",
+                     i + 1, n);
+        // _fd variant: symbolizing must not allocate while we report on
+        // allocations. Frames 0-1 are the capture machinery itself.
+        backtrace_symbols_fd(g_stack_frames[i], g_stack_depths[i], STDERR_FILENO);
+    }
+#else
+    std::fprintf(stderr, "(no <execinfo.h>: offending call stacks unavailable)\n");
+#endif
+}
 }  // namespace
 
 void* operator new(std::size_t n) {
     g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    maybe_capture_stack();
     if (void* p = std::malloc(n != 0 ? n : 1)) return p;
     throw std::bad_alloc();
 }
@@ -228,8 +277,15 @@ bool check_zero_alloc_probe() {
 
     constexpr int kRounds = 64;  // revisit each URL: steady state, big sample
     std::uint64_t sink = 0;
+#if SC_BENCH_HAVE_BACKTRACE
+    {  // warm backtrace()'s lazy libgcc init outside the measured window
+        void* warm[2];
+        (void)backtrace(warm, 2);
+    }
+#endif
     const auto start = std::chrono::steady_clock::now();
     const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    g_capture_stacks.store(true, std::memory_order_relaxed);
     for (int r = 0; r < kRounds; ++r) {
         for (const std::string* url : screened) {
             sink += hp.node.promising_siblings(*url).size();
@@ -237,6 +293,7 @@ bool check_zero_alloc_probe() {
             for (const BloomSummary& peer : peers) sink += peer.predicts(probe) ? 1 : 0;
         }
     }
+    g_capture_stacks.store(false, std::memory_order_relaxed);
     const std::uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -251,6 +308,7 @@ bool check_zero_alloc_probe() {
     if (allocs != 0) {
         std::printf("FAIL: probe path allocated (%llu allocations over %.0f probes)\n",
                     static_cast<unsigned long long>(allocs), ops);
+        dump_captured_stacks();
         return false;
     }
     return true;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/sc_assert.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sc {
 namespace {
@@ -28,13 +29,13 @@ void BloomFilter::insert(std::string_view key) {
     for (std::uint32_t i : idx) set_bit(i, true);
 }
 
-bool BloomFilter::may_contain(std::string_view key) const {
+SC_HOT_PATH bool BloomFilter::may_contain(std::string_view key) const {
     BloomIndexes idx;
     bloom_indexes(key, spec_, idx);
     return may_contain(idx.span());
 }
 
-bool BloomFilter::may_contain(std::span<const std::uint32_t> indexes) const {
+SC_HOT_PATH bool BloomFilter::may_contain(std::span<const std::uint32_t> indexes) const {
     for (std::uint32_t i : indexes)
         if (!test_bit(i)) return false;
     return true;

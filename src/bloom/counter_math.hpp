@@ -1,0 +1,66 @@
+// Checked counter-width arithmetic for the counting Bloom filter (§IV).
+//
+// The paper's overflow analysis fixes the counter width (4 bits) and
+// proves Pr[any counter > 15] is negligible — but only if every
+// increment saturates and every decrement respects the pin. Hand-rolled
+// width arithmetic (`(1u << bits) - 1` and friends) scattered through
+// the code is exactly where that proof silently breaks: an unchecked
+// shift by 8 on a uint8_t, a decrement of a saturated counter, a width
+// of 0 or 9. All counter-width math therefore lives here, behind
+// range-checked helpers, and tools/sc_lint (rule `raw-counter-shift`)
+// rejects counter-width shift expressions anywhere else.
+#pragma once
+
+#include <cstdint>
+
+#include "util/sc_assert.hpp"
+
+namespace sc::counter_math {
+
+/// Valid widths for one counter, in bits. The paper uses 4; one byte of
+/// backing storage caps the width at 8.
+inline constexpr unsigned kMinCounterBits = 1;
+inline constexpr unsigned kMaxCounterBits = 8;
+
+[[nodiscard]] constexpr bool valid_counter_bits(unsigned bits) {
+    return bits >= kMinCounterBits && bits <= kMaxCounterBits;
+}
+
+/// The saturation value for a `bits`-wide counter: 2^bits - 1 (15 for
+/// the paper's 4-bit counters). The only place this shift may appear.
+[[nodiscard]] constexpr std::uint8_t saturation_max(unsigned bits) {
+    SC_ASSERT(valid_counter_bits(bits));
+    return static_cast<std::uint8_t>((1u << bits) - 1u);
+}
+
+enum class CounterStep : std::uint8_t {
+    kStepped,    // counter changed by one
+    kRoseFromZero,   // 0 -> 1: the derived bit turns on
+    kDroppedToZero,  // 1 -> 0: the derived bit turns off
+    kSaturated,  // increment hit a pinned counter (overflow event)
+    kUnderflow,  // decrement hit an already-zero counter (caller bug)
+};
+
+/// Saturating increment: a counter at `max` stays pinned forever (§IV —
+/// a pinned counter trades a vanishing false-negative probability for
+/// overflow safety). Reports 0->1 transitions so the caller can flip
+/// the derived bit and journal the delta.
+[[nodiscard]] constexpr CounterStep saturating_increment(std::uint8_t& counter,
+                                                         std::uint8_t max) {
+    SC_ASSERT(counter <= max);
+    if (counter == max) return CounterStep::kSaturated;
+    return ++counter == 1 ? CounterStep::kRoseFromZero : CounterStep::kStepped;
+}
+
+/// Pinned decrement: saturated counters are never decremented (their
+/// true count is unknown), zero counters are left at zero and reported
+/// as underflow. Reports 1->0 transitions for the delta journal.
+[[nodiscard]] constexpr CounterStep pinned_decrement(std::uint8_t& counter,
+                                                     std::uint8_t max) {
+    SC_ASSERT(counter <= max);
+    if (counter == max) return CounterStep::kSaturated;
+    if (counter == 0) return CounterStep::kUnderflow;
+    return --counter == 0 ? CounterStep::kDroppedToZero : CounterStep::kStepped;
+}
+
+}  // namespace sc::counter_math

@@ -2,34 +2,37 @@
 
 #include <algorithm>
 
+#include "bloom/counter_math.hpp"
 #include "util/sc_assert.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sc {
 
 CountingBloomFilter::CountingBloomFilter(HashSpec spec, unsigned counter_bits)
     : spec_(spec),
       counter_bits_(counter_bits),
-      counter_max_(static_cast<std::uint8_t>((1u << counter_bits) - 1)),
+      counter_max_(counter_math::saturation_max(counter_bits)),
       counters_(spec.table_bits, 0),
       bits_(spec) {
     SC_ASSERT(spec_.valid());
-    SC_ASSERT(counter_bits >= 1 && counter_bits <= 8);
+    SC_ASSERT(counter_math::valid_counter_bits(counter_bits));
 }
 
 void CountingBloomFilter::insert(std::string_view key) {
     BloomIndexes idx;
     bloom_indexes(key, spec_, idx);
     for (std::uint32_t i : idx) {
-        std::uint8_t& c = counters_[i];
-        if (c == counter_max_) {
-            ++overflows_;
-            continue;  // saturated: stays pinned at max forever
+        switch (counter_math::saturating_increment(counters_[i], counter_max_)) {
+            case counter_math::CounterStep::kSaturated:
+                ++overflows_;  // pinned at max forever
+                break;
+            case counter_math::CounterStep::kRoseFromZero:
+                bits_.set_bit(i, true);
+                delta_.record({i, true});
+                break;
+            default:
+                break;
         }
-        if (c == 0) {
-            bits_.set_bit(i, true);
-            delta_.record({i, true});
-        }
-        ++c;
     }
 }
 
@@ -37,21 +40,21 @@ void CountingBloomFilter::erase(std::string_view key) {
     BloomIndexes idx;
     bloom_indexes(key, spec_, idx);
     for (std::uint32_t i : idx) {
-        std::uint8_t& c = counters_[i];
-        if (c == counter_max_) continue;  // pinned — never decremented
-        if (c == 0) {
-            ++underflows_;
-            continue;
-        }
-        --c;
-        if (c == 0) {
-            bits_.set_bit(i, false);
-            delta_.record({i, false});
+        switch (counter_math::pinned_decrement(counters_[i], counter_max_)) {
+            case counter_math::CounterStep::kUnderflow:
+                ++underflows_;
+                break;
+            case counter_math::CounterStep::kDroppedToZero:
+                bits_.set_bit(i, false);
+                delta_.record({i, false});
+                break;
+            default:
+                break;
         }
     }
 }
 
-bool CountingBloomFilter::may_contain(std::string_view key) const {
+SC_HOT_PATH bool CountingBloomFilter::may_contain(std::string_view key) const {
     BloomIndexes idx;
     bloom_indexes(key, spec_, idx);
     for (std::uint32_t i : idx)

@@ -1,6 +1,7 @@
 #include "bloom/hash_spec.hpp"
 
 #include "util/sc_assert.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sc {
 
@@ -56,13 +57,15 @@ std::vector<std::uint32_t> bloom_indexes(std::string_view key, const HashSpec& s
     return idx;
 }
 
-void bloom_indexes(std::string_view key, const HashSpec& spec, BloomIndexes& out) {
+SC_HOT_PATH void bloom_indexes(std::string_view key, const HashSpec& spec,
+                               BloomIndexes& out) {
     SC_ASSERT(spec.valid());
     SC_ASSERT(spec.function_num <= kMaxWireHashFunctions);
     out.clear();
     Md5BitStream stream(key);
     for (unsigned i = 0; i < spec.function_num; ++i) {
         const std::uint64_t raw = stream.take(spec.function_bits);
+        // sc_lint: allow(hotpath-alloc) BloomIndexes is a fixed inline array
         out.push_back(static_cast<std::uint32_t>(raw % spec.table_bits));
     }
 }

@@ -1,7 +1,6 @@
 #include "cache/lru_cache.hpp"
 
 #include <bit>
-#include <chrono>
 
 #include "obs/metrics.hpp"
 #include "util/sc_assert.hpp"
@@ -68,15 +67,9 @@ const LruCache::Shard& LruCache::shard_for(std::string_view url) const {
     return shards_[shard_mask_ == 0 ? 0 : (shard_hash(url) & shard_mask_)];
 }
 
-std::unique_lock<std::mutex> LruCache::lock_shard(const Shard& shard) {
-    std::unique_lock lock(shard.mu, std::try_to_lock);
-    if (!lock.owns_lock()) {
-        const auto start = std::chrono::steady_clock::now();
-        lock.lock();
-        lru_metrics().shard_lock_wait.observe(
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
-    }
-    return lock;
+MutexLock LruCache::lock_shard(const Shard& shard) {
+    return MutexLock(shard.mu,
+                     [](double waited) { lru_metrics().shard_lock_wait.observe(waited); });
 }
 
 LruCache::Lookup LruCache::lookup(std::string_view url, std::uint64_t version) {
@@ -169,20 +162,42 @@ std::optional<LruCache::Entry> LruCache::lru_entry() const {
     return std::nullopt;
 }
 
+namespace {
+
+/// Holds every shard mutex at once (hook installation only). A runtime
+/// count of locks is outside what the TSA can model, so acquisition and
+/// release are opted out of the analysis; the invariant — index order in,
+/// reverse order out, nothing else ever takes two shard locks — is
+/// enforced by this being the only multi-shard lock site.
+template <typename Shards>
+class AllShardsLock {
+public:
+    explicit AllShardsLock(const Shards& shards) SC_NO_THREAD_SAFETY_ANALYSIS
+        : shards_(shards) {
+        for (const auto& s : shards_) s.mu.lock();
+    }
+    ~AllShardsLock() SC_NO_THREAD_SAFETY_ANALYSIS {
+        for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) it->mu.unlock();
+    }
+    AllShardsLock(const AllShardsLock&) = delete;
+    AllShardsLock& operator=(const AllShardsLock&) = delete;
+
+private:
+    const Shards& shards_;
+};
+
+}  // namespace
+
 void LruCache::set_removal_hook(RemovalHook hook) {
     // Hooks are read under any single shard's lock, so the write must
     // exclude every shard. Locked in index order; nothing else takes two
     // shard locks, so the order cannot deadlock.
-    std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(shards_.size());
-    for (const Shard& s : shards_) locks.push_back(lock_shard(s));
+    const AllShardsLock lock(shards_);
     on_remove_ = std::move(hook);
 }
 
 void LruCache::set_insert_hook(EntryHook hook) {
-    std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(shards_.size());
-    for (const Shard& s : shards_) locks.push_back(lock_shard(s));
+    const AllShardsLock lock(shards_);
     on_insert_ = std::move(hook);
 }
 

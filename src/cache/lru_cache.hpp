@@ -35,7 +35,6 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -43,6 +42,7 @@
 #include <vector>
 
 #include "cache/cache_store.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sc {
 
@@ -120,7 +120,7 @@ public:
     template <typename Fn>
     void for_each(Fn&& fn) const {
         for (const Shard& s : shards_) {
-            const std::lock_guard lock(s.mu);
+            const MutexLock lock(s.mu);
             for (const Entry& e : s.order) fn(e);
         }
     }
@@ -132,12 +132,13 @@ private:
     using List = std::list<Entry>;
 
     struct Shard {
-        mutable std::mutex mu;
-        List order;  // front = MRU, back = LRU
-        std::unordered_map<std::string_view, List::iterator> index;  // keys view into list nodes
-        std::uint64_t capacity = 0;  ///< this shard's byte budget
-        std::uint64_t used_bytes = 0;
-        std::uint64_t evictions = 0;
+        mutable Mutex mu;
+        List order SC_GUARDED_BY(mu);  // front = MRU, back = LRU
+        // keys view into list nodes
+        std::unordered_map<std::string_view, List::iterator> index SC_GUARDED_BY(mu);
+        std::uint64_t capacity = 0;  ///< this shard's byte budget (set once, pre-thread)
+        std::uint64_t used_bytes SC_GUARDED_BY(mu) = 0;
+        std::uint64_t evictions SC_GUARDED_BY(mu) = 0;
     };
 
     [[nodiscard]] Shard& shard_for(std::string_view url);
@@ -145,15 +146,20 @@ private:
 
     /// Lock a shard, recording the wait in sc_cache_shard_lock_wait when
     /// the fast try_lock loses (the uncontended path stays untimed).
-    [[nodiscard]] static std::unique_lock<std::mutex> lock_shard(const Shard& shard);
+    /// Returned by value: guaranteed copy elision hands the held scoped
+    /// capability to the caller, which the analysis tracks via SC_ACQUIRE.
+    [[nodiscard]] static MutexLock lock_shard(const Shard& shard) SC_ACQUIRE(shard.mu);
 
-    void remove(Shard& shard, List::iterator it, bool is_eviction);
-    void evict_until_fits(Shard& shard, std::uint64_t incoming);
+    void remove(Shard& shard, List::iterator it, bool is_eviction) SC_REQUIRES(shard.mu);
+    void evict_until_fits(Shard& shard, std::uint64_t incoming) SC_REQUIRES(shard.mu);
 
     LruCacheConfig config_;
     std::vector<Shard> shards_;   // size is a power of two, never resized
     std::size_t shard_mask_ = 0;  // shards_.size() - 1
-    RemovalHook on_remove_;       // written only with ALL shard locks held
+    // Hooks are read under any ONE shard's mutex and written only with ALL
+    // shard mutexes held — a quorum rule the TSA cannot express, so the
+    // two writers carry SC_NO_THREAD_SAFETY_ANALYSIS (see the .cpp).
+    RemovalHook on_remove_;
     EntryHook on_insert_;
 };
 

@@ -15,22 +15,22 @@ DeltaBatcher::DeltaBatcher(DeltaBatcherConfig config) : config_(config) {
 }
 
 void DeltaBatcher::record_insert(std::string_view url) {
-    const std::lock_guard lock(journal_mu_);
+    const MutexLock lock(journal_mu_);
     journal_.push_back(Op{true, std::string(url)});
 }
 
 void DeltaBatcher::record_erase(std::string_view url) {
-    const std::lock_guard lock(journal_mu_);
+    const MutexLock lock(journal_mu_);
     journal_.push_back(Op{false, std::string(url)});
 }
 
 std::vector<DeltaBatcher::Op> DeltaBatcher::drain_journal() {
-    const std::lock_guard lock(journal_mu_);
+    const MutexLock lock(journal_mu_);
     return std::exchange(journal_, {});
 }
 
 bool DeltaBatcher::journal_empty() const {
-    const std::lock_guard lock(journal_mu_);
+    const MutexLock lock(journal_mu_);
     return journal_.empty();
 }
 

@@ -23,13 +23,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sc::core {
 
@@ -59,14 +59,14 @@ public:
     explicit DeltaBatcher(DeltaBatcherConfig config);
 
     // --- hook journal (leaf lock; callable from cache hooks) -------------
-    void record_insert(std::string_view url);
-    void record_erase(std::string_view url);
+    void record_insert(std::string_view url) SC_EXCLUDES(journal_mu_);
+    void record_erase(std::string_view url) SC_EXCLUDES(journal_mu_);
 
     /// Take the journaled ops (in order). Called by whoever mirrors them
     /// into the summary/node — never from a cache hook.
-    [[nodiscard]] std::vector<Op> drain_journal();
+    [[nodiscard]] std::vector<Op> drain_journal() SC_EXCLUDES(journal_mu_);
 
-    [[nodiscard]] bool journal_empty() const;
+    [[nodiscard]] bool journal_empty() const SC_EXCLUDES(journal_mu_);
 
     // --- update-delay accounting -----------------------------------------
     /// A document entered the directory that the published summary does
@@ -108,8 +108,8 @@ private:
     std::atomic<bool> flushing_{false};
     std::atomic<double> last_publish_{0.0};
 
-    mutable std::mutex journal_mu_;  // leaf lock: nothing is called under it
-    std::vector<Op> journal_;
+    mutable Mutex journal_mu_;  // leaf lock: nothing is called under it
+    std::vector<Op> journal_ SC_GUARDED_BY(journal_mu_);
 
     obs::Histogram metric_batch_size_;
 };

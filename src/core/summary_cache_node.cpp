@@ -127,7 +127,7 @@ SummaryCacheNode::ReplicaTable::const_iterator SummaryCacheNode::find_replica(
 bool SummaryCacheNode::apply_sibling_update(const IcpDirUpdate& update) {
     // RCU writer: build the successor snapshot off the published table,
     // then swap it in. Readers keep probing the old snapshot meanwhile.
-    const std::lock_guard lock(replica_write_mu_);
+    const MutexLock lock(replica_write_mu_);
     const auto current = replicas_.load(std::memory_order_acquire);
     auto pos = std::lower_bound(
         current->begin(), current->end(), update.sender_host,
@@ -180,7 +180,7 @@ bool SummaryCacheNode::apply_sibling_update(const IcpDirUpdate& update) {
 }
 
 void SummaryCacheNode::forget_sibling(NodeId sibling) {
-    const std::lock_guard lock(replica_write_mu_);
+    const MutexLock lock(replica_write_mu_);
     const auto current = replicas_.load(std::memory_order_acquire);
     const auto pos = find_replica(*current, sibling);
     if (pos == current->end()) return;
@@ -210,7 +210,8 @@ std::vector<NodeId> SummaryCacheNode::promising_siblings(std::string_view url) c
     return out;
 }
 
-bool SummaryCacheNode::sibling_may_contain(NodeId sibling, std::string_view url) const {
+SC_HOT_PATH bool SummaryCacheNode::sibling_may_contain(NodeId sibling,
+                                                       std::string_view url) const {
     const auto table = replicas_.load(std::memory_order_acquire);
     const auto pos = find_replica(*table, sibling);
     return pos != table->end() && pos->second->may_contain(url);

@@ -34,7 +34,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string_view>
@@ -47,6 +46,7 @@
 #include "icp/icp_message.hpp"
 #include "obs/metrics.hpp"
 #include "summary/summary.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sc {
 
@@ -97,11 +97,11 @@ public:
     /// spec mismatches the existing replica — the sender will refresh us
     /// with a full update eventually. Thread-safe against concurrent
     /// probes and other writers (see the RCU note above).
-    bool apply_sibling_update(const IcpDirUpdate& update);
+    bool apply_sibling_update(const IcpDirUpdate& update) SC_EXCLUDES(replica_write_mu_);
 
     /// Drop a sibling's replica (peer detected as failed; Section VI-B).
     /// Thread-safe like apply_sibling_update.
-    void forget_sibling(NodeId sibling);
+    void forget_sibling(NodeId sibling) SC_EXCLUDES(replica_write_mu_);
 
     // --- probing (lock-free) ----------------------------------------------
     /// Siblings whose replicated summary says the URL may be cached there,
@@ -139,15 +139,22 @@ private:
         const DeltaLog& delta);
 
     /// Publish `next` as the current table (writer mutex must be held).
-    void publish_replicas(std::shared_ptr<const ReplicaTable> next);
+    void publish_replicas(std::shared_ptr<const ReplicaTable> next)
+        SC_REQUIRES(replica_write_mu_);
 
     /// Position of `sibling` in the NodeId-sorted table, or end().
     [[nodiscard]] static ReplicaTable::const_iterator find_replica(const ReplicaTable& table,
                                                                    NodeId sibling);
 
     SummaryCacheNodeConfig config_;
+    // Local directory side: externally synchronized (MiniProxy's node
+    // mutex; simulators are single-threaded), so no SC_GUARDED_BY here —
+    // no single capability in this class guards it.
     CountingBloomFilter counting_;
-    mutable std::mutex replica_write_mu_;  ///< serializes snapshot builders
+    mutable Mutex replica_write_mu_;  ///< serializes snapshot builders
+    // RCU publication point: readers do lock-free acquire loads, so this
+    // is deliberately NOT SC_GUARDED_BY(replica_write_mu_) — only the
+    // *store* side is serialized, via publish_replicas' SC_REQUIRES.
     std::atomic<std::shared_ptr<const ReplicaTable>> replicas_;
     std::uint32_t next_request_number_ = 1;
     std::uint64_t updates_sent_ = 0;

@@ -39,7 +39,7 @@ IcpReplyWaiter::~IcpReplyWaiter() {
 std::optional<Datagram> IcpReplyWaiter::wait_next(
     std::chrono::steady_clock::time_point deadline) {
     SC_ASSERT(demux_ != nullptr);
-    std::unique_lock lock(demux_->mu_);
+    MutexLock lock(demux_->mu_);
     const auto it = demux_->rounds_.find(qn_);
     SC_ASSERT(it != demux_->rounds_.end());
     // Element references survive rehashing (iterators do not), and only
@@ -62,7 +62,7 @@ std::optional<Datagram> IcpReplyWaiter::wait_next(
 ReplyDemux::ReplyDemux() { (void)stale_counter(); }
 
 IcpReplyWaiter ReplyDemux::register_query(std::uint32_t qn) {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     const auto [it, inserted] = rounds_.try_emplace(qn);
     (void)it;
     SC_ASSERT(inserted);  // rounds are allocated from an atomic counter
@@ -71,7 +71,7 @@ IcpReplyWaiter ReplyDemux::register_query(std::uint32_t qn) {
 
 bool ReplyDemux::dispatch(std::uint32_t request_number, Datagram dgram) {
     {
-        const std::lock_guard lock(mu_);
+        const MutexLock lock(mu_);
         const auto it = rounds_.find(request_number);
         if (it != rounds_.end()) {
             it->second.replies.push_back(std::move(dgram));
@@ -85,23 +85,23 @@ bool ReplyDemux::dispatch(std::uint32_t request_number, Datagram dgram) {
 }
 
 void ReplyDemux::shutdown() {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     shutdown_ = true;
     cv_.notify_all();
 }
 
 std::uint64_t ReplyDemux::stale_replies() const {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     return stale_;
 }
 
 std::size_t ReplyDemux::pending_rounds() const {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     return rounds_.size();
 }
 
 void ReplyDemux::unregister(std::uint32_t qn) {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     rounds_.erase(qn);
 }
 

@@ -9,15 +9,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "icp/udp_socket.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sc {
 
@@ -37,7 +36,7 @@ public:
     /// Block until a reply routed to this query arrives (FIFO), the
     /// deadline passes, or the demux shuts down. nullopt on the latter two.
     [[nodiscard]] std::optional<Datagram> wait_next(
-        std::chrono::steady_clock::time_point deadline);
+        std::chrono::steady_clock::time_point deadline) SC_EXCLUDES(demux_->mu_);
 
     [[nodiscard]] std::uint32_t query_number() const { return qn_; }
 
@@ -58,22 +57,22 @@ public:
 
     /// Register an outstanding query. `qn` must not already be registered
     /// (callers allocate from an atomic counter, so rounds never collide).
-    [[nodiscard]] IcpReplyWaiter register_query(std::uint32_t qn);
+    [[nodiscard]] IcpReplyWaiter register_query(std::uint32_t qn) SC_EXCLUDES(mu_);
 
     /// Route a reply datagram to its waiter. Returns false — and counts a
     /// stale reply — when no round with this request number is outstanding.
-    bool dispatch(std::uint32_t request_number, Datagram dgram);
+    bool dispatch(std::uint32_t request_number, Datagram dgram) SC_EXCLUDES(mu_);
 
     /// Wake every waiter with "no more replies"; subsequent waits return
     /// nullopt immediately. Used at proxy shutdown so workers blocked on
     /// a query round join promptly instead of riding out their timeout.
-    void shutdown();
+    void shutdown() SC_EXCLUDES(mu_);
 
     /// Replies dropped because their request number was unknown/expired.
-    [[nodiscard]] std::uint64_t stale_replies() const;
+    [[nodiscard]] std::uint64_t stale_replies() const SC_EXCLUDES(mu_);
 
     /// Rounds currently outstanding (tests).
-    [[nodiscard]] std::size_t pending_rounds() const;
+    [[nodiscard]] std::size_t pending_rounds() const SC_EXCLUDES(mu_);
 
 private:
     friend class IcpReplyWaiter;
@@ -82,13 +81,13 @@ private:
         std::deque<Datagram> replies;
     };
 
-    void unregister(std::uint32_t qn);
+    void unregister(std::uint32_t qn) SC_EXCLUDES(mu_);
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;  ///< shared: waiters re-check their round
-    bool shutdown_ = false;
-    std::unordered_map<std::uint32_t, Round> rounds_;
-    std::uint64_t stale_ = 0;
+    mutable Mutex mu_;
+    CondVar cv_;  ///< shared: waiters re-check their round
+    bool shutdown_ SC_GUARDED_BY(mu_) = false;
+    std::unordered_map<std::uint32_t, Round> rounds_ SC_GUARDED_BY(mu_);
+    std::uint64_t stale_ SC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sc

@@ -113,7 +113,7 @@ detail::Series* MetricsRegistry::intern(std::string_view name, std::string_view 
                                         std::vector<double> bounds) {
     labels = canonical(std::move(labels));
     const std::string key = series_key(name, labels);
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     const auto it = series_.find(key);
     if (it != series_.end()) {
         if (it->second->kind != kind)
@@ -155,7 +155,7 @@ Histogram MetricsRegistry::histogram(std::string_view name, std::string_view hel
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
     MetricsSnapshot out;
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     out.series.reserve(series_.size());
     for (const auto& [key, s] : series_) {  // map order == sorted by (name, labels)
         SeriesSnapshot snap;
@@ -185,7 +185,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     for (auto& [key, s] : series_) {
         s->counter.store(0, std::memory_order_relaxed);
         s->gauge.store(0.0, std::memory_order_relaxed);
@@ -197,7 +197,7 @@ void MetricsRegistry::reset() {
 }
 
 std::size_t MetricsRegistry::series_count() const {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     return series_.size();
 }
 

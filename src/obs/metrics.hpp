@@ -22,11 +22,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace sc::obs {
 
@@ -171,7 +172,7 @@ public:
     [[nodiscard]] Histogram histogram(std::string_view name, std::string_view help,
                                       std::vector<double> bounds, Labels labels = {});
 
-    [[nodiscard]] MetricsSnapshot snapshot() const;
+    [[nodiscard]] MetricsSnapshot snapshot() const SC_EXCLUDES(mu_);
 
     /// Handles minted while disabled point at the shared sink and stay
     /// no-ops forever; series registered while enabled keep counting.
@@ -179,17 +180,18 @@ public:
     [[nodiscard]] bool enabled() const { return enabled_; }
 
     /// Zero every registered series (tests / between benchmark runs).
-    void reset();
+    void reset() SC_EXCLUDES(mu_);
 
-    [[nodiscard]] std::size_t series_count() const;
+    [[nodiscard]] std::size_t series_count() const SC_EXCLUDES(mu_);
 
 private:
     detail::Series* intern(std::string_view name, std::string_view help, MetricKind kind,
-                           Labels labels, std::vector<double> bounds);
+                           Labels labels, std::vector<double> bounds) SC_EXCLUDES(mu_);
 
     std::atomic<bool> enabled_{true};
-    mutable std::mutex mu_;
-    std::map<std::string, std::unique_ptr<detail::Series>> series_;  // key: name + labels
+    mutable Mutex mu_;
+    // key: name + labels
+    std::map<std::string, std::unique_ptr<detail::Series>> series_ SC_GUARDED_BY(mu_);
 };
 
 /// Shorthand for MetricsRegistry::global().

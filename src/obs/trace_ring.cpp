@@ -51,7 +51,7 @@ TraceRing::Buffer& TraceRing::local_buffer() {
     auto& slot = rings[id_];
     if (!slot) {
         slot = std::make_shared<Buffer>(capacity_);
-        const std::lock_guard lock(mu_);
+        const MutexLock lock(mu_);
         buffers_.push_back(slot);  // stays registered after thread exit so
                                    // its tail is still drainable
     }
@@ -62,7 +62,7 @@ void TraceRing::record(TraceEventType type, std::uint16_t node, std::uint64_t a,
                        std::uint64_t b) {
     if (!enabled_.load(std::memory_order_relaxed)) return;
     Buffer& buf = local_buffer();
-    const std::lock_guard lock(buf.mu);
+    const MutexLock lock(buf.mu);
     TraceEvent& slot = buf.slots[buf.next % capacity_];
     slot.ns = monotonic_ns();
     slot.type = type;
@@ -76,12 +76,12 @@ void TraceRing::record(TraceEventType type, std::uint16_t node, std::uint64_t a,
 std::vector<TraceEvent> TraceRing::drain() {
     std::vector<std::shared_ptr<Buffer>> buffers;
     {
-        const std::lock_guard lock(mu_);
+        const MutexLock lock(mu_);
         buffers = buffers_;
     }
     std::vector<TraceEvent> out;
     for (const auto& buf : buffers) {
-        const std::lock_guard lock(buf->mu);
+        const MutexLock lock(buf->mu);
         // Undrained window, clipped to the ring capacity (older events
         // were overwritten).
         const std::uint64_t lo =

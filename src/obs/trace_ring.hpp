@@ -17,9 +17,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace sc::obs {
 
@@ -75,19 +76,19 @@ public:
 private:
     struct Buffer {
         explicit Buffer(std::size_t cap) : slots(cap) {}
-        std::mutex mu;
-        std::vector<TraceEvent> slots;
-        std::uint64_t next = 0;     ///< total events ever recorded
-        std::uint64_t drained = 0;  ///< events consumed by drain()
+        Mutex mu;
+        std::vector<TraceEvent> slots SC_GUARDED_BY(mu);
+        std::uint64_t next SC_GUARDED_BY(mu) = 0;     ///< total events ever recorded
+        std::uint64_t drained SC_GUARDED_BY(mu) = 0;  ///< events consumed by drain()
     };
 
-    [[nodiscard]] Buffer& local_buffer();
+    [[nodiscard]] Buffer& local_buffer() SC_EXCLUDES(mu_);
 
     const std::uint64_t id_;  ///< distinguishes registries across reuse of addresses
     const std::size_t capacity_;
     std::atomic<bool> enabled_{true};
-    std::mutex mu_;  ///< guards buffers_
-    std::vector<std::shared_ptr<Buffer>> buffers_;
+    Mutex mu_;
+    std::vector<std::shared_ptr<Buffer>> buffers_ SC_GUARDED_BY(mu_);
 };
 
 /// Shorthand: record into the global ring.

@@ -167,7 +167,14 @@ void MiniProxy::start() {
 
 void MiniProxy::stop() {
     if (!started_.load()) return;
-    stopping_.store(true);
+    {
+        // The store must be ordered with the workers' predicate check: set
+        // outside jobs_mu_, a worker can read stopping_ == false, then block
+        // in wait() just as notify_all fires — a lost wakeup that leaves the
+        // join below stuck forever.
+        const MutexLock lock(jobs_mu_);
+        stopping_.store(true);
+    }
     demux_.shutdown();  // workers blocked on a query round return promptly
     jobs_cv_.notify_all();
     if (loop_.joinable()) loop_.join();
@@ -175,25 +182,31 @@ void MiniProxy::stop() {
         if (w.joinable()) w.join();
     workers_.clear();
     if (digest_thread_.joinable()) digest_thread_.join();
+    // Only now — with the loop and every worker joined — is it safe to tear
+    // down sessions: a worker holds a raw Session* through its Job until the
+    // moment it exits, so destroying them from run() raced that access.
+    for (const auto& [id, s] : sessions_)
+        obs_.write_buffer_bytes.add(-static_cast<double>(s->outbox.size()));
+    sessions_.clear();
 }
 
 void MiniProxy::broadcast_full_summary() {
     if (config_.mode != ShareMode::summary) return;
     std::vector<std::uint8_t> msg;
     {
-        const std::lock_guard lock(node_mu_);
+        const MutexLock lock(node_mu_);
         sync_node_locked();  // the bitmap must reflect every journaled insert
         msg = node_.encode_full_update();
     }
     for (const Sibling& s : siblings_) send_udp(s.icp, msg);
-    const std::lock_guard lock(stats_mu_);
+    const MutexLock lock(stats_mu_);
     stats_.updates_sent += siblings_.size();
 }
 
 MiniProxyStats MiniProxy::stats() const {
     MiniProxyStats s;
     {
-        const std::lock_guard lock(stats_mu_);
+        const MutexLock lock(stats_mu_);
         s = stats_;
     }
     s.icp_stale_replies = demux_.stale_replies();
@@ -211,7 +224,7 @@ void MiniProxy::log_access(HttpLiteStatus status, const HttpLiteRequest& req,
     const auto epoch_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                               std::chrono::system_clock::now().time_since_epoch())
                               .count();
-    const std::lock_guard lock(access_log_mu_);
+    const MutexLock lock(access_log_mu_);
     (*access_log_) << epoch_ms << ' ' << config_.id << ' '
                    << http_lite_status_name(status) << ' ' << req.size << ' ' << latency
                    << ' ' << req.url << '\n';
@@ -231,11 +244,11 @@ void MiniProxy::finish_request(HttpLiteStatus status, const HttpLiteRequest& req
 
 void MiniProxy::send_udp(const Endpoint& to, std::span<const std::uint8_t> payload) {
     udp_.send_to(to, payload);
-    const std::lock_guard lock(stats_mu_);
+    const MutexLock lock(stats_mu_);
     stats_.udp_bytes_sent += payload.size();
 }
 
-void MiniProxy::send_keepalives_and_check_liveness() {
+SC_EVENT_LOOP_ONLY void MiniProxy::send_keepalives_and_check_liveness() {
     const auto now = std::chrono::steady_clock::now();
     if (now < next_keepalive_) return;
     next_keepalive_ = now + config_.keepalive_interval;
@@ -246,7 +259,7 @@ void MiniProxy::send_keepalives_and_check_liveness() {
     const auto payload = encode_reply(probe);
     for (const Sibling& s : siblings_) send_udp(s.icp, payload);
     {
-        const std::lock_guard lock(stats_mu_);
+        const MutexLock lock(stats_mu_);
         stats_.keepalives_sent += siblings_.size();
     }
 
@@ -258,7 +271,7 @@ void MiniProxy::send_keepalives_and_check_liveness() {
             node_.forget_sibling(s.id);  // stale replica must not attract queries
             obs::trace(obs::TraceEventType::sibling_dead,
                        static_cast<std::uint16_t>(config_.id), s.id);
-            const std::lock_guard lock(stats_mu_);
+            const MutexLock lock(stats_mu_);
             ++stats_.sibling_death_events;
         }
     }
@@ -283,7 +296,7 @@ void MiniProxy::refresh_digests_once() {
     {
         // We never push deltas in pull mode: mirror the journal (keeping
         // the counting filter current for DGET serves), drop the delta log.
-        const std::lock_guard lock(node_mu_);
+        const MutexLock lock(node_mu_);
         sync_node_locked();
         node_.discard_delta();
     }
@@ -307,7 +320,7 @@ void MiniProxy::refresh_digests_once() {
             // Replica ingestion is internally synchronized — no node_mu_.
             const bool applied = node_.apply_sibling_update(update);
             if (applied) {
-                const std::lock_guard lock(stats_mu_);
+                const MutexLock lock(stats_mu_);
                 ++stats_.digests_fetched;
             }
         } catch (const std::exception&) {
@@ -316,7 +329,7 @@ void MiniProxy::refresh_digests_once() {
     }
 }
 
-void MiniProxy::note_heard_from(NodeId sender) {
+SC_EVENT_LOOP_ONLY void MiniProxy::note_heard_from(NodeId sender) {
     const auto it = std::find_if(siblings_.begin(), siblings_.end(),
                                  [sender](const Sibling& s) { return s.id == sender; });
     if (it == siblings_.end()) return;
@@ -328,18 +341,18 @@ void MiniProxy::note_heard_from(NodeId sender) {
         obs::trace(obs::TraceEventType::sibling_recovered,
                    static_cast<std::uint16_t>(config_.id), it->id);
         {
-            const std::lock_guard lock(stats_mu_);
+            const MutexLock lock(stats_mu_);
             ++stats_.sibling_recovery_events;
         }
         if (config_.mode == ShareMode::summary) {
             std::vector<std::uint8_t> full;
             {
-                const std::lock_guard lock(node_mu_);
+                const MutexLock lock(node_mu_);
                 sync_node_locked();
                 full = node_.encode_full_update();
             }
             send_udp(it->icp, full);
-            const std::lock_guard lock(stats_mu_);
+            const MutexLock lock(stats_mu_);
             ++stats_.updates_sent;
         }
     }
@@ -365,14 +378,14 @@ void MiniProxy::send_to_client(Session& s, std::span<const std::uint8_t> data) {
                                        data.size()));
 }
 
-void MiniProxy::flush_outbox(Session& s) {
+SC_EVENT_LOOP_ONLY void MiniProxy::flush_outbox(Session& s) {
     const std::size_t n = s.conn.write_some(s.outbox);
     if (n == 0) return;
     s.outbox.erase(0, n);
     obs_.write_buffer_bytes.add(-static_cast<double>(n));
 }
 
-void MiniProxy::finish_session(std::uint64_t id) {
+SC_EVENT_LOOP_ONLY void MiniProxy::finish_session(std::uint64_t id) {
     const auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     if (!it->second->outbox.empty() && !it->second->overflow) {
@@ -382,7 +395,7 @@ void MiniProxy::finish_session(std::uint64_t id) {
     drop_session(id);
 }
 
-void MiniProxy::drop_session(std::uint64_t id) {
+SC_EVENT_LOOP_ONLY void MiniProxy::drop_session(std::uint64_t id) {
     const auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     obs_.write_buffer_bytes.add(-static_cast<double>(it->second->outbox.size()));
@@ -395,7 +408,7 @@ void MiniProxy::wake_loop() {
     (void)!::write(wake_pipe_[1], &byte, 1);
 }
 
-bool MiniProxy::pump_session(std::uint64_t id, Session& s) {
+SC_EVENT_LOOP_ONLY bool MiniProxy::pump_session(std::uint64_t id, Session& s) {
     if (s.busy) return true;
     // Backpressure: while buffered response bytes await POLLOUT, hold the
     // next pipelined request (flush_outbox re-pumps once drained).
@@ -403,7 +416,7 @@ bool MiniProxy::pump_session(std::uint64_t id, Session& s) {
     if (auto line = s.conn.buffered_line()) {
         s.busy = true;
         {
-            const std::lock_guard lock(jobs_mu_);
+            const MutexLock lock(jobs_mu_);
             job_queue_.push_back(Job{id, &s, std::move(*line)});
         }
         obs_.worker_queue_depth.add(1);
@@ -416,7 +429,7 @@ bool MiniProxy::pump_session(std::uint64_t id, Session& s) {
     return true;
 }
 
-void MiniProxy::run() {
+SC_EVENT_LOOP_ONLY void MiniProxy::run() {
     for (Sibling& s : siblings_) s.last_heard = std::chrono::steady_clock::now();
     next_keepalive_ = std::chrono::steady_clock::now() + config_.keepalive_interval;
     std::vector<pollfd> pfds;
@@ -448,7 +461,7 @@ void MiniProxy::run() {
         }
         done.clear();
         {
-            const std::lock_guard lock(jobs_mu_);
+            const MutexLock lock(jobs_mu_);
             done.swap(completions_);
         }
         for (const Completion& c : done) {
@@ -512,10 +525,7 @@ void MiniProxy::run() {
                 finish_session(sid);
         }
     }
-    // Shutdown: release the gauge charge of any still-buffered responses.
-    for (const auto& [id, s] : sessions_)
-        obs_.write_buffer_bytes.add(-static_cast<double>(s->outbox.size()));
-    sessions_.clear();
+    // Session teardown happens in stop(), after the workers have joined.
 }
 
 void MiniProxy::worker_loop() {
@@ -523,7 +533,7 @@ void MiniProxy::worker_loop() {
     for (;;) {
         Job job;
         {
-            std::unique_lock lock(jobs_mu_);
+            MutexLock lock(jobs_mu_);
             jobs_cv_.wait(lock,
                           [this] { return stopping_.load() || !job_queue_.empty(); });
             if (stopping_.load()) return;  // shutdown drops queued work
@@ -540,7 +550,7 @@ void MiniProxy::worker_loop() {
         }
         obs_.inflight_requests.add(-1);
         {
-            const std::lock_guard lock(jobs_mu_);
+            const MutexLock lock(jobs_mu_);
             completions_.push_back({job.session_id, keep});
         }
         wake_loop();
@@ -563,14 +573,14 @@ bool MiniProxy::handle_client_line(Session& s, const std::string& line,
         // Serve our cache digest (the encoded full-bitmap update).
         std::vector<std::uint8_t> digest;
         {
-            const std::lock_guard lock(node_mu_);
+            const MutexLock lock(node_mu_);
             sync_node_locked();  // the digest must reflect journaled inserts
             digest = node_.encode_full_update();
         }
         {
             // Count before replying: a puller that has read the digest body
             // must observe it as served.
-            const std::lock_guard lock(stats_mu_);
+            const MutexLock lock(stats_mu_);
             ++stats_.digests_served;
         }
         send_to_client(s, format_response_header({HttpLiteStatus::ok, digest.size()}));
@@ -592,13 +602,13 @@ bool MiniProxy::handle_client_line(Session& s, const std::string& line,
     const auto started = std::chrono::steady_clock::now();
     obs_.requests.inc();
     {
-        const std::lock_guard lock(stats_mu_);
+        const MutexLock lock(stats_mu_);
         ++stats_.requests;
     }
 
     if (engine_.lookup_local(req->url, req->version) == LruCache::Lookup::hit) {
         {
-            const std::lock_guard lock(stats_mu_);
+            const MutexLock lock(stats_mu_);
             ++stats_.local_hits;
         }
         send_to_client(s, format_response_header({HttpLiteStatus::local_hit, req->size}));
@@ -620,7 +630,7 @@ bool MiniProxy::handle_client_line(Session& s, const std::string& line,
 
     const auto serve_remote_hit = [&](NodeId from, bool inline_obj) {
         {
-            const std::lock_guard lock(stats_mu_);
+            const MutexLock lock(stats_mu_);
             ++stats_.remote_hits;
             if (inline_obj) ++stats_.hit_obj_used;
         }
@@ -672,7 +682,7 @@ bool MiniProxy::handle_client_line(Session& s, const std::string& line,
 
     const std::string body = fetch_from_origin(*req, ctx);
     {
-        const std::lock_guard lock(stats_mu_);
+        const MutexLock lock(stats_mu_);
         ++stats_.origin_fetches;
     }
     obs_.origin_fetches.inc();
@@ -734,7 +744,7 @@ MiniProxy::QueryOutcome MiniProxy::query_siblings(const HttpLiteRequest& req,
         ++sent;
     }
     {
-        const std::lock_guard lock(stats_mu_);
+        const MutexLock lock(stats_mu_);
         stats_.icp_queries_sent += sent;
     }
     QueryOutcome outcome;
@@ -756,7 +766,7 @@ MiniProxy::QueryOutcome MiniProxy::query_siblings(const HttpLiteRequest& req,
         }
         ++replies;
         {
-            const std::lock_guard lock(stats_mu_);
+            const MutexLock lock(stats_mu_);
             ++stats_.icp_replies_received;
             if (header.opcode == IcpOpcode::miss && uses_summaries(config_.mode))
                 ++stats_.false_hit_queries;
@@ -791,9 +801,9 @@ MiniProxy::QueryOutcome MiniProxy::query_siblings(const HttpLiteRequest& req,
     return outcome;
 }
 
-void MiniProxy::handle_datagram(const Datagram& dgram) {
+SC_EVENT_LOOP_ONLY void MiniProxy::handle_datagram(const Datagram& dgram) {
     {
-        const std::lock_guard lock(stats_mu_);
+        const MutexLock lock(stats_mu_);
         stats_.udp_bytes_received += dgram.payload.size();
     }
     IcpHeader header;
@@ -816,7 +826,7 @@ void MiniProxy::handle_datagram(const Datagram& dgram) {
     handle_datagram_body(dgram, header);
 }
 
-void MiniProxy::handle_datagram_body(const Datagram& dgram, const IcpHeader& header) {
+SC_EVENT_LOOP_ONLY void MiniProxy::handle_datagram_body(const Datagram& dgram, const IcpHeader& header) {
     switch (header.opcode) {
         case IcpOpcode::query:
             answer_query(dgram);
@@ -828,7 +838,7 @@ void MiniProxy::handle_datagram_body(const Datagram& dgram, const IcpHeader& hea
                 // Replica ingestion is internally synchronized — no node_mu_.
                 const bool applied = node_.apply_sibling_update(update);
                 if (applied) {
-                    const std::lock_guard lock(stats_mu_);
+                    const MutexLock lock(stats_mu_);
                     ++stats_.updates_received;
                 }
             } catch (const WireError&) {
@@ -838,7 +848,7 @@ void MiniProxy::handle_datagram_body(const Datagram& dgram, const IcpHeader& hea
         case IcpOpcode::secho: {
             // Liveness probe: echo back so the sender keeps us alive.
             {
-                const std::lock_guard lock(stats_mu_);
+                const MutexLock lock(stats_mu_);
                 ++stats_.keepalives_received;
             }
             IcpReply echo;
@@ -855,7 +865,7 @@ void MiniProxy::handle_datagram_body(const Datagram& dgram, const IcpHeader& hea
     }
 }
 
-void MiniProxy::answer_query(const Datagram& dgram) {
+SC_EVENT_LOOP_ONLY void MiniProxy::answer_query(const Datagram& dgram) {
     IcpQuery query;
     try {
         query = decode_query(dgram.payload);
@@ -863,7 +873,7 @@ void MiniProxy::answer_query(const Datagram& dgram) {
         return;
     }
     {
-        const std::lock_guard lock(stats_mu_);
+        const MutexLock lock(stats_mu_);
         ++stats_.icp_queries_received;
     }
 
@@ -881,7 +891,7 @@ void MiniProxy::answer_query(const Datagram& dgram) {
             const std::string body = synth_body(entry->size);
             obj.object.assign(body.begin(), body.end());
             send_udp(dgram.from, encode_hit_obj(obj));
-            const std::lock_guard lock(stats_mu_);
+            const MutexLock lock(stats_mu_);
             ++stats_.icp_replies_sent;
             ++stats_.hit_obj_served;
             return;
@@ -894,7 +904,7 @@ void MiniProxy::answer_query(const Datagram& dgram) {
     reply.sender_host = config_.id;
     reply.url = query.url;
     send_udp(dgram.from, encode_reply(reply));
-    const std::lock_guard lock(stats_mu_);
+    const MutexLock lock(stats_mu_);
     ++stats_.icp_replies_sent;
 }
 
@@ -915,7 +925,7 @@ std::optional<std::string> MiniProxy::fetch_from_sibling(NodeId id, const HttpLi
         std::string body;
         conn.read_exact(header->size, body);
         {
-            const std::lock_guard lock(stats_mu_);
+            const MutexLock lock(stats_mu_);
             ++stats_.sibling_fetches;
         }
         return body;
@@ -959,14 +969,14 @@ void MiniProxy::broadcast_updates() {
     // concurrent workers' inserts coalesce into that flusher's batch
     // instead of each worker broadcasting its own delta.
     const auto flushed = engine_.maybe_flush(0.0, [this] {
-        const std::lock_guard lock(node_mu_);
+        const MutexLock lock(node_mu_);
         sync_node_locked();
         return node_.encode_pending_updates();
     });
     if (!flushed || flushed->first.empty()) return;
     for (const auto& msg : flushed->first)
         for (const Sibling& s : siblings_) send_udp(s.icp, msg);
-    const std::lock_guard lock(stats_mu_);
+    const MutexLock lock(stats_mu_);
     stats_.updates_sent += flushed->first.size() * siblings_.size();
 }
 

@@ -34,12 +34,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -55,6 +53,7 @@
 #include "obs/metrics.hpp"
 #include "proto/http_lite.hpp"
 #include "proto/tcp.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sc {
 
@@ -176,7 +175,7 @@ public:
     /// or recovery, Section VI-B). Only meaningful in summary mode.
     void broadcast_full_summary();
 
-    [[nodiscard]] MiniProxyStats stats() const;
+    [[nodiscard]] MiniProxyStats stats() const SC_EXCLUDES(stats_mu_);
     [[nodiscard]] std::size_t cached_documents() const;
 
 private:
@@ -299,7 +298,7 @@ private:
     /// mirrors the journal into node_ under node_mu_, outside the cache
     /// shard mutexes — so node_mu_ and the shard mutexes are unordered
     /// and a flush may freely call back into the cache.
-    mutable std::mutex node_mu_;
+    mutable Mutex node_mu_;
     SummaryCacheNode node_;
     /// core::PeerDirectory over node_: the replica probe is lock-free
     /// (the node publishes immutable snapshots RCU-style), so the request
@@ -315,8 +314,8 @@ private:
     /// Its DeltaBatcher elects one flusher per threshold crossing, so
     /// concurrent workers' inserts coalesce into a single update batch.
     core::ProtocolEngine engine_;
-    /// Mirror journaled cache-hook events into node_. Requires node_mu_.
-    void sync_node_locked();
+    /// Mirror journaled cache-hook events into node_.
+    void sync_node_locked() SC_REQUIRES(node_mu_);
     std::vector<Sibling> siblings_;
     ReplyDemux demux_;  ///< routes ICP replies to the querying worker
     /// Seeded per-boot so a restarted proxy's rounds never collide with
@@ -334,10 +333,10 @@ private:
         std::uint64_t session_id;
         bool keep;
     };
-    std::mutex jobs_mu_;  ///< guards job_queue_ and completions_
-    std::condition_variable jobs_cv_;
-    std::deque<Job> job_queue_;
-    std::vector<Completion> completions_;
+    Mutex jobs_mu_;
+    CondVar jobs_cv_;
+    std::deque<Job> job_queue_ SC_GUARDED_BY(jobs_mu_);
+    std::vector<Completion> completions_ SC_GUARDED_BY(jobs_mu_);
     int wake_pipe_[2] = {-1, -1};  ///< workers wake the poll loop
 
     /// All sessions, keyed by a monotonically assigned id. Touched only
@@ -352,10 +351,12 @@ private:
     std::atomic<bool> stopping_{false};
     std::atomic<bool> started_{false};
 
-    mutable std::mutex stats_mu_;
-    MiniProxyStats stats_;
-    std::mutex access_log_mu_;  ///< workers share the access log stream
-    std::unique_ptr<std::ofstream> access_log_;
+    mutable Mutex stats_mu_;
+    MiniProxyStats stats_ SC_GUARDED_BY(stats_mu_);
+    Mutex access_log_mu_;  ///< workers share the access log stream
+    /// The pointer is set once in the constructor (pre-thread); the
+    /// STREAM it points at is what workers share, hence PT_GUARDED_BY.
+    std::unique_ptr<std::ofstream> access_log_ SC_PT_GUARDED_BY(access_log_mu_);
 
     // sc::obs instrumentation, labeled {node, mode}. The hit/miss pair is
     // incremented exactly where the access log line is written, so

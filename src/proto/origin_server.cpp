@@ -16,7 +16,7 @@ void OriginServer::stop() {
     if (accept_thread_.joinable()) accept_thread_.join();
     std::vector<std::thread> workers;
     {
-        const std::lock_guard lock(workers_mu_);
+        const MutexLock lock(workers_mu_);
         workers = std::move(workers_);
     }
     for (auto& w : workers)
@@ -27,7 +27,7 @@ void OriginServer::accept_loop() {
     while (!stopping_.load()) {
         auto conn = listener_.accept(/*timeout_ms=*/50);
         if (!conn) continue;
-        const std::lock_guard lock(workers_mu_);
+        const MutexLock lock(workers_mu_);
         workers_.emplace_back(
             [this, c = std::make_shared<TcpConnection>(std::move(*conn))]() mutable {
                 serve(std::move(*c));

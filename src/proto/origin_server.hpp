@@ -9,12 +9,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "icp/udp_socket.hpp"  // Endpoint
 #include "proto/tcp.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sc {
 
@@ -46,8 +46,8 @@ private:
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> served_{0};
     std::thread accept_thread_;
-    std::vector<std::thread> workers_;
-    std::mutex workers_mu_;
+    std::vector<std::thread> workers_ SC_GUARDED_BY(workers_mu_);
+    Mutex workers_mu_;
 };
 
 }  // namespace sc

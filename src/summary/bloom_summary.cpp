@@ -4,6 +4,7 @@
 
 #include "summary/message_costs.hpp"
 #include "util/sc_assert.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sc {
 
@@ -40,13 +41,13 @@ bool BloomSummary::published_may_contain(std::string_view url) const {
     return published_.may_contain(url);
 }
 
-SummaryProbe BloomSummary::make_probe(std::string_view url) const {
+SC_HOT_PATH SummaryProbe BloomSummary::make_probe(std::string_view url) const {
     SummaryProbe probe{url, &counting_.spec(), {}};
     bloom_indexes(url, counting_.spec(), probe.indexes);
     return probe;
 }
 
-bool BloomSummary::predicts(const SummaryProbe& probe) const {
+SC_HOT_PATH bool BloomSummary::predicts(const SummaryProbe& probe) const {
     if (probe.spec != nullptr && *probe.spec == published_.spec())
         return published_.may_contain(probe.indexes.span());
     return published_.may_contain(probe.url);

@@ -12,6 +12,7 @@
 #include "bloom/bloom_filter.hpp"
 #include "bloom/counting_bloom_filter.hpp"
 #include "summary/summary.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sc {
 
@@ -44,7 +45,8 @@ public:
 
     /// Probe the published replica with precomputed indexes (lets a caller
     /// hash a URL once and test many same-spec peers).
-    [[nodiscard]] bool published_may_contain(std::span<const std::uint32_t> indexes) const {
+    SC_HOT_PATH [[nodiscard]] bool published_may_contain(
+        std::span<const std::uint32_t> indexes) const {
         return published_.may_contain(indexes);
     }
 

@@ -1,0 +1,152 @@
+// Compile-time concurrency enforcement (docs/STATIC_ANALYSIS.md).
+//
+// Two layers live here:
+//
+//   1. The SC_* macros expose Clang's Thread Safety Analysis attributes
+//      (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under
+//      clang every locking rule written with them — "this field is only
+//      touched under that mutex", "this method runs with the lock held" —
+//      is checked at compile time; CI builds the tree with
+//      -Werror=thread-safety so a wrong-lock access fails the build. Under
+//      GCC (the default local toolchain) every macro expands to nothing,
+//      so the annotations are zero-cost and the binaries are unchanged.
+//
+//   2. sc::Mutex / sc::MutexLock / sc::CondVar wrap std::mutex with the
+//      capability annotations the analysis needs. std::mutex itself lives
+//      in a system header, where clang suppresses diagnostics — locking
+//      through the raw type silently disables the analysis, which is why
+//      tools/sc_lint rejects any raw std::mutex / std::lock_guard /
+//      std::unique_lock / std::condition_variable outside this header.
+//
+// Marker macros for invariants the TSA cannot express (enforced by
+// tools/sc_lint instead):
+//
+//   SC_HOT_PATH        — the function must not allocate: no new /
+//                        make_unique / container growth. The runtime twin
+//                        is bench/node_hotpath_bench's zero-alloc gate.
+//   SC_EVENT_LOOP_ONLY — the method runs exclusively on the MiniProxy
+//                        event-loop thread and must never block: no
+//                        connect / read_line / read_exact / write_all /
+//                        wait_readable / sleep.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#if defined(__clang__)
+#define SC_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SC_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op: GCC and others
+#endif
+
+#define SC_CAPABILITY(x) SC_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+#define SC_SCOPED_CAPABILITY SC_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+#define SC_GUARDED_BY(x) SC_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+#define SC_PT_GUARDED_BY(x) SC_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+#define SC_ACQUIRED_BEFORE(...) SC_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define SC_ACQUIRED_AFTER(...) SC_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#define SC_REQUIRES(...) SC_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define SC_REQUIRES_SHARED(...) \
+    SC_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+#define SC_ACQUIRE(...) SC_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define SC_ACQUIRE_SHARED(...) \
+    SC_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define SC_RELEASE(...) SC_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define SC_RELEASE_SHARED(...) \
+    SC_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define SC_TRY_ACQUIRE(...) SC_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define SC_EXCLUDES(...) SC_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#define SC_ASSERT_CAPABILITY(x) SC_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#define SC_RETURN_CAPABILITY(x) SC_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+#define SC_NO_THREAD_SAFETY_ANALYSIS SC_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+// sc_lint markers — no compiler meaning, checked by tools/sc_lint.
+#define SC_HOT_PATH
+#define SC_EVENT_LOOP_ONLY
+
+namespace sc {
+
+/// std::mutex with the TSA capability annotations. Same size, same cost:
+/// every method is an inline forward.
+class SC_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() SC_ACQUIRE() { mu_.lock(); }
+    bool try_lock() SC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+    void unlock() SC_RELEASE() { mu_.unlock(); }
+
+private:
+    friend class CondVar;
+    friend class MutexLock;
+    std::mutex mu_;
+};
+
+/// Scoped lock over sc::Mutex — the annotated twin of std::lock_guard.
+/// Returnable by value (guaranteed copy elision) from factory functions
+/// annotated SC_ACQUIRE(mu), which is how LruCache::lock_shard hands a
+/// held shard lock to its caller under the analysis.
+class SC_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mu) SC_ACQUIRE(mu) : lock_(mu.mu_) {}
+
+    /// Try-first acquisition: when the uncontended fast path loses,
+    /// `on_wait(seconds_blocked)` reports the measured wait (the
+    /// sc_cache_shard_lock_wait histogram feeds off this).
+    template <typename OnWait>
+    MutexLock(Mutex& mu, OnWait&& on_wait) SC_ACQUIRE(mu)
+        : lock_(mu.mu_, std::try_to_lock) {
+        if (!lock_.owns_lock()) {
+            const auto start = std::chrono::steady_clock::now();
+            lock_.lock();
+            on_wait(std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                        .count());
+        }
+    }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+    ~MutexLock() SC_RELEASE() {}
+
+private:
+    friend class CondVar;
+    std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable companion to sc::Mutex. The TSA cannot see the
+/// unlock/relock inside a wait — the capability reads as continuously
+/// held, which is sound for callers: the lock IS held whenever their code
+/// runs. The one rule the analysis cannot check (wait with the right
+/// mutex) is unchanged from std::condition_variable.
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+    template <typename Pred>
+    void wait(MutexLock& lock, Pred&& pred) {
+        cv_.wait(lock.lock_, std::forward<Pred>(pred));
+    }
+
+    template <typename Clock, typename Duration>
+    std::cv_status wait_until(MutexLock& lock,
+                              const std::chrono::time_point<Clock, Duration>& deadline) {
+        return cv_.wait_until(lock.lock_, deadline);
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+private:
+    std::condition_variable cv_;
+};
+
+}  // namespace sc

@@ -1,0 +1,31 @@
+// sc_lint fixture: one seeded violation per rule, at lines the tests pin
+// exactly. Never compiled — lint input only. Adding lines above existing
+// seeds breaks tests/lint/sc_lint_test.cpp on purpose: update both.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex raw_mu;  // seed 1 (line 8): raw-mutex
+
+void locked() {
+    const std::lock_guard lock(raw_mu);  // seed 2 (line 11): raw-mutex
+}
+
+SC_HOT_PATH unsigned* hot_alloc() {
+    return new unsigned[4];  // seed 3 (line 15): hotpath-alloc
+}
+
+SC_HOT_PATH void hot_grow(Vec& v) {
+    v.push_back(1u);  // seed 4 (line 19): hotpath-alloc, no waiver
+}
+
+SC_EVENT_LOOP_ONLY void stall() {
+    wait_readable(fd_, 50);  // seed 5 (line 23): eventloop-blocking
+    sleep_for(ms(10));       // seed 6 (line 24): eventloop-blocking
+}
+
+unsigned overflow_bait(unsigned counter_bits) {
+    return (1u << counter_bits) - 1u;  // seed 7 (line 28): raw-counter-shift
+}
+
+}  // namespace fixture

@@ -1,0 +1,46 @@
+// sc_lint fixture: everything here is the BLESSED way to write it, so the
+// checker must stay silent. Never compiled — lint input only.
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+class Good {
+public:
+    void touch() SC_EXCLUDES(mu_) {
+        const sc::MutexLock lock(mu_);
+        ++count_;
+    }
+
+private:
+    mutable sc::Mutex mu_;
+    int count_ SC_GUARDED_BY(mu_) = 0;
+};
+
+// Declaration only: the marker is checked where the body is.
+SC_HOT_PATH bool probe(const char* key);
+
+SC_HOT_PATH bool probe_inline(unsigned bit, const unsigned* words) {
+    return (words[bit / 32u] >> (bit % 32u)) & 1u;  // plain bit math, no width ident
+}
+
+SC_HOT_PATH void probe_with_waiver(Indexes& out) {
+    out.clear();
+    // sc_lint: allow(hotpath-alloc) Indexes is a fixed-capacity inline array
+    out.push_back(7u);
+}
+
+SC_EVENT_LOOP_ONLY void pump() {
+    poll_once();          // readiness wait is the loop's job
+    fill_available();     // bounded, non-blocking read
+    write_some();         // non-blocking partial write
+}
+
+// Strings and comments must not confuse the lexer:
+// std::mutex in a comment is fine, and so is the literal below.
+const char* kDoc = "never use std::mutex directly; wait_readable() blocks";
+
+unsigned counter_mask(unsigned bits) {
+    return sc::counter_math::saturation_max(bits);  // the only legal spelling
+}
+
+}  // namespace fixture

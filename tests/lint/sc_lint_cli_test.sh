@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# sc_lint CLI contract: exit codes, diagnostic lines on stdout, and the
+# tree-wide gate (the real src/ must lint clean).
+#
+#   $1  path to the sc_lint binary
+#   $2  fixture directory (tests/lint/fixtures)
+#   $3  the repository's src/ directory
+set -u
+
+LINT=$1
+FIXTURES=$2
+SRC=$3
+fail=0
+
+check() { # <label> <expected-exit> <actual-exit>
+  if [ "$2" -ne "$3" ]; then
+    echo "FAIL: $1: expected exit $2, got $3"
+    fail=1
+  fi
+}
+
+# Clean fixture: exit 0, no diagnostics on stdout.
+out=$("$LINT" "$FIXTURES/known_good.cpp" 2>/dev/null); rc=$?
+check "known_good exit" 0 "$rc"
+if [ -n "$out" ]; then
+  echo "FAIL: known_good printed diagnostics:"; echo "$out"; fail=1
+fi
+
+# Seeded fixture: exit 1, and every seeded rule id appears on stdout.
+out=$("$LINT" "$FIXTURES/known_bad.cpp" 2>/dev/null); rc=$?
+check "known_bad exit" 1 "$rc"
+for rule in raw-mutex hotpath-alloc eventloop-blocking raw-counter-shift; do
+  if ! printf '%s\n' "$out" | grep -q "\[$rule\]"; then
+    echo "FAIL: known_bad output is missing rule [$rule]"; fail=1
+  fi
+done
+count=$(printf '%s\n' "$out" | grep -c ': error: ')
+if [ "$count" -ne 7 ]; then
+  echo "FAIL: known_bad: expected 7 diagnostics, got $count"; echo "$out"; fail=1
+fi
+
+# --rule= narrows the run.
+out=$("$LINT" --rule=raw-mutex "$FIXTURES/known_bad.cpp" 2>/dev/null); rc=$?
+check "--rule=raw-mutex exit" 1 "$rc"
+if printf '%s\n' "$out" | grep -qv '\[raw-mutex\]'; then
+  echo "FAIL: --rule=raw-mutex leaked other rules:"; echo "$out"; fail=1
+fi
+
+# Usage and IO errors are exit 2, not 0/1.
+"$LINT" >/dev/null 2>&1; check "no-args exit" 2 "$?"
+"$LINT" --rule=not-a-rule "$FIXTURES/known_good.cpp" >/dev/null 2>&1
+check "unknown-rule exit" 2 "$?"
+"$LINT" "$FIXTURES/does_not_exist.cpp" >/dev/null 2>&1
+check "missing-file exit" 2 "$?"
+
+# The gate CI enforces: the real source tree lints clean.
+out=$("$LINT" "$SRC" 2>/dev/null); rc=$?
+check "src/ gate exit" 0 "$rc"
+if [ "$rc" -ne 0 ]; then printf '%s\n' "$out"; fi
+
+if [ "$fail" -ne 0 ]; then exit 1; fi
+echo "sc_lint CLI contract OK"

@@ -1,0 +1,181 @@
+// sc_lint behaves as a contract: fixture files pin the exact diagnostics
+// (file, line, rule), and the lexer/marker machinery is unit-tested against
+// the corner cases that would silently disable a rule.
+#include "lint/sc_lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using sc::lint::Diagnostic;
+using sc::lint::lint_source;
+using sc::lint::Options;
+
+std::vector<Diagnostic> lint(std::string_view text, Options options = {}) {
+    return lint_source("test.cpp", text, options);
+}
+
+std::string fixture_path(const std::string& name) {
+    return std::string(SC_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+// --- fixtures -------------------------------------------------------------
+
+TEST(ScLintFixtures, KnownGoodIsClean) {
+    const auto diags = sc::lint::lint_file(fixture_path("known_good.cpp"));
+    ASSERT_TRUE(diags.has_value());
+    EXPECT_TRUE(diags->empty()) << sc::lint::format(diags->front());
+}
+
+TEST(ScLintFixtures, KnownBadSeedsAreEachCaught) {
+    const auto diags = sc::lint::lint_file(fixture_path("known_bad.cpp"));
+    ASSERT_TRUE(diags.has_value());
+    // (line, rule) for every seeded violation, in order.
+    const std::vector<std::pair<unsigned, std::string>> expected = {
+        {8, "raw-mutex"},          {11, "raw-mutex"},
+        {15, "hotpath-alloc"},     {19, "hotpath-alloc"},
+        {23, "eventloop-blocking"}, {24, "eventloop-blocking"},
+        {28, "raw-counter-shift"},
+    };
+    ASSERT_EQ(diags->size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ((*diags)[i].line, expected[i].first) << sc::lint::format((*diags)[i]);
+        EXPECT_EQ((*diags)[i].rule, expected[i].second) << sc::lint::format((*diags)[i]);
+    }
+}
+
+TEST(ScLintFixtures, MissingFileIsAnError) {
+    EXPECT_FALSE(sc::lint::lint_file(fixture_path("no_such_file.cpp")).has_value());
+}
+
+// --- diagnostic format ----------------------------------------------------
+
+TEST(ScLintFormat, MatchesCompilerStyle) {
+    const Diagnostic d{"a/b.cpp", 12, "raw-mutex", "boom"};
+    EXPECT_EQ(sc::lint::format(d), "a/b.cpp:12: error: [raw-mutex] boom");
+}
+
+// --- raw-mutex ------------------------------------------------------------
+
+TEST(ScLintRawMutex, FlagsEveryStdSyncType) {
+    for (const char* t : {"mutex", "lock_guard", "unique_lock", "scoped_lock",
+                          "condition_variable", "shared_mutex"}) {
+        const auto diags = lint("std::" + std::string(t) + " x;");
+        ASSERT_EQ(diags.size(), 1u) << t;
+        EXPECT_EQ(diags[0].rule, "raw-mutex");
+        EXPECT_EQ(diags[0].line, 1u);
+    }
+}
+
+TEST(ScLintRawMutex, WrapperHeaderIsExempt) {
+    EXPECT_TRUE(lint_source("src/util/thread_annotations.hpp",
+                            "std::mutex mu_; std::condition_variable cv_;")
+                    .empty());
+}
+
+TEST(ScLintRawMutex, ScWrappersAreClean) {
+    EXPECT_TRUE(lint("sc::Mutex mu; const sc::MutexLock lock(mu);").empty());
+}
+
+TEST(ScLintRawMutex, CommentsAndStringsAreStripped) {
+    EXPECT_TRUE(lint("// std::mutex here\n"
+                     "/* std::lock_guard there */\n"
+                     "const char* s = \"std::mutex\";\n"
+                     "const char* r = R\"(std::condition_variable)\";\n")
+                    .empty());
+}
+
+// --- marker scoping -------------------------------------------------------
+
+TEST(ScLintHotPath, DeclarationIsNotABody) {
+    EXPECT_TRUE(lint("SC_HOT_PATH bool probe(std::string_view key);\n"
+                     "void elsewhere() { auto p = new int; }\n")
+                    .empty());
+}
+
+TEST(ScLintHotPath, BodyEndsAtMatchingBrace) {
+    const auto diags = lint("SC_HOT_PATH void f() { if (x) { y(); } }\n"
+                            "void g() { auto p = new int; }\n");
+    EXPECT_TRUE(diags.empty());  // the `new` is outside the marked body
+}
+
+TEST(ScLintHotPath, TheDefineItselfIsSkipped) {
+    EXPECT_TRUE(lint("#define SC_HOT_PATH\n#define SC_EVENT_LOOP_ONLY\n").empty());
+}
+
+TEST(ScLintHotPath, WaiverOnPreviousLineSuppresses) {
+    EXPECT_TRUE(lint("SC_HOT_PATH void f(Buf& out) {\n"
+                     "    // sc_lint: allow(hotpath-alloc) inline buffer\n"
+                     "    out.push_back(1);\n"
+                     "}\n")
+                    .empty());
+}
+
+TEST(ScLintHotPath, WaiverNamesTheRule) {
+    const auto diags = lint("SC_HOT_PATH void f(Buf& out) {\n"
+                            "    // sc_lint: allow(raw-mutex) wrong rule named\n"
+                            "    out.push_back(1);\n"
+                            "}\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "hotpath-alloc");
+    EXPECT_EQ(diags[0].line, 3u);
+}
+
+TEST(ScLintHotPath, IdentifierMustBeACall) {
+    // A member or local merely NAMED like a deny-listed call is fine...
+    EXPECT_TRUE(lint("SC_HOT_PATH int f(S s) { return s.reserve; }\n").empty());
+    // ...but calling it is not.
+    EXPECT_EQ(lint("SC_HOT_PATH void f(S s) { s.reserve(4); }\n").size(), 1u);
+}
+
+TEST(ScLintEventLoop, BlockingCallsAreNamed) {
+    const auto diags = lint(
+        "SC_EVENT_LOOP_ONLY void step() {\n"
+        "    conn.write_all(buf);\n"
+        "    origin.connect(ep);\n"
+        "}\n");
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].rule, "eventloop-blocking");
+    EXPECT_NE(diags[0].message.find("write_all"), std::string::npos);
+    EXPECT_NE(diags[1].message.find("connect"), std::string::npos);
+}
+
+// --- raw-counter-shift ----------------------------------------------------
+
+TEST(ScLintCounterShift, FlagsWidthShiftOutsideCounterMath) {
+    const auto diags = lint("unsigned m = (1u << counter_bits) - 1u;");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "raw-counter-shift");
+}
+
+TEST(ScLintCounterShift, CounterMathHeaderIsExempt) {
+    EXPECT_TRUE(lint_source("src/bloom/counter_math.hpp",
+                            "return (1u << counter_bits) - 1u;")
+                    .empty());
+}
+
+TEST(ScLintCounterShift, ShiftWithoutWidthIdentIsFine) {
+    EXPECT_TRUE(lint("unsigned m = (1u << bits) - 1u; use(counter_bits_);").empty());
+}
+
+// --- rule selection -------------------------------------------------------
+
+TEST(ScLintOptions, RuleFilterRunsOnlyThatRule) {
+    const std::string text =
+        "std::mutex mu;\nunsigned m = (1u << counter_bits) - 1u;\n";
+    Options only_mutex;
+    only_mutex.rules = {"raw-mutex"};
+    const auto diags = lint(text, only_mutex);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "raw-mutex");
+    EXPECT_EQ(lint(text).size(), 2u);
+}
+
+TEST(ScLintOptions, AllRulesListsFour) {
+    EXPECT_EQ(sc::lint::all_rules().size(), 4u);
+}
+
+}  // namespace

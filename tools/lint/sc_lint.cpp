@@ -1,0 +1,444 @@
+#include "lint/sc_lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace sc::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexing: blank out comments and literals, keep line structure, and harvest
+// `sc_lint: allow(<rule>)` waivers from the comment text as it goes by.
+// ---------------------------------------------------------------------------
+
+struct Stripped {
+    /// Source text with every comment, string and char literal replaced by
+    /// spaces — same length, same newlines, so columns and lines survive.
+    std::string code;
+    /// line -> rules waived on that line (by an allow() comment).
+    std::map<unsigned, std::set<std::string>> waivers;
+};
+
+void harvest_waivers(std::string_view comment, unsigned line, Stripped& out) {
+    static constexpr std::string_view kTag = "sc_lint: allow(";
+    std::size_t at = 0;
+    while ((at = comment.find(kTag, at)) != std::string_view::npos) {
+        at += kTag.size();
+        const std::size_t close = comment.find(')', at);
+        if (close == std::string_view::npos) return;
+        out.waivers[line].insert(std::string(comment.substr(at, close - at)));
+        at = close;
+    }
+}
+
+Stripped strip(std::string_view text) {
+    enum class State { code, line_comment, block_comment, string, chr, raw_string };
+    Stripped out;
+    out.code.reserve(text.size());
+    State state = State::code;
+    unsigned line = 1;
+    unsigned comment_line = 1;  // line the current comment started on
+    std::string comment;        // text of the current comment
+    std::string raw_close;      // )delim" that ends the active raw string
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (state) {
+            case State::code:
+                if (c == '/' && next == '/') {
+                    state = State::line_comment;
+                    comment_line = line;
+                    comment.clear();
+                    out.code += "  ";
+                    ++i;
+                } else if (c == '/' && next == '*') {
+                    state = State::block_comment;
+                    comment_line = line;
+                    comment.clear();
+                    out.code += "  ";
+                    ++i;
+                } else if (c == '"') {
+                    // R"delim( ... )delim" — the delimiter may be empty.
+                    const bool raw = i > 0 && text[i - 1] == 'R' &&
+                                     (i < 2 || !(std::isalnum(static_cast<unsigned char>(
+                                                     text[i - 2])) ||
+                                                 text[i - 2] == '_'));
+                    if (raw) {
+                        const std::size_t open = text.find('(', i + 1);
+                        if (open != std::string_view::npos) {
+                            raw_close = ")";
+                            raw_close += text.substr(i + 1, open - i - 1);
+                            raw_close += '"';
+                            state = State::raw_string;
+                            out.code += ' ';
+                            break;
+                        }
+                    }
+                    state = State::string;
+                    out.code += ' ';
+                } else if (c == '\'') {
+                    state = State::chr;
+                    out.code += ' ';
+                } else {
+                    out.code += c;
+                }
+                break;
+            case State::line_comment:
+                if (c == '\n') {
+                    harvest_waivers(comment, comment_line, out);
+                    state = State::code;
+                    out.code += '\n';
+                } else {
+                    comment += c;
+                    out.code += ' ';
+                }
+                break;
+            case State::block_comment:
+                if (c == '*' && next == '/') {
+                    harvest_waivers(comment, comment_line, out);
+                    state = State::code;
+                    out.code += "  ";
+                    ++i;
+                } else {
+                    comment += c;
+                    out.code += c == '\n' ? '\n' : ' ';
+                }
+                break;
+            case State::string:
+                if (c == '\\' && next != '\0') {
+                    out.code += "  ";
+                    ++i;
+                    if (next == '\n') {
+                        out.code.back() = '\n';
+                        ++line;
+                    }
+                } else if (c == '"') {
+                    state = State::code;
+                    out.code += ' ';
+                } else {
+                    out.code += c == '\n' ? '\n' : ' ';
+                }
+                break;
+            case State::chr:
+                if (c == '\\' && next != '\0') {
+                    out.code += "  ";
+                    ++i;
+                } else if (c == '\'') {
+                    state = State::code;
+                    out.code += ' ';
+                } else {
+                    out.code += ' ';
+                }
+                break;
+            case State::raw_string:
+                if (c == raw_close.front() &&
+                    text.substr(i, raw_close.size()) == raw_close) {
+                    for (char rc : raw_close) out.code += rc == '\n' ? '\n' : ' ';
+                    i += raw_close.size() - 1;
+                    state = State::code;
+                } else {
+                    out.code += c == '\n' ? '\n' : ' ';
+                }
+                break;
+        }
+        if (c == '\n' && state != State::string) ++line;
+    }
+    if (state == State::line_comment) harvest_waivers(comment, comment_line, out);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------------
+
+struct Token {
+    std::string_view text;
+    unsigned line = 0;
+    bool ident = false;
+};
+
+std::vector<Token> tokenize(std::string_view code) {
+    std::vector<Token> out;
+    unsigned line = 1;
+    std::size_t i = 0;
+    const auto is_ident = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    while (i < code.size()) {
+        const char c = code[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+        } else if (is_ident(c)) {
+            std::size_t j = i;
+            while (j < code.size() && is_ident(code[j])) ++j;
+            out.push_back({code.substr(i, j - i), line, true});
+            i = j;
+        } else if ((c == '<' || c == '>') && i + 1 < code.size() &&
+                   code[i + 1] == c) {
+            out.push_back({code.substr(i, 2), line, false});
+            i += 2;
+        } else if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+            out.push_back({code.substr(i, 2), line, false});
+            i += 2;
+        } else {
+            out.push_back({code.substr(i, 1), line, false});
+            ++i;
+        }
+    }
+    return out;
+}
+
+bool path_ends_with(std::string_view path, std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.substr(path.size() - suffix.size()) == suffix;
+}
+
+bool waived(const Stripped& s, unsigned line, const std::string& rule) {
+    for (const unsigned at : {line, line == 0 ? 0 : line - 1}) {
+        const auto it = s.waivers.find(at);
+        if (it != s.waivers.end() && it->second.count(rule)) return true;
+    }
+    return false;
+}
+
+struct Sink {
+    std::string_view path;
+    const Stripped& stripped;
+    const Options& options;
+    std::vector<Diagnostic>& out;
+
+    [[nodiscard]] bool enabled(std::string_view rule) const {
+        return options.rules.empty() ||
+               std::find(options.rules.begin(), options.rules.end(), rule) !=
+                   options.rules.end();
+    }
+
+    void report(unsigned line, const std::string& rule, std::string message) {
+        if (waived(stripped, line, rule)) return;
+        out.push_back({std::string(path), line, rule, std::move(message)});
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: raw-mutex
+// ---------------------------------------------------------------------------
+
+constexpr std::array kRawSyncTypes = {
+    std::string_view("mutex"),          std::string_view("timed_mutex"),
+    std::string_view("recursive_mutex"), std::string_view("shared_mutex"),
+    std::string_view("lock_guard"),     std::string_view("unique_lock"),
+    std::string_view("scoped_lock"),    std::string_view("shared_lock"),
+    std::string_view("condition_variable"),
+    std::string_view("condition_variable_any"),
+};
+
+void check_raw_mutex(const std::vector<Token>& tokens, Sink& sink) {
+    if (!sink.enabled("raw-mutex")) return;
+    // The wrapper header is the one place allowed to touch the raw types.
+    if (path_ends_with(sink.path, "util/thread_annotations.hpp")) return;
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+        if (tokens[i].text != "std" || tokens[i + 1].text != "::") continue;
+        const Token& name = tokens[i + 2];
+        if (std::find(kRawSyncTypes.begin(), kRawSyncTypes.end(), name.text) ==
+            kRawSyncTypes.end())
+            continue;
+        sink.report(name.line, "raw-mutex",
+                    "raw std::" + std::string(name.text) +
+                        "; use the annotated sc::Mutex / sc::MutexLock / "
+                        "sc::CondVar from util/thread_annotations.hpp");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rules: hotpath-alloc and eventloop-blocking (marker-scoped deny lists)
+// ---------------------------------------------------------------------------
+
+constexpr std::array kAllocCalls = {
+    std::string_view("new"),          std::string_view("malloc"),
+    std::string_view("calloc"),       std::string_view("realloc"),
+    std::string_view("strdup"),       std::string_view("make_unique"),
+    std::string_view("make_shared"),  std::string_view("push_back"),
+    std::string_view("emplace_back"), std::string_view("emplace"),
+    std::string_view("resize"),       std::string_view("reserve"),
+    std::string_view("append"),       std::string_view("to_string"),
+};
+
+constexpr std::array kBlockingCalls = {
+    std::string_view("connect"),       std::string_view("read_line"),
+    std::string_view("read_exact"),    std::string_view("write_all"),
+    std::string_view("wait_readable"), std::string_view("sleep_for"),
+    std::string_view("sleep_until"),
+};
+
+/// Find the body of the marked function: tokens[i] is the marker. Returns
+/// {body_begin, body_end} token indices (exclusive of braces), or nullopt if
+/// the marker sits on a declaration (a `;` shows up before any top-level
+/// `{`) or on the `#define` itself.
+std::optional<std::pair<std::size_t, std::size_t>> marked_body(
+    const std::vector<Token>& tokens, std::size_t i) {
+    if (i > 0 && tokens[i - 1].text == "define") return std::nullopt;
+    int parens = 0;
+    std::size_t j = i + 1;
+    for (; j < tokens.size(); ++j) {
+        const auto t = tokens[j].text;
+        if (t == "(")
+            ++parens;
+        else if (t == ")")
+            --parens;
+        else if (parens == 0 && t == ";")
+            return std::nullopt;  // declaration: the definition carries the check
+        else if (parens == 0 && t == "{")
+            break;
+    }
+    if (j >= tokens.size()) return std::nullopt;
+    int depth = 1;
+    std::size_t k = j + 1;
+    for (; k < tokens.size() && depth > 0; ++k) {
+        if (tokens[k].text == "{") ++depth;
+        if (tokens[k].text == "}") --depth;
+    }
+    return std::make_pair(j + 1, k > j ? k - 1 : j + 1);
+}
+
+template <typename DenyList>
+void check_marked(const std::vector<Token>& tokens, Sink& sink,
+                  std::string_view marker, const std::string& rule,
+                  const DenyList& deny, std::string_view what) {
+    if (!sink.enabled(rule)) return;
+    if (path_ends_with(sink.path, "util/thread_annotations.hpp")) return;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i].text != marker || !tokens[i].ident) continue;
+        const auto body = marked_body(tokens, i);
+        if (!body) continue;
+        for (std::size_t k = body->first; k < body->second; ++k) {
+            const Token& t = tokens[k];
+            if (!t.ident) continue;
+            if (std::find(deny.begin(), deny.end(), t.text) == deny.end())
+                continue;
+            // Deny identifiers are calls (or `new`): require `(` or `<` next
+            // so that e.g. a local named `reserve` does not trip the rule.
+            if (t.text != "new" &&
+                (k + 1 >= body->second ||
+                 (tokens[k + 1].text != "(" && tokens[k + 1].text != "<")))
+                continue;
+            sink.report(t.line, rule,
+                        std::string(what) + " '" + std::string(t.text) +
+                            "' inside " + std::string(marker) + " function");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-counter-shift
+// ---------------------------------------------------------------------------
+
+void check_counter_shift(const std::vector<Token>& tokens, Sink& sink) {
+    if (!sink.enabled("raw-counter-shift")) return;
+    // counter_math.hpp is the one place the width-to-mask shift may live.
+    if (path_ends_with(sink.path, "bloom/counter_math.hpp")) return;
+    // Flag any STATEMENT that both mentions a counter-width identifier and
+    // shifts: that combination is the Section IV overflow-math smell.
+    // (Statement = tokens between ; { } — coarse, but honest.)
+    bool has_shift = false;
+    const Token* width = nullptr;
+    const auto flush = [&] {
+        if (has_shift && width != nullptr)
+            sink.report(width->line, "raw-counter-shift",
+                        "shift arithmetic on counter width '" +
+                            std::string(width->text) +
+                            "'; use sc::counter_math (saturation_max et al.) "
+                            "from bloom/counter_math.hpp");
+        has_shift = false;
+        width = nullptr;
+    };
+    for (const Token& t : tokens) {
+        if (t.text == ";" || t.text == "{" || t.text == "}") {
+            flush();
+            continue;
+        }
+        if (t.text == "<<" || t.text == ">>") has_shift = true;
+        if (t.ident && width == nullptr &&
+            t.text.find("counter_bits") != std::string_view::npos)
+            width = &t;
+    }
+    flush();
+}
+
+}  // namespace
+
+std::string format(const Diagnostic& d) {
+    std::ostringstream os;
+    os << d.file << ':' << d.line << ": error: [" << d.rule << "] " << d.message;
+    return os.str();
+}
+
+const std::vector<std::string>& all_rules() {
+    static const std::vector<std::string> rules = {
+        "raw-mutex", "hotpath-alloc", "eventloop-blocking", "raw-counter-shift"};
+    return rules;
+}
+
+std::vector<Diagnostic> lint_source(std::string_view path, std::string_view text,
+                                    const Options& options) {
+    const Stripped stripped = strip(text);
+    const std::vector<Token> tokens = tokenize(stripped.code);
+    std::vector<Diagnostic> out;
+    Sink sink{path, stripped, options, out};
+    check_raw_mutex(tokens, sink);
+    check_marked(tokens, sink, "SC_HOT_PATH", "hotpath-alloc", kAllocCalls,
+                 "heap-allocating call");
+    check_marked(tokens, sink, "SC_EVENT_LOOP_ONLY", "eventloop-blocking",
+                 kBlockingCalls, "blocking call");
+    check_counter_shift(tokens, sink);
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                         return a.line < b.line;
+                     });
+    return out;
+}
+
+std::optional<std::vector<Diagnostic>> lint_file(const std::filesystem::path& path,
+                                                 const Options& options) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof()) return std::nullopt;
+    return lint_source(path.generic_string(), buf.str(), options);
+}
+
+std::vector<std::filesystem::path> collect_sources(
+    const std::vector<std::filesystem::path>& paths) {
+    namespace fs = std::filesystem;
+    const auto is_source = [](const fs::path& p) {
+        const auto ext = p.extension().string();
+        return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+    };
+    std::vector<fs::path> out;
+    for (const fs::path& p : paths) {
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+                 it.increment(ec)) {
+                if (ec) break;
+                if (it->is_regular_file(ec) && is_source(it->path()))
+                    out.push_back(it->path());
+            }
+        } else {
+            out.push_back(p);  // missing files surface as read errors later
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace sc::lint

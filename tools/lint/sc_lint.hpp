@@ -1,0 +1,78 @@
+// sc_lint — the repo's custom invariant checker (docs/STATIC_ANALYSIS.md).
+//
+// Clang's thread-safety analysis proves lock discipline, but four project
+// invariants live outside any compiler's type system:
+//
+//   raw-mutex          std::mutex / std::lock_guard / std::unique_lock /
+//                      std::condition_variable may only appear inside
+//                      util/thread_annotations.hpp. Everywhere else must use
+//                      the annotated sc::Mutex family, or the thread-safety
+//                      analysis silently sees nothing.
+//   hotpath-alloc      functions whose definition is marked SC_HOT_PATH must
+//                      not heap-allocate (the Bloom probe path is the per-
+//                      request cost the paper's scaling argument rests on).
+//   eventloop-blocking functions marked SC_EVENT_LOOP_ONLY run on MiniProxy's
+//                      single poll loop and must never issue a blocking
+//                      socket call or sleep — one blocked loop stalls every
+//                      session.
+//   raw-counter-shift  counter-width arithmetic ((1 << counter_bits) - 1 and
+//                      friends) is how Section IV overflow bugs happen; it is
+//                      only allowed inside bloom/counter_math.hpp, which
+//                      everything else must call.
+//
+// The checker is a token-level scanner, not a compiler plugin: the toolchain
+// image has no libclang, and these rules only need honest lexing (comments,
+// string literals and raw strings stripped) plus brace matching to find
+// marked function bodies.
+//
+// A finding can be waived at the offending line, or the line above, with:
+//
+//     // sc_lint: allow(<rule-id>) <reason>
+//
+// The reason is mandatory by convention (reviewers reject bare waivers).
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sc::lint {
+
+struct Diagnostic {
+    std::string file;
+    unsigned line = 0;
+    std::string rule;
+    std::string message;
+
+    friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// "<file>:<line>: error: [<rule>] <message>" — the format CI greps for.
+[[nodiscard]] std::string format(const Diagnostic& d);
+
+/// Rule identifiers accepted by Options::rules, in report order.
+[[nodiscard]] const std::vector<std::string>& all_rules();
+
+struct Options {
+    /// Rule ids to run; empty means all of them.
+    std::vector<std::string> rules;
+};
+
+/// Lint one translation unit's text. `path` is used for reporting and for
+/// the path-based exemptions (thread_annotations.hpp, counter_math.hpp).
+[[nodiscard]] std::vector<Diagnostic> lint_source(std::string_view path,
+                                                  std::string_view text,
+                                                  const Options& options = {});
+
+/// Lint a file from disk; nullopt if it cannot be read.
+[[nodiscard]] std::optional<std::vector<Diagnostic>> lint_file(
+    const std::filesystem::path& path, const Options& options = {});
+
+/// Expand files and directories (recursing for C++ sources) into the sorted
+/// list of files sc_lint would visit.
+[[nodiscard]] std::vector<std::filesystem::path> collect_sources(
+    const std::vector<std::filesystem::path>& paths);
+
+}  // namespace sc::lint

@@ -1,0 +1,71 @@
+// sc_lint CLI. Exit codes: 0 clean, 1 violations found, 2 usage or IO error.
+//
+//   sc_lint [--rule=<id>]... [--list-rules] <file-or-dir>...
+//
+// Directories recurse over *.cpp/*.hpp/*.cc/*.h. CI runs `sc_lint src/`.
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/sc_lint.hpp"
+
+namespace {
+
+int usage(std::ostream& os) {
+    os << "usage: sc_lint [--rule=<id>]... [--list-rules] <file-or-dir>...\n"
+          "rules:";
+    for (const std::string& r : sc::lint::all_rules()) os << ' ' << r;
+    os << '\n';
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    sc::lint::Options options;
+    std::vector<std::filesystem::path> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const std::string& r : sc::lint::all_rules()) std::cout << r << '\n';
+            return 0;
+        }
+        if (arg.rfind("--rule=", 0) == 0) {
+            const std::string rule = arg.substr(std::strlen("--rule="));
+            const auto& known = sc::lint::all_rules();
+            if (std::find(known.begin(), known.end(), rule) == known.end()) {
+                std::cerr << "sc_lint: unknown rule '" << rule << "'\n";
+                return usage(std::cerr);
+            }
+            options.rules.push_back(rule);
+            continue;
+        }
+        if (arg.rfind("--", 0) == 0) {
+            std::cerr << "sc_lint: unknown option '" << arg << "'\n";
+            return usage(std::cerr);
+        }
+        paths.emplace_back(arg);
+    }
+    if (paths.empty()) return usage(std::cerr);
+
+    bool io_error = false;
+    std::size_t violations = 0;
+    std::size_t files = 0;
+    for (const auto& file : sc::lint::collect_sources(paths)) {
+        const auto diags = sc::lint::lint_file(file, options);
+        if (!diags) {
+            std::cerr << "sc_lint: cannot read " << file.generic_string() << '\n';
+            io_error = true;
+            continue;
+        }
+        ++files;
+        for (const auto& d : *diags) std::cout << sc::lint::format(d) << '\n';
+        violations += diags->size();
+    }
+    if (io_error) return 2;
+    std::cerr << "sc_lint: " << files << " file(s), " << violations
+              << " violation(s)\n";
+    return violations == 0 ? 0 : 1;
+}

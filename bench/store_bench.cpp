@@ -1,0 +1,105 @@
+// Disk-tier benchmark (plain binary): ns/op for the three operations the
+// log-structured store puts on the request path — logged insert, RAM-index
+// lookup hit, and the warm-restart recovery scan — printed as a table and
+// appended to BENCH_store.json (bench_json.hpp; CI uploads the file as an
+// artifact). The one fatal check is correctness, not speed: the store
+// reopened after the insert phase must recover exactly the entries the
+// first incarnation held, otherwise exit 1 — a perf run that silently
+// loses directory entries is not a perf run.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "store/log_store.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_since(Clock::time_point start, std::uint64_t ops) {
+    const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start);
+    return ops == 0 ? 0.0 : static_cast<double>(dt.count()) / static_cast<double>(ops);
+}
+
+}  // namespace
+
+int main() {
+    // Default this binary's records into its own artifact file; an explicit
+    // SC_BENCH_JSON (CI) still wins.
+    ::setenv("SC_BENCH_JSON", "BENCH_store.json", /*overwrite=*/0);
+
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / ("sc_store_bench_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+
+    constexpr std::uint64_t kDocs = 50'000;
+    constexpr std::uint64_t kDocBytes = 8'000;
+    sc::store::LogStoreConfig cfg;
+    cfg.dir = dir.string();
+    cfg.capacity_bytes = kDocs * kDocBytes * 2;  // no eviction during the run
+    cfg.background_compaction = false;           // measure the foreground path only
+
+    std::vector<std::string> urls;
+    urls.reserve(kDocs);
+    for (std::uint64_t i = 0; i < kDocs; ++i)
+        urls.push_back("http://bench.store/doc" + std::to_string(i));
+
+    double insert_ns = 0.0, lookup_ns = 0.0, recovery_ns = 0.0;
+    std::size_t recovered = 0;
+    {
+        auto store = std::make_unique<sc::store::LogStructuredStore>(cfg);
+        const auto t0 = Clock::now();
+        for (std::uint64_t i = 0; i < kDocs; ++i) {
+            if (!store->insert(urls[i], kDocBytes, /*version=*/1)) {
+                std::fprintf(stderr, "store_bench: insert %llu refused\n",
+                             static_cast<unsigned long long>(i));
+                return 1;
+            }
+        }
+        insert_ns = ns_since(t0, kDocs);
+
+        const auto t1 = Clock::now();
+        std::uint64_t hits = 0;
+        for (int pass = 0; pass < 4; ++pass)
+            for (std::uint64_t i = 0; i < kDocs; ++i)
+                hits += store->contains(urls[i]) ? 1 : 0;
+        lookup_ns = ns_since(t1, 4 * kDocs);
+        if (hits != 4 * kDocs) {
+            std::fprintf(stderr, "store_bench: lost entries before restart\n");
+            return 1;
+        }
+    }  // destructor flushes and closes the log
+
+    {
+        const auto t2 = Clock::now();
+        auto store = std::make_unique<sc::store::LogStructuredStore>(cfg);
+        recovery_ns = ns_since(t2, kDocs);
+        recovered = store->recovered_entries();
+    }
+    fs::remove_all(dir);
+
+    if (recovered != kDocs) {
+        std::fprintf(stderr, "store_bench: FAIL recovery: %zu of %llu entries\n", recovered,
+                     static_cast<unsigned long long>(kDocs));
+        return 1;
+    }
+
+    std::printf("store_bench: %llu docs, %llu B each\n",
+                static_cast<unsigned long long>(kDocs),
+                static_cast<unsigned long long>(kDocBytes));
+    std::printf("  %-22s %10.1f ns/op\n", "logged insert", insert_ns);
+    std::printf("  %-22s %10.1f ns/op\n", "lookup (RAM index)", lookup_ns);
+    std::printf("  %-22s %10.1f ns/entry (%.2f Mentries/s)\n", "recovery scan", recovery_ns,
+                recovery_ns > 0 ? 1e3 / recovery_ns : 0.0);
+
+    sc::bench::append_record({"store_insert", 1, insert_ns, -1.0});
+    sc::bench::append_record({"store_lookup_hit", 1, lookup_ns, -1.0});
+    sc::bench::append_record({"store_recovery_scan", 1, recovery_ns, -1.0});
+    return 0;
+}

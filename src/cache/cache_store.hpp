@@ -68,6 +68,12 @@ public:
     /// Fires for every removal (evictions, explicit erase, stale replacement).
     virtual void set_removal_hook(EntryHook hook) = 0;
 
+    /// Visit every directory entry (order is implementation-defined). Runs
+    /// under the store's internal lock(s): `fn` must not call back into the
+    /// store. This is the warm-restart path — SummaryCacheNode rebuilds its
+    /// counting Bloom filter by walking a recovered directory.
+    virtual void for_each_entry(const EntryHook& fn) const = 0;
+
     [[nodiscard]] virtual std::size_t document_count() const = 0;
     [[nodiscard]] virtual std::uint64_t used_bytes() const = 0;
     [[nodiscard]] virtual std::uint64_t capacity_bytes() const = 0;

@@ -125,6 +125,9 @@ public:
         }
     }
 
+    /// CacheStore iteration — delegates to for_each (same locking rules).
+    void for_each_entry(const EntryHook& fn) const override { for_each(fn); }
+
     /// Cumulative eviction count across all shards.
     [[nodiscard]] std::uint64_t eviction_count() const;
 

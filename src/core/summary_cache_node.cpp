@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "cache/cache_store.hpp"
 #include "obs/trace_ring.hpp"
 #include "summary/bloom_summary.hpp"
 #include "util/sc_assert.hpp"
@@ -62,6 +63,18 @@ SummaryCacheNode::SummaryCacheNode(SummaryCacheNodeConfig config)
 void SummaryCacheNode::on_cache_insert(std::string_view url) { counting_.insert(url); }
 
 void SummaryCacheNode::on_cache_erase(std::string_view url) { counting_.erase(url); }
+
+std::size_t SummaryCacheNode::rebuild_from_directory(const CacheStore& store) {
+    std::size_t count = 0;
+    store.for_each_entry([this, &count](const CacheStore::Entry& e) {
+        counting_.insert(e.url);
+        ++count;
+    });
+    // The recovered baseline is announced with a full update, not streamed
+    // as a delta — drop the bit-flip log the inserts just accumulated.
+    (void)counting_.take_delta();
+    return count;
+}
 
 std::vector<std::vector<std::uint8_t>> SummaryCacheNode::encode_pending_updates() {
     DeltaLog delta = counting_.take_delta();

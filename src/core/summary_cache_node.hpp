@@ -50,6 +50,8 @@
 
 namespace sc {
 
+class CacheStore;  // cache/cache_store.hpp
+
 /// Stable identifier for a cooperating proxy (the ICP sender_host field).
 using NodeId = std::uint32_t;
 
@@ -70,6 +72,16 @@ public:
     // --- local directory events -----------------------------------------
     void on_cache_insert(std::string_view url);
     void on_cache_erase(std::string_view url);
+
+    /// Warm restart (docs/STORAGE.md): re-derive the counting Bloom filter
+    /// from a recovered directory so the node re-advertises a truthful
+    /// summary instead of an empty one. Inserts every entry the store
+    /// holds, then drops the resulting bit-flip log — the recovered state
+    /// is a baseline to be announced via encode_full_update(), not churn
+    /// to be streamed as a (huge) delta. Call before the store's hooks are
+    /// wired and before any traffic; externally synchronized like the rest
+    /// of the local directory side. Returns the number of entries folded in.
+    std::size_t rebuild_from_directory(const CacheStore& store);
 
     // --- outbound updates -------------------------------------------------
     /// Drain the accumulated bit-flip log and return the encoded datagrams

@@ -52,6 +52,25 @@ std::size_t resolve_cache_shards(const MiniProxyConfig& config) {
     return std::bit_floor(want);
 }
 
+std::unique_ptr<LruCache> make_ram_tier(const MiniProxyConfig& config) {
+    return std::make_unique<LruCache>(LruCacheConfig{
+        config.cache_bytes, config.max_object_bytes, resolve_cache_shards(config)});
+}
+
+/// Disk tier (nullptr when disabled). Recovery of an existing log runs
+/// inside the LogStructuredStore constructor, before any proxy thread
+/// exists — the directory the proxy starts serving from IS the recovered
+/// one, and rebuild_from_directory below re-derives the summary from it.
+std::unique_ptr<store::LogStructuredStore> make_disk_tier(const MiniProxyConfig& config) {
+    if (config.disk_dir.empty()) return nullptr;
+    store::LogStoreConfig lc;
+    lc.dir = config.disk_dir;
+    lc.capacity_bytes = config.disk_capacity_bytes != 0 ? config.disk_capacity_bytes
+                                                        : config.cache_bytes * 8;
+    lc.max_object_bytes = config.max_object_bytes;
+    return std::make_unique<store::LogStructuredStore>(std::move(lc));
+}
+
 }  // namespace
 
 MiniProxy::MiniProxy(MiniProxyConfig config)
@@ -60,8 +79,7 @@ MiniProxy::MiniProxy(MiniProxyConfig config)
       udp_(Endpoint{config.bind_host, config.icp_port}),
       http_endpoint_(listener_.local_endpoint()),
       icp_endpoint_(udp_.local_endpoint()),
-      cache_(LruCacheConfig{config.cache_bytes, config.max_object_bytes,
-                            resolve_cache_shards(config)}),
+      cache_(make_ram_tier(config), make_disk_tier(config)),
       node_(SummaryCacheNodeConfig{
           config.id,
           std::max<std::uint64_t>(1, config.cache_bytes / kAverageDocumentBytes),
@@ -116,6 +134,13 @@ MiniProxy::MiniProxy(MiniProxyConfig config)
             throw std::runtime_error("cannot open access log: " + config_.access_log_path);
     }
     if (uses_summaries(config_.mode)) {
+        // Warm restart (docs/STORAGE.md): fold the recovered disk
+        // directory into the counting Bloom filter BEFORE wiring hooks,
+        // so the recovered baseline never lands in the delta journal — it
+        // is announced wholesale via broadcast_full_summary() instead.
+        // Pre-thread, so node_mu_ is not needed yet.
+        if (cache_.has_disk_tier() && cache_.document_count() > 0)
+            (void)node_.rebuild_from_directory(cache_);
         // Hooks run under the cache mutex, so they must only take leaf
         // locks: they append to the batcher journal and nothing more.
         // sync_node_locked() mirrors the journal into node_ later, from
@@ -214,6 +239,12 @@ MiniProxyStats MiniProxy::stats() const {
 }
 
 std::size_t MiniProxy::cached_documents() const { return cache_.document_count(); }
+
+std::uint64_t MiniProxy::cached_bytes() const { return cache_.used_bytes(); }
+
+std::size_t MiniProxy::recovered_documents() const {
+    return cache_.has_disk_tier() ? cache_.l2()->recovered_entries() : 0;
+}
 
 void MiniProxy::log_access(HttpLiteStatus status, const HttpLiteRequest& req,
                            std::chrono::steady_clock::time_point started) {

@@ -53,6 +53,7 @@
 #include "obs/metrics.hpp"
 #include "proto/http_lite.hpp"
 #include "proto/tcp.hpp"
+#include "store/tiered_store.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace sc {
@@ -122,6 +123,17 @@ struct MiniProxyConfig {
     /// ("<epoch-ms> <proxy-id> <status> <size> <latency-us> <url>").
     /// Empty disables logging.
     std::string access_log_path;
+
+    /// Log-structured disk tier (docs/STORAGE.md). Empty disables it —
+    /// the cache is the historical RAM-only LruCache. Non-empty names the
+    /// segment directory: the proxy recovers any existing log on boot,
+    /// re-derives its counting Bloom filter from the recovered directory,
+    /// and layers the RAM LRU (cache_bytes) as L1 over the disk tier.
+    std::string disk_dir;
+
+    /// Disk-tier capacity in bytes (sum of cached document sizes). 0 with
+    /// a disk_dir set defaults to 8x cache_bytes.
+    std::uint64_t disk_capacity_bytes = 0;
 };
 
 struct MiniProxyStats {
@@ -177,6 +189,11 @@ public:
 
     [[nodiscard]] MiniProxyStats stats() const SC_EXCLUDES(stats_mu_);
     [[nodiscard]] std::size_t cached_documents() const;
+    [[nodiscard]] std::uint64_t cached_bytes() const;
+    /// Directory entries replayed from the disk log at construction
+    /// (0 when the disk tier is disabled or the directory was fresh).
+    [[nodiscard]] std::size_t recovered_documents() const;
+    [[nodiscard]] bool has_disk_tier() const { return cache_.has_disk_tier(); }
 
 private:
     /// Sibling bookkeeping. `alive` is written by the event loop
@@ -286,7 +303,12 @@ private:
     UdpSocket udp_;
     Endpoint http_endpoint_;
     Endpoint icp_endpoint_;
-    LruCache cache_;  ///< internally thread-safe, sharded (shared with workers)
+    /// Internally thread-safe two-tier store: sharded RAM LRU, optionally
+    /// over the log-structured disk directory (config.disk_dir). All disk
+    /// appends happen under the store's own locks on whichever WORKER
+    /// thread mutates the cache; the event loop only uses the RAM-index
+    /// read path (contains / entry_copy), never a disk-touching call.
+    store::TieredCacheStore cache_;
     /// Guards node_'s LOCAL side (the counting filter and update
     /// encoding): workers, the event loop, and (in digest_pull mode) the
     /// digest fetcher thread all touch that state. Sibling-replica writes

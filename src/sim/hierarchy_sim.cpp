@@ -88,7 +88,7 @@ void HierarchySimulator::process(const Request& r) {
     const auto bucket = (r.client_id * 2654435761u) % 1000u;
     if (static_cast<double>(bucket) < 1000.0 * config_.parent_client_fraction) {
         ++result_.parent_own_requests;
-        if (parent_->lookup(r.url, r.version) == LruCache::Lookup::hit) {
+        if (parent_engine_->lookup_local(r.url, r.version) == LruCache::Lookup::hit) {
             ++result_.parent_own_hits;
             return;
         }
@@ -110,26 +110,34 @@ void HierarchySimulator::process(const Request& r) {
                             !parent_engine_->probe(r.url).empty();
 
     if (ask_parent) {
-        ++result_.query_messages;
-        ++result_.reply_messages;
-        switch (parent_->lookup(r.url, r.version)) {
-            case LruCache::Lookup::hit:
-                ++result_.parent_hits;
-                children_[child]->insert(r.url, r.size, r.version);
-                return;
-            case LruCache::Lookup::miss_changed:
-                ++result_.parent_stale_hits;
-                parent_relay_fetch(r, child);
-                return;
-            case LruCache::Lookup::miss_absent:
-                if (config_.protocol == HierarchyProtocol::summary) {
-                    // Summary promised a copy and the parent had none.
-                    ++result_.false_hits;
-                    child_direct_fetch(r, child);
-                } else {
-                    parent_relay_fetch(r, child);
+        // One-candidate sequential round against the parent tier — the
+        // same decision helper the flat-mesh simulators and the live
+        // proxy drive, with the parent's version-checked lookup as the
+        // "ask". fresh = parent hit, stale = out-of-date copy (the lookup
+        // evicted it; the parent re-fetches), absent = the summary lied.
+        const core::RoundOutcome outcome = parent_engine_->run_sequential_round(
+            {0u}, [&](std::uint32_t) {
+                switch (parent_engine_->lookup_local(r.url, r.version)) {
+                    case LruCache::Lookup::hit: return core::PeerAnswer::fresh;
+                    case LruCache::Lookup::miss_changed: return core::PeerAnswer::stale;
+                    case LruCache::Lookup::miss_absent: break;
                 }
-                return;
+                return core::PeerAnswer::absent;
+            });
+        result_.query_messages += outcome.queries;
+        result_.reply_messages += outcome.queries;
+        if (outcome.winner) {
+            ++result_.parent_hits;
+            children_[child]->insert(r.url, r.size, r.version);
+        } else if (outcome.stale_ended) {
+            ++result_.parent_stale_hits;
+            parent_relay_fetch(r, child);
+        } else if (config_.protocol == HierarchyProtocol::summary) {
+            // Summary promised a copy and the parent had none.
+            ++result_.false_hits;
+            child_direct_fetch(r, child);
+        } else {
+            parent_relay_fetch(r, child);
         }
         return;
     }

@@ -113,7 +113,7 @@ private:
     void after_lookup(const Request& req, std::uint32_t client, std::uint32_t home,
                       double start) {
         SimProxy& p = proxies_[home];
-        if (p.cache->lookup(req.url, req.version) == LruCache::Lookup::hit) {
+        if (p.engine->lookup_local(req.url, req.version) == LruCache::Lookup::hit) {
             ++result_.local_hits;
             reply_to_client(client, start, q_.now() + cost_.hit_service_time);
             return;
@@ -138,14 +138,15 @@ private:
         std::uint32_t home;
         double start;
         std::size_t pending;
-        std::optional<std::uint32_t> hit_sibling;
+        /// Replies in ARRIVAL order; the engine's multicast round replays
+        /// them in that order, so "first fresh reply wins" is preserved.
+        std::vector<std::pair<std::uint32_t, core::PeerAnswer>> answers;
     };
 
     void query_siblings(const Request& req, std::uint32_t client, std::uint32_t home,
                         double start, const std::vector<std::uint32_t>& targets) {
         auto ctx = std::make_shared<QueryCtx>(
-            QueryCtx{req, client, home, start, targets.size(), std::nullopt});
-        result_.queries_sent += targets.size();
+            QueryCtx{req, client, home, start, targets.size(), {}});
         for (const std::uint32_t s : targets) {
             q_.schedule_in(one_way(cost_), [this, ctx, s] {
                 // Query arrives at the sibling: it burns CPU, snapshots its
@@ -154,12 +155,15 @@ private:
                 const double done = exec(sib, cost_.user_cpu_per_icp_event);
                 q_.schedule(done, [this, ctx, s] {
                     const auto v = proxies_[s].cache->cached_version(ctx->req.url);
-                    const bool fresh = v && *v == ctx->req.version;
-                    q_.schedule_in(one_way(cost_), [this, ctx, s, fresh] {
+                    const core::PeerAnswer answer =
+                        !v ? core::PeerAnswer::absent
+                           : (*v == ctx->req.version ? core::PeerAnswer::fresh
+                                                     : core::PeerAnswer::stale);
+                    q_.schedule_in(one_way(cost_), [this, ctx, s, answer] {
                         // Reply lands at the requester (more CPU).
                         const double processed =
                             exec(proxies_[ctx->home], cost_.user_cpu_per_icp_event);
-                        if (fresh && !ctx->hit_sibling) ctx->hit_sibling = s;
+                        ctx->answers.emplace_back(s, answer);
                         SC_ASSERT(ctx->pending > 0);
                         if (--ctx->pending == 0)
                             q_.schedule(processed, [this, ctx] { after_queries(ctx); });
@@ -170,9 +174,19 @@ private:
     }
 
     void after_queries(const std::shared_ptr<QueryCtx>& ctx) {
-        if (ctx->hit_sibling) {
+        // Every reply is in: replay them through the engine's multicast
+        // round (the same decision path the share simulator and the live
+        // proxy use) in arrival order.
+        std::vector<std::uint32_t> arrival_order;
+        arrival_order.reserve(ctx->answers.size());
+        for (const auto& [sibling, answer] : ctx->answers) arrival_order.push_back(sibling);
+        std::size_t next = 0;
+        const core::RoundOutcome outcome = proxies_[ctx->home].engine->run_multicast_round(
+            arrival_order, [&](std::uint32_t) { return ctx->answers[next++].second; });
+        result_.queries_sent += outcome.queries;
+        if (outcome.winner) {
             // Fetch the document from the sibling over TCP.
-            const std::uint32_t s = *ctx->hit_sibling;
+            const std::uint32_t s = *outcome.winner;
             q_.schedule_in(cost_.remote_hit_fetch, [this, ctx, s] {
                 const double done = exec(proxies_[s], cost_.user_cpu_per_remote_hit);
                 q_.schedule(done, [this, ctx, s] {

@@ -1,0 +1,194 @@
+#include "store/segment_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace sc::store {
+namespace {
+
+// Little-endian encode/decode helpers. The on-disk format is declared
+// little-endian; memcpy through these keeps the code alias-safe either way.
+template <typename T>
+void put_le(std::string& buf, T v) {
+    std::array<char, sizeof(T)> raw{};
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        raw[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    buf.append(raw.data(), raw.size());
+}
+
+template <typename T>
+T get_le(const char* p) {
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        v |= static_cast<T>(static_cast<unsigned char>(p[i])) << (8 * i);
+    return v;
+}
+
+struct Crc32Table {
+    std::array<std::uint32_t, 256> t{};
+    Crc32Table() {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+
+}  // namespace
+
+std::uint32_t crc32_ieee(const void* data, std::size_t len) {
+    static const Crc32Table table;
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i) c = table.t[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::size_t encoded_record_bytes(std::size_t url_len) {
+    // frame (crc + len) + type + seq + size + version + url_len + url
+    return kRecordFrameBytes + 1 + 8 + 8 + 8 + 2 + url_len;
+}
+
+void encode_record(std::string& buf, const Record& rec) {
+    std::string payload;
+    payload.reserve(27 + rec.url.size());
+    put_le<std::uint8_t>(payload, static_cast<std::uint8_t>(rec.type));
+    put_le<std::uint64_t>(payload, rec.seq);
+    put_le<std::uint64_t>(payload, rec.size);
+    put_le<std::uint64_t>(payload, rec.version);
+    put_le<std::uint16_t>(payload, static_cast<std::uint16_t>(rec.url.size()));
+    payload.append(rec.url);
+
+    put_le<std::uint32_t>(buf, crc32_ieee(payload.data(), payload.size()));
+    put_le<std::uint32_t>(buf, static_cast<std::uint32_t>(payload.size()));
+    buf.append(payload);
+}
+
+std::string segment_file_name(std::uint64_t segment_id) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "seg-%016llx.log",
+                  static_cast<unsigned long long>(segment_id));
+    return name;
+}
+
+std::optional<std::uint64_t> parse_segment_file_name(const std::string& name) {
+    unsigned long long id = 0;
+    // "seg-" + 16 hex digits + ".log" == 24 chars.
+    if (name.size() != 24) return std::nullopt;
+    if (std::sscanf(name.c_str(), "seg-%16llx.log", &id) != 1) return std::nullopt;
+    if (name != segment_file_name(id)) return std::nullopt;
+    return id;
+}
+
+ScanResult scan_segment(const std::string& path) {
+    ScanResult out;
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return out;
+
+    std::string data;
+    {
+        char chunk[64 * 1024];
+        for (;;) {
+            const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                ::close(fd);
+                return out;
+            }
+            if (n == 0) break;
+            data.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+    ::close(fd);
+
+    if (data.size() < kSegmentHeaderBytes) return out;
+    if (get_le<std::uint32_t>(data.data()) != kSegmentMagic) return out;
+    if (get_le<std::uint32_t>(data.data() + 4) != kSegmentFormatVersion) return out;
+    out.segment_id = get_le<std::uint64_t>(data.data() + 8);
+    out.header_ok = true;
+
+    std::size_t off = kSegmentHeaderBytes;
+    while (off + kRecordFrameBytes <= data.size()) {
+        const std::uint32_t crc = get_le<std::uint32_t>(data.data() + off);
+        const std::uint32_t len = get_le<std::uint32_t>(data.data() + off + 4);
+        constexpr std::uint32_t kMinPayload = 27;  // fixed fields, empty url
+        if (len < kMinPayload || len > kMinPayload + kMaxUrlBytes) break;
+        if (off + kRecordFrameBytes + len > data.size()) break;  // torn tail
+        const char* payload = data.data() + off + kRecordFrameBytes;
+        if (crc32_ieee(payload, len) != crc) break;
+
+        Record rec;
+        const auto type = get_le<std::uint8_t>(payload);
+        if (type < 1 || type > 3) break;
+        rec.type = static_cast<RecordType>(type);
+        rec.seq = get_le<std::uint64_t>(payload + 1);
+        rec.size = get_le<std::uint64_t>(payload + 9);
+        rec.version = get_le<std::uint64_t>(payload + 17);
+        const std::uint16_t url_len = get_le<std::uint16_t>(payload + 25);
+        if (27u + url_len != len) break;
+        rec.url.assign(payload + 27, url_len);
+        out.records.push_back(std::move(rec));
+        off += kRecordFrameBytes + len;
+    }
+    out.valid_bytes = off;
+    out.torn = off < data.size();
+    return out;
+}
+
+SegmentWriter::~SegmentWriter() { close(); }
+
+bool SegmentWriter::create(const std::string& path, std::uint64_t segment_id) {
+    close();
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return false;
+    fd_ = fd;
+    segment_id_ = segment_id;
+    bytes_written_ = 0;
+    path_ = path;
+
+    std::string header;
+    put_le<std::uint32_t>(header, kSegmentMagic);
+    put_le<std::uint32_t>(header, kSegmentFormatVersion);
+    put_le<std::uint64_t>(header, segment_id);
+    return append(header.data(), header.size());
+}
+
+bool SegmentWriter::append(const char* data, std::size_t len) {
+    if (fd_ < 0) return false;
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::write(fd_, data + done, len - done);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    bytes_written_ += len;
+    return true;
+}
+
+bool SegmentWriter::sync() {
+    if (fd_ < 0) return false;
+#if defined(__APPLE__)
+    return ::fsync(fd_) == 0;
+#else
+    return ::fdatasync(fd_) == 0;
+#endif
+}
+
+void SegmentWriter::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    path_.clear();
+}
+
+}  // namespace sc::store

@@ -1,0 +1,113 @@
+// Append-only segment files for the log-structured store.
+//
+// A segment is a fixed 16-byte header followed by framed records:
+//
+//   header : u32 magic 'SCLG' | u32 format version | u64 segment id
+//   record : u32 crc32(payload) | u32 payload_len | payload
+//   payload: u8 type | u64 seq | u64 size | u64 version | u16 url_len | url
+//
+// All integers are little-endian. `seq` is a store-wide monotonic counter
+// that survives compaction rewrites, so replay order (last-writer-wins by
+// seq) is independent of which segment a record currently lives in.
+//
+// Recovery contract: scan_segment() returns every record up to the first
+// frame whose checksum or bounds fail, plus the byte offset of that frame.
+// A torn tail (partial write at crash) is therefore detected, not fatal —
+// the store truncates the file at `valid_bytes` and carries on. A file too
+// short to hold a header, or with a wrong magic/version, is rejected whole.
+//
+// See docs/STORAGE.md for the full format and recovery algorithm.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sc::store {
+
+inline constexpr std::uint32_t kSegmentMagic = 0x474C4353;  // "SCLG" little-endian
+inline constexpr std::uint32_t kSegmentFormatVersion = 1;
+inline constexpr std::size_t kSegmentHeaderBytes = 16;
+inline constexpr std::size_t kRecordFrameBytes = 8;  // crc + payload_len
+inline constexpr std::size_t kMaxUrlBytes = 8192;
+
+enum class RecordType : std::uint8_t {
+    insert = 1,  ///< url now cached with {size, version}
+    erase = 2,   ///< url no longer cached (eviction or explicit erase)
+    touch = 3,   ///< recency promotion; carries full state so any older
+                 ///< record for the url may be compacted away
+};
+
+struct Record {
+    RecordType type = RecordType::insert;
+    std::uint64_t seq = 0;
+    std::uint64_t size = 0;
+    std::uint64_t version = 0;
+    std::string url;
+};
+
+/// Bytes one encoded record occupies on disk (frame + payload).
+[[nodiscard]] std::size_t encoded_record_bytes(std::size_t url_len);
+
+/// Append the framed record to `buf`.
+void encode_record(std::string& buf, const Record& rec);
+
+/// Segment file name for an id: "seg-%016llx.log".
+[[nodiscard]] std::string segment_file_name(std::uint64_t segment_id);
+
+/// Parse a segment id back out of a file name; nullopt if not a segment.
+[[nodiscard]] std::optional<std::uint64_t> parse_segment_file_name(const std::string& name);
+
+/// CRC-32 (IEEE, reflected) of a byte range.
+[[nodiscard]] std::uint32_t crc32_ieee(const void* data, std::size_t len);
+
+struct ScanResult {
+    std::uint64_t segment_id = 0;
+    std::vector<Record> records;
+    /// Offset of the first invalid frame (== file size when the log is clean).
+    std::uint64_t valid_bytes = 0;
+    /// True when the file ends in a torn/corrupt frame (valid_bytes < size).
+    bool torn = false;
+    /// False when the header itself is missing/foreign: no bytes are usable.
+    bool header_ok = false;
+};
+
+/// Sequentially scan one segment file. Never throws; a missing or foreign
+/// file yields header_ok=false and zero records.
+[[nodiscard]] ScanResult scan_segment(const std::string& path);
+
+/// One open segment file being appended to. Not thread-safe: the store
+/// serializes writers under its io mutex.
+class SegmentWriter {
+public:
+    SegmentWriter() = default;
+    ~SegmentWriter();
+    SegmentWriter(const SegmentWriter&) = delete;
+    SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+    /// Create (or truncate) `path` and write the segment header.
+    [[nodiscard]] bool create(const std::string& path, std::uint64_t segment_id);
+
+    /// Append raw pre-encoded bytes. Returns false on a short write (the
+    /// store treats that as fatal for the segment and reopens a fresh one).
+    [[nodiscard]] bool append(const char* data, std::size_t len);
+
+    /// fdatasync() the file. Returns false on error.
+    [[nodiscard]] bool sync();
+
+    void close();
+
+    [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+    [[nodiscard]] std::uint64_t segment_id() const { return segment_id_; }
+    [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+    int fd_ = -1;
+    std::uint64_t segment_id_ = 0;
+    std::uint64_t bytes_written_ = 0;  // includes header
+    std::string path_;
+};
+
+}  // namespace sc::store

@@ -1,0 +1,117 @@
+#include "store/tiered_store.hpp"
+
+#include "util/sc_assert.hpp"
+
+namespace sc::store {
+
+TieredCacheStore::TieredCacheStore(std::unique_ptr<LruCache> l1,
+                                   std::unique_ptr<LogStructuredStore> l2)
+    : l1_(std::move(l1)), l2_(std::move(l2)) {
+    SC_ASSERT(l1_ != nullptr);
+    if (l2_ != nullptr) {
+        // L1 ⊆ L2: every authoritative removal synchronously drops the RAM
+        // copy. Installed before any user hook so the subset invariant does
+        // not depend on the owner wiring hooks at all.
+        l2_->set_removal_hook([this](const Entry& e) { l1_->erase(e.url); });
+        // A recovered directory starts with a cold L1; warm it with the
+        // most-recent recovered entries so the first requests after a
+        // restart are not all L2 promotions. for_each_entry walks MRU→LRU
+        // and L1 inserts push_front, so insertion naturally keeps the
+        // hottest entries; stop once L1 is full.
+        std::uint64_t budget = l1_->capacity_bytes();
+        l2_->for_each_entry([this, &budget](const Entry& e) {
+            if (e.size > budget) return;
+            if (l1_->insert(e.url, e.size, e.version)) budget -= e.size;
+        });
+    }
+}
+
+CacheStore::Lookup TieredCacheStore::lookup(std::string_view url, std::uint64_t version) {
+    if (!l2_) return l1_->lookup(url, version);
+    // Fast path: fresh copy in RAM, confirmed against the authority (a
+    // racing erase can leave a short-lived orphan; sweep it to a miss).
+    if (const auto e = l1_->entry_copy(url); e && e->version == version) {
+        if (l2_->cached_version(url) == version) {
+            l1_->touch(url);
+            l2_->touch(url);  // keeps the durable LRU order faithful
+            return Lookup::hit;
+        }
+        l1_->erase(url);
+    }
+    const Lookup result = l2_->lookup(url, version);
+    switch (result) {
+    case Lookup::hit:
+        // Promote-on-L2-hit: pull the entry into RAM (best effort — L1 may
+        // refuse an object larger than its own budget).
+        if (const auto e = l2_->entry_copy(url)) l1_->insert(e->url, e->size, e->version);
+        break;
+    case Lookup::miss_changed:
+        break;  // the removal hook already dropped any stale L1 copy
+    case Lookup::miss_absent:
+        l1_->erase(url);  // orphan sweep (no-op in the common case)
+        break;
+    }
+    return result;
+}
+
+bool TieredCacheStore::contains(std::string_view url) const {
+    return authority().contains(url);
+}
+
+std::optional<std::uint64_t> TieredCacheStore::cached_version(std::string_view url) const {
+    return authority().cached_version(url);
+}
+
+std::optional<CacheStore::Entry> TieredCacheStore::entry_copy(std::string_view url) const {
+    return authority().entry_copy(url);
+}
+
+bool TieredCacheStore::insert(std::string_view url, std::uint64_t size,
+                              std::uint64_t version) {
+    if (!l2_) return l1_->insert(url, size, version);
+    // Write-through, authority first: if the disk tier refuses, nothing is
+    // cached anywhere (keeps L1 ⊆ L2). L1 admission is best effort.
+    if (!l2_->insert(url, size, version)) return false;
+    l1_->insert(url, size, version);
+    return true;
+}
+
+void TieredCacheStore::touch(std::string_view url) {
+    l1_->touch(url);
+    if (l2_) l2_->touch(url);
+}
+
+bool TieredCacheStore::erase(std::string_view url) {
+    if (!l2_) return l1_->erase(url);
+    return l2_->erase(url);  // removal hook drops the L1 copy
+}
+
+void TieredCacheStore::set_insert_hook(EntryHook hook) {
+    authority().set_insert_hook(std::move(hook));
+}
+
+void TieredCacheStore::set_removal_hook(EntryHook hook) {
+    if (!l2_) {
+        l1_->set_removal_hook(std::move(hook));
+        return;
+    }
+    // Compose with the subset-maintenance hook (L1 erase stays first).
+    l2_->set_removal_hook([this, user = std::move(hook)](const Entry& e) {
+        l1_->erase(e.url);
+        if (user) user(e);
+    });
+}
+
+void TieredCacheStore::for_each_entry(const EntryHook& fn) const {
+    authority().for_each_entry(fn);
+}
+
+std::size_t TieredCacheStore::document_count() const { return authority().document_count(); }
+
+std::uint64_t TieredCacheStore::used_bytes() const { return authority().used_bytes(); }
+
+std::uint64_t TieredCacheStore::capacity_bytes() const {
+    return authority().capacity_bytes();
+}
+
+}  // namespace sc::store

@@ -1,0 +1,74 @@
+// Two-tier CacheStore: sharded-LRU L1 (RAM) over a log-structured L2
+// (disk directory). The L2 is the AUTHORITATIVE directory — document
+// counts, byte accounting, capacity, and the insert/removal hooks that
+// feed the counting Bloom filter all come from it; L1 is a hot subset
+// (invariant: L1 ⊆ L2). Policy:
+//
+//   * insert      — write-through: L2 first (authoritative admission,
+//                   logged), then L1 (best effort; L1 may refuse a large
+//                   object the disk tier accepts).
+//   * lookup      — L1 first; an L1 hit is confirmed against L2 (an
+//                   orphan left by a racing erase is swept to a miss).
+//                   On an L2 hit the entry is promoted into L1.
+//   * erase       — through L2; its removal hook evicts the L1 copy
+//                   synchronously, which is also how a demotion-free L1
+//                   stays a subset when L2 evicts under its own pressure.
+//   * L1 eviction — demote-on-evict is a no-op by construction: the entry
+//                   already lives in the L2 log, so "demotion" is just
+//                   dropping the RAM copy.
+//
+// Lock order: any L2 mutation may re-enter L1 through the removal hook,
+// so l2.io_mu_ -> l2.index_mu_ -> l1.shard_mu is the global order; L1
+// never calls into L2 while holding a shard lock (its hooks are not used
+// here). User hooks installed on this store attach to L2.
+//
+// A null L2 (disk tier disabled, --disk-dir unset) degrades to an exact
+// pass-through of the L1 LruCache — pinned by the reference-model parity
+// test in tests/store/tiered_store_test.cpp.
+#pragma once
+
+#include <memory>
+
+#include "cache/lru_cache.hpp"
+#include "store/log_store.hpp"
+
+namespace sc::store {
+
+class TieredCacheStore final : public CacheStore {
+public:
+    /// `l1` must be non-null; `l2` may be null (pure RAM pass-through).
+    TieredCacheStore(std::unique_ptr<LruCache> l1, std::unique_ptr<LogStructuredStore> l2);
+
+    Lookup lookup(std::string_view url, std::uint64_t version) override;
+    [[nodiscard]] bool contains(std::string_view url) const override;
+    [[nodiscard]] std::optional<std::uint64_t> cached_version(
+        std::string_view url) const override;
+    [[nodiscard]] std::optional<Entry> entry_copy(std::string_view url) const override;
+    bool insert(std::string_view url, std::uint64_t size, std::uint64_t version) override;
+    void touch(std::string_view url) override;
+    bool erase(std::string_view url) override;
+    void set_insert_hook(EntryHook hook) override;
+    void set_removal_hook(EntryHook hook) override;
+    void for_each_entry(const EntryHook& fn) const override;
+    [[nodiscard]] std::size_t document_count() const override;
+    [[nodiscard]] std::uint64_t used_bytes() const override;
+    [[nodiscard]] std::uint64_t capacity_bytes() const override;
+
+    [[nodiscard]] LruCache& l1() { return *l1_; }
+    [[nodiscard]] LogStructuredStore* l2() { return l2_.get(); }
+    [[nodiscard]] const LogStructuredStore* l2() const { return l2_.get(); }
+    [[nodiscard]] bool has_disk_tier() const { return l2_ != nullptr; }
+
+private:
+    [[nodiscard]] CacheStore& authority() { return l2_ ? static_cast<CacheStore&>(*l2_)
+                                                       : static_cast<CacheStore&>(*l1_); }
+    [[nodiscard]] const CacheStore& authority() const {
+        return l2_ ? static_cast<const CacheStore&>(*l2_)
+                   : static_cast<const CacheStore&>(*l1_);
+    }
+
+    std::unique_ptr<LruCache> l1_;
+    std::unique_ptr<LogStructuredStore> l2_;
+};
+
+}  // namespace sc::store

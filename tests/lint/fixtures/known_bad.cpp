@@ -28,4 +28,13 @@ unsigned overflow_bait(unsigned counter_bits) {
     return (1u << counter_bits) - 1u;  // seed 7 (line 28): raw-counter-shift
 }
 
+SC_EVENT_LOOP_ONLY void disk_on_loop() {
+    const int fd = open(path_, 0);  // seed 8 (line 32): eventloop-blocking
+    pread(fd, buf_, 16, 0);         // seed 9 (line 33): eventloop-blocking
+    pwrite(fd, buf_, 16, 0);        // seed 10 (line 34): eventloop-blocking
+    fsync(fd);                      // seed 11 (line 35): eventloop-blocking
+    fdatasync(fd);                  // seed 12 (line 36): eventloop-blocking
+    ftruncate(fd, 0);               // seed 13 (line 37): eventloop-blocking
+}
+
 }  // namespace fixture

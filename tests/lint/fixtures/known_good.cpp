@@ -35,6 +35,17 @@ SC_EVENT_LOOP_ONLY void pump() {
     write_some();         // non-blocking partial write
 }
 
+// Disk I/O belongs on worker threads (docs/STORAGE.md): an UNMARKED
+// function may fsync freely — only the event loop is forbidden to.
+void flush_segment(int fd) {
+    fdatasync(fd);
+    ftruncate(fd, 0);
+}
+
+SC_EVENT_LOOP_ONLY void note_disk_state(const Seg& s) {
+    remember(s.open);  // a member merely NAMED like a blocking call
+}
+
 // Strings and comments must not confuse the lexer:
 // std::mutex in a comment is fine, and so is the literal below.
 const char* kDoc = "never use std::mutex directly; wait_readable() blocks";

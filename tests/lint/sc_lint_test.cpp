@@ -35,10 +35,13 @@ TEST(ScLintFixtures, KnownBadSeedsAreEachCaught) {
     ASSERT_TRUE(diags.has_value());
     // (line, rule) for every seeded violation, in order.
     const std::vector<std::pair<unsigned, std::string>> expected = {
-        {8, "raw-mutex"},          {11, "raw-mutex"},
-        {15, "hotpath-alloc"},     {19, "hotpath-alloc"},
+        {8, "raw-mutex"},           {11, "raw-mutex"},
+        {15, "hotpath-alloc"},      {19, "hotpath-alloc"},
         {23, "eventloop-blocking"}, {24, "eventloop-blocking"},
         {28, "raw-counter-shift"},
+        {32, "eventloop-blocking"}, {33, "eventloop-blocking"},
+        {34, "eventloop-blocking"}, {35, "eventloop-blocking"},
+        {36, "eventloop-blocking"}, {37, "eventloop-blocking"},
     };
     ASSERT_EQ(diags->size(), expected.size());
     for (std::size_t i = 0; i < expected.size(); ++i) {
@@ -141,6 +144,22 @@ TEST(ScLintEventLoop, BlockingCallsAreNamed) {
     EXPECT_EQ(diags[0].rule, "eventloop-blocking");
     EXPECT_NE(diags[0].message.find("write_all"), std::string::npos);
     EXPECT_NE(diags[1].message.find("connect"), std::string::npos);
+}
+
+TEST(ScLintEventLoop, FileIoIsBlocking) {
+    // Disk work (the src/store tier) must stay on worker threads.
+    const auto diags = lint(
+        "SC_EVENT_LOOP_ONLY void touch() {\n"
+        "    const int fd = open(path, 0);\n"
+        "    pread(fd, buf, n, 0);\n"
+        "    fdatasync(fd);\n"
+        "}\n");
+    ASSERT_EQ(diags.size(), 3u);
+    for (const auto& d : diags) EXPECT_EQ(d.rule, "eventloop-blocking");
+}
+
+TEST(ScLintEventLoop, FileIoOffTheLoopIsFine) {
+    EXPECT_TRUE(lint("void flush(int fd) { fsync(fd); ftruncate(fd, 0); }\n").empty());
 }
 
 // --- raw-counter-shift ----------------------------------------------------

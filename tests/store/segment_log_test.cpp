@@ -1,0 +1,165 @@
+// Record framing and segment scanning: the format is the crash-safety
+// contract (docs/STORAGE.md), so the torn-tail and corruption behaviour is
+// pinned here byte by byte.
+#include "store/segment_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace sc::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SegmentLogTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() /
+               ("sc_seg_test_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name());
+        fs::create_directories(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    [[nodiscard]] std::string path(std::uint64_t id) const {
+        return (dir_ / segment_file_name(id)).string();
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(SegmentLogTest, Crc32MatchesKnownVector) {
+    // The classic check value for CRC-32/IEEE ("123456789" -> 0xCBF43926).
+    EXPECT_EQ(crc32_ieee("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(crc32_ieee("", 0), 0u);
+}
+
+TEST_F(SegmentLogTest, FileNameRoundTrips) {
+    EXPECT_EQ(segment_file_name(0), "seg-0000000000000000.log");
+    EXPECT_EQ(parse_segment_file_name("seg-0000000000000000.log"), 0u);
+    EXPECT_EQ(parse_segment_file_name(segment_file_name(0xdeadbeefULL)), 0xdeadbeefULL);
+    EXPECT_FALSE(parse_segment_file_name("seg-xyz.log").has_value());
+    EXPECT_FALSE(parse_segment_file_name("other.log").has_value());
+    EXPECT_FALSE(parse_segment_file_name("seg-0000000000000000.tmp").has_value());
+}
+
+TEST_F(SegmentLogTest, EncodedRecordBytesMatchesEncoder) {
+    std::string buf;
+    const Record rec{RecordType::insert, 7, 1234, 9, "http://example.com/a"};
+    encode_record(buf, rec);
+    EXPECT_EQ(buf.size(), encoded_record_bytes(rec.url.size()));
+}
+
+TEST_F(SegmentLogTest, WriteScanRoundTrip) {
+    SegmentWriter w;
+    ASSERT_TRUE(w.create(path(3), 3));
+    std::string buf;
+    encode_record(buf, Record{RecordType::insert, 1, 100, 5, "http://a/x"});
+    encode_record(buf, Record{RecordType::touch, 2, 100, 5, "http://a/x"});
+    encode_record(buf, Record{RecordType::erase, 3, 100, 5, "http://a/x"});
+    ASSERT_TRUE(w.append(buf.data(), buf.size()));
+    ASSERT_TRUE(w.sync());
+    w.close();
+
+    const ScanResult scan = scan_segment(path(3));
+    ASSERT_TRUE(scan.header_ok);
+    EXPECT_EQ(scan.segment_id, 3u);
+    EXPECT_FALSE(scan.torn);
+    ASSERT_EQ(scan.records.size(), 3u);
+    EXPECT_EQ(scan.records[0].type, RecordType::insert);
+    EXPECT_EQ(scan.records[1].type, RecordType::touch);
+    EXPECT_EQ(scan.records[2].type, RecordType::erase);
+    EXPECT_EQ(scan.records[0].seq, 1u);
+    EXPECT_EQ(scan.records[2].seq, 3u);
+    EXPECT_EQ(scan.records[0].size, 100u);
+    EXPECT_EQ(scan.records[0].version, 5u);
+    EXPECT_EQ(scan.records[0].url, "http://a/x");
+    EXPECT_EQ(scan.valid_bytes, kSegmentHeaderBytes + buf.size());
+}
+
+TEST_F(SegmentLogTest, TornTailTruncatesAtLastGoodRecord) {
+    SegmentWriter w;
+    ASSERT_TRUE(w.create(path(0), 0));
+    std::string good;
+    encode_record(good, Record{RecordType::insert, 1, 10, 1, "http://a/1"});
+    encode_record(good, Record{RecordType::insert, 2, 20, 1, "http://a/2"});
+    std::string torn;
+    encode_record(torn, Record{RecordType::insert, 3, 30, 1, "http://a/3"});
+    torn.resize(torn.size() / 2);  // crash mid-write
+    ASSERT_TRUE(w.append(good.data(), good.size()));
+    ASSERT_TRUE(w.append(torn.data(), torn.size()));
+    w.close();
+
+    const ScanResult scan = scan_segment(path(0));
+    ASSERT_TRUE(scan.header_ok);
+    EXPECT_TRUE(scan.torn);
+    ASSERT_EQ(scan.records.size(), 2u);
+    EXPECT_EQ(scan.valid_bytes, kSegmentHeaderBytes + good.size());
+}
+
+TEST_F(SegmentLogTest, CorruptChecksumStopsTheScan) {
+    SegmentWriter w;
+    ASSERT_TRUE(w.create(path(0), 0));
+    std::string buf;
+    encode_record(buf, Record{RecordType::insert, 1, 10, 1, "http://a/1"});
+    const std::size_t first_end = buf.size();
+    encode_record(buf, Record{RecordType::insert, 2, 20, 1, "http://a/2"});
+    buf[first_end + 10] ^= 0x40;  // flip a payload bit in record 2
+    ASSERT_TRUE(w.append(buf.data(), buf.size()));
+    w.close();
+
+    const ScanResult scan = scan_segment(path(0));
+    ASSERT_TRUE(scan.header_ok);
+    EXPECT_TRUE(scan.torn);
+    ASSERT_EQ(scan.records.size(), 1u);
+    EXPECT_EQ(scan.records[0].url, "http://a/1");
+    EXPECT_EQ(scan.valid_bytes, kSegmentHeaderBytes + first_end);
+}
+
+TEST_F(SegmentLogTest, TruncatedHeaderRejectsTheSegment) {
+    {
+        std::ofstream out(path(0), std::ios::binary);
+        out << "SCL";  // shorter than the 16-byte header
+    }
+    const ScanResult scan = scan_segment(path(0));
+    EXPECT_FALSE(scan.header_ok);
+    EXPECT_TRUE(scan.records.empty());
+}
+
+TEST_F(SegmentLogTest, ForeignMagicRejectsTheSegment) {
+    {
+        std::ofstream out(path(0), std::ios::binary);
+        out << std::string(64, 'x');
+    }
+    const ScanResult scan = scan_segment(path(0));
+    EXPECT_FALSE(scan.header_ok);
+    EXPECT_TRUE(scan.records.empty());
+}
+
+TEST_F(SegmentLogTest, MissingFileIsNotAnError) {
+    const ScanResult scan = scan_segment(path(42));
+    EXPECT_FALSE(scan.header_ok);
+    EXPECT_TRUE(scan.records.empty());
+}
+
+TEST_F(SegmentLogTest, GarbageAfterValidRecordsIsATornTail) {
+    SegmentWriter w;
+    ASSERT_TRUE(w.create(path(0), 0));
+    std::string buf;
+    encode_record(buf, Record{RecordType::insert, 1, 10, 1, "http://a/1"});
+    buf.append("\xff\xff\xff\xff garbage frame", 18);
+    ASSERT_TRUE(w.append(buf.data(), buf.size()));
+    w.close();
+
+    const ScanResult scan = scan_segment(path(0));
+    ASSERT_TRUE(scan.header_ok);
+    EXPECT_TRUE(scan.torn);
+    EXPECT_EQ(scan.records.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sc::store

@@ -1,0 +1,212 @@
+// TieredCacheStore: with a null L2 it must be an EXACT pass-through of the
+// underlying LruCache (pinned by an op-by-op reference-model parity run),
+// and with a disk tier the L1-subset-of-L2 invariant, promotion, and hook
+// composition are each pinned directly.
+#include "store/tiered_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/lru_cache.hpp"
+#include "store/log_store.hpp"
+#include "util/rng.hpp"
+
+namespace sc::store {
+namespace {
+
+namespace fs = std::filesystem;
+using Lookup = CacheStore::Lookup;
+using Entry = CacheStore::Entry;
+
+std::unique_ptr<LruCache> make_l1(std::uint64_t capacity,
+                                  std::uint64_t max_object = kDefaultMaxObjectBytes) {
+    LruCacheConfig cfg;
+    cfg.capacity_bytes = capacity;
+    cfg.max_object_bytes = max_object;
+    return std::make_unique<LruCache>(cfg);
+}
+
+class TieredStoreTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() /
+               ("sc_tiered_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name());
+        fs::remove_all(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    [[nodiscard]] std::unique_ptr<LogStructuredStore> make_l2(std::uint64_t capacity) const {
+        LogStoreConfig cfg;
+        cfg.dir = dir_.string();
+        cfg.capacity_bytes = capacity;
+        cfg.background_compaction = false;
+        return std::make_unique<LogStructuredStore>(cfg);
+    }
+
+    fs::path dir_;
+};
+
+// --- null L2: reference-model parity with a plain LruCache ----------------
+
+TEST_F(TieredStoreTest, NullDiskTierMatchesPlainLruOpByOp) {
+    constexpr std::uint64_t kCapacity = 5'000;
+    TieredCacheStore tiered(make_l1(kCapacity), nullptr);
+    LruCache reference({.capacity_bytes = kCapacity});
+    EXPECT_FALSE(tiered.has_disk_tier());
+
+    // Deterministic op soup over a small url universe: inserts (some
+    // refreshes), version-matched and version-skewed lookups, erases, and
+    // touches, checked result-by-result and by full accounting after every op.
+    Rng rng(42);
+    for (int op = 0; op < 4000; ++op) {
+        const std::string url = "http://u/" + std::to_string(rng.next_below(50));
+        const std::uint64_t version = 1 + rng.next_below(3);
+        switch (rng.next_below(5)) {
+            case 0:
+            case 1: {
+                const std::uint64_t size = 50 + rng.next_below(400);
+                EXPECT_EQ(tiered.insert(url, size, version),
+                          reference.insert(url, size, version)) << op;
+                break;
+            }
+            case 2:
+                EXPECT_EQ(tiered.lookup(url, version), reference.lookup(url, version)) << op;
+                break;
+            case 3:
+                EXPECT_EQ(tiered.erase(url), reference.erase(url)) << op;
+                break;
+            default:
+                tiered.touch(url);
+                reference.touch(url);
+                break;
+        }
+        ASSERT_EQ(tiered.document_count(), reference.document_count()) << op;
+        ASSERT_EQ(tiered.used_bytes(), reference.used_bytes()) << op;
+    }
+    EXPECT_EQ(tiered.capacity_bytes(), reference.capacity_bytes());
+}
+
+TEST_F(TieredStoreTest, NullDiskTierForwardsHooksAndIteration) {
+    TieredCacheStore tiered(make_l1(200), nullptr);
+    std::vector<std::string> inserted, removed;
+    tiered.set_insert_hook([&](const Entry& e) { inserted.push_back(e.url); });
+    tiered.set_removal_hook([&](const Entry& e) { removed.push_back(e.url); });
+    ASSERT_TRUE(tiered.insert("http://a/1", 100, 1));
+    ASSERT_TRUE(tiered.insert("http://a/2", 100, 1));
+    ASSERT_TRUE(tiered.insert("http://a/3", 100, 1));  // evicts 1
+    EXPECT_EQ(inserted, (std::vector<std::string>{"http://a/1", "http://a/2", "http://a/3"}));
+    EXPECT_EQ(removed, (std::vector<std::string>{"http://a/1"}));
+    std::size_t visited = 0;
+    tiered.for_each_entry([&](const Entry&) { ++visited; });
+    EXPECT_EQ(visited, 2u);
+}
+
+// --- disk tier ------------------------------------------------------------
+
+TEST_F(TieredStoreTest, L2IsAuthoritativeForCountsAndCapacity) {
+    TieredCacheStore tiered(make_l1(200), make_l2(10'000));
+    ASSERT_TRUE(tiered.has_disk_tier());
+    // Insert more than L1 can hold: the directory keeps everything.
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(tiered.insert("http://a/" + std::to_string(i), 100, 1));
+    }
+    EXPECT_EQ(tiered.document_count(), 10u);
+    EXPECT_EQ(tiered.used_bytes(), 1000u);
+    EXPECT_EQ(tiered.capacity_bytes(), 10'000u);
+    EXPECT_LE(tiered.l1().document_count(), 2u);  // 200 bytes of RAM
+    // Every url still hits through the tier (L2 serves what L1 dropped).
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(tiered.lookup("http://a/" + std::to_string(i), 1), Lookup::hit) << i;
+    }
+}
+
+TEST_F(TieredStoreTest, L1IsAlwaysASubsetOfL2) {
+    TieredCacheStore tiered(make_l1(500), make_l2(1'000));
+    for (int i = 0; i < 20; ++i) {
+        ASSERT_TRUE(tiered.insert("http://a/" + std::to_string(i), 100, 1));
+        // Check the invariant after every op, including L2-pressure evictions.
+        std::vector<std::string> l1_urls;
+        tiered.l1().for_each([&](const Entry& e) { l1_urls.push_back(e.url); });
+        for (const auto& url : l1_urls) {
+            EXPECT_TRUE(tiered.l2()->contains(url)) << url << " orphaned in L1";
+        }
+    }
+}
+
+TEST_F(TieredStoreTest, L2HitPromotesIntoL1) {
+    TieredCacheStore tiered(make_l1(1'000), make_l2(10'000));
+    ASSERT_TRUE(tiered.insert("http://a/1", 100, 1));
+    tiered.l1().erase("http://a/1");  // simulate L1 pressure-drop
+    EXPECT_FALSE(tiered.l1().contains("http://a/1"));
+    EXPECT_EQ(tiered.lookup("http://a/1", 1), Lookup::hit);  // served by L2
+    EXPECT_TRUE(tiered.l1().contains("http://a/1"));          // ...and promoted
+}
+
+TEST_F(TieredStoreTest, EraseCleansBothTiers) {
+    TieredCacheStore tiered(make_l1(1'000), make_l2(10'000));
+    ASSERT_TRUE(tiered.insert("http://a/1", 100, 1));
+    EXPECT_TRUE(tiered.erase("http://a/1"));
+    EXPECT_FALSE(tiered.l1().contains("http://a/1"));
+    EXPECT_FALSE(tiered.l2()->contains("http://a/1"));
+    EXPECT_FALSE(tiered.erase("http://a/1"));
+}
+
+TEST_F(TieredStoreTest, StaleLookupEvictsBothTiers) {
+    TieredCacheStore tiered(make_l1(1'000), make_l2(10'000));
+    ASSERT_TRUE(tiered.insert("http://a/1", 100, 1));
+    EXPECT_EQ(tiered.lookup("http://a/1", 2), Lookup::miss_changed);
+    EXPECT_FALSE(tiered.l1().contains("http://a/1"));
+    EXPECT_FALSE(tiered.l2()->contains("http://a/1"));
+}
+
+TEST_F(TieredStoreTest, UserRemovalHookComposesWithL1Cleanup) {
+    TieredCacheStore tiered(make_l1(1'000), make_l2(10'000));
+    std::vector<std::string> removed;
+    tiered.set_removal_hook([&](const Entry& e) { removed.push_back(e.url); });
+    ASSERT_TRUE(tiered.insert("http://a/1", 100, 1));
+    EXPECT_TRUE(tiered.erase("http://a/1"));
+    EXPECT_EQ(removed, (std::vector<std::string>{"http://a/1"}));
+    EXPECT_FALSE(tiered.l1().contains("http://a/1"));  // cleanup still happened
+}
+
+TEST_F(TieredStoreTest, InsertHookFiresFromTheAuthoritativeTier) {
+    TieredCacheStore tiered(make_l1(100), make_l2(10'000));
+    std::vector<std::string> inserted;
+    tiered.set_insert_hook([&](const Entry& e) { inserted.push_back(e.url); });
+    // Larger than L1 but fine for L2: the directory (and so the summary)
+    // still learns about it.
+    ASSERT_TRUE(tiered.insert("http://a/big", 5'000, 1));
+    EXPECT_EQ(inserted, (std::vector<std::string>{"http://a/big"}));
+    EXPECT_FALSE(tiered.l1().contains("http://a/big"));
+    EXPECT_EQ(tiered.lookup("http://a/big", 1), Lookup::hit);
+}
+
+TEST_F(TieredStoreTest, L2RefusalCachesNothing) {
+    auto l2 = make_l2(1'000);
+    TieredCacheStore tiered(make_l1(10'000), std::move(l2));
+    EXPECT_FALSE(tiered.insert("http://a/huge", 2'000, 1));  // over L2 capacity
+    EXPECT_FALSE(tiered.l1().contains("http://a/huge"));
+    EXPECT_EQ(tiered.document_count(), 0u);
+}
+
+TEST_F(TieredStoreTest, WarmRestartPreloadsL1FromRecoveredDirectory) {
+    {
+        TieredCacheStore tiered(make_l1(10'000), make_l2(10'000));
+        for (int i = 0; i < 5; ++i) {
+            ASSERT_TRUE(tiered.insert("http://a/" + std::to_string(i), 100, 1));
+        }
+    }
+    TieredCacheStore tiered(make_l1(250), make_l2(10'000));
+    EXPECT_EQ(tiered.document_count(), 5u);        // full directory recovered
+    EXPECT_EQ(tiered.l1().document_count(), 2u);   // MRU-first warm-up, 250B budget
+    EXPECT_TRUE(tiered.l1().contains("http://a/4"));
+    EXPECT_TRUE(tiered.l1().contains("http://a/3"));
+}
+
+}  // namespace
+}  // namespace sc::store

@@ -117,4 +117,56 @@ wait "$P2_PID" 2>/dev/null || true
 grep -q '"sc_proxy_requests_total"' "$WORK/p2_metrics.json" \
     || fail "proxy metrics JSON lacks sc_proxy_requests_total"
 
-echo "tools smoke OK (remote hits: $hits, p1 hits/misses: $log_hits/$log_misses)"
+# --- warm restart (disk tier) -------------------------------------------------
+# A proxy with --disk-dir populated over HTTP, SIGTERMed, and restarted on
+# the same directory must recover its document directory from the segment
+# log and serve the same workload as local hits.
+P3_HTTP=$((BASE+5)) P3_ICP=$((BASE+6))
+"$PROXY" --id 3 --http-port "$P3_HTTP" --icp-port "$P3_ICP" --origin "$P_ORIGIN" \
+    --mode summary --threshold 0 \
+    --disk-dir "$WORK/p3_disk" --disk-capacity-mb 64 \
+    > "$WORK/p3.log" 2>&1 &
+P3_PID=$!
+PIDS+=($P3_PID)
+for _ in $(seq 1 50); do
+    grep -qE "listening|HTTP" "$WORK/p3.log" && break
+    sleep 0.1
+done
+grep -qE "listening|HTTP" "$WORK/p3.log" || fail "disk-tier proxy never came up"
+
+"$REPLAY" --in "$WORK/live.csv" --proxies "$P3_HTTP" > "$WORK/replay_p3.txt"
+grep -q "errors *0" "$WORK/replay_p3.txt" || fail "disk-tier replay reported errors"
+ls "$WORK/p3_disk"/seg-*.log >/dev/null 2>&1 || fail "disk tier wrote no segment files"
+
+kill -TERM "$P3_PID"
+for _ in $(seq 1 50); do
+    kill -0 "$P3_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$P3_PID" 2>/dev/null && fail "disk-tier proxy ignored SIGTERM"
+wait "$P3_PID" 2>/dev/null || true
+
+"$PROXY" --id 3 --http-port "$P3_HTTP" --icp-port "$P3_ICP" --origin "$P_ORIGIN" \
+    --mode summary --threshold 0 \
+    --disk-dir "$WORK/p3_disk" --disk-capacity-mb 64 \
+    > "$WORK/p3b.log" 2>&1 &
+PIDS+=($!)
+for _ in $(seq 1 50); do
+    grep -qE "listening|HTTP" "$WORK/p3b.log" && break
+    sleep 0.1
+done
+grep -qE "listening|HTTP" "$WORK/p3b.log" || fail "restarted disk-tier proxy never came up"
+
+"$REPLAY" --in "$WORK/live.csv" --proxies "$P3_HTTP" > "$WORK/replay_p3b.txt"
+grep -q "errors *0" "$WORK/replay_p3b.txt" || fail "post-restart replay reported errors"
+warm_hits=$(grep -oE "local hits +[0-9]+" "$WORK/replay_p3b.txt" | grep -oE "[0-9]+")
+[ "${warm_hits:-0}" -gt 0 ] || fail "no local hits after warm restart"
+
+curl -sf --max-time 5 "http://127.0.0.1:$P3_HTTP/__metrics" > "$WORK/p3_metrics.prom" \
+    || fail "GET /__metrics on restarted proxy failed"
+recovered=$(sed -n 's/^sc_store_recovered_entries_total{[^}]*} \([0-9]*\)$/\1/p' \
+    "$WORK/p3_metrics.prom")
+[ "${recovered:-0}" -gt 0 ] \
+    || fail "sc_store_recovered_entries_total=$recovered (want > 0 after warm restart)"
+
+echo "tools smoke OK (remote hits: $hits, p1 hits/misses: $log_hits/$log_misses, warm-restart recovered: $recovered, warm hits: $warm_hits)"

@@ -277,6 +277,12 @@ constexpr std::array kBlockingCalls = {
     std::string_view("read_exact"),    std::string_view("write_all"),
     std::string_view("wait_readable"), std::string_view("sleep_for"),
     std::string_view("sleep_until"),
+    // File I/O: the disk store (src/store) runs on worker threads; none of
+    // it may creep onto the poll loop (docs/STORAGE.md "Threading").
+    std::string_view("open"),          std::string_view("openat"),
+    std::string_view("pread"),         std::string_view("pwrite"),
+    std::string_view("fsync"),         std::string_view("fdatasync"),
+    std::string_view("ftruncate"),
 };
 
 /// Find the body of the marked function: tokens[i] is the marker. Returns

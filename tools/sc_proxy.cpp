@@ -78,7 +78,8 @@ int main(int argc, char** argv) {
     const cli::Flags flags(argc, argv,
                            {"id", "http-port", "icp-port", "origin", "sibling", "mode",
                             "cache-mb", "threshold", "hit-obj-bytes", "bind",
-                            "access-log", "metrics-out", "workers", "cache-shards"});
+                            "access-log", "metrics-out", "workers", "cache-shards",
+                            "disk-dir", "disk-capacity-mb"});
 
     MiniProxyConfig cfg;
     cfg.id = static_cast<NodeId>(flags.get_int("id", 1));
@@ -106,6 +107,12 @@ int main(int argc, char** argv) {
         return 2;
     }
     cfg.cache_shards = static_cast<std::size_t>(shards);
+    // Disk tier: --disk-dir enables the log-structured L2 (warm restart
+    // recovers any existing log there); --disk-capacity-mb sizes it
+    // (default 8x the RAM cache).
+    cfg.disk_dir = flags.get("disk-dir", "");
+    cfg.disk_capacity_bytes = static_cast<std::uint64_t>(
+        flags.get_double("disk-capacity-mb", 0.0) * 1024.0 * 1024.0);
 
     const std::string mode = flags.get("mode", "summary");
     if (mode == "none") cfg.mode = ShareMode::none;

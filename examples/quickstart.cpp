@@ -36,6 +36,14 @@ int main() {
     cfg_a.expected_docs = 1024;  // cache bytes / 8 KB
     SummaryCacheNode proxy_a(cfg_a);
 
+    // A sibling first BOOTSTRAPS its replica from a full-bitmap snapshot —
+    // deltas are sequenced against that sync point, so updates lost in the
+    // network are detected instead of silently poisoning the replica.
+    SummaryCacheNodeConfig cfg_b = cfg_a;
+    cfg_b.node_id = 2;
+    SummaryCacheNode proxy_b(cfg_b);
+    proxy_b.apply_sibling_update(decode_dirupdate(proxy_a.encode_full_update()));
+
     // Broadcast when 1% of the directory is new (Section V-A).
     core::DeltaBatcher batcher(core::DeltaBatcherConfig{/*update_threshold=*/0.01});
     for (int i = 0; i < 5; ++i) {
@@ -53,10 +61,7 @@ int main() {
                     updates.size(), static_cast<unsigned long long>(*batch));
     }
 
-    // --- 3. a sibling ingesting the update and probing -------------------
-    SummaryCacheNodeConfig cfg_b = cfg_a;
-    cfg_b.node_id = 2;
-    SummaryCacheNode proxy_b(cfg_b);
+    // --- 3. the sibling ingesting the updates and probing ----------------
     for (const auto& datagram : updates)
         proxy_b.apply_sibling_update(decode_dirupdate(datagram));
 

@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -60,7 +61,31 @@ struct SummaryCacheNodeConfig {
     /// Documents the local cache is expected to hold (cache bytes / 8 KB).
     std::uint64_t expected_docs = 1024;
     BloomSummaryConfig bloom;
+    /// Per-process incarnation id carried in every outgoing update so
+    /// receivers detect restarts (sequence space reset). 0 = pick a random
+    /// nonzero id at construction; tests pin explicit values.
+    std::uint32_t boot_id = 0;
 };
+
+/// What happened to an inbound sibling update (docs/PROTOCOL.md, "Losing
+/// and regaining sync"). Only `applied` changed the published replica;
+/// everything else tells the transport what repair action — if any — the
+/// update calls for.
+enum class SummaryApplyResult : std::uint8_t {
+    applied,         ///< replica updated (delta in sequence, or full committed)
+    partial,         ///< full-bitmap chunk buffered; reassembly not complete yet
+    duplicate,       ///< delta sequence already applied — dropped, no action
+    stale,           ///< full bitmap older than the replica's sync point — dropped
+    gap,             ///< sequence gap or sender reboot: replica dropped + quarantined
+    need_bootstrap,  ///< first contact via delta: no replica yet, send DIRREQ
+    need_resync,     ///< delta while quarantined/unsynced: still waiting for a full
+    rejected,        ///< hash spec mismatches the live replica
+};
+
+[[nodiscard]] constexpr bool summary_apply_needs_resync(SummaryApplyResult r) {
+    return r == SummaryApplyResult::gap || r == SummaryApplyResult::need_bootstrap ||
+           r == SummaryApplyResult::need_resync;
+}
 
 class SummaryCacheNode : public core::PeerDirectory {
 public:
@@ -68,6 +93,7 @@ public:
 
     [[nodiscard]] NodeId id() const { return config_.node_id; }
     [[nodiscard]] const HashSpec& hash_spec() const { return counting_.spec(); }
+    [[nodiscard]] std::uint32_t boot_id() const { return boot_id_; }
 
     // --- local directory events -----------------------------------------
     void on_cache_insert(std::string_view url);
@@ -92,10 +118,27 @@ public:
     /// DeltaBatcher's job.
     [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode_pending_updates();
 
-    /// Unconditionally encode a full-bitmap update (used to initialize a
-    /// freshly (re)started sibling, mirroring Squid's recovery behaviour,
-    /// and served as the payload of the pull-based Cache Digest variant).
+    /// Unconditionally encode a full-bitmap snapshot in one datagram (used
+    /// to initialize a freshly (re)started sibling, mirroring Squid's
+    /// recovery behaviour, and served as the payload of the pull-based
+    /// Cache Digest variant). Carries the current delta sequence so the
+    /// receiver resumes gap detection exactly where the snapshot leaves
+    /// off; does NOT consume a sequence number. Throws WireError if the
+    /// bitmap exceeds one datagram — use encode_full_update_chunks then.
     [[nodiscard]] std::vector<std::uint8_t> encode_full_update();
+
+    /// Same snapshot, chunked to fit kMaxIcpDatagram (DIRFULL word_offset
+    /// reassembly). This is the DIRREQ resync / bootstrap answer.
+    [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode_full_update_chunks();
+
+    /// Sequence heartbeat: an empty delta advertising the sequence the
+    /// next real delta will use (consumes nothing; one datagram, ~32 B).
+    /// Closes the tail-loss window — losing the *last* delta before a
+    /// quiet period leaves a receiver synced-but-stale forever, since gap
+    /// detection needs a later datagram to notice. Broadcast on the
+    /// keepalive tick; in-sync receivers drop it, lagging ones quarantine
+    /// and resync. Externally synchronized like the other encoders.
+    [[nodiscard]] std::vector<std::uint8_t> encode_seq_heartbeat();
 
     /// Drop the accumulated bit-flip log without emitting it. Pull-based
     /// digest deployments never send deltas, so the log would otherwise
@@ -103,17 +146,30 @@ public:
     void discard_delta();
 
     // --- inbound updates --------------------------------------------------
-    /// Apply a sibling's decoded update message. Creates the replica on
-    /// first contact; a full update also re-creates it after spec changes.
-    /// Returns false (and ignores the message) if a delta arrives whose
-    /// spec mismatches the existing replica — the sender will refresh us
-    /// with a full update eventually. Thread-safe against concurrent
-    /// probes and other writers (see the RCU note above).
-    bool apply_sibling_update(const IcpDirUpdate& update) SC_EXCLUDES(replica_write_mu_);
+    /// Apply a sibling's decoded update message, tracking the sender's
+    /// per-boot delta sequence. A full bitmap (re)creates the replica and
+    /// sets the sync point; an in-sequence delta advances it. Out-of-
+    /// sequence deltas, sender reboots, and first contact never corrupt the
+    /// replica — they quarantine/withhold it and report what repair the
+    /// transport should run (see SummaryApplyResult). Thread-safe against
+    /// concurrent probes and other writers (see the RCU note above).
+    SummaryApplyResult apply_sibling_update(const IcpDirUpdate& update)
+        SC_EXCLUDES(replica_write_mu_);
 
-    /// Drop a sibling's replica (peer detected as failed; Section VI-B).
-    /// Thread-safe like apply_sibling_update.
+    /// Drop a sibling's replica and its sequence-tracking state (peer
+    /// detected as failed; Section VI-B). A later rejoin starts from the
+    /// bootstrap handshake. Thread-safe like apply_sibling_update.
     void forget_sibling(NodeId sibling) SC_EXCLUDES(replica_write_mu_);
+
+    /// True when we cannot currently predict for `sibling` and a DIRREQ is
+    /// called for: nothing ever heard, awaiting the bootstrap full, or
+    /// quarantined after a gap/reboot. Drives the proxy's resync retries.
+    [[nodiscard]] bool sibling_needs_resync(NodeId sibling) const
+        SC_EXCLUDES(replica_write_mu_);
+
+    /// The siblings whose streams are unsynced or quarantined right now.
+    [[nodiscard]] std::vector<NodeId> siblings_awaiting_resync() const
+        SC_EXCLUDES(replica_write_mu_);
 
     // --- probing (lock-free) ----------------------------------------------
     /// Siblings whose replicated summary says the URL may be cached there,
@@ -140,6 +196,10 @@ public:
     [[nodiscard]] std::uint64_t updates_sent() const { return updates_sent_; }
     [[nodiscard]] std::uint64_t updates_applied() const { return updates_applied_; }
     [[nodiscard]] std::uint64_t updates_rejected() const { return updates_rejected_; }
+    /// Replicas dropped after a sequence gap or sender reboot.
+    [[nodiscard]] std::uint64_t replica_divergences() const { return divergences_; }
+    /// Unsynced/quarantined streams reinitialized by a full bitmap.
+    [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
 
 private:
     /// Immutable, NodeId-sorted set of sibling replicas. A table and every
@@ -147,8 +207,42 @@ private:
     /// whole table (sharing the untouched filters).
     using ReplicaTable = std::vector<std::pair<NodeId, std::shared_ptr<const BloomFilter>>>;
 
+    /// In-flight reassembly of a chunked DIRFULL from one sender. The
+    /// decode layer caps table_bits (kMaxWireTableBits), so `words` is a
+    /// bounded allocation.
+    struct PendingFull {
+        std::uint32_t boot_id = 0;
+        std::uint32_t seq = 0;  ///< the full's sync point (next expected delta)
+        HashSpec spec;
+        std::vector<std::uint32_t> words;
+        std::size_t filled = 0;  ///< words received so far == next expected offset
+    };
+
+    /// Per-sender reliability state, keyed alongside (not inside) the
+    /// replica table so dropping a diverged replica keeps the knowledge of
+    /// *why* it is gone.
+    struct PeerStream {
+        std::uint32_t boot_id = 0;
+        std::uint32_t expected_seq = 0;  ///< 0 = unsynced (no full applied yet)
+        bool quarantined = false;
+        std::optional<PendingFull> pending;
+    };
+
     [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode_delta_chunks(
-        const DeltaLog& delta);
+        std::span<const std::uint32_t> records);
+
+    SummaryApplyResult apply_full_locked(const IcpDirUpdate& update)
+        SC_REQUIRES(replica_write_mu_);
+    SummaryApplyResult apply_delta_locked(const IcpDirUpdate& update)
+        SC_REQUIRES(replica_write_mu_);
+
+    /// Commit `filter` as the sender's replica snapshot.
+    void store_replica_locked(NodeId sibling, std::shared_ptr<BloomFilter> filter)
+        SC_REQUIRES(replica_write_mu_);
+    /// Drop the replica (if any) and mark the stream quarantined under the
+    /// sender's (possibly new) boot id.
+    void quarantine_locked(NodeId sibling, PeerStream& stream, std::uint32_t boot_id)
+        SC_REQUIRES(replica_write_mu_);
 
     /// Publish `next` as the current table (writer mutex must be held).
     void publish_replicas(std::shared_ptr<const ReplicaTable> next)
@@ -168,16 +262,28 @@ private:
     // is deliberately NOT SC_GUARDED_BY(replica_write_mu_) — only the
     // *store* side is serialized, via publish_replicas' SC_REQUIRES.
     std::atomic<std::shared_ptr<const ReplicaTable>> replicas_;
-    std::uint32_t next_request_number_ = 1;
+    /// Per-sender sequence/quarantine state. Guarded by the same writer
+    /// mutex as the replica table so the two views can never disagree.
+    std::map<NodeId, PeerStream> streams_ SC_GUARDED_BY(replica_write_mu_);
+    std::uint32_t boot_id_ = 0;
+    /// Next delta sequence to assign (per-boot, starts at 1). Each delta
+    /// chunk consumes one; an elected full-bitmap broadcast consumes one
+    /// slot too, so losing it is detectable as a gap. Local-directory side:
+    /// externally synchronized like counting_.
+    std::uint32_t delta_seq_ = 1;
     std::uint64_t updates_sent_ = 0;
     std::atomic<std::uint64_t> updates_applied_{0};
     std::atomic<std::uint64_t> updates_rejected_{0};
+    std::atomic<std::uint64_t> divergences_{0};
+    std::atomic<std::uint64_t> resyncs_{0};
     // Registry mirrors of the member counters, labeled node=<id>
     // (docs/OBSERVABILITY.md).
     obs::Counter metric_updates_sent_;
     obs::Counter metric_updates_applied_;
     obs::Counter metric_updates_rejected_;
     obs::Counter metric_replica_swaps_;
+    obs::Counter metric_divergences_;
+    obs::Counter metric_resyncs_;
 };
 
 }  // namespace sc

@@ -9,13 +9,14 @@ namespace {
 constexpr std::size_t kLengthFieldOffset = 2;
 
 void write_header(BufWriter& w, IcpOpcode op, std::uint32_t request_number,
-                  std::uint32_t sender_host) {
+                  std::uint32_t sender_host, std::uint32_t options = 0,
+                  std::uint32_t option_data = 0) {
     w.u8(static_cast<std::uint8_t>(op));
     w.u8(kIcpVersion);
     w.u16(0);  // length, patched after the payload is written
     w.u32(request_number);
-    w.u32(0);  // options
-    w.u32(0);  // option data
+    w.u32(options);
+    w.u32(option_data);
     w.u32(sender_host);
 }
 
@@ -59,6 +60,7 @@ const char* icp_opcode_name(IcpOpcode op) {
         case IcpOpcode::hit_obj: return "HIT_OBJ";
         case IcpOpcode::dirupdate: return "DIRUPDATE";
         case IcpOpcode::dirfull: return "DIRFULL";
+        case IcpOpcode::dirreq: return "DIRREQ";
     }
     return "?";
 }
@@ -84,7 +86,7 @@ bool is_reply_opcode(IcpOpcode op) {
 std::vector<std::uint8_t> encode_reply(const IcpReply& r) {
     SC_ASSERT(is_reply_opcode(r.opcode));
     BufWriter w;
-    write_header(w, r.opcode, r.request_number, r.sender_host);
+    write_header(w, r.opcode, r.request_number, r.sender_host, r.options);
     w.cstring(r.url);
     return seal(w);
 }
@@ -106,21 +108,36 @@ std::vector<std::uint8_t> encode_dirupdate(const IcpDirUpdate& u) {
     if (!u.spec.valid()) throw WireError("invalid hash spec");
     if (u.spec.function_num > kMaxWireHashFunctions)
         throw WireError("too many hash functions for the wire format");
+    if (u.spec.table_bits > kMaxWireTableBits)
+        throw WireError("bit array too large for the wire format");
     BufWriter w;
     write_header(w, u.full ? IcpOpcode::dirfull : IcpOpcode::dirupdate, u.request_number,
-                 u.sender_host);
+                 u.sender_host, u.boot_id, u.full ? u.word_offset : 0);
     w.u16(u.spec.function_num);
     w.u16(u.spec.function_bits);
     w.u32(u.spec.table_bits);
     if (u.full) {
         const std::size_t expected_words = (u.spec.table_bits + 31) / 32;
-        if (u.bitmap_words.size() != expected_words)
-            throw WireError("bitmap word count does not match table size");
+        if (u.bitmap_words.empty() || u.word_offset >= expected_words ||
+            u.bitmap_words.size() > expected_words - u.word_offset)
+            throw WireError("bitmap chunk out of range for table size");
         w.u32(static_cast<std::uint32_t>(u.bitmap_words.size()));
         for (std::uint32_t word : u.bitmap_words) w.u32(word);
     } else {
         w.u32(static_cast<std::uint32_t>(u.records.size()));
         for (std::uint32_t rec : u.records) w.u32(rec);
+    }
+    return seal(w);
+}
+
+std::vector<std::uint8_t> encode_dirreq(const IcpDirReq& q) {
+    BufWriter w;
+    write_header(w, IcpOpcode::dirreq, q.request_number, q.sender_host, q.http_port);
+    if (q.subject_id != 0) {  // introduction: the vouched-for peer's identity
+        w.u32(q.subject_id);
+        w.u32(q.subject_icp_host);
+        w.u16(q.subject_icp_port);
+        w.u16(q.subject_http_port);
     }
     return seal(w);
 }
@@ -151,6 +168,7 @@ IcpReply decode_reply(std::span<const std::uint8_t> datagram) {
     reply.opcode = h.opcode;
     reply.request_number = h.request_number;
     reply.sender_host = h.sender_host;
+    reply.options = h.options;
     reply.url = r.cstring();
     if (!r.empty()) throw WireError("trailing bytes after reply");
     return reply;
@@ -180,7 +198,9 @@ IcpDirUpdate decode_dirupdate(std::span<const std::uint8_t> datagram) {
     IcpDirUpdate u;
     u.request_number = h.request_number;
     u.sender_host = h.sender_host;
+    u.boot_id = h.options;
     u.full = h.opcode == IcpOpcode::dirfull;
+    if (u.full) u.word_offset = h.option_data;
     u.spec.function_num = r.u16();
     u.spec.function_bits = r.u16();
     u.spec.table_bits = r.u32();
@@ -189,10 +209,16 @@ IcpDirUpdate decode_dirupdate(std::span<const std::uint8_t> datagram) {
     // (BloomIndexes); a hostile peer must not be able to push k past it.
     if (u.spec.function_num > kMaxWireHashFunctions)
         throw WireError("too many hash functions in update");
+    // A hostile spec must not be able to trigger an unbounded reassembly
+    // allocation on the receiver (kMaxWireTableBits caps it at 8 MiB).
+    if (u.spec.table_bits > kMaxWireTableBits)
+        throw WireError("bit array too large in update");
     const std::uint32_t count = r.u32();
     if (u.full) {
         const std::size_t expected_words = (u.spec.table_bits + 31) / 32;
-        if (count != expected_words) throw WireError("bitmap word count mismatch");
+        if (count == 0 || u.word_offset >= expected_words ||
+            count > expected_words - u.word_offset)
+            throw WireError("bitmap chunk out of range");
         u.bitmap_words.reserve(count);
         for (std::uint32_t i = 0; i < count; ++i) u.bitmap_words.push_back(r.u32());
     } else {
@@ -208,6 +234,25 @@ IcpDirUpdate decode_dirupdate(std::span<const std::uint8_t> datagram) {
     }
     if (!r.empty()) throw WireError("trailing bytes after update");
     return u;
+}
+
+IcpDirReq decode_dirreq(std::span<const std::uint8_t> datagram) {
+    BufReader r(datagram);
+    const IcpHeader h = read_header(r, datagram.size());
+    expect_opcode(h, IcpOpcode::dirreq);
+    IcpDirReq q;
+    q.request_number = h.request_number;
+    q.sender_host = h.sender_host;
+    q.http_port = static_cast<std::uint16_t>(h.options);
+    if (!r.empty()) {  // introduction payload
+        q.subject_id = r.u32();
+        q.subject_icp_host = r.u32();
+        q.subject_icp_port = r.u16();
+        q.subject_http_port = r.u16();
+        if (!r.empty()) throw WireError("trailing bytes after dirreq");
+        if (q.subject_id == 0) throw WireError("dirreq introduction without a subject");
+    }
+    return q;
 }
 
 }  // namespace sc

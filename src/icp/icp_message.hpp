@@ -41,6 +41,7 @@ enum class IcpOpcode : std::uint8_t {
     hit_obj = 23,
     dirupdate = 30,  ///< SC-ICP delta update (paper Section VI-A)
     dirfull = 31,    ///< SC-ICP full-bitmap update
+    dirreq = 32,     ///< SC-ICP resync request: "send me your full bitmap"
 };
 
 [[nodiscard]] const char* icp_opcode_name(IcpOpcode op);
@@ -77,6 +78,10 @@ struct IcpReply {
     IcpOpcode opcode = IcpOpcode::miss;
     std::uint32_t request_number = 0;
     std::uint32_t sender_host = 0;
+    /// Free-form header options word. SECHO liveness probes use the low 16
+    /// bits to advertise the sender's HTTP port so unknown peers can be
+    /// learned at runtime (dynamic membership); 0 everywhere else.
+    std::uint32_t options = 0;
     std::string url;
 
     friend bool operator==(const IcpReply&, const IcpReply&) = default;
@@ -102,9 +107,25 @@ inline constexpr std::size_t kMaxHitObjBytes = 0xffff;
 
 /// SC-ICP directory update: either a delta (records of bit flips) or a
 /// full bitmap, always self-describing via the hash spec.
+///
+/// Reliability fields (rides in the fixed header, so the payload layout is
+/// unchanged from the original extension):
+///  * `request_number` is the sender's per-boot delta sequence. Each delta
+///    chunk consumes one sequence number; a full bitmap carries the sequence
+///    the *next* delta will use, so applying it tells the receiver exactly
+///    where to resume gap detection.
+///  * `boot_id` (header `options`) is a random per-process incarnation id.
+///    A changed boot id means the sender restarted and its sequence space
+///    reset; receivers must drop the replica and resync.
+///  * `word_offset` (header `option_data`, DIRFULL only) chunks bitmaps too
+///    large for one datagram: this message carries `bitmap_words.size()`
+///    words starting at that word index. Offset 0 starts (or restarts) the
+///    reassembly; the replica is committed once every word has arrived.
 struct IcpDirUpdate {
     std::uint32_t request_number = 0;
     std::uint32_t sender_host = 0;
+    std::uint32_t boot_id = 0;
+    std::uint32_t word_offset = 0;
     HashSpec spec;
     bool full = false;
     std::vector<std::uint32_t> records;       ///< delta form (encoded bit flips)
@@ -113,11 +134,35 @@ struct IcpDirUpdate {
     friend bool operator==(const IcpDirUpdate&, const IcpDirUpdate&) = default;
 };
 
+/// SC-ICP resync request (ICP_OP_DIRREQ): "my replica of you diverged (or I
+/// have none) — send me your full bitmap." The requester's HTTP port rides
+/// in the header options so an unknown requester can be learned as a
+/// runtime sibling before it is answered.
+///
+/// With a non-zero `subject_id` the same datagram is instead an
+/// INTRODUCTION (membership exchange): the sender vouches for a third
+/// peer — "node `subject_id` is reachable at this ICP endpoint and HTTP
+/// port". Receivers that did not know the subject learn it and pass the
+/// introduction on, so membership propagates transitively from a single
+/// point of contact; an introduction requests no bitmap.
+struct IcpDirReq {
+    std::uint32_t request_number = 0;
+    std::uint32_t sender_host = 0;
+    std::uint16_t http_port = 0;
+    std::uint32_t subject_id = 0;  ///< 0 = plain resync request, no payload
+    std::uint32_t subject_icp_host = 0;
+    std::uint16_t subject_icp_port = 0;
+    std::uint16_t subject_http_port = 0;
+
+    friend bool operator==(const IcpDirReq&, const IcpDirReq&) = default;
+};
+
 // --- encode ---------------------------------------------------------------
 
 [[nodiscard]] std::vector<std::uint8_t> encode_query(const IcpQuery& q);
 [[nodiscard]] std::vector<std::uint8_t> encode_reply(const IcpReply& r);
 [[nodiscard]] std::vector<std::uint8_t> encode_dirupdate(const IcpDirUpdate& u);
+[[nodiscard]] std::vector<std::uint8_t> encode_dirreq(const IcpDirReq& q);
 [[nodiscard]] std::vector<std::uint8_t> encode_hit_obj(const IcpHitObj& h);
 
 // --- decode ---------------------------------------------------------------
@@ -128,6 +173,7 @@ struct IcpDirUpdate {
 [[nodiscard]] IcpQuery decode_query(std::span<const std::uint8_t> datagram);
 [[nodiscard]] IcpReply decode_reply(std::span<const std::uint8_t> datagram);
 [[nodiscard]] IcpDirUpdate decode_dirupdate(std::span<const std::uint8_t> datagram);
+[[nodiscard]] IcpDirReq decode_dirreq(std::span<const std::uint8_t> datagram);
 [[nodiscard]] IcpHitObj decode_hit_obj(std::span<const std::uint8_t> datagram);
 
 /// Datagrams larger than this are never produced (fits any sane UDP MTU
@@ -137,5 +183,34 @@ inline constexpr std::size_t kMaxIcpDatagram = 60'000;
 /// How many delta records fit in one datagram under kMaxIcpDatagram.
 inline constexpr std::size_t kMaxRecordsPerUpdate =
     (kMaxIcpDatagram - kIcpHeaderBytes - 12) / 4;
+
+/// How many 32-bit bitmap words fit in one DIRFULL chunk (same framing
+/// arithmetic as delta records: header + spec + count leave this much room).
+inline constexpr std::size_t kMaxWordsPerFullChunk = kMaxRecordsPerUpdate;
+
+/// Largest bit-array size accepted from (or emitted onto) the wire. A full
+/// bitmap at this cap is an 8 MiB reassembly buffer — large enough for any
+/// realistic directory (the paper's biggest trace needs ~2 Mbit), small
+/// enough that a hostile spec cannot trigger an unbounded allocation.
+inline constexpr std::uint32_t kMaxWireTableBits = 1u << 26;
+
+/// Wire cost of a delta DIRUPDATE carrying `records` bit-flip records,
+/// including the per-chunk header + hash-spec + count framing the chunker
+/// adds (ceil(records / kMaxRecordsPerUpdate) messages). Exposed so the
+/// delta-vs-full election can be unit-tested at the crossover point.
+[[nodiscard]] constexpr std::size_t dirupdate_delta_wire_bytes(std::size_t records) {
+    const std::size_t chunks =
+        records == 0 ? 1 : (records + kMaxRecordsPerUpdate - 1) / kMaxRecordsPerUpdate;
+    return chunks * (kIcpHeaderBytes + 12) + records * 4;
+}
+
+/// Wire cost of the full-bitmap DIRFULL transfer for `spec`, including
+/// per-chunk framing.
+[[nodiscard]] constexpr std::size_t dirupdate_full_wire_bytes(const HashSpec& spec) {
+    const std::size_t words = (static_cast<std::size_t>(spec.table_bits) + 31) / 32;
+    const std::size_t chunks =
+        words == 0 ? 1 : (words + kMaxWordsPerFullChunk - 1) / kMaxWordsPerFullChunk;
+    return chunks * (kIcpHeaderBytes + 12) + words * 4;
+}
 
 }  // namespace sc

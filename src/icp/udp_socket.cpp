@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <system_error>
 #include <utility>
@@ -33,6 +34,9 @@ struct UdpMetrics {
         obs::metrics().counter("sc_udp_bytes_received_total", "UDP payload bytes received");
     obs::Counter send_errors =
         obs::metrics().counter("sc_udp_send_errors_total", "sendto() failures");
+    obs::Counter faults_injected = obs::metrics().counter(
+        "sc_udp_faults_injected_total",
+        "datagrams dropped/duplicated/held by configured fault injection");
 };
 
 UdpMetrics& udp_metrics() {
@@ -135,7 +139,31 @@ Endpoint UdpSocket::local_endpoint() const {
     return Endpoint::from_sockaddr(sa);
 }
 
-void UdpSocket::send_to(const Endpoint& to, std::span<const std::uint8_t> payload) {
+UdpFaultConfig UdpFaultConfig::from_env() {
+    UdpFaultConfig cfg;
+    const auto read_rate = [](const char* name, double& out) {
+        if (const char* v = std::getenv(name); v != nullptr && *v != '\0') out = std::atof(v);
+    };
+    read_rate("SC_UDP_FAULT_LOSS", cfg.loss);
+    read_rate("SC_UDP_FAULT_DUP", cfg.duplicate);
+    read_rate("SC_UDP_FAULT_REORDER", cfg.reorder);
+    if (const char* v = std::getenv("SC_UDP_FAULT_SEED"); v != nullptr && *v != '\0')
+        cfg.seed = std::strtoull(v, nullptr, 10);
+    return cfg;
+}
+
+void UdpSocket::set_fault_injection(const UdpFaultConfig& cfg) {
+    if (!cfg.any()) {
+        fault_.reset();
+        return;
+    }
+    auto state = std::make_unique<FaultState>();
+    state->cfg = cfg;
+    state->rng.seed(cfg.seed);
+    fault_ = std::move(state);
+}
+
+void UdpSocket::transmit(const Endpoint& to, std::span<const std::uint8_t> payload) {
     const sockaddr_in sa = to.to_sockaddr();
     const ssize_t n = ::sendto(fd_, payload.data(), payload.size(), 0,
                                reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
@@ -145,6 +173,45 @@ void UdpSocket::send_to(const Endpoint& to, std::span<const std::uint8_t> payloa
     }
     udp_metrics().datagrams_sent.inc();
     udp_metrics().bytes_sent.inc(payload.size());
+}
+
+void UdpSocket::send_to(const Endpoint& to, std::span<const std::uint8_t> payload) {
+    if (fault_ == nullptr) {
+        transmit(to, payload);
+        return;
+    }
+    bool drop = false;
+    bool dup = false;
+    std::optional<HeldDatagram> flush;
+    {
+        MutexLock lock(fault_->mu);
+        std::uniform_real_distribution<double> roll(0.0, 1.0);
+        const UdpFaultConfig& cfg = fault_->cfg;
+        drop = cfg.loss > 0.0 && roll(fault_->rng) < cfg.loss;
+        dup = !drop && cfg.duplicate > 0.0 && roll(fault_->rng) < cfg.duplicate;
+        const bool hold = !drop && cfg.reorder > 0.0 && roll(fault_->rng) < cfg.reorder;
+        if (hold && !fault_->held) {
+            fault_->held = HeldDatagram{to, {payload.begin(), payload.end()}};
+            udp_metrics().faults_injected.inc();
+            return;
+        }
+        if (fault_->held) {
+            flush = std::move(fault_->held);
+            fault_->held.reset();
+        }
+    }
+    if (drop) {
+        udp_metrics().faults_injected.inc();
+    } else {
+        transmit(to, payload);
+        if (dup) {
+            udp_metrics().faults_injected.inc();
+            transmit(to, payload);
+        }
+    }
+    // A previously held datagram goes out *after* the one that followed it:
+    // that is the reordering.
+    if (flush) transmit(flush->to, flush->payload);
 }
 
 std::optional<Datagram> UdpSocket::receive(int timeout_ms) {

@@ -7,10 +7,14 @@
 #include <netinet/in.h>
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <random>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace sc {
 
@@ -36,6 +40,25 @@ struct Endpoint {
 struct Datagram {
     Endpoint from;
     std::vector<std::uint8_t> payload;
+};
+
+/// Deterministic send-side fault injection: each outgoing datagram is
+/// independently dropped, duplicated, or held back one send (reordered)
+/// with the configured probabilities, driven by a seeded PRNG so a failing
+/// run replays exactly. This is how the mesh convergence tests (and CI
+/// loss-rate sweeps) exercise the DIRUPDATE gap-detection/resync path
+/// without real packet loss.
+struct UdpFaultConfig {
+    double loss = 0.0;       ///< P(drop the datagram)
+    double duplicate = 0.0;  ///< P(send it twice)
+    double reorder = 0.0;    ///< P(hold it until after the next send)
+    std::uint64_t seed = 1;
+
+    [[nodiscard]] bool any() const { return loss > 0.0 || duplicate > 0.0 || reorder > 0.0; }
+
+    /// Read SC_UDP_FAULT_LOSS / SC_UDP_FAULT_DUP / SC_UDP_FAULT_REORDER /
+    /// SC_UDP_FAULT_SEED; unset variables leave the default (no faults).
+    [[nodiscard]] static UdpFaultConfig from_env();
 };
 
 /// Non-copyable, movable UDP socket. Throws std::system_error on
@@ -64,10 +87,28 @@ public:
     /// Returns nullopt on timeout.
     [[nodiscard]] std::optional<Datagram> receive(int timeout_ms);
 
+    /// Install (or, with an all-zero config, remove) send-side fault
+    /// injection. Safe to call before concurrent senders start; the fault
+    /// state itself is mutex-guarded against concurrent send_to calls.
+    void set_fault_injection(const UdpFaultConfig& cfg);
+
 private:
+    struct HeldDatagram {
+        Endpoint to;
+        std::vector<std::uint8_t> payload;
+    };
+    struct FaultState {
+        Mutex mu;
+        UdpFaultConfig cfg SC_GUARDED_BY(mu);
+        std::mt19937_64 rng SC_GUARDED_BY(mu);
+        std::optional<HeldDatagram> held SC_GUARDED_BY(mu);
+    };
+
+    void transmit(const Endpoint& to, std::span<const std::uint8_t> payload);
     void close_fd() noexcept;
 
     int fd_ = -1;
+    std::unique_ptr<FaultState> fault_;  ///< null = no fault injection (hot default)
 };
 
 }  // namespace sc

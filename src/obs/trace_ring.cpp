@@ -17,6 +17,10 @@ const char* trace_event_name(TraceEventType t) {
         case TraceEventType::icp_timeout: return "icp_timeout";
         case TraceEventType::sibling_dead: return "sibling_dead";
         case TraceEventType::sibling_recovered: return "sibling_recovered";
+        case TraceEventType::replica_quarantined: return "replica_quarantined";
+        case TraceEventType::resync_requested: return "resync_requested";
+        case TraceEventType::resync_served: return "resync_served";
+        case TraceEventType::sibling_joined: return "sibling_joined";
     }
     return "?";
 }

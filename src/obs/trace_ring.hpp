@@ -35,6 +35,10 @@ enum class TraceEventType : std::uint16_t {
     icp_timeout,              ///< a = replies missing when the wait expired
     sibling_dead,             ///< a = sibling declared dead (liveness)
     sibling_recovered,        ///< a = sibling heard from again
+    replica_quarantined,      ///< a = sender whose replica diverged, b = expected seq
+    resync_requested,         ///< a = peer we sent DIRREQ to
+    resync_served,            ///< a = peer whose DIRREQ we answered with a full bitmap
+    sibling_joined,           ///< a = sibling learned at runtime (dynamic membership)
 };
 
 [[nodiscard]] const char* trace_event_name(TraceEventType t);

@@ -91,6 +91,12 @@ MiniProxy::MiniProxy(MiniProxyConfig config)
       next_query_number_(std::random_device{}()) {
     if (::pipe2(wake_pipe_, O_CLOEXEC | O_NONBLOCK) < 0)
         throw std::system_error(errno, std::generic_category(), "pipe2");
+    siblings_.store(std::make_shared<const SiblingTable>(), std::memory_order_release);
+    // Config wins over the environment so a test can pin exact fault rates
+    // while CI sweeps loss via SC_UDP_FAULT_* without rebuilding.
+    const UdpFaultConfig faults =
+        config_.udp_faults.any() ? config_.udp_faults : UdpFaultConfig::from_env();
+    if (faults.any()) udp_.set_fault_injection(faults);
     const obs::Labels labels{{"mode", share_mode_name(config_.mode)},
                              {"node", std::to_string(config_.id)}};
     auto& reg = obs::metrics();
@@ -176,8 +182,41 @@ MiniProxy::~MiniProxy() {
 }
 
 void MiniProxy::add_sibling(NodeId id, Endpoint icp, Endpoint http) {
-    SC_ASSERT(!started_.load());
-    siblings_.emplace_back(id, icp, http);
+    bool joined_running_mesh = false;
+    {
+        const MutexLock lock(membership_mu_);
+        const auto cur = siblings_.load(std::memory_order_acquire);
+        auto table = std::make_shared<SiblingTable>();
+        table->reserve(cur->size() + 1);
+        // Re-adding a known id replaces its entry (endpoint change on
+        // rejoin); everyone else's entry is carried over untouched.
+        for (const auto& s : *cur)
+            if (s->id != id) table->push_back(s);
+        table->push_back(std::make_shared<Sibling>(id, icp, http));
+        const bool is_new = table->size() > cur->size();
+        siblings_.store(std::shared_ptr<const SiblingTable>(std::move(table)),
+                        std::memory_order_release);
+        if (is_new && started_.load()) {
+            joined_running_mesh = true;
+            if (config_.mode == ShareMode::summary) pending_bootstrap_.push_back(id);
+        }
+    }
+    if (joined_running_mesh) {
+        obs::trace(obs::TraceEventType::sibling_joined,
+                   static_cast<std::uint16_t>(config_.id), id);
+        {
+            const MutexLock lock(stats_mu_);
+            ++stats_.siblings_joined;
+        }
+        wake_loop();  // the event loop bootstraps the newcomer promptly
+    }
+}
+
+std::shared_ptr<MiniProxy::Sibling> MiniProxy::find_sibling(NodeId id) const {
+    const auto sibs = sibling_snapshot();
+    for (const auto& s : *sibs)
+        if (s->id == id) return s;
+    return nullptr;
 }
 
 void MiniProxy::start() {
@@ -217,15 +256,17 @@ void MiniProxy::stop() {
 
 void MiniProxy::broadcast_full_summary() {
     if (config_.mode != ShareMode::summary) return;
-    std::vector<std::uint8_t> msg;
+    std::vector<std::vector<std::uint8_t>> chunks;
     {
         const MutexLock lock(node_mu_);
         sync_node_locked();  // the bitmap must reflect every journaled insert
-        msg = node_.encode_full_update();
+        chunks = node_.encode_full_update_chunks();
     }
-    for (const Sibling& s : siblings_) send_udp(s.icp, msg);
+    const auto sibs = sibling_snapshot();
+    for (const auto& msg : chunks)
+        for (const auto& s : *sibs) send_udp(s->icp, msg);
     const MutexLock lock(stats_mu_);
-    stats_.updates_sent += siblings_.size();
+    stats_.updates_sent += chunks.size() * sibs->size();
 }
 
 MiniProxyStats MiniProxy::stats() const {
@@ -287,21 +328,33 @@ SC_EVENT_LOOP_ONLY void MiniProxy::send_keepalives_and_check_liveness() {
     IcpReply probe;
     probe.opcode = IcpOpcode::secho;
     probe.sender_host = config_.id;
+    // Our HTTP port rides in the options so an unknown receiver running
+    // dynamic membership can learn us from the probe alone.
+    probe.options = http_endpoint_.port;
     const auto payload = encode_reply(probe);
-    for (const Sibling& s : siblings_) send_udp(s.icp, payload);
+    const auto sibs = sibling_snapshot();
+    for (const auto& s : *sibs) send_udp(s->icp, payload);
     {
         const MutexLock lock(stats_mu_);
-        stats_.keepalives_sent += siblings_.size();
+        stats_.keepalives_sent += sibs->size();
+    }
+    if (config_.mode == ShareMode::summary && !sibs->empty()) {
+        // Tail-loss repair rides the same tick: a lost *last* delta
+        // leaves a receiver synced-but-stale forever (gap detection
+        // needs a later datagram), so advertise the current sequence
+        // with an empty delta. The encode takes node_mu_ — worker, not
+        // the event loop.
+        enqueue_task([this] { broadcast_seq_heartbeat(); });
     }
 
     const auto deadline = config_.keepalive_interval * config_.liveness_strikes;
-    for (Sibling& s : siblings_) {
-        if (s.alive.load(std::memory_order_relaxed) && now - s.last_heard > deadline) {
-            s.alive.store(false, std::memory_order_relaxed);
+    for (const auto& s : *sibs) {
+        if (s->alive.load(std::memory_order_relaxed) && now - s->last_heard > deadline) {
+            s->alive.store(false, std::memory_order_relaxed);
             // Internally synchronized (RCU writer path) — no node_mu_.
-            node_.forget_sibling(s.id);  // stale replica must not attract queries
+            node_.forget_sibling(s->id);  // stale replica must not attract queries
             obs::trace(obs::TraceEventType::sibling_dead,
-                       static_cast<std::uint16_t>(config_.id), s.id);
+                       static_cast<std::uint16_t>(config_.id), s->id);
             const MutexLock lock(stats_mu_);
             ++stats_.sibling_death_events;
         }
@@ -331,10 +384,11 @@ void MiniProxy::refresh_digests_once() {
         sync_node_locked();
         node_.discard_delta();
     }
-    for (Sibling& s : siblings_) {
+    const auto sibs = sibling_snapshot();
+    for (const auto& s : *sibs) {
         if (stopping_.load()) return;
         try {
-            TcpConnection conn = TcpConnection::connect(s.http);
+            TcpConnection conn = TcpConnection::connect(s->http);
             set_receive_timeout(conn.fd(), config_.fetch_timeout);
             HttpLiteRequest dget;
             dget.digest = true;
@@ -344,12 +398,32 @@ void MiniProxy::refresh_digests_once() {
             if (!line) continue;
             const auto header = parse_response_header(*line);
             if (!header || header->status != HttpLiteStatus::ok) continue;
+            if (header->size > kMaxDigestBytes) {
+                // A digest bigger than any wire-legal bitmap is a protocol
+                // violation, not a big cache: refuse to allocate for it.
+                const MutexLock lock(stats_mu_);
+                ++stats_.digests_oversized;
+                continue;
+            }
             std::string body;
             conn.read_exact(header->size, body);
-            const auto update = decode_dirupdate(std::span<const std::uint8_t>(
-                reinterpret_cast<const std::uint8_t*>(body.data()), body.size()));
-            // Replica ingestion is internally synchronized — no node_mu_.
-            const bool applied = node_.apply_sibling_update(update);
+            // The body is one or more concatenated DIRFULL chunk messages
+            // (large digests ship chunked). Each message states its own
+            // length at header bytes 2-3; slice and apply in order.
+            std::span<const std::uint8_t> rest(
+                reinterpret_cast<const std::uint8_t*>(body.data()), body.size());
+            bool applied = false;
+            while (rest.size() >= kIcpHeaderBytes) {
+                const std::size_t len =
+                    (static_cast<std::size_t>(rest[2]) << 8) | rest[3];
+                if (len < kIcpHeaderBytes || len > rest.size())
+                    throw WireError("bad digest chunk framing");
+                const auto update = decode_dirupdate(rest.first(len));
+                // Replica ingestion is internally synchronized — no node_mu_.
+                if (node_.apply_sibling_update(update) == SummaryApplyResult::applied)
+                    applied = true;
+                rest = rest.subspan(len);
+            }
             if (applied) {
                 const MutexLock lock(stats_mu_);
                 ++stats_.digests_fetched;
@@ -361,32 +435,139 @@ void MiniProxy::refresh_digests_once() {
 }
 
 SC_EVENT_LOOP_ONLY void MiniProxy::note_heard_from(NodeId sender) {
-    const auto it = std::find_if(siblings_.begin(), siblings_.end(),
-                                 [sender](const Sibling& s) { return s.id == sender; });
-    if (it == siblings_.end()) return;
-    it->last_heard = std::chrono::steady_clock::now();
-    if (!it->alive.load(std::memory_order_relaxed)) {
+    const auto sib = find_sibling(sender);
+    if (!sib) return;
+    sib->last_heard = std::chrono::steady_clock::now();
+    if (!sib->alive.load(std::memory_order_relaxed)) {
         // Recovery (Section VI-B): the peer is back; reinitialize its view
         // of us with a full bitmap.
-        it->alive.store(true, std::memory_order_relaxed);
+        sib->alive.store(true, std::memory_order_relaxed);
         obs::trace(obs::TraceEventType::sibling_recovered,
-                   static_cast<std::uint16_t>(config_.id), it->id);
+                   static_cast<std::uint16_t>(config_.id), sib->id);
         {
             const MutexLock lock(stats_mu_);
             ++stats_.sibling_recovery_events;
         }
         if (config_.mode == ShareMode::summary) {
-            std::vector<std::uint8_t> full;
-            {
-                const MutexLock lock(node_mu_);
-                sync_node_locked();
-                full = node_.encode_full_update();
-            }
-            send_udp(it->icp, full);
-            const MutexLock lock(stats_mu_);
-            ++stats_.updates_sent;
+            // The bitmap encode takes node_mu_ and can be megabytes of
+            // work — never on the event loop. Hand it to a worker; and
+            // since we dropped the peer's replica at death, pull its
+            // current directory right back (rate-limited).
+            enqueue_task([this, sender] { push_full_summary_to(sender); });
+            request_resync(*sib);
         }
     }
+}
+
+SC_EVENT_LOOP_ONLY void MiniProxy::request_resync(Sibling& sib) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now < sib.next_resync_request) return;
+    sib.next_resync_request = now + config_.resync_interval;
+    IcpDirReq req;
+    req.sender_host = config_.id;
+    req.http_port = http_endpoint_.port;
+    send_udp(sib.icp, encode_dirreq(req));
+    obs::trace(obs::TraceEventType::resync_requested,
+               static_cast<std::uint16_t>(config_.id), sib.id);
+    const MutexLock lock(stats_mu_);
+    ++stats_.resync_requests_sent;
+}
+
+SC_EVENT_LOOP_ONLY void MiniProxy::serve_resync(Sibling& sib) {
+    // Rate-limited per peer: a quarantined or flapping sibling re-asks at
+    // resync_interval, and each ask costs us at most one bitmap per
+    // interval no matter how many DIRREQs it fires.
+    const auto now = std::chrono::steady_clock::now();
+    if (now < sib.next_resync_reply) return;
+    sib.next_resync_reply = now + config_.resync_interval;
+    obs::trace(obs::TraceEventType::resync_served,
+               static_cast<std::uint16_t>(config_.id), sib.id);
+    const NodeId peer = sib.id;
+    enqueue_task([this, peer] { push_full_summary_to(peer); });
+}
+
+SC_EVENT_LOOP_ONLY void MiniProxy::maybe_learn_sibling(NodeId id, Endpoint icp,
+                                                       std::uint16_t http_port) {
+    if (!config_.dynamic_membership || config_.mode != ShareMode::summary) return;
+    if (id == config_.id || http_port == 0 || icp.port == 0) return;
+    if (find_sibling(id)) return;
+    // Everyone who predates the newcomer, captured before the learn so the
+    // introduction fan-out below cannot include the newcomer itself.
+    const auto veterans = sibling_snapshot();
+    // The ICP endpoint plus the advertised HTTP port is everything a
+    // sibling entry needs; add_sibling queues the bootstrap push + DIRREQ.
+    add_sibling(id, icp, Endpoint{icp.host, http_port});
+    // Membership exchange (the Traffic Server ClusterCom idiom): vouch for
+    // the newcomer to every veteran and for every veteran to the newcomer.
+    // Receivers that already know the subject drop the introduction;
+    // receivers that don't repeat this dance, so one point of contact is
+    // enough to join a whole mesh.
+    std::uint64_t sent = 0;
+    for (const auto& s : *veterans) {
+        if (s->id == id) continue;
+        IcpDirReq about_newcomer;
+        about_newcomer.sender_host = config_.id;
+        about_newcomer.http_port = http_endpoint_.port;
+        about_newcomer.subject_id = id;
+        about_newcomer.subject_icp_host = icp.host;
+        about_newcomer.subject_icp_port = icp.port;
+        about_newcomer.subject_http_port = http_port;
+        send_udp(s->icp, encode_dirreq(about_newcomer));
+        IcpDirReq about_veteran;
+        about_veteran.sender_host = config_.id;
+        about_veteran.http_port = http_endpoint_.port;
+        about_veteran.subject_id = s->id;
+        about_veteran.subject_icp_host = s->icp.host;
+        about_veteran.subject_icp_port = s->icp.port;
+        about_veteran.subject_http_port = s->http.port;
+        send_udp(icp, encode_dirreq(about_veteran));
+        sent += 2;
+    }
+    if (sent != 0) {
+        const MutexLock lock(stats_mu_);
+        stats_.introductions_sent += sent;
+    }
+}
+
+void MiniProxy::push_full_summary_to(NodeId id) {
+    if (config_.mode != ShareMode::summary) return;
+    const auto sib = find_sibling(id);
+    if (!sib) return;  // left the mesh while the task was queued
+    std::vector<std::vector<std::uint8_t>> chunks;
+    {
+        const MutexLock lock(node_mu_);
+        sync_node_locked();  // the bitmap must reflect every journaled insert
+        chunks = node_.encode_full_update_chunks();
+    }
+    for (const auto& msg : chunks) send_udp(sib->icp, msg);
+    const MutexLock lock(stats_mu_);
+    stats_.resync_fulls_sent += chunks.size();
+}
+
+void MiniProxy::broadcast_seq_heartbeat() {
+    if (config_.mode != ShareMode::summary) return;
+    std::vector<std::uint8_t> payload;
+    {
+        const MutexLock lock(node_mu_);
+        payload = node_.encode_seq_heartbeat();
+    }
+    const auto sibs = sibling_snapshot();
+    std::size_t sent = 0;
+    for (const auto& s : *sibs) {
+        if (!s->alive.load(std::memory_order_relaxed)) continue;
+        send_udp(s->icp, payload);
+        ++sent;
+    }
+    const MutexLock lock(stats_mu_);
+    stats_.seq_heartbeats_sent += sent;
+}
+
+void MiniProxy::enqueue_task(std::function<void()> task) {
+    {
+        const MutexLock lock(jobs_mu_);
+        task_queue_.push_back(std::move(task));
+    }
+    jobs_cv_.notify_one();
 }
 
 void MiniProxy::send_to_client(Session& s, std::string_view data) {
@@ -461,13 +642,42 @@ SC_EVENT_LOOP_ONLY bool MiniProxy::pump_session(std::uint64_t id, Session& s) {
 }
 
 SC_EVENT_LOOP_ONLY void MiniProxy::run() {
-    for (Sibling& s : siblings_) s.last_heard = std::chrono::steady_clock::now();
+    {
+        // Entries may have been constructed well before start(); the
+        // liveness clock starts when the loop does.
+        const auto sibs = sibling_snapshot();
+        for (const auto& s : *sibs) s->last_heard = std::chrono::steady_clock::now();
+    }
     next_keepalive_ = std::chrono::steady_clock::now() + config_.keepalive_interval;
     std::vector<pollfd> pfds;
     std::vector<std::uint64_t> pfd_sessions;  // ids behind pfds[3..]
     std::vector<Completion> done;
+    std::vector<NodeId> joined;
     while (!stopping_.load()) {
         send_keepalives_and_check_liveness();
+        if (config_.mode == ShareMode::summary) {
+            // Bootstrap runtime joiners: push them our bitmap, pull theirs.
+            joined.clear();
+            {
+                const MutexLock lock(membership_mu_);
+                joined.swap(pending_bootstrap_);
+            }
+            for (const NodeId id : joined) {
+                if (const auto sib = find_sibling(id)) {
+                    enqueue_task([this, id] { push_full_summary_to(id); });
+                    request_resync(*sib);
+                }
+            }
+            // Repair sweep: any live peer whose update stream is unsynced
+            // (boot, quarantine after a gap, lost DIRREQ or lost full)
+            // gets another DIRREQ, rate-limited per peer — this is what
+            // makes summary distribution converge under loss.
+            const auto sibs = sibling_snapshot();
+            for (const auto& s : *sibs)
+                if (s->alive.load(std::memory_order_relaxed) &&
+                    node_.sibling_needs_resync(s->id))
+                    request_resync(*s);
+        }
         pfds.clear();
         pfd_sessions.clear();
         pfds.push_back({listener_.fd(), POLLIN, 0});
@@ -563,13 +773,31 @@ void MiniProxy::worker_loop() {
     WorkerCtx ctx;
     for (;;) {
         Job job;
+        std::function<void()> task;
         {
             MutexLock lock(jobs_mu_);
-            jobs_cv_.wait(lock,
-                          [this] { return stopping_.load() || !job_queue_.empty(); });
+            jobs_cv_.wait(lock, [this] {
+                return stopping_.load() || !task_queue_.empty() || !job_queue_.empty();
+            });
             if (stopping_.load()) return;  // shutdown drops queued work
-            job = std::move(job_queue_.front());
-            job_queue_.pop_front();
+            if (!task_queue_.empty()) {
+                // Control-plane work (summary pushes) jumps the request
+                // queue: a peer waiting on a resync must not sit behind a
+                // convoy of slow origin fetches.
+                task = std::move(task_queue_.front());
+                task_queue_.pop_front();
+            } else {
+                job = std::move(job_queue_.front());
+                job_queue_.pop_front();
+            }
+        }
+        if (task) {
+            try {
+                task();
+            } catch (const std::exception&) {
+                // a push to a vanished peer is not worth a crash
+            }
+            continue;
         }
         obs_.worker_queue_depth.add(-1);
         obs_.inflight_requests.add(1);
@@ -601,21 +829,26 @@ bool MiniProxy::handle_client_line(Session& s, const std::string& line,
     }
 
     if (req->digest) {
-        // Serve our cache digest (the encoded full-bitmap update).
-        std::vector<std::uint8_t> digest;
+        // Serve our cache digest: the full-bitmap update, chunked exactly
+        // as it would ship over UDP and concatenated (the puller slices on
+        // each chunk's own length field).
+        std::vector<std::vector<std::uint8_t>> chunks;
         {
             const MutexLock lock(node_mu_);
             sync_node_locked();  // the digest must reflect journaled inserts
-            digest = node_.encode_full_update();
+            chunks = node_.encode_full_update_chunks();
         }
+        std::size_t total = 0;
+        for (const auto& msg : chunks) total += msg.size();
         {
             // Count before replying: a puller that has read the digest body
             // must observe it as served.
             const MutexLock lock(stats_mu_);
             ++stats_.digests_served;
         }
-        send_to_client(s, format_response_header({HttpLiteStatus::ok, digest.size()}));
-        send_to_client(s, std::span<const std::uint8_t>(digest));
+        send_to_client(s, format_response_header({HttpLiteStatus::ok, total}));
+        for (const auto& msg : chunks)
+            send_to_client(s, std::span<const std::uint8_t>(msg));
         return true;
     }
 
@@ -652,9 +885,10 @@ bool MiniProxy::handle_client_line(Session& s, const std::string& line,
     // Dead siblings are never queried.
     std::vector<NodeId> targets;
     if (config_.mode == ShareMode::icp) {
-        targets.reserve(siblings_.size());
-        for (const Sibling& sib : siblings_)
-            if (sib.alive.load(std::memory_order_relaxed)) targets.push_back(sib.id);
+        const auto sibs = sibling_snapshot();
+        targets.reserve(sibs->size());
+        for (const auto& sib : *sibs)
+            if (sib->alive.load(std::memory_order_relaxed)) targets.push_back(sib->id);
     } else if (uses_summaries(config_.mode)) {
         targets = engine_.probe(req->url);
     }
@@ -768,10 +1002,9 @@ MiniProxy::QueryOutcome MiniProxy::query_siblings(const HttpLiteRequest& req,
 
     std::size_t sent = 0;
     for (const NodeId id : targets) {
-        const auto it = std::find_if(siblings_.begin(), siblings_.end(),
-                                     [id](const Sibling& s) { return s.id == id; });
-        if (it == siblings_.end()) continue;
-        send_udp(it->icp, payload);
+        const auto sib = find_sibling(id);
+        if (!sib) continue;
+        send_udp(sib->icp, payload);
         ++sent;
     }
     {
@@ -843,6 +1076,12 @@ SC_EVENT_LOOP_ONLY void MiniProxy::handle_datagram(const Datagram& dgram) {
     } catch (const WireError&) {
         return;  // malformed datagram: drop
     }
+    if (header.opcode == IcpOpcode::secho) {
+        // A liveness probe carries the sender's HTTP port in the options:
+        // enough to learn an unknown peer before refreshing its liveness.
+        maybe_learn_sibling(header.sender_host, dgram.from,
+                            static_cast<std::uint16_t>(header.options & 0xffffu));
+    }
     note_heard_from(header.sender_host);
     const bool is_reply = header.opcode == IcpOpcode::hit ||
                           header.opcode == IcpOpcode::miss ||
@@ -867,15 +1106,50 @@ SC_EVENT_LOOP_ONLY void MiniProxy::handle_datagram_body(const Datagram& dgram, c
             try {
                 const IcpDirUpdate update = decode_dirupdate(dgram.payload);
                 // Replica ingestion is internally synchronized — no node_mu_.
-                const bool applied = node_.apply_sibling_update(update);
-                if (applied) {
+                const auto result = node_.apply_sibling_update(update);
+                if (result == SummaryApplyResult::applied) {
                     const MutexLock lock(stats_mu_);
                     ++stats_.updates_received;
+                } else if (summary_apply_needs_resync(result)) {
+                    // Gap, unknown sender boot, or quarantined stream: the
+                    // replica cannot be trusted until a full bitmap lands.
+                    // Ask for one (rate-limited; the run()-loop sweep
+                    // re-asks if this DIRREQ or its answer is lost too).
+                    if (const auto sib = find_sibling(header.sender_host))
+                        request_resync(*sib);
                 }
             } catch (const WireError&) {
-                // corrupt update: drop; the next full refresh repairs us
+                // corrupt update: drop; the resync sweep repairs us
             }
             break;
+        case IcpOpcode::dirreq: {
+            IcpDirReq resync;
+            try {
+                resync = decode_dirreq(dgram.payload);
+            } catch (const WireError&) {
+                break;
+            }
+            {
+                const MutexLock lock(stats_mu_);
+                if (resync.subject_id != 0)
+                    ++stats_.introductions_received;
+                else
+                    ++stats_.resync_requests_received;
+            }
+            maybe_learn_sibling(resync.sender_host, dgram.from, resync.http_port);
+            if (resync.subject_id != 0) {
+                // An introduction teaches us about a third peer; it asks
+                // for no bitmap (the repair sweep DIRREQs the newly
+                // learned subject directly).
+                maybe_learn_sibling(
+                    static_cast<NodeId>(resync.subject_id),
+                    Endpoint{resync.subject_icp_host, resync.subject_icp_port},
+                    resync.subject_http_port);
+            } else if (const auto sib = find_sibling(resync.sender_host)) {
+                serve_resync(*sib);
+            }
+            break;
+        }
         case IcpOpcode::secho: {
             // Liveness probe: echo back so the sender keeps us alive.
             {
@@ -940,11 +1214,10 @@ SC_EVENT_LOOP_ONLY void MiniProxy::answer_query(const Datagram& dgram) {
 }
 
 std::optional<std::string> MiniProxy::fetch_from_sibling(NodeId id, const HttpLiteRequest& req) {
-    const auto it = std::find_if(siblings_.begin(), siblings_.end(),
-                                 [id](const Sibling& s) { return s.id == id; });
-    if (it == siblings_.end()) return std::nullopt;
+    const auto sib = find_sibling(id);
+    if (!sib) return std::nullopt;
     try {
-        TcpConnection conn = TcpConnection::connect(it->http);
+        TcpConnection conn = TcpConnection::connect(sib->http);
         set_receive_timeout(conn.fd(), config_.fetch_timeout);
         HttpLiteRequest sreq = req;
         sreq.sibling_only = true;
@@ -1005,10 +1278,11 @@ void MiniProxy::broadcast_updates() {
         return node_.encode_pending_updates();
     });
     if (!flushed || flushed->first.empty()) return;
+    const auto sibs = sibling_snapshot();
     for (const auto& msg : flushed->first)
-        for (const Sibling& s : siblings_) send_udp(s.icp, msg);
+        for (const auto& s : *sibs) send_udp(s->icp, msg);
     const MutexLock lock(stats_mu_);
-    stats_.updates_sent += flushed->first.size() * siblings_.size();
+    stats_.updates_sent += flushed->first.size() * sibs->size();
 }
 
 }  // namespace sc

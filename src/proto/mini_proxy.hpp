@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <deque>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -113,6 +114,24 @@ struct MiniProxyConfig {
     /// digest_pull mode: how often to re-fetch each sibling's digest.
     std::chrono::milliseconds digest_refresh{1000};
 
+    /// Summary-mode resilience: minimum spacing between DIRREQ resync
+    /// requests sent to one peer, and between full-bitmap answers served
+    /// to one peer (a lost answer is re-requested at this cadence; the cap
+    /// keeps a flapping peer from turning resync into a bitmap flood).
+    std::chrono::milliseconds resync_interval{250};
+
+    /// Learn unknown peers at runtime (summary mode): a SECHO or DIRREQ
+    /// from an address we don't know — carrying the peer's HTTP port in
+    /// the header options — adds it as a sibling, pushes it our full
+    /// bitmap, and DIRREQs its summary. Joiners only need to know us.
+    bool dynamic_membership = true;
+
+    /// Send-side UDP fault injection (deterministic loss/duplicate/reorder
+    /// for the mesh convergence tests). When unset here, the SC_UDP_FAULT_*
+    /// environment variables apply, so CI can sweep loss rates without new
+    /// binaries.
+    UdpFaultConfig udp_faults;
+
     /// Per-connection cap on response bytes buffered for a reader that is
     /// slower than we produce (drained on POLLOUT by the event loop). A
     /// connection whose buffer exceeds this is dropped — a reader that
@@ -160,7 +179,24 @@ struct MiniProxyStats {
     std::uint64_t hit_obj_used = 0;    ///< remote hits satisfied inline
     std::uint64_t digests_fetched = 0; ///< digest_pull: digests pulled
     std::uint64_t digests_served = 0;  ///< DGET requests answered
+    std::uint64_t digests_oversized = 0;   ///< DGET responses rejected by the size cap
+    std::uint64_t resync_requests_sent = 0;      ///< DIRREQs we sent
+    std::uint64_t resync_requests_received = 0;  ///< DIRREQs peers sent us
+    /// Full-bitmap datagrams sent for bootstrap / resync / recovery
+    /// (unicast repair traffic — deliberately NOT counted in updates_sent,
+    /// which tallies the broadcast update stream the simulators model).
+    std::uint64_t resync_fulls_sent = 0;
+    std::uint64_t siblings_joined = 0;  ///< peers learned at runtime
+    std::uint64_t introductions_sent = 0;      ///< membership-exchange DIRREQs sent
+    std::uint64_t introductions_received = 0;  ///< third-party introductions heard
+    std::uint64_t seq_heartbeats_sent = 0;     ///< empty-delta sequence advertisements
 };
+
+/// Largest DGET digest body we will read from a sibling: the wire-capped
+/// bitmap (kMaxWireTableBits bits) plus chunk framing, rounded up. A
+/// misbehaving peer advertising a bigger body is rejected and counted
+/// (digests_oversized) instead of triggering an unbounded allocation.
+inline constexpr std::uint64_t kMaxDigestBytes = 9ull * 1024 * 1024;
 
 class MiniProxy {
 public:
@@ -174,7 +210,10 @@ public:
     [[nodiscard]] Endpoint icp_endpoint() const { return icp_endpoint_; }
     [[nodiscard]] NodeId id() const { return config_.id; }
 
-    /// Register a sibling (call on every proxy before start()).
+    /// Register a sibling. Safe before OR after start(): a runtime join
+    /// publishes a new sibling-table snapshot (RCU), and in summary mode
+    /// the event loop bootstraps the newcomer (full bitmap push + DIRREQ)
+    /// on its next tick. Re-adding a known id updates its endpoints.
     void add_sibling(NodeId id, Endpoint icp, Endpoint http);
 
     /// Launch the event loop and worker pool. Idempotent.
@@ -195,24 +234,47 @@ public:
     [[nodiscard]] std::size_t recovered_documents() const;
     [[nodiscard]] bool has_disk_tier() const { return cache_.has_disk_tier(); }
 
+    /// Diagnostic probe: does our replica of sibling `id` predict `url`?
+    /// Lock-free (RCU replica snapshot) — safe from any thread; used by
+    /// convergence tests to watch summaries heal without issuing requests.
+    [[nodiscard]] bool sibling_replica_predicts(NodeId id, std::string_view url) const {
+        return node_.sibling_may_contain(id, url);
+    }
+    /// Sibling replicas currently synced (bootstrapped, not quarantined).
+    [[nodiscard]] std::size_t synced_replicas() const { return node_.known_siblings(); }
+
 private:
     /// Sibling bookkeeping. `alive` is written by the event loop
     /// (liveness) and read by workers picking query targets, hence
-    /// atomic; `last_heard` is event-loop-only; the endpoints and id are
-    /// immutable after start().
+    /// atomic; `last_heard` and the resync rate-limit clocks are
+    /// event-loop-only; the endpoints and id are immutable for the
+    /// lifetime of the entry (membership changes publish a new table
+    /// snapshot holding a fresh entry, never mutate these in place).
     struct Sibling {
         NodeId id;
         Endpoint icp;
         Endpoint http;
         std::atomic<bool> alive{true};
-        std::chrono::steady_clock::time_point last_heard{};
+        std::chrono::steady_clock::time_point last_heard;
+        /// Earliest time we may send this peer another DIRREQ
+        /// (event-loop-only; see MiniProxyConfig::resync_interval).
+        std::chrono::steady_clock::time_point next_resync_request{};
+        /// Earliest time we may answer another of its DIRREQs with a
+        /// full bitmap (event-loop-only).
+        std::chrono::steady_clock::time_point next_resync_reply{};
 
         Sibling(NodeId id_, Endpoint icp_, Endpoint http_)
-            : id(id_), icp(icp_), http(http_) {}
-        Sibling(const Sibling& o)  // pre-start() vector growth only
-            : id(o.id), icp(o.icp), http(o.http), alive(o.alive.load()),
-              last_heard(o.last_heard) {}
+            : id(id_), icp(icp_), http(http_),
+              last_heard(std::chrono::steady_clock::now()) {}
     };
+
+    /// Immutable sibling-table snapshot, published RCU-style: readers
+    /// (workers picking targets, the digest fetcher, the event loop)
+    /// grab the shared_ptr atomically and iterate without a lock;
+    /// membership changes copy the vector under membership_mu_ and
+    /// swap the pointer. Entries are shared_ptr so per-entry atomics
+    /// (`alive`) and event-loop-only fields survive republication.
+    using SiblingTable = std::vector<std::shared_ptr<Sibling>>;
 
     /// One accepted client connection. Owned by the event loop while
     /// idle; handed to exactly one worker (busy == true) per dispatched
@@ -284,6 +346,38 @@ private:
     void digest_fetch_loop();
     void refresh_digests_once();
 
+    // --- summary-mesh resilience (event-loop-only unless noted) --------
+    /// Current sibling-table snapshot (any thread).
+    [[nodiscard]] std::shared_ptr<const SiblingTable> sibling_snapshot() const {
+        return siblings_.load(std::memory_order_acquire);
+    }
+    /// Entry for `id` in the current snapshot, or nullptr.
+    [[nodiscard]] std::shared_ptr<Sibling> find_sibling(NodeId id) const;
+    /// Send this peer a DIRREQ asking for its full bitmap, rate-limited
+    /// by resync_interval. Event loop only.
+    void request_resync(Sibling& sib);
+    /// Answer a peer's DIRREQ: rate-limit, then hand the full-bitmap
+    /// push to a worker. Event loop only.
+    void serve_resync(Sibling& sib);
+    /// Dynamic membership: a SECHO or DIRREQ from an unknown peer
+    /// (header carries its HTTP port) joins it to the mesh, and a DIRREQ
+    /// introduction joins the third party it vouches for. On every new
+    /// learn, introductions are exchanged — the mesh hears about the
+    /// newcomer, the newcomer hears about the mesh — so membership
+    /// propagates transitively from one point of contact. Event loop
+    /// only; no-op unless config allows it.
+    void maybe_learn_sibling(NodeId id, Endpoint icp, std::uint16_t http_port);
+    /// Encode our full bitmap (chunked) and send it to one peer. Runs on
+    /// a worker (takes node_mu_; must never run on the event loop).
+    void push_full_summary_to(NodeId id);
+    /// Send every live sibling a sequence heartbeat (empty delta carrying
+    /// the next delta sequence) so a receiver that lost the tail of the
+    /// stream detects the gap and resyncs. Worker-only (takes node_mu_);
+    /// enqueued from the keepalive tick in summary mode.
+    void broadcast_seq_heartbeat();
+    /// Queue a closure for the worker pool (drained before request jobs).
+    void enqueue_task(std::function<void()> task);
+
     [[nodiscard]] std::optional<std::string> fetch_from_sibling(NodeId id,
                                                                 const HttpLiteRequest& req);
     [[nodiscard]] std::string fetch_from_origin(const HttpLiteRequest& req, WorkerCtx& ctx);
@@ -338,7 +432,15 @@ private:
     core::ProtocolEngine engine_;
     /// Mirror journaled cache-hook events into node_.
     void sync_node_locked() SC_REQUIRES(node_mu_);
-    std::vector<Sibling> siblings_;
+    /// Serializes membership WRITES (add_sibling from any thread vs the
+    /// event loop learning a peer); reads go through sibling_snapshot()
+    /// and never take it. Leaf lock: nothing is acquired under it.
+    mutable Mutex membership_mu_;
+    std::atomic<std::shared_ptr<const SiblingTable>> siblings_;
+    /// Siblings added at runtime, awaiting their summary-mode bootstrap
+    /// (full push + DIRREQ) from the event loop. Guarded by
+    /// membership_mu_; drained each loop tick.
+    std::vector<NodeId> pending_bootstrap_ SC_GUARDED_BY(membership_mu_);
     ReplyDemux demux_;  ///< routes ICP replies to the querying worker
     /// Seeded per-boot so a restarted proxy's rounds never collide with
     /// replies still in flight toward its predecessor's numbers.
@@ -358,6 +460,10 @@ private:
     Mutex jobs_mu_;
     CondVar jobs_cv_;
     std::deque<Job> job_queue_ SC_GUARDED_BY(jobs_mu_);
+    /// Control-plane closures (full-summary pushes for resync/recovery).
+    /// Workers drain these before request jobs so repair traffic is not
+    /// head-of-line blocked behind slow fetches.
+    std::deque<std::function<void()>> task_queue_ SC_GUARDED_BY(jobs_mu_);
     std::vector<Completion> completions_ SC_GUARDED_BY(jobs_mu_);
     int wake_pipe_[2] = {-1, -1};  ///< workers wake the poll loop
 

@@ -28,7 +28,8 @@ TEST(NodeReplicaConcurrency, ProbesRaceDeltaApplicationSafely) {
     SummaryCacheNode home(cfg(0));
     SummaryCacheNode sibling(cfg(1));
     // Bootstrap so deltas apply against a known replica from step one.
-    ASSERT_TRUE(home.apply_sibling_update(decode_dirupdate(sibling.encode_full_update())));
+    ASSERT_EQ(home.apply_sibling_update(decode_dirupdate(sibling.encode_full_update())),
+              SummaryApplyResult::applied);
 
     constexpr int kDocs = 2000;
     std::atomic<bool> done{false};
@@ -39,7 +40,8 @@ TEST(NodeReplicaConcurrency, ProbesRaceDeltaApplicationSafely) {
         for (int i = 0; i < kDocs; ++i) {
             sibling.on_cache_insert("doc" + std::to_string(i));
             for (const auto& msg : sibling.encode_pending_updates())
-                ASSERT_TRUE(home.apply_sibling_update(decode_dirupdate(msg)));
+                ASSERT_EQ(home.apply_sibling_update(decode_dirupdate(msg)),
+                          SummaryApplyResult::applied);
         }
         done.store(true, std::memory_order_release);
     });
@@ -81,7 +83,8 @@ TEST(NodeReplicaConcurrency, ProbesRaceForgetAndRebootstrapSafely) {
         // Liveness churn: the sibling keeps dying and coming back.
         for (int i = 0; i < 2000; ++i) {
             home.forget_sibling(1);
-            ASSERT_TRUE(home.apply_sibling_update(full));
+            // forget erased the stream, so every re-apply is a bootstrap.
+            ASSERT_EQ(home.apply_sibling_update(full), SummaryApplyResult::applied);
         }
         stop.store(true, std::memory_order_release);
     });
@@ -126,11 +129,14 @@ TEST(NodeReplicaConcurrency, SnapshotsAreNeverBlended) {
     ASSERT_FALSE(even_keys.empty());
 
     SummaryCacheNode home(cfg(0));
-    ASSERT_TRUE(home.apply_sibling_update(odd_full));
+    ASSERT_EQ(home.apply_sibling_update(odd_full), SummaryApplyResult::applied);
     std::atomic<bool> stop{false};
     std::thread writer([&] {
+        // The two snapshots carry different boot ids (distinct node
+        // instances), so neither ever reads as stale against the other.
         for (int i = 0; i < 4000; ++i)
-            ASSERT_TRUE(home.apply_sibling_update((i % 2 != 0) ? even_full : odd_full));
+            ASSERT_EQ(home.apply_sibling_update((i % 2 != 0) ? even_full : odd_full),
+                      SummaryApplyResult::applied);
         stop.store(true, std::memory_order_release);
     });
     std::vector<std::thread> readers;

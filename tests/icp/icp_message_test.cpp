@@ -125,10 +125,22 @@ TEST(IcpMessage, OutOfRangeBitIndexRejected) {
 }
 
 TEST(IcpMessage, BitmapWordCountMismatchRejected) {
+    // Fulls are chunked (word_offset), so a SHORT bitmap is a legal chunk —
+    // but a chunk reaching past the table, an offset beyond it, or an empty
+    // chunk is still malformed.
     IcpDirUpdate u;
-    u.spec = HashSpec{4, 32, 256};
+    u.spec = HashSpec{4, 32, 256};  // 8 words
     u.full = true;
-    u.bitmap_words.assign(7, 0);  // needs 8
+    u.bitmap_words.assign(7, 0);
+    EXPECT_NO_THROW((void)encode_dirupdate(u));  // first 7 of 8: valid chunk
+    u.word_offset = 4;
+    u.bitmap_words.assign(5, 0);  // 4 + 5 > 8: overruns the table
+    EXPECT_THROW((void)encode_dirupdate(u), WireError);
+    u.word_offset = 8;  // offset past the last word
+    u.bitmap_words.assign(1, 0);
+    EXPECT_THROW((void)encode_dirupdate(u), WireError);
+    u.word_offset = 0;
+    u.bitmap_words.clear();  // empty chunk carries nothing
     EXPECT_THROW((void)encode_dirupdate(u), WireError);
 }
 
@@ -184,12 +196,105 @@ TEST(IcpMessage, HitObjLengthFieldMismatchRejected) {
 
 TEST(IcpMessage, MaxRecordsFitsDatagram) {
     IcpDirUpdate u;
-    u.spec = HashSpec{4, 32, 0x7fffffff};
+    u.spec = HashSpec{4, 32, kMaxWireTableBits};
     u.records.assign(kMaxRecordsPerUpdate, encode_bit_flip({1, true}));
     const auto wire = encode_dirupdate(u);
     EXPECT_LE(wire.size(), kMaxIcpDatagram);
     u.records.push_back(encode_bit_flip({1, true}));
     EXPECT_THROW((void)encode_dirupdate(u), WireError);  // one over: too big
+}
+
+TEST(IcpMessage, OversizedTableSpecRejectedBothWays) {
+    // A hostile spec must not size an allocation: both encoder and decoder
+    // refuse anything past kMaxWireTableBits (the decoder never gets to
+    // trust the word count that follows).
+    IcpDirUpdate u;
+    u.spec = HashSpec{4, 32, kMaxWireTableBits};
+    u.records = {encode_bit_flip({1, true})};
+    auto wire = encode_dirupdate(u);
+    u.spec.table_bits = kMaxWireTableBits + 1;
+    EXPECT_THROW((void)encode_dirupdate(u), WireError);
+    // Patch the oversized table size into otherwise-valid bytes: the spec
+    // sits right after the 20-byte header (k, bits_per_fn, table_bits).
+    wire[kIcpHeaderBytes + 4] = 0x04;  // big-endian (1u << 26) + 1
+    wire[kIcpHeaderBytes + 5] = 0x00;
+    wire[kIcpHeaderBytes + 6] = 0x00;
+    wire[kIcpHeaderBytes + 7] = 0x01;
+    EXPECT_THROW((void)decode_dirupdate(wire), WireError);
+}
+
+TEST(IcpMessage, ReliabilityFieldsRoundTrip) {
+    // boot_id (header options) and word_offset (header option_data) are the
+    // gap-detection state: losing either on the wire would make restarts
+    // and chunked fulls indistinguishable from healthy streams.
+    IcpDirUpdate u;
+    u.request_number = 0xcafe;
+    u.sender_host = 3;
+    u.boot_id = 0x1234abcd;
+    u.spec = HashSpec{4, 32, 256};
+    u.full = true;
+    u.word_offset = 2;
+    u.bitmap_words = {5, 6, 7};
+    const auto back = decode_dirupdate(encode_dirupdate(u));
+    EXPECT_EQ(back, u);
+    EXPECT_EQ(back.boot_id, 0x1234abcdu);
+    EXPECT_EQ(back.word_offset, 2u);
+    // Deltas carry boot_id too (every datagram names its incarnation).
+    IcpDirUpdate d;
+    d.request_number = 7;
+    d.sender_host = 9;
+    d.boot_id = 42;
+    d.spec = HashSpec{4, 32, 65536};
+    d.records = {encode_bit_flip({11, true})};
+    EXPECT_EQ(decode_dirupdate(encode_dirupdate(d)), d);
+}
+
+TEST(IcpMessage, DirReqRoundTrip) {
+    IcpDirReq q;
+    q.request_number = 31337;
+    q.sender_host = 0x0a000005;
+    q.http_port = 8081;
+    const auto wire = encode_dirreq(q);
+    EXPECT_EQ(wire.size(), kIcpHeaderBytes);  // empty payload, header-only
+    EXPECT_EQ(decode_dirreq(wire), q);
+    const IcpHeader h = decode_header(wire);
+    EXPECT_EQ(h.opcode, IcpOpcode::dirreq);
+    EXPECT_EQ(h.options & 0xffffu, 8081u);  // port rides in options
+    // Wrong opcode is rejected like every other decoder.
+    EXPECT_THROW((void)decode_dirreq(encode_query({1, 2, 3, "http://u"})), WireError);
+}
+
+TEST(IcpMessage, DirReqIntroductionRoundTrip) {
+    IcpDirReq intro;
+    intro.request_number = 7;
+    intro.sender_host = 1;
+    intro.http_port = 8080;
+    intro.subject_id = 4;
+    intro.subject_icp_host = 0x7f000001;
+    intro.subject_icp_port = 3130;
+    intro.subject_http_port = 3128;
+    const auto wire = encode_dirreq(intro);
+    EXPECT_EQ(wire.size(), kIcpHeaderBytes + 12);  // subject rides as payload
+    EXPECT_EQ(decode_dirreq(wire), intro);
+
+    // A truncated or padded introduction payload is rejected.
+    auto short_wire = wire;
+    short_wire.pop_back();
+    short_wire[3] = static_cast<std::uint8_t>(short_wire.size());
+    EXPECT_THROW((void)decode_dirreq(short_wire), WireError);
+    auto long_wire = wire;
+    long_wire.push_back(0);
+    long_wire[3] = static_cast<std::uint8_t>(long_wire.size());
+    EXPECT_THROW((void)decode_dirreq(long_wire), WireError);
+
+    // A payload claiming subject 0 is malformed: id 0 means "no subject",
+    // so it must never arrive with introduction bytes attached.
+    auto zero_subject = wire;
+    zero_subject[kIcpHeaderBytes] = 0;
+    zero_subject[kIcpHeaderBytes + 1] = 0;
+    zero_subject[kIcpHeaderBytes + 2] = 0;
+    zero_subject[kIcpHeaderBytes + 3] = 0;
+    EXPECT_THROW((void)decode_dirreq(zero_subject), WireError);
 }
 
 }  // namespace

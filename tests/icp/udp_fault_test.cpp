@@ -1,0 +1,117 @@
+// Send-side fault injection (UdpSocket::set_fault_injection): the knob the
+// mesh convergence tests turn. Faults must be deterministic under a fixed
+// seed — a failing soak run replays exactly — and the env-var path lets CI
+// sweep loss rates without new binaries.
+#include "icp/udp_socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+namespace sc {
+namespace {
+
+std::vector<std::uint8_t> msg(std::uint8_t tag) { return {tag, 0x5c}; }
+
+// Drain everything currently queued on `rx` (no waiting beyond 50ms gaps).
+std::vector<std::uint8_t> drain_tags(UdpSocket& rx) {
+    std::vector<std::uint8_t> tags;
+    while (const auto d = rx.receive(50)) tags.push_back(d->payload.at(0));
+    return tags;
+}
+
+TEST(UdpFault, TotalLossDeliversNothing) {
+    UdpSocket rx;
+    UdpSocket tx;
+    UdpFaultConfig faults;
+    faults.loss = 1.0;
+    tx.set_fault_injection(faults);
+    for (std::uint8_t i = 0; i < 20; ++i) tx.send_to(rx.local_endpoint(), msg(i));
+    EXPECT_TRUE(drain_tags(rx).empty());
+}
+
+TEST(UdpFault, DuplicateDeliversTwice) {
+    UdpSocket rx;
+    UdpSocket tx;
+    UdpFaultConfig faults;
+    faults.duplicate = 1.0;
+    tx.set_fault_injection(faults);
+    tx.send_to(rx.local_endpoint(), msg(7));
+    const auto tags = drain_tags(rx);
+    ASSERT_EQ(tags.size(), 2u);
+    EXPECT_EQ(tags[0], 7u);
+    EXPECT_EQ(tags[1], 7u);
+}
+
+TEST(UdpFault, ReorderHoldsOneDatagramBack) {
+    UdpSocket rx;
+    UdpSocket tx;
+    UdpFaultConfig faults;
+    faults.reorder = 1.0;  // every datagram is held until the next send
+    tx.set_fault_injection(faults);
+    tx.send_to(rx.local_endpoint(), msg(1));
+    EXPECT_TRUE(drain_tags(rx).empty());  // 1 is in flight, held
+    tx.send_to(rx.local_endpoint(), msg(2));
+    // Sending 2 releases 1 *after* it: delivery order is 2, then 1.
+    const auto tags = drain_tags(rx);
+    ASSERT_EQ(tags.size(), 2u);
+    EXPECT_EQ(tags[0], 2u);
+    EXPECT_EQ(tags[1], 1u);
+}
+
+TEST(UdpFault, LossPatternIsDeterministicUnderASeed) {
+    // Two independent sockets with the same seed drop exactly the same
+    // subset — the property that makes soak-test failures replayable.
+    const auto deliveries = [](std::uint64_t seed) {
+        UdpSocket rx;
+        UdpSocket tx;
+        UdpFaultConfig faults;
+        faults.loss = 0.5;
+        faults.seed = seed;
+        tx.set_fault_injection(faults);
+        for (std::uint8_t i = 0; i < 64; ++i) tx.send_to(rx.local_endpoint(), msg(i));
+        std::set<std::uint8_t> got;
+        while (const auto d = rx.receive(50)) got.insert(d->payload.at(0));
+        return got;
+    };
+    const auto a = deliveries(1234);
+    const auto b = deliveries(1234);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.empty());       // p=0.5 over 64 sends: some survive...
+    EXPECT_LT(a.size(), 64u);      // ...and some drop
+    EXPECT_NE(a, deliveries(99));  // another seed, another pattern
+}
+
+TEST(UdpFault, ZeroConfigInjectsNothing) {
+    UdpSocket rx;
+    UdpSocket tx;
+    tx.set_fault_injection(UdpFaultConfig{});  // all-zero: removes injection
+    for (std::uint8_t i = 0; i < 8; ++i) tx.send_to(rx.local_endpoint(), msg(i));
+    EXPECT_EQ(drain_tags(rx).size(), 8u);
+    EXPECT_FALSE(UdpFaultConfig{}.any());
+}
+
+TEST(UdpFault, FromEnvReadsTheSweepKnobs) {
+    ::setenv("SC_UDP_FAULT_LOSS", "0.25", 1);
+    ::setenv("SC_UDP_FAULT_DUP", "0.125", 1);
+    ::setenv("SC_UDP_FAULT_REORDER", "0.5", 1);
+    ::setenv("SC_UDP_FAULT_SEED", "77", 1);
+    const auto cfg = UdpFaultConfig::from_env();
+    EXPECT_DOUBLE_EQ(cfg.loss, 0.25);
+    EXPECT_DOUBLE_EQ(cfg.duplicate, 0.125);
+    EXPECT_DOUBLE_EQ(cfg.reorder, 0.5);
+    EXPECT_EQ(cfg.seed, 77u);
+    EXPECT_TRUE(cfg.any());
+    ::unsetenv("SC_UDP_FAULT_LOSS");
+    ::unsetenv("SC_UDP_FAULT_DUP");
+    ::unsetenv("SC_UDP_FAULT_REORDER");
+    ::unsetenv("SC_UDP_FAULT_SEED");
+    const auto clean = UdpFaultConfig::from_env();
+    EXPECT_FALSE(clean.any());
+    EXPECT_EQ(clean.seed, 1u);
+}
+
+}  // namespace
+}  // namespace sc

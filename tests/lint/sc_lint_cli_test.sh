@@ -35,8 +35,8 @@ for rule in raw-mutex hotpath-alloc eventloop-blocking raw-counter-shift; do
   fi
 done
 count=$(printf '%s\n' "$out" | grep -c ': error: ')
-if [ "$count" -ne 13 ]; then
-  echo "FAIL: known_bad: expected 13 diagnostics, got $count"; echo "$out"; fail=1
+if [ "$count" -ne 17 ]; then
+  echo "FAIL: known_bad: expected 17 diagnostics, got $count"; echo "$out"; fail=1
 fi
 
 # --rule= narrows the run.

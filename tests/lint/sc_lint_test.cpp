@@ -42,6 +42,8 @@ TEST(ScLintFixtures, KnownBadSeedsAreEachCaught) {
         {32, "eventloop-blocking"}, {33, "eventloop-blocking"},
         {34, "eventloop-blocking"}, {35, "eventloop-blocking"},
         {36, "eventloop-blocking"}, {37, "eventloop-blocking"},
+        {41, "eventloop-blocking"}, {42, "eventloop-blocking"},
+        {43, "eventloop-blocking"}, {44, "eventloop-blocking"},
     };
     ASSERT_EQ(diags->size(), expected.size());
     for (std::size_t i = 0; i < expected.size(); ++i) {
@@ -156,6 +158,23 @@ TEST(ScLintEventLoop, FileIoIsBlocking) {
         "}\n");
     ASSERT_EQ(diags.size(), 3u);
     for (const auto& d : diags) EXPECT_EQ(d.rule, "eventloop-blocking");
+}
+
+TEST(ScLintEventLoop, SummaryEncodingIsBlocking) {
+    // Draining the journal / serializing a bitmap takes node_mu_ and can be
+    // megabytes of work; the loop must hand it to the worker pool instead.
+    const auto diags = lint(
+        "SC_EVENT_LOOP_ONLY void on_resync() {\n"
+        "    const auto chunks = node_.encode_full_update_chunks();\n"
+        "    sync_node_locked();\n"
+        "}\n");
+    ASSERT_EQ(diags.size(), 2u);
+    for (const auto& d : diags) EXPECT_EQ(d.rule, "eventloop-blocking");
+    // ...but ENQUEUEING the push is exactly what the loop should do.
+    EXPECT_TRUE(lint("SC_EVENT_LOOP_ONLY void on_resync() {\n"
+                     "    enqueue_task([this, id] { push_full_summary_to(id); });\n"
+                     "}\n")
+                    .empty());
 }
 
 TEST(ScLintEventLoop, FileIoOffTheLoopIsFine) {

@@ -59,7 +59,7 @@ TEST(DigestPull, DigestIsServedOverTcp) {
     // The digest must advertise the cached document.
     SummaryCacheNode probe(
         SummaryCacheNodeConfig{.node_id = 99, .expected_docs = 1024, .bloom = {}});
-    ASSERT_TRUE(probe.apply_sibling_update(update));
+    ASSERT_EQ(probe.apply_sibling_update(update), SummaryApplyResult::applied);
     EXPECT_TRUE(probe.sibling_may_contain(1, "http://warm/doc"));
     EXPECT_GE(p->stats().digests_served, 1u);
     p->stop();

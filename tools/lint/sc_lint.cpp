@@ -283,6 +283,13 @@ constexpr std::array kBlockingCalls = {
     std::string_view("pread"),         std::string_view("pwrite"),
     std::string_view("fsync"),         std::string_view("fdatasync"),
     std::string_view("ftruncate"),
+    // Summary encoding: draining the journal and serializing a bitmap take
+    // node_mu_ and can be megabytes of work — full-summary pushes belong on
+    // the worker pool (MiniProxy::push_full_summary_to), never the poll loop.
+    std::string_view("sync_node_locked"),
+    std::string_view("encode_full_update"),
+    std::string_view("encode_full_update_chunks"),
+    std::string_view("encode_pending_updates"),
 };
 
 /// Find the body of the marked function: tokens[i] is the marker. Returns

@@ -13,6 +13,9 @@
 // requests with an N-thread pool (default 1 = serial, arrival order).
 // --cache-shards M splits the LRU cache into M lock shards (power of
 // two; default 0 = auto, min(workers, 8)).
+// --dynamic-membership 0 disables runtime mesh joins; --fault-loss /
+// --fault-dup / --fault-reorder / --fault-seed inject deterministic ICP
+// datagram faults for soak testing (or SC_UDP_FAULT_* env vars).
 // Prints a stats line every few seconds until killed.
 // --metrics-out FILE dumps the sc::obs registry as JSON on shutdown; live
 // metrics are also served at GET /__metrics on the HTTP port.
@@ -79,7 +82,8 @@ int main(int argc, char** argv) {
                            {"id", "http-port", "icp-port", "origin", "sibling", "mode",
                             "cache-mb", "threshold", "hit-obj-bytes", "bind",
                             "access-log", "metrics-out", "workers", "cache-shards",
-                            "disk-dir", "disk-capacity-mb"});
+                            "disk-dir", "disk-capacity-mb", "dynamic-membership",
+                            "fault-loss", "fault-dup", "fault-reorder", "fault-seed"});
 
     MiniProxyConfig cfg;
     cfg.id = static_cast<NodeId>(flags.get_int("id", 1));
@@ -113,6 +117,16 @@ int main(int argc, char** argv) {
     cfg.disk_dir = flags.get("disk-dir", "");
     cfg.disk_capacity_bytes = static_cast<std::uint64_t>(
         flags.get_double("disk-capacity-mb", 0.0) * 1024.0 * 1024.0);
+    // --dynamic-membership 0 pins the mesh to the --sibling list (unknown
+    // SECHO/DIRREQ senders are ignored instead of auto-joined).
+    cfg.dynamic_membership = flags.get_int("dynamic-membership", 1) != 0;
+    // ICP fault injection for soak tests: probabilities in [0,1]. The same
+    // knobs are honoured from SC_UDP_FAULT_{LOSS,DUP,REORDER,SEED} when no
+    // flag is given (flags win).
+    cfg.udp_faults.loss = flags.get_double("fault-loss", 0.0);
+    cfg.udp_faults.duplicate = flags.get_double("fault-dup", 0.0);
+    cfg.udp_faults.reorder = flags.get_double("fault-reorder", 0.0);
+    cfg.udp_faults.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
 
     const std::string mode = flags.get("mode", "summary");
     if (mode == "none") cfg.mode = ShareMode::none;

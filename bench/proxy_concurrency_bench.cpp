@@ -13,6 +13,11 @@
 //      clients stays flat relative to the idle-mesh baseline.
 //   2. Throughput scaling: 48 misses issued by 16 clients complete at
 //      least 2x faster with --workers 4 than with --workers 1.
+//   3. Keep-alive closed loop: 32 persistent clients replaying a Zipf
+//      workload must reuse their connections for every follow-up request
+//      and beat the same workload run reconnect-per-request. Emits
+//      ns-per-op records via bench_json (SC_BENCH_JSON, BENCH_proxy.json
+//      in CI) so the perf trajectory is archived run over run.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -22,9 +27,12 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "icp/udp_socket.hpp"
 #include "proto/mini_proxy.hpp"
 #include "proto/origin_server.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -195,11 +203,124 @@ bool check_throughput_scaling() {
     return true;
 }
 
+// --- keep-alive closed loop ------------------------------------------------
+
+double percentile_ms(std::vector<double>& samples, int p) {
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() * static_cast<std::size_t>(p) / 100];
+}
+
+/// Closed-loop Zipf replay: `clients` threads, each issuing
+/// `requests_per_client` GETs drawn from a shared Zipf(512, 0.8) URL
+/// population. With `reconnect` every request opens a fresh connection —
+/// the pre-keep-alive behavior this bench exists to compare against.
+/// Returns wall seconds; latencies land in hit_ms/miss_ms by outcome.
+double zipf_closed_loop(MiniProxy& proxy, int clients, int requests_per_client,
+                        bool reconnect, std::vector<double>& hit_ms,
+                        std::vector<double>& miss_ms) {
+    const sc::ZipfSampler zipf(512, 0.8);
+    std::vector<std::vector<double>> hits(static_cast<std::size_t>(clients));
+    std::vector<std::vector<double>> misses(static_cast<std::size_t>(clients));
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t] {
+            sc::Rng rng(0x9e3779b9u + static_cast<std::uint64_t>(t));
+            std::unique_ptr<TcpConnection> conn;
+            for (int i = 0; i < requests_per_client; ++i) {
+                if (!conn || reconnect)
+                    conn = std::make_unique<TcpConnection>(
+                        TcpConnection::connect(proxy.http_endpoint()));
+                const std::string url =
+                    "http://zipf/" + std::to_string(zipf.sample(rng));
+                const auto t0 = std::chrono::steady_clock::now();
+                const auto status = get(*conn, url);
+                const double ms = std::chrono::duration<double, std::milli>(
+                                      std::chrono::steady_clock::now() - t0)
+                                      .count();
+                auto& bucket = status == HttpLiteStatus::local_hit
+                                   ? hits[static_cast<std::size_t>(t)]
+                                   : misses[static_cast<std::size_t>(t)];
+                bucket.push_back(ms);
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    for (auto& v : hits) hit_ms.insert(hit_ms.end(), v.begin(), v.end());
+    for (auto& v : misses) miss_ms.insert(miss_ms.end(), v.begin(), v.end());
+    return secs;
+}
+
+bool check_keepalive_closed_loop() {
+    constexpr int kClients = 32;
+    constexpr int kPerClient = 200;
+    constexpr auto kTotal = static_cast<double>(kClients) * kPerClient;
+
+    OriginServer origin(OriginServer::Config{.port = 0});
+    MiniProxyConfig cfg;
+    cfg.id = 1;
+    cfg.origin = origin.endpoint();
+    cfg.workers = 4;
+    MiniProxy proxy(cfg);
+    proxy.start();
+
+    std::vector<double> ka_hit, ka_miss, rc_hit, rc_miss;
+    const double keepalive_s =
+        zipf_closed_loop(proxy, kClients, kPerClient, /*reconnect=*/false,
+                         ka_hit, ka_miss);
+    const std::uint64_t reuses = proxy.stats().keepalive_reuses;
+    const double reconnect_s =
+        zipf_closed_loop(proxy, kClients, kPerClient, /*reconnect=*/true,
+                         rc_hit, rc_miss);
+    proxy.stop();
+    origin.stop();
+
+    const double ka_ns = keepalive_s * 1e9 / kTotal;
+    const double rc_ns = reconnect_s * 1e9 / kTotal;
+    std::printf(
+        "keepalive-closed-loop: %d clients x %d reqs, zipf(512, 0.8)\n"
+        "  keep-alive: %.0f ns/op  hit p50=%.3fms p99=%.3fms  miss p50=%.3fms p99=%.3fms\n"
+        "  reconnect:  %.0f ns/op  hit p50=%.3fms p99=%.3fms  miss p50=%.3fms p99=%.3fms\n"
+        "  reuse ratio %.2fx\n",
+        kClients, kPerClient, ka_ns, percentile_ms(ka_hit, 50),
+        percentile_ms(ka_hit, 99), percentile_ms(ka_miss, 50),
+        percentile_ms(ka_miss, 99), rc_ns, percentile_ms(rc_hit, 50),
+        percentile_ms(rc_hit, 99), percentile_ms(rc_miss, 50),
+        percentile_ms(rc_miss, 99), rc_ns / ka_ns);
+    sc::bench::append_record(
+        {"proxy_keepalive_closed_loop", kClients, ka_ns, -1.0});
+    sc::bench::append_record(
+        {"proxy_reconnect_per_request", kClients, rc_ns, -1.0});
+
+    // Every request after a client's first must have ridden its existing
+    // connection; a shortfall means sessions were dropped mid-stream.
+    const auto expected_reuses =
+        static_cast<std::uint64_t>(kClients) * (kPerClient - 1);
+    if (reuses != expected_reuses) {
+        std::printf("FAIL: expected %llu keep-alive reuses, proxy counted %llu\n",
+                    static_cast<unsigned long long>(expected_reuses),
+                    static_cast<unsigned long long>(reuses));
+        return false;
+    }
+    // Reconnect-per-request pays a TCP handshake plus session setup per op;
+    // persistent connections must not lose to that on aggregate.
+    if (ka_ns > rc_ns) {
+        std::printf("FAIL: keep-alive slower than reconnect-per-request\n");
+        return false;
+    }
+    return true;
+}
+
 }  // namespace
 
 int main() {
     bool ok = check_latency_isolation();
     ok = check_throughput_scaling() && ok;
+    ok = check_keepalive_closed_loop() && ok;
     std::printf(ok ? "proxy_concurrency_bench: OK\n"
                    : "proxy_concurrency_bench: FAILED\n");
     return ok ? 0 : 1;

@@ -1,7 +1,8 @@
 #include "icp/udp_socket.hpp"
 
+#include "net/fd_poll.hpp"
+
 #include <arpa/inet.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -215,13 +216,7 @@ void UdpSocket::send_to(const Endpoint& to, std::span<const std::uint8_t> payloa
 }
 
 std::optional<Datagram> UdpSocket::receive(int timeout_ms) {
-    pollfd pfd{fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready < 0) {
-        if (errno == EINTR) return std::nullopt;
-        throw_errno("poll");
-    }
-    if (ready == 0) return std::nullopt;
+    if (!net::wait_fd_readable(fd_, timeout_ms)) return std::nullopt;
 
     std::vector<std::uint8_t> buf(65536);
     sockaddr_in sa{};

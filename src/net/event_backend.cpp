@@ -1,0 +1,262 @@
+#include "net/event_backend.hpp"
+
+#include <poll.h>
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace sc::net {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+    throw std::system_error(errno, std::generic_category(), what);
+}
+
+/// Milliseconds until `deadline`, in the int form poll/epoll want:
+/// -1 blocks, 0 is a non-blocking check, rounding is up so a wait never
+/// returns before the deadline it was asked for.
+int timeout_ms(std::optional<std::chrono::steady_clock::time_point> deadline) {
+    if (!deadline) return -1;
+    const auto now = std::chrono::steady_clock::now();
+    if (*deadline <= now) return 0;
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(*deadline - now +
+                                                              std::chrono::milliseconds(1) -
+                                                              std::chrono::nanoseconds(1));
+    if (ms.count() > INT_MAX) return INT_MAX;
+    return static_cast<int>(ms.count());
+}
+
+obs::Histogram wait_histogram(const char* backend) {
+    return obs::metrics().histogram(
+        "sc_event_backend_wait_seconds",
+        "Time spent blocked in the kernel readiness wait",
+        obs::default_latency_bounds(), {{"backend", backend}});
+}
+
+class WaitTimer {
+public:
+    explicit WaitTimer(obs::Histogram& h)
+        : h_(h), start_(std::chrono::steady_clock::now()) {}
+    ~WaitTimer() {
+        const std::chrono::duration<double> d =
+            std::chrono::steady_clock::now() - start_;
+        h_.observe(d.count());
+    }
+
+private:
+    obs::Histogram& h_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+// ---------------------------------------------------------------------------
+// poll(2): portable reference backend. The pollfd vector is kept densely
+// packed (swap-remove) with a parallel tag vector and an fd → slot index.
+// ---------------------------------------------------------------------------
+class PollBackend final : public EventBackend {
+public:
+    void add(int fd, bool read, bool write, std::uint64_t tag) override {
+        assert(!slots_.contains(fd) && "fd registered twice");
+        slots_.emplace(fd, pfds_.size());
+        pfds_.push_back({fd, events_for(read, write), 0});
+        tags_.push_back(tag);
+    }
+
+    void modify(int fd, bool read, bool write, std::uint64_t tag) override {
+        const std::size_t i = slot_of(fd, "PollBackend::modify");
+        pfds_[i].events = events_for(read, write);
+        tags_[i] = tag;
+    }
+
+    void remove(int fd) override {
+        const std::size_t i = slot_of(fd, "PollBackend::remove");
+        slots_.erase(fd);
+        const std::size_t last = pfds_.size() - 1;
+        if (i != last) {
+            pfds_[i] = pfds_[last];
+            tags_[i] = tags_[last];
+            slots_[pfds_[i].fd] = i;
+        }
+        pfds_.pop_back();
+        tags_.pop_back();
+    }
+
+    [[nodiscard]] bool contains(int fd) const override { return slots_.contains(fd); }
+
+    [[nodiscard]] std::size_t registered() const override { return pfds_.size(); }
+
+    std::size_t wait(std::optional<std::chrono::steady_clock::time_point> deadline,
+                     std::vector<ReadyEvent>& out) SC_EVENT_LOOP_ONLY override {
+        int n;
+        {
+            WaitTimer timer(wait_seconds_);
+            n = ::poll(pfds_.data(), pfds_.size(), timeout_ms(deadline));
+        }
+        if (n < 0) {
+            if (errno == EINTR) return 0;
+            throw_errno("poll");
+        }
+        std::size_t appended = 0;
+        for (std::size_t i = 0; i < pfds_.size() && n > 0; ++i) {
+            const short re = pfds_[i].revents;
+            if (re == 0) continue;
+            --n;
+            out.push_back({tags_[i], (re & POLLIN) != 0, (re & POLLOUT) != 0,
+                           (re & POLLHUP) != 0, (re & (POLLERR | POLLNVAL)) != 0});
+            ++appended;
+        }
+        return appended;
+    }
+
+    [[nodiscard]] const char* name() const override { return "poll"; }
+
+private:
+    static short events_for(bool read, bool write) {
+        return static_cast<short>((read ? POLLIN : 0) | (write ? POLLOUT : 0));
+    }
+
+    std::size_t slot_of(int fd, const char* what) const {
+        const auto it = slots_.find(fd);
+        if (it == slots_.end()) throw std::logic_error(std::string(what) + ": fd not registered");
+        return it->second;
+    }
+
+    std::vector<pollfd> pfds_;
+    std::vector<std::uint64_t> tags_;           // parallel to pfds_
+    std::unordered_map<int, std::size_t> slots_;  // fd → index in pfds_
+    obs::Histogram wait_seconds_ = wait_histogram("poll");
+};
+
+#ifdef __linux__
+// ---------------------------------------------------------------------------
+// epoll: O(ready) wait. Level-triggered (no EPOLLET) so behavior matches the
+// poll backend exactly. The interest map exists only for bookkeeping
+// (contains/registered and the remove-before-close contract).
+// ---------------------------------------------------------------------------
+class EpollBackend final : public EventBackend {
+public:
+    EpollBackend() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+        if (epfd_ < 0) throw_errno("epoll_create1");
+    }
+    ~EpollBackend() override { ::close(epfd_); }
+    EpollBackend(const EpollBackend&) = delete;
+    EpollBackend& operator=(const EpollBackend&) = delete;
+
+    void add(int fd, bool read, bool write, std::uint64_t tag) override {
+        assert(!interest_.contains(fd) && "fd registered twice");
+        ctl(EPOLL_CTL_ADD, fd, read, write, tag, "epoll_ctl(ADD)");
+        interest_.emplace(fd, tag);
+    }
+
+    void modify(int fd, bool read, bool write, std::uint64_t tag) override {
+        const auto it = interest_.find(fd);
+        if (it == interest_.end())
+            throw std::logic_error("EpollBackend::modify: fd not registered");
+        ctl(EPOLL_CTL_MOD, fd, read, write, tag, "epoll_ctl(MOD)");
+        it->second = tag;
+    }
+
+    void remove(int fd) override {
+        if (interest_.erase(fd) == 0)
+            throw std::logic_error("EpollBackend::remove: fd not registered");
+        if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr) < 0) throw_errno("epoll_ctl(DEL)");
+    }
+
+    [[nodiscard]] bool contains(int fd) const override { return interest_.contains(fd); }
+
+    [[nodiscard]] std::size_t registered() const override { return interest_.size(); }
+
+    std::size_t wait(std::optional<std::chrono::steady_clock::time_point> deadline,
+                     std::vector<ReadyEvent>& out) SC_EVENT_LOOP_ONLY override {
+        events_.resize(std::max<std::size_t>(16, interest_.size()));
+        int n;
+        {
+            WaitTimer timer(wait_seconds_);
+            n = ::epoll_wait(epfd_, events_.data(), static_cast<int>(events_.size()),
+                             timeout_ms(deadline));
+        }
+        if (n < 0) {
+            if (errno == EINTR) return 0;
+            throw_errno("epoll_wait");
+        }
+        for (int i = 0; i < n; ++i) {
+            const std::uint32_t ev = events_[i].events;
+            out.push_back({events_[i].data.u64, (ev & EPOLLIN) != 0, (ev & EPOLLOUT) != 0,
+                           (ev & EPOLLHUP) != 0, (ev & EPOLLERR) != 0});
+        }
+        return static_cast<std::size_t>(n);
+    }
+
+    [[nodiscard]] const char* name() const override { return "epoll"; }
+
+private:
+    void ctl(int op, int fd, bool read, bool write, std::uint64_t tag, const char* what) {
+        epoll_event ev{};
+        ev.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
+        ev.data.u64 = tag;
+        if (::epoll_ctl(epfd_, op, fd, &ev) < 0) throw_errno(what);
+    }
+
+    int epfd_;
+    std::unordered_map<int, std::uint64_t> interest_;  // fd → tag
+    std::vector<epoll_event> events_;
+    obs::Histogram wait_seconds_ = wait_histogram("epoll");
+};
+#endif  // __linux__
+
+}  // namespace
+
+const char* event_backend_kind_name(EventBackendKind kind) {
+    switch (kind) {
+        case EventBackendKind::poll: return "poll";
+        case EventBackendKind::epoll: return "epoll";
+    }
+    return "?";
+}
+
+std::optional<EventBackendKind> parse_event_backend_kind(std::string_view name) {
+    if (name == "poll") return EventBackendKind::poll;
+    if (name == "epoll") return EventBackendKind::epoll;
+    return std::nullopt;
+}
+
+EventBackendKind default_event_backend_kind() {
+#ifdef __linux__
+    return EventBackendKind::epoll;
+#else
+    return EventBackendKind::poll;
+#endif
+}
+
+EventBackendKind resolve_event_backend_kind(
+    std::optional<EventBackendKind> explicit_kind) {
+    if (explicit_kind) return *explicit_kind;
+    if (const char* env = std::getenv("SC_EVENT_BACKEND")) {
+        if (const auto parsed = parse_event_backend_kind(env)) return *parsed;
+    }
+    return default_event_backend_kind();
+}
+
+std::unique_ptr<EventBackend> make_event_backend(EventBackendKind kind) {
+#ifdef __linux__
+    if (kind == EventBackendKind::epoll) return std::make_unique<EpollBackend>();
+#else
+    if (kind == EventBackendKind::epoll)
+        throw std::runtime_error("epoll event backend is only available on Linux");
+#endif
+    return std::make_unique<PollBackend>();
+}
+
+}  // namespace sc::net

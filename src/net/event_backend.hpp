@@ -1,0 +1,94 @@
+// Readiness-notification abstraction for the single-threaded event loops.
+//
+// Two implementations share one interface: a portable poll(2) backend whose
+// wait cost is O(registered fds), and a Linux epoll backend whose wait cost
+// is O(ready fds) — the difference that lets one proxy park 10k idle
+// keep-alive sessions without rescanning them every wakeup. Both are
+// level-triggered, so callers may leave bytes buffered in the kernel and be
+// re-notified on the next wait.
+//
+// Selection order (resolve_event_backend_kind): explicit config →
+// SC_EVENT_BACKEND env var ("poll"/"epoll") → platform default (epoll on
+// Linux, poll elsewhere).
+//
+// Threading: a backend instance belongs to exactly one loop thread. wait()
+// is marked SC_EVENT_LOOP_ONLY — raw ::poll/::epoll_wait calls outside
+// src/net/ are a lint error (rule "raw-poll"), so every kernel readiness
+// wait in the tree flows through here (or wait_fd_readable in fd_poll.hpp
+// for one-shot single-fd waits).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+namespace sc::net {
+
+/// One fd that became ready. `tag` is the caller's cookie from add().
+struct ReadyEvent {
+    std::uint64_t tag = 0;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;  ///< peer closed (POLLHUP / EPOLLHUP)
+    bool error = false;   ///< POLLERR / POLLNVAL / EPOLLERR
+};
+
+enum class EventBackendKind { poll, epoll };
+
+[[nodiscard]] const char* event_backend_kind_name(EventBackendKind kind);
+[[nodiscard]] std::optional<EventBackendKind> parse_event_backend_kind(
+    std::string_view name);
+
+/// Platform default: epoll on Linux, poll everywhere else.
+[[nodiscard]] EventBackendKind default_event_backend_kind();
+
+/// Explicit choice → SC_EVENT_BACKEND env var → platform default.
+/// An unparseable env value is ignored (falls through to the default).
+[[nodiscard]] EventBackendKind resolve_event_backend_kind(
+    std::optional<EventBackendKind> explicit_kind);
+
+class EventBackend {
+public:
+    virtual ~EventBackend() = default;
+
+    /// Register `fd` with the given interest set. `tag` is returned verbatim
+    /// in ReadyEvent so callers can map events back to their own state
+    /// without an fd lookup. Registering an fd twice is a logic error.
+    virtual void add(int fd, bool read, bool write, std::uint64_t tag) = 0;
+
+    /// Change the interest set (and tag) of a registered fd.
+    virtual void modify(int fd, bool read, bool write, std::uint64_t tag) = 0;
+
+    /// Deregister. Must be called BEFORE the fd is closed — a closed fd is
+    /// auto-removed from an epoll set but not from the poll vector, and the
+    /// two backends must stay behaviorally identical.
+    virtual void remove(int fd) = 0;
+
+    /// Whether `fd` is currently registered.
+    [[nodiscard]] virtual bool contains(int fd) const = 0;
+
+    /// Number of registered fds.
+    [[nodiscard]] virtual std::size_t registered() const = 0;
+
+    /// Block until at least one registered fd is ready or `deadline` passes.
+    /// nullopt blocks indefinitely (a wake-pipe fd must be registered to
+    /// interrupt). A deadline already in the past polls without blocking.
+    /// Appends to `out` (caller clears) and returns the number appended;
+    /// returns 0 on timeout or EINTR.
+    virtual std::size_t wait(
+        std::optional<std::chrono::steady_clock::time_point> deadline,
+        std::vector<ReadyEvent>& out) SC_EVENT_LOOP_ONLY = 0;
+
+    [[nodiscard]] virtual const char* name() const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<EventBackend> make_event_backend(
+    EventBackendKind kind);
+
+}  // namespace sc::net

@@ -1,0 +1,27 @@
+// One-shot single-fd readiness wait. The "raw-poll" lint rule bans ::poll /
+// ::epoll_wait outside src/net/, so blocking-path callers (TcpConnection,
+// TcpListener, UdpSocket) that need a bounded wait on exactly one fd use
+// this instead of an EventBackend — registering and tearing down a backend
+// per call would be pure overhead.
+#pragma once
+
+#include <poll.h>
+
+#include <cerrno>
+#include <system_error>
+
+namespace sc::net {
+
+/// Wait up to `timeout_ms` (-1 blocks) for `fd` to become readable.
+/// Returns false on timeout or EINTR, throws std::system_error on failure.
+inline bool wait_fd_readable(int fd, int timeout_ms) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+        if (errno == EINTR) return false;
+        throw std::system_error(errno, std::generic_category(), "poll");
+    }
+    return ready > 0;
+}
+
+}  // namespace sc::net

@@ -21,6 +21,7 @@ const char* trace_event_name(TraceEventType t) {
         case TraceEventType::resync_requested: return "resync_requested";
         case TraceEventType::resync_served: return "resync_served";
         case TraceEventType::sibling_joined: return "sibling_joined";
+        case TraceEventType::session_idle_closed: return "session_idle_closed";
     }
     return "?";
 }

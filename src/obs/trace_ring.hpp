@@ -39,6 +39,7 @@ enum class TraceEventType : std::uint16_t {
     resync_requested,         ///< a = peer we sent DIRREQ to
     resync_served,            ///< a = peer whose DIRREQ we answered with a full bitmap
     sibling_joined,           ///< a = sibling learned at runtime (dynamic membership)
+    session_idle_closed,      ///< a = session id reaped by the idle keep-alive sweep
 };
 
 [[nodiscard]] const char* trace_event_name(TraceEventType t);

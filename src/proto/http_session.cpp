@@ -1,0 +1,163 @@
+#include "proto/http_session.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sc {
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+    return a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+               return std::tolower(static_cast<unsigned char>(x)) ==
+                      std::tolower(static_cast<unsigned char>(y));
+           });
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+    return s;
+}
+
+bool is_admin_target(std::string_view target, bool& trace) {
+    // Match the path component only; /__metrics?x=y still serves metrics.
+    const auto path = target.substr(0, target.find('?'));
+    if (path == "/__metrics") return trace = false, true;
+    if (path == "/__trace") return trace = true, true;
+    return false;
+}
+
+std::uint64_t parse_u64(std::string_view s) {
+    std::uint64_t v = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9') return v;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return v;
+}
+
+/// Map an HTTP request target onto the lite request the pipeline serves:
+/// url = path, with the trace parameters the lite line carries inline
+/// riding in the query string (?size=N&version=M).
+HttpLiteRequest target_to_lite(std::string_view target) {
+    HttpLiteRequest req;
+    const auto q = target.find('?');
+    req.url = std::string(target.substr(0, q));
+    if (q != std::string_view::npos) {
+        std::string_view query = target.substr(q + 1);
+        while (!query.empty()) {
+            const auto amp = query.find('&');
+            const std::string_view pair = query.substr(0, amp);
+            query = amp == std::string_view::npos ? std::string_view{}
+                                                  : query.substr(amp + 1);
+            const auto eq = pair.find('=');
+            if (eq == std::string_view::npos) continue;
+            const auto key = pair.substr(0, eq);
+            const auto value = pair.substr(eq + 1);
+            if (key == "size")
+                req.size = parse_u64(value);
+            else if (key == "version")
+                req.version = parse_u64(value);
+        }
+    }
+    return req;
+}
+
+}  // namespace
+
+std::optional<SessionRequest> HttpSessionParser::start_request(std::string_view line) {
+    // "<METHOD> <target> HTTP/1.x" opens a real HTTP request; anything else
+    // is a complete HTTP-lite line.
+    const bool http10 = line.ends_with(" HTTP/1.0");
+    const bool http11 = line.ends_with(" HTTP/1.1");
+    if (http10 || http11) {
+        pending_ = SessionRequest{};
+        pending_.http_style = true;
+        pending_.keep_alive = http11;  // 1.1 defaults keep-alive, 1.0 close
+        connection_close_ = false;
+        connection_keep_alive_ = false;
+        header_bytes_ = line.size();
+        state_ = State::headers;
+
+        std::string_view rest = line.substr(0, line.size() - 9);
+        const auto sp = rest.find(' ');
+        const auto method = rest.substr(0, sp);
+        const auto target = sp == std::string_view::npos
+                                ? std::string_view{}
+                                : trim(rest.substr(sp + 1));
+        if (method != "GET" || target.empty() || target.front() != '/') {
+            pending_.parse_error = true;
+            pending_.keep_alive = false;
+        } else if (is_admin_target(target, pending_.admin_trace)) {
+            pending_.admin = true;
+        } else {
+            pending_.req = target_to_lite(target);
+        }
+        return std::nullopt;  // request completes at the blank header line
+    }
+
+    SessionRequest out;
+    // The admin endpoints predate real HTTP support here and answer bare
+    // lite lines too; those one-shot clients read to EOF, so keep closing.
+    if (line.rfind("GET /__metrics", 0) == 0 || line.rfind("GET /__trace", 0) == 0) {
+        out.admin = true;
+        out.admin_trace = line.rfind("GET /__trace", 0) == 0;
+        out.keep_alive = false;
+        return out;
+    }
+    if (const auto req = parse_request(line)) {
+        out.req = *req;
+    } else {
+        // Lite framing survives a garbage line: the ERROR reply goes out
+        // and the connection stays usable (historic behavior, pinned by
+        // the proxy tests).
+        out.parse_error = true;
+    }
+    return out;
+}
+
+std::optional<SessionRequest> HttpSessionParser::on_line(std::string_view line) {
+    if (state_ == State::idle) {
+        // Tolerate stray blank lines between pipelined requests (RFC 9112
+        // §2.2 asks servers to skip at least one).
+        if (line.empty()) return std::nullopt;
+        return start_request(line);
+    }
+
+    // Header block of an HTTP request.
+    header_bytes_ += line.size() + 2;
+    if (line.empty()) {
+        state_ = State::idle;
+        if (connection_close_)
+            pending_.keep_alive = false;
+        else if (connection_keep_alive_)
+            pending_.keep_alive = true;
+        if (pending_.parse_error) pending_.keep_alive = false;
+        return pending_;
+    }
+    if (header_bytes_ > kMaxHeaderBytes) {
+        // Refuse to buffer an unbounded header stream. Framing is lost, so
+        // the connection must close after the 400.
+        state_ = State::idle;
+        pending_.parse_error = true;
+        pending_.keep_alive = false;
+        return pending_;
+    }
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;  // ignore junk
+    if (!iequals(trim(line.substr(0, colon)), "Connection")) return std::nullopt;
+    // Comma-separated option list; "close" anywhere wins.
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty()) {
+        const auto comma = value.find(',');
+        const auto token = trim(value.substr(0, comma));
+        value = comma == std::string_view::npos ? std::string_view{}
+                                                : value.substr(comma + 1);
+        if (iequals(token, "close")) connection_close_ = true;
+        if (iequals(token, "keep-alive")) connection_keep_alive_ = true;
+    }
+    return std::nullopt;
+}
+
+}  // namespace sc

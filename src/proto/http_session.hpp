@@ -1,0 +1,66 @@
+// Incremental per-session request parser for the proxy front end.
+//
+// The event loop feeds it one framing line at a time (from
+// TcpConnection::buffered_line — never a blocking read) and gets back a
+// completed SessionRequest or "need more lines". Two grammars share one
+// connection, distinguished per request:
+//
+//   * HTTP-lite (docs in http_lite.hpp): every bare line is a complete
+//     request. Persistent and pipelined by construction.
+//   * Real HTTP/1.x: "<METHOD> <target> HTTP/1.<0|1>" followed by a header
+//     block ending in an empty line. Only what the prototype serves is
+//     understood — GET, the admin endpoints, and `Connection:`
+//     keep-alive/close negotiation (HTTP/1.1 defaults to keep-alive,
+//     HTTP/1.0 to close). Other targets map onto HTTP-lite requests
+//     (`?size=N&version=M` carries the trace parameters a real URL lacks).
+//
+// The parser is pure state — no I/O, no locks — so it lives comfortably
+// inside the event-loop-owned Session and is trivially unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "proto/http_lite.hpp"
+
+namespace sc {
+
+/// Headers longer than this abort the request (slow-loris style header
+/// streams must not buffer unboundedly).
+inline constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
+
+/// One parsed client request, ready for a worker.
+struct SessionRequest {
+    HttpLiteRequest req;       ///< meaningless when parse_error or admin
+    bool http_style = false;   ///< respond with HTTP/1.1 framing
+    bool keep_alive = true;    ///< connection survives this response
+    bool parse_error = false;  ///< respond ERROR / 400
+    bool admin = false;        ///< /__metrics or /__trace
+    bool admin_trace = false;  ///< /__trace (admin only)
+};
+
+class HttpSessionParser {
+public:
+    /// Feed one line (terminator already stripped). Returns the completed
+    /// request, or nullopt when more lines are needed (HTTP header block).
+    [[nodiscard]] std::optional<SessionRequest> on_line(std::string_view line);
+
+    /// True while inside an HTTP header block: EOF here is an aborted
+    /// request, not a clean close-between-requests.
+    [[nodiscard]] bool mid_request() const { return state_ == State::headers; }
+
+private:
+    enum class State { idle, headers };
+
+    [[nodiscard]] std::optional<SessionRequest> start_request(std::string_view line);
+
+    State state_ = State::idle;
+    SessionRequest pending_;
+    std::size_t header_bytes_ = 0;
+    bool connection_close_ = false;
+    bool connection_keep_alive_ = false;
+};
+
+}  // namespace sc

@@ -1,7 +1,6 @@
 #include "proto/mini_proxy.hpp"
 
 #include <fcntl.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -71,6 +70,13 @@ std::unique_ptr<store::LogStructuredStore> make_disk_tier(const MiniProxyConfig&
     return std::make_unique<store::LogStructuredStore>(std::move(lc));
 }
 
+/// Event-backend tags: three static fds, then sessions keyed by their
+/// monotonically assigned id (never an fd — fds get reused, ids do not).
+constexpr std::uint64_t kListenerTag = 0;
+constexpr std::uint64_t kUdpTag = 1;
+constexpr std::uint64_t kWakeTag = 2;
+constexpr std::uint64_t kSessionTagBase = 16;
+
 }  // namespace
 
 MiniProxy::MiniProxy(MiniProxyConfig config)
@@ -89,6 +95,7 @@ MiniProxy::MiniProxy(MiniProxyConfig config)
                   config.id, core::DeltaBatcherConfig{config.update_threshold, 0.0, 0}},
               cache_, nullptr, &node_probe_),
       next_query_number_(std::random_device{}()) {
+    backend_kind_ = net::resolve_event_backend_kind(config_.event_backend);
     if (::pipe2(wake_pipe_, O_CLOEXEC | O_NONBLOCK) < 0)
         throw std::system_error(errno, std::generic_category(), "pipe2");
     siblings_.store(std::make_shared<const SiblingTable>(), std::memory_order_release);
@@ -133,6 +140,11 @@ MiniProxy::MiniProxy(MiniProxyConfig config)
     obs_.write_buffer_bytes = reg.gauge(
         "sc_proxy_write_buffer_bytes",
         "Response bytes buffered for slow readers, awaiting POLLOUT", labels);
+    obs_.open_sessions = reg.gauge(
+        "sc_proxy_open_sessions", "Accepted client connections currently alive", labels);
+    obs_.keepalive_reuses = reg.counter(
+        "sc_proxy_keepalive_reuses_total",
+        "Requests served on an already-used connection (keep-alive wins)", labels);
     if (!config_.access_log_path.empty()) {
         access_log_ = std::make_unique<std::ofstream>(config_.access_log_path,
                                                       std::ios::app);
@@ -241,6 +253,7 @@ void MiniProxy::stop() {
     }
     demux_.shutdown();  // workers blocked on a query round return promptly
     jobs_cv_.notify_all();
+    wake_loop();  // the loop may be asleep until its next timer deadline
     if (loop_.joinable()) loop_.join();
     for (auto& w : workers_)
         if (w.joinable()) w.join();
@@ -249,8 +262,11 @@ void MiniProxy::stop() {
     // Only now — with the loop and every worker joined — is it safe to tear
     // down sessions: a worker holds a raw Session* through its Job until the
     // moment it exits, so destroying them from run() raced that access.
-    for (const auto& [id, s] : sessions_)
+    // (run() destroyed the backend on exit, before any fd closes here.)
+    for (const auto& [id, s] : sessions_) {
         obs_.write_buffer_bytes.add(-static_cast<double>(s->outbox.size()));
+        obs_.open_sessions.add(-1);
+    }
     sessions_.clear();
 }
 
@@ -276,6 +292,7 @@ MiniProxyStats MiniProxy::stats() const {
         s = stats_;
     }
     s.icp_stale_replies = demux_.stale_replies();
+    s.loop_wakeups = loop_wakeups_.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -610,8 +627,63 @@ SC_EVENT_LOOP_ONLY void MiniProxy::finish_session(std::uint64_t id) {
 SC_EVENT_LOOP_ONLY void MiniProxy::drop_session(std::uint64_t id) {
     const auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
+    // Deregister BEFORE the erase closes the fd (the backend contract;
+    // also keeps a recycled fd from inheriting stale interest).
+    if (it->second->registered && backend_) backend_->remove(it->second->conn.fd());
     obs_.write_buffer_bytes.add(-static_cast<double>(it->second->outbox.size()));
+    obs_.open_sessions.add(-1);
     sessions_.erase(it);
+}
+
+SC_EVENT_LOOP_ONLY void MiniProxy::update_session_interest(std::uint64_t id, Session& s) {
+    // Busy sessions belong to a worker: the loop must not watch the fd at
+    // all (the worker writes it, and a readable pipelined request must not
+    // be double-dispatched). After EOF, read interest is dropped too — a
+    // half-closed fd stays level-triggered-readable forever and would spin
+    // the loop while the outbox drains.
+    const bool want = !s.busy;
+    const bool want_read = want && !s.saw_eof;
+    const bool want_write = want && !s.outbox.empty();
+    if (!want_read && !want_write) {
+        if (s.registered) {
+            backend_->remove(s.conn.fd());
+            s.registered = false;
+        }
+        return;
+    }
+    if (!s.registered) {
+        backend_->add(s.conn.fd(), want_read, want_write, kSessionTagBase + id);
+        s.registered = true;
+        s.registered_read = want_read;
+        s.registered_write = want_write;
+    } else if (s.registered_read != want_read || s.registered_write != want_write) {
+        backend_->modify(s.conn.fd(), want_read, want_write, kSessionTagBase + id);
+        s.registered_read = want_read;
+        s.registered_write = want_write;
+    }
+}
+
+SC_EVENT_LOOP_ONLY void MiniProxy::sweep_idle_sessions(
+    std::chrono::steady_clock::time_point now) {
+    if (config_.idle_timeout.count() <= 0 || now < next_idle_sweep_) return;
+    next_idle_sweep_ = now + std::max<std::chrono::milliseconds>(
+                                 config_.idle_timeout / 4, std::chrono::milliseconds(10));
+    std::vector<std::uint64_t> idle;
+    for (const auto& [id, s] : sessions_) {
+        if (s->busy || !s->outbox.empty()) continue;  // active, not idle
+        if (now - s->last_activity > config_.idle_timeout) idle.push_back(id);
+    }
+    for (const std::uint64_t id : idle) {
+        // Quiet close: no response bytes, no log line — the peer parked a
+        // keep-alive connection and walked away.
+        obs::trace(obs::TraceEventType::session_idle_closed,
+                   static_cast<std::uint16_t>(config_.id), id & 0xffffffffu);
+        drop_session(id);
+    }
+    if (!idle.empty()) {
+        const MutexLock lock(stats_mu_);
+        stats_.idle_closes += idle.size();
+    }
 }
 
 void MiniProxy::wake_loop() {
@@ -625,17 +697,33 @@ SC_EVENT_LOOP_ONLY bool MiniProxy::pump_session(std::uint64_t id, Session& s) {
     // Backpressure: while buffered response bytes await POLLOUT, hold the
     // next pipelined request (flush_outbox re-pumps once drained).
     if (!s.outbox.empty()) return true;
-    if (auto line = s.conn.buffered_line()) {
+    // Feed buffered lines through the parser until one completes a request
+    // (HTTP header lines consume several lines per request).
+    while (auto line = s.conn.buffered_line()) {
+        auto request = s.parser.on_line(*line);
+        if (!request) continue;
+        s.last_activity = std::chrono::steady_clock::now();
+        ++s.requests_dispatched;
+        if (s.requests_dispatched > 1) {
+            obs_.keepalive_reuses.inc();
+            const MutexLock lock(stats_mu_);
+            ++stats_.keepalive_reuses;
+        }
+        if (config_.max_requests_per_connection != 0 &&
+            s.requests_dispatched >= config_.max_requests_per_connection)
+            request->keep_alive = false;  // rotate: close after this response
         s.busy = true;
         {
             const MutexLock lock(jobs_mu_);
-            job_queue_.push_back(Job{id, &s, std::move(*line)});
+            job_queue_.push_back(Job{id, &s, std::move(*request)});
         }
         obs_.worker_queue_depth.add(1);
         jobs_cv_.notify_one();
         return true;
     }
-    if (s.saw_eof) return false;  // peer closed; buffered lines all served
+    // Peer closed; buffered requests all served. (EOF inside an HTTP
+    // header block aborts that half-request with it.)
+    if (s.saw_eof) return false;
     // A stream this long without a newline is not a request line.
     if (s.conn.buffered_bytes() > kMaxRequestLineBytes) return false;
     return true;
@@ -649,12 +737,26 @@ SC_EVENT_LOOP_ONLY void MiniProxy::run() {
         for (const auto& s : *sibs) s->last_heard = std::chrono::steady_clock::now();
     }
     next_keepalive_ = std::chrono::steady_clock::now() + config_.keepalive_interval;
-    std::vector<pollfd> pfds;
-    std::vector<std::uint64_t> pfd_sessions;  // ids behind pfds[3..]
+    next_idle_sweep_ = std::chrono::steady_clock::now();
+    // The backend lives exactly as long as the loop: fds registered here
+    // are deregistered before their owners close them, and stop() tears
+    // sessions down only after this thread (and the backend) is gone.
+    backend_ = make_event_backend(backend_kind_);
+    backend_->add(listener_.fd(), true, false, kListenerTag);
+    backend_->add(udp_.fd(), true, false, kUdpTag);
+    backend_->add(wake_pipe_[0], true, false, kWakeTag);
+    std::vector<net::ReadyEvent> ready;
     std::vector<Completion> done;
     std::vector<NodeId> joined;
     while (!stopping_.load()) {
+        const auto now = std::chrono::steady_clock::now();
         send_keepalives_and_check_liveness();
+        sweep_idle_sessions(now);
+        // No fixed tick: sleep until the earliest pending timer. Anything
+        // that needs the loop sooner (worker completions, runtime joins,
+        // stop()) writes the wake pipe.
+        auto deadline = next_keepalive_;
+        if (config_.idle_timeout.count() > 0) deadline = std::min(deadline, next_idle_sweep_);
         if (config_.mode == ShareMode::summary) {
             // Bootstrap runtime joiners: push them our bitmap, pull theirs.
             joined.clear();
@@ -671,35 +773,26 @@ SC_EVENT_LOOP_ONLY void MiniProxy::run() {
             // Repair sweep: any live peer whose update stream is unsynced
             // (boot, quarantine after a gap, lost DIRREQ or lost full)
             // gets another DIRREQ, rate-limited per peer — this is what
-            // makes summary distribution converge under loss.
+            // makes summary distribution converge under loss. While any
+            // peer is unsynced, wake again when its rate limit next opens
+            // instead of sleeping until the keepalive tick.
             const auto sibs = sibling_snapshot();
             for (const auto& s : *sibs)
                 if (s->alive.load(std::memory_order_relaxed) &&
-                    node_.sibling_needs_resync(s->id))
+                    node_.sibling_needs_resync(s->id)) {
                     request_resync(*s);
-        }
-        pfds.clear();
-        pfd_sessions.clear();
-        pfds.push_back({listener_.fd(), POLLIN, 0});
-        pfds.push_back({udp_.fd(), POLLIN, 0});
-        pfds.push_back({wake_pipe_[0], POLLIN, 0});
-        for (const auto& [id, s] : sessions_) {
-            if (s->busy) continue;  // a worker owns the connection
-            const short events =
-                static_cast<short>(POLLIN | (s->outbox.empty() ? 0 : POLLOUT));
-            pfds.push_back({s->conn.fd(), events, 0});
-            pfd_sessions.push_back(id);
+                    deadline = std::min(
+                        deadline, std::max(s->next_resync_request,
+                                           now + std::chrono::milliseconds(1)));
+                }
         }
 
-        const int ready = ::poll(pfds.data(), pfds.size(), 50);
-        if (ready < 0) continue;  // EINTR
+        ready.clear();
+        backend_->wait(deadline, ready);
+        loop_wakeups_.fetch_add(1, std::memory_order_relaxed);
 
         // Worker completions first: they idle sessions that may have more
         // buffered (pipelined) requests ready to dispatch.
-        if (pfds[2].revents & POLLIN) {
-            char drain[256];
-            while (::read(wake_pipe_[0], drain, sizeof drain) > 0) {}
-        }
         done.clear();
         {
             const MutexLock lock(jobs_mu_);
@@ -710,34 +803,48 @@ SC_EVENT_LOOP_ONLY void MiniProxy::run() {
             if (it == sessions_.end()) continue;
             Session& s = *it->second;
             s.busy = false;
+            s.last_activity = std::chrono::steady_clock::now();
             if (s.overflow) {
                 drop_session(c.session_id);
                 continue;
             }
             if (!c.keep || !pump_session(c.session_id, s)) finish_session(c.session_id);
+            // The session may be gone (dropped), draining (close_after_flush
+            // needs write interest), idle again, or re-busy (pipelined
+            // dispatch): sync its registration with whatever it became.
+            if (const auto again = sessions_.find(c.session_id); again != sessions_.end())
+                update_session_interest(c.session_id, *again->second);
         }
 
-        // Accepting cannot invalidate this round's pfds: new sessions are
-        // simply absent from the snapshot until the next iteration (this
-        // ordering replaces the old read-past-the-end of pfds when an
-        // accept landed mid-iteration).
-        if (pfds[0].revents & POLLIN) {
-            while (auto conn = listener_.accept(0)) {
-                const std::uint64_t id = next_session_id_++;
-                sessions_.emplace(id, std::make_unique<Session>(std::move(*conn)));
+        for (const net::ReadyEvent& ev : ready) {
+            if (ev.tag == kWakeTag) {
+                char drain[256];
+                while (::read(wake_pipe_[0], drain, sizeof drain) > 0) {}
+                continue;
             }
-        }
-        if (pfds[1].revents & POLLIN) {
-            while (auto dgram = udp_.receive(0)) handle_datagram(*dgram);
-        }
-        for (std::size_t k = 3; k < pfds.size(); ++k) {
-            if (!(pfds[k].revents & (POLLIN | POLLOUT | POLLHUP | POLLERR))) continue;
-            const std::uint64_t sid = pfd_sessions[k - 3];
+            if (ev.tag == kListenerTag) {
+                while (auto conn = listener_.accept(0)) {
+                    const std::uint64_t id = next_session_id_++;
+                    auto [it, inserted] =
+                        sessions_.emplace(id, std::make_unique<Session>(std::move(*conn)));
+                    obs_.open_sessions.add(1);
+                    update_session_interest(id, *it->second);
+                }
+                continue;
+            }
+            if (ev.tag == kUdpTag) {
+                while (auto dgram = udp_.receive(0)) handle_datagram(*dgram);
+                continue;
+            }
+            // A session event. Stale tags (the session was dropped while
+            // this batch was being processed) simply miss the map — a tag
+            // is never recycled, unlike an fd.
+            const std::uint64_t sid = ev.tag - kSessionTagBase;
             const auto it = sessions_.find(sid);
             if (it == sessions_.end() || it->second->busy) continue;
             Session& s = *it->second;
             bool drop = false;
-            if (pfds[k].revents & POLLOUT) {
+            if (ev.writable) {
                 try {
                     flush_outbox(s);
                 } catch (const std::exception&) {
@@ -748,7 +855,7 @@ SC_EVENT_LOOP_ONLY void MiniProxy::run() {
                     continue;
                 }
             }
-            if (!drop && (pfds[k].revents & (POLLIN | POLLHUP | POLLERR))) {
+            if (!drop && (ev.readable || ev.hangup || ev.error)) {
                 try {
                     // Only the bytes available right now: a slow or malicious
                     // client that stops mid-line parks its partial buffer here
@@ -756,6 +863,8 @@ SC_EVENT_LOOP_ONLY void MiniProxy::run() {
                     // longer wedge the loop in a blocking read.
                     if (s.conn.fill_available() == TcpConnection::Fill::eof)
                         s.saw_eof = true;
+                    else
+                        s.last_activity = std::chrono::steady_clock::now();
                 } catch (const std::exception&) {
                     drop = true;  // ECONNRESET and friends
                 }
@@ -764,9 +873,14 @@ SC_EVENT_LOOP_ONLY void MiniProxy::run() {
                 drop_session(sid);
             else if (!pump_session(sid, s))
                 finish_session(sid);
+            if (const auto again = sessions_.find(sid); again != sessions_.end())
+                update_session_interest(sid, *again->second);
         }
     }
-    // Session teardown happens in stop(), after the workers have joined.
+    // Deregistration order vs close: the backend dies first, while every
+    // registered fd is still open. Session teardown happens in stop(),
+    // after the workers have joined.
+    backend_.reset();
 }
 
 void MiniProxy::worker_loop() {
@@ -803,7 +917,7 @@ void MiniProxy::worker_loop() {
         obs_.inflight_requests.add(1);
         bool keep = false;
         try {
-            keep = handle_client_line(*job.session, job.line, ctx);
+            keep = handle_client_request(*job.session, job.request, ctx);
         } catch (const std::exception&) {
             // protocol error or broken pipe: drop client
         }
@@ -816,17 +930,39 @@ void MiniProxy::worker_loop() {
     }
 }
 
-bool MiniProxy::handle_client_line(Session& s, const std::string& line,
-                                   WorkerCtx& ctx) {
-    if (line.rfind("GET /__metrics", 0) == 0 || line.rfind("GET /__trace", 0) == 0) {
-        serve_admin(s.conn, line);
-        return false;  // admin endpoints are one-shot; close like HTTP/1.0
+void MiniProxy::send_response(Session& s, const SessionRequest& r,
+                              HttpLiteStatus status, std::string_view body) {
+    if (r.http_style) {
+        std::string head = "HTTP/1.1 ";
+        head += status == HttpLiteStatus::error        ? "400 Bad Request"
+                : status == HttpLiteStatus::not_cached ? "404 Not Found"
+                                                       : "200 OK";
+        // The lite status rides in a header so HTTP clients can still
+        // distinguish local/remote/origin service.
+        head += "\r\nX-SC-Status: ";
+        head += http_lite_status_name(status);
+        head += "\r\nContent-Type: text/plain\r\nContent-Length: ";
+        head += std::to_string(body.size());
+        head += r.keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                             : "\r\nConnection: close\r\n\r\n";
+        send_to_client(s, head);
+    } else {
+        send_to_client(s, format_response_header({status, body.size()}));
     }
-    const auto req = parse_request(line);
-    if (!req) {
-        send_to_client(s, format_response_header({HttpLiteStatus::error, 0}));
-        return true;
+    if (!body.empty()) send_to_client(s, body);
+}
+
+bool MiniProxy::handle_client_request(Session& s, const SessionRequest& r,
+                                      WorkerCtx& ctx) {
+    if (r.admin) {
+        serve_admin(s, r);
+        return r.keep_alive;
     }
+    if (r.parse_error) {
+        send_response(s, r, HttpLiteStatus::error, {});
+        return r.keep_alive;
+    }
+    const HttpLiteRequest* req = &r.req;
 
     if (req->digest) {
         // Serve our cache digest: the full-bitmap update, chunked exactly
@@ -846,21 +982,21 @@ bool MiniProxy::handle_client_line(Session& s, const std::string& line,
             const MutexLock lock(stats_mu_);
             ++stats_.digests_served;
         }
+        // Digest bodies are lite-framed chunk streams (DGET never arrives
+        // over real HTTP), so this one response skips send_response.
         send_to_client(s, format_response_header({HttpLiteStatus::ok, total}));
         for (const auto& msg : chunks)
             send_to_client(s, std::span<const std::uint8_t>(msg));
-        return true;
+        return r.keep_alive;
     }
 
     if (req->sibling_only) {
         // SGET: serve from cache only; a stale or absent copy is NOT_CACHED.
-        if (engine_.lookup_local(req->url, req->version) == LruCache::Lookup::hit) {
-            send_to_client(s, format_response_header({HttpLiteStatus::local_hit, req->size}));
-            send_to_client(s, synth_body(req->size));
-        } else {
-            send_to_client(s, format_response_header({HttpLiteStatus::not_cached, 0}));
-        }
-        return true;
+        if (engine_.lookup_local(req->url, req->version) == LruCache::Lookup::hit)
+            send_response(s, r, HttpLiteStatus::local_hit, synth_body(req->size));
+        else
+            send_response(s, r, HttpLiteStatus::not_cached, {});
+        return r.keep_alive;
     }
 
     const auto started = std::chrono::steady_clock::now();
@@ -875,10 +1011,9 @@ bool MiniProxy::handle_client_line(Session& s, const std::string& line,
             const MutexLock lock(stats_mu_);
             ++stats_.local_hits;
         }
-        send_to_client(s, format_response_header({HttpLiteStatus::local_hit, req->size}));
-        send_to_client(s, synth_body(req->size));
+        send_response(s, r, HttpLiteStatus::local_hit, synth_body(req->size));
         finish_request(HttpLiteStatus::local_hit, *req, started);
-        return true;
+        return r.keep_alive;
     }
 
     // Local miss: discover a remote copy per the configured protocol.
@@ -903,11 +1038,11 @@ bool MiniProxy::handle_client_line(Session& s, const std::string& line,
         obs::trace(obs::TraceEventType::remote_hit,
                    static_cast<std::uint16_t>(config_.id), from, inline_obj ? 1 : 0);
         insert_document(*req);
-        send_to_client(s, format_response_header({HttpLiteStatus::remote_hit, req->size}));
-        send_to_client(s, synth_body(req->size));
+        send_response(s, r, HttpLiteStatus::remote_hit, synth_body(req->size));
         finish_request(HttpLiteStatus::remote_hit, *req, started);
     };
 
+    bool served_remote = false;
     if (!targets.empty() && uses_summaries(config_.mode)) {
         // SC-ICP probes the promising siblings ONE AT A TIME, stopping at
         // the first fresh copy — the message economy the simulator counts
@@ -927,7 +1062,7 @@ bool MiniProxy::handle_client_line(Session& s, const std::string& line,
             });
         if (round.winner) {
             serve_remote_hit(*round.winner, inline_obj);
-            return true;
+            served_remote = true;
         }
     } else if (!targets.empty()) {
         // Classic ICP: one multicast round; every reply comes back.
@@ -935,15 +1070,18 @@ bool MiniProxy::handle_client_line(Session& s, const std::string& line,
         if (outcome.inline_object) {
             // A fresh HIT_OBJ already delivered the body: no TCP fetch.
             serve_remote_hit(0, true);
-            return true;
-        }
-        for (const NodeId id : outcome.hits) {
-            if (fetch_from_sibling(id, *req)) {
-                serve_remote_hit(id, false);
-                return true;
+            served_remote = true;
+        } else {
+            for (const NodeId id : outcome.hits) {
+                if (fetch_from_sibling(id, *req)) {
+                    serve_remote_hit(id, false);
+                    served_remote = true;
+                    break;
+                }
             }
         }
     }
+    if (served_remote) return r.keep_alive;
 
     const std::string body = fetch_from_origin(*req, ctx);
     {
@@ -952,40 +1090,31 @@ bool MiniProxy::handle_client_line(Session& s, const std::string& line,
     }
     obs_.origin_fetches.inc();
     insert_document(*req);
-    send_to_client(s, format_response_header({HttpLiteStatus::miss, body.size()}));
-    send_to_client(s, body);
+    send_response(s, r, HttpLiteStatus::miss, body);
     finish_request(HttpLiteStatus::miss, *req, started);
-    return true;
+    return r.keep_alive;
 }
 
-void MiniProxy::serve_admin(TcpConnection& conn, const std::string& line) {
-    // curl speaks "GET <path> HTTP/1.x" followed by a header block; the
-    // http-lite client sends the bare request line. Answer both. The
-    // worker owns the connection here, so the blocking header drain is
-    // safe — the event loop is not polling this fd.
-    const bool want_trace = line.rfind("GET /__trace", 0) == 0;
-    const bool http_style = line.find(" HTTP/") != std::string::npos;
-    if (http_style) {
-        // Drain the header block (terminated by an empty line).
-        while (conn.wait_readable(100)) {
-            const auto hdr = conn.read_line();
-            if (!hdr || hdr->empty()) break;
-        }
-    }
-    const std::string body = want_trace
+void MiniProxy::serve_admin(Session& s, const SessionRequest& r) {
+    // curl speaks "GET <path> HTTP/1.x" followed by a header block (the
+    // parser consumed it — no blocking drain here); the http-lite client
+    // sends the bare request line. Both answers flow through the outbox
+    // like every other response, and HTTP keep-alive is honored.
+    const std::string body = r.admin_trace
                                  ? obs::trace_to_json(obs::TraceRing::global().drain())
                                  : obs::to_prometheus(obs::metrics().snapshot());
-    if (http_style) {
-        std::string head = "HTTP/1.0 200 OK\r\nContent-Type: ";
-        head += want_trace ? "application/json" : "text/plain; version=0.0.4";
+    if (r.http_style) {
+        std::string head = "HTTP/1.1 200 OK\r\nContent-Type: ";
+        head += r.admin_trace ? "application/json" : "text/plain; version=0.0.4";
         head += "\r\nContent-Length: ";
         head += std::to_string(body.size());
-        head += "\r\nConnection: close\r\n\r\n";
-        conn.write_all(head);
+        head += r.keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                             : "\r\nConnection: close\r\n\r\n";
+        send_to_client(s, head);
     } else {
-        conn.write_all(format_response_header({HttpLiteStatus::ok, body.size()}));
+        send_to_client(s, format_response_header({HttpLiteStatus::ok, body.size()}));
     }
-    conn.write_all(body);
+    send_to_client(s, body);
 }
 
 MiniProxy::QueryOutcome MiniProxy::query_siblings(const HttpLiteRequest& req,

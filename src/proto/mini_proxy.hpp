@@ -13,19 +13,30 @@
 //
 // Threading model (docs/PROTOCOL.md "Threading model"): one event-loop
 // thread owns the listener, the UDP socket, and every idle client
-// connection. It only accepts, polls readiness, and reads *available*
-// bytes into per-connection buffers — it never blocks on a partial line
-// and never runs a fetch. Complete request lines are dispatched to an
+// connection, multiplexed through an sc::net::EventBackend (epoll by
+// default on Linux, poll(2) otherwise; `event_backend`/SC_EVENT_BACKEND
+// selects). The loop registers each fd once and waits with a deadline
+// computed from the next pending timer (keepalive pacing, resync repair,
+// idle-session sweep) — there is no fixed tick; cross-thread nudges
+// arrive via the wake pipe. It only accepts, handles readiness, and
+// reads *available* bytes into per-connection buffers — it never blocks
+// on a partial line and never runs a fetch. Connections are HTTP/1.1
+// persistent: an incremental per-session parser (HttpSessionParser)
+// turns buffered lines into requests — pipelined lite lines or real
+// HTTP/1.x with Connection negotiation — which are dispatched to an
 // N-thread worker pool (`MiniProxyConfig::workers`) that runs the full
 // local-hit / summary-probe / sibling-query / origin-fetch pipeline; a
 // connection is owned by exactly one worker while its request is in
-// flight, so responses on one connection stay ordered. ICP replies are
-// routed to the waiting worker by request number through a ReplyDemux;
-// all other datagrams (queries, updates, liveness) are serviced inline by
-// the event loop, so two proxies can never deadlock on each other's
-// control traffic even at workers=1. Responses are written non-blocking:
-// bytes a slow reader cannot take yet are buffered per connection and
-// drained by the event loop on POLLOUT (capped by write_buffer_limit).
+// flight (and deregistered from the backend), so responses on one
+// connection stay ordered. ICP replies are routed to the waiting worker
+// by request number through a ReplyDemux; all other datagrams (queries,
+// updates, liveness) are serviced inline by the event loop, so two
+// proxies can never deadlock on each other's control traffic even at
+// workers=1. Responses are written non-blocking: bytes a slow reader
+// cannot take yet are buffered per connection and drained by the event
+// loop on POLLOUT (capped by write_buffer_limit). Idle sessions past
+// `idle_timeout` are closed quietly; `max_requests_per_connection`
+// rotates long-lived connections.
 //
 // The decision pipeline itself — probe order, sequential SC-ICP query
 // rounds, admission, update batching — lives in core::ProtocolEngine,
@@ -51,8 +62,10 @@
 #include "core/summary_cache_node.hpp"
 #include "icp/reply_demux.hpp"
 #include "icp/udp_socket.hpp"
+#include "net/event_backend.hpp"
 #include "obs/metrics.hpp"
 #include "proto/http_lite.hpp"
+#include "proto/http_session.hpp"
 #include "proto/tcp.hpp"
 #include "store/tiered_store.hpp"
 #include "util/thread_annotations.hpp"
@@ -153,6 +166,21 @@ struct MiniProxyConfig {
     /// Disk-tier capacity in bytes (sum of cached document sizes). 0 with
     /// a disk_dir set defaults to 8x cache_bytes.
     std::uint64_t disk_capacity_bytes = 0;
+
+    /// Event-loop readiness backend. Unset resolves SC_EVENT_BACKEND from
+    /// the environment, then the platform default (epoll on Linux).
+    std::optional<net::EventBackendKind> event_backend;
+
+    /// Close a keep-alive session with no traffic for this long (quiet
+    /// close: no response, no log line). 0 disables the sweep — an idle
+    /// session then lives until the peer closes.
+    std::chrono::milliseconds idle_timeout{60'000};
+
+    /// Rotate a connection after serving this many requests (the response
+    /// to the last one carries `Connection: close` / is followed by EOF).
+    /// 0 = unlimited. Bounds per-connection state growth behind broken
+    /// clients that never close.
+    std::uint32_t max_requests_per_connection = 0;
 };
 
 struct MiniProxyStats {
@@ -190,6 +218,9 @@ struct MiniProxyStats {
     std::uint64_t introductions_sent = 0;      ///< membership-exchange DIRREQs sent
     std::uint64_t introductions_received = 0;  ///< third-party introductions heard
     std::uint64_t seq_heartbeats_sent = 0;     ///< empty-delta sequence advertisements
+    std::uint64_t keepalive_reuses = 0;  ///< requests beyond the first on a connection
+    std::uint64_t idle_closes = 0;       ///< sessions reaped by the idle sweep
+    std::uint64_t loop_wakeups = 0;      ///< event-loop wait() returns (busy-wake probe)
 };
 
 /// Largest DGET digest body we will read from a sibling: the wire-capped
@@ -209,6 +240,8 @@ public:
     [[nodiscard]] Endpoint http_endpoint() const { return http_endpoint_; }
     [[nodiscard]] Endpoint icp_endpoint() const { return icp_endpoint_; }
     [[nodiscard]] NodeId id() const { return config_.id; }
+    /// Resolved readiness backend (config → SC_EVENT_BACKEND → default).
+    [[nodiscard]] net::EventBackendKind event_backend_kind() const { return backend_kind_; }
 
     /// Register a sibling. Safe before OR after start(): a runtime join
     /// publishes a new sibling-table snapshot (RCU), and in summary mode
@@ -278,22 +311,30 @@ private:
 
     /// One accepted client connection. Owned by the event loop while
     /// idle; handed to exactly one worker (busy == true) per dispatched
-    /// request, during which the loop neither polls nor touches conn.
+    /// request, during which the loop neither watches nor touches conn
+    /// (the fd is deregistered from the event backend).
     ///
     /// Responses go through send_to_client: whatever the socket refuses
     /// without blocking lands in `outbox`, which the event loop drains on
     /// POLLOUT once the worker releases the session — a slow reader can
     /// no longer stall a worker mid-response. The next buffered request
-    /// line is not dispatched until the outbox is empty (backpressure).
+    /// is not dispatched until the outbox is empty (backpressure).
     struct Session {
         TcpConnection conn;
+        HttpSessionParser parser;  ///< line → request state machine
         bool busy = false;     ///< a worker owns the connection right now
-        bool saw_eof = false;  ///< peer closed; drain buffered lines, then close
+        bool saw_eof = false;  ///< peer closed; drain buffered requests, then close
         std::string outbox;    ///< response bytes awaiting POLLOUT
         bool close_after_flush = false;  ///< finished; close once outbox drains
         bool overflow = false;  ///< outbox blew write_buffer_limit: drop
+        bool registered = false;       ///< fd currently in the event backend
+        bool registered_read = false;  ///< read interest at registration
+        bool registered_write = false; ///< write interest at registration
+        std::uint64_t requests_dispatched = 0;  ///< max-requests rotation
+        std::chrono::steady_clock::time_point last_activity;  ///< idle sweep
 
-        explicit Session(TcpConnection c) : conn(std::move(c)) {}
+        explicit Session(TcpConnection c)
+            : conn(std::move(c)), last_activity(std::chrono::steady_clock::now()) {}
     };
 
     /// Per-worker state: each worker keeps its own persistent origin
@@ -304,16 +345,27 @@ private:
 
     void run();
     void worker_loop();
-    /// Dispatch the next buffered request line of an idle session, or
-    /// decide the session is finished. Returns false when the caller
-    /// should erase (close) the session.
+    /// Feed buffered lines through the session parser and dispatch the
+    /// next completed request of an idle session, or decide the session
+    /// is finished. Returns false when the caller should erase (close)
+    /// the session.
     [[nodiscard]] bool pump_session(std::uint64_t id, Session& s);
+    /// Sync the session's event-backend registration with its state:
+    /// busy sessions are deregistered, idle ones watch read (+write while
+    /// the outbox is non-empty).
+    void update_session_interest(std::uint64_t id, Session& s);
+    /// Close idle keep-alive sessions past config.idle_timeout.
+    void sweep_idle_sessions(std::chrono::steady_clock::time_point now);
     void wake_loop();
 
-    /// Returns false when the connection should be closed after the reply
-    /// (admin endpoints speak real HTTP and close).
-    [[nodiscard]] bool handle_client_line(Session& s, const std::string& line,
-                                          WorkerCtx& ctx);
+    /// Serve one parsed request. Returns false when the connection should
+    /// be closed after the reply.
+    [[nodiscard]] bool handle_client_request(Session& s, const SessionRequest& r,
+                                             WorkerCtx& ctx);
+    /// Write the response in the framing the request used (lite header or
+    /// HTTP/1.1 with Connection negotiation), through the outbox.
+    void send_response(Session& s, const SessionRequest& r, HttpLiteStatus status,
+                       std::string_view body);
     /// Write a response chunk: as much as the socket takes without
     /// blocking, the rest into the session outbox. Worker-only (the
     /// worker owns the session while busy).
@@ -325,8 +377,9 @@ private:
     void finish_session(std::uint64_t id);
     void drop_session(std::uint64_t id);
     /// GET /__metrics (Prometheus text) and /__trace (JSON event dump);
-    /// answers both curl-style HTTP/1.x and bare HTTP-lite request lines.
-    void serve_admin(TcpConnection& conn, const std::string& line);
+    /// answers both curl-style HTTP/1.x and bare HTTP-lite request lines,
+    /// non-blocking through the outbox like every other response.
+    void serve_admin(Session& s, const SessionRequest& r);
     void handle_datagram(const Datagram& dgram);
     void handle_datagram_body(const Datagram& dgram, const IcpHeader& header);
     void answer_query(const Datagram& dgram);
@@ -451,7 +504,7 @@ private:
     struct Job {
         std::uint64_t session_id;
         Session* session;  ///< stable (sessions_ stores unique_ptr)
-        std::string line;
+        SessionRequest request;
     };
     struct Completion {
         std::uint64_t session_id;
@@ -469,9 +522,18 @@ private:
 
     /// All sessions, keyed by a monotonically assigned id. Touched only
     /// by the event loop thread (workers reach a session exclusively
-    /// through the Job's stable pointer while it is busy).
+    /// through the Job's stable pointer while it is busy). The id doubles
+    /// as the event-backend tag (offset by kSessionTagBase), so a stale
+    /// readiness event can never be misattributed to a reused fd.
     std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions_;
     std::uint64_t next_session_id_ = 1;
+
+    /// Readiness backend; created by run() and destroyed when it exits,
+    /// so it never outlives the loop thread (event-loop-only).
+    std::unique_ptr<net::EventBackend> backend_;
+    net::EventBackendKind backend_kind_;
+    std::chrono::steady_clock::time_point next_idle_sweep_{};
+    std::atomic<std::uint64_t> loop_wakeups_{0};
 
     std::thread loop_;
     std::vector<std::thread> workers_;
@@ -503,6 +565,8 @@ private:
         obs::Gauge worker_queue_depth;   ///< dispatched lines awaiting a worker
         obs::Gauge inflight_requests;    ///< requests currently inside workers
         obs::Gauge write_buffer_bytes;   ///< response bytes awaiting POLLOUT
+        obs::Gauge open_sessions;        ///< accepted client connections alive
+        obs::Counter keepalive_reuses;   ///< requests beyond a connection's first
     };
     Instruments obs_;
 };

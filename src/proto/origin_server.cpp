@@ -36,6 +36,8 @@ void OriginServer::accept_loop() {
 }
 
 void OriginServer::serve(TcpConnection conn) {
+    accepted_.fetch_add(1);
+    std::uint32_t on_this_conn = 0;
     try {
         while (!stopping_.load()) {
             // Poll before reading so shutdown is never blocked by an idle
@@ -52,8 +54,12 @@ void OriginServer::serve(TcpConnection conn) {
             // Count before replying: a client that has read the full body
             // must observe the request as served (tests rely on this).
             served_.fetch_add(1);
+            if (++on_this_conn > 1) reuses_.fetch_add(1);
             conn.write_all(format_response_header({HttpLiteStatus::ok, req->size}));
             conn.write_all(synth_body(req->size));
+            if (config_.max_requests_per_connection != 0 &&
+                on_this_conn >= config_.max_requests_per_connection)
+                break;  // rotate: the client reconnects (replay does)
         }
     } catch (const std::exception&) {
         // Connection-level failure: drop this client, keep serving others.

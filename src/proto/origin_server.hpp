@@ -23,6 +23,10 @@ public:
     struct Config {
         std::uint16_t port = 0;  ///< 0 = ephemeral
         std::chrono::milliseconds reply_delay{0};
+        /// Close a keep-alive connection after serving this many requests
+        /// (0 = unlimited). Lets tests exercise the proxies' and replay
+        /// client's reconnect paths deterministically.
+        std::uint32_t max_requests_per_connection = 0;
     };
 
     explicit OriginServer(Config config);
@@ -33,6 +37,11 @@ public:
 
     [[nodiscard]] Endpoint endpoint() const { return endpoint_; }
     [[nodiscard]] std::uint64_t requests_served() const { return served_.load(); }
+    [[nodiscard]] std::uint64_t connections_accepted() const { return accepted_.load(); }
+    /// Requests served on an already-used connection — how much the
+    /// clients' keep-alive actually saves (0 means one request per
+    /// connection, the pre-keep-alive world).
+    [[nodiscard]] std::uint64_t keepalive_reuses() const { return reuses_.load(); }
 
     void stop();
 
@@ -45,6 +54,8 @@ private:
     Endpoint endpoint_;
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> served_{0};
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> reuses_{0};
     std::thread accept_thread_;
     std::vector<std::thread> workers_ SC_GUARDED_BY(workers_mu_);
     Mutex workers_mu_;

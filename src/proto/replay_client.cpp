@@ -27,12 +27,26 @@ ReplayClientStats replay_trace(const std::vector<Request>& trace,
         req.size = r.size;
 
         const auto start = std::chrono::steady_clock::now();
-        conn.write_all(format_request(req));
-        const auto line = conn.read_line();
-        if (!line) throw std::runtime_error("proxy closed connection mid-replay");
-        const auto header = parse_response_header(*line);
-        if (!header) throw std::runtime_error("malformed proxy response");
-        conn.discard_exact(header->size);
+        std::optional<HttpLiteResponseHeader> header;
+        for (int attempt = 0; attempt < 2; ++attempt) {
+            // A closed keep-alive connection mid-replay is routine — the
+            // proxy rotates connections at max_requests_per_connection and
+            // reaps idle ones — so reconnect and repeat once. A second
+            // failure is a down proxy: abort loudly.
+            try {
+                conn.write_all(format_request(req));
+                const auto line = conn.read_line();
+                if (!line) throw std::runtime_error("proxy closed connection mid-replay");
+                header = parse_response_header(*line);
+                if (!header) throw std::runtime_error("malformed proxy response");
+                conn.discard_exact(header->size);
+                break;
+            } catch (const std::exception&) {
+                if (attempt == 1) throw;
+                conn = TcpConnection::connect(proxy_http_endpoints[p]);
+                ++stats.reconnects;
+            }
+        }
         const auto elapsed = std::chrono::duration<double>(
                                  std::chrono::steady_clock::now() - start)
                                  .count();

@@ -21,6 +21,10 @@ struct ReplayClientStats {
     std::uint64_t remote_hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t errors = 0;
+    /// Keep-alive connections re-established mid-replay: the proxy rotated
+    /// the connection (max_requests_per_connection) or reaped it idle; the
+    /// client reconnects and repeats the request instead of aborting.
+    std::uint64_t reconnects = 0;
     OnlineStats latency_s;  ///< per-request client-visible latency
 
     [[nodiscard]] double total_hit_ratio() const {

@@ -2,7 +2,6 @@
 
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -11,6 +10,7 @@
 #include <system_error>
 #include <utility>
 
+#include "net/fd_poll.hpp"
 #include "obs/metrics.hpp"
 
 namespace sc {
@@ -135,13 +135,7 @@ std::optional<std::string> TcpConnection::read_line() {
 
 bool TcpConnection::wait_readable(int timeout_ms) {
     if (pos_ < buf_.size()) return true;
-    pollfd pfd{fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready < 0) {
-        if (errno == EINTR) return false;
-        throw_errno("poll");
-    }
-    return ready > 0;
+    return net::wait_fd_readable(fd_, timeout_ms);
 }
 
 void TcpConnection::read_exact(std::size_t n, std::string& out) {
@@ -224,7 +218,12 @@ TcpListener::TcpListener(const Endpoint& bind_addr) {
         close_fd();
         throw_errno("bind");
     }
-    if (::listen(fd_, 128) < 0) {
+    // Ask for the largest backlog the kernel allows (it clamps to
+    // net.core.somaxconn). A small hard-coded backlog drops SYNs during
+    // connect bursts — the client then sits in a ~1s retransmit stall even
+    // though the accept loop is keeping up, which caps connection setup
+    // throughput at backlog-per-second for serial clients.
+    if (::listen(fd_, SOMAXCONN) < 0) {
         close_fd();
         throw_errno("listen");
     }
@@ -258,13 +257,7 @@ Endpoint TcpListener::local_endpoint() const {
 }
 
 std::optional<TcpConnection> TcpListener::accept(int timeout_ms) {
-    pollfd pfd{fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready < 0) {
-        if (errno == EINTR) return std::nullopt;
-        throw_errno("poll");
-    }
-    if (ready == 0) return std::nullopt;
+    if (!net::wait_fd_readable(fd_, timeout_ms)) return std::nullopt;
     const int conn = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (conn < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED)

@@ -44,4 +44,14 @@ SC_EVENT_LOOP_ONLY void summary_on_loop() {
     encode_pending_updates();        // seed 17 (line 44): eventloop-blocking
 }
 
+void readiness_by_hand() {
+    ::poll(fds_, n_, 50);           // seed 18 (line 48): raw-poll
+    epoll_wait(ep_, evs_, 64, -1);  // seed 19 (line 49): raw-poll
+    ppoll(fds_, n_, &ts_, &set_);   // seed 20 (line 50): raw-poll
+}
+
+SC_EVENT_LOOP_ONLY void oneshot_on_loop() {
+    net::wait_fd_readable(fd_, 50);  // seed 21 (line 54): eventloop-blocking
+}
+
 }  // namespace fixture

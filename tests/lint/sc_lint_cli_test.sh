@@ -29,14 +29,14 @@ fi
 # Seeded fixture: exit 1, and every seeded rule id appears on stdout.
 out=$("$LINT" "$FIXTURES/known_bad.cpp" 2>/dev/null); rc=$?
 check "known_bad exit" 1 "$rc"
-for rule in raw-mutex hotpath-alloc eventloop-blocking raw-counter-shift; do
+for rule in raw-mutex hotpath-alloc eventloop-blocking raw-counter-shift raw-poll; do
   if ! printf '%s\n' "$out" | grep -q "\[$rule\]"; then
     echo "FAIL: known_bad output is missing rule [$rule]"; fail=1
   fi
 done
 count=$(printf '%s\n' "$out" | grep -c ': error: ')
-if [ "$count" -ne 17 ]; then
-  echo "FAIL: known_bad: expected 17 diagnostics, got $count"; echo "$out"; fail=1
+if [ "$count" -ne 21 ]; then
+  echo "FAIL: known_bad: expected 21 diagnostics, got $count"; echo "$out"; fail=1
 fi
 
 # --rule= narrows the run.

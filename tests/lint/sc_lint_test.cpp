@@ -44,6 +44,8 @@ TEST(ScLintFixtures, KnownBadSeedsAreEachCaught) {
         {36, "eventloop-blocking"}, {37, "eventloop-blocking"},
         {41, "eventloop-blocking"}, {42, "eventloop-blocking"},
         {43, "eventloop-blocking"}, {44, "eventloop-blocking"},
+        {48, "raw-poll"},           {49, "raw-poll"},
+        {50, "raw-poll"},           {54, "eventloop-blocking"},
     };
     ASSERT_EQ(diags->size(), expected.size());
     for (std::size_t i = 0; i < expected.size(); ++i) {
@@ -199,6 +201,45 @@ TEST(ScLintCounterShift, ShiftWithoutWidthIdentIsFine) {
     EXPECT_TRUE(lint("unsigned m = (1u << bits) - 1u; use(counter_bits_);").empty());
 }
 
+// --- raw-poll -------------------------------------------------------------
+
+TEST(ScLintRawPoll, FlagsGlobalReadinessCalls) {
+    for (const char* call : {"::poll(fds, n, 50)", "poll(fds, n, 50)",
+                             "epoll_wait(ep, evs, 64, -1)",
+                             "ppoll(fds, n, &ts, nullptr)",
+                             "epoll_pwait(ep, evs, 64, -1, nullptr)"}) {
+        const auto diags = lint("void f() { " + std::string(call) + "; }");
+        ASSERT_EQ(diags.size(), 1u) << call;
+        EXPECT_EQ(diags[0].rule, "raw-poll");
+    }
+}
+
+TEST(ScLintRawPoll, NetLayerIsExempt) {
+    EXPECT_TRUE(lint_source("src/net/event_backend.cpp",
+                            "int n = ::poll(pfds_.data(), pfds_.size(), ms);")
+                    .empty());
+    EXPECT_TRUE(lint_source("src/net/fd_poll.hpp",
+                            "if (::poll(&pfd, 1, timeout_ms) < 0) {}")
+                    .empty());
+}
+
+TEST(ScLintRawPoll, MethodsAndWrappersAreNotRawCalls) {
+    // Member calls and namespace-qualified wrappers are someone else's
+    // abstraction, not a direct syscall.
+    EXPECT_TRUE(lint("void f() { backend.poll(out); sel->epoll_wait(out); }").empty());
+    EXPECT_TRUE(lint("void f() { mylib::poll(fds, n, 50); }").empty());
+    // A member merely named like the syscall is fine too.
+    EXPECT_TRUE(lint("int f(S s) { return s.poll; }").empty());
+}
+
+TEST(ScLintRawPoll, WaiverSuppresses) {
+    EXPECT_TRUE(lint("void f() {\n"
+                     "    // sc_lint: allow(raw-poll) startup probe, pre-loop\n"
+                     "    ::poll(fds, n, 0);\n"
+                     "}\n")
+                    .empty());
+}
+
 // --- rule selection -------------------------------------------------------
 
 TEST(ScLintOptions, RuleFilterRunsOnlyThatRule) {
@@ -212,8 +253,8 @@ TEST(ScLintOptions, RuleFilterRunsOnlyThatRule) {
     EXPECT_EQ(lint(text).size(), 2u);
 }
 
-TEST(ScLintOptions, AllRulesListsFour) {
-    EXPECT_EQ(sc::lint::all_rules().size(), 4u);
+TEST(ScLintOptions, AllRulesListsFive) {
+    EXPECT_EQ(sc::lint::all_rules().size(), 5u);
 }
 
 }  // namespace

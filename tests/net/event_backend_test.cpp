@@ -1,0 +1,211 @@
+// EventBackend contract tests, run against BOTH implementations: the two
+// backends must be behaviorally identical (level-triggered readiness, tag
+// round-tripping, deadline semantics) so MiniProxy can switch between them
+// with a flag and nothing else changes.
+#include "net/event_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+namespace sc::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<EventBackendKind> kinds_under_test() {
+    std::vector<EventBackendKind> kinds = {EventBackendKind::poll};
+#ifdef __linux__
+    kinds.push_back(EventBackendKind::epoll);
+#endif
+    return kinds;
+}
+
+struct Pipe {
+    int fds[2] = {-1, -1};
+    Pipe() {
+        EXPECT_EQ(::pipe(fds), 0);
+        ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+        ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+    }
+    ~Pipe() {
+        if (fds[0] >= 0) ::close(fds[0]);
+        if (fds[1] >= 0) ::close(fds[1]);
+    }
+    [[nodiscard]] int rd() const { return fds[0]; }
+    [[nodiscard]] int wr() const { return fds[1]; }
+    void write_byte() const { EXPECT_EQ(::write(wr(), "x", 1), 1); }
+    void drain() const {
+        char buf[64];
+        while (::read(rd(), buf, sizeof buf) > 0) {}
+    }
+};
+
+class EventBackendContract : public ::testing::TestWithParam<EventBackendKind> {
+protected:
+    std::unique_ptr<EventBackend> backend_ = make_event_backend(GetParam());
+    std::vector<ReadyEvent> ready_;
+
+    std::size_t wait_until(std::chrono::milliseconds budget) {
+        ready_.clear();
+        return backend_->wait(std::chrono::steady_clock::now() + budget, ready_);
+    }
+};
+
+TEST_P(EventBackendContract, NameMatchesKind) {
+    EXPECT_STREQ(backend_->name(), event_backend_kind_name(GetParam()));
+}
+
+TEST_P(EventBackendContract, BookkeepingTracksAddAndRemove) {
+    Pipe p;
+    EXPECT_EQ(backend_->registered(), 0u);
+    EXPECT_FALSE(backend_->contains(p.rd()));
+    backend_->add(p.rd(), /*read=*/true, /*write=*/false, /*tag=*/7);
+    EXPECT_TRUE(backend_->contains(p.rd()));
+    EXPECT_EQ(backend_->registered(), 1u);
+    backend_->add(p.wr(), /*read=*/false, /*write=*/true, /*tag=*/8);
+    EXPECT_EQ(backend_->registered(), 2u);
+    backend_->remove(p.rd());
+    EXPECT_FALSE(backend_->contains(p.rd()));
+    EXPECT_EQ(backend_->registered(), 1u);
+    backend_->remove(p.wr());
+    EXPECT_EQ(backend_->registered(), 0u);
+}
+
+TEST_P(EventBackendContract, ReadableFdReportsItsTag) {
+    Pipe p;
+    backend_->add(p.rd(), true, false, /*tag=*/0xdeadbeefULL);
+    p.write_byte();
+    ASSERT_EQ(wait_until(1000ms), 1u);
+    EXPECT_EQ(ready_[0].tag, 0xdeadbeefULL);
+    EXPECT_TRUE(ready_[0].readable);
+    EXPECT_FALSE(ready_[0].writable);
+}
+
+TEST_P(EventBackendContract, LevelTriggeredUntilDrained) {
+    // Bytes left in the kernel must re-surface on the next wait — callers
+    // rely on this to process one request per wakeup without losing data.
+    Pipe p;
+    backend_->add(p.rd(), true, false, 1);
+    p.write_byte();
+    ASSERT_EQ(wait_until(1000ms), 1u);
+    ASSERT_EQ(wait_until(1000ms), 1u) << "level-triggered readiness lost";
+    p.drain();
+    EXPECT_EQ(wait_until(20ms), 0u);
+}
+
+TEST_P(EventBackendContract, WritableInterestFiresOnEmptyPipe) {
+    Pipe p;
+    backend_->add(p.wr(), false, true, 2);
+    ASSERT_EQ(wait_until(1000ms), 1u);
+    EXPECT_TRUE(ready_[0].writable);
+    EXPECT_FALSE(ready_[0].readable);
+}
+
+TEST_P(EventBackendContract, ModifySwitchesInterestAndTag) {
+    Pipe p;
+    backend_->add(p.rd(), /*read=*/false, /*write=*/false, 3);
+    p.write_byte();
+    // No interest registered: nothing may fire even though bytes wait.
+    EXPECT_EQ(wait_until(20ms), 0u);
+    backend_->modify(p.rd(), /*read=*/true, /*write=*/false, /*tag=*/42);
+    ASSERT_EQ(wait_until(1000ms), 1u);
+    EXPECT_EQ(ready_[0].tag, 42u);
+}
+
+TEST_P(EventBackendContract, HangupIsReportedNotFatal) {
+    Pipe p;
+    backend_->add(p.rd(), true, false, 4);
+    ::close(p.fds[1]);
+    p.fds[1] = -1;
+    ASSERT_EQ(wait_until(1000ms), 1u);
+    EXPECT_TRUE(ready_[0].hangup || ready_[0].readable);
+}
+
+TEST_P(EventBackendContract, PastDeadlineReturnsImmediately) {
+    Pipe p;
+    backend_->add(p.rd(), true, false, 5);
+    ready_.clear();
+    const auto start = std::chrono::steady_clock::now();
+    const auto n = backend_->wait(start - 1s, ready_);
+    EXPECT_EQ(n, 0u);
+    EXPECT_LT(std::chrono::steady_clock::now() - start, 500ms);
+}
+
+TEST_P(EventBackendContract, DeadlineIsHonoredNotRoundedDown) {
+    // The deadline→timeout conversion must round UP: rounding down turns a
+    // 4.9ms residue into a zero-timeout spin (the old 50ms tick in disguise).
+    Pipe p;
+    backend_->add(p.rd(), true, false, 6);
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(wait_until(30ms), 0u);
+    EXPECT_GE(std::chrono::steady_clock::now() - start, 29ms);
+}
+
+TEST_P(EventBackendContract, RemovedFdNeverFires) {
+    Pipe p;
+    backend_->add(p.rd(), true, false, 7);
+    p.write_byte();
+    backend_->remove(p.rd());
+    EXPECT_EQ(wait_until(20ms), 0u);
+}
+
+TEST_P(EventBackendContract, ManyFdsOnlyReadyOnesReported) {
+    constexpr int kPipes = 32;
+    std::vector<Pipe> pipes(kPipes);
+    for (int i = 0; i < kPipes; ++i)
+        backend_->add(pipes[i].rd(), true, false, static_cast<std::uint64_t>(i));
+    pipes[3].write_byte();
+    pipes[17].write_byte();
+    ASSERT_EQ(wait_until(1000ms), 2u);
+    std::uint64_t seen = 0;
+    for (const auto& ev : ready_) seen |= 1ull << ev.tag;
+    EXPECT_EQ(seen, (1ull << 3) | (1ull << 17));
+    for (auto& p : pipes) backend_->remove(p.rd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, EventBackendContract, ::testing::ValuesIn(kinds_under_test()),
+    [](const ::testing::TestParamInfo<EventBackendKind>& info) {
+        return event_backend_kind_name(info.param);
+    });
+
+// --- kind parsing / resolution --------------------------------------------
+
+TEST(EventBackendKindTest, ParseRoundTrips) {
+    EXPECT_EQ(parse_event_backend_kind("poll"), EventBackendKind::poll);
+    EXPECT_EQ(parse_event_backend_kind("epoll"), EventBackendKind::epoll);
+    EXPECT_EQ(parse_event_backend_kind("kqueue"), std::nullopt);
+    EXPECT_EQ(parse_event_backend_kind(""), std::nullopt);
+    for (const auto kind : {EventBackendKind::poll, EventBackendKind::epoll})
+        EXPECT_EQ(parse_event_backend_kind(event_backend_kind_name(kind)), kind);
+}
+
+TEST(EventBackendKindTest, ResolutionPrefersExplicitThenEnvThenDefault) {
+    ::setenv("SC_EVENT_BACKEND", "poll", 1);
+    EXPECT_EQ(resolve_event_backend_kind(EventBackendKind::epoll),
+              EventBackendKind::epoll)
+        << "explicit config must beat the env var";
+    EXPECT_EQ(resolve_event_backend_kind(std::nullopt), EventBackendKind::poll);
+    ::setenv("SC_EVENT_BACKEND", "not-a-backend", 1);
+    EXPECT_EQ(resolve_event_backend_kind(std::nullopt),
+              default_event_backend_kind())
+        << "an unparseable env value falls through to the platform default";
+    ::unsetenv("SC_EVENT_BACKEND");
+    EXPECT_EQ(resolve_event_backend_kind(std::nullopt),
+              default_event_backend_kind());
+}
+
+#ifdef __linux__
+TEST(EventBackendKindTest, LinuxDefaultsToEpoll) {
+    EXPECT_EQ(default_event_backend_kind(), EventBackendKind::epoll);
+}
+#endif
+
+}  // namespace
+}  // namespace sc::net

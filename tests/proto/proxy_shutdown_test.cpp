@@ -13,6 +13,8 @@
 // up as a hang (caught by the async deadline) or an ASan report.
 #include <gtest/gtest.h>
 
+#include <ctime>
+
 #include <chrono>
 #include <future>
 #include <memory>
@@ -89,6 +91,44 @@ TEST(ProxyShutdown, StopWithRequestsInFlightKeepsSessionsAliveForWorkers) {
         stop_with_deadline(proxy);
         for (std::thread& t : clients) t.join();
     }
+    origin.stop();
+}
+
+TEST(ProxyShutdown, IdleLoopDoesNotBusyWake) {
+    // The event loop has no fixed tick: with no sessions, no timers due,
+    // and a long keepalive interval, it must SLEEP in the backend wait —
+    // not spin. Both the wakeup counter and process CPU time bound it.
+    OriginServer origin(OriginServer::Config{.port = 0});
+    MiniProxyConfig cfg;
+    cfg.id = 1;
+    cfg.origin = origin.endpoint();
+    cfg.workers = 1;
+    cfg.keepalive_interval = 60s;   // no liveness tick inside the window
+    cfg.idle_timeout = 0ms;         // no idle-sweep timer either
+    MiniProxy proxy(cfg);
+    proxy.start();
+    std::this_thread::sleep_for(50ms);  // let startup wakeups settle
+
+    const std::uint64_t wakeups_before = proxy.stats().loop_wakeups;
+    timespec cpu_before{};
+    ASSERT_EQ(clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &cpu_before), 0);
+    std::this_thread::sleep_for(500ms);
+    timespec cpu_after{};
+    ASSERT_EQ(clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &cpu_after), 0);
+    const std::uint64_t wakeups = proxy.stats().loop_wakeups - wakeups_before;
+
+    // A 50ms tick would show ~10 wakeups here; a spin, thousands. Allow a
+    // generous margin for stray signals and scheduler noise.
+    EXPECT_LE(wakeups, 5u) << "the idle event loop is ticking";
+    const double cpu_s =
+        static_cast<double>(cpu_after.tv_sec - cpu_before.tv_sec) +
+        static_cast<double>(cpu_after.tv_nsec - cpu_before.tv_nsec) * 1e-9;
+    // Whole-process CPU over a 500ms idle window (the origin's accept
+    // thread polls at 50ms, workers sit in cv waits): a spinning loop
+    // burns ~0.5s here, two orders of magnitude above this bound.
+    EXPECT_LT(cpu_s, 0.25) << "idle proxy burned " << cpu_s << "s of CPU";
+
+    stop_with_deadline(proxy);
     origin.stop();
 }
 

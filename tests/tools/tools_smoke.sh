@@ -48,9 +48,12 @@ json_requests=$(sed -n \
 "$ORIGIN" --port "$P_ORIGIN" --delay-ms 1 > "$WORK/origin.log" 2>&1 &
 PIDS+=($!)
 # Proxy 1 runs the serial default (--workers 1: replay counters must be
-# byte-identical to the pre-pool behavior); proxy 2 runs a 4-worker pool.
+# byte-identical to the pre-pool behavior) on the portable poll backend;
+# proxy 2 runs a 4-worker pool on the platform-default backend (epoll on
+# Linux), so one federation exercises both readiness implementations.
 "$PROXY" --id 1 --http-port "$P1_HTTP" --icp-port "$P1_ICP" --origin "$P_ORIGIN" \
     --sibling "2:$P2_HTTP:$P2_ICP" --mode summary --threshold 0 --workers 1 \
+    --event-backend poll \
     --access-log "$WORK/p1_access.log" \
     > "$WORK/p1.log" 2>&1 &
 PIDS+=($!)
@@ -69,6 +72,14 @@ for log in origin.log p1.log p2.log; do
     done
     grep -qE "listening|HTTP" "$WORK/$log" || fail "$log never came up"
 done
+grep -q "backend=poll" "$WORK/p1.log" || fail "proxy 1 did not honor --event-backend poll"
+# Proxy 2 resolves SC_EVENT_BACKEND (CI's poll rerun sets it), else the
+# platform default; only Linux has a known default worth asserting.
+P2_BACKEND=${SC_EVENT_BACKEND:-epoll}
+if [ "$(uname -s)" = "Linux" ]; then
+    grep -q "backend=$P2_BACKEND" "$WORK/p2.log" \
+        || fail "proxy 2 did not resolve to the $P2_BACKEND backend"
+fi
 
 "$TRACEGEN" --trace nlanr --requests 400 --scale 0.01 --out "$WORK/live.csv" --quiet
 "$REPLAY" --in "$WORK/live.csv" --proxies "$P1_HTTP,$P2_HTTP" > "$WORK/replay.txt"

@@ -277,6 +277,9 @@ constexpr std::array kBlockingCalls = {
     std::string_view("read_exact"),    std::string_view("write_all"),
     std::string_view("wait_readable"), std::string_view("sleep_for"),
     std::string_view("sleep_until"),
+    // One-shot readiness wait (src/net/fd_poll.hpp): fine on worker and
+    // accept threads, but the event loop must multiplex via EventBackend.
+    std::string_view("wait_fd_readable"),
     // File I/O: the disk store (src/store) runs on worker threads; none of
     // it may creep onto the poll loop (docs/STORAGE.md "Threading").
     std::string_view("open"),          std::string_view("openat"),
@@ -351,6 +354,52 @@ void check_marked(const std::vector<Token>& tokens, Sink& sink,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: raw-poll
+// ---------------------------------------------------------------------------
+
+constexpr std::array kRawReadinessCalls = {
+    std::string_view("poll"),
+    std::string_view("ppoll"),
+    std::string_view("epoll_wait"),
+    std::string_view("epoll_pwait"),
+};
+
+bool in_net_layer(std::string_view path) {
+    // src/net/ is the one layer allowed to issue readiness syscalls; every
+    // other file must go through sc::net::EventBackend / wait_fd_readable.
+    return path.find("src/net/") != std::string_view::npos ||
+           path.substr(0, 4) == "net/";
+}
+
+void check_raw_poll(const std::vector<Token>& tokens, Sink& sink) {
+    if (!sink.enabled("raw-poll")) return;
+    if (in_net_layer(sink.path)) return;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        const Token& t = tokens[i];
+        if (!t.ident || std::find(kRawReadinessCalls.begin(),
+                                  kRawReadinessCalls.end(),
+                                  t.text) == kRawReadinessCalls.end())
+            continue;
+        if (tokens[i + 1].text != "(") continue;  // must be a call
+        if (i > 0) {
+            const auto prev = tokens[i - 1].text;
+            // `obj.poll(...)` / `obj->poll(...)` are method calls (the
+            // tokenizer lexes `->` as `-` `>`), and `ns::epoll_wait(...)`
+            // with a named namespace is a wrapper — only the global-scope
+            // libc entry points are denied.
+            if (prev == ".") continue;
+            if (prev == ">" && i > 1 && tokens[i - 2].text == "-") continue;
+            if (prev == "::" && i > 1 && tokens[i - 2].ident) continue;
+        }
+        sink.report(t.line, "raw-poll",
+                    "raw '" + std::string(t.text) +
+                        "' readiness call outside src/net/; use "
+                        "sc::net::EventBackend (or sc::net::wait_fd_readable "
+                        "for one-shot waits)");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: raw-counter-shift
 // ---------------------------------------------------------------------------
 
@@ -396,7 +445,8 @@ std::string format(const Diagnostic& d) {
 
 const std::vector<std::string>& all_rules() {
     static const std::vector<std::string> rules = {
-        "raw-mutex", "hotpath-alloc", "eventloop-blocking", "raw-counter-shift"};
+        "raw-mutex", "hotpath-alloc", "eventloop-blocking", "raw-counter-shift",
+        "raw-poll"};
     return rules;
 }
 
@@ -412,6 +462,7 @@ std::vector<Diagnostic> lint_source(std::string_view path, std::string_view text
     check_marked(tokens, sink, "SC_EVENT_LOOP_ONLY", "eventloop-blocking",
                  kBlockingCalls, "blocking call");
     check_counter_shift(tokens, sink);
+    check_raw_poll(tokens, sink);
     std::stable_sort(out.begin(), out.end(),
                      [](const Diagnostic& a, const Diagnostic& b) {
                          return a.line < b.line;

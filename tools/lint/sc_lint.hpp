@@ -1,6 +1,6 @@
 // sc_lint — the repo's custom invariant checker (docs/STATIC_ANALYSIS.md).
 //
-// Clang's thread-safety analysis proves lock discipline, but four project
+// Clang's thread-safety analysis proves lock discipline, but five project
 // invariants live outside any compiler's type system:
 //
 //   raw-mutex          std::mutex / std::lock_guard / std::unique_lock /
@@ -19,6 +19,11 @@
 //                      friends) is how Section IV overflow bugs happen; it is
 //                      only allowed inside bloom/counter_math.hpp, which
 //                      everything else must call.
+//   raw-poll           poll/ppoll/epoll_wait/epoll_pwait may only be issued
+//                      from src/net/ — the readiness layer. Everything else
+//                      goes through sc::net::EventBackend (event loops) or
+//                      sc::net::wait_fd_readable (one-shot waits), so backend
+//                      selection and wait accounting stay in one place.
 //
 // The checker is a token-level scanner, not a compiler plugin: the toolchain
 // image has no libclang, and these rules only need honest lexing (comments,

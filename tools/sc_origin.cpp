@@ -20,11 +20,15 @@ void handle_signal(int) { g_stop = 1; }
 
 int main(int argc, char** argv) {
     using namespace sc;
-    const cli::Flags flags(argc, argv, {"port", "delay-ms"});
+    const cli::Flags flags(argc, argv, {"port", "delay-ms", "max-requests-per-conn"});
 
     OriginServer::Config cfg;
     cfg.port = static_cast<std::uint16_t>(flags.get_int("port", 0));
     cfg.reply_delay = std::chrono::milliseconds(flags.get_int("delay-ms", 0));
+    // 0 = unlimited; a positive value rotates each keep-alive connection
+    // after that many requests (exercises client reconnect paths).
+    cfg.max_requests_per_connection =
+        static_cast<std::uint32_t>(flags.get_int("max-requests-per-conn", 0));
 
     OriginServer server(cfg);
     std::printf("origin listening on %s (reply delay %lld ms)\n",

@@ -83,7 +83,8 @@ int main(int argc, char** argv) {
                             "cache-mb", "threshold", "hit-obj-bytes", "bind",
                             "access-log", "metrics-out", "workers", "cache-shards",
                             "disk-dir", "disk-capacity-mb", "dynamic-membership",
-                            "fault-loss", "fault-dup", "fault-reorder", "fault-seed"});
+                            "fault-loss", "fault-dup", "fault-reorder", "fault-seed",
+                            "event-backend", "idle-timeout-ms", "max-requests-per-conn"});
 
     MiniProxyConfig cfg;
     cfg.id = static_cast<NodeId>(flags.get_int("id", 1));
@@ -128,6 +129,23 @@ int main(int argc, char** argv) {
     cfg.udp_faults.reorder = flags.get_double("fault-reorder", 0.0);
     cfg.udp_faults.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
 
+    // Event-loop readiness backend: poll or epoll (default: epoll on
+    // Linux; SC_EVENT_BACKEND applies when the flag is absent).
+    if (flags.has("event-backend")) {
+        const std::string backend = flags.require("event-backend");
+        cfg.event_backend = net::parse_event_backend_kind(backend);
+        if (!cfg.event_backend) {
+            std::fprintf(stderr, "bad --event-backend '%s' (want poll or epoll)\n",
+                         backend.c_str());
+            return 2;
+        }
+    }
+    // Keep-alive session limits: idle reap (0 = never) and per-connection
+    // request cap (0 = unlimited).
+    cfg.idle_timeout = std::chrono::milliseconds(flags.get_int("idle-timeout-ms", 60'000));
+    cfg.max_requests_per_connection =
+        static_cast<std::uint32_t>(flags.get_int("max-requests-per-conn", 0));
+
     const std::string mode = flags.get("mode", "summary");
     if (mode == "none") cfg.mode = ShareMode::none;
     else if (mode == "icp") cfg.mode = ShareMode::icp;
@@ -141,9 +159,10 @@ int main(int argc, char** argv) {
             proxy.add_sibling(s.id, s.icp, s.http);
     }
     proxy.start();
-    std::printf("proxy %u: HTTP %s  ICP %s  mode=%s\n", proxy.id(),
+    std::printf("proxy %u: HTTP %s  ICP %s  mode=%s  backend=%s\n", proxy.id(),
                 proxy.http_endpoint().to_string().c_str(),
-                proxy.icp_endpoint().to_string().c_str(), share_mode_name(cfg.mode));
+                proxy.icp_endpoint().to_string().c_str(), share_mode_name(cfg.mode),
+                net::event_backend_kind_name(proxy.event_backend_kind()));
     std::fflush(stdout);
 
     std::signal(SIGINT, handle_signal);

@@ -1,0 +1,64 @@
+// Shared scaffolding for the decode-layer fuzz targets (see README.md).
+//
+// Each target defines the libFuzzer entry point LLVMFuzzerTestOneInput.
+// Built two ways:
+//
+//   * instrumented (-DSC_FUZZ=ON, clang): libFuzzer supplies main() and
+//     mutates inputs under ASan+UBSan — the CI fuzz-smoke job runs this
+//     for a time-boxed budget per target.
+//   * standalone replay (always built, any compiler): SC_FUZZ_STANDALONE
+//     selects the main() below, which deterministically replays every file
+//     in the argv corpus directories exactly once. The checked-in seed
+//     corpus — including every minimized crash reproducer ever found —
+//     thus runs as an ordinary ctest case on every build forever.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+#if defined(SC_FUZZ_STANDALONE)
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+    namespace fs = std::filesystem;
+    std::vector<fs::path> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const fs::path p = argv[i];
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (const auto& entry : fs::directory_iterator(p, ec))
+                if (entry.is_regular_file(ec)) inputs.push_back(entry.path());
+        } else {
+            inputs.push_back(p);
+        }
+    }
+    // Sorted so a replay failure names a reproducible position in the run.
+    std::sort(inputs.begin(), inputs.end());
+    if (inputs.empty()) {
+        std::cerr << argv[0] << ": no corpus inputs given\n";
+        return 2;
+    }
+    for (const auto& p : inputs) {
+        std::ifstream in(p, std::ios::binary);
+        if (!in) {
+            std::cerr << argv[0] << ": cannot read " << p << '\n';
+            return 2;
+        }
+        std::string bytes{std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>()};
+        LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                               bytes.size());
+    }
+    std::cout << argv[0] << ": replayed " << inputs.size() << " input(s)\n";
+    return 0;
+}
+
+#endif  // SC_FUZZ_STANDALONE

@@ -1,0 +1,30 @@
+// Fuzz target: the HTTP/lite session parser over an arbitrary byte stream,
+// split into lines exactly the way TcpConnection::buffered_line would
+// deliver them. The parser is pure state and must never throw or crash;
+// every completed request must satisfy the front-door hygiene bounds.
+#include "fuzz_common.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "proto/http_session.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    std::string_view stream(reinterpret_cast<const char*>(data), size);
+    sc::HttpSessionParser parser;
+    while (!stream.empty()) {
+        const auto nl = stream.find('\n');
+        std::string_view line = stream.substr(0, nl);
+        stream = nl == std::string_view::npos ? std::string_view{}
+                                              : stream.substr(nl + 1);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        const auto request = parser.on_line(line);
+        if (!request) continue;
+        // A non-error HTTP-grammar request passed target hygiene, so its
+        // URL can never exceed the wire cap the ICP layer enforces.
+        if (request->http_style && !request->parse_error && !request->admin &&
+            request->req.url.size() > sc::kMaxTargetBytes)
+            std::abort();
+    }
+    return 0;
+}

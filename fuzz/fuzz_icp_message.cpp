@@ -1,0 +1,32 @@
+// Fuzz target: every ICP decoder over one raw datagram. The proxy feeds
+// network bytes straight into these functions; any input must either decode
+// or throw WireError — never crash, hang, or allocate absurdly.
+#include "fuzz_common.hpp"
+
+#include <span>
+
+#include "icp/icp_message.hpp"
+
+namespace {
+
+template <typename Fn>
+void must_only_throw_wire_error(Fn&& fn) {
+    try {
+        fn();
+    } catch (const sc::WireError&) {
+    }
+    // Any other exception type (or a signal) escapes and fails the run.
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    const std::span<const std::uint8_t> datagram(data, size);
+    must_only_throw_wire_error([&] { (void)sc::decode_header(datagram); });
+    must_only_throw_wire_error([&] { (void)sc::decode_query(datagram); });
+    must_only_throw_wire_error([&] { (void)sc::decode_reply(datagram); });
+    must_only_throw_wire_error([&] { (void)sc::decode_hit_obj(datagram); });
+    must_only_throw_wire_error([&] { (void)sc::decode_dirupdate(datagram); });
+    must_only_throw_wire_error([&] { (void)sc::decode_dirreq(datagram); });
+    return 0;
+}

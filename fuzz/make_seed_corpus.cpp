@@ -1,0 +1,218 @@
+// Regenerates the checked-in seed corpora under fuzz/corpus/<target>/.
+//
+//   sc_make_fuzz_corpus <corpus-root>
+//
+// Seeds are built with the real encoders so they start deep inside the
+// decoders' happy path, plus targeted malformations mirroring the
+// hardening suites (tests/icp/icp_decode_hardening_test.cpp and friends)
+// so the fuzzers begin at the trust boundary instead of rediscovering it.
+// Deterministic by construction: re-running must reproduce identical files
+// (the corpora are committed; drift would churn the tree).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "icp/icp_message.hpp"
+#include "store/segment_log.hpp"
+#include "util/byte_writer.hpp"
+
+namespace fs = std::filesystem;
+using namespace sc;
+
+namespace {
+
+void write_seed(const fs::path& dir, const std::string& name,
+                std::string_view bytes) {
+    fs::create_directories(dir);
+    std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+        std::cerr << "cannot write " << (dir / name) << '\n';
+        std::exit(2);
+    }
+}
+
+std::string as_string(const std::vector<std::uint8_t>& v) {
+    return {reinterpret_cast<const char*>(v.data()), v.size()};
+}
+
+/// [len:u16be][datagram] framing for the reassembly target's input grammar.
+std::string framed(const std::vector<std::vector<std::uint8_t>>& datagrams) {
+    std::string out;
+    for (const auto& d : datagrams) {
+        out.push_back(static_cast<char>(d.size() >> 8));
+        out.push_back(static_cast<char>(d.size() & 0xFF));
+        out.append(reinterpret_cast<const char*>(d.data()), d.size());
+    }
+    return out;
+}
+
+IcpDirUpdate delta_update(std::uint32_t seq, std::uint32_t boot = 0xB007) {
+    IcpDirUpdate u;
+    u.request_number = seq;
+    u.sender_host = 7;
+    u.boot_id = boot;
+    u.spec = HashSpec{4, 10, 1024};
+    u.records = {5, 9, (1u << 31) | 700};
+    return u;
+}
+
+IcpDirUpdate full_update(std::uint32_t table_bits, std::uint32_t word_offset,
+                         std::vector<std::uint32_t> words) {
+    IcpDirUpdate u;
+    u.request_number = 1;
+    u.sender_host = 7;
+    u.boot_id = 0xB007;
+    u.full = true;
+    u.word_offset = word_offset;
+    u.spec = HashSpec{4, 10, table_bits};
+    u.bitmap_words = std::move(words);
+    return u;
+}
+
+void icp_message_seeds(const fs::path& dir) {
+    write_seed(dir, "query", as_string(encode_query(
+        {7, 0x0A000001, 0x0A000002, "http://example.com/a"})));
+    IcpReply hit;
+    hit.opcode = IcpOpcode::hit;
+    hit.request_number = 7;
+    hit.url = "http://example.com/a";
+    write_seed(dir, "reply_hit", as_string(encode_reply(hit)));
+    IcpReply probe;
+    probe.opcode = IcpOpcode::secho;
+    probe.options = 8081;  // advertised HTTP port
+    write_seed(dir, "secho_probe", as_string(encode_reply(probe)));
+    IcpHitObj obj;
+    obj.request_number = 9;
+    obj.url = "http://example.com/small";
+    obj.version = 3;
+    obj.object = {'d', 'o', 'c'};
+    write_seed(dir, "hit_obj", as_string(encode_hit_obj(obj)));
+    write_seed(dir, "dirupdate_delta", as_string(encode_dirupdate(delta_update(1))));
+    write_seed(dir, "dirfull", as_string(encode_dirupdate(
+        full_update(64, 0, {0x1, 0x80000000u}))));
+    IcpDirReq req;
+    req.request_number = 2;
+    req.http_port = 8080;
+    write_seed(dir, "dirreq_plain", as_string(encode_dirreq(req)));
+    req.subject_id = 42;
+    req.subject_icp_host = 0x0A000003;
+    req.subject_icp_port = 3130;
+    req.subject_http_port = 8080;
+    write_seed(dir, "dirreq_introduction", as_string(encode_dirreq(req)));
+
+    // Malformations mirroring the hardening suite (regression anchors).
+    auto bad = encode_query({7, 1, 2, "http://example.com/a"});
+    bad[0] = 0;  // ICP_OP_INVALID
+    write_seed(dir, "crash_op_invalid", as_string(bad));
+    bad = encode_query({7, 1, 2, "http://example.com/a"});
+    bad[3] ^= 0x01;  // length-field lie
+    write_seed(dir, "crash_length_lie", as_string(bad));
+    bad = encode_dirupdate(delta_update(1));
+    bad[8] = bad[9] = bad[10] = bad[11] = 0;  // boot_id 0
+    write_seed(dir, "crash_zero_boot", as_string(bad));
+    auto slack = full_update(40, 0, {0x1, 0x100});  // bit 40 of a 40-bit table
+    write_seed(dir, "crash_tail_slack", as_string(encode_dirupdate(slack)));
+    const auto query = encode_query({7, 1, 2, "http://example.com/a"});
+    write_seed(dir, "crash_truncated",
+               as_string(query).substr(0, kIcpHeaderBytes - 1));
+}
+
+void dirfull_reassembly_seeds(const fs::path& dir) {
+    write_seed(dir, "single_full", framed({encode_dirupdate(
+        full_update(64, 0, {0x1, 0x2}))}));
+    write_seed(dir, "two_chunks", framed({
+        encode_dirupdate(full_update(64, 0, {0x1})),
+        encode_dirupdate(full_update(64, 1, {0x2}))}));
+    write_seed(dir, "full_then_delta", framed({
+        encode_dirupdate(full_update(1024, 0,
+            std::vector<std::uint32_t>(32, 0u))),
+        encode_dirupdate(delta_update(1))}));
+    write_seed(dir, "delta_gap", framed({
+        encode_dirupdate(full_update(1024, 0,
+            std::vector<std::uint32_t>(32, 0u))),
+        encode_dirupdate(delta_update(5))}));  // sequence jump: quarantine
+    write_seed(dir, "boot_flip", framed({
+        encode_dirupdate(delta_update(1, 0xB007)),
+        encode_dirupdate(delta_update(2, 0xB008))}));  // restart mid-stream
+    auto torn = framed({encode_dirupdate(delta_update(1))});
+    torn.resize(torn.size() - 3);
+    write_seed(dir, "torn_frame", torn);
+}
+
+void http_session_seeds(const fs::path& dir) {
+    write_seed(dir, "lite_line", "GET http://host/x 3 256\n");
+    write_seed(dir, "http_get",
+               "GET /doc?size=128&version=7 HTTP/1.1\r\nHost: example\r\n\r\n");
+    write_seed(dir, "http10_close", "GET /x HTTP/1.0\r\n\r\n");
+    write_seed(dir, "connection_negotiation",
+               "GET /x HTTP/1.1\r\nConnection: Keep-Alive, Close\r\n\r\n");
+    write_seed(dir, "admin_metrics", "GET /__metrics HTTP/1.1\r\n\r\n");
+    write_seed(dir, "crash_bad_version", "GET / HTTP/2.0\r\n");
+    write_seed(dir, "crash_space_target", "GET /a b HTTP/1.1\r\n\r\n");
+    write_seed(dir, "crash_huge_size",
+               "GET /doc?size=18446744073709551617 HTTP/1.1\r\n\r\n");
+    write_seed(dir, "pipelined",
+               "GET http://host/a 0 8\nGET http://host/b 0 8\n");
+}
+
+void segment_scan_seeds(const fs::path& dir) {
+    using namespace sc::store;
+    std::string header;
+    util::append_u32le(header, kSegmentMagic);
+    util::append_u32le(header, kSegmentFormatVersion);
+    util::append_u64le(header, 9);
+
+    Record rec;
+    rec.type = RecordType::insert;
+    rec.seq = 1;
+    rec.size = 1200;
+    rec.version = 1;
+    rec.url = "http://e/x";
+
+    std::string clean = header;
+    encode_record(clean, rec);
+    rec.seq = 2;
+    rec.type = RecordType::touch;
+    encode_record(clean, rec);
+    write_seed(dir, "clean_two_records", clean);
+
+    std::string torn = clean;
+    torn.resize(torn.size() - 5);
+    write_seed(dir, "torn_tail", torn);
+
+    std::string zero_seq = header;
+    rec.seq = 0;
+    encode_record(zero_seq, rec);
+    write_seed(dir, "crash_zero_seq", zero_seq);
+
+    std::string bad_url = header;
+    rec.seq = 3;
+    rec.url = "http://e/\na";
+    encode_record(bad_url, rec);
+    write_seed(dir, "crash_control_url", bad_url);
+
+    std::string bad_magic = clean;
+    bad_magic[0] = 'X';
+    write_seed(dir, "bad_magic", bad_magic);
+
+    write_seed(dir, "empty", "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::cerr << "usage: sc_make_fuzz_corpus <corpus-root>\n";
+        return 2;
+    }
+    const fs::path root = argv[1];
+    icp_message_seeds(root / "fuzz_icp_message");
+    dirfull_reassembly_seeds(root / "fuzz_dirfull_reassembly");
+    http_session_seeds(root / "fuzz_http_session");
+    segment_scan_seeds(root / "fuzz_segment_scan");
+    std::cout << "seed corpora written under " << root << '\n';
+    return 0;
+}

@@ -1,12 +1,49 @@
 #include "icp/icp_message.hpp"
 
 #include "bloom/delta_log.hpp"
+#include "obs/metrics.hpp"
+#include "util/byte_reader.hpp"
 #include "util/sc_assert.hpp"
+
+SC_UNTRUSTED_DECODE_TU;
 
 namespace sc {
 namespace {
 
 constexpr std::size_t kLengthFieldOffset = 2;
+
+obs::Counter& malformed_total() {
+    static obs::Counter c = obs::metrics().counter(
+        "sc_icp_malformed_total", "ICP datagrams rejected by the checked-decode layer");
+    return c;
+}
+
+/// Every public decode_* runs through here so each rejection — truncation,
+/// length-field lie, hostile spec, bad URL — lands in sc_icp_malformed_total
+/// before the WireError propagates to the caller's drop path.
+template <typename Fn>
+auto counted_decode(Fn&& fn) -> decltype(fn()) {
+    try {
+        return fn();
+    } catch (const WireError&) {
+        malformed_total().inc();
+        throw;
+    }
+}
+
+/// URLs come from untrusted peers and are echoed into hash probes, logs and
+/// HTTP fetches; bound and sanitize them at the trust boundary. Only the
+/// SECHO/DECHO liveness probes legitimately carry an empty URL.
+void require_url(std::string_view url, bool allow_empty = false) {
+    if (url.empty()) {
+        if (!allow_empty) throw WireError("empty URL");
+        return;
+    }
+    if (url.size() > kMaxIcpUrlBytes) throw WireError("URL exceeds wire limit");
+    for (const char c : url)
+        if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f)
+            throw WireError("control byte in URL");
+}
 
 void write_header(BufWriter& w, IcpOpcode op, std::uint32_t request_number,
                   std::uint32_t sender_host, std::uint32_t options = 0,
@@ -35,6 +72,7 @@ IcpHeader read_header(BufReader& r, std::size_t datagram_size) {
     h.options = r.u32();
     h.option_data = r.u32();
     h.sender_host = r.u32();
+    if (h.opcode == IcpOpcode::invalid) throw WireError("ICP_OP_INVALID on the wire");
     if (h.version != kIcpVersion) throw WireError("unsupported ICP version");
     if (h.length != datagram_size) throw WireError("length field does not match datagram");
     return h;
@@ -79,6 +117,10 @@ bool is_reply_opcode(IcpOpcode op) {
     return op == IcpOpcode::hit || op == IcpOpcode::miss || op == IcpOpcode::miss_nofetch ||
            op == IcpOpcode::err || op == IcpOpcode::denied || op == IcpOpcode::secho ||
            op == IcpOpcode::decho;
+}
+
+bool is_probe_opcode(IcpOpcode op) {
+    return op == IcpOpcode::secho || op == IcpOpcode::decho;
 }
 
 }  // namespace
@@ -143,116 +185,155 @@ std::vector<std::uint8_t> encode_dirreq(const IcpDirReq& q) {
 }
 
 IcpHeader decode_header(std::span<const std::uint8_t> datagram) {
-    BufReader r(datagram);
-    return read_header(r, datagram.size());
+    return counted_decode([&] {
+        BufReader r(datagram);
+        return read_header(r, datagram.size());
+    });
 }
 
 IcpQuery decode_query(std::span<const std::uint8_t> datagram) {
-    BufReader r(datagram);
-    const IcpHeader h = read_header(r, datagram.size());
-    expect_opcode(h, IcpOpcode::query);
-    IcpQuery q;
-    q.request_number = h.request_number;
-    q.sender_host = h.sender_host;
-    q.requester_host = r.u32();
-    q.url = r.cstring();
-    if (!r.empty()) throw WireError("trailing bytes after query");
-    return q;
+    return counted_decode([&] {
+        BufReader r(datagram);
+        const IcpHeader h = read_header(r, datagram.size());
+        expect_opcode(h, IcpOpcode::query);
+        IcpQuery q;
+        q.request_number = h.request_number;
+        q.sender_host = h.sender_host;
+        q.requester_host = r.u32();
+        q.url = r.cstring();
+        require_url(q.url);
+        if (!r.empty()) throw WireError("trailing bytes after query");
+        return q;
+    });
 }
 
 IcpReply decode_reply(std::span<const std::uint8_t> datagram) {
-    BufReader r(datagram);
-    const IcpHeader h = read_header(r, datagram.size());
-    if (!is_reply_opcode(h.opcode)) throw WireError("not a reply opcode");
-    IcpReply reply;
-    reply.opcode = h.opcode;
-    reply.request_number = h.request_number;
-    reply.sender_host = h.sender_host;
-    reply.options = h.options;
-    reply.url = r.cstring();
-    if (!r.empty()) throw WireError("trailing bytes after reply");
-    return reply;
+    return counted_decode([&] {
+        BufReader r(datagram);
+        const IcpHeader h = read_header(r, datagram.size());
+        if (!is_reply_opcode(h.opcode)) throw WireError("not a reply opcode");
+        IcpReply reply;
+        reply.opcode = h.opcode;
+        reply.request_number = h.request_number;
+        reply.sender_host = h.sender_host;
+        reply.options = h.options;
+        reply.url = r.cstring();
+        require_url(reply.url, /*allow_empty=*/is_probe_opcode(h.opcode));
+        if (!r.empty()) throw WireError("trailing bytes after reply");
+        return reply;
+    });
 }
 
 IcpHitObj decode_hit_obj(std::span<const std::uint8_t> datagram) {
-    BufReader r(datagram);
-    const IcpHeader h = read_header(r, datagram.size());
-    expect_opcode(h, IcpOpcode::hit_obj);
-    IcpHitObj out;
-    out.request_number = h.request_number;
-    out.sender_host = h.sender_host;
-    out.version = h.option_data;
-    out.url = r.cstring();
-    const std::uint16_t len = r.u16();
-    if (r.remaining() != len) throw WireError("HIT_OBJ length mismatch");
-    const auto body = r.bytes(len);
-    out.object.assign(body.begin(), body.end());
-    return out;
+    return counted_decode([&] {
+        BufReader r(datagram);
+        const IcpHeader h = read_header(r, datagram.size());
+        expect_opcode(h, IcpOpcode::hit_obj);
+        IcpHitObj out;
+        out.request_number = h.request_number;
+        out.sender_host = h.sender_host;
+        out.version = h.option_data;
+        out.url = r.cstring();
+        require_url(out.url);
+        const std::uint16_t len = r.u16();
+        if (r.remaining() != len) throw WireError("HIT_OBJ length mismatch");
+        const auto body = r.bytes(len);
+        out.object.assign(body.begin(), body.end());
+        return out;
+    });
 }
 
 IcpDirUpdate decode_dirupdate(std::span<const std::uint8_t> datagram) {
-    BufReader r(datagram);
-    const IcpHeader h = read_header(r, datagram.size());
-    if (h.opcode != IcpOpcode::dirupdate && h.opcode != IcpOpcode::dirfull)
-        throw WireError("not a directory update");
-    IcpDirUpdate u;
-    u.request_number = h.request_number;
-    u.sender_host = h.sender_host;
-    u.boot_id = h.options;
-    u.full = h.opcode == IcpOpcode::dirfull;
-    if (u.full) u.word_offset = h.option_data;
-    u.spec.function_num = r.u16();
-    u.spec.function_bits = r.u16();
-    u.spec.table_bits = r.u32();
-    if (!u.spec.valid()) throw WireError("invalid hash spec in update");
-    // Replicas built from the wire must fit the fixed-capacity probe path
-    // (BloomIndexes); a hostile peer must not be able to push k past it.
-    if (u.spec.function_num > kMaxWireHashFunctions)
-        throw WireError("too many hash functions in update");
-    // A hostile spec must not be able to trigger an unbounded reassembly
-    // allocation on the receiver (kMaxWireTableBits caps it at 8 MiB).
-    if (u.spec.table_bits > kMaxWireTableBits)
-        throw WireError("bit array too large in update");
-    const std::uint32_t count = r.u32();
-    if (u.full) {
-        const std::size_t expected_words = (u.spec.table_bits + 31) / 32;
-        if (count == 0 || u.word_offset >= expected_words ||
-            count > expected_words - u.word_offset)
-            throw WireError("bitmap chunk out of range");
-        u.bitmap_words.reserve(count);
-        for (std::uint32_t i = 0; i < count; ++i) u.bitmap_words.push_back(r.u32());
-    } else {
-        if (r.remaining() != static_cast<std::size_t>(count) * 4)
-            throw WireError("record count does not match payload");
-        u.records.reserve(count);
-        for (std::uint32_t i = 0; i < count; ++i) {
-            const std::uint32_t rec = r.u32();
-            if ((rec & kBitFlipIndexMask) >= u.spec.table_bits)
-                throw WireError("bit index out of range");
-            u.records.push_back(rec);
+    return counted_decode([&] {
+        BufReader r(datagram);
+        const IcpHeader h = read_header(r, datagram.size());
+        if (h.opcode != IcpOpcode::dirupdate && h.opcode != IcpOpcode::dirfull)
+            throw WireError("not a directory update");
+        IcpDirUpdate u;
+        u.request_number = h.request_number;
+        u.sender_host = h.sender_host;
+        u.boot_id = h.options;
+        // Gap detection keys on the sender's incarnation; 0 is reserved for
+        // "not configured" (make_boot_id never hands it out), so an update
+        // claiming it can only be forged or corrupt.
+        if (u.boot_id == 0) throw WireError("update without a boot id");
+        u.full = h.opcode == IcpOpcode::dirfull;
+        if (u.full) {
+            u.word_offset = h.option_data;
+        } else if (h.option_data != 0) {
+            // option_data is the DIRFULL chunk offset; a delta carrying one
+            // is a framing confusion (or a DIRFULL with a flipped opcode).
+            throw WireError("delta update with a word offset");
         }
-    }
-    if (!r.empty()) throw WireError("trailing bytes after update");
-    return u;
+        u.spec.function_num = r.u16();
+        u.spec.function_bits = r.u16();
+        u.spec.table_bits = r.u32();
+        if (!u.spec.valid()) throw WireError("invalid hash spec in update");
+        // Replicas built from the wire must fit the fixed-capacity probe path
+        // (BloomIndexes); a hostile peer must not be able to push k past it.
+        if (u.spec.function_num > kMaxWireHashFunctions)
+            throw WireError("too many hash functions in update");
+        // A hostile spec must not be able to trigger an unbounded reassembly
+        // allocation on the receiver (kMaxWireTableBits caps it at 8 MiB).
+        if (u.spec.table_bits > kMaxWireTableBits)
+            throw WireError("bit array too large in update");
+        const std::uint32_t count = r.u32();
+        if (u.full) {
+            const std::size_t expected_words = (u.spec.table_bits + 31) / 32;
+            if (count == 0 || u.word_offset >= expected_words ||
+                count > expected_words - u.word_offset)
+                throw WireError("bitmap chunk out of range");
+            u.bitmap_words.reserve(count);
+            for (std::uint32_t i = 0; i < count; ++i) u.bitmap_words.push_back(r.u32());
+            // Wire word i covers table bits [i*32, i*32+32); when table_bits
+            // is not word-aligned the final word has slack bits that no
+            // sender can legitimately set. Letting them through would poison
+            // the replica's fill-ratio and diff math (assign_words does not
+            // mask), so reject them at the boundary.
+            const std::uint32_t tail_bits = u.spec.table_bits % 32;
+            if (tail_bits != 0 && u.word_offset + count == expected_words &&
+                (u.bitmap_words.back() >> tail_bits) != 0)
+                throw WireError("bitmap bits beyond table size");
+        } else {
+            if (r.remaining() != static_cast<std::size_t>(count) * 4)
+                throw WireError("record count does not match payload");
+            u.records.reserve(count);
+            for (std::uint32_t i = 0; i < count; ++i) {
+                const std::uint32_t rec = r.u32();
+                if ((rec & kBitFlipIndexMask) >= u.spec.table_bits)
+                    throw WireError("bit index out of range");
+                u.records.push_back(rec);
+            }
+        }
+        if (!r.empty()) throw WireError("trailing bytes after update");
+        return u;
+    });
 }
 
 IcpDirReq decode_dirreq(std::span<const std::uint8_t> datagram) {
-    BufReader r(datagram);
-    const IcpHeader h = read_header(r, datagram.size());
-    expect_opcode(h, IcpOpcode::dirreq);
-    IcpDirReq q;
-    q.request_number = h.request_number;
-    q.sender_host = h.sender_host;
-    q.http_port = static_cast<std::uint16_t>(h.options);
-    if (!r.empty()) {  // introduction payload
-        q.subject_id = r.u32();
-        q.subject_icp_host = r.u32();
-        q.subject_icp_port = r.u16();
-        q.subject_http_port = r.u16();
-        if (!r.empty()) throw WireError("trailing bytes after dirreq");
-        if (q.subject_id == 0) throw WireError("dirreq introduction without a subject");
-    }
-    return q;
+    return counted_decode([&] {
+        BufReader r(datagram);
+        const IcpHeader h = read_header(r, datagram.size());
+        expect_opcode(h, IcpOpcode::dirreq);
+        IcpDirReq q;
+        q.request_number = h.request_number;
+        q.sender_host = h.sender_host;
+        q.http_port = static_cast<std::uint16_t>(h.options);
+        if (!r.empty()) {  // introduction payload
+            q.subject_id = r.u32();
+            q.subject_icp_host = r.u32();
+            q.subject_icp_port = r.u16();
+            q.subject_http_port = r.u16();
+            if (!r.empty()) throw WireError("trailing bytes after dirreq");
+            if (q.subject_id == 0) throw WireError("dirreq introduction without a subject");
+            // An introduction exists to make the subject dialable; port 0
+            // cannot be connected to, so the datagram is junk (and a mesh
+            // that forwarded it would poison peers' membership tables).
+            if (q.subject_icp_port == 0)
+                throw WireError("dirreq introduction without a usable port");
+        }
+        return q;
+    });
 }
 
 }  // namespace sc

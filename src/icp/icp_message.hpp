@@ -105,6 +105,12 @@ struct IcpHitObj {
 /// Largest object that fits an ICP_OP_HIT_OBJ (16-bit length field).
 inline constexpr std::size_t kMaxHitObjBytes = 0xffff;
 
+/// Longest URL accepted from the wire. Decoders reject anything longer (and
+/// any URL carrying control bytes) before it can reach the hash path or be
+/// echoed into logs; matches the store's kMaxUrlBytes so a URL that fits a
+/// datagram always fits a disk record too.
+inline constexpr std::size_t kMaxIcpUrlBytes = 8192;
+
 /// SC-ICP directory update: either a delta (records of bit flips) or a
 /// full bitmap, always self-describing via the hash spec.
 ///

@@ -1,20 +1,14 @@
 #include "icp/wire.hpp"
 
-#include <algorithm>
+#include "util/byte_writer.hpp"
+
+SC_UNTRUSTED_DECODE_TU;
 
 namespace sc {
 
-void BufWriter::u16(std::uint16_t v) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-    buf_.push_back(static_cast<std::uint8_t>(v));
-}
+void BufWriter::u16(std::uint16_t v) { util::append_u16be(buf_, v); }
 
-void BufWriter::u32(std::uint32_t v) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
-    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
-    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-    buf_.push_back(static_cast<std::uint8_t>(v));
-}
+void BufWriter::u32(std::uint32_t v) { util::append_u32be(buf_, v); }
 
 void BufWriter::bytes(std::span<const std::uint8_t> data) {
     buf_.insert(buf_.end(), data.begin(), data.end());
@@ -28,50 +22,36 @@ void BufWriter::cstring(std::string_view s) {
 
 void BufWriter::patch_u16(std::size_t offset, std::uint16_t v) {
     if (offset + 2 > buf_.size()) throw WireError("patch_u16 out of range");
-    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
-    buf_[offset + 1] = static_cast<std::uint8_t>(v);
-}
-
-void BufReader::need(std::size_t n) const {
-    if (remaining() < n) throw WireError("truncated message");
+    util::patch_u16be(buf_, offset, v);
 }
 
 std::uint8_t BufReader::u8() {
-    need(1);
-    return data_[pos_++];
+    const std::uint8_t v = r_.u8();
+    if (!r_.ok()) throw WireError("truncated message");
+    return v;
 }
 
 std::uint16_t BufReader::u16() {
-    need(2);
-    const std::uint16_t v =
-        static_cast<std::uint16_t>(static_cast<std::uint16_t>(data_[pos_]) << 8 | data_[pos_ + 1]);
-    pos_ += 2;
+    const std::uint16_t v = r_.u16be();
+    if (!r_.ok()) throw WireError("truncated message");
     return v;
 }
 
 std::uint32_t BufReader::u32() {
-    need(4);
-    const std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
-                            (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
-                            (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
-                            static_cast<std::uint32_t>(data_[pos_ + 3]);
-    pos_ += 4;
+    const std::uint32_t v = r_.u32be();
+    if (!r_.ok()) throw WireError("truncated message");
     return v;
 }
 
 std::string BufReader::cstring() {
-    const auto begin = data_.begin() + static_cast<std::ptrdiff_t>(pos_);
-    const auto nul = std::find(begin, data_.end(), std::uint8_t{0});
-    if (nul == data_.end()) throw WireError("unterminated string");
-    std::string out(begin, nul);
-    pos_ += out.size() + 1;
-    return out;
+    const std::string_view v = r_.cstring_view();
+    if (!r_.ok()) throw WireError("unterminated string");
+    return std::string(v);
 }
 
 std::span<const std::uint8_t> BufReader::bytes(std::size_t n) {
-    need(n);
-    const auto out = data_.subspan(pos_, n);
-    pos_ += n;
+    const auto out = r_.bytes(n);
+    if (!r_.ok()) throw WireError("truncated message");
     return out;
 }
 

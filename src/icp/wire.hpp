@@ -1,6 +1,11 @@
 // Big-endian (network byte order) buffer primitives used by the ICP and
 // SC-ICP codecs. Reads are bounds-checked and throw WireError — a malformed
 // datagram from the network must never crash the proxy.
+//
+// BufReader is a thin throwing adapter over util::ByteReader (the checked-
+// decode cursor): ByteReader does every bounds check, BufReader translates
+// its latched failure into the codec's WireError at the exact read that
+// went short.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +14,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/byte_reader.hpp"
 
 namespace sc {
 
@@ -41,7 +48,7 @@ private:
 
 class BufReader {
 public:
-    explicit BufReader(std::span<const std::uint8_t> data) : data_(data) {}
+    explicit BufReader(std::span<const std::uint8_t> data) : r_(data) {}
 
     [[nodiscard]] std::uint8_t u8();
     [[nodiscard]] std::uint16_t u16();
@@ -51,14 +58,11 @@ public:
     /// Read exactly n raw bytes.
     [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n);
 
-    [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
-    [[nodiscard]] bool empty() const { return remaining() == 0; }
+    [[nodiscard]] std::size_t remaining() const { return r_.remaining(); }
+    [[nodiscard]] bool empty() const { return r_.empty(); }
 
 private:
-    void need(std::size_t n) const;
-
-    std::span<const std::uint8_t> data_;
-    std::size_t pos_ = 0;
+    util::ByteReader r_;
 };
 
 }  // namespace sc

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
+
+#include "util/byte_reader.hpp"
+
+SC_UNTRUSTED_DECODE_TU;
 
 namespace sc {
 namespace {
@@ -29,12 +34,29 @@ bool is_admin_target(std::string_view target, bool& trace) {
 }
 
 std::uint64_t parse_u64(std::string_view s) {
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
     std::uint64_t v = 0;
     for (const char c : s) {
         if (c < '0' || c > '9') return v;
-        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+        const auto d = static_cast<std::uint64_t>(c - '0');
+        // Saturate instead of wrapping: a 40-digit ?size= must not alias a
+        // small (cacheable-looking) value.
+        if (v > (kMax - d) / 10) return kMax;
+        v = v * 10 + d;
     }
     return v;
+}
+
+/// A request target travels on into ICP queries, sibling fetches and log
+/// lines; reject raw control bytes, embedded whitespace, and anything past
+/// the wire-format cap at the front door.
+bool target_is_clean(std::string_view target) {
+    if (target.size() > kMaxTargetBytes) return false;
+    for (const char c : target) {
+        const auto u = static_cast<unsigned char>(c);
+        if (u <= 0x20 || u == 0x7f) return false;
+    }
+    return true;
 }
 
 /// Map an HTTP request target onto the lite request the pipeline serves:
@@ -86,7 +108,8 @@ std::optional<SessionRequest> HttpSessionParser::start_request(std::string_view 
         const auto target = sp == std::string_view::npos
                                 ? std::string_view{}
                                 : trim(rest.substr(sp + 1));
-        if (method != "GET" || target.empty() || target.front() != '/') {
+        if (method != "GET" || target.empty() || target.front() != '/' ||
+            !target_is_clean(target)) {
             pending_.parse_error = true;
             pending_.keep_alive = false;
         } else if (is_admin_target(target, pending_.admin_trace)) {
@@ -95,6 +118,20 @@ std::optional<SessionRequest> HttpSessionParser::start_request(std::string_view 
             pending_.req = target_to_lite(target);
         }
         return std::nullopt;  // request completes at the blank header line
+    }
+
+    // A line shaped like an HTTP request but carrying a version we do not
+    // speak ("GET / HTTP/2.0") must not fall through to the lite grammar:
+    // lite's ERROR reply would leave the connection open with both sides
+    // assuming different framings. Answer in HTTP (400) and close.
+    const auto last_sp = line.rfind(' ');
+    if (last_sp != std::string_view::npos &&
+        line.substr(last_sp + 1).starts_with("HTTP/")) {
+        SessionRequest bad;
+        bad.http_style = true;
+        bad.parse_error = true;
+        bad.keep_alive = false;
+        return bad;
     }
 
     SessionRequest out;

@@ -31,6 +31,10 @@ namespace sc {
 /// streams must not buffer unboundedly).
 inline constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
 
+/// Longest request target accepted on the HTTP grammar; matches the ICP
+/// wire's URL cap so an accepted target can always be queried to siblings.
+inline constexpr std::size_t kMaxTargetBytes = 8192;
+
 /// One parsed client request, ready for a worker.
 struct SessionRequest {
     HttpLiteRequest req;       ///< meaningless when parse_error or admin

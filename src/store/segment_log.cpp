@@ -6,28 +6,15 @@
 #include <array>
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/byte_reader.hpp"
+#include "util/byte_writer.hpp"
+
+SC_UNTRUSTED_DECODE_TU;
 
 namespace sc::store {
 namespace {
-
-// Little-endian encode/decode helpers. The on-disk format is declared
-// little-endian; memcpy through these keeps the code alias-safe either way.
-template <typename T>
-void put_le(std::string& buf, T v) {
-    std::array<char, sizeof(T)> raw{};
-    for (std::size_t i = 0; i < sizeof(T); ++i)
-        raw[i] = static_cast<char>((v >> (8 * i)) & 0xff);
-    buf.append(raw.data(), raw.size());
-}
-
-template <typename T>
-T get_le(const char* p) {
-    T v = 0;
-    for (std::size_t i = 0; i < sizeof(T); ++i)
-        v |= static_cast<T>(static_cast<unsigned char>(p[i])) << (8 * i);
-    return v;
-}
 
 struct Crc32Table {
     std::array<std::uint32_t, 256> t{};
@@ -39,6 +26,25 @@ struct Crc32Table {
         }
     }
 };
+
+obs::Counter& malformed_records_total() {
+    static obs::Counter c = obs::metrics().counter(
+        "sc_store_malformed_records_total",
+        "segment records that passed the checksum but carried impossible fields");
+    return c;
+}
+
+/// A URL that checksums correctly but is empty or carries raw control
+/// bytes never came from this store's write path; it is disk corruption
+/// that happens to survive CRC, or a tampered file.
+bool url_is_clean(std::string_view url) {
+    if (url.empty()) return false;
+    for (const char c : url) {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20 || u == 0x7f) return false;
+    }
+    return true;
+}
 
 }  // namespace
 
@@ -58,15 +64,15 @@ std::size_t encoded_record_bytes(std::size_t url_len) {
 void encode_record(std::string& buf, const Record& rec) {
     std::string payload;
     payload.reserve(27 + rec.url.size());
-    put_le<std::uint8_t>(payload, static_cast<std::uint8_t>(rec.type));
-    put_le<std::uint64_t>(payload, rec.seq);
-    put_le<std::uint64_t>(payload, rec.size);
-    put_le<std::uint64_t>(payload, rec.version);
-    put_le<std::uint16_t>(payload, static_cast<std::uint16_t>(rec.url.size()));
+    util::append_u8(payload, static_cast<std::uint8_t>(rec.type));
+    util::append_u64le(payload, rec.seq);
+    util::append_u64le(payload, rec.size);
+    util::append_u64le(payload, rec.version);
+    util::append_u16le(payload, static_cast<std::uint16_t>(rec.url.size()));
     payload.append(rec.url);
 
-    put_le<std::uint32_t>(buf, crc32_ieee(payload.data(), payload.size()));
-    put_le<std::uint32_t>(buf, static_cast<std::uint32_t>(payload.size()));
+    util::append_u32le(buf, crc32_ieee(payload.data(), payload.size()));
+    util::append_u32le(buf, static_cast<std::uint32_t>(payload.size()));
     buf.append(payload);
 }
 
@@ -81,15 +87,66 @@ std::optional<std::uint64_t> parse_segment_file_name(const std::string& name) {
     unsigned long long id = 0;
     // "seg-" + 16 hex digits + ".log" == 24 chars.
     if (name.size() != 24) return std::nullopt;
+    // sc_lint: allow(raw-decode) round-trip re-encode below validates the parse
     if (std::sscanf(name.c_str(), "seg-%16llx.log", &id) != 1) return std::nullopt;
     if (name != segment_file_name(id)) return std::nullopt;
     return id;
 }
 
-ScanResult scan_segment(const std::string& path) {
+ScanResult scan_segment_bytes(std::string_view data) {
     ScanResult out;
+    util::ByteReader header = util::ByteReader::over(data);
+    const std::uint32_t magic = header.u32le();
+    const std::uint32_t version = header.u32le();
+    const std::uint64_t segment_id = header.u64le();
+    if (!header.ok() || magic != kSegmentMagic || version != kSegmentFormatVersion)
+        return out;
+    out.segment_id = segment_id;
+    out.header_ok = true;
+
+    std::size_t off = kSegmentHeaderBytes;
+    for (;;) {
+        util::ByteReader frame = util::ByteReader::over(data.substr(off));
+        const std::uint32_t crc = frame.u32le();
+        const std::uint32_t len = frame.u32le();
+        if (!frame.ok()) break;  // not even a frame header left
+        constexpr std::uint32_t kMinPayload = 27;  // fixed fields, empty url
+        if (len < kMinPayload || len > kMinPayload + kMaxUrlBytes) break;
+        const std::string_view payload = frame.text(len);
+        if (!frame.ok()) break;  // torn tail
+        if (crc32_ieee(payload.data(), payload.size()) != crc) break;
+
+        // The frame checksums clean; now the payload fields must also be
+        // ones this store could have written. Anything else is counted
+        // corruption and ends the scan like a torn frame.
+        util::ByteReader p = util::ByteReader::over(payload);
+        Record rec;
+        const std::uint8_t type = p.u8();
+        rec.seq = p.u64le();
+        rec.size = p.u64le();
+        rec.version = p.u64le();
+        const std::uint16_t url_len = p.u16le();
+        const std::string_view url = p.text(url_len);
+        const bool well_formed = p.ok() && p.empty() && type >= 1 && type <= 3 &&
+                                 rec.seq != 0 && rec.size <= kMaxRecordSizeBytes &&
+                                 url_is_clean(url);
+        if (!well_formed) {
+            malformed_records_total().inc();
+            break;
+        }
+        rec.type = static_cast<RecordType>(type);
+        rec.url.assign(url);
+        out.records.push_back(std::move(rec));
+        off += kRecordFrameBytes + len;
+    }
+    out.valid_bytes = off;
+    out.torn = off < data.size();
+    return out;
+}
+
+ScanResult scan_segment(const std::string& path) {
     const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-    if (fd < 0) return out;
+    if (fd < 0) return {};
 
     std::string data;
     {
@@ -99,46 +156,14 @@ ScanResult scan_segment(const std::string& path) {
             if (n < 0) {
                 if (errno == EINTR) continue;
                 ::close(fd);
-                return out;
+                return {};
             }
             if (n == 0) break;
             data.append(chunk, static_cast<std::size_t>(n));
         }
     }
     ::close(fd);
-
-    if (data.size() < kSegmentHeaderBytes) return out;
-    if (get_le<std::uint32_t>(data.data()) != kSegmentMagic) return out;
-    if (get_le<std::uint32_t>(data.data() + 4) != kSegmentFormatVersion) return out;
-    out.segment_id = get_le<std::uint64_t>(data.data() + 8);
-    out.header_ok = true;
-
-    std::size_t off = kSegmentHeaderBytes;
-    while (off + kRecordFrameBytes <= data.size()) {
-        const std::uint32_t crc = get_le<std::uint32_t>(data.data() + off);
-        const std::uint32_t len = get_le<std::uint32_t>(data.data() + off + 4);
-        constexpr std::uint32_t kMinPayload = 27;  // fixed fields, empty url
-        if (len < kMinPayload || len > kMinPayload + kMaxUrlBytes) break;
-        if (off + kRecordFrameBytes + len > data.size()) break;  // torn tail
-        const char* payload = data.data() + off + kRecordFrameBytes;
-        if (crc32_ieee(payload, len) != crc) break;
-
-        Record rec;
-        const auto type = get_le<std::uint8_t>(payload);
-        if (type < 1 || type > 3) break;
-        rec.type = static_cast<RecordType>(type);
-        rec.seq = get_le<std::uint64_t>(payload + 1);
-        rec.size = get_le<std::uint64_t>(payload + 9);
-        rec.version = get_le<std::uint64_t>(payload + 17);
-        const std::uint16_t url_len = get_le<std::uint16_t>(payload + 25);
-        if (27u + url_len != len) break;
-        rec.url.assign(payload + 27, url_len);
-        out.records.push_back(std::move(rec));
-        off += kRecordFrameBytes + len;
-    }
-    out.valid_bytes = off;
-    out.torn = off < data.size();
-    return out;
+    return scan_segment_bytes(data);
 }
 
 SegmentWriter::~SegmentWriter() { close(); }
@@ -153,9 +178,9 @@ bool SegmentWriter::create(const std::string& path, std::uint64_t segment_id) {
     path_ = path;
 
     std::string header;
-    put_le<std::uint32_t>(header, kSegmentMagic);
-    put_le<std::uint32_t>(header, kSegmentFormatVersion);
-    put_le<std::uint64_t>(header, segment_id);
+    util::append_u32le(header, kSegmentMagic);
+    util::append_u32le(header, kSegmentFormatVersion);
+    util::append_u64le(header, segment_id);
     return append(header.data(), header.size());
 }
 

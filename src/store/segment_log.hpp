@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace sc::store {
@@ -31,6 +32,11 @@ inline constexpr std::uint32_t kSegmentFormatVersion = 1;
 inline constexpr std::size_t kSegmentHeaderBytes = 16;
 inline constexpr std::size_t kRecordFrameBytes = 8;  // crc + payload_len
 inline constexpr std::size_t kMaxUrlBytes = 8192;
+
+/// Largest object size a record may claim (1 TiB). The size field feeds
+/// capacity accounting; a flipped high bit in an otherwise checksum-valid
+/// record must not be able to convince the store it is petabytes full.
+inline constexpr std::uint64_t kMaxRecordSizeBytes = 1ull << 40;
 
 enum class RecordType : std::uint8_t {
     insert = 1,  ///< url now cached with {size, version}
@@ -76,6 +82,14 @@ struct ScanResult {
 /// Sequentially scan one segment file. Never throws; a missing or foreign
 /// file yields header_ok=false and zero records.
 [[nodiscard]] ScanResult scan_segment(const std::string& path);
+
+/// The pure scanning core of scan_segment, over an in-memory image of the
+/// file. Split out so recovery logic is testable (and fuzzable) without
+/// touching the filesystem. Records that checksum correctly but carry
+/// impossible fields (zero seq, empty or control-byte URL, absurd size)
+/// stop the scan exactly like a torn frame and count toward
+/// sc_store_malformed_records_total.
+[[nodiscard]] ScanResult scan_segment_bytes(std::string_view data);
 
 /// One open segment file being appended to. Not thread-safe: the store
 /// serializes writers under its io mutex.

@@ -1,0 +1,154 @@
+// ByteReader — THE checked-decode layer for untrusted input.
+//
+// Every parser that ingests bytes an attacker could have written (ICP/SC-ICP
+// datagrams, HTTP request lines, disk segment logs) must read them through
+// this cursor instead of raw `memcpy` / `reinterpret_cast` / pointer
+// arithmetic; sc_lint's `raw-decode` rule makes that uncompilable to violate
+// in any TU marked SC_UNTRUSTED_DECODE_TU (docs/STATIC_ANALYSIS.md).
+//
+// Design constraints, in order:
+//   * zero allocation and no exceptions — safe inside SC_HOT_PATH bodies
+//     and usable from codecs that translate failures into their own error
+//     type (WireError) as well as ones that report via return values.
+//   * saturating error latch — the first out-of-bounds read sets ok() to
+//     false, returns a zero value, and pins the cursor at the end; every
+//     subsequent read also fails. A decoder can therefore run its whole
+//     field list straight through and test ok() once at the end, with no
+//     per-field branching, and no read ever touches memory out of bounds.
+//   * position tracking — pos()/remaining() stay exact for framing scans
+//     (the segment log's torn-tail offset arithmetic depends on it).
+//
+// The byte-order suffix is explicit at every call site (u16be vs u16le):
+// ICP is big-endian network order, the disk store is little-endian, and a
+// reviewer should never have to look up which one a TU meant.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+/// Marks a translation unit whose inputs include untrusted bytes. sc_lint's
+/// `raw-decode` rule denies memcpy / reinterpret_cast / raw pointer-offset
+/// reads in marked TUs, so every decode path is forced through ByteReader.
+/// Place once near the top of the TU: `SC_UNTRUSTED_DECODE_TU;`
+#define SC_UNTRUSTED_DECODE_TU \
+    static_assert(true, "this TU parses untrusted bytes: sc_lint raw-decode applies")
+
+namespace sc::util {
+
+class ByteReader {
+public:
+    constexpr explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    /// View text buffers (HTTP lines, disk reads into std::string) without
+    /// the caller spelling a cast: the one reinterpret_cast of the decode
+    /// layer lives here, in the audited header.
+    static ByteReader over(std::string_view text) {
+        return ByteReader(std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+    }
+
+    [[nodiscard]] std::uint8_t u8() {
+        if (!take(1)) return 0;
+        return data_[pos_ - 1];
+    }
+
+    [[nodiscard]] std::uint16_t u16be() {
+        if (!take(2)) return 0;
+        return static_cast<std::uint16_t>(
+            (static_cast<std::uint16_t>(data_[pos_ - 2]) << 8) | data_[pos_ - 1]);
+    }
+
+    [[nodiscard]] std::uint32_t u32be() {
+        if (!take(4)) return 0;
+        return (static_cast<std::uint32_t>(data_[pos_ - 4]) << 24) |
+               (static_cast<std::uint32_t>(data_[pos_ - 3]) << 16) |
+               (static_cast<std::uint32_t>(data_[pos_ - 2]) << 8) |
+               static_cast<std::uint32_t>(data_[pos_ - 1]);
+    }
+
+    [[nodiscard]] std::uint64_t u64be() {
+        const std::uint64_t hi = u32be();
+        const std::uint64_t lo = u32be();
+        return ok_ ? (hi << 32) | lo : 0;
+    }
+
+    [[nodiscard]] std::uint16_t u16le() {
+        if (!take(2)) return 0;
+        return static_cast<std::uint16_t>(
+            data_[pos_ - 2] | (static_cast<std::uint16_t>(data_[pos_ - 1]) << 8));
+    }
+
+    [[nodiscard]] std::uint32_t u32le() {
+        if (!take(4)) return 0;
+        return static_cast<std::uint32_t>(data_[pos_ - 4]) |
+               (static_cast<std::uint32_t>(data_[pos_ - 3]) << 8) |
+               (static_cast<std::uint32_t>(data_[pos_ - 2]) << 16) |
+               (static_cast<std::uint32_t>(data_[pos_ - 1]) << 24);
+    }
+
+    [[nodiscard]] std::uint64_t u64le() {
+        const std::uint64_t lo = u32le();
+        const std::uint64_t hi = u32le();
+        return ok_ ? lo | (hi << 32) : 0;
+    }
+
+    /// Exactly n raw bytes; empty span (and latched error) if short.
+    [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n) {
+        if (!take(n)) return {};
+        return data_.subspan(pos_ - n, n);
+    }
+
+    /// Same bytes viewed as text (no copy, no cast at the call site).
+    [[nodiscard]] std::string_view text(std::size_t n) {
+        const auto raw = bytes(n);
+        return {reinterpret_cast<const char*>(raw.data()), raw.size()};
+    }
+
+    /// NUL-terminated string; consumes the terminator. Latches the error
+    /// (and returns empty) when no NUL exists in the remaining bytes.
+    [[nodiscard]] std::string_view cstring_view() {
+        const auto tail = data_.subspan(pos_);
+        const auto nul = std::find(tail.begin(), tail.end(), std::uint8_t{0});
+        if (nul == tail.end()) {
+            fail();
+            return {};
+        }
+        const auto len = static_cast<std::size_t>(nul - tail.begin());
+        pos_ += len + 1;
+        return {reinterpret_cast<const char*>(tail.data()), len};
+    }
+
+    void skip(std::size_t n) { (void)take(n); }
+
+    /// Latch a semantic error found by the caller (bad magic, field out of
+    /// range, ...) so one ok() check at the end covers everything.
+    void fail() {
+        ok_ = false;
+        pos_ = data_.size();
+    }
+
+    [[nodiscard]] bool ok() const { return ok_; }
+    [[nodiscard]] std::size_t pos() const { return pos_; }
+    [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+    [[nodiscard]] bool empty() const { return remaining() == 0; }
+
+private:
+    /// Advance past n bytes if available; otherwise latch and saturate.
+    bool take(std::size_t n) {
+        if (!ok_ || n > remaining()) {
+            fail();
+            return false;
+        }
+        pos_ += n;
+        return true;
+    }
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+}  // namespace sc::util

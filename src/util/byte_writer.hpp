@@ -1,0 +1,148 @@
+// ByteWriter — the encode-side twin of ByteReader (byte_reader.hpp).
+//
+// Encoders are not attack surface the way decoders are, but keeping both
+// directions of every wire/disk format in one audited vocabulary means a
+// format change touches matching be/le calls on both sides, and no codec
+// TU needs memcpy or reinterpret_cast at all (sc_lint raw-decode covers
+// whole TUs, encode paths included).
+//
+// Two shapes, because the codebase has two encode idioms:
+//   * ByteWriter — bounded cursor over a caller-sized span, with the same
+//     saturating ok() latch as ByteReader. For fixed-layout records where
+//     the size is known up front (segment log frames).
+//   * append_* free functions — grow-on-write into std::vector<uint8_t> /
+//     std::string. For streamed formats built field by field (ICP
+//     datagrams via BufWriter).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sc::util {
+
+class ByteWriter {
+public:
+    constexpr explicit ByteWriter(std::span<std::uint8_t> out) : out_(out) {}
+
+    /// Write into a pre-sized std::string (the disk tier builds records in
+    /// strings); the single cast lives here, matching ByteReader::over().
+    static ByteWriter over(std::string& buf) {
+        return ByteWriter(
+            std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(buf.data()), buf.size()));
+    }
+
+    void u8(std::uint8_t v) {
+        if (!take(1)) return;
+        out_[pos_ - 1] = v;
+    }
+
+    void u16be(std::uint16_t v) {
+        if (!take(2)) return;
+        out_[pos_ - 2] = static_cast<std::uint8_t>(v >> 8);
+        out_[pos_ - 1] = static_cast<std::uint8_t>(v);
+    }
+
+    void u32be(std::uint32_t v) {
+        if (!take(4)) return;
+        out_[pos_ - 4] = static_cast<std::uint8_t>(v >> 24);
+        out_[pos_ - 3] = static_cast<std::uint8_t>(v >> 16);
+        out_[pos_ - 2] = static_cast<std::uint8_t>(v >> 8);
+        out_[pos_ - 1] = static_cast<std::uint8_t>(v);
+    }
+
+    void u16le(std::uint16_t v) {
+        if (!take(2)) return;
+        out_[pos_ - 2] = static_cast<std::uint8_t>(v);
+        out_[pos_ - 1] = static_cast<std::uint8_t>(v >> 8);
+    }
+
+    void u32le(std::uint32_t v) {
+        if (!take(4)) return;
+        out_[pos_ - 4] = static_cast<std::uint8_t>(v);
+        out_[pos_ - 3] = static_cast<std::uint8_t>(v >> 8);
+        out_[pos_ - 2] = static_cast<std::uint8_t>(v >> 16);
+        out_[pos_ - 1] = static_cast<std::uint8_t>(v >> 24);
+    }
+
+    void u64le(std::uint64_t v) {
+        u32le(static_cast<std::uint32_t>(v));
+        u32le(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void bytes(std::string_view v) {
+        if (!take(v.size())) return;
+        for (std::size_t i = 0; i < v.size(); ++i)
+            out_[pos_ - v.size() + i] = static_cast<std::uint8_t>(v[i]);
+    }
+
+    [[nodiscard]] bool ok() const { return ok_; }
+    [[nodiscard]] std::size_t pos() const { return pos_; }
+    [[nodiscard]] std::size_t remaining() const { return out_.size() - pos_; }
+
+private:
+    bool take(std::size_t n) {
+        if (!ok_ || n > remaining()) {
+            ok_ = false;
+            pos_ = out_.size();
+            return false;
+        }
+        pos_ += n;
+        return true;
+    }
+
+    std::span<std::uint8_t> out_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+// --- grow-on-write helpers (network byte order, vector-backed) -------------
+
+inline void append_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+inline void append_u16be(std::vector<std::uint8_t>& out, std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void append_u32be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Re-write a 16-bit field at a known offset (ICP's post-hoc length seal).
+inline void patch_u16be(std::span<std::uint8_t> buf, std::size_t offset, std::uint16_t v) {
+    if (offset + 2 > buf.size()) return;
+    buf[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+// --- grow-on-write helpers (little-endian, string-backed disk tier) --------
+
+inline void append_u8(std::string& out, std::uint8_t v) {
+    out.push_back(static_cast<char>(v));
+}
+
+inline void append_u16le(std::string& out, std::uint16_t v) {
+    out.push_back(static_cast<char>(v));
+    out.push_back(static_cast<char>(v >> 8));
+}
+
+inline void append_u32le(std::string& out, std::uint32_t v) {
+    out.push_back(static_cast<char>(v));
+    out.push_back(static_cast<char>(v >> 8));
+    out.push_back(static_cast<char>(v >> 16));
+    out.push_back(static_cast<char>(v >> 24));
+}
+
+inline void append_u64le(std::string& out, std::uint64_t v) {
+    append_u32le(out, static_cast<std::uint32_t>(v));
+    append_u32le(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+}  // namespace sc::util

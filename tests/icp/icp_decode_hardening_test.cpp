@@ -1,0 +1,245 @@
+// Malformed-datagram hardening for the ICP codec: inputs the pre-ByteReader
+// decoder either accepted or mishandled must now throw WireError AND count
+// toward sc_icp_malformed_total. Each case is a valid datagram with targeted
+// byte surgery, so the suite doubles as documentation of the wire layout's
+// trust boundary (cases seeded from the fuzz corpus, see fuzz/README.md).
+#include "icp/icp_message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace sc;
+
+std::span<const std::uint8_t> span_of(const std::vector<std::uint8_t>& v) {
+    return {v.data(), v.size()};
+}
+
+obs::Counter malformed_counter() {
+    return obs::metrics().counter("sc_icp_malformed_total",
+                                  "ICP datagrams rejected by the checked-decode layer");
+}
+
+/// Assert the decode throws WireError and bumps the malformed counter once.
+template <typename Fn>
+void expect_rejected_and_counted(const std::vector<std::uint8_t>& datagram, Fn&& decode) {
+    const obs::Counter c = malformed_counter();
+    const std::uint64_t before = c.value();
+    EXPECT_THROW(decode(span_of(datagram)), WireError);
+    EXPECT_EQ(c.value(), before + 1);
+}
+
+/// Reseal the length field after surgery that changed the datagram size.
+void fix_length(std::vector<std::uint8_t>& d) {
+    d[2] = static_cast<std::uint8_t>(d.size() >> 8);
+    d[3] = static_cast<std::uint8_t>(d.size());
+}
+
+IcpQuery sample_query() {
+    IcpQuery q;
+    q.request_number = 7;
+    q.sender_host = 0x0A000001;
+    q.requester_host = 0x0A000002;
+    q.url = "http://example.com/a";
+    return q;
+}
+
+IcpDirUpdate sample_delta() {
+    IcpDirUpdate u;
+    u.request_number = 3;
+    u.sender_host = 0x0A000001;
+    u.boot_id = 0xB007;
+    u.spec.function_num = 4;
+    u.spec.function_bits = 10;
+    u.spec.table_bits = 1024;
+    u.records = {5, 9, (1u << 31) | 700};
+    return u;
+}
+
+IcpDirUpdate sample_full(std::uint32_t table_bits = 40) {
+    IcpDirUpdate u;
+    u.request_number = 3;
+    u.sender_host = 0x0A000001;
+    u.boot_id = 0xB007;
+    u.full = true;
+    u.spec.function_num = 4;
+    u.spec.function_bits = 10;
+    u.spec.table_bits = table_bits;
+    u.bitmap_words.assign((table_bits + 31) / 32, 0x1u);
+    return u;
+}
+
+// --- header-level rejections ------------------------------------------------
+
+TEST(IcpDecodeHardening, OpInvalidOnTheWireIsRejected) {
+    auto d = encode_query(sample_query());
+    d[0] = 0;  // ICP_OP_INVALID: RFC reserves it, nothing legitimate sends it
+    expect_rejected_and_counted(d, decode_header);
+}
+
+TEST(IcpDecodeHardening, LengthFieldLieIsRejected) {
+    auto d = encode_query(sample_query());
+    d[3] ^= 0x01;  // header claims a different size than the datagram
+    expect_rejected_and_counted(d, decode_query);
+}
+
+TEST(IcpDecodeHardening, TruncatedHeaderIsRejected) {
+    auto d = encode_query(sample_query());
+    d.resize(kIcpHeaderBytes - 1);
+    expect_rejected_and_counted(d, decode_header);
+}
+
+// --- URL hygiene (query / reply / hit_obj) ----------------------------------
+
+TEST(IcpDecodeHardening, EmptyQueryUrlIsRejected) {
+    auto q = sample_query();
+    q.url.clear();
+    const auto d = encode_query(q);  // encoder is permissive; the boundary is decode
+    expect_rejected_and_counted(d, decode_query);
+}
+
+TEST(IcpDecodeHardening, ControlByteInUrlIsRejected) {
+    auto q = sample_query();
+    q.url = "http://example.com/a\rb";  // CR smuggled toward logs/HTTP fetch
+    const auto d = encode_query(q);
+    expect_rejected_and_counted(d, decode_query);
+}
+
+TEST(IcpDecodeHardening, OversizeUrlIsRejected) {
+    auto q = sample_query();
+    q.url = "http://e/" + std::string(kMaxIcpUrlBytes, 'a');
+    const auto d = encode_query(q);
+    expect_rejected_and_counted(d, decode_query);
+}
+
+TEST(IcpDecodeHardening, EmptyReplyUrlIsRejectedExceptForProbes) {
+    IcpReply r;
+    r.opcode = IcpOpcode::hit;
+    r.request_number = 1;
+    auto d = encode_reply(r);
+    expect_rejected_and_counted(d, decode_reply);
+
+    // SECHO/DECHO liveness probes are the documented empty-URL exception.
+    r.opcode = IcpOpcode::secho;
+    d = encode_reply(r);
+    EXPECT_EQ(decode_reply(span_of(d)).opcode, IcpOpcode::secho);
+}
+
+TEST(IcpDecodeHardening, ControlByteInHitObjUrlIsRejected) {
+    IcpHitObj h;
+    h.request_number = 2;
+    h.url = "http://e/\na";
+    h.object = {1, 2, 3};
+    const auto d = encode_hit_obj(h);
+    expect_rejected_and_counted(d, decode_hit_obj);
+}
+
+// --- directory updates ------------------------------------------------------
+
+TEST(IcpDecodeHardening, ZeroBootIdIsRejected) {
+    auto d = encode_dirupdate(sample_delta());
+    // boot_id rides in header options (bytes 8..12); zero it post-encode.
+    d[8] = d[9] = d[10] = d[11] = 0;
+    expect_rejected_and_counted(d, decode_dirupdate);
+}
+
+TEST(IcpDecodeHardening, DeltaWithWordOffsetIsRejected) {
+    auto d = encode_dirupdate(sample_delta());
+    d[15] = 1;  // option_data is DIRFULL's chunk offset; a delta must not carry one
+    expect_rejected_and_counted(d, decode_dirupdate);
+}
+
+TEST(IcpDecodeHardening, ZeroHashSpecIsRejected) {
+    auto d = encode_dirupdate(sample_delta());
+    // Payload starts at byte 20: function_num:16 function_bits:16 table_bits:32.
+    for (std::size_t i = 20; i < 28; ++i) d[i] = 0;
+    expect_rejected_and_counted(d, decode_dirupdate);
+}
+
+TEST(IcpDecodeHardening, OversizeTableBitsIsRejected) {
+    auto d = encode_dirupdate(sample_delta());
+    d[24] = 0xFF;  // table_bits high byte: claims > kMaxWireTableBits
+    expect_rejected_and_counted(d, decode_dirupdate);
+}
+
+TEST(IcpDecodeHardening, TruncatedRecordPayloadIsRejected) {
+    auto d = encode_dirupdate(sample_delta());
+    d.resize(d.size() - 2);  // tear the last record in half
+    fix_length(d);
+    expect_rejected_and_counted(d, decode_dirupdate);
+}
+
+TEST(IcpDecodeHardening, RecordCountLieIsRejected) {
+    auto d = encode_dirupdate(sample_delta());
+    d[31] += 1;  // count field (bytes 28..32) claims one more record than present
+    expect_rejected_and_counted(d, decode_dirupdate);
+}
+
+TEST(IcpDecodeHardening, BitIndexBeyondTableIsRejected) {
+    auto u = sample_delta();
+    u.records.back() = 1024;  // == table_bits: one past the last valid index
+    const auto d = encode_dirupdate(u);
+    expect_rejected_and_counted(d, decode_dirupdate);
+}
+
+TEST(IcpDecodeHardening, TailSlackBitsInFinalWordAreRejected) {
+    // table_bits = 40: the second wire word covers bits 32..39 and its top
+    // 24 bits are slack no sender can set. assign_words does not mask, so
+    // letting them through would poison fill-ratio and diff math.
+    auto u = sample_full(40);
+    u.bitmap_words.back() = 0x100u;  // word bit 8 = table bit 40: out of range
+    expect_rejected_and_counted(encode_dirupdate(u), decode_dirupdate);
+
+    u.bitmap_words.back() = 0x7Fu;  // bits 32..38 only: legitimate
+    const auto good = encode_dirupdate(u);
+    EXPECT_EQ(decode_dirupdate(span_of(good)).bitmap_words.back(), 0x7Fu);
+}
+
+TEST(IcpDecodeHardening, FullChunkBeyondTableIsRejected) {
+    auto d = encode_dirupdate(sample_full(64));
+    d[15] = 2;  // word_offset = 2 with 2 words present: runs past expected_words
+    expect_rejected_and_counted(d, decode_dirupdate);
+}
+
+// --- dirreq introductions ---------------------------------------------------
+
+TEST(IcpDecodeHardening, IntroductionWithZeroPortIsRejected) {
+    IcpDirReq q;
+    q.request_number = 1;
+    q.subject_id = 42;
+    q.subject_icp_host = 0x0A000003;
+    q.subject_icp_port = 0;  // undialable: would poison peers' membership tables
+    q.subject_http_port = 8080;
+    const auto d = encode_dirreq(q);
+    expect_rejected_and_counted(d, decode_dirreq);
+}
+
+TEST(IcpDecodeHardening, IntroductionWithZeroSubjectIsRejected) {
+    IcpDirReq q;
+    q.request_number = 1;
+    q.subject_id = 42;
+    q.subject_icp_port = 3130;
+    auto d = encode_dirreq(q);
+    for (std::size_t i = 20; i < 24; ++i) d[i] = 0;  // subject_id field
+    expect_rejected_and_counted(d, decode_dirreq);
+}
+
+// --- the counter itself -----------------------------------------------------
+
+TEST(IcpDecodeHardening, WellFormedTrafficDoesNotCount) {
+    const obs::Counter c = malformed_counter();
+    const std::uint64_t before = c.value();
+    (void)decode_query(span_of(encode_query(sample_query())));
+    (void)decode_dirupdate(span_of(encode_dirupdate(sample_delta())));
+    (void)decode_dirupdate(span_of(encode_dirupdate(sample_full())));
+    EXPECT_EQ(c.value(), before);
+}
+
+}  // namespace

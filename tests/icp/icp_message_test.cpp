@@ -49,6 +49,7 @@ TEST(IcpMessage, DirUpdateDeltaRoundTrip) {
     IcpDirUpdate u;
     u.request_number = 9;
     u.sender_host = 0x01;
+    u.boot_id = 0xb001;  // decode rejects boot id 0 (reserved: "not configured")
     u.spec = HashSpec{4, 32, 65536};
     u.records = {encode_bit_flip({100, true}), encode_bit_flip({200, false}),
                  encode_bit_flip({65535, true})};
@@ -62,6 +63,7 @@ TEST(IcpMessage, DirUpdateFullRoundTrip) {
     IcpDirUpdate u;
     u.request_number = 10;
     u.sender_host = 0x02;
+    u.boot_id = 0xb002;
     u.spec = HashSpec{4, 32, 256};
     u.full = true;
     u.bitmap_words.assign(8, 0);  // 256 bits = 8 x 32-bit words

@@ -54,4 +54,26 @@ SC_EVENT_LOOP_ONLY void oneshot_on_loop() {
     net::wait_fd_readable(fd_, 50);  // seed 21 (line 54): eventloop-blocking
 }
 
+SC_UNTRUSTED_DECODE_TU;
+
+void raw_decode_reads(const Buf& b, unsigned off) {
+    unsigned v = 0;
+    memcpy(&v, b.ptr, 4);                                  // seed 22 (line 61): raw-decode
+    const char* p = reinterpret_cast<const char*>(b.ptr);  // seed 23 (line 62): raw-decode
+    use(b.data() + off);                                   // seed 24 (line 63): raw-decode
+    sscanf(p, "%u", &v);                                   // seed 25 (line 64): raw-decode
+}
+
+void switch_missing_cases(IcpOpcode op) {
+    switch (op) {  // seed 26 (line 68): exhaustive-wire-switch
+        case IcpOpcode::query: break;
+        case IcpOpcode::hit: break;
+    }
+}
+
+void stale_rule_name() {
+    // sc_lint: allow(no-such-rule) typo'd rule id  -- seed 27 (line 75): waiver-sanity
+    use(0);
+}
+
 }  // namespace fixture

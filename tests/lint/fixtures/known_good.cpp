@@ -54,4 +54,47 @@ unsigned counter_mask(unsigned bits) {
     return sc::counter_math::saturation_max(bits);  // the only legal spelling
 }
 
+// The decode discipline: this marker puts the whole TU under raw-decode.
+SC_UNTRUSTED_DECODE_TU;
+
+unsigned checked_decode(std::string_view wire) {
+    util::ByteReader r = util::ByteReader::over(wire);  // the blessed cursor
+    const auto v = r.u32be();
+    return r.ok() ? v : 0u;
+}
+
+void decode_lookalikes(Frame& frame, const char* p) {
+    frame.memcpy(p);        // a METHOD named like a libc read is fine
+    custom::sscanf(p);      // so is a non-std namespaced wrapper
+}
+
+const char* bless_cast(const Buf& b) {
+    // sc_lint: allow(raw-decode) fixture: a deliberately waived cast
+    return reinterpret_cast<const char*>(b.ptr);
+}
+
+// Wire-enum switches: a default arm is one honest way to be total...
+const char* opcode_label(IcpOpcode op) {
+    switch (op) {
+        case IcpOpcode::query: return "query";
+        case IcpOpcode::hit: return "hit";
+        default: return "other";
+    }
+}
+
+// ...and covering every enumerator is the other.
+bool apply_is_terminal(SummaryApplyResult r) {
+    switch (r) {
+        case SummaryApplyResult::applied: return false;
+        case SummaryApplyResult::partial: return false;
+        case SummaryApplyResult::duplicate: return false;
+        case SummaryApplyResult::stale: return false;
+        case SummaryApplyResult::gap: return false;
+        case SummaryApplyResult::need_bootstrap: return true;
+        case SummaryApplyResult::need_resync: return true;
+        case SummaryApplyResult::rejected: return true;
+    }
+    return true;
+}
+
 }  // namespace fixture

@@ -1,0 +1,12 @@
+// sc_lint fixture: a waiver naming a real rule that nothing trips. Must
+// lint clean (exit 0) but produce an informational unused-waiver note at
+// line 8 — stale allows may not rot silently. Never compiled — lint input.
+
+namespace fixture {
+
+void quiet() {
+    // sc_lint: allow(raw-poll) left behind after the poll call was removed
+    use(0);
+}
+
+}  // namespace fixture

@@ -29,14 +29,33 @@ fi
 # Seeded fixture: exit 1, and every seeded rule id appears on stdout.
 out=$("$LINT" "$FIXTURES/known_bad.cpp" 2>/dev/null); rc=$?
 check "known_bad exit" 1 "$rc"
-for rule in raw-mutex hotpath-alloc eventloop-blocking raw-counter-shift raw-poll; do
+for rule in raw-mutex hotpath-alloc eventloop-blocking raw-counter-shift raw-poll \
+            raw-decode exhaustive-wire-switch waiver-sanity; do
   if ! printf '%s\n' "$out" | grep -q "\[$rule\]"; then
     echo "FAIL: known_bad output is missing rule [$rule]"; fail=1
   fi
 done
 count=$(printf '%s\n' "$out" | grep -c ': error: ')
-if [ "$count" -ne 21 ]; then
-  echo "FAIL: known_bad: expected 21 diagnostics, got $count"; echo "$out"; fail=1
+if [ "$count" -ne 27 ]; then
+  echo "FAIL: known_bad: expected 27 diagnostics, got $count"; echo "$out"; fail=1
+fi
+
+# Stale-waiver fixture: informational only — exit 0, clean stdout, and the
+# unused-waiver note lands on stderr.
+out=$("$LINT" "$FIXTURES/stale_waiver.cpp" 2>/dev/null); rc=$?
+err=$("$LINT" "$FIXTURES/stale_waiver.cpp" 2>&1 >/dev/null)
+check "stale_waiver exit" 0 "$rc"
+if [ -n "$out" ]; then
+  echo "FAIL: stale_waiver printed diagnostics:"; echo "$out"; fail=1
+fi
+if ! printf '%s\n' "$err" | grep -q ': note: unused sc_lint waiver'; then
+  echo "FAIL: stale_waiver produced no unused-waiver note:"; echo "$err"; fail=1
+fi
+
+# A narrowed run must not call waivers stale (their rule never executed).
+err=$("$LINT" --rule=raw-mutex "$FIXTURES/stale_waiver.cpp" 2>&1 >/dev/null)
+if printf '%s\n' "$err" | grep -q ': note: '; then
+  echo "FAIL: --rule= run still emitted notes:"; echo "$err"; fail=1
 fi
 
 # --rule= narrows the run.

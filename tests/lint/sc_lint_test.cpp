@@ -46,6 +46,10 @@ TEST(ScLintFixtures, KnownBadSeedsAreEachCaught) {
         {43, "eventloop-blocking"}, {44, "eventloop-blocking"},
         {48, "raw-poll"},           {49, "raw-poll"},
         {50, "raw-poll"},           {54, "eventloop-blocking"},
+        {61, "raw-decode"},         {62, "raw-decode"},
+        {63, "raw-decode"},         {64, "raw-decode"},
+        {68, "exhaustive-wire-switch"},
+        {75, "waiver-sanity"},
     };
     ASSERT_EQ(diags->size(), expected.size());
     for (std::size_t i = 0; i < expected.size(); ++i) {
@@ -253,8 +257,218 @@ TEST(ScLintOptions, RuleFilterRunsOnlyThatRule) {
     EXPECT_EQ(lint(text).size(), 2u);
 }
 
-TEST(ScLintOptions, AllRulesListsFive) {
-    EXPECT_EQ(sc::lint::all_rules().size(), 5u);
+TEST(ScLintOptions, AllRulesListsEight) {
+    EXPECT_EQ(sc::lint::all_rules().size(), 8u);
+}
+
+// --- raw-decode -----------------------------------------------------------
+
+TEST(ScLintRawDecode, UnmarkedTuIsOutOfScope) {
+    EXPECT_TRUE(lint("void f(Buf& b) { memcpy(dst, b.ptr, 4); }\n").empty());
+}
+
+TEST(ScLintRawDecode, MarkedTuDeniesRawReads) {
+    const std::string prefix = "SC_UNTRUSTED_DECODE_TU;\n";
+    for (const char* bad :
+         {"memcpy(dst, src, 4)", "std::memcpy(dst, src, 4)",
+          "sscanf(p, \"%u\", &v)", "strtoul(p, nullptr, 10)",
+          "reinterpret_cast<const char*>(p)", "use(b.data() + off)"}) {
+        const auto diags = lint(prefix + "void f() { " + bad + "; }\n");
+        ASSERT_EQ(diags.size(), 1u) << bad;
+        EXPECT_EQ(diags[0].rule, "raw-decode");
+        EXPECT_EQ(diags[0].line, 2u);
+    }
+}
+
+TEST(ScLintRawDecode, TheDefineItselfDoesNotMarkTheTu) {
+    EXPECT_TRUE(
+        lint("#define SC_UNTRUSTED_DECODE_TU static_assert(true, \"\")\n"
+             "void f() { memcpy(dst, src, 4); }\n")
+            .empty());
+}
+
+TEST(ScLintRawDecode, MethodsAndWrappersAreNotRawReads) {
+    const std::string prefix = "SC_UNTRUSTED_DECODE_TU;\n";
+    EXPECT_TRUE(lint(prefix + "void f(S s) { s.memcpy(p); codec->sscanf(p); }\n")
+                    .empty());
+    EXPECT_TRUE(lint(prefix + "void f() { mylib::memcpy(d, s, 4); }\n").empty());
+    // data() without pointer math (e.g. passed whole to a checked API) is fine.
+    EXPECT_TRUE(lint(prefix + "void f(Buf& b) { parse(b.data(), b.size()); }\n")
+                    .empty());
+}
+
+TEST(ScLintRawDecode, ByteReaderHeadersAreExempt) {
+    EXPECT_TRUE(lint_source("src/util/byte_reader.hpp",
+                            "SC_UNTRUSTED_DECODE_TU;\n"
+                            "auto* p = reinterpret_cast<const std::uint8_t*>(s);\n")
+                    .empty());
+    EXPECT_TRUE(lint_source("src/util/byte_writer.hpp",
+                            "SC_UNTRUSTED_DECODE_TU;\n"
+                            "auto* p = reinterpret_cast<std::uint8_t*>(s);\n")
+                    .empty());
+}
+
+TEST(ScLintRawDecode, WaiverSuppresses) {
+    EXPECT_TRUE(lint("SC_UNTRUSTED_DECODE_TU;\n"
+                     "void f() {\n"
+                     "    // sc_lint: allow(raw-decode) validated by re-encode\n"
+                     "    sscanf(name, \"seg-%16llx.log\", &id);\n"
+                     "}\n")
+                    .empty());
+}
+
+// --- exhaustive-wire-switch -----------------------------------------------
+
+TEST(ScLintWireSwitch, MissingEnumeratorsAreNamed) {
+    const auto diags = lint(
+        "int f(IcpOpcode op) {\n"
+        "    switch (op) {\n"
+        "        case IcpOpcode::query: return 1;\n"
+        "        case IcpOpcode::hit: return 2;\n"
+        "    }\n"
+        "    return 0;\n"
+        "}\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "exhaustive-wire-switch");
+    EXPECT_EQ(diags[0].line, 2u);
+    EXPECT_NE(diags[0].message.find("dirupdate"), std::string::npos);
+    EXPECT_EQ(diags[0].message.find("query"), std::string::npos);
+}
+
+TEST(ScLintWireSwitch, DefaultArmIsTotal) {
+    EXPECT_TRUE(lint("int f(IcpOpcode op) {\n"
+                     "    switch (op) {\n"
+                     "        case IcpOpcode::query: return 1;\n"
+                     "        default: return 0;\n"
+                     "    }\n"
+                     "}\n")
+                    .empty());
+}
+
+TEST(ScLintWireSwitch, FullCoverageIsTotal) {
+    const std::string cases =
+        "case SummaryApplyResult::applied: case SummaryApplyResult::partial:\n"
+        "case SummaryApplyResult::duplicate: case SummaryApplyResult::stale:\n"
+        "case SummaryApplyResult::gap: case SummaryApplyResult::need_bootstrap:\n"
+        "case SummaryApplyResult::need_resync: case SummaryApplyResult::rejected:\n";
+    EXPECT_TRUE(lint("int f(SummaryApplyResult r) {\n"
+                     "    switch (r) {\n" + cases +
+                     "        return 1;\n"
+                     "    }\n"
+                     "    return 0;\n"
+                     "}\n")
+                    .empty());
+    // Dropping one enumerator breaks totality again.
+    const auto diags = lint(
+        "int f(SummaryApplyResult r) {\n"
+        "    switch (r) {\n"
+        "        case SummaryApplyResult::applied: return 1;\n"
+        "    }\n"
+        "    return 0;\n"
+        "}\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].message.find("need_resync"), std::string::npos);
+}
+
+TEST(ScLintWireSwitch, OtherEnumsAreIgnored) {
+    EXPECT_TRUE(lint("int f(Color c) {\n"
+                     "    switch (c) { case Color::red: return 1; }\n"
+                     "    return 0;\n"
+                     "}\n")
+                    .empty());
+}
+
+TEST(ScLintWireSwitch, NestedSwitchesAreIndependent) {
+    // The inner switch is total (default); only the outer one is short.
+    const auto diags = lint(
+        "int f(IcpOpcode op, int k) {\n"
+        "    switch (op) {\n"
+        "        case IcpOpcode::query: {\n"
+        "            switch (k) { default: return 9; }\n"
+        "        }\n"
+        "    }\n"
+        "    return 0;\n"
+        "}\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 2u);
+}
+
+// --- waiver-sanity --------------------------------------------------------
+
+TEST(ScLintWaiverSanity, UnknownRuleIsAViolation) {
+    const auto diags = lint("void f() {\n"
+                            "    // sc_lint: allow(no-such-rule) typo\n"
+                            "    use(0);\n"
+                            "}\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "waiver-sanity");
+    EXPECT_EQ(diags[0].line, 2u);
+    EXPECT_NE(diags[0].message.find("no-such-rule"), std::string::npos);
+}
+
+TEST(ScLintWaiverSanity, KnownRuleWaiverIsNotAViolation) {
+    EXPECT_TRUE(lint("void f() {\n"
+                     "    // sc_lint: allow(raw-poll) pre-loop probe\n"
+                     "    ::poll(fds, n, 0);\n"
+                     "}\n")
+                    .empty());
+}
+
+// --- unused-waiver notes --------------------------------------------------
+
+TEST(ScLintNotes, UnusedWaiverProducesANote) {
+    const auto report = sc::lint::lint_source_report(
+        "test.cpp",
+        "void f() {\n"
+        "    // sc_lint: allow(raw-poll) nothing left to waive\n"
+        "    use(0);\n"
+        "}\n");
+    EXPECT_TRUE(report.diagnostics.empty());
+    ASSERT_EQ(report.notes.size(), 1u);
+    EXPECT_EQ(report.notes[0].line, 2u);
+    EXPECT_NE(report.notes[0].message.find("raw-poll"), std::string::npos);
+}
+
+TEST(ScLintNotes, UsedWaiverProducesNoNote) {
+    const auto report = sc::lint::lint_source_report(
+        "test.cpp",
+        "void f() {\n"
+        "    // sc_lint: allow(raw-poll) startup probe\n"
+        "    ::poll(fds, n, 0);\n"
+        "}\n");
+    EXPECT_TRUE(report.diagnostics.empty());
+    EXPECT_TRUE(report.notes.empty());
+}
+
+TEST(ScLintNotes, UnknownRuleWaiverIsNotAlsoAnUnusedNote) {
+    const auto report = sc::lint::lint_source_report(
+        "test.cpp", "// sc_lint: allow(no-such-rule) typo\nuse(0);\n");
+    EXPECT_EQ(report.diagnostics.size(), 1u);  // waiver-sanity owns this
+    EXPECT_TRUE(report.notes.empty());
+}
+
+TEST(ScLintNotes, NarrowedRunProducesNoNotes) {
+    Options only_mutex;
+    only_mutex.rules = {"raw-mutex"};
+    const auto report = sc::lint::lint_source_report(
+        "test.cpp",
+        "// sc_lint: allow(raw-poll) rule not even running\nuse(0);\n",
+        only_mutex);
+    EXPECT_TRUE(report.diagnostics.empty());
+    EXPECT_TRUE(report.notes.empty());
+}
+
+TEST(ScLintNotes, NoteFormatMatchesCompilerStyle) {
+    const sc::lint::Note n{"a/b.cpp", 7, "unused sc_lint waiver"};
+    EXPECT_EQ(sc::lint::format(n), "a/b.cpp:7: note: unused sc_lint waiver");
+}
+
+TEST(ScLintNotes, StaleWaiverFixtureYieldsExactlyOneNote) {
+    const auto report = sc::lint::lint_file_report(fixture_path("stale_waiver.cpp"));
+    ASSERT_TRUE(report.has_value());
+    EXPECT_TRUE(report->diagnostics.empty());
+    ASSERT_EQ(report->notes.size(), 1u);
+    EXPECT_EQ(report->notes[0].line, 8u);
 }
 
 }  // namespace

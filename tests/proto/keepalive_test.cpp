@@ -13,6 +13,7 @@
 #include <cctype>
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -519,6 +520,65 @@ TEST(HttpSessionParserTest, BlankLinesBetweenRequestsAreTolerated) {
     const auto r = p.on_line("GET http://host/x 0 8");
     ASSERT_TRUE(r.has_value());
     EXPECT_EQ(r->req.url, "http://host/x");
+}
+
+// --- checked-decode hardening (targets travel into ICP queries and logs) ----
+
+TEST(HttpSessionParserTest, EmbeddedWhitespaceInTargetIs400) {
+    // "GET /a b HTTP/1.1" previously parsed as target "/a b"; the extra
+    // token now fails target hygiene instead of reaching the hash path.
+    HttpSessionParser p;
+    EXPECT_FALSE(p.on_line("GET /a b HTTP/1.1").has_value());
+    const auto r = p.on_line("");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->parse_error);
+    EXPECT_FALSE(r->keep_alive);
+}
+
+TEST(HttpSessionParserTest, ControlByteInTargetIs400) {
+    HttpSessionParser p;
+    EXPECT_FALSE(p.on_line("GET /a\tb HTTP/1.1").has_value());
+    const auto r = p.on_line("");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->parse_error);
+    EXPECT_FALSE(r->keep_alive);
+}
+
+TEST(HttpSessionParserTest, OversizedTargetIs400) {
+    HttpSessionParser p;
+    const std::string line =
+        "GET /" + std::string(kMaxTargetBytes, 'a') + " HTTP/1.1";
+    EXPECT_FALSE(p.on_line(line).has_value());
+    const auto r = p.on_line("");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->parse_error);
+    EXPECT_FALSE(r->keep_alive);
+}
+
+TEST(HttpSessionParserTest, UnsupportedHttpVersionIsHttp400NotLiteGarbage) {
+    // "GET / HTTP/2.0" used to fall through to the lite grammar, answer
+    // ERROR, and leave the connection open with mismatched framing. It must
+    // be an HTTP-style 400 that closes.
+    for (const char* line : {"GET / HTTP/2.0", "GET / HTTP/0.9", "GET / HTTP/"}) {
+        HttpSessionParser p;
+        const auto r = p.on_line(line);
+        ASSERT_TRUE(r.has_value()) << line;
+        EXPECT_TRUE(r->http_style) << line;
+        EXPECT_TRUE(r->parse_error) << line;
+        EXPECT_FALSE(r->keep_alive) << line;
+    }
+}
+
+TEST(HttpSessionParserTest, HugeSizeParameterSaturatesInsteadOfWrapping) {
+    // 2^64 + 1 == "18446744073709551617"; wrapping would alias size=1.
+    HttpSessionParser p;
+    EXPECT_FALSE(
+        p.on_line("GET /doc?size=18446744073709551617&version=1 HTTP/1.1")
+            .has_value());
+    const auto r = p.on_line("");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_FALSE(r->parse_error);
+    EXPECT_EQ(r->req.size, std::numeric_limits<std::uint64_t>::max());
 }
 
 }  // namespace

@@ -1,0 +1,140 @@
+// Malformed segment records: frames that checksum perfectly but carry
+// fields this store could never have written (zero seq, empty or
+// control-byte URL, absurd size claim). The scanner must stop at the bad
+// frame exactly like a torn tail — preserving every record before it —
+// and count the rejection in sc_store_malformed_records_total. Cases
+// seeded from the fuzz corpus (see fuzz/README.md).
+#include "store/segment_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace sc::store;
+
+std::string segment_header(std::uint64_t segment_id = 9) {
+    std::string out;
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((kSegmentMagic >> (8 * i)) & 0xFF));
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((kSegmentFormatVersion >> (8 * i)) & 0xFF));
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((segment_id >> (8 * i)) & 0xFF));
+    return out;
+}
+
+Record good_record(std::uint64_t seq, const std::string& url = "http://e/x") {
+    Record r;
+    r.type = RecordType::insert;
+    r.seq = seq;
+    r.size = 1200;
+    r.version = 1;
+    r.url = url;
+    return r;
+}
+
+sc::obs::Counter malformed_counter() {
+    return sc::obs::metrics().counter(
+        "sc_store_malformed_records_total",
+        "segment records that passed the checksum but carried impossible fields");
+}
+
+/// Append a record and verify the scanner rejects it as malformed (counted),
+/// while keeping every record appended before it.
+void expect_rejected(const Record& bad) {
+    std::string image = segment_header();
+    encode_record(image, good_record(1));
+    const std::size_t clean_bytes = image.size();
+    encode_record(image, bad);
+
+    const sc::obs::Counter c = malformed_counter();
+    const std::uint64_t before = c.value();
+    const ScanResult scan = scan_segment_bytes(image);
+    EXPECT_TRUE(scan.header_ok);
+    ASSERT_EQ(scan.records.size(), 1u);  // the good record survives
+    EXPECT_EQ(scan.records[0].seq, 1u);
+    EXPECT_EQ(scan.valid_bytes, clean_bytes);  // truncation point excludes the bad frame
+    EXPECT_TRUE(scan.torn);
+    EXPECT_EQ(c.value(), before + 1);
+}
+
+TEST(SegmentMalformed, ZeroSeqIsRejected) {
+    // LogStore's first seq is 1; a zero seq can only be corruption that
+    // happened to keep its checksum, or a hand-crafted file.
+    expect_rejected(good_record(0));
+}
+
+TEST(SegmentMalformed, EmptyUrlIsRejected) {
+    expect_rejected(good_record(2, ""));
+}
+
+TEST(SegmentMalformed, ControlByteUrlIsRejected) {
+    expect_rejected(good_record(2, "http://e/\na"));
+    expect_rejected(good_record(2, std::string("http://e/\0b", 11)));
+}
+
+TEST(SegmentMalformed, AbsurdSizeClaimIsRejected) {
+    Record r = good_record(2);
+    r.size = kMaxRecordSizeBytes + 1;  // a petabyte-class lie vs capacity math
+    expect_rejected(r);
+}
+
+TEST(SegmentMalformed, UnknownRecordTypeIsRejected) {
+    Record r = good_record(2);
+    r.type = static_cast<RecordType>(9);
+    expect_rejected(r);
+}
+
+TEST(SegmentMalformed, CleanImageCountsNothing) {
+    std::string image = segment_header();
+    encode_record(image, good_record(1));
+    encode_record(image, good_record(2, "http://e/y"));
+
+    const sc::obs::Counter c = malformed_counter();
+    const std::uint64_t before = c.value();
+    const ScanResult scan = scan_segment_bytes(image);
+    EXPECT_TRUE(scan.header_ok);
+    EXPECT_EQ(scan.records.size(), 2u);
+    EXPECT_FALSE(scan.torn);
+    EXPECT_EQ(scan.valid_bytes, image.size());
+    EXPECT_EQ(c.value(), before);
+}
+
+TEST(SegmentMalformed, TornFrameIsNotCountedAsMalformed) {
+    // A torn tail is a normal crash artifact, not corruption-past-checksum;
+    // it must not inflate the malformed counter.
+    std::string image = segment_header();
+    encode_record(image, good_record(1));
+    const std::size_t clean_bytes = image.size();
+    encode_record(image, good_record(2));
+    image.resize(image.size() - 3);
+
+    const sc::obs::Counter c = malformed_counter();
+    const std::uint64_t before = c.value();
+    const ScanResult scan = scan_segment_bytes(image);
+    EXPECT_EQ(scan.records.size(), 1u);
+    EXPECT_EQ(scan.valid_bytes, clean_bytes);
+    EXPECT_TRUE(scan.torn);
+    EXPECT_EQ(c.value(), before);
+}
+
+TEST(SegmentMalformed, MaxUrlBoundIsExact) {
+    // kMaxUrlBytes exactly is legal; the scanner's frame bound rejects one past.
+    std::string image = segment_header();
+    encode_record(image, good_record(1, std::string(kMaxUrlBytes, 'u')));
+    const ScanResult ok = scan_segment_bytes(image);
+    ASSERT_EQ(ok.records.size(), 1u);
+    EXPECT_EQ(ok.records[0].url.size(), kMaxUrlBytes);
+
+    std::string over = segment_header();
+    encode_record(over, good_record(1, std::string(kMaxUrlBytes + 1, 'u')));
+    const ScanResult bad = scan_segment_bytes(over);
+    EXPECT_TRUE(bad.records.empty());
+    EXPECT_TRUE(bad.torn);
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// ByteReader/ByteWriter — the checked-decode contract every untrusted-input
+// parser now rests on. The saturating error latch is the load-bearing part:
+// after the first short read, every later read must fail too, return zero,
+// and never touch out-of-bounds memory.
+#include "util/byte_reader.hpp"
+#include "util/byte_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace {
+
+using sc::util::ByteReader;
+using sc::util::ByteWriter;
+
+ByteReader reader_over(const std::vector<std::uint8_t>& v) {
+    return ByteReader(std::span<const std::uint8_t>(v.data(), v.size()));
+}
+
+// --- happy-path reads -------------------------------------------------------
+
+TEST(ByteReader, ReadsBothByteOrders) {
+    const std::vector<std::uint8_t> buf = {0x01, 0x02, 0x03, 0x04, 0x05};
+    ByteReader be = reader_over(buf);
+    EXPECT_EQ(be.u8(), 0x01u);
+    EXPECT_EQ(be.u16be(), 0x0203u);
+    EXPECT_EQ(be.u16le(), 0x0504u);
+    EXPECT_TRUE(be.ok());
+    EXPECT_TRUE(be.empty());
+}
+
+TEST(ByteReader, ReadsWideIntegers) {
+    const std::vector<std::uint8_t> buf = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                                           0x07, 0x08};
+    ByteReader be = reader_over(buf);
+    EXPECT_EQ(be.u64be(), 0x0102030405060708ull);
+    ByteReader le = reader_over(buf);
+    EXPECT_EQ(le.u64le(), 0x0807060504030201ull);
+    ByteReader mixed = reader_over(buf);
+    EXPECT_EQ(mixed.u32be(), 0x01020304u);
+    EXPECT_EQ(mixed.u32le(), 0x08070605u);
+}
+
+TEST(ByteReader, BytesAndTextViewWithoutCopy) {
+    const std::string wire = "abcdef";
+    ByteReader r = ByteReader::over(wire);
+    const auto head = r.bytes(2);
+    ASSERT_EQ(head.size(), 2u);
+    EXPECT_EQ(head[0], 'a');
+    EXPECT_EQ(r.text(3), "cde");
+    EXPECT_EQ(r.pos(), 5u);
+    EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(ByteReader, CstringConsumesTerminator) {
+    const std::vector<std::uint8_t> buf = {'u', 'r', 'l', 0x00, 0x42};
+    ByteReader r = reader_over(buf);
+    EXPECT_EQ(r.cstring_view(), "url");
+    EXPECT_EQ(r.u8(), 0x42u);  // terminator consumed, next byte lines up
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(ByteReader, SkipAdvancesAndChecksBounds) {
+    const std::vector<std::uint8_t> buf = {1, 2, 3};
+    ByteReader r = reader_over(buf);
+    r.skip(2);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.pos(), 2u);
+    r.skip(2);  // only 1 byte left
+    EXPECT_FALSE(r.ok());
+}
+
+// --- the saturating latch ---------------------------------------------------
+
+TEST(ByteReader, ShortReadLatchesAndSaturates) {
+    const std::vector<std::uint8_t> buf = {0xAA, 0xBB, 0xCC};
+    ByteReader r = reader_over(buf);
+    EXPECT_EQ(r.u32be(), 0u);  // 4 > 3: zero value, latched
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);  // pinned at the end
+    // Every subsequent read keeps failing with zero values.
+    EXPECT_EQ(r.u8(), 0u);
+    EXPECT_EQ(r.u16le(), 0u);
+    EXPECT_TRUE(r.bytes(1).empty());
+    EXPECT_TRUE(r.text(1).empty());
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, WideReadsZeroOnPartialAvailability) {
+    // u64 composed of two u32 halves must not leak the half that fit.
+    const std::vector<std::uint8_t> buf = {1, 2, 3, 4, 5, 6};
+    ByteReader r = reader_over(buf);
+    EXPECT_EQ(r.u64be(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, MissingNulLatches) {
+    const std::vector<std::uint8_t> buf = {'n', 'o', 'n', 'u', 'l'};
+    ByteReader r = reader_over(buf);
+    EXPECT_EQ(r.cstring_view(), "");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, CallerFailLatchesToo) {
+    const std::vector<std::uint8_t> buf = {9, 9};
+    ByteReader r = reader_over(buf);
+    EXPECT_EQ(r.u8(), 9u);
+    r.fail();  // semantic rejection (bad magic, field out of range, ...)
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.u8(), 0u);
+}
+
+TEST(ByteReader, EmptyInputFailsEveryRead) {
+    ByteReader r = ByteReader::over(std::string_view{});
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.u8(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+// --- ByteWriter -------------------------------------------------------------
+
+TEST(ByteWriter, RoundTripsThroughByteReader) {
+    std::array<std::uint8_t, 15> out{};
+    ByteWriter w{std::span<std::uint8_t>(out)};
+    w.u8(0x7F);
+    w.u16be(0xBEEF);
+    w.u32le(0xCAFEBABE);
+    w.u64le(0x0102030405060708ull);
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ(w.pos(), 15u);
+
+    ByteReader r{std::span<const std::uint8_t>(out)};
+    EXPECT_EQ(r.u8(), 0x7Fu);
+    EXPECT_EQ(r.u16be(), 0xBEEFu);
+    EXPECT_EQ(r.u32le(), 0xCAFEBABEu);
+    EXPECT_EQ(r.u64le(), 0x0102030405060708ull);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(ByteWriter, OverflowLatchesWithoutWriting) {
+    std::array<std::uint8_t, 3> out{};
+    ByteWriter w{std::span<std::uint8_t>(out)};
+    w.u16be(0x1122);
+    w.u32be(0xDEADBEEF);  // 4 > 1 remaining: latched, nothing written
+    EXPECT_FALSE(w.ok());
+    EXPECT_EQ(out[2], 0u);
+    w.u8(0xFF);  // still latched
+    EXPECT_FALSE(w.ok());
+    EXPECT_EQ(out[2], 0u);
+}
+
+TEST(ByteWriter, BytesAndStringBacking) {
+    std::string buf(5, '\0');
+    ByteWriter w = ByteWriter::over(buf);
+    w.bytes("ab");
+    w.u8('c');
+    w.u16le(0x6564);  // "de"
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ(buf, "abcde");
+}
+
+TEST(ByteWriterAppend, VectorHelpersEmitNetworkOrder) {
+    std::vector<std::uint8_t> out;
+    sc::util::append_u8(out, 0x01);
+    sc::util::append_u16be(out, 0x0203);
+    sc::util::append_u32be(out, 0x04050607);
+    const std::vector<std::uint8_t> want = {1, 2, 3, 4, 5, 6, 7};
+    EXPECT_EQ(out, want);
+    sc::util::patch_u16be(out, 1, 0xAABB);
+    EXPECT_EQ(out[1], 0xAAu);
+    EXPECT_EQ(out[2], 0xBBu);
+    // Out-of-range patch is a silent no-op, never a wild write.
+    sc::util::patch_u16be(out, 6, 0xFFFF);
+    EXPECT_EQ(out[6], 7u);
+}
+
+TEST(ByteWriterAppend, StringHelpersEmitLittleEndian) {
+    std::string out;
+    sc::util::append_u8(out, 0x01);
+    sc::util::append_u16le(out, 0x0302);
+    sc::util::append_u32le(out, 0x07060504);
+    sc::util::append_u64le(out, 0x0F0E0D0C0B0A0908ull);
+    ASSERT_EQ(out.size(), 15u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(static_cast<unsigned char>(out[i]), i + 1) << i;
+}
+
+}  // namespace

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <utility>
 
 namespace sc::lint {
 namespace {
@@ -202,19 +203,14 @@ bool path_ends_with(std::string_view path, std::string_view suffix) {
            path.substr(path.size() - suffix.size()) == suffix;
 }
 
-bool waived(const Stripped& s, unsigned line, const std::string& rule) {
-    for (const unsigned at : {line, line == 0 ? 0 : line - 1}) {
-        const auto it = s.waivers.find(at);
-        if (it != s.waivers.end() && it->second.count(rule)) return true;
-    }
-    return false;
-}
-
 struct Sink {
     std::string_view path;
     const Stripped& stripped;
     const Options& options;
     std::vector<Diagnostic>& out;
+    /// (waiver line, rule) pairs that actually suppressed a finding — the
+    /// complement feeds the unused-waiver notes.
+    std::set<std::pair<unsigned, std::string>>& used_waivers;
 
     [[nodiscard]] bool enabled(std::string_view rule) const {
         return options.rules.empty() ||
@@ -223,7 +219,14 @@ struct Sink {
     }
 
     void report(unsigned line, const std::string& rule, std::string message) {
-        if (waived(stripped, line, rule)) return;
+        // A waiver covers the offending line or the line above it.
+        for (const unsigned at : {line, line == 0 ? 0 : line - 1}) {
+            const auto it = stripped.waivers.find(at);
+            if (it != stripped.waivers.end() && it->second.count(rule)) {
+                used_waivers.insert({at, rule});
+                return;
+            }
+        }
         out.push_back({std::string(path), line, rule, std::move(message)});
     }
 };
@@ -435,6 +438,182 @@ void check_counter_shift(const std::vector<Token>& tokens, Sink& sink) {
     flush();
 }
 
+// ---------------------------------------------------------------------------
+// Rule: raw-decode
+// ---------------------------------------------------------------------------
+
+constexpr std::array kRawDecodeCalls = {
+    std::string_view("memcpy"),  std::string_view("memmove"),
+    std::string_view("memchr"),  std::string_view("strcpy"),
+    std::string_view("strncpy"), std::string_view("strcat"),
+    std::string_view("strncat"), std::string_view("sscanf"),
+    std::string_view("strtol"),  std::string_view("strtoul"),
+    std::string_view("strtoull"), std::string_view("atoi"),
+    std::string_view("atol"),    std::string_view("atoll"),
+};
+
+/// A TU opts into the decode discipline by placing the SC_UNTRUSTED_DECODE_TU
+/// marker (the `#define` of the marker itself does not count).
+bool tu_is_marked_decode(const std::vector<Token>& tokens) {
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (!tokens[i].ident || tokens[i].text != "SC_UNTRUSTED_DECODE_TU") continue;
+        if (i > 0 && tokens[i - 1].text == "define") continue;
+        return true;
+    }
+    return false;
+}
+
+void check_raw_decode(const std::vector<Token>& tokens, Sink& sink) {
+    if (!sink.enabled("raw-decode")) return;
+    // The checked cursor itself is where the one reinterpret_cast lives.
+    if (path_ends_with(sink.path, "util/byte_reader.hpp") ||
+        path_ends_with(sink.path, "util/byte_writer.hpp"))
+        return;
+    if (!tu_is_marked_decode(tokens)) return;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& t = tokens[i];
+        if (!t.ident) continue;
+        if (t.text == "reinterpret_cast") {
+            sink.report(t.line, "raw-decode",
+                        "reinterpret_cast in a decode-marked TU; read through "
+                        "sc::util::ByteReader (util/byte_reader.hpp)");
+            continue;
+        }
+        // `buf.data() + off` — the classic unchecked cursor. ByteReader
+        // carries the offset and the bounds check together.
+        if (t.text == "data" && i + 3 < tokens.size() && tokens[i + 1].text == "(" &&
+            tokens[i + 2].text == ")" && tokens[i + 3].text == "+") {
+            sink.report(t.line, "raw-decode",
+                        "pointer arithmetic on data() in a decode-marked TU; "
+                        "read through sc::util::ByteReader");
+            continue;
+        }
+        if (std::find(kRawDecodeCalls.begin(), kRawDecodeCalls.end(), t.text) ==
+            kRawDecodeCalls.end())
+            continue;
+        if (i + 1 >= tokens.size() || tokens[i + 1].text != "(") continue;  // not a call
+        if (i > 0) {
+            const auto prev = tokens[i - 1].text;
+            // Member calls and non-std namespace-qualified wrappers are
+            // someone else's (checked) abstraction; only the libc entry
+            // points — bare or std:: — are raw.
+            if (prev == ".") continue;
+            if (prev == ">" && i > 1 && tokens[i - 2].text == "-") continue;
+            if (prev == "::" && i > 1 && tokens[i - 2].ident &&
+                tokens[i - 2].text != "std")
+                continue;
+        }
+        sink.report(t.line, "raw-decode",
+                    "raw byte read '" + std::string(t.text) +
+                        "' in a decode-marked TU; read through "
+                        "sc::util::ByteReader");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: exhaustive-wire-switch
+// ---------------------------------------------------------------------------
+
+struct WireEnum {
+    std::string_view name;
+    std::vector<std::string_view> enumerators;
+};
+
+/// Enums that cross a trust boundary (wire datagrams in, apply verdicts
+/// out). Hard-coded on purpose: when an enumerator is added here, every
+/// default-less switch over the enum fails the lint until it handles it.
+const std::vector<WireEnum>& wire_enums() {
+    static const std::vector<WireEnum> enums = {
+        {"IcpOpcode",
+         {"invalid", "query", "hit", "miss", "err", "secho", "decho",
+          "miss_nofetch", "denied", "hit_obj", "dirupdate", "dirfull", "dirreq"}},
+        {"SummaryApplyResult",
+         {"applied", "partial", "duplicate", "stale", "gap", "need_bootstrap",
+          "need_resync", "rejected"}},
+    };
+    return enums;
+}
+
+void check_wire_switch(const std::vector<Token>& tokens, Sink& sink) {
+    if (!sink.enabled("exhaustive-wire-switch")) return;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (!tokens[i].ident || tokens[i].text != "switch") continue;
+        // Skip the condition parens, then find the body brace.
+        std::size_t j = i + 1;
+        if (j >= tokens.size() || tokens[j].text != "(") continue;
+        int parens = 1;
+        for (++j; j < tokens.size() && parens > 0; ++j) {
+            if (tokens[j].text == "(") ++parens;
+            if (tokens[j].text == ")") --parens;
+        }
+        if (j >= tokens.size() || tokens[j].text != "{") continue;
+        // Walk the body: case labels at depth 1 belong to THIS switch;
+        // anything deeper is a nested statement's business.
+        bool has_default = false;
+        std::string_view enum_name;
+        std::set<std::string_view> covered;
+        int depth = 1;
+        for (std::size_t k = j + 1; k < tokens.size() && depth > 0; ++k) {
+            const Token& t = tokens[k];
+            if (t.text == "{") ++depth;
+            else if (t.text == "}") --depth;
+            if (depth != 1 || !t.ident) continue;
+            if (t.text == "default") {
+                has_default = true;
+            } else if (t.text == "case") {
+                std::string_view label_enum, last_ident;
+                for (std::size_t m = k + 1; m < tokens.size(); ++m) {
+                    if (tokens[m].text == ":") {
+                        k = m;
+                        break;
+                    }
+                    if (!tokens[m].ident) continue;
+                    for (const WireEnum& e : wire_enums())
+                        if (tokens[m].text == e.name) label_enum = e.name;
+                    last_ident = tokens[m].text;
+                }
+                if (!label_enum.empty()) {
+                    enum_name = label_enum;
+                    covered.insert(last_ident);
+                }
+            }
+        }
+        if (enum_name.empty() || has_default) continue;
+        std::string missing;
+        for (const WireEnum& e : wire_enums()) {
+            if (e.name != enum_name) continue;
+            for (const std::string_view en : e.enumerators)
+                if (!covered.count(en)) {
+                    if (!missing.empty()) missing += ", ";
+                    missing += en;
+                }
+        }
+        if (missing.empty()) continue;
+        sink.report(tokens[i].line, "exhaustive-wire-switch",
+                    "switch over " + std::string(enum_name) +
+                        " has no default arm and misses: " + missing);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: waiver-sanity
+// ---------------------------------------------------------------------------
+
+bool known_rule(const std::string& rule) {
+    const auto& rules = all_rules();
+    return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+void check_waiver_sanity(Sink& sink) {
+    if (!sink.enabled("waiver-sanity")) return;
+    for (const auto& [line, rules] : sink.stripped.waivers)
+        for (const std::string& rule : rules)
+            if (!known_rule(rule))
+                sink.report(line, "waiver-sanity",
+                            "waiver names unknown rule '" + rule +
+                                "' (see --list-rules); it suppresses nothing");
+}
+
 }  // namespace
 
 std::string format(const Diagnostic& d) {
@@ -443,19 +622,27 @@ std::string format(const Diagnostic& d) {
     return os.str();
 }
 
+std::string format(const Note& n) {
+    std::ostringstream os;
+    os << n.file << ':' << n.line << ": note: " << n.message;
+    return os.str();
+}
+
 const std::vector<std::string>& all_rules() {
     static const std::vector<std::string> rules = {
-        "raw-mutex", "hotpath-alloc", "eventloop-blocking", "raw-counter-shift",
-        "raw-poll"};
+        "raw-mutex",  "hotpath-alloc", "eventloop-blocking",
+        "raw-counter-shift", "raw-poll",      "raw-decode",
+        "exhaustive-wire-switch", "waiver-sanity"};
     return rules;
 }
 
-std::vector<Diagnostic> lint_source(std::string_view path, std::string_view text,
-                                    const Options& options) {
+LintReport lint_source_report(std::string_view path, std::string_view text,
+                              const Options& options) {
     const Stripped stripped = strip(text);
     const std::vector<Token> tokens = tokenize(stripped.code);
-    std::vector<Diagnostic> out;
-    Sink sink{path, stripped, options, out};
+    LintReport report;
+    std::set<std::pair<unsigned, std::string>> used_waivers;
+    Sink sink{path, stripped, options, report.diagnostics, used_waivers};
     check_raw_mutex(tokens, sink);
     check_marked(tokens, sink, "SC_HOT_PATH", "hotpath-alloc", kAllocCalls,
                  "heap-allocating call");
@@ -463,21 +650,48 @@ std::vector<Diagnostic> lint_source(std::string_view path, std::string_view text
                  kBlockingCalls, "blocking call");
     check_counter_shift(tokens, sink);
     check_raw_poll(tokens, sink);
-    std::stable_sort(out.begin(), out.end(),
+    check_raw_decode(tokens, sink);
+    check_wire_switch(tokens, sink);
+    check_waiver_sanity(sink);
+    std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
                      [](const Diagnostic& a, const Diagnostic& b) {
                          return a.line < b.line;
                      });
-    return out;
+    // Unused-waiver hygiene only makes sense when every rule ran: on a
+    // narrowed --rule= pass, a waiver for an unexecuted rule is not stale.
+    // Unknown-rule waivers are waiver-sanity's (hard) finding, not a note.
+    if (options.rules.empty()) {
+        for (const auto& [line, rules] : stripped.waivers)
+            for (const std::string& rule : rules)
+                if (known_rule(rule) && !used_waivers.count({line, rule}))
+                    report.notes.push_back(
+                        {std::string(path), line,
+                         "unused sc_lint waiver for rule '" + rule +
+                             "'; nothing on this or the next line trips it"});
+    }
+    return report;
 }
 
-std::optional<std::vector<Diagnostic>> lint_file(const std::filesystem::path& path,
-                                                 const Options& options) {
+std::vector<Diagnostic> lint_source(std::string_view path, std::string_view text,
+                                    const Options& options) {
+    return lint_source_report(path, text, options).diagnostics;
+}
+
+std::optional<LintReport> lint_file_report(const std::filesystem::path& path,
+                                           const Options& options) {
     std::ifstream in(path, std::ios::binary);
     if (!in) return std::nullopt;
     std::ostringstream buf;
     buf << in.rdbuf();
     if (!in.good() && !in.eof()) return std::nullopt;
-    return lint_source(path.generic_string(), buf.str(), options);
+    return lint_source_report(path.generic_string(), buf.str(), options);
+}
+
+std::optional<std::vector<Diagnostic>> lint_file(const std::filesystem::path& path,
+                                                 const Options& options) {
+    auto report = lint_file_report(path, options);
+    if (!report) return std::nullopt;
+    return std::move(report->diagnostics);
 }
 
 std::vector<std::filesystem::path> collect_sources(

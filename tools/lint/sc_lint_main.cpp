@@ -54,15 +54,18 @@ int main(int argc, char** argv) {
     std::size_t violations = 0;
     std::size_t files = 0;
     for (const auto& file : sc::lint::collect_sources(paths)) {
-        const auto diags = sc::lint::lint_file(file, options);
-        if (!diags) {
+        const auto report = sc::lint::lint_file_report(file, options);
+        if (!report) {
             std::cerr << "sc_lint: cannot read " << file.generic_string() << '\n';
             io_error = true;
             continue;
         }
         ++files;
-        for (const auto& d : *diags) std::cout << sc::lint::format(d) << '\n';
-        violations += diags->size();
+        for (const auto& d : report->diagnostics)
+            std::cout << sc::lint::format(d) << '\n';
+        // Notes (unused waivers) are informational: stderr, exit unaffected.
+        for (const auto& n : report->notes) std::cerr << sc::lint::format(n) << '\n';
+        violations += report->diagnostics.size();
     }
     if (io_error) return 2;
     std::cerr << "sc_lint: " << files << " file(s), " << violations
